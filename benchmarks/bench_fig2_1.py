@@ -1,0 +1,62 @@
+"""Figure 2.1 — CNFET failure probability pF versus width W.
+
+Regenerates the three processing-corner curves, the per-device budget line
+(1 - Yield)/Mmin ≈ 3e-9 and the widths at which the worst-corner curve
+crosses the unrelaxed and relaxed budgets (the paper's 155 nm and 103 nm
+markers, 168 nm and 118 nm with this reproduction's calibration).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_records
+from repro.constants import (
+    PAPER_WMIN_CORRELATED_NM,
+    PAPER_WMIN_UNCORRELATED_NM,
+)
+from repro.reporting.experiments import record_from_numbers
+from repro.reporting.figures import fig2_1_data
+
+
+def test_fig2_1_failure_probability_curves(benchmark, setup):
+    widths = np.arange(20.0, 181.0, 2.0)
+    data = benchmark(lambda: fig2_1_data(setup=setup, widths_nm=widths))
+
+    # Print the reproduced series (one row per 20 nm) the way the figure
+    # reports them: width versus pF per processing corner.
+    print("\n=== Fig. 2.1: pF vs W (selected points) ===")
+    header = "W (nm)  " + "  ".join(f"{name:>22}" for name in data["curves"])
+    print(header)
+    for i in range(0, widths.size, 10):
+        row = f"{widths[i]:6.0f}  " + "  ".join(
+            f"{data['curves'][name][i]:22.3e}" for name in data["curves"]
+        )
+        print(row)
+    print(f"budget pF          : {data['budget_pf']:.3e}")
+    print(f"relaxed budget pF  : {data['relaxed_budget_pf']:.3e}")
+
+    records = [
+        record_from_numbers(
+            "Fig2.1", "Wmin at unrelaxed budget",
+            PAPER_WMIN_UNCORRELATED_NM, data["wmin_unrelaxed_nm"], unit="nm",
+        ),
+        record_from_numbers(
+            "Fig2.1", "Wmin at relaxed budget",
+            PAPER_WMIN_CORRELATED_NM, data["wmin_relaxed_nm"], unit="nm",
+        ),
+        record_from_numbers(
+            "Fig2.1", "budget pF (1-Y)/Mmin", 3.0e-9, data["budget_pf"],
+        ),
+        record_from_numbers(
+            "Fig2.1", "relaxed budget pF", 1.1e-6, data["relaxed_budget_pf"],
+        ),
+    ]
+    print_records("Fig. 2.1 paper vs measured", records)
+
+    # Shape assertions: exponential decrease, correct corner ordering and the
+    # relaxed crossing sitting well below the unrelaxed one.
+    worst = data["curves"]["pm=33%, pRs=30%"]
+    best = data["curves"]["pm=0%, pRs=0%"]
+    assert worst[0] > worst[-1]
+    assert np.all(worst >= best)
+    assert data["wmin_relaxed_nm"] < data["wmin_unrelaxed_nm"]
+    assert data["wmin_unrelaxed_nm"] / data["wmin_relaxed_nm"] > 1.3

@@ -1,0 +1,53 @@
+"""Figure 2.2a — transistor-width distribution of the OpenRISC case study.
+
+Regenerates the width histogram both from the calibrated statistical design
+(the series used by the chip-level analyses) and from the concrete synthetic
+OpenRISC-like netlist mapped onto the Nangate-45-like library, and reports
+the fraction of devices in the two smallest bins (the paper's Mmin ≈ 33 %).
+"""
+
+from benchmarks.conftest import print_records
+from repro.netlist.openrisc import build_openrisc_like_design
+from repro.reporting.experiments import record_from_numbers
+from repro.reporting.figures import fig2_2a_data
+
+
+def test_fig2_2a_width_histogram(benchmark, openrisc_design):
+    data = benchmark(lambda: fig2_2a_data(design=openrisc_design))
+
+    print("\n=== Fig. 2.2a: transistor width histogram ===")
+    print("width (nm)   share (%)")
+    for center, pct in zip(data["bin_centers_nm"], data["percentages"]):
+        print(f"{center:10.0f}   {pct:8.1f}")
+
+    records = [
+        record_from_numbers(
+            "Fig2.2a", "fraction of devices in two smallest bins (Mmin/M)",
+            0.33, data["min_size_fraction"],
+        ),
+        record_from_numbers(
+            "Fig2.2a", "total transistor count M",
+            1.0e8, data["transistor_count"],
+        ),
+    ]
+    print_records("Fig. 2.2a paper vs measured", records)
+
+    assert abs(data["min_size_fraction"] - 0.33) < 0.01
+    assert list(data["bin_centers_nm"]) == [80.0, 160.0, 240.0, 320.0]
+
+
+def test_fig2_2a_concrete_netlist_histogram(benchmark, nangate45):
+    design = benchmark(
+        lambda: build_openrisc_like_design(nangate45, scale=0.25, seed=2010)
+    )
+    histogram = design.width_histogram(bin_width_nm=80.0)
+
+    print("\n=== Fig. 2.2a (concrete synthetic netlist) ===")
+    print(f"instances: {design.instance_count}, transistors: {design.transistor_count}")
+    print("width (nm)   share (%)")
+    for center, fraction in zip(histogram.bin_centers_nm, histogram.fractions):
+        print(f"{center:10.0f}   {100.0 * fraction:8.1f}")
+
+    small_fraction = histogram.fraction_below(160.0)
+    print(f"fraction at or below 160 nm: {small_fraction:.2f} (paper: 0.33)")
+    assert 0.2 <= small_fraction <= 0.9

@@ -1,0 +1,50 @@
+"""Figure 3.2 — aligned-active enforcement on the AOI222_X1 cell.
+
+The paper shows the AOI222_X1 cell of the Nangate library before and after
+the aligned-active restriction: the critical n-type active regions are
+upsized, every n-type region ends up on the global grid, and the cell grows
+about 9 % wider.  This benchmark applies the transform to the synthetic
+AOI222_X1 and reports the same quantities.
+"""
+
+from benchmarks.conftest import print_records
+from repro.cells.aligned_active import AlignedActiveTransform
+from repro.constants import PAPER_AOI222_WIDTH_INCREASE
+from repro.device.active_region import Polarity
+from repro.reporting.experiments import record_from_numbers
+
+
+def test_fig3_2_aoi222_modification(benchmark, nangate45, setup):
+    wmin = setup.wmin_correlated_nm()
+    transform = AlignedActiveTransform(wmin_nm=wmin)
+    cell = nangate45.get("AOI222_X1")
+
+    result = benchmark(lambda: transform.apply_to_cell(cell))
+
+    print("\n=== Fig. 3.2: AOI222_X1 before/after aligned-active enforcement ===")
+    print(f"Wmin used                    : {wmin:.1f} nm")
+    print(f"cell width before            : {result.original.width_nm:.0f} nm "
+          f"({result.original.n_columns} columns)")
+    print(f"cell width after             : {result.modified.width_nm:.0f} nm "
+          f"({result.modified.n_columns} columns)")
+    print(f"critical devices             : {result.critical_device_count}")
+    print(f"devices upsized to Wmin      : {result.upsized_device_count}")
+    print(f"cell width increase          : {100.0 * result.width_penalty:.1f} %")
+
+    records = [
+        record_from_numbers(
+            "Fig3.2", "AOI222_X1 cell-width increase",
+            100.0 * PAPER_AOI222_WIDTH_INCREASE, 100.0 * result.width_penalty,
+            unit="%",
+        ),
+    ]
+    print_records("Fig. 3.2 paper vs measured", records)
+
+    # Shape assertions: the cell widens by a single column (≈9 %), every
+    # critical n-type device is upsized to Wmin, and no column stacks more
+    # than one critical n-device after the transform.
+    assert result.extra_columns == 1
+    assert abs(result.width_penalty - PAPER_AOI222_WIDTH_INCREASE) < 0.02
+    for transistor in result.modified.transistors_of(Polarity.NFET):
+        assert transistor.width_nm >= min(wmin, 320.0) - 1e-9
+    assert transform._conflicting_columns(result.modified, Polarity.NFET) == {}

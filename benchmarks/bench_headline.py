@@ -1,0 +1,58 @@
+"""Headline result — the end-to-end processing/design co-optimization flow.
+
+Runs the full flow of the paper on the OpenRISC-like case study and reports
+the headline numbers: the ≈350X relaxation of the device-level failure
+probability requirement, the Wmin reduction it enables, and the resulting
+elimination of most of the upsizing penalty at 45 nm.
+"""
+
+from benchmarks.conftest import print_records
+from repro.constants import (
+    PAPER_RELAXATION_FACTOR,
+    PAPER_WMIN_CORRELATED_NM,
+    PAPER_WMIN_UNCORRELATED_NM,
+)
+from repro.core.optimizer import CoOptimizationFlow
+from repro.reporting.experiments import record_from_numbers
+
+
+def test_headline_co_optimization(benchmark, setup, openrisc_design):
+    flow = CoOptimizationFlow(
+        setup=setup,
+        widths_nm=openrisc_design.widths_nm,
+        counts=openrisc_design.counts,
+        min_size_device_count=openrisc_design.min_size_device_count,
+    )
+    report = benchmark(flow.run)
+
+    print("\n=== Headline: processing/design co-optimization ===")
+    for line in report.summary_lines():
+        print(line)
+
+    records = [
+        record_from_numbers(
+            "Headline", "relaxation of device pF requirement",
+            PAPER_RELAXATION_FACTOR, report.relaxation_factor, unit="X",
+        ),
+        record_from_numbers(
+            "Headline", "Wmin without correlation",
+            PAPER_WMIN_UNCORRELATED_NM, report.baseline_wmin.wmin_nm, unit="nm",
+        ),
+        record_from_numbers(
+            "Headline", "Wmin with correlation + aligned-active",
+            PAPER_WMIN_CORRELATED_NM, report.optimized_wmin.wmin_nm, unit="nm",
+        ),
+        record_from_numbers(
+            "Headline", "Wmin ratio (baseline / optimized)",
+            PAPER_WMIN_UNCORRELATED_NM / PAPER_WMIN_CORRELATED_NM,
+            report.baseline_wmin.wmin_nm / report.optimized_wmin.wmin_nm,
+        ),
+    ]
+    print_records("Headline paper vs measured", records)
+
+    assert 300.0 <= report.relaxation_factor <= 400.0
+    assert report.optimized_wmin.wmin_nm < report.baseline_wmin.wmin_nm
+    assert (
+        report.optimized_upsizing.capacitance_penalty
+        < report.baseline_upsizing.capacitance_penalty
+    )

@@ -1,0 +1,71 @@
+"""Monte Carlo validation of the analytical models.
+
+Not a paper figure, but the reproduction's evidence that the closed-form
+pipeline is trustworthy: the device failure probability (Eq. 2.2) and the
+row failure probabilities of the three Table 1 scenarios (Eq. 3.1) are
+re-estimated by direct simulation of CNT growth and compared against the
+analytical values.
+"""
+
+from benchmarks.conftest import print_records
+from repro.core.correlation import LayoutScenario
+from repro.montecarlo.experiments import (
+    compare_device_failure,
+    compare_row_scenarios,
+    relaxation_factor_comparison,
+)
+from repro.reporting.experiments import ExperimentRecord
+
+
+def test_device_failure_validation(benchmark):
+    record = benchmark(
+        lambda: compare_device_failure(width_nm=48.0, n_samples=40_000, seed=17)
+    )
+
+    print("\n=== Monte Carlo validation: device failure probability ===")
+    print(f"analytic pF(48 nm)    : {record.analytic:.3e}")
+    print(f"Monte Carlo pF(48 nm) : {record.monte_carlo:.3e} "
+          f"(± {record.standard_error:.1e})")
+
+    print_records("Eq. 2.2 validation", [
+        ExperimentRecord(
+            "MC", "pF(48 nm), analytic vs simulated",
+            f"{record.analytic:.3e}", f"{record.monte_carlo:.3e}",
+            "agree" if record.agrees() else "DISAGREE",
+        ),
+    ])
+    assert record.agrees(n_sigma=4.0, rtol=0.1)
+
+
+def test_row_scenario_validation(benchmark):
+    records = benchmark(
+        lambda: compare_row_scenarios(
+            device_width_nm=24.0, devices_per_segment=15, n_samples=5_000, seed=5
+        )
+    )
+
+    print("\n=== Monte Carlo validation: row failure probabilities ===")
+    for scenario, record in records.items():
+        print(f"{scenario.value:28}: analytic {record.analytic:.3e}  "
+              f"MC {record.monte_carlo:.3e} (± {record.standard_error:.1e})")
+
+    aligned = records[LayoutScenario.DIRECTIONAL_ALIGNED]
+    uncorrelated = records[LayoutScenario.UNCORRELATED_GROWTH]
+    middle = records[LayoutScenario.DIRECTIONAL_NON_ALIGNED]
+    assert aligned.agrees(n_sigma=5.0, rtol=0.35)
+    assert uncorrelated.agrees(n_sigma=5.0, rtol=0.35)
+    assert aligned.monte_carlo <= middle.monte_carlo <= uncorrelated.monte_carlo * 1.1
+
+
+def test_relaxation_factor_validation(benchmark):
+    record = benchmark(
+        lambda: relaxation_factor_comparison(
+            device_width_nm=24.0, devices_per_segment=15, n_samples=5_000, seed=7
+        )
+    )
+
+    print("\n=== Monte Carlo validation: relaxation factor ===")
+    print(f"analytic ratio    : {record.analytic:.2f}X")
+    print(f"Monte Carlo ratio : {record.monte_carlo:.2f}X (± {record.standard_error:.2f})")
+    assert 1.0 < record.monte_carlo <= 15.5
+    assert record.agrees(n_sigma=5.0, rtol=0.4)

@@ -1,0 +1,87 @@
+"""Table 2 — standard-cell area penalty of the aligned-active restriction.
+
+Regenerates the three columns of Table 2: the commercial-65-nm-like library
+with one and with two aligned active regions per polarity, and the
+Nangate-45-like library with one aligned region — reporting the number of
+cells, the share of cells with an area penalty, the min/max penalty and the
+Wmin each variant implies.
+"""
+
+from benchmarks.conftest import print_records
+from repro.constants import (
+    PAPER_COMMERCIAL65_CELL_COUNT,
+    PAPER_NANGATE_CELL_COUNT,
+    PAPER_NANGATE_CELLS_WITH_PENALTY,
+    PAPER_TABLE2_COMMERCIAL65_PENALTY_FRACTION,
+)
+from repro.reporting.experiments import ExperimentRecord, record_from_numbers
+from repro.reporting.tables import render_table, table2_data
+
+
+def test_table2_area_penalties(benchmark, setup, nangate45, commercial65):
+    rows = benchmark(
+        lambda: table2_data(
+            setup=setup, nangate_library=nangate45, commercial_library=commercial65
+        )
+    )
+
+    print("\n=== Table 2: area penalty of the aligned-active restriction ===")
+    print(render_table(rows, columns=[
+        "library", "aligned_regions", "num_cells", "cells_with_penalty",
+        "cells_with_penalty_pct", "min_penalty_pct", "max_penalty_pct", "wmin_nm",
+    ]))
+
+    commercial_one, commercial_two, nangate_row = rows
+    records = [
+        record_from_numbers(
+            "Table2", "65 nm library cell count",
+            PAPER_COMMERCIAL65_CELL_COUNT, commercial_one["num_cells"],
+        ),
+        record_from_numbers(
+            "Table2", "65 nm cells with penalty (one region)",
+            100.0 * PAPER_TABLE2_COMMERCIAL65_PENALTY_FRACTION,
+            commercial_one["cells_with_penalty_pct"], unit="%",
+        ),
+        ExperimentRecord(
+            "Table2", "65 nm penalty range (one region)",
+            "10 % .. 70 %",
+            f"{commercial_one['min_penalty_pct']:.0f} % .. "
+            f"{commercial_one['max_penalty_pct']:.0f} %",
+        ),
+        record_from_numbers(
+            "Table2", "65 nm cells with penalty (two regions)",
+            0.0, commercial_two["cells_with_penalty_pct"], unit="%",
+            note="two aligned regions remove the area penalty",
+        ),
+        record_from_numbers(
+            "Table2", "45 nm Nangate cell count",
+            PAPER_NANGATE_CELL_COUNT, nangate_row["num_cells"],
+        ),
+        record_from_numbers(
+            "Table2", "45 nm Nangate cells with penalty",
+            PAPER_NANGATE_CELLS_WITH_PENALTY, nangate_row["cells_with_penalty"],
+        ),
+        ExperimentRecord(
+            "Table2", "Wmin ordering (45 nm < 65 nm one-region < two-region)",
+            "103 nm < 107 nm < 112 nm",
+            f"{nangate_row['wmin_nm']:.0f} nm < {commercial_one['wmin_nm']:.0f} nm"
+            f" < {commercial_two['wmin_nm']:.0f} nm",
+        ),
+    ]
+    print_records("Table 2 paper vs measured", records)
+
+    # Shape assertions.
+    assert commercial_one["num_cells"] == 775
+    assert nangate_row["num_cells"] == 134
+    assert nangate_row["cells_with_penalty"] == 4
+    assert abs(commercial_one["cells_with_penalty_pct"] - 20.0) < 5.0
+    assert commercial_two["cells_with_penalty"] == 0
+    assert commercial_one["min_penalty_pct"] >= 9.0
+    assert commercial_one["max_penalty_pct"] <= 75.0
+    assert (
+        nangate_row["wmin_nm"]
+        < commercial_one["wmin_nm"]
+        < commercial_two["wmin_nm"]
+    )
+    # Two aligned regions cost < ~8 % extra Wmin (paper: < 5 %).
+    assert commercial_two["wmin_nm"] / commercial_one["wmin_nm"] < 1.08

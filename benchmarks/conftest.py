@@ -1,0 +1,54 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints a
+paper-versus-measured comparison using the records from
+:mod:`repro.reporting.experiments`.  The ``benchmark`` fixture from
+pytest-benchmark times the data-generation step so regressions in the
+analytical pipeline show up as performance changes as well.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import pytest
+
+from repro.reporting.experiments import ExperimentRecord, experiment_summary
+
+
+def print_records(title: str, records: Iterable[ExperimentRecord]) -> None:
+    """Print a paper-versus-measured block for one experiment."""
+    print()
+    print(f"=== {title} ===")
+    print(experiment_summary(records))
+    print()
+
+
+@pytest.fixture(scope="session")
+def setup():
+    """The calibrated 45 nm setup shared by all benchmarks."""
+    from repro.core.calibration import CalibratedSetup
+
+    return CalibratedSetup()
+
+
+@pytest.fixture(scope="session")
+def openrisc_design(setup):
+    """The statistical OpenRISC design at the chip scale."""
+    from repro.netlist.openrisc import openrisc_width_histogram
+
+    return openrisc_width_histogram(setup.chip_transistor_count)
+
+
+@pytest.fixture(scope="session")
+def nangate45():
+    from repro.cells.nangate45 import build_nangate45_library
+
+    return build_nangate45_library()
+
+
+@pytest.fixture(scope="session")
+def commercial65():
+    from repro.cells.commercial65 import build_commercial65_library
+
+    return build_commercial65_library()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Enforcing the aligned-active layout restriction on cell libraries.
+
+This example reproduces the layout side of the paper (Sec. 3.2 / 3.3,
+Fig. 3.2, Table 2):
+
+1. build the synthetic Nangate-45-like (134 cells) and commercial-65-like
+   (775 cells) libraries,
+2. compute the Wmin each library variant needs,
+3. apply the aligned-active transform with one and with two aligned active
+   regions per polarity,
+4. report the per-library area statistics (Table 2) and show the AOI222_X1
+   before/after detail (Fig. 3.2).
+
+Run with::
+
+    python examples/aligned_active_library.py
+"""
+
+from repro.cells.aligned_active import AlignedActiveTransform, enforce_aligned_active
+from repro.cells.area import area_penalty_report
+from repro.cells.commercial65 import build_commercial65_library
+from repro.cells.nangate45 import build_nangate45_library
+from repro.core.calibration import CalibratedSetup
+from repro.device.active_region import Polarity
+from repro.reporting.tables import render_table, table2_data
+
+
+def show_aoi222_detail(library, wmin_nm: float) -> None:
+    """Fig. 3.2: the AOI222_X1 cell before and after the restriction."""
+    transform = AlignedActiveTransform(wmin_nm=wmin_nm)
+    result = transform.apply_to_cell(library.get("AOI222_X1"))
+    before, after = result.original, result.modified
+
+    print(f"AOI222_X1 with Wmin = {wmin_nm:.1f} nm")
+    print(f"  columns          : {before.n_columns} -> {after.n_columns}")
+    print(f"  cell width       : {before.width_nm:.0f} nm -> {after.width_nm:.0f} nm "
+          f"({100.0 * result.width_penalty:+.1f} %)")
+    print(f"  critical devices : {result.critical_device_count} "
+          f"({result.upsized_device_count} upsized to Wmin)")
+    print("  n-type devices (name, width nm, column, band):")
+    for t in sorted(after.transistors_of(Polarity.NFET), key=lambda d: d.name):
+        print(f"    {t.name:6} {t.width_nm:7.1f}  col {t.column:2d}  band {t.row_slot}")
+
+
+def main() -> None:
+    setup = CalibratedSetup()
+    nangate45 = build_nangate45_library()
+    commercial65 = build_commercial65_library()
+
+    wmin_45 = setup.wmin_correlated_nm()
+    print("=== Fig. 3.2: aligned-active enforcement on AOI222_X1 ===")
+    show_aoi222_detail(nangate45, wmin_45)
+
+    print("\n=== Library-wide impact (Table 2) ===")
+    rows = table2_data(
+        setup=setup, nangate_library=nangate45, commercial_library=commercial65
+    )
+    print(render_table(rows, columns=[
+        "library", "aligned_regions", "num_cells", "cells_with_penalty",
+        "cells_with_penalty_pct", "min_penalty_pct", "max_penalty_pct", "wmin_nm",
+    ]))
+
+    print("\n=== Penalised Nangate cells in detail ===")
+    result = enforce_aligned_active(nangate45, wmin_45)
+    for cell_result in result.penalised_cells:
+        print(f"  {cell_result.original.name:12} "
+              f"+{100.0 * cell_result.width_penalty:5.1f} % width "
+              f"({cell_result.extra_columns} extra column(s))")
+
+    print("\n=== Trade-off: one vs two aligned active regions (45 nm) ===")
+    for groups in (1, 2):
+        report = area_penalty_report(
+            enforce_aligned_active(nangate45, wmin_45, aligned_region_groups=groups)
+        )
+        print(f"  {groups} region(s): {report.penalised_cell_count} cells penalised, "
+              f"max penalty {report.max_penalty_percent:.1f} %")
+
+
+if __name__ == "__main__":
+    main()

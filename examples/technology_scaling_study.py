@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Technology scaling study: Fig. 2.2b and Fig. 3.3 in one script.
+
+Sweeps the 45/32/22/16 nm nodes (and a user-extendable list), scaling the
+transistor-width distribution linearly while keeping the inter-CNT pitch at
+4 nm, and reports the upsizing penalty with and without the CNT-correlation
+optimisation, plus the noise-margin and delay side-analyses at the chosen
+operating point.
+
+Run with::
+
+    python examples/technology_scaling_study.py
+"""
+
+import numpy as np
+
+from repro.analysis.delay import GateDelayModel
+from repro.analysis.noise_margin import NoiseMarginModel
+from repro.core.calibration import CalibratedSetup
+from repro.core.scaling import penalty_comparison
+from repro.growth.types import CNTTypeModel
+from repro.netlist.openrisc import openrisc_width_histogram
+from repro.reporting.ascii_plot import ascii_bar_chart
+
+
+def main() -> None:
+    setup = CalibratedSetup()
+    design = openrisc_width_histogram(setup.chip_transistor_count)
+
+    wmin_baseline = setup.wmin_uncorrelated_nm()
+    wmin_optimised = setup.wmin_correlated_nm()
+    nodes = [45, 32, 22, 16, 11]  # one node beyond the paper's sweep
+
+    without, with_corr = penalty_comparison(
+        design.widths_nm, design.counts,
+        wmin_uncorrelated_nm=wmin_baseline,
+        wmin_correlated_nm=wmin_optimised,
+        nodes_nm=nodes,
+    )
+
+    print("=== Upsizing penalty vs technology node ===")
+    print(f"Wmin without correlation: {wmin_baseline:.1f} nm")
+    print(f"Wmin with correlation   : {wmin_optimised:.1f} nm")
+    print()
+    print(ascii_bar_chart(
+        [f"{n} nm (no corr.)" for n in nodes], without.penalties_percent,
+        title="penalty (%) without CNT correlation",
+    ))
+    print()
+    print(ascii_bar_chart(
+        [f"{n} nm (corr.)" for n in nodes], with_corr.penalties_percent,
+        title="penalty (%) with CNT correlation and aligned-active cells",
+    ))
+
+    # Side analysis 1: how good must m-CNT removal be to keep noise hazards
+    # in check at the optimised device size?
+    print("\n=== Noise-margin hazard analysis (surviving m-CNTs) ===")
+    noise = NoiseMarginModel(
+        count_model=setup.count_model,
+        type_model=CNTTypeModel(1.0 / 3.0, 0.9999, 0.0),
+    )
+    summary = noise.summarise_chip(wmin_optimised, setup.chip_transistor_count)
+    required = noise.required_removal_probability(
+        wmin_optimised, setup.chip_transistor_count, max_hazardous_devices=1e4
+    )
+    print(f"P(device keeps a surviving m-CNT) at pRm=99.99 %: "
+          f"{summary.prob_device_has_surviving_mcnt:.3e}")
+    print(f"expected hazardous devices per chip             : "
+          f"{summary.expected_hazardous_devices_per_chip:.3g}")
+    print(f"pRm needed to keep hazards below 1e4 devices    : {required:.6f}")
+
+    # Side analysis 2: delay spread at minimum size, before and after the
+    # optimisation changes the minimum device width.
+    print("\n=== Gate delay spread (statistical averaging) ===")
+    rng = np.random.default_rng(45)
+    delay_model = GateDelayModel(count_model=setup.count_model)
+    for label, width in (
+        ("original minimum-size device (80 nm)", 80.0),
+        (f"baseline Wmin ({wmin_baseline:.0f} nm)", wmin_baseline),
+        (f"optimised Wmin ({wmin_optimised:.0f} nm)", wmin_optimised),
+    ):
+        summary = delay_model.summarise(width, 3_000, rng)
+        print(f"{label:42}: sigma/mu = {summary.relative_spread:.3f}, "
+              f"p99/nominal = {summary.p99_delay:.2f}")
+
+
+if __name__ == "__main__":
+    main()

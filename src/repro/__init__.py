@@ -1,0 +1,57 @@
+"""repro — CNFET circuit yield enhancement via carbon-nanotube correlation.
+
+A reproduction of "Carbon Nanotube Correlation: Promising Opportunity for
+CNFET Circuit Yield Enhancement" (Zhang et al., DAC 2010).
+
+The package is organised into:
+
+* :mod:`repro.growth` — CNT growth substrate (pitch statistics, metallic/
+  semiconducting types, removal processing, directional and isotropic
+  growth simulators).
+* :mod:`repro.device` — CNFET device substrate (active regions, drive
+  current, variation, gate capacitance).
+* :mod:`repro.cells` — standard-cell substrate (cell/library models,
+  synthetic Nangate-45-like and commercial-65-like libraries, the
+  aligned-active layout transform, area penalties).
+* :mod:`repro.netlist` — circuit substrate (designs, a synthetic
+  OpenRISC-like core, sizing and placement).
+* :mod:`repro.core` — the paper's analytical contribution (count models,
+  device failure probability, circuit yield, Wmin, the correlation-aware
+  row yield model, upsizing penalties, technology scaling and the
+  end-to-end co-optimization flow).
+* :mod:`repro.montecarlo` — Monte Carlo validation of the analytical
+  models.
+* :mod:`repro.analysis` — extensions (noise margin, CNT length variation,
+  delay variation).
+* :mod:`repro.reporting` — table/figure data generators and text rendering.
+
+Quickstart::
+
+    from repro.core import default_setup
+    from repro.core.optimizer import CoOptimizationFlow
+    from repro.netlist.openrisc import openrisc_width_histogram
+
+    setup = default_setup()
+    design = openrisc_width_histogram(setup.chip_transistor_count)
+    flow = CoOptimizationFlow(
+        setup=setup,
+        widths_nm=design.widths_nm,
+        counts=design.counts,
+        min_size_device_count=design.min_size_device_count,
+    )
+    report = flow.run()
+    print("\\n".join(report.summary_lines()))
+"""
+
+from repro.core.calibration import CalibratedSetup, default_setup
+from repro.core.optimizer import CoOptimizationFlow, CoOptimizationReport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CalibratedSetup",
+    "default_setup",
+    "CoOptimizationFlow",
+    "CoOptimizationReport",
+    "__version__",
+]

@@ -1,0 +1,49 @@
+"""Extension analyses beyond the paper's core results.
+
+The paper points at several adjacent questions it does not fully develop:
+noise-margin degradation from surviving metallic CNTs (deferred to
+[Zhang 09b]), the impact of CNT length variations on the correlation benefit
+("will be discussed in a more detailed version of this work"), and the
+delay/variation consequences of CNT count statistics.  This package
+implements those extensions on top of the same substrates:
+
+* :mod:`repro.analysis.noise_margin` — probability of noise-margin hazards
+  from surviving m-CNTs as a function of the removal efficiency pRm.
+* :mod:`repro.analysis.length_variation` — correlation benefit when the CNT
+  length is a random variable rather than a fixed 200 µm.
+* :mod:`repro.analysis.delay` — gate-delay spread induced by CNT count and
+  diameter variations, and its dependence on device width.
+* :mod:`repro.analysis.mispositioned` — mis-positioned / misaligned CNTs:
+  the (negligible) single-device count loss and the truncation of the
+  correlation benefit when the growth direction is misaligned from the rows.
+"""
+
+from repro.analysis.noise_margin import NoiseMarginModel, NoiseMarginSummary
+from repro.analysis.length_variation import (
+    CNTLengthDistribution,
+    ExponentialLengthDistribution,
+    FixedLengthDistribution,
+    LognormalLengthDistribution,
+    LengthVariationStudy,
+)
+from repro.analysis.delay import GateDelayModel, DelaySummary
+from repro.analysis.mispositioned import (
+    MisalignmentImpact,
+    MisalignmentImpactModel,
+    count_loss_probability,
+)
+
+__all__ = [
+    "NoiseMarginModel",
+    "NoiseMarginSummary",
+    "CNTLengthDistribution",
+    "ExponentialLengthDistribution",
+    "FixedLengthDistribution",
+    "LognormalLengthDistribution",
+    "LengthVariationStudy",
+    "GateDelayModel",
+    "DelaySummary",
+    "MisalignmentImpact",
+    "MisalignmentImpactModel",
+    "count_loss_probability",
+]

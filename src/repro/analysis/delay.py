@@ -1,0 +1,181 @@
+"""Gate-delay variation induced by CNT imperfections (extension analysis).
+
+The statistical-averaging argument the paper leans on (σ(Ion)/µ(Ion) ∝ 1/√N)
+matters to designers mostly through its effect on gate delay: a gate whose
+drive current is down because it captured few tubes (or thin tubes) is slow,
+and the slow tail of the delay distribution sets the usable clock period.
+This module provides a compact delay model so the reproduction can expose
+that trade-off alongside the yield analysis:
+
+* delay of a gate ≈ C_load · V_dd / I_on, with I_on summed over the gate's
+  working tubes,
+* the load is the width-proportional gate capacitance of the fanout gates,
+* Monte Carlo over CNT counts and diameters yields the delay distribution,
+  whose mean, spread and high quantiles are reported per device width.
+
+Because everything is expressed as ratios to the nominal (mean-count,
+nominal-diameter) delay, no absolute technology calibration is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.core.count_model import CountModel
+from repro.device.capacitance import GateCapacitanceModel
+from repro.device.current import CNTCurrentModel
+from repro.growth.types import CNTTypeModel
+from repro.units import ensure_positive
+
+
+@dataclass(frozen=True)
+class DelaySummary:
+    """Normalised delay statistics of a gate at one device width."""
+
+    width_nm: float
+    mean_delay: float
+    std_delay: float
+    p95_delay: float
+    p99_delay: float
+    failure_fraction: float
+    n_samples: int
+
+    @property
+    def relative_spread(self) -> float:
+        """σ(delay) / µ(delay)."""
+        if self.mean_delay == 0:
+            return float("nan")
+        return self.std_delay / self.mean_delay
+
+
+class GateDelayModel:
+    """Monte Carlo gate-delay model driven by CNT count/diameter statistics.
+
+    Parameters
+    ----------
+    count_model:
+        CNT count distribution Prob{N(W)}.
+    type_model:
+        CNT type / removal statistics (sets the working-tube thinning).
+    current_model:
+        Per-tube on-current model.
+    capacitance_model:
+        Load capacitance model (width-proportional).
+    fanout:
+        Number of identical receiver gates loading the output.
+    diameter_mean_nm, diameter_std_nm:
+        Tube diameter statistics.
+    """
+
+    def __init__(
+        self,
+        count_model: CountModel,
+        type_model: Optional[CNTTypeModel] = None,
+        current_model: Optional[CNTCurrentModel] = None,
+        capacitance_model: Optional[GateCapacitanceModel] = None,
+        fanout: int = 4,
+        diameter_mean_nm: float = 1.5,
+        diameter_std_nm: float = 0.2,
+    ) -> None:
+        self.count_model = count_model
+        self.type_model = type_model or CNTTypeModel()
+        self.current_model = current_model or CNTCurrentModel()
+        self.capacitance_model = capacitance_model or GateCapacitanceModel()
+        if fanout < 1:
+            raise ValueError("fanout must be at least 1")
+        self.fanout = int(fanout)
+        self.diameter_mean_nm = ensure_positive(diameter_mean_nm, "diameter_mean_nm")
+        if diameter_std_nm < 0:
+            raise ValueError("diameter_std_nm must be non-negative")
+        self.diameter_std_nm = float(diameter_std_nm)
+
+    # ------------------------------------------------------------------
+    # Nominal reference
+    # ------------------------------------------------------------------
+
+    def nominal_delay(self, width_nm: float) -> float:
+        """Delay of a device with the mean working-tube count and nominal tubes."""
+        ensure_positive(width_nm, "width_nm")
+        mean_working = (
+            self.count_model.mean_count(width_nm)
+            * self.type_model.per_cnt_success_probability
+        )
+        nominal_current = mean_working * self.current_model.semiconducting_on_current_ua(
+            self.diameter_mean_nm
+        )
+        load = self.fanout * self.capacitance_model.device_capacitance_af(width_nm)
+        if nominal_current == 0:
+            return float("inf")
+        return load / nominal_current
+
+    # ------------------------------------------------------------------
+    # Monte Carlo
+    # ------------------------------------------------------------------
+
+    def sample_delays(
+        self,
+        width_nm: float,
+        n_samples: int,
+        rng: np.random.Generator,
+        normalise: bool = True,
+    ) -> np.ndarray:
+        """Sample gate delays; failed devices (no working tube) yield ``inf``."""
+        ensure_positive(width_nm, "width_nm")
+        if n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        counts = self.count_model.sample(width_nm, n_samples, rng)
+        working = rng.binomial(counts, self.type_model.per_cnt_success_probability)
+        load = self.fanout * self.capacitance_model.device_capacitance_af(width_nm)
+        delays = np.empty(n_samples, dtype=float)
+        for i, k in enumerate(working):
+            if k == 0:
+                delays[i] = np.inf
+                continue
+            current = self.current_model.sample_on_current_ua(
+                int(k), rng, self.diameter_mean_nm, self.diameter_std_nm
+            )
+            delays[i] = load / current
+        if normalise:
+            nominal = self.nominal_delay(width_nm)
+            if np.isfinite(nominal) and nominal > 0:
+                delays = delays / nominal
+        return delays
+
+    def summarise(
+        self, width_nm: float, n_samples: int, rng: np.random.Generator
+    ) -> DelaySummary:
+        """Normalised delay statistics at one device width."""
+        delays = self.sample_delays(width_nm, n_samples, rng, normalise=True)
+        finite = delays[np.isfinite(delays)]
+        failure_fraction = 1.0 - finite.size / delays.size
+        if finite.size == 0:
+            return DelaySummary(
+                width_nm=float(width_nm),
+                mean_delay=float("inf"),
+                std_delay=float("nan"),
+                p95_delay=float("inf"),
+                p99_delay=float("inf"),
+                failure_fraction=failure_fraction,
+                n_samples=int(n_samples),
+            )
+        return DelaySummary(
+            width_nm=float(width_nm),
+            mean_delay=float(np.mean(finite)),
+            std_delay=float(np.std(finite, ddof=1)) if finite.size > 1 else 0.0,
+            p95_delay=float(np.percentile(finite, 95)),
+            p99_delay=float(np.percentile(finite, 99)),
+            failure_fraction=failure_fraction,
+            n_samples=int(n_samples),
+        )
+
+    def spread_versus_width(
+        self,
+        widths_nm: Iterable[float],
+        n_samples: int,
+        rng: np.random.Generator,
+    ) -> List[DelaySummary]:
+        """Delay statistics across widths — wider devices average out variation."""
+        return [self.summarise(float(w), n_samples, rng) for w in widths_nm]

@@ -1,0 +1,235 @@
+"""Correlation benefit under CNT length variation (extension analysis).
+
+The paper's row yield model assumes a fixed CNT length LCNT = 200 µm with
+perfect correlation inside a tube and none across tube boundaries, and
+explicitly defers the impact of CNT length variation to "a more detailed
+version of this work".  This module supplies that analysis.
+
+Model: along a placement row, the small devices are laid out at linear
+density Pmin-CNFET.  The row is partitioned into independent correlation
+segments whose lengths are the CNT lengths drawn from a distribution.  The
+devices inside one segment fail together (aligned-active layout), so the
+chip-level relaxation factor — the ratio between the uncorrelated and
+correlated chip failure probabilities — equals the *average number of small
+devices per segment*, which for i.i.d. segment lengths is
+
+``relaxation ≈ E[L] · Pmin-CNFET``
+
+in the naive mean-length argument of Eq. 3.2.  The exact effective
+relaxation is the ratio of failure opportunities — every device in the
+uncorrelated case versus one per *occupied* correlation segment in the
+aligned case — i.e. the mean number of devices per occupied segment.
+Length-biasing means occupied segments are longer than average, so the
+effective relaxation never falls below the naive prediction and actually
+improves slightly for broad length distributions; what genuinely hurts is a
+short *mean* tube length, which shrinks every segment.  The study below
+quantifies both effects so the LCNT requirement of the paper can be traded
+against growth quality.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.units import ensure_positive
+
+
+class CNTLengthDistribution(abc.ABC):
+    """Distribution of CNT (correlation segment) lengths, in µm."""
+
+    @property
+    @abc.abstractmethod
+    def mean_um(self) -> float:
+        """Mean segment length in µm."""
+
+    @abc.abstractmethod
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``size`` segment lengths (µm)."""
+
+
+@dataclass(frozen=True)
+class FixedLengthDistribution(CNTLengthDistribution):
+    """Degenerate distribution: every tube has exactly ``length_um``."""
+
+    length_um: float
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.length_um, "length_um")
+
+    @property
+    def mean_um(self) -> float:
+        return self.length_um
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        return np.full(size, self.length_um, dtype=float)
+
+
+@dataclass(frozen=True)
+class ExponentialLengthDistribution(CNTLengthDistribution):
+    """Exponentially distributed tube length (memoryless breakage model)."""
+
+    mean_length_um: float
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.mean_length_um, "mean_length_um")
+
+    @property
+    def mean_um(self) -> float:
+        return self.mean_length_um
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.exponential(scale=self.mean_length_um, size=size)
+
+
+@dataclass(frozen=True)
+class LognormalLengthDistribution(CNTLengthDistribution):
+    """Lognormally distributed tube length (multiplicative growth variation)."""
+
+    median_length_um: float
+    sigma_log: float
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.median_length_um, "median_length_um")
+        ensure_positive(self.sigma_log, "sigma_log")
+
+    @property
+    def mean_um(self) -> float:
+        return self.median_length_um * math.exp(0.5 * self.sigma_log ** 2)
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.lognormal(
+            mean=math.log(self.median_length_um), sigma=self.sigma_log, size=size
+        )
+
+
+@dataclass(frozen=True)
+class LengthVariationResult:
+    """Relaxation factors under a CNT length distribution."""
+
+    mean_length_um: float
+    naive_relaxation: float
+    effective_relaxation: float
+    devices_per_segment_mean: float
+    empty_segment_fraction: float
+
+    @property
+    def ratio_to_naive(self) -> float:
+        """effective / naive relaxation.
+
+        Always ≥ 1 under the perfect-within-tube-correlation assumption:
+        occupied segments are length-biased, so the average number of devices
+        sharing a segment is at least the naive E[L]·Pmin-CNFET estimate.
+        """
+        if self.naive_relaxation == 0:
+            return float("nan")
+        return self.effective_relaxation / self.naive_relaxation
+
+
+class LengthVariationStudy:
+    """Quantifies the correlation benefit under random CNT lengths.
+
+    Parameters
+    ----------
+    min_cnfet_density_per_um:
+        Small-CNFET linear density Pmin-CNFET (FETs/µm).
+    device_failure_probability:
+        Device-level pF at the operating point of interest; the effective
+        relaxation depends (weakly) on it through the segment failure
+        saturation.
+    """
+
+    def __init__(
+        self,
+        min_cnfet_density_per_um: float = 1.8,
+        device_failure_probability: float = 1.0e-6,
+    ) -> None:
+        self.density_per_um = ensure_positive(
+            min_cnfet_density_per_um, "min_cnfet_density_per_um"
+        )
+        if not 0.0 < device_failure_probability < 1.0:
+            raise ValueError("device_failure_probability must lie in (0, 1)")
+        self.device_failure_probability = float(device_failure_probability)
+
+    # ------------------------------------------------------------------
+    # Core computation
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self,
+        distribution: CNTLengthDistribution,
+        n_segments: int = 200_000,
+        rng: Optional[np.random.Generator] = None,
+    ) -> LengthVariationResult:
+        """Compute the naive and effective relaxation for a length distribution.
+
+        The effective relaxation is defined through the chip failure
+        probability: with ``m_i`` devices in segment ``i`` and per-device
+        failure probability ``pF``,
+
+        ``P{chip fails} ≈ Σ_i P{segment i fails} = Σ_{i occupied} pF``
+
+        for the aligned case versus ``Σ_i m_i · pF`` for the uncorrelated
+        case; segments with zero devices contribute nothing to either sum.
+        The ratio of the two sums — the mean number of devices per occupied
+        segment — is the effective relaxation.
+        """
+        rng = rng or np.random.default_rng(20100614)
+        lengths = distribution.sample(n_segments, rng)
+        devices = rng.poisson(lengths * self.density_per_um)
+        p_f = self.device_failure_probability
+
+        # Uncorrelated chip failure weight: every device is its own chance.
+        uncorrelated_weight = float(np.sum(devices)) * p_f
+        # Aligned chip failure weight: one chance per non-empty segment
+        # (a segment with zero devices cannot fail and contributes nothing).
+        occupied = devices > 0
+        aligned_weight = float(np.sum(occupied)) * p_f
+
+        if aligned_weight == 0.0:
+            effective = float("inf") if uncorrelated_weight > 0 else 1.0
+        else:
+            effective = uncorrelated_weight / aligned_weight
+
+        return LengthVariationResult(
+            mean_length_um=float(np.mean(lengths)),
+            naive_relaxation=distribution.mean_um * self.density_per_um,
+            effective_relaxation=effective,
+            devices_per_segment_mean=float(np.mean(devices)),
+            empty_segment_fraction=float(np.mean(~occupied)),
+        )
+
+    def sweep_mean_length(
+        self,
+        mean_lengths_um: Iterable[float],
+        distribution_family: str = "exponential",
+        n_segments: int = 100_000,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[LengthVariationResult]:
+        """Effective relaxation versus mean CNT length (the ablation sweep).
+
+        ``distribution_family`` selects "fixed", "exponential" or "lognormal"
+        (with a fixed shape of σ_log = 0.5 for the lognormal).
+        """
+        rng = rng or np.random.default_rng(20100615)
+        results: List[LengthVariationResult] = []
+        for mean_um in mean_lengths_um:
+            mean_um = float(mean_um)
+            if distribution_family == "fixed":
+                dist: CNTLengthDistribution = FixedLengthDistribution(mean_um)
+            elif distribution_family == "exponential":
+                dist = ExponentialLengthDistribution(mean_um)
+            elif distribution_family == "lognormal":
+                sigma = 0.5
+                median = mean_um / math.exp(0.5 * sigma ** 2)
+                dist = LognormalLengthDistribution(median, sigma)
+            else:
+                raise ValueError(
+                    f"unknown distribution_family {distribution_family!r}"
+                )
+            results.append(self.evaluate(dist, n_segments=n_segments, rng=rng))
+        return results

@@ -1,0 +1,58 @@
+"""Standard-cell substrate.
+
+The paper's layout-level contribution — the aligned-active restriction — is
+a transformation on standard-cell libraries, so the reproduction needs a
+cell-library substrate:
+
+* :mod:`repro.cells.geometry` — rectangles, placement grids and snapping.
+* :mod:`repro.cells.cell` — transistors, intra-cell active regions and the
+  :class:`StandardCell` object.
+* :mod:`repro.cells.library` — the :class:`CellLibrary` container with
+  library-wide statistics.
+* :mod:`repro.cells.nangate45` — a procedurally generated 134-cell library
+  standing in for the Nangate 45 nm Open Cell Library.
+* :mod:`repro.cells.commercial65` — a procedurally generated 775-cell
+  library standing in for the commercial 65 nm library of Table 2.
+* :mod:`repro.cells.aligned_active` — the aligned-active enforcement
+  heuristic of Sec. 3.2.
+* :mod:`repro.cells.area` — library-level area-penalty statistics (Table 2).
+* :mod:`repro.cells.export` — LEF-style / Liberty-style text views of the
+  libraries (and their aligned-active variants).
+"""
+
+from repro.cells.geometry import Rect, PlacementGrid
+from repro.cells.cell import CellTransistor, StandardCell, CellActiveRegion
+from repro.cells.library import CellLibrary, LibraryStatistics
+from repro.cells.nangate45 import build_nangate45_library
+from repro.cells.commercial65 import build_commercial65_library
+from repro.cells.aligned_active import (
+    AlignedActiveTransform,
+    CellAlignmentResult,
+    LibraryAlignmentResult,
+)
+from repro.cells.area import AreaPenaltyReport, area_penalty_report
+from repro.cells.export import (
+    export_liberty_view,
+    export_physical_view,
+    parse_physical_view,
+)
+
+__all__ = [
+    "Rect",
+    "PlacementGrid",
+    "CellTransistor",
+    "StandardCell",
+    "CellActiveRegion",
+    "CellLibrary",
+    "LibraryStatistics",
+    "build_nangate45_library",
+    "build_commercial65_library",
+    "AlignedActiveTransform",
+    "CellAlignmentResult",
+    "LibraryAlignmentResult",
+    "AreaPenaltyReport",
+    "area_penalty_report",
+    "export_liberty_view",
+    "export_physical_view",
+    "parse_physical_view",
+]

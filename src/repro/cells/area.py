@@ -1,0 +1,133 @@
+"""Library-level area-penalty statistics (Table 2).
+
+Given a :class:`~repro.cells.aligned_active.LibraryAlignmentResult`, this
+module condenses it into the quantities Table 2 of the paper reports per
+library and per aligned-region-count variant:
+
+* total number of standard cells,
+* number / fraction of cells with an area penalty,
+* minimum and maximum width penalty among the penalised cells,
+* the Wmin the restriction was enforced against.
+
+It also provides a design-level area estimator: the area impact of a cell
+library change on a placed design depends on how often each cell is
+instantiated, so the report can be weighted by an instance-count profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.cells.aligned_active import LibraryAlignmentResult
+
+
+@dataclass(frozen=True)
+class AreaPenaltyReport:
+    """Condensed per-library area statistics (one column of Table 2)."""
+
+    library_name: str
+    wmin_nm: float
+    aligned_region_groups: int
+    cell_count: int
+    penalised_cell_count: int
+    min_penalty: float
+    max_penalty: float
+    mean_penalty_over_penalised: float
+
+    @property
+    def penalised_fraction(self) -> float:
+        """Fraction of cells with an area penalty."""
+        if self.cell_count == 0:
+            return 0.0
+        return self.penalised_cell_count / self.cell_count
+
+    @property
+    def min_penalty_percent(self) -> float:
+        """Minimum penalty in percent (Table 2's "Min penalty")."""
+        return 100.0 * self.min_penalty
+
+    @property
+    def max_penalty_percent(self) -> float:
+        """Maximum penalty in percent (Table 2's "Max penalty")."""
+        return 100.0 * self.max_penalty
+
+    def as_table_row(self) -> Dict[str, object]:
+        """Row dictionary used by the reporting layer and benchmarks."""
+        return {
+            "library": self.library_name,
+            "aligned_regions": self.aligned_region_groups,
+            "num_cells": self.cell_count,
+            "cells_with_penalty": self.penalised_cell_count,
+            "cells_with_penalty_pct": 100.0 * self.penalised_fraction,
+            "min_penalty_pct": self.min_penalty_percent,
+            "max_penalty_pct": self.max_penalty_percent,
+            "wmin_nm": self.wmin_nm,
+        }
+
+
+def area_penalty_report(result: LibraryAlignmentResult) -> AreaPenaltyReport:
+    """Summarise a library alignment result into an :class:`AreaPenaltyReport`."""
+    penalised = result.penalised_cells
+    if penalised:
+        mean_penalty = sum(r.width_penalty for r in penalised) / len(penalised)
+    else:
+        mean_penalty = 0.0
+    return AreaPenaltyReport(
+        library_name=result.library_name,
+        wmin_nm=result.wmin_nm,
+        aligned_region_groups=result.aligned_region_groups,
+        cell_count=result.cell_count,
+        penalised_cell_count=result.penalised_cell_count,
+        min_penalty=result.min_penalty,
+        max_penalty=result.max_penalty,
+        mean_penalty_over_penalised=mean_penalty,
+    )
+
+
+def design_area_increase(
+    result: LibraryAlignmentResult,
+    instance_counts: Mapping[str, float],
+    ignore_missing: bool = True,
+) -> float:
+    """Fractional placed-area increase of a design using the modified library.
+
+    Parameters
+    ----------
+    result:
+        Library alignment result.
+    instance_counts:
+        Mapping cell name -> number of instances in the design.
+    ignore_missing:
+        If True, instances of cells absent from the library result are
+        skipped; otherwise a ``KeyError`` is raised.
+    """
+    area_before = 0.0
+    area_after = 0.0
+    by_name = {r.original.name: r for r in result.cell_results}
+    for cell_name, count in instance_counts.items():
+        cell_result = by_name.get(cell_name)
+        if cell_result is None:
+            if ignore_missing:
+                continue
+            raise KeyError(f"cell {cell_name!r} not present in alignment result")
+        area_before += count * cell_result.original.area_nm2
+        area_after += count * cell_result.modified.area_nm2
+    if area_before == 0.0:
+        return 0.0
+    return area_after / area_before - 1.0
+
+
+def compare_region_variants(
+    reports: Sequence[AreaPenaltyReport],
+) -> Dict[int, AreaPenaltyReport]:
+    """Index area reports by their aligned-region-group count.
+
+    Table 2 contrasts the one-region and two-region variants of the 65 nm
+    library; this helper keys a collection of reports so benchmarks can print
+    them side by side.
+    """
+    indexed: Dict[int, AreaPenaltyReport] = {}
+    for report in reports:
+        indexed[report.aligned_region_groups] = report
+    return indexed

@@ -1,0 +1,296 @@
+"""Standard-cell model: transistors, intra-cell active regions, cells.
+
+The reproduction needs just enough of a standard-cell abstraction to carry
+out the paper's analyses:
+
+* per-transistor widths (for the width histogram and the yield model),
+* per-transistor placement inside the cell in terms of *columns* (gate-pitch
+  slots along x) and *row slots* (vertical stacking positions inside the
+  n- or p-strip), because vertical stacking is what makes the aligned-active
+  restriction expensive for some cells,
+* the cell width in placement sites (for area-penalty accounting),
+* pin positions (retained as much as possible by the transform, mirroring
+  the paper's statement that I/O pin locations were preserved).
+
+The model is deliberately not a polygon-level layout database; every figure
+and table of the paper depends only on the quantities above.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.device.active_region import ActiveRegion, Polarity
+from repro.units import ensure_positive
+
+
+class CellFamily(enum.Enum):
+    """Coarse functional family of a standard cell."""
+
+    COMBINATIONAL = "combinational"
+    BUFFER = "buffer"
+    SEQUENTIAL = "sequential"
+    PHYSICAL = "physical"  # filler, tap, antenna, tie cells
+
+
+@dataclass(frozen=True)
+class CellTransistor:
+    """One transistor inside a standard cell.
+
+    Parameters
+    ----------
+    name:
+        Device name unique within the cell (e.g. ``"MN0"``).
+    polarity:
+        n-type or p-type.
+    width_nm:
+        Device width (the CNFET width W).
+    column:
+        Index of the gate-pitch column the device occupies along x.
+    row_slot:
+        Vertical stacking slot inside the polarity strip.  Slot 0 is adjacent
+        to the power rail; slot 1 (and above) indicates a device stacked
+        further from the rail in the same column — the configuration that
+        conflicts with a single aligned active band.
+    """
+
+    name: str
+    polarity: Polarity
+    width_nm: float
+    column: int
+    row_slot: int = 0
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.width_nm, "width_nm")
+        if self.column < 0:
+            raise ValueError(f"column must be non-negative, got {self.column}")
+        if self.row_slot < 0:
+            raise ValueError(f"row_slot must be non-negative, got {self.row_slot}")
+
+    def resized(self, new_width_nm: float) -> "CellTransistor":
+        """Copy with a new width (used by upsizing)."""
+        return replace(self, width_nm=float(new_width_nm))
+
+    def moved(self, column: Optional[int] = None, row_slot: Optional[int] = None) -> "CellTransistor":
+        """Copy placed at a different column and/or row slot."""
+        return replace(
+            self,
+            column=self.column if column is None else int(column),
+            row_slot=self.row_slot if row_slot is None else int(row_slot),
+        )
+
+
+@dataclass(frozen=True)
+class CellPin:
+    """A cell I/O pin with its x offset (in columns) inside the cell."""
+
+    name: str
+    column: int
+    direction: str = "input"
+
+    def __post_init__(self) -> None:
+        if self.column < 0:
+            raise ValueError(f"column must be non-negative, got {self.column}")
+        if self.direction not in ("input", "output", "inout"):
+            raise ValueError(f"invalid pin direction {self.direction!r}")
+
+
+@dataclass(frozen=True)
+class CellActiveRegion:
+    """An intra-cell active region: one transistor's diffusion window."""
+
+    transistor: CellTransistor
+    region: ActiveRegion
+
+    @property
+    def is_critical(self) -> bool:
+        """Placeholder; criticality is decided against Wmin by the transform."""
+        return False
+
+
+@dataclass
+class StandardCell:
+    """A standard cell: named transistor placement plus outline geometry.
+
+    Parameters
+    ----------
+    name:
+        Library cell name, e.g. ``"AOI222_X1"``.
+    family:
+        Functional family (combinational, buffer, sequential, physical).
+    transistors:
+        The cell's devices with their intra-cell placement.
+    n_columns:
+        Number of gate-pitch columns the cell occupies along x.
+    gate_pitch_nm:
+        Width of one column (the placement site width).
+    height_nm:
+        Standard-cell row height (fixed per library).
+    pins:
+        Cell I/O pins.
+    drive_strength:
+        Numeric drive strength (1 for X1, 2 for X2, ...).
+    """
+
+    name: str
+    family: CellFamily
+    transistors: Tuple[CellTransistor, ...]
+    n_columns: int
+    gate_pitch_nm: float
+    height_nm: float
+    pins: Tuple[CellPin, ...] = field(default_factory=tuple)
+    drive_strength: float = 1.0
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.gate_pitch_nm, "gate_pitch_nm")
+        ensure_positive(self.height_nm, "height_nm")
+        if self.n_columns <= 0:
+            raise ValueError(f"n_columns must be positive, got {self.n_columns}")
+        max_col = max((t.column for t in self.transistors), default=-1)
+        if max_col >= self.n_columns:
+            raise ValueError(
+                f"cell {self.name}: transistor column {max_col} exceeds "
+                f"n_columns={self.n_columns}"
+            )
+        names = [t.name for t in self.transistors]
+        if len(names) != len(set(names)):
+            raise ValueError(f"cell {self.name}: duplicate transistor names")
+
+    # ------------------------------------------------------------------
+    # Dimensions
+    # ------------------------------------------------------------------
+
+    @property
+    def width_nm(self) -> float:
+        """Cell width along the placement row."""
+        return self.n_columns * self.gate_pitch_nm
+
+    @property
+    def area_nm2(self) -> float:
+        """Cell area (width × row height)."""
+        return self.width_nm * self.height_nm
+
+    @property
+    def transistor_count(self) -> int:
+        """Number of devices in the cell."""
+        return len(self.transistors)
+
+    # ------------------------------------------------------------------
+    # Device queries
+    # ------------------------------------------------------------------
+
+    def transistors_of(self, polarity: Polarity) -> List[CellTransistor]:
+        """Devices of one polarity."""
+        return [t for t in self.transistors if t.polarity is polarity]
+
+    def transistor_widths_nm(self, polarity: Optional[Polarity] = None) -> List[float]:
+        """Widths of all devices (optionally one polarity)."""
+        devices = self.transistors if polarity is None else self.transistors_of(polarity)
+        return [t.width_nm for t in devices]
+
+    def min_transistor_width_nm(self) -> float:
+        """Smallest device width in the cell."""
+        if not self.transistors:
+            raise ValueError(f"cell {self.name} has no transistors")
+        return min(t.width_nm for t in self.transistors)
+
+    def columns_with_stacking(self, polarity: Polarity) -> Dict[int, int]:
+        """Columns where more than one device of a polarity is stacked.
+
+        Returns a mapping ``column -> number of occupied row slots``; only
+        columns with two or more slots are included.  These are the columns
+        that conflict with a single aligned active band.
+        """
+        slots: Dict[int, set] = {}
+        for t in self.transistors_of(polarity):
+            slots.setdefault(t.column, set()).add(t.row_slot)
+        return {col: len(s) for col, s in slots.items() if len(s) > 1}
+
+    def max_stacking_depth(self) -> int:
+        """Largest number of vertically stacked devices in any column."""
+        depth = 1 if self.transistors else 0
+        for polarity in (Polarity.NFET, Polarity.PFET):
+            stacked = self.columns_with_stacking(polarity)
+            if stacked:
+                depth = max(depth, max(stacked.values()))
+        return depth
+
+    # ------------------------------------------------------------------
+    # Active-region extraction
+    # ------------------------------------------------------------------
+
+    def active_regions(
+        self,
+        n_strip_y_nm: float = 0.0,
+        p_strip_y_nm: Optional[float] = None,
+        slot_pitch_nm: Optional[float] = None,
+        x_origin_nm: float = 0.0,
+    ) -> List[CellActiveRegion]:
+        """Materialise one :class:`ActiveRegion` per transistor.
+
+        Parameters
+        ----------
+        n_strip_y_nm:
+            y-coordinate of the bottom of the n-strip.
+        p_strip_y_nm:
+            y-coordinate of the bottom of the p-strip; defaults to the upper
+            half of the cell.
+        slot_pitch_nm:
+            Vertical offset between stacked row slots; defaults to 40 % of
+            the cell height divided by the deepest stack.
+        x_origin_nm:
+            x-coordinate of the cell's left edge (for placed cells).
+        """
+        if p_strip_y_nm is None:
+            p_strip_y_nm = 0.55 * self.height_nm
+        if slot_pitch_nm is None:
+            depth = max(self.max_stacking_depth(), 1)
+            slot_pitch_nm = 0.4 * self.height_nm / depth
+
+        regions: List[CellActiveRegion] = []
+        for t in self.transistors:
+            base_y = n_strip_y_nm if t.polarity is Polarity.NFET else p_strip_y_nm
+            y = base_y + t.row_slot * slot_pitch_nm
+            region = ActiveRegion(
+                x_nm=x_origin_nm + t.column * self.gate_pitch_nm,
+                y_nm=y,
+                length_nm=self.gate_pitch_nm,
+                width_nm=t.width_nm,
+                polarity=t.polarity,
+            )
+            regions.append(CellActiveRegion(transistor=t, region=region))
+        return regions
+
+    # ------------------------------------------------------------------
+    # Copy-on-modify helpers used by the aligned-active transform
+    # ------------------------------------------------------------------
+
+    def with_transistors(
+        self, transistors: Sequence[CellTransistor], n_columns: Optional[int] = None
+    ) -> "StandardCell":
+        """Copy of the cell with a new transistor list (and optionally width)."""
+        return StandardCell(
+            name=self.name,
+            family=self.family,
+            transistors=tuple(transistors),
+            n_columns=self.n_columns if n_columns is None else int(n_columns),
+            gate_pitch_nm=self.gate_pitch_nm,
+            height_nm=self.height_nm,
+            pins=self.pins,
+            drive_strength=self.drive_strength,
+        )
+
+    def renamed(self, new_name: str) -> "StandardCell":
+        """Copy of the cell under a different name."""
+        return StandardCell(
+            name=new_name,
+            family=self.family,
+            transistors=self.transistors,
+            n_columns=self.n_columns,
+            gate_pitch_nm=self.gate_pitch_nm,
+            height_nm=self.height_nm,
+            pins=self.pins,
+            drive_strength=self.drive_strength,
+        )

@@ -1,0 +1,189 @@
+"""Text exporters for the synthetic standard-cell libraries.
+
+Downstream EDA users expect a cell library to come with machine-readable
+views.  This module emits two simple, self-consistent text formats for the
+synthetic libraries:
+
+* a **LEF-style** physical view (cell outline, site width, per-transistor
+  active-region rectangles and pin positions), and
+* a **Liberty-style** logical/electrical view (cell area, drive strength,
+  per-pin direction and capacitance from the width-proportional model).
+
+The emitters are intentionally a structured subset of the real formats —
+enough for the parsers in this package (and for human inspection / diffing
+of library variants, e.g. before and after the aligned-active transform),
+without claiming full LEF/Liberty compliance.  A small parser for the
+physical view is provided so round-tripping can be tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cells.cell import StandardCell
+from repro.cells.library import CellLibrary
+from repro.device.capacitance import GateCapacitanceModel
+
+
+# ---------------------------------------------------------------------------
+# Physical (LEF-style) view
+# ---------------------------------------------------------------------------
+
+def export_physical_view(library: CellLibrary) -> str:
+    """Emit a LEF-style physical description of every cell in the library."""
+    lines: List[str] = [
+        f"LIBRARY {library.name}",
+        "UNITS NANOMETERS",
+        "",
+    ]
+    for cell in library:
+        lines.append(f"MACRO {cell.name}")
+        lines.append(f"  CLASS {cell.family.value.upper()}")
+        lines.append(f"  SIZE {cell.width_nm:.1f} BY {cell.height_nm:.1f}")
+        lines.append(f"  SITEWIDTH {cell.gate_pitch_nm:.1f}")
+        for region in cell.active_regions():
+            t = region.transistor
+            r = region.region
+            lines.append(
+                "  ACTIVE "
+                f"{t.name} {t.polarity.value.upper()} "
+                f"RECT {r.x_nm:.1f} {r.y_nm:.1f} {r.x_end_nm:.1f} {r.y_end_nm:.1f}"
+            )
+        for pin in cell.pins:
+            lines.append(
+                f"  PIN {pin.name} DIRECTION {pin.direction.upper()} "
+                f"COLUMN {pin.column}"
+            )
+        lines.append("END MACRO")
+        lines.append("")
+    lines.append(f"END LIBRARY {library.name}")
+    return "\n".join(lines)
+
+
+@dataclass
+class ParsedMacro:
+    """A macro read back from the physical view."""
+
+    name: str
+    cell_class: str
+    width_nm: float
+    height_nm: float
+    active_rects: List[Dict[str, float]]
+    pins: List[Dict[str, str]]
+
+    @property
+    def transistor_count(self) -> int:
+        """Number of active-region rectangles (one per transistor)."""
+        return len(self.active_rects)
+
+
+def parse_physical_view(text: str) -> Dict[str, ParsedMacro]:
+    """Parse the LEF-style physical view back into per-macro summaries.
+
+    Only the structure emitted by :func:`export_physical_view` is accepted;
+    unknown statements raise ``ValueError`` so format drift is caught by the
+    round-trip tests.
+    """
+    macros: Dict[str, ParsedMacro] = {}
+    current: Optional[ParsedMacro] = None
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith(("LIBRARY", "UNITS", "END LIBRARY")):
+            continue
+        tokens = line.split()
+        keyword = tokens[0]
+        if keyword == "MACRO":
+            current = ParsedMacro(
+                name=tokens[1], cell_class="", width_nm=0.0, height_nm=0.0,
+                active_rects=[], pins=[],
+            )
+        elif keyword == "END" and len(tokens) > 1 and tokens[1] == "MACRO":
+            if current is None:
+                raise ValueError("END MACRO without MACRO")
+            macros[current.name] = current
+            current = None
+        elif current is None:
+            raise ValueError(f"statement outside MACRO: {line!r}")
+        elif keyword == "CLASS":
+            current.cell_class = tokens[1]
+        elif keyword == "SIZE":
+            current.width_nm = float(tokens[1])
+            current.height_nm = float(tokens[3])
+        elif keyword == "SITEWIDTH":
+            continue
+        elif keyword == "ACTIVE":
+            current.active_rects.append({
+                "name": tokens[1],
+                "polarity": tokens[2],
+                "x1": float(tokens[4]), "y1": float(tokens[5]),
+                "x2": float(tokens[6]), "y2": float(tokens[7]),
+            })
+        elif keyword == "PIN":
+            current.pins.append({
+                "name": tokens[1],
+                "direction": tokens[3],
+                "column": tokens[5],
+            })
+        else:
+            raise ValueError(f"unknown statement: {line!r}")
+    if current is not None:
+        raise ValueError(f"unterminated MACRO {current.name}")
+    return macros
+
+
+# ---------------------------------------------------------------------------
+# Logical/electrical (Liberty-style) view
+# ---------------------------------------------------------------------------
+
+def export_liberty_view(
+    library: CellLibrary,
+    capacitance_model: Optional[GateCapacitanceModel] = None,
+) -> str:
+    """Emit a Liberty-style logical/electrical description of the library.
+
+    Input-pin capacitance is computed from the width-proportional gate
+    capacitance of the transistors in the pin's column — the same model the
+    upsizing-penalty metric uses, so library variants can be compared on
+    total input capacitance directly from this view.
+    """
+    capacitance_model = capacitance_model or GateCapacitanceModel()
+    lines: List[str] = [f'library ("{library.name}") {{', '  unit_scale : "nm, aF";']
+    for cell in library:
+        lines.append(f'  cell ("{cell.name}") {{')
+        lines.append(f"    area : {cell.area_nm2 / 1.0e6:.4f};")
+        lines.append(f"    drive_strength : {cell.drive_strength:g};")
+        lines.append(f'    cell_family : "{cell.family.value}";')
+        per_column_cap: Dict[int, float] = {}
+        for t in cell.transistors:
+            per_column_cap[t.column] = per_column_cap.get(t.column, 0.0) + (
+                capacitance_model.device_capacitance_af(t.width_nm)
+            )
+        for pin in cell.pins:
+            lines.append(f'    pin ("{pin.name}") {{')
+            lines.append(f"      direction : {pin.direction};")
+            if pin.direction == "input":
+                cap = per_column_cap.get(pin.column, 0.0)
+                lines.append(f"      capacitance : {cap:.2f};")
+            lines.append("    }")
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def total_input_capacitance_af(
+    liberty_text: str,
+) -> float:
+    """Sum every ``capacitance :`` entry in a Liberty-style view.
+
+    Used to compare library variants (e.g. before/after aligned-active
+    enforcement) on total input capacitance without re-deriving it from the
+    cell objects.
+    """
+    total = 0.0
+    for line in liberty_text.splitlines():
+        line = line.strip()
+        if line.startswith("capacitance :"):
+            value = line.split(":", 1)[1].strip().rstrip(";")
+            total += float(value)
+    return total

@@ -1,0 +1,123 @@
+"""Layout geometry primitives for the standard-cell substrate.
+
+Coordinates follow the convention of :mod:`repro.device.active_region`:
+``x`` runs along the placement row (the CNT growth direction), ``y`` runs
+across the row (the device-width axis).  All lengths are in nanometres.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.units import ensure_positive
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Axis-aligned rectangle in layout coordinates (nm)."""
+
+    x_nm: float
+    y_nm: float
+    width_x_nm: float
+    height_y_nm: float
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.width_x_nm, "width_x_nm")
+        ensure_positive(self.height_y_nm, "height_y_nm")
+
+    @property
+    def x_end_nm(self) -> float:
+        """Right edge."""
+        return self.x_nm + self.width_x_nm
+
+    @property
+    def y_end_nm(self) -> float:
+        """Top edge."""
+        return self.y_nm + self.height_y_nm
+
+    @property
+    def area_nm2(self) -> float:
+        """Rectangle area in nm²."""
+        return self.width_x_nm * self.height_y_nm
+
+    def overlaps(self, other: "Rect") -> bool:
+        """True when the two rectangles overlap with positive area."""
+        return (
+            self.x_nm < other.x_end_nm
+            and other.x_nm < self.x_end_nm
+            and self.y_nm < other.y_end_nm
+            and other.y_nm < self.y_end_nm
+        )
+
+    def contains_point(self, x_nm: float, y_nm: float) -> bool:
+        """True when (x, y) lies inside or on the boundary of the rectangle."""
+        return (
+            self.x_nm <= x_nm <= self.x_end_nm
+            and self.y_nm <= y_nm <= self.y_end_nm
+        )
+
+    def translated(self, dx_nm: float = 0.0, dy_nm: float = 0.0) -> "Rect":
+        """Copy of the rectangle shifted by (dx, dy)."""
+        return Rect(
+            x_nm=self.x_nm + dx_nm,
+            y_nm=self.y_nm + dy_nm,
+            width_x_nm=self.width_x_nm,
+            height_y_nm=self.height_y_nm,
+        )
+
+
+@dataclass(frozen=True)
+class PlacementGrid:
+    """A one-dimensional grid used to snap active-region y-coordinates.
+
+    The aligned-active restriction of Sec. 3.2 places all critical active
+    regions on "a globally defined grid": a fixed y-origin per polarity.
+    This object captures that grid and provides snapping.
+
+    Parameters
+    ----------
+    origin_nm:
+        y-coordinate of the first grid line.
+    pitch_nm:
+        Spacing between grid lines.  A single aligned band corresponds to one
+        grid line; the two-aligned-region variant of Sec. 3.3 uses two.
+    """
+
+    origin_nm: float
+    pitch_nm: float
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.pitch_nm, "pitch_nm")
+
+    def line(self, index: int) -> float:
+        """y-coordinate of grid line ``index``."""
+        return self.origin_nm + index * self.pitch_nm
+
+    def snap(self, y_nm: float) -> float:
+        """y-coordinate of the nearest grid line."""
+        index = round((y_nm - self.origin_nm) / self.pitch_nm)
+        return self.line(int(index))
+
+    def snap_index(self, y_nm: float) -> int:
+        """Index of the nearest grid line."""
+        return int(round((y_nm - self.origin_nm) / self.pitch_nm))
+
+    def distance_to_grid(self, y_nm: float) -> float:
+        """Absolute distance from ``y_nm`` to the nearest grid line."""
+        return abs(y_nm - self.snap(y_nm))
+
+    def is_on_grid(self, y_nm: float, tolerance_nm: float = 1e-6) -> bool:
+        """True when ``y_nm`` coincides with a grid line (within tolerance)."""
+        return self.distance_to_grid(y_nm) <= tolerance_nm
+
+
+def snap_up(value_nm: float, step_nm: float) -> float:
+    """Round ``value_nm`` up to the next multiple of ``step_nm``.
+
+    Used when widening cells: cell widths must remain integral multiples of
+    the placement site (gate pitch), so any extra width is rounded up to the
+    next site boundary.
+    """
+    ensure_positive(step_nm, "step_nm")
+    return math.ceil(value_nm / step_nm - 1e-12) * step_nm

@@ -1,0 +1,122 @@
+"""The standard-cell library container and library-wide statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cells.cell import CellFamily, StandardCell
+from repro.device.active_region import Polarity
+
+
+@dataclass(frozen=True)
+class LibraryStatistics:
+    """Summary statistics over all cells of a library."""
+
+    cell_count: int
+    transistor_count: int
+    min_transistor_width_nm: float
+    max_transistor_width_nm: float
+    mean_transistor_width_nm: float
+    sequential_cell_count: int
+    combinational_cell_count: int
+
+
+class CellLibrary:
+    """A named collection of :class:`~repro.cells.cell.StandardCell` objects.
+
+    Cells are keyed by name; iteration order is insertion order, which the
+    procedural builders keep deterministic so statistics and benchmarks are
+    reproducible.
+    """
+
+    def __init__(self, name: str, cells: Optional[Iterable[StandardCell]] = None) -> None:
+        self.name = name
+        self._cells: Dict[str, StandardCell] = {}
+        for cell in cells or ():
+            self.add(cell)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+
+    def add(self, cell: StandardCell) -> None:
+        """Add a cell; raises if a cell of the same name already exists."""
+        if cell.name in self._cells:
+            raise ValueError(f"library {self.name} already contains cell {cell.name}")
+        self._cells[cell.name] = cell
+
+    def replace(self, cell: StandardCell) -> None:
+        """Add or overwrite a cell (used by library transforms)."""
+        self._cells[cell.name] = cell
+
+    def get(self, name: str) -> StandardCell:
+        """Look up a cell by name; raises ``KeyError`` with context if absent."""
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise KeyError(
+                f"cell {name!r} not found in library {self.name!r} "
+                f"({len(self._cells)} cells)"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __iter__(self) -> Iterator[StandardCell]:
+        return iter(self._cells.values())
+
+    @property
+    def cell_names(self) -> List[str]:
+        """Names of all cells in insertion order."""
+        return list(self._cells)
+
+    # ------------------------------------------------------------------
+    # Library-wide views
+    # ------------------------------------------------------------------
+
+    def cells_of_family(self, family: CellFamily) -> List[StandardCell]:
+        """All cells of one functional family."""
+        return [c for c in self if c.family is family]
+
+    def all_transistor_widths_nm(
+        self, polarity: Optional[Polarity] = None
+    ) -> np.ndarray:
+        """Widths of every transistor in the library."""
+        widths: List[float] = []
+        for cell in self:
+            widths.extend(cell.transistor_widths_nm(polarity))
+        return np.asarray(widths, dtype=float)
+
+    def width_histogram(
+        self, bin_edges_nm: Iterable[float]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Histogram of library transistor widths over the given bin edges."""
+        widths = self.all_transistor_widths_nm()
+        edges = np.asarray(list(bin_edges_nm), dtype=float)
+        counts, edges = np.histogram(widths, bins=edges)
+        return counts, edges
+
+    def statistics(self) -> LibraryStatistics:
+        """Library-wide summary statistics."""
+        widths = self.all_transistor_widths_nm()
+        if widths.size == 0:
+            raise ValueError(f"library {self.name} has no transistors")
+        return LibraryStatistics(
+            cell_count=len(self),
+            transistor_count=int(widths.size),
+            min_transistor_width_nm=float(widths.min()),
+            max_transistor_width_nm=float(widths.max()),
+            mean_transistor_width_nm=float(widths.mean()),
+            sequential_cell_count=len(self.cells_of_family(CellFamily.SEQUENTIAL)),
+            combinational_cell_count=len(self.cells_of_family(CellFamily.COMBINATIONAL)),
+        )
+
+    def copy(self, new_name: Optional[str] = None) -> "CellLibrary":
+        """Shallow copy of the library (cells are immutable value objects)."""
+        return CellLibrary(new_name or self.name, cells=list(self))

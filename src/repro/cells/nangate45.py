@@ -1,0 +1,325 @@
+"""A procedurally generated 134-cell library standing in for Nangate 45 nm.
+
+The paper evaluates its aligned-active heuristic on the Nangate 45 nm Open
+Cell Library (134 cells), slightly modified for CNFET technology as in
+[Bobba 09].  The actual library is a proprietary download, so this module
+builds a synthetic equivalent with the same *shape*:
+
+* 134 cells spanning the usual families (inverters/buffers, NAND/NOR/AND/OR,
+  AOI/OAI complex gates, XOR/MUX/adders, tri-states, flip-flops with
+  set/reset/scan, latches, clock gates, and physical cells),
+* multiple drive strengths per function,
+* per-transistor widths quantised to the 80 nm unit that produces the
+  80/160/240/320 nm histogram bins of Fig. 2.2a,
+* a small number of cells (the high fan-in AOI222/OAI222/OAI33 gates and the
+  largest scan flip-flop) whose minimum-size devices are vertically stacked
+  inside a column — the structural property that makes the aligned-active
+  restriction cost area in exactly a handful of cells, as the paper reports
+  (4 cells out of 134, with the AOI222_X1 example of Fig. 3.2 growing ~9 %).
+
+Only properties consumed by the paper's analyses are modelled: widths,
+column placement, vertical stacking, pins and cell outline dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cells.cell import CellFamily, CellPin, CellTransistor, StandardCell
+from repro.cells.library import CellLibrary
+from repro.device.active_region import Polarity
+
+#: Width quantum: the n-device width of an X1 gate.
+BASE_WIDTH_NM = 80.0
+#: P/N width ratio used for simple gates.
+PN_RATIO = 2.0
+#: Standard-cell row height of the synthetic 45 nm library.
+ROW_HEIGHT_NM = 1400.0
+#: Gate-pitch (placement site) width.
+GATE_PITCH_NM = 190.0
+
+
+@dataclass(frozen=True)
+class CellTemplate:
+    """Parametric description of a cell function, expanded per drive strength.
+
+    Attributes
+    ----------
+    base_name:
+        Function name, e.g. ``"AOI222"``; cell names are
+        ``f"{base_name}_X{drive}"``.
+    family:
+        Functional family.
+    n_inputs:
+        Number of logic inputs (drives the pin list).
+    nfet_units, pfet_units:
+        Per-device width multipliers (in units of ``BASE_WIDTH_NM`` for
+        n-devices and ``BASE_WIDTH_NM * PN_RATIO`` for p-devices) for an X1
+        instance; the list length is the device count per polarity.
+    base_columns:
+        Cell width in gate-pitch columns for the X1 instance.
+    drives:
+        Drive strengths generated from this template.
+    stacked_nfet_pairs:
+        Number of columns (X1 variant only) in which two n-devices are
+        stacked vertically; these are the columns that conflict with a single
+        aligned active band.
+    extra_columns_per_drive:
+        Additional columns per unit of drive strength above 1 (wider devices
+        need folding and more diffusion area).
+    """
+
+    base_name: str
+    family: CellFamily
+    n_inputs: int
+    nfet_units: Tuple[float, ...]
+    pfet_units: Tuple[float, ...]
+    base_columns: int
+    drives: Tuple[int, ...]
+    stacked_nfet_pairs: int = 0
+    extra_columns_per_drive: float = 1.0
+    output_pins: Tuple[str, ...] = ("ZN",)
+
+
+def _pin_names(n_inputs: int) -> List[str]:
+    """Standard Nangate-style input pin names A1, A2, ... / A, B, ..."""
+    if n_inputs == 1:
+        return ["A"]
+    if n_inputs == 2:
+        return ["A1", "A2"]
+    return [f"A{i + 1}" for i in range(n_inputs)]
+
+
+def _build_cell(template: CellTemplate, drive: int) -> StandardCell:
+    """Expand one template at one drive strength into a StandardCell."""
+    transistors: List[CellTransistor] = []
+    scale = float(drive)
+    name = f"{template.base_name}_X{drive}"
+
+    n_count = len(template.nfet_units)
+    p_count = len(template.pfet_units)
+    columns = template.base_columns + int(
+        round(template.extra_columns_per_drive * (drive - 1))
+    )
+
+    # Stacked columns only exist in the X1 variant: larger drives fold their
+    # devices into wider diffusion strips instead.
+    stacked_pairs = template.stacked_nfet_pairs if drive == 1 else 0
+
+    # Assign n-devices to columns; the first `2 * stacked_pairs` devices fill
+    # the stacked columns two at a time (row slots 0 and 1).
+    column = 0
+    device_index = 0
+    for pair in range(stacked_pairs):
+        for slot in range(2):
+            units = template.nfet_units[device_index % n_count]
+            transistors.append(
+                CellTransistor(
+                    name=f"MN{device_index}",
+                    polarity=Polarity.NFET,
+                    width_nm=BASE_WIDTH_NM * units * scale,
+                    column=column,
+                    row_slot=slot,
+                )
+            )
+            device_index += 1
+        column += 1
+    while device_index < n_count:
+        units = template.nfet_units[device_index]
+        transistors.append(
+            CellTransistor(
+                name=f"MN{device_index}",
+                polarity=Polarity.NFET,
+                width_nm=BASE_WIDTH_NM * units * scale,
+                column=min(column, columns - 1),
+                row_slot=0,
+            )
+        )
+        device_index += 1
+        column += 1
+
+    for i, units in enumerate(template.pfet_units):
+        transistors.append(
+            CellTransistor(
+                name=f"MP{i}",
+                polarity=Polarity.PFET,
+                width_nm=BASE_WIDTH_NM * PN_RATIO * units * scale,
+                column=min(i, columns - 1),
+                row_slot=0,
+            )
+        )
+
+    pins = [CellPin(name=p, column=min(i, columns - 1), direction="input")
+            for i, p in enumerate(_pin_names(template.n_inputs))]
+    for j, out in enumerate(template.output_pins):
+        pins.append(CellPin(name=out, column=max(columns - 1 - j, 0), direction="output"))
+
+    return StandardCell(
+        name=name,
+        family=template.family,
+        transistors=tuple(transistors),
+        n_columns=columns,
+        gate_pitch_nm=GATE_PITCH_NM,
+        height_nm=ROW_HEIGHT_NM,
+        pins=tuple(pins),
+        drive_strength=float(drive),
+    )
+
+
+def _physical_cell(name: str, columns: int) -> StandardCell:
+    """Filler / tie / antenna cell with no (or trivial) transistor content."""
+    return StandardCell(
+        name=name,
+        family=CellFamily.PHYSICAL,
+        transistors=tuple(),
+        n_columns=columns,
+        gate_pitch_nm=GATE_PITCH_NM,
+        height_nm=ROW_HEIGHT_NM,
+        pins=tuple(),
+        drive_strength=1.0,
+    )
+
+
+def _series(units: float, count: int) -> Tuple[float, ...]:
+    """Device widths for a series stack: each device upsized by the stack depth."""
+    return tuple([units * count] * count)
+
+
+def _parallel(units: float, count: int) -> Tuple[float, ...]:
+    """Device widths for parallel devices: nominal width each."""
+    return tuple([units] * count)
+
+
+def nangate45_templates() -> List[CellTemplate]:
+    """The template list that expands to exactly 134 cells."""
+    comb = CellFamily.COMBINATIONAL
+    buf = CellFamily.BUFFER
+    seq = CellFamily.SEQUENTIAL
+
+    templates: List[CellTemplate] = [
+        # Inverters / buffers -------------------------------------------------
+        CellTemplate("INV", comb, 1, _parallel(1, 1), _parallel(1, 1), 2,
+                     (1, 2, 4, 8, 16, 32)),
+        CellTemplate("BUF", buf, 1, _parallel(1, 2), _parallel(1, 2), 3,
+                     (1, 2, 4, 8, 16, 32), output_pins=("Z",)),
+        CellTemplate("CLKBUF", buf, 1, _parallel(1, 2), _parallel(1, 2), 3,
+                     (1, 2, 3), output_pins=("Z",)),
+        # NAND / NOR ----------------------------------------------------------
+        CellTemplate("NAND2", comb, 2, _series(1, 2), _parallel(1, 2), 3, (1, 2, 4)),
+        CellTemplate("NAND3", comb, 3, _series(1, 3), _parallel(1, 3), 4, (1, 2, 4)),
+        CellTemplate("NAND4", comb, 4, _series(1, 4), _parallel(1, 4), 5, (1, 2, 4)),
+        CellTemplate("NOR2", comb, 2, _parallel(1, 2), _series(1, 2), 3, (1, 2, 4)),
+        CellTemplate("NOR3", comb, 3, _parallel(1, 3), _series(1, 3), 4, (1, 2, 4)),
+        CellTemplate("NOR4", comb, 4, _parallel(1, 4), _series(1, 4), 5, (1, 2, 4)),
+        # AND / OR (NAND/NOR + inverter) ---------------------------------------
+        CellTemplate("AND2", comb, 2, _series(1, 2) + (1,), _parallel(1, 2) + (1,),
+                     4, (1, 2, 4), output_pins=("ZN",)),
+        CellTemplate("AND3", comb, 3, _series(1, 3) + (1,), _parallel(1, 3) + (1,),
+                     5, (1, 2, 4), output_pins=("ZN",)),
+        CellTemplate("AND4", comb, 4, _series(1, 4) + (1,), _parallel(1, 4) + (1,),
+                     6, (1, 2, 4), output_pins=("ZN",)),
+        CellTemplate("OR2", comb, 2, _parallel(1, 2) + (1,), _series(1, 2) + (1,),
+                     4, (1, 2, 4), output_pins=("ZN",)),
+        CellTemplate("OR3", comb, 3, _parallel(1, 3) + (1,), _series(1, 3) + (1,),
+                     5, (1, 2, 4), output_pins=("ZN",)),
+        CellTemplate("OR4", comb, 4, _parallel(1, 4) + (1,), _series(1, 4) + (1,),
+                     6, (1, 2, 4), output_pins=("ZN",)),
+        # XOR / XNOR ----------------------------------------------------------
+        CellTemplate("XOR2", comb, 2, _parallel(2, 4), _parallel(2, 4), 6, (1, 2),
+                     output_pins=("Z",)),
+        CellTemplate("XNOR2", comb, 2, _parallel(2, 4), _parallel(2, 4), 6, (1, 2)),
+        # AOI / OAI complex gates ----------------------------------------------
+        CellTemplate("AOI21", comb, 3, _series(1, 2) + (2,), _parallel(2, 3), 4,
+                     (1, 2, 4)),
+        CellTemplate("AOI22", comb, 4, _series(1, 2) * 2, _parallel(2, 4), 5,
+                     (1, 2, 4)),
+        CellTemplate("OAI21", comb, 3, _parallel(2, 3), _series(1, 2) + (2,), 4,
+                     (1, 2, 4)),
+        CellTemplate("OAI22", comb, 4, _parallel(2, 4), _series(1, 2) * 2, 5,
+                     (1, 2, 4)),
+        CellTemplate("AOI211", comb, 4, _series(1, 2) + (2, 2), _parallel(2, 4), 6,
+                     (1, 2, 4)),
+        CellTemplate("AOI221", comb, 5, _series(1, 2) * 2 + (2,), _parallel(2, 5), 8,
+                     (1, 2, 4)),
+        # The three high fan-in gates below keep their pull-down devices at
+        # minimum width in the CNFET-flavoured library ([Bobba 09] style),
+        # and the X1 variants stack two of those minimum-size devices in one
+        # column — the structure that conflicts with a single aligned band.
+        CellTemplate("AOI222", comb, 6, _parallel(1, 6), _parallel(2, 6), 11,
+                     (1, 2, 4), stacked_nfet_pairs=1),
+        CellTemplate("OAI211", comb, 4, _parallel(2, 4), _series(1, 2) + (2, 2), 6,
+                     (1, 2, 4)),
+        CellTemplate("OAI221", comb, 5, _parallel(2, 5), _series(1, 2) * 2 + (2,), 8,
+                     (1, 2, 4)),
+        CellTemplate("OAI222", comb, 6, _parallel(1, 6), _series(1, 2) * 3, 11,
+                     (1, 2, 4), stacked_nfet_pairs=1),
+        CellTemplate("OAI33", comb, 6, _parallel(1, 6), _series(1, 3) * 2, 7,
+                     (1,), stacked_nfet_pairs=1),
+        # MUX / arithmetic ------------------------------------------------------
+        CellTemplate("MUX2", comb, 3, _parallel(2, 4) + (1, 1), _parallel(2, 4) + (1, 1),
+                     6, (1, 2), output_pins=("Z",)),
+        CellTemplate("FA", comb, 3, _parallel(2, 12), _parallel(2, 12), 14, (1,),
+                     output_pins=("S", "CO")),
+        CellTemplate("HA", comb, 2, _parallel(2, 7), _parallel(2, 7), 9, (1,),
+                     output_pins=("S", "CO")),
+        # Tri-state -------------------------------------------------------------
+        CellTemplate("TBUF", buf, 2, _series(1, 2) + (1,), _series(1, 2) + (1,), 4,
+                     (1, 2, 4, 8, 16), output_pins=("Z",)),
+        CellTemplate("TINV", comb, 2, _series(1, 2), _series(1, 2), 3, (1, 2),
+                     output_pins=("ZN",)),
+        # Sequential ------------------------------------------------------------
+        CellTemplate("DFF", seq, 2, _parallel(1, 10), _parallel(1, 10), 14, (1, 2),
+                     output_pins=("Q", "QN")),
+        CellTemplate("DFFR", seq, 3, _parallel(1, 12), _parallel(1, 12), 16, (1, 2),
+                     output_pins=("Q", "QN")),
+        CellTemplate("DFFS", seq, 3, _parallel(1, 12), _parallel(1, 12), 16, (1, 2),
+                     output_pins=("Q", "QN")),
+        CellTemplate("DFFRS", seq, 4, _parallel(1, 14), _parallel(1, 14), 18, (1, 2),
+                     output_pins=("Q", "QN")),
+        CellTemplate("SDFF", seq, 4, _parallel(1, 14), _parallel(1, 14), 19, (1, 2),
+                     output_pins=("Q", "QN")),
+        CellTemplate("SDFFR", seq, 5, _parallel(1, 16), _parallel(1, 16), 21, (1, 2),
+                     output_pins=("Q", "QN")),
+        CellTemplate("SDFFS", seq, 5, _parallel(1, 16), _parallel(1, 16), 21, (1, 2),
+                     output_pins=("Q", "QN")),
+        CellTemplate("SDFFRS", seq, 6, _parallel(1, 18), _parallel(1, 18), 25, (1, 2),
+                     stacked_nfet_pairs=1, output_pins=("Q", "QN")),
+        CellTemplate("DLH", seq, 2, _parallel(1, 8), _parallel(1, 8), 11, (1, 2),
+                     output_pins=("Q",)),
+        CellTemplate("DLL", seq, 2, _parallel(1, 8), _parallel(1, 8), 11, (1, 2),
+                     output_pins=("Q",)),
+        CellTemplate("CLKGATE", seq, 2, _parallel(1, 9), _parallel(1, 9), 12,
+                     (1, 2, 4, 8), output_pins=("GCK",)),
+        CellTemplate("CLKGATETST", seq, 3, _parallel(1, 11), _parallel(1, 11), 14,
+                     (1, 2, 4, 8), output_pins=("GCK",)),
+    ]
+    return templates
+
+
+#: Cells whose X1 variant contains vertically stacked minimum-size devices —
+#: the cells the aligned-active restriction penalises (Fig. 3.2 / Table 2).
+NANGATE45_STACKED_CELLS = ("AOI222_X1", "OAI222_X1", "OAI33_X1", "SDFFRS_X1")
+
+
+def build_nangate45_library() -> CellLibrary:
+    """Build the synthetic 134-cell Nangate-45-like library."""
+    library = CellLibrary("nangate45_cnfet")
+    for template in nangate45_templates():
+        for drive in template.drives:
+            library.add(_build_cell(template, drive))
+
+    # Physical cells (no active devices): fillers, antenna, tie cells.
+    for columns, suffix in ((1, "X1"), (2, "X2"), (4, "X4"), (8, "X8"),
+                            (16, "X16"), (32, "X32")):
+        library.add(_physical_cell(f"FILLCELL_{suffix}", columns))
+    library.add(_physical_cell("ANTENNA_X1", 2))
+    library.add(_physical_cell("LOGIC0_X1", 2))
+    library.add(_physical_cell("LOGIC1_X1", 2))
+
+    return library
+
+
+def nangate45_cell_count() -> int:
+    """Number of cells the builder produces (should equal the paper's 134)."""
+    return len(build_nangate45_library())

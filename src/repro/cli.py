@@ -1,0 +1,244 @@
+"""Command-line interface for the reproduction.
+
+Exposes the main analyses as sub-commands so the library can be driven
+without writing Python:
+
+``python -m repro.cli wmin``
+    The Sec. 2 / Sec. 3 Wmin analysis (baseline, relaxation, optimised).
+
+``python -m repro.cli table1``
+    Row failure probabilities for the three growth/layout styles.
+
+``python -m repro.cli table2``
+    Area-penalty statistics for the two synthetic libraries.
+
+``python -m repro.cli scaling``
+    Upsizing penalty versus technology node, with and without correlation.
+
+``python -m repro.cli align``
+    Apply the aligned-active restriction to a library and optionally write
+    the modified physical/Liberty views to files.
+
+``python -m repro.cli netlist``
+    Generate the synthetic OpenRISC-like netlist and write it as a
+    structural Verilog-style file.
+
+Every sub-command accepts the calibration knobs that matter (yield target,
+pitch CV, CNT length, density) so quick what-if studies need no code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.calibration import CalibratedSetup
+from repro.core.correlation import CorrelationParameters
+from repro.core.optimizer import CoOptimizationFlow
+from repro.netlist.openrisc import openrisc_width_histogram
+
+
+def _build_setup(args: argparse.Namespace) -> CalibratedSetup:
+    """Construct a CalibratedSetup from the shared CLI options."""
+    return CalibratedSetup(
+        mean_pitch_nm=args.mean_pitch_nm,
+        pitch_cv=args.pitch_cv,
+        chip_transistor_count=int(args.transistors),
+        min_size_fraction=args.min_size_fraction,
+        yield_target=args.yield_target,
+        correlation=CorrelationParameters(
+            cnt_length_um=args.cnt_length_um,
+            min_cnfet_density_per_um=args.cnfet_density,
+        ),
+    )
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--yield-target", type=float, default=0.90,
+                        help="desired chip yield (default 0.90)")
+    parser.add_argument("--transistors", type=float, default=1.0e8,
+                        help="chip transistor count M (default 1e8)")
+    parser.add_argument("--min-size-fraction", type=float, default=0.33,
+                        help="fraction of minimum-size devices Mmin/M (default 0.33)")
+    parser.add_argument("--mean-pitch-nm", type=float, default=4.0,
+                        help="mean inter-CNT pitch in nm (default 4)")
+    parser.add_argument("--pitch-cv", type=float, default=1.0,
+                        help="inter-CNT pitch coefficient of variation (default 1.0)")
+    parser.add_argument("--cnt-length-um", type=float, default=200.0,
+                        help="CNT length LCNT in um (default 200)")
+    parser.add_argument("--cnfet-density", type=float, default=1.8,
+                        help="small-CNFET density Pmin-CNFET in FETs/um (default 1.8)")
+
+
+def _cmd_wmin(args: argparse.Namespace) -> int:
+    setup = _build_setup(args)
+    design = openrisc_width_histogram(setup.chip_transistor_count)
+    flow = CoOptimizationFlow(
+        setup=setup,
+        widths_nm=design.widths_nm,
+        counts=design.counts,
+        min_size_device_count=design.min_size_device_count,
+    )
+    report = flow.run()
+    for line in report.summary_lines():
+        print(line)
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.reporting.tables import table1_data
+
+    setup = _build_setup(args)
+    data = table1_data(setup=setup)
+    print(f"device pF at Wmin ({data['wmin_nm']:.1f} nm): {data['device_pf']:.3e}")
+    print(f"pRF uncorrelated growth            : {data['prf_uncorrelated']:.3e}")
+    print(f"pRF directional, non-aligned       : {data['prf_directional_non_aligned']:.3e}")
+    print(f"pRF directional, aligned-active    : {data['prf_directional_aligned']:.3e}")
+    print(f"gain from growth / alignment / all : {data['gain_from_growth']:.1f}X / "
+          f"{data['gain_from_alignment']:.1f}X / {data['total_gain']:.1f}X")
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.reporting.tables import render_table, table2_data
+
+    setup = _build_setup(args)
+    rows = table2_data(setup=setup)
+    print(render_table(rows, columns=[
+        "library", "aligned_regions", "num_cells", "cells_with_penalty",
+        "cells_with_penalty_pct", "min_penalty_pct", "max_penalty_pct", "wmin_nm",
+    ]))
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.reporting.figures import fig3_3_data
+
+    setup = _build_setup(args)
+    data = fig3_3_data(setup=setup)
+    print(f"Wmin without correlation: {data['wmin_without_nm']:.1f} nm")
+    print(f"Wmin with correlation   : {data['wmin_with_nm']:.1f} nm")
+    print("node (nm)   penalty without (%)   penalty with (%)")
+    for node, a, b in zip(
+        data["nodes_nm"],
+        data["penalty_without_correlation_percent"],
+        data["penalty_with_correlation_percent"],
+    ):
+        print(f"{node:9.0f}   {a:19.1f}   {b:16.1f}")
+    return 0
+
+
+def _cmd_align(args: argparse.Namespace) -> int:
+    from repro.cells.aligned_active import enforce_aligned_active
+    from repro.cells.area import area_penalty_report
+    from repro.cells.commercial65 import build_commercial65_library
+    from repro.cells.export import export_liberty_view, export_physical_view
+    from repro.cells.nangate45 import build_nangate45_library
+
+    setup = _build_setup(args)
+    if args.library == "nangate45":
+        library = build_nangate45_library()
+    else:
+        library = build_commercial65_library()
+    wmin = (
+        args.wmin_nm if args.wmin_nm is not None else setup.wmin_correlated_nm()
+    )
+    result = enforce_aligned_active(
+        library, wmin, aligned_region_groups=args.aligned_regions
+    )
+    report = area_penalty_report(result)
+    print(f"library                : {report.library_name}")
+    print(f"Wmin                   : {report.wmin_nm:.1f} nm")
+    print(f"aligned regions        : {report.aligned_region_groups}")
+    print(f"cells                  : {report.cell_count}")
+    print(f"cells with penalty     : {report.penalised_cell_count} "
+          f"({100.0 * report.penalised_fraction:.1f} %)")
+    print(f"penalty range          : {report.min_penalty_percent:.1f} % .. "
+          f"{report.max_penalty_percent:.1f} %")
+    if args.physical_out:
+        modified = result.to_library()
+        with open(args.physical_out, "w", encoding="utf-8") as handle:
+            handle.write(export_physical_view(modified))
+        print(f"wrote physical view    : {args.physical_out}")
+    if args.liberty_out:
+        modified = result.to_library()
+        with open(args.liberty_out, "w", encoding="utf-8") as handle:
+            handle.write(export_liberty_view(modified))
+        print(f"wrote liberty view     : {args.liberty_out}")
+    return 0
+
+
+def _cmd_netlist(args: argparse.Namespace) -> int:
+    from repro.cells.nangate45 import build_nangate45_library
+    from repro.netlist.openrisc import build_openrisc_like_design
+    from repro.netlist.verilog import export_structural_netlist
+
+    library = build_nangate45_library()
+    design = build_openrisc_like_design(library, scale=args.scale, seed=args.seed)
+    text = export_structural_netlist(design)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {design.instance_count} instances to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CNFET yield enhancement via CNT correlation (DAC 2010 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    for name, handler, description in (
+        ("wmin", _cmd_wmin, "baseline/optimised Wmin and penalties"),
+        ("table1", _cmd_table1, "row failure probabilities (Table 1)"),
+        ("table2", _cmd_table2, "library area penalties (Table 2)"),
+        ("scaling", _cmd_scaling, "penalty versus technology node (Fig. 2.2b / 3.3)"),
+    ):
+        sub = subparsers.add_parser(name, help=description)
+        _add_common_options(sub)
+        sub.set_defaults(handler=handler)
+
+    align = subparsers.add_parser(
+        "align", help="apply the aligned-active restriction to a library"
+    )
+    _add_common_options(align)
+    align.add_argument("--library", choices=("nangate45", "commercial65"),
+                       default="nangate45")
+    align.add_argument("--wmin-nm", type=float, default=None,
+                       help="override the Wmin used for criticality")
+    align.add_argument("--aligned-regions", type=int, default=1,
+                       help="number of aligned active regions per polarity")
+    align.add_argument("--physical-out", type=str, default=None,
+                       help="write the modified physical (LEF-style) view here")
+    align.add_argument("--liberty-out", type=str, default=None,
+                       help="write the modified Liberty-style view here")
+    align.set_defaults(handler=_cmd_align)
+
+    netlist = subparsers.add_parser(
+        "netlist", help="generate the synthetic OpenRISC-like netlist"
+    )
+    netlist.add_argument("--scale", type=float, default=0.25,
+                         help="netlist size scale factor (default 0.25)")
+    netlist.add_argument("--seed", type=int, default=2010, help="generator seed")
+    netlist.add_argument("--output", type=str, default=None,
+                         help="output file (stdout when omitted)")
+    netlist.set_defaults(handler=_cmd_netlist)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""Default parameter values used by the DAC 2010 reproduction.
+
+Every constant here traces to a specific statement in the paper (section
+numbers in the comments) or to one of the referenced prior works the paper
+relies on.  They are defaults only: all public APIs accept explicit
+parameters so studies can sweep away from the paper's operating point.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# CNT growth statistics (Sec. 2.1)
+# --------------------------------------------------------------------------
+
+DEFAULT_MEAN_PITCH_NM = 4.0
+"""Mean inter-CNT pitch µS in nm (the paper adopts the optimised 4 nm value
+from [Deng 07])."""
+
+DEFAULT_PITCH_CV = 1.0
+"""Default coefficient of variation (σS / µS) of the inter-CNT pitch.
+
+[Zhang 09a] reports a large spread in measured inter-CNT spacing; a CV of
+1.0 corresponds to exponentially distributed pitch, i.e. Poisson CNT counts,
+and calibrates the (pm = 33 %, pRs = 30 %) curve of Fig. 2.1 to cross the
+3e-9 requirement near W ≈ 155 nm.  See :mod:`repro.core.calibration`.
+"""
+
+DEFAULT_CNT_LENGTH_UM = 200.0
+"""CNT length LCNT in µm for directional growth ([Kang 07], [Patil 09b],
+quoted in Sec. 3.3)."""
+
+# --------------------------------------------------------------------------
+# CNT type / removal process (Sec. 2.1)
+# --------------------------------------------------------------------------
+
+DEFAULT_METALLIC_FRACTION = 1.0 / 3.0
+"""Probability pm of a grown CNT being metallic (the commonly assumed 33 %)."""
+
+DEFAULT_REMOVAL_PROB_METALLIC = 1.0
+"""Conditional removal probability pRm of a metallic CNT.  The paper assumes
+pRm ≈ 1 (> 99.99 % required for VLSI)."""
+
+DEFAULT_REMOVAL_PROB_SEMICONDUCTING = 0.30
+"""Conditional (inadvertent) removal probability pRs of a semiconducting CNT
+for the pessimistic processing corner of Fig. 2.1."""
+
+# --------------------------------------------------------------------------
+# Circuit-level case study (Sec. 2.2, Sec. 3.3)
+# --------------------------------------------------------------------------
+
+DEFAULT_CHIP_TRANSISTOR_COUNT = 100_000_000
+"""Number of transistors M in the chip-level case study."""
+
+DEFAULT_MIN_SIZE_FRACTION = 0.33
+"""Fraction of transistors that fall in the two smallest width bins of the
+OpenRISC histogram (Fig. 2.2a), i.e. Mmin / M."""
+
+DEFAULT_YIELD_TARGET = 0.90
+"""Desired chip-level CNT-count-limited yield."""
+
+DEFAULT_MIN_CNFET_DENSITY_PER_UM = 1.8
+"""Average linear density Pmin-CNFET of small-width CNFETs along a placement
+row, in FETs per µm (Sec. 3.3)."""
+
+# --------------------------------------------------------------------------
+# Technology nodes (Fig. 2.2b, Fig. 3.3)
+# --------------------------------------------------------------------------
+
+TECHNOLOGY_NODES_NM = (45, 32, 22, 16)
+"""Technology nodes swept in the scaling analysis."""
+
+REFERENCE_NODE_NM = 45
+"""Node at which the width distribution is extracted; other nodes scale the
+distribution linearly while the inter-CNT pitch stays constant."""
+
+# --------------------------------------------------------------------------
+# Paper-reported reference results (used by EXPERIMENTS.md tooling & tests)
+# --------------------------------------------------------------------------
+
+PAPER_WMIN_UNCORRELATED_NM = 155.0
+"""Wmin at 45 nm without correlation (Sec. 2.2)."""
+
+PAPER_WMIN_CORRELATED_NM = 103.0
+"""Wmin at 45 nm with directional growth + aligned-active cells (Sec. 3.3)."""
+
+PAPER_RELAXATION_FACTOR = 350.0
+"""Headline relaxation of the device-level failure-probability requirement."""
+
+PAPER_RELAXATION_FROM_GROWTH = 26.5
+"""Portion of the relaxation attributed to directional growth alone
+(Table 1: 5.3e-6 / 2.0e-7)."""
+
+PAPER_RELAXATION_FROM_ALIGNMENT = 13.0
+"""Portion of the relaxation attributed to the aligned-active layout style
+(Table 1: 2.0e-7 / 1.5e-8)."""
+
+PAPER_TABLE1_PRF_UNCORRELATED = 5.3e-6
+PAPER_TABLE1_PRF_DIRECTIONAL = 2.0e-7
+PAPER_TABLE1_PRF_ALIGNED = 1.5e-8
+
+PAPER_NANGATE_CELL_COUNT = 134
+PAPER_COMMERCIAL65_CELL_COUNT = 775
+PAPER_NANGATE_CELLS_WITH_PENALTY = 4
+PAPER_AOI222_WIDTH_INCREASE = 0.09
+"""Cell width increase of AOI222_X1 after aligned-active enforcement."""
+
+PAPER_TABLE2_COMMERCIAL65_PENALTY_FRACTION = 0.20
+PAPER_TABLE2_WMIN_ONE_REGION_NM = 107.0
+PAPER_TABLE2_WMIN_TWO_REGION_NM = 112.0
+PAPER_TABLE2_WMIN_NANGATE_NM = 103.0

@@ -1,0 +1,86 @@
+"""Core yield engine — the paper's primary contribution.
+
+This package implements the analytical machinery of the DAC 2010 paper:
+
+* :mod:`repro.core.count_model` — CNT count distributions Prob{N(W)}
+  (renewal, Poisson, empirical).
+* :mod:`repro.core.failure` — device-level CNT count failure probability
+  pF(W) (Eq. 2.2) and the processing-corner curves of Fig. 2.1.
+* :mod:`repro.core.circuit_yield` — circuit-level yield (Eq. 2.3) and its
+  approximations.
+* :mod:`repro.core.wmin` — the minimum upsizing threshold Wmin
+  (Eq. 2.4 / 2.5).
+* :mod:`repro.core.correlation` — row-based yield under directional growth
+  and aligned-active layout (Eq. 3.1 / 3.2), including the numerically
+  evaluated non-aligned case and the resulting relaxation factor (Table 1).
+* :mod:`repro.core.upsizing` — the upsizing operator and the gate-capacitance
+  penalty metric (Fig. 2.2b).
+* :mod:`repro.core.scaling` — technology scaling of the width distribution
+  (Fig. 2.2b / Fig. 3.3).
+* :mod:`repro.core.calibration` — the calibrated default operating point.
+* :mod:`repro.core.optimizer` — the end-to-end processing/design
+  co-optimization flow.
+"""
+
+from repro.core.count_model import (
+    CountModel,
+    RenewalCountModel,
+    PoissonCountModel,
+    EmpiricalCountModel,
+    count_model_from_pitch,
+)
+from repro.core.failure import (
+    CNFETFailureModel,
+    ProcessingCorner,
+    FIG2_1_CORNERS,
+)
+from repro.core.circuit_yield import (
+    chip_yield,
+    chip_yield_from_failure_probabilities,
+    yield_loss,
+    required_device_failure_probability,
+)
+from repro.core.wmin import WminSolver, WminResult
+from repro.core.correlation import (
+    LayoutScenario,
+    CorrelationParameters,
+    RowYieldModel,
+    RowYieldResult,
+    relaxation_factor,
+)
+from repro.core.upsizing import UpsizingAnalysis, UpsizingResult, upsize_widths
+from repro.core.scaling import TechnologyScaler, ScalingStudy, ScalingPoint
+from repro.core.calibration import CalibratedSetup, default_setup
+from repro.core.optimizer import CoOptimizationFlow, CoOptimizationReport
+
+__all__ = [
+    "CountModel",
+    "RenewalCountModel",
+    "PoissonCountModel",
+    "EmpiricalCountModel",
+    "count_model_from_pitch",
+    "CNFETFailureModel",
+    "ProcessingCorner",
+    "FIG2_1_CORNERS",
+    "chip_yield",
+    "chip_yield_from_failure_probabilities",
+    "yield_loss",
+    "required_device_failure_probability",
+    "WminSolver",
+    "WminResult",
+    "LayoutScenario",
+    "CorrelationParameters",
+    "RowYieldModel",
+    "RowYieldResult",
+    "relaxation_factor",
+    "UpsizingAnalysis",
+    "UpsizingResult",
+    "upsize_widths",
+    "TechnologyScaler",
+    "ScalingStudy",
+    "ScalingPoint",
+    "CalibratedSetup",
+    "default_setup",
+    "CoOptimizationFlow",
+    "CoOptimizationReport",
+]

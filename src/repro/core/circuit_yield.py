@@ -1,0 +1,151 @@
+"""Circuit-level CNT-count-limited yield — Eq. 2.3 and its approximations.
+
+With M independent CNFETs of widths W_1 ... W_M, the chip survives only when
+every device survives:
+
+``Yield = Π_i (1 - pF(W_i)) ≈ 1 - Σ_i pF(W_i)``        (Eq. 2.3)
+
+The approximation holds because individual pF values are tiny (1e-6 or
+smaller) while M is huge (1e8), so the sum — not any single term — carries
+the yield loss.  This module implements both the exact product (in log space
+for numerical robustness) and the first-order approximation, plus the
+"required device failure probability" helper used by the Wmin derivation
+(Eq. 2.5): for Mmin minimum-size devices to jointly hit a yield target,
+
+``pF(Wt) <= (1 - Yield_desired) / Mmin``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Union
+
+import numpy as np
+
+from repro.core.failure import CNFETFailureModel
+from repro.units import ensure_probability
+
+
+def chip_yield_from_failure_probabilities(
+    failure_probabilities: Iterable[float],
+    counts: Optional[Iterable[float]] = None,
+    exact: bool = True,
+) -> float:
+    """Chip yield given per-device failure probabilities (Eq. 2.3).
+
+    Parameters
+    ----------
+    failure_probabilities:
+        pF value per device, or per device *class* when ``counts`` is given.
+    counts:
+        Optional multiplicities: ``counts[i]`` devices share failure
+        probability ``failure_probabilities[i]``.  This is how 1e8-transistor
+        chips are evaluated without materialising 1e8 numbers.
+    exact:
+        If True use the exact product Π (1 - pF)^count computed in log space;
+        otherwise the first-order approximation 1 - Σ count·pF (clamped at 0).
+    """
+    p = np.asarray(list(failure_probabilities), dtype=float)
+    if p.size == 0:
+        return 1.0
+    if np.any((p < 0) | (p > 1)):
+        raise ValueError("failure probabilities must lie in [0, 1]")
+    if counts is None:
+        c = np.ones_like(p)
+    else:
+        c = np.asarray(list(counts), dtype=float)
+        if c.shape != p.shape:
+            raise ValueError(
+                f"counts shape {c.shape} does not match probabilities shape {p.shape}"
+            )
+        if np.any(c < 0):
+            raise ValueError("counts must be non-negative")
+
+    if exact:
+        if np.any((p == 1.0) & (c > 0)):
+            return 0.0
+        log_yield = float(np.sum(c * np.log1p(-p)))
+        return math.exp(log_yield)
+    expected_failures = float(np.sum(c * p))
+    return max(0.0, 1.0 - expected_failures)
+
+
+def chip_yield(
+    widths_nm: Union[Iterable[float], np.ndarray],
+    failure_model: CNFETFailureModel,
+    counts: Optional[Iterable[float]] = None,
+    exact: bool = True,
+) -> float:
+    """Chip yield for a width population under a device failure model.
+
+    ``widths_nm`` may enumerate every device or, together with ``counts``,
+    describe a histogram of widths (the natural form for a synthesized
+    design's sizing distribution).
+    """
+    widths = np.asarray(list(widths_nm), dtype=float)
+    probabilities = failure_model.failure_probabilities(widths)
+    return chip_yield_from_failure_probabilities(probabilities, counts=counts, exact=exact)
+
+
+def yield_loss(yield_value: float) -> float:
+    """Convenience: 1 - Yield."""
+    yield_value = ensure_probability(yield_value, "yield_value")
+    return 1.0 - yield_value
+
+
+def expected_failing_devices(
+    failure_probabilities: Iterable[float],
+    counts: Optional[Iterable[float]] = None,
+) -> float:
+    """Expected number of failing devices, Σ count·pF.
+
+    When this expectation is much smaller than 1 the chip yield is high; the
+    paper's yield budget of 10 % corresponds to ≈ 0.105 expected failures.
+    """
+    p = np.asarray(list(failure_probabilities), dtype=float)
+    if counts is None:
+        c = np.ones_like(p)
+    else:
+        c = np.asarray(list(counts), dtype=float)
+    return float(np.sum(c * p))
+
+
+def required_device_failure_probability(
+    yield_target: float,
+    device_count: float,
+    exact: bool = False,
+) -> float:
+    """Device-level pF budget that lets ``device_count`` devices hit a yield.
+
+    This is the horizontal line drawn on Fig. 2.1: for Mmin minimum-size
+    devices sharing the same failure probability,
+
+    * first-order (the paper's Eq. 2.5): ``pF <= (1 - Yield) / Mmin``;
+    * exact: ``pF <= 1 - Yield^(1 / Mmin)``.
+
+    The two agree to within a fraction of a percent at the paper's operating
+    point (Yield = 0.9, Mmin = 3.3e7), but the exact form is available for
+    aggressive yield targets.
+    """
+    yield_target = ensure_probability(yield_target, "yield_target")
+    if device_count <= 0:
+        raise ValueError(f"device_count must be positive, got {device_count}")
+    if yield_target == 1.0:
+        return 0.0
+    if exact:
+        return 1.0 - yield_target ** (1.0 / device_count)
+    return (1.0 - yield_target) / device_count
+
+
+def yield_from_uniform_failure_probability(
+    device_failure_probability: float, device_count: float, exact: bool = True
+) -> float:
+    """Yield of ``device_count`` identical devices with the given pF."""
+    p = ensure_probability(device_failure_probability, "device_failure_probability")
+    if device_count < 0:
+        raise ValueError("device_count must be non-negative")
+    if exact:
+        if p == 1.0 and device_count > 0:
+            return 0.0
+        return math.exp(device_count * math.log1p(-p))
+    return max(0.0, 1.0 - device_count * p)

@@ -1,0 +1,230 @@
+"""Device-level CNT count failure probability pF(W) — Eq. 2.2 and Fig. 2.1.
+
+A CNFET fails (CNT count failure) when every tube it captured fails to
+provide a working channel.  With independent per-tube failures of
+probability ``pf`` (Eq. 2.1) and the count distribution Prob{N(W)},
+
+``pF(W) = Σ_n pf^n · P{N(W) = n} = E[pf^N(W)]``,
+
+i.e. the probability generating function of the count evaluated at ``pf``.
+This module wraps that computation, provides the three processing corners of
+Fig. 2.1 and exposes the inverse problem (what width achieves a required
+pF), which the Wmin solver builds on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.count_model import CountModel, PoissonCountModel
+from repro.growth.types import CNTTypeModel, per_cnt_failure_probability
+from repro.units import ensure_positive, ensure_probability
+
+
+@dataclass(frozen=True)
+class ProcessingCorner:
+    """A (pm, pRs) processing condition, as plotted in Fig. 2.1.
+
+    ``pRm`` is assumed ≈ 1 as in the paper's main analysis; it does not enter
+    the count-failure probability either way.
+    """
+
+    name: str
+    metallic_fraction: float
+    removal_prob_semiconducting: float
+
+    def __post_init__(self) -> None:
+        ensure_probability(self.metallic_fraction, "metallic_fraction")
+        ensure_probability(
+            self.removal_prob_semiconducting, "removal_prob_semiconducting"
+        )
+
+    @property
+    def per_cnt_failure_probability(self) -> float:
+        """pf = pm + (1 - pm)·pRs for this corner."""
+        return per_cnt_failure_probability(
+            self.metallic_fraction, self.removal_prob_semiconducting
+        )
+
+    def to_type_model(self) -> CNTTypeModel:
+        """Materialise the corner as a full :class:`CNTTypeModel` (pRm = 1)."""
+        return CNTTypeModel(
+            metallic_fraction=self.metallic_fraction,
+            removal_prob_metallic=1.0,
+            removal_prob_semiconducting=self.removal_prob_semiconducting,
+        )
+
+
+#: The three processing corners of Fig. 2.1, worst first.
+FIG2_1_CORNERS: Sequence[ProcessingCorner] = (
+    ProcessingCorner("pm=33%, pRs=30%", 1.0 / 3.0, 0.30),
+    ProcessingCorner("pm=33%, pRs=0%", 1.0 / 3.0, 0.0),
+    ProcessingCorner("pm=0%, pRs=0%", 0.0, 0.0),
+)
+
+
+class CNFETFailureModel:
+    """CNT count failure probability of a single CNFET as a function of width.
+
+    Parameters
+    ----------
+    count_model:
+        CNT count distribution Prob{N(W)}.
+    per_cnt_failure:
+        Per-tube failure probability pf (Eq. 2.1).  Either pass it directly
+        or use :meth:`from_corner` / :meth:`from_type_model`.
+    """
+
+    def __init__(self, count_model: CountModel, per_cnt_failure: float) -> None:
+        self.count_model = count_model
+        self.per_cnt_failure = ensure_probability(per_cnt_failure, "per_cnt_failure")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_corner(
+        cls, count_model: CountModel, corner: ProcessingCorner
+    ) -> "CNFETFailureModel":
+        """Build a failure model for one of the Fig. 2.1 processing corners."""
+        return cls(count_model, corner.per_cnt_failure_probability)
+
+    @classmethod
+    def from_type_model(
+        cls, count_model: CountModel, type_model: CNTTypeModel
+    ) -> "CNFETFailureModel":
+        """Build a failure model from a full CNT type/removal model."""
+        return cls(count_model, type_model.per_cnt_failure_probability)
+
+    # ------------------------------------------------------------------
+    # Forward problem: pF(W)
+    # ------------------------------------------------------------------
+
+    def failure_probability(self, width_nm: float) -> float:
+        """pF(W) — Eq. 2.2, evaluated via the count PGF."""
+        ensure_positive(width_nm, "width_nm")
+        if self.per_cnt_failure == 1.0:
+            return 1.0
+        if self.per_cnt_failure == 0.0:
+            # Only an empty active region fails.
+            return self.count_model.prob_zero(width_nm)
+        return float(self.count_model.pgf(width_nm, self.per_cnt_failure))
+
+    def failure_probabilities(self, widths_nm: Iterable[float]) -> np.ndarray:
+        """Vectorised :meth:`failure_probability`."""
+        return np.array([self.failure_probability(float(w)) for w in widths_nm])
+
+    def log10_failure_probability(self, width_nm: float) -> float:
+        """log10 pF(W); uses the Poisson closed form when available to avoid
+        underflow at very large widths."""
+        if isinstance(self.count_model, PoissonCountModel) and self.per_cnt_failure < 1.0:
+            lam = self.count_model.rate(width_nm)
+            return -lam * (1.0 - self.per_cnt_failure) / math.log(10.0)
+        p = self.failure_probability(width_nm)
+        if p <= 0.0:
+            return -math.inf
+        return math.log10(p)
+
+    def survival_probability(self, width_nm: float) -> float:
+        """1 - pF(W) — probability the device has at least one working tube."""
+        return 1.0 - self.failure_probability(width_nm)
+
+    # ------------------------------------------------------------------
+    # Inverse problem: width for a required pF
+    # ------------------------------------------------------------------
+
+    def width_for_failure_probability(
+        self,
+        target_pf: float,
+        w_low_nm: float = 1.0,
+        w_high_nm: Optional[float] = None,
+        tolerance_nm: float = 0.01,
+    ) -> float:
+        """Smallest width whose failure probability is at most ``target_pf``.
+
+        pF(W) decreases monotonically with W (more tubes on average), so a
+        bisection on W suffices.  ``w_high_nm`` is grown geometrically until
+        it brackets the target if not supplied.
+        """
+        target_pf = ensure_probability(target_pf, "target_pf")
+        if target_pf == 0.0:
+            raise ValueError("target_pf = 0 cannot be met at any finite width")
+        ensure_positive(w_low_nm, "w_low_nm")
+
+        if self.failure_probability(w_low_nm) <= target_pf:
+            return w_low_nm
+
+        if w_high_nm is None:
+            w_high_nm = max(2.0 * w_low_nm, 32.0)
+            for _ in range(64):
+                if self.failure_probability(w_high_nm) <= target_pf:
+                    break
+                w_high_nm *= 2.0
+            else:
+                raise RuntimeError(
+                    "could not bracket the target failure probability "
+                    f"{target_pf} with widths up to {w_high_nm} nm"
+                )
+        elif self.failure_probability(w_high_nm) > target_pf:
+            raise ValueError(
+                f"pF({w_high_nm} nm) is still above the target {target_pf}"
+            )
+
+        low, high = w_low_nm, w_high_nm
+        while high - low > tolerance_nm:
+            mid = 0.5 * (low + high)
+            if self.failure_probability(mid) <= target_pf:
+                high = mid
+            else:
+                low = mid
+        return high
+
+    # ------------------------------------------------------------------
+    # Reporting helper
+    # ------------------------------------------------------------------
+
+    def curve(
+        self, widths_nm: Iterable[float]
+    ) -> "FailureCurve":
+        """Evaluate the pF(W) curve over a set of widths (for Fig. 2.1)."""
+        widths = np.asarray(list(widths_nm), dtype=float)
+        return FailureCurve(
+            widths_nm=widths,
+            failure_probabilities=self.failure_probabilities(widths),
+            per_cnt_failure=self.per_cnt_failure,
+        )
+
+
+@dataclass(frozen=True)
+class FailureCurve:
+    """A sampled pF(W) curve, as plotted in Fig. 2.1."""
+
+    widths_nm: np.ndarray
+    failure_probabilities: np.ndarray
+    per_cnt_failure: float
+
+    def interpolate_width(self, target_pf: float) -> float:
+        """Width at which the curve crosses ``target_pf`` (log-linear interp)."""
+        target_pf = ensure_probability(target_pf, "target_pf")
+        if target_pf <= 0:
+            raise ValueError("target_pf must be positive")
+        log_p = np.log10(np.clip(self.failure_probabilities, 1e-300, None))
+        log_target = math.log10(target_pf)
+        # pF decreases with W: find the first index below the target.
+        below = np.where(log_p <= log_target)[0]
+        if below.size == 0:
+            raise ValueError("curve never reaches the target failure probability")
+        idx = below[0]
+        if idx == 0:
+            return float(self.widths_nm[0])
+        w0, w1 = self.widths_nm[idx - 1], self.widths_nm[idx]
+        p0, p1 = log_p[idx - 1], log_p[idx]
+        if p1 == p0:
+            return float(w1)
+        frac = (log_target - p0) / (p1 - p0)
+        return float(w0 + frac * (w1 - w0))

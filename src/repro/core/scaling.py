@@ -1,0 +1,151 @@
+"""Technology scaling of the width distribution — Fig. 2.2b and Fig. 3.3.
+
+The paper performs a predictive scaling analysis: the CNFET width
+distribution extracted at 45 nm is assumed to scale linearly with the
+technology node (so a 120 nm device at 45 nm becomes ~85 nm at 32 nm), while
+the inter-CNT pitch stays fixed at 4 nm because it is a growth property, not
+a lithography property.  Consequently the width Wmin required to hit a given
+failure probability does not shrink with the node, and the upsizing penalty
+— the relative width increase needed to pull small devices up to Wmin —
+grows rapidly at scaled nodes.  Correlation-aware design (Sec. 3) relaxes
+the required pF and hence Wmin, which largely removes the penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.constants import REFERENCE_NODE_NM, TECHNOLOGY_NODES_NM
+from repro.core.upsizing import UpsizingAnalysis
+from repro.units import ensure_positive
+
+
+class TechnologyScaler:
+    """Scales a width distribution between technology nodes.
+
+    Parameters
+    ----------
+    reference_node_nm:
+        The node at which the width distribution was extracted (45 nm).
+    """
+
+    def __init__(self, reference_node_nm: float = REFERENCE_NODE_NM) -> None:
+        self.reference_node_nm = ensure_positive(reference_node_nm, "reference_node_nm")
+
+    def scale_factor(self, target_node_nm: float) -> float:
+        """Linear scale factor from the reference node to the target node."""
+        ensure_positive(target_node_nm, "target_node_nm")
+        return target_node_nm / self.reference_node_nm
+
+    def scale_widths(
+        self, widths_nm: Iterable[float], target_node_nm: float
+    ) -> np.ndarray:
+        """Scale a width population to another node."""
+        factor = self.scale_factor(target_node_nm)
+        widths = np.asarray(list(widths_nm), dtype=float)
+        if widths.size and np.any(widths <= 0):
+            raise ValueError("all widths must be strictly positive")
+        return widths * factor
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """Upsizing penalty at one technology node."""
+
+    node_nm: float
+    wmin_nm: float
+    penalty: float
+    devices_upsized_fraction: float
+
+    @property
+    def penalty_percent(self) -> float:
+        """Penalty as a percentage."""
+        return 100.0 * self.penalty
+
+
+@dataclass(frozen=True)
+class ScalingStudy:
+    """Penalty-versus-node series (one line of Fig. 2.2b / Fig. 3.3)."""
+
+    label: str
+    points: Sequence[ScalingPoint]
+
+    @property
+    def nodes_nm(self) -> np.ndarray:
+        """Technology nodes of the series."""
+        return np.array([p.node_nm for p in self.points])
+
+    @property
+    def penalties_percent(self) -> np.ndarray:
+        """Penalty (%) per node."""
+        return np.array([p.penalty_percent for p in self.points])
+
+    def penalty_at(self, node_nm: float) -> float:
+        """Penalty (fraction) at a given node."""
+        for p in self.points:
+            if p.node_nm == node_nm:
+                return p.penalty
+        raise KeyError(f"node {node_nm} nm not part of this study")
+
+
+def penalty_versus_node(
+    widths_nm: Iterable[float],
+    counts: Iterable[float],
+    wmin_nm: float,
+    nodes_nm: Optional[Sequence[float]] = None,
+    reference_node_nm: float = REFERENCE_NODE_NM,
+    label: str = "",
+) -> ScalingStudy:
+    """Upsizing penalty across technology nodes for a fixed Wmin (in nm).
+
+    Wmin stays constant in nanometres across nodes because it is set by the
+    CNT pitch and the failure-probability budget, neither of which scales
+    with lithography; the width distribution itself scales linearly.
+    """
+    ensure_positive(wmin_nm, "wmin_nm")
+    nodes = list(nodes_nm) if nodes_nm is not None else list(TECHNOLOGY_NODES_NM)
+    widths = np.asarray(list(widths_nm), dtype=float)
+    count_arr = np.asarray(list(counts), dtype=float)
+    scaler = TechnologyScaler(reference_node_nm)
+
+    points: List[ScalingPoint] = []
+    for node in nodes:
+        scaled = scaler.scale_widths(widths, node)
+        analysis = UpsizingAnalysis(scaled, count_arr)
+        result = analysis.analyse(wmin_nm)
+        points.append(
+            ScalingPoint(
+                node_nm=float(node),
+                wmin_nm=float(wmin_nm),
+                penalty=result.capacitance_penalty,
+                devices_upsized_fraction=result.upsized_fraction,
+            )
+        )
+    return ScalingStudy(label=label or f"Wmin = {wmin_nm:.0f} nm", points=tuple(points))
+
+
+def penalty_comparison(
+    widths_nm: Iterable[float],
+    counts: Iterable[float],
+    wmin_uncorrelated_nm: float,
+    wmin_correlated_nm: float,
+    nodes_nm: Optional[Sequence[float]] = None,
+    reference_node_nm: float = REFERENCE_NODE_NM,
+) -> List[ScalingStudy]:
+    """The two series of Fig. 3.3: penalty with and without CNT correlation."""
+    widths = list(widths_nm)
+    count_list = list(counts)
+    without = penalty_versus_node(
+        widths, count_list, wmin_uncorrelated_nm,
+        nodes_nm=nodes_nm, reference_node_nm=reference_node_nm,
+        label="Without CNT correlation",
+    )
+    with_corr = penalty_versus_node(
+        widths, count_list, wmin_correlated_nm,
+        nodes_nm=nodes_nm, reference_node_nm=reference_node_nm,
+        label="With CNT correlation and aligned-active cells",
+    )
+    return [without, with_corr]

@@ -1,0 +1,166 @@
+"""Upsizing of small-width CNFETs and its cost — Sec. 2.2 and Fig. 2.2b.
+
+Upsizing is the baseline yield fix: every device narrower than a threshold
+Wt is widened to Wt, which multiplies its average CNT count and drives its
+failure probability down exponentially.  The costs are:
+
+* negligible area cost in standard-cell designs (row height is fixed and the
+  smallest cells have slack), and
+* a power cost proportional to the total transistor-width increase, which
+  the paper reports as the percentage increase of total gate capacitance.
+
+This module implements the upsizing operator ``U_Wt(W) = max(W, Wt)``, the
+penalty metric, and a small analysis object that bundles the two together
+with the width histogram of a design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.device.capacitance import GateCapacitanceModel
+from repro.units import ensure_positive
+
+
+def upsize_widths(
+    widths_nm: Iterable[float], threshold_nm: float
+) -> np.ndarray:
+    """Apply the upsizing operator ``U_Wt(W) = max(W, Wt)`` element-wise."""
+    ensure_positive(threshold_nm, "threshold_nm")
+    widths = np.asarray(list(widths_nm), dtype=float)
+    if widths.size and np.any(widths <= 0):
+        raise ValueError("all widths must be strictly positive")
+    return np.maximum(widths, threshold_nm)
+
+
+@dataclass(frozen=True)
+class UpsizingResult:
+    """Outcome of upsizing a width population to a threshold."""
+
+    threshold_nm: float
+    total_width_before_nm: float
+    total_width_after_nm: float
+    devices_upsized: float
+    device_count: float
+    capacitance_penalty: float
+
+    @property
+    def penalty_percent(self) -> float:
+        """Penalty as a percentage (the unit of Fig. 2.2b / Fig. 3.3)."""
+        return 100.0 * self.capacitance_penalty
+
+    @property
+    def upsized_fraction(self) -> float:
+        """Fraction of devices that were widened."""
+        if self.device_count == 0:
+            return 0.0
+        return self.devices_upsized / self.device_count
+
+
+class UpsizingAnalysis:
+    """Computes upsizing penalties for a design's width histogram.
+
+    Parameters
+    ----------
+    widths_nm:
+        Device widths — either every device or histogram bin centres.
+    counts:
+        Optional multiplicities matching ``widths_nm`` (histogram form).
+    capacitance_model:
+        Gate-capacitance model; the default width-proportional model matches
+        the paper's penalty definition.
+    """
+
+    def __init__(
+        self,
+        widths_nm: Iterable[float],
+        counts: Optional[Iterable[float]] = None,
+        capacitance_model: Optional[GateCapacitanceModel] = None,
+    ) -> None:
+        self.widths_nm = np.asarray(list(widths_nm), dtype=float)
+        if self.widths_nm.size == 0:
+            raise ValueError("widths_nm must not be empty")
+        if np.any(self.widths_nm <= 0):
+            raise ValueError("all widths must be strictly positive")
+        if counts is None:
+            self.counts = np.ones_like(self.widths_nm)
+        else:
+            self.counts = np.asarray(list(counts), dtype=float)
+            if self.counts.shape != self.widths_nm.shape:
+                raise ValueError("counts must match widths_nm in shape")
+            if np.any(self.counts < 0):
+                raise ValueError("counts must be non-negative")
+        self.capacitance_model = capacitance_model or GateCapacitanceModel()
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+
+    @property
+    def device_count(self) -> float:
+        """Total number of devices described by the histogram."""
+        return float(np.sum(self.counts))
+
+    @property
+    def total_width_nm(self) -> float:
+        """Total transistor width before upsizing."""
+        return float(np.sum(self.widths_nm * self.counts))
+
+    def total_width_after_nm(self, threshold_nm: float) -> float:
+        """Total transistor width after upsizing to ``threshold_nm``."""
+        upsized = upsize_widths(self.widths_nm, threshold_nm)
+        return float(np.sum(upsized * self.counts))
+
+    def devices_below(self, threshold_nm: float) -> float:
+        """Number of devices strictly below the threshold (those upsized)."""
+        ensure_positive(threshold_nm, "threshold_nm")
+        return float(np.sum(self.counts[self.widths_nm < threshold_nm]))
+
+    # ------------------------------------------------------------------
+    # Penalty
+    # ------------------------------------------------------------------
+
+    def capacitance_penalty(self, threshold_nm: float) -> float:
+        """Fractional gate-capacitance increase from upsizing to the threshold.
+
+        With the width-proportional capacitance model this equals the total
+        transistor-width increase ratio, exactly the paper's metric.
+        """
+        before = self.total_width_nm
+        after = self.total_width_after_nm(threshold_nm)
+        # Use the capacitance model so a non-zero fixed term, if configured,
+        # is honoured; with the default model this reduces to width ratios.
+        weighted_before = np.repeat(self.widths_nm, 0)  # placeholder unused
+        del weighted_before
+        cap_before = (
+            before * self.capacitance_model.capacitance_per_width_af_per_nm
+            + self.device_count * self.capacitance_model.fixed_capacitance_af
+        )
+        cap_after = (
+            after * self.capacitance_model.capacitance_per_width_af_per_nm
+            + self.device_count * self.capacitance_model.fixed_capacitance_af
+        )
+        if cap_before == 0:
+            raise ValueError("design has zero total capacitance")
+        return cap_after / cap_before - 1.0
+
+    def analyse(self, threshold_nm: float) -> UpsizingResult:
+        """Full upsizing summary at a threshold."""
+        ensure_positive(threshold_nm, "threshold_nm")
+        return UpsizingResult(
+            threshold_nm=float(threshold_nm),
+            total_width_before_nm=self.total_width_nm,
+            total_width_after_nm=self.total_width_after_nm(threshold_nm),
+            devices_upsized=self.devices_below(threshold_nm),
+            device_count=self.device_count,
+            capacitance_penalty=self.capacitance_penalty(threshold_nm),
+        )
+
+    def penalty_curve(self, thresholds_nm: Iterable[float]) -> np.ndarray:
+        """Penalty (fraction) for each threshold in ``thresholds_nm``."""
+        return np.array(
+            [self.capacitance_penalty(float(t)) for t in thresholds_nm]
+        )

@@ -1,0 +1,145 @@
+"""Active regions: the layout windows that capture CNTs.
+
+In CNFET technology the *active region* is the rectangle that encloses the
+device channel: CNTs crossing the active region between source and drain act
+as channels, CNTs outside all active regions are etched away.  The paper's
+central layout idea — the aligned-active restriction — is expressed entirely
+in terms of the positions of these rectangles, so they get their own value
+object here, shared by the device layer and the standard-cell layer.
+
+Coordinate convention (matching Fig. 3.2 of the paper):
+
+* ``x`` runs along the CNT growth direction (across a placement row),
+* ``y`` runs along the device-width axis (the direction in which CNTs are
+  counted).
+
+A CNFET of width ``W`` therefore occupies a y-interval of extent ``W``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.units import ensure_positive
+
+
+class Polarity(enum.Enum):
+    """Transistor polarity of the device an active region belongs to."""
+
+    NFET = "n"
+    PFET = "p"
+
+    @property
+    def opposite(self) -> "Polarity":
+        """The other polarity."""
+        return Polarity.PFET if self is Polarity.NFET else Polarity.NFET
+
+
+@dataclass(frozen=True)
+class ActiveRegion:
+    """Rectangular active region of a CNFET.
+
+    Parameters
+    ----------
+    x_nm:
+        Left edge along the growth direction.
+    y_nm:
+        Bottom edge along the width axis.
+    length_nm:
+        Extent along the growth direction (roughly the gate/contact pitch of
+        the device stack).
+    width_nm:
+        Extent along the width axis — this is the CNFET width ``W`` that
+        controls how many CNTs the device captures.
+    polarity:
+        n-type or p-type.
+    """
+
+    x_nm: float
+    y_nm: float
+    length_nm: float
+    width_nm: float
+    polarity: Polarity = Polarity.NFET
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.length_nm, "length_nm")
+        ensure_positive(self.width_nm, "width_nm")
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def x_end_nm(self) -> float:
+        """Right edge along the growth direction."""
+        return self.x_nm + self.length_nm
+
+    @property
+    def y_end_nm(self) -> float:
+        """Top edge along the width axis."""
+        return self.y_nm + self.width_nm
+
+    @property
+    def y_center_nm(self) -> float:
+        """Centre of the region along the width axis."""
+        return self.y_nm + 0.5 * self.width_nm
+
+    @property
+    def area_nm2(self) -> float:
+        """Area of the region in nm²."""
+        return self.length_nm * self.width_nm
+
+    def y_overlap_nm(self, other: "ActiveRegion") -> float:
+        """Extent of overlap with ``other`` along the width axis (>= 0)."""
+        low = max(self.y_nm, other.y_nm)
+        high = min(self.y_end_nm, other.y_end_nm)
+        return max(0.0, high - low)
+
+    def x_overlap_nm(self, other: "ActiveRegion") -> float:
+        """Extent of overlap with ``other`` along the growth direction (>= 0)."""
+        low = max(self.x_nm, other.x_nm)
+        high = min(self.x_end_nm, other.x_end_nm)
+        return max(0.0, high - low)
+
+    def is_aligned_with(self, other: "ActiveRegion", tolerance_nm: float = 1e-6) -> bool:
+        """Whether two regions occupy exactly the same y-interval.
+
+        Two equally sized regions that are aligned in the CNT direction share
+        the same CNTs (up to the CNT length) — the condition under which the
+        paper's full correlation benefit is obtained.
+        """
+        return (
+            abs(self.y_nm - other.y_nm) <= tolerance_nm
+            and abs(self.width_nm - other.width_nm) <= tolerance_nm
+        )
+
+    def shares_tracks_with(self, other: "ActiveRegion") -> bool:
+        """Whether the two regions capture at least one common CNT track
+        (i.e. their y-intervals overlap)."""
+        return self.y_overlap_nm(other) > 0.0
+
+    # ------------------------------------------------------------------
+    # Transformations used by the aligned-active heuristic
+    # ------------------------------------------------------------------
+
+    def moved_to_y(self, new_y_nm: float) -> "ActiveRegion":
+        """Return a copy translated so its bottom edge sits at ``new_y_nm``."""
+        return replace(self, y_nm=float(new_y_nm))
+
+    def widened_to(self, new_width_nm: float) -> "ActiveRegion":
+        """Return a copy with its width increased to ``new_width_nm``.
+
+        Widths can only grow (upsizing); shrinking raises ``ValueError``.
+        """
+        new_width_nm = float(new_width_nm)
+        if new_width_nm < self.width_nm:
+            raise ValueError(
+                f"cannot shrink active region from {self.width_nm} nm "
+                f"to {new_width_nm} nm"
+            )
+        return replace(self, width_nm=new_width_nm)
+
+    def moved_by(self, dx_nm: float = 0.0, dy_nm: float = 0.0) -> "ActiveRegion":
+        """Return a copy translated by ``(dx_nm, dy_nm)``."""
+        return replace(self, x_nm=self.x_nm + dx_nm, y_nm=self.y_nm + dy_nm)

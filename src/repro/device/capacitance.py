@@ -1,0 +1,93 @@
+"""Gate-capacitance model used by the upsizing-penalty metric.
+
+The paper measures the power cost of upsizing small CNFETs as the percentage
+increase in *total gate capacitance*, and notes that both static and dynamic
+power penalties are roughly proportional to the total transistor-width
+increase.  A first-order gate-capacitance model therefore suffices: each
+device contributes a capacitance proportional to its width (plus an optional
+width-independent fringe/overlap term), and the penalty metric is a ratio in
+which the proportionality constant cancels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.units import ensure_non_negative, ensure_positive
+
+
+@dataclass(frozen=True)
+class GateCapacitanceModel:
+    """Width-proportional gate capacitance model.
+
+    Parameters
+    ----------
+    capacitance_per_width_af_per_nm:
+        Gate capacitance per nanometre of device width, in attofarads/nm.
+        The default is an arbitrary but physically plausible value; penalty
+        metrics are ratios and do not depend on it.
+    fixed_capacitance_af:
+        Width-independent per-device term (fringe, overlap).  The paper's
+        penalty metric corresponds to ``fixed_capacitance_af = 0``.
+    """
+
+    capacitance_per_width_af_per_nm: float = 1.0
+    fixed_capacitance_af: float = 0.0
+
+    def __post_init__(self) -> None:
+        ensure_positive(
+            self.capacitance_per_width_af_per_nm, "capacitance_per_width_af_per_nm"
+        )
+        ensure_non_negative(self.fixed_capacitance_af, "fixed_capacitance_af")
+
+    def device_capacitance_af(self, width_nm: float) -> float:
+        """Gate capacitance of one device of the given width."""
+        ensure_positive(width_nm, "width_nm")
+        return (
+            self.capacitance_per_width_af_per_nm * width_nm + self.fixed_capacitance_af
+        )
+
+    def total_capacitance_af(self, widths_nm: Iterable[float]) -> float:
+        """Total gate capacitance of a collection of devices."""
+        widths = np.asarray(list(widths_nm), dtype=float)
+        if widths.size == 0:
+            return 0.0
+        if np.any(widths <= 0):
+            raise ValueError("all widths must be strictly positive")
+        return float(
+            np.sum(widths) * self.capacitance_per_width_af_per_nm
+            + widths.size * self.fixed_capacitance_af
+        )
+
+    def capacitance_increase_ratio(
+        self,
+        original_widths_nm: Iterable[float],
+        upsized_widths_nm: Iterable[float],
+    ) -> float:
+        """Fractional increase in total gate capacitance after upsizing.
+
+        This is the paper's "penalty" metric of Fig. 2.2b / Fig. 3.3, e.g.
+        ``0.25`` means a 25 % increase.
+        """
+        original = self.total_capacitance_af(original_widths_nm)
+        upsized = self.total_capacitance_af(upsized_widths_nm)
+        if original == 0.0:
+            raise ValueError("original design has no devices")
+        return upsized / original - 1.0
+
+    def dynamic_power_increase_ratio(
+        self,
+        original_widths_nm: Iterable[float],
+        upsized_widths_nm: Iterable[float],
+        activity_factor: float = 1.0,
+    ) -> float:
+        """Dynamic-power increase; proportional to the capacitance increase.
+
+        The activity factor cancels in the ratio but is accepted to document
+        the assumption that upsizing does not change switching activity.
+        """
+        ensure_positive(activity_factor, "activity_factor")
+        return self.capacitance_increase_ratio(original_widths_nm, upsized_widths_nm)

@@ -1,0 +1,134 @@
+"""The CNFET device object.
+
+A :class:`CNFET` combines an :class:`~repro.device.active_region.ActiveRegion`
+with the CNT population it captured.  It is the object the Monte Carlo layer
+reasons about; the analytical layer works with width alone.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.device.active_region import ActiveRegion, Polarity
+from repro.device.current import CNTCurrentModel
+from repro.growth.cnt import CNT, CNTTrack, CNTType
+
+
+class CNFETFailure(enum.Enum):
+    """Failure classification of a fabricated CNFET."""
+
+    NONE = "none"
+    COUNT_FAILURE = "count_failure"
+    """No semiconducting, non-removed CNT between source and drain —
+    the failure mode the paper's yield model targets."""
+
+
+@dataclass
+class CNFET:
+    """A fabricated CNFET: an active region plus its captured CNTs.
+
+    Parameters
+    ----------
+    name:
+        Instance name, e.g. ``"u42/mn1"``.
+    active_region:
+        Layout window of the device; its ``width_nm`` is the design width W.
+    cnts:
+        CNTs captured by the active region (post-removal flags included).
+    """
+
+    name: str
+    active_region: ActiveRegion
+    cnts: Tuple[CNT, ...] = field(default_factory=tuple)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_tracks(
+        cls,
+        name: str,
+        active_region: ActiveRegion,
+        tracks: Sequence[CNTTrack],
+    ) -> "CNFET":
+        """Build a device by intersecting an active region with grown tracks."""
+        captured = [
+            t.as_cnt()
+            for t in tracks
+            if t.covers(
+                active_region.y_nm,
+                active_region.y_end_nm,
+                active_region.x_nm,
+                active_region.x_end_nm,
+            )
+        ]
+        return cls(name=name, active_region=active_region, cnts=tuple(captured))
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+
+    @property
+    def width_nm(self) -> float:
+        """Design width W of the device."""
+        return self.active_region.width_nm
+
+    @property
+    def polarity(self) -> Polarity:
+        """n-type or p-type."""
+        return self.active_region.polarity
+
+    @property
+    def total_cnt_count(self) -> int:
+        """Number of tubes captured before considering type/removal."""
+        return len(self.cnts)
+
+    @property
+    def working_cnt_count(self) -> int:
+        """Number of semiconducting, non-removed tubes (the channel count)."""
+        return sum(1 for c in self.cnts if c.contributes_to_channel)
+
+    @property
+    def surviving_metallic_count(self) -> int:
+        """Metallic tubes that escaped removal (short the device)."""
+        return sum(
+            1 for c in self.cnts
+            if c.cnt_type is CNTType.METALLIC and not c.removed
+        )
+
+    @property
+    def failure(self) -> CNFETFailure:
+        """Failure classification — count failure iff no working tube."""
+        if self.working_cnt_count == 0:
+            return CNFETFailure.COUNT_FAILURE
+        return CNFETFailure.NONE
+
+    @property
+    def failed(self) -> bool:
+        """True when the device suffers CNT count failure."""
+        return self.failure is CNFETFailure.COUNT_FAILURE
+
+    # ------------------------------------------------------------------
+    # Electrical summaries
+    # ------------------------------------------------------------------
+
+    def on_current_ua(self, current_model: Optional[CNTCurrentModel] = None) -> float:
+        """On-current of the device under the given per-tube current model."""
+        model = current_model or CNTCurrentModel()
+        return model.device_on_current_ua(self.cnts)
+
+    def off_current_ua(self, current_model: Optional[CNTCurrentModel] = None) -> float:
+        """Off-state current (surviving metallic tubes only)."""
+        model = current_model or CNTCurrentModel()
+        return model.device_off_current_ua(self.cnts)
+
+    def shares_tracks_with(self, other: "CNFET") -> bool:
+        """Whether this device's active region overlaps ``other``'s in y.
+
+        Overlapping y-intervals is the necessary geometric condition for two
+        devices to share CNTs under directional growth.
+        """
+        return self.active_region.shares_tracks_with(other.active_region)

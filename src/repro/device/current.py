@@ -1,0 +1,154 @@
+"""Per-tube and per-device on-current model.
+
+The yield analysis of the paper only needs the *count* of working CNTs, but
+the prior work it builds on (statistical averaging of drive current,
+σ(Ion)/µ(Ion) ∝ 1/√N) and the variation/delay extensions in
+:mod:`repro.analysis` need a simple drive-current model.  We use a compact
+first-order model:
+
+* each semiconducting tube contributes an on-current that grows with its
+  diameter (smaller band gap → higher current) and with the drive voltage,
+* tubes conduct in parallel, so the device current is the sum of per-tube
+  currents,
+* metallic tubes that escaped removal contribute a gate-independent leakage
+  path (used by the noise-margin extension, not by Ion).
+
+The absolute scale is calibrated to a nominal value per tube; every consumer
+of this model works with ratios, so the absolute calibration never affects
+the reproduced results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.growth.cnt import CNT
+from repro.units import ensure_positive
+
+
+@dataclass(frozen=True)
+class CNTCurrentModel:
+    """First-order per-tube current model.
+
+    Parameters
+    ----------
+    nominal_on_current_ua:
+        On-current (µA) of a semiconducting tube at the reference diameter
+        and drive voltage.
+    reference_diameter_nm:
+        Diameter at which the nominal current is defined.
+    diameter_exponent:
+        Sensitivity of the per-tube current to diameter;
+        ``I ∝ (d / d_ref) ** diameter_exponent``.
+    metallic_current_ua:
+        Current carried by a surviving metallic tube (gate independent).
+    vdd:
+        Supply voltage; on-current is assumed proportional to
+        ``(vdd - vt) / (vdd_ref - vt)`` through a linear overdrive factor.
+    threshold_voltage:
+        Device threshold voltage used for the overdrive factor.
+    reference_vdd:
+        Supply at which the nominal current is defined.
+    """
+
+    nominal_on_current_ua: float = 20.0
+    reference_diameter_nm: float = 1.5
+    diameter_exponent: float = 1.0
+    metallic_current_ua: float = 40.0
+    vdd: float = 0.9
+    threshold_voltage: float = 0.3
+    reference_vdd: float = 0.9
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.nominal_on_current_ua, "nominal_on_current_ua")
+        ensure_positive(self.reference_diameter_nm, "reference_diameter_nm")
+        ensure_positive(self.reference_vdd, "reference_vdd")
+        if self.vdd <= self.threshold_voltage:
+            raise ValueError(
+                "vdd must exceed the threshold voltage for the device to turn on: "
+                f"vdd={self.vdd}, vt={self.threshold_voltage}"
+            )
+
+    # ------------------------------------------------------------------
+    # Per-tube currents
+    # ------------------------------------------------------------------
+
+    @property
+    def _overdrive_factor(self) -> float:
+        return (self.vdd - self.threshold_voltage) / (
+            self.reference_vdd - self.threshold_voltage
+        )
+
+    def semiconducting_on_current_ua(self, diameter_nm: float) -> float:
+        """On-current (µA) of a single semiconducting tube of given diameter."""
+        ensure_positive(diameter_nm, "diameter_nm")
+        diameter_factor = (diameter_nm / self.reference_diameter_nm) ** self.diameter_exponent
+        return self.nominal_on_current_ua * diameter_factor * self._overdrive_factor
+
+    def metallic_leakage_ua(self) -> float:
+        """Gate-independent current (µA) of a surviving metallic tube."""
+        return self.metallic_current_ua
+
+    # ------------------------------------------------------------------
+    # Device-level aggregation
+    # ------------------------------------------------------------------
+
+    def device_on_current_ua(self, cnts: Iterable[CNT]) -> float:
+        """Total on-current of a device given its captured tube population.
+
+        Only semiconducting, non-removed tubes contribute; surviving metallic
+        tubes also conduct when the device is on, so they are included, which
+        matches how measured Ion would look.
+        """
+        total = 0.0
+        for cnt in cnts:
+            if cnt.removed:
+                continue
+            if cnt.cnt_type.is_semiconducting:
+                total += self.semiconducting_on_current_ua(cnt.diameter_nm)
+            else:
+                total += self.metallic_leakage_ua()
+        return total
+
+    def device_off_current_ua(self, cnts: Iterable[CNT]) -> float:
+        """Off-state current — only surviving metallic tubes conduct."""
+        return sum(
+            self.metallic_leakage_ua()
+            for cnt in cnts
+            if (not cnt.removed) and cnt.cnt_type.is_metallic
+        )
+
+    def sample_on_current_ua(
+        self,
+        working_count: int,
+        rng: np.random.Generator,
+        diameter_mean_nm: float = 1.5,
+        diameter_std_nm: float = 0.2,
+    ) -> float:
+        """Sample a device on-current from a working-tube count.
+
+        Diameters are drawn independently per tube from a truncated normal
+        distribution (diameters below 0.5 nm are re-drawn to the boundary),
+        which is the mechanism that makes σ(Ion)/µ(Ion) fall off as 1/√N.
+        """
+        if working_count < 0:
+            raise ValueError(f"working_count must be non-negative, got {working_count}")
+        if working_count == 0:
+            return 0.0
+        diameters = rng.normal(diameter_mean_nm, diameter_std_nm, size=working_count)
+        diameters = np.clip(diameters, 0.5, None)
+        currents = [self.semiconducting_on_current_ua(float(d)) for d in diameters]
+        return float(np.sum(currents))
+
+
+def device_on_current(
+    working_count: int, per_tube_current_ua: float = 20.0
+) -> float:
+    """Idealised device on-current: ``working_count`` identical parallel tubes."""
+    if working_count < 0:
+        raise ValueError(f"working_count must be non-negative, got {working_count}")
+    ensure_positive(per_tube_current_ua, "per_tube_current_ua")
+    return working_count * per_tube_current_ua

@@ -1,0 +1,130 @@
+"""Drive-current variation and statistical averaging.
+
+The paper's Sec. 1 leans on the result (from [Raychowdhury 09], [Zhang 09a],
+[Zhang 09b]) that the relative spread of the CNFET on-current shrinks as
+1/sqrt(N) with the average CNT count N — the reason upsizing is effective
+against variation, and the reason the paper focuses on the count-failure
+tail rather than on parametric spread.  This module quantifies that
+behaviour for our device model so the reproduction can verify the
+1/sqrt(N) trend and expose it to the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.count_model import CountModel
+from repro.device.current import CNTCurrentModel
+from repro.growth.types import CNTTypeModel
+from repro.units import ensure_positive
+
+
+@dataclass(frozen=True)
+class VariationSummary:
+    """Monte Carlo summary of per-device drive-current variation."""
+
+    width_nm: float
+    mean_on_current_ua: float
+    std_on_current_ua: float
+    mean_working_count: float
+    failure_fraction: float
+    n_samples: int
+
+    @property
+    def relative_spread(self) -> float:
+        """σ(Ion) / µ(Ion); NaN when the mean current is zero."""
+        if self.mean_on_current_ua == 0:
+            return float("nan")
+        return self.std_on_current_ua / self.mean_on_current_ua
+
+
+class DriveCurrentVariationModel:
+    """Monte Carlo model of on-current variation versus device width.
+
+    Parameters
+    ----------
+    count_model:
+        CNT count model Prob{N(W)} (pre-removal counts).
+    type_model:
+        Metallic/semiconducting and removal statistics.
+    current_model:
+        Per-tube current model, including diameter spread.
+    diameter_mean_nm, diameter_std_nm:
+        Diameter distribution of grown tubes; diameter variation is the
+        second imperfection contributing to drive-current spread.
+    """
+
+    def __init__(
+        self,
+        count_model: CountModel,
+        type_model: Optional[CNTTypeModel] = None,
+        current_model: Optional[CNTCurrentModel] = None,
+        diameter_mean_nm: float = 1.5,
+        diameter_std_nm: float = 0.2,
+    ) -> None:
+        self.count_model = count_model
+        self.type_model = type_model or CNTTypeModel()
+        self.current_model = current_model or CNTCurrentModel()
+        self.diameter_mean_nm = ensure_positive(diameter_mean_nm, "diameter_mean_nm")
+        self.diameter_std_nm = float(diameter_std_nm)
+        if self.diameter_std_nm < 0:
+            raise ValueError("diameter_std_nm must be non-negative")
+
+    def sample_on_currents(
+        self, width_nm: float, n_samples: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sample ``n_samples`` device on-currents at width ``width_nm``."""
+        ensure_positive(width_nm, "width_nm")
+        if n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        counts = self.count_model.sample(width_nm, n_samples, rng)
+        p_success = self.type_model.per_cnt_success_probability
+        working = rng.binomial(counts, p_success)
+        currents = np.array(
+            [
+                self.current_model.sample_on_current_ua(
+                    int(k), rng, self.diameter_mean_nm, self.diameter_std_nm
+                )
+                for k in working
+            ]
+        )
+        return currents
+
+    def summarise(
+        self, width_nm: float, n_samples: int, rng: np.random.Generator
+    ) -> VariationSummary:
+        """Full variation summary (mean, spread, failure fraction) at a width."""
+        counts = self.count_model.sample(width_nm, n_samples, rng)
+        p_success = self.type_model.per_cnt_success_probability
+        working = rng.binomial(counts, p_success)
+        currents = np.array(
+            [
+                self.current_model.sample_on_current_ua(
+                    int(k), rng, self.diameter_mean_nm, self.diameter_std_nm
+                )
+                for k in working
+            ]
+        )
+        return VariationSummary(
+            width_nm=float(width_nm),
+            mean_on_current_ua=float(np.mean(currents)),
+            std_on_current_ua=float(np.std(currents, ddof=1)) if n_samples > 1 else 0.0,
+            mean_working_count=float(np.mean(working)),
+            failure_fraction=float(np.mean(working == 0)),
+            n_samples=int(n_samples),
+        )
+
+    def relative_spread_vs_width(
+        self,
+        widths_nm: np.ndarray,
+        n_samples: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """σ(Ion)/µ(Ion) for each width — should fall off roughly as 1/sqrt(W)."""
+        widths_nm = np.asarray(widths_nm, dtype=float)
+        return np.array(
+            [self.summarise(float(w), n_samples, rng).relative_spread for w in widths_nm]
+        )

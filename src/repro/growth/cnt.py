@@ -1,0 +1,173 @@
+"""Value objects describing individual carbon nanotubes and CNT tracks.
+
+Two related abstractions are used by the rest of the library:
+
+``CNT``
+    A single nanotube as grown on the substrate: a position along the
+    direction perpendicular to the channel ("track coordinate"), an extent
+    along the growth direction, an electronic type (metallic or
+    semiconducting) and a diameter.
+
+``CNTTrack``
+    In directional growth, a nanotube spans many device active regions along
+    the growth direction.  From the point of view of circuit analysis, a
+    track is the shared object: every CNFET whose active region covers the
+    track's y-coordinate and overlaps its x-extent sees *the same* CNT, with
+    the same type and the same removal outcome.  That sharing is exactly the
+    correlation the paper exploits.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class CNTType(enum.Enum):
+    """Electronic type of a carbon nanotube."""
+
+    SEMICONDUCTING = "s"
+    METALLIC = "m"
+
+    @property
+    def is_semiconducting(self) -> bool:
+        """True when the nanotube can act as a gated channel."""
+        return self is CNTType.SEMICONDUCTING
+
+    @property
+    def is_metallic(self) -> bool:
+        """True when the nanotube conducts regardless of gate bias."""
+        return self is CNTType.METALLIC
+
+
+@dataclass(frozen=True)
+class CNT:
+    """A single carbon nanotube as grown on the substrate.
+
+    Parameters
+    ----------
+    y_nm:
+        Position of the tube along the axis perpendicular to the growth
+        direction (the axis along which CNFET widths are measured), in nm.
+    x_start_nm, x_end_nm:
+        Extent of the tube along the growth direction, in nm.
+    cnt_type:
+        Metallic or semiconducting.
+    diameter_nm:
+        Tube diameter in nm; drives the per-tube on-current in
+        :mod:`repro.device.current`.
+    removed:
+        Whether the tube was etched away by the m-CNT removal step.
+    """
+
+    y_nm: float
+    x_start_nm: float
+    x_end_nm: float
+    cnt_type: CNTType
+    diameter_nm: float = 1.5
+    removed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.x_end_nm < self.x_start_nm:
+            raise ValueError(
+                "CNT x-extent is inverted: "
+                f"x_start_nm={self.x_start_nm}, x_end_nm={self.x_end_nm}"
+            )
+        if self.diameter_nm <= 0:
+            raise ValueError(f"diameter_nm must be positive, got {self.diameter_nm}")
+
+    @property
+    def length_nm(self) -> float:
+        """Length of the tube along the growth direction."""
+        return self.x_end_nm - self.x_start_nm
+
+    @property
+    def contributes_to_channel(self) -> bool:
+        """True when the tube can act as a working channel.
+
+        A tube contributes to the CNT count of a CNFET only when it is
+        semiconducting *and* survived the removal step — the definition used
+        in Eq. 2.1 of the paper.
+        """
+        return self.cnt_type.is_semiconducting and not self.removed
+
+    def covers_x(self, x_start_nm: float, x_end_nm: float) -> bool:
+        """Whether the tube overlaps the interval ``[x_start_nm, x_end_nm]``."""
+        return self.x_start_nm < x_end_nm and x_start_nm < self.x_end_nm
+
+    def with_removed(self, removed: bool = True) -> "CNT":
+        """Return a copy of this tube with its ``removed`` flag set."""
+        return CNT(
+            y_nm=self.y_nm,
+            x_start_nm=self.x_start_nm,
+            x_end_nm=self.x_end_nm,
+            cnt_type=self.cnt_type,
+            diameter_nm=self.diameter_nm,
+            removed=removed,
+        )
+
+
+@dataclass
+class CNTTrack:
+    """A nanotube viewed as a shared resource along a placement row.
+
+    Directional growth produces nearly parallel tubes of length ``LCNT``.
+    Within that length the paper assumes perfect correlation: every CNFET
+    that covers the same track sees the same count contribution and type.
+
+    Attributes
+    ----------
+    y_nm:
+        Track coordinate (perpendicular to the growth direction).
+    x_start_nm, x_end_nm:
+        Extent of the underlying tube along the growth direction.
+    cnt_type:
+        Electronic type shared by every device on the track.
+    removed:
+        Removal outcome shared by every device on the track.
+    diameter_nm:
+        Tube diameter.
+    label:
+        Optional identifier used by Monte Carlo bookkeeping.
+    """
+
+    y_nm: float
+    x_start_nm: float
+    x_end_nm: float
+    cnt_type: CNTType
+    removed: bool = False
+    diameter_nm: float = 1.5
+    label: Optional[int] = field(default=None, compare=False)
+
+    @property
+    def length_nm(self) -> float:
+        """Track length along the growth direction."""
+        return self.x_end_nm - self.x_start_nm
+
+    @property
+    def working(self) -> bool:
+        """True when the track provides a usable semiconducting channel."""
+        return self.cnt_type.is_semiconducting and not self.removed
+
+    def covers(self, y_low_nm: float, y_high_nm: float,
+               x_start_nm: float, x_end_nm: float) -> bool:
+        """Whether this track passes through the given active-region window.
+
+        The window spans ``[y_low_nm, y_high_nm]`` across the width axis and
+        ``[x_start_nm, x_end_nm]`` along the growth direction.
+        """
+        in_width = y_low_nm <= self.y_nm <= y_high_nm
+        in_length = self.x_start_nm < x_end_nm and x_start_nm < self.x_end_nm
+        return in_width and in_length
+
+    def as_cnt(self) -> CNT:
+        """Materialise this track as an immutable :class:`CNT`."""
+        return CNT(
+            y_nm=self.y_nm,
+            x_start_nm=self.x_start_nm,
+            x_end_nm=self.x_end_nm,
+            cnt_type=self.cnt_type,
+            diameter_nm=self.diameter_nm,
+            removed=self.removed,
+        )

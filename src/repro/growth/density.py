@@ -1,0 +1,99 @@
+"""CNT density statistics and density-variation summaries.
+
+CNT density variation is one of the CNT-specific imperfections the paper
+lists; together with metallic tubes it drives CNT count failure.  This
+module provides small utilities to go back and forth between pitch
+statistics (the form used by the analytical models) and density statistics
+(the form usually quoted by growth papers, tubes per µm), plus summary
+statistics over Monte Carlo count samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.growth.pitch import PitchDistribution, pitch_distribution_from_cv
+from repro.units import ensure_positive, per_nm_to_per_um
+
+
+@dataclass(frozen=True)
+class DensityStatistics:
+    """Summary of CNT linear density over a set of sampled windows.
+
+    Attributes
+    ----------
+    mean_per_um:
+        Mean density in tubes per µm.
+    std_per_um:
+        Standard deviation of density across windows, in tubes per µm.
+    window_width_nm:
+        Width of the counting window the statistics were computed over.
+    n_windows:
+        Number of windows sampled.
+    """
+
+    mean_per_um: float
+    std_per_um: float
+    window_width_nm: float
+    n_windows: int
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation of the window density."""
+        if self.mean_per_um == 0:
+            return float("nan")
+        return self.std_per_um / self.mean_per_um
+
+
+def density_from_pitch(pitch: PitchDistribution) -> float:
+    """Long-run CNT density (tubes per µm) implied by a pitch distribution."""
+    return per_nm_to_per_um(pitch.density_per_nm)
+
+
+def pitch_from_density(density_per_um: float, cv: float = 1.0) -> PitchDistribution:
+    """Build a pitch distribution from a target density (tubes per µm).
+
+    Parameters
+    ----------
+    density_per_um:
+        Desired long-run density in tubes per µm.
+    cv:
+        Coefficient of variation of the inter-CNT pitch.
+    """
+    ensure_positive(density_per_um, "density_per_um")
+    mean_pitch_nm = 1000.0 / density_per_um
+    return pitch_distribution_from_cv(mean_pitch_nm, cv)
+
+
+def density_statistics_from_counts(
+    counts: np.ndarray, window_width_nm: float
+) -> DensityStatistics:
+    """Summarise Monte Carlo per-window CNT counts as density statistics."""
+    ensure_positive(window_width_nm, "window_width_nm")
+    counts = np.asarray(counts, dtype=float)
+    if counts.size == 0:
+        raise ValueError("counts must contain at least one sample")
+    width_um = window_width_nm / 1000.0
+    densities = counts / width_um
+    return DensityStatistics(
+        mean_per_um=float(np.mean(densities)),
+        std_per_um=float(np.std(densities, ddof=1)) if counts.size > 1 else 0.0,
+        window_width_nm=float(window_width_nm),
+        n_windows=int(counts.size),
+    )
+
+
+def statistical_averaging_cv(mean_count: float) -> float:
+    """σ(Ion)/µ(Ion) predicted by statistical averaging, ∝ 1/sqrt(N).
+
+    The paper cites [Raychowdhury 09, Zhang 09a, Zhang 09b] for the result
+    that the relative spread of the on-current falls as the inverse square
+    root of the average CNT count.  The proportionality constant depends on
+    the per-tube current spread; this helper returns the idealised
+    ``1/sqrt(N)`` envelope used for sanity checks and the variation analysis
+    in :mod:`repro.device.variation`.
+    """
+    ensure_positive(mean_count, "mean_count")
+    return 1.0 / float(np.sqrt(mean_count))

@@ -1,0 +1,264 @@
+"""Directional (aligned) CNT growth simulator.
+
+Directional growth on quartz produces long, nearly parallel nanotubes
+([Kang 07], [Patil 09b]).  Viewed from a placement row, the tubes form a set
+of *tracks*: positions along the width axis, each extending a CNT length
+``LCNT`` along the growth direction.  Every CNFET whose active region covers
+a track and overlaps its extent captures the *same* tube — the same count
+contribution, the same metallic/semiconducting type and the same removal
+outcome.  That sharing is the correlation the paper turns into a yield
+opportunity.
+
+The simulator is deliberately one-and-a-half dimensional: the width axis
+(``y``) is resolved tube by tube via the pitch distribution; the growth axis
+(``x``) is resolved segment by segment with tubes of length ``LCNT`` tiling
+each track.  Per the paper's simplifying assumption, correlation is perfect
+within a tube and zero across tube boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.constants import DEFAULT_CNT_LENGTH_UM, DEFAULT_MEAN_PITCH_NM, DEFAULT_PITCH_CV
+from repro.growth.cnt import CNTTrack, CNTType
+from repro.growth.pitch import PitchDistribution, pitch_distribution_from_cv
+from repro.growth.removal import RemovalProcess
+from repro.growth.types import CNTTypeModel
+from repro.units import ensure_positive, um_to_nm
+
+
+@dataclass
+class GrownRegion:
+    """The outcome of growing CNTs over a rectangular region of the die.
+
+    Attributes
+    ----------
+    width_nm:
+        Extent along the width axis (perpendicular to the tubes).
+    length_nm:
+        Extent along the growth direction.
+    tracks:
+        All grown tube segments, as :class:`CNTTrack` objects.
+    """
+
+    width_nm: float
+    length_nm: float
+    tracks: List[CNTTrack] = field(default_factory=list)
+
+    def tracks_in_window(
+        self,
+        y_low_nm: float,
+        y_high_nm: float,
+        x_start_nm: float,
+        x_end_nm: float,
+    ) -> List[CNTTrack]:
+        """Tracks passing through an active-region window."""
+        return [
+            t for t in self.tracks
+            if t.covers(y_low_nm, y_high_nm, x_start_nm, x_end_nm)
+        ]
+
+    def working_count_in_window(
+        self,
+        y_low_nm: float,
+        y_high_nm: float,
+        x_start_nm: float,
+        x_end_nm: float,
+    ) -> int:
+        """Number of working (semiconducting, non-removed) tubes in a window."""
+        return sum(
+            1 for t in self.tracks_in_window(y_low_nm, y_high_nm, x_start_nm, x_end_nm)
+            if t.working
+        )
+
+    @property
+    def track_count(self) -> int:
+        """Total number of grown tube segments."""
+        return len(self.tracks)
+
+    @property
+    def working_track_count(self) -> int:
+        """Number of grown tube segments that survive as working channels."""
+        return sum(1 for t in self.tracks if t.working)
+
+
+class DirectionalGrowthModel:
+    """Simulates directional CNT growth over a region.
+
+    Parameters
+    ----------
+    pitch:
+        Inter-CNT pitch distribution along the width axis.  If omitted, a
+        distribution with the default mean pitch and CV is used.
+    type_model:
+        Metallic/semiconducting statistics and removal probabilities.
+    cnt_length_nm:
+        Tube length ``LCNT`` along the growth direction.  Defaults to the
+        paper's 200 µm.
+    apply_removal:
+        Whether to run the m-CNT removal step as part of :meth:`grow`.
+    """
+
+    def __init__(
+        self,
+        pitch: Optional[PitchDistribution] = None,
+        type_model: Optional[CNTTypeModel] = None,
+        cnt_length_nm: Optional[float] = None,
+        apply_removal: bool = True,
+    ) -> None:
+        self.pitch = pitch or pitch_distribution_from_cv(
+            DEFAULT_MEAN_PITCH_NM, DEFAULT_PITCH_CV
+        )
+        self.type_model = type_model or CNTTypeModel()
+        self.cnt_length_nm = ensure_positive(
+            cnt_length_nm if cnt_length_nm is not None
+            else um_to_nm(DEFAULT_CNT_LENGTH_UM),
+            "cnt_length_nm",
+        )
+        self.apply_removal = bool(apply_removal)
+        self._removal = RemovalProcess.from_type_model(self.type_model)
+
+    # ------------------------------------------------------------------
+    # Growth
+    # ------------------------------------------------------------------
+
+    def _sample_track_positions(
+        self, width_nm: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sample track y-positions across ``width_nm`` via renewal sampling."""
+        positions: List[float] = []
+        # Start the renewal process a random fraction of a pitch before the
+        # region so the process is (approximately) stationary at the edge.
+        y = -float(rng.random()) * self.pitch.mean_nm
+        mean = self.pitch.mean_nm
+        # Draw pitches in blocks for efficiency.
+        block = max(16, int(width_nm / mean * 1.5) + 8)
+        while y <= width_nm:
+            gaps = self.pitch.sample(block, rng)
+            for gap in gaps:
+                y += float(gap)
+                if y > width_nm:
+                    break
+                if y >= 0.0:
+                    positions.append(y)
+            else:
+                continue
+            break
+        return np.asarray(positions, dtype=float)
+
+    def _tile_track(
+        self,
+        y_nm: float,
+        length_nm: float,
+        rng: np.random.Generator,
+        label_start: int,
+    ) -> List[CNTTrack]:
+        """Tile one track with tubes of length ``cnt_length_nm``.
+
+        A random phase offsets the first tube so that tube boundaries are not
+        synchronised across tracks.
+        """
+        segments: List[CNTTrack] = []
+        x = -float(rng.random()) * self.cnt_length_nm
+        label = label_start
+        while x < length_nm:
+            x_end = x + self.cnt_length_nm
+            cnt_type = (
+                CNTType.METALLIC
+                if rng.random() < self.type_model.metallic_fraction
+                else CNTType.SEMICONDUCTING
+            )
+            segments.append(
+                CNTTrack(
+                    y_nm=y_nm,
+                    x_start_nm=max(x, 0.0),
+                    x_end_nm=min(x_end, length_nm),
+                    cnt_type=cnt_type,
+                    label=label,
+                )
+            )
+            label += 1
+            x = x_end
+        return segments
+
+    def grow(
+        self,
+        width_nm: float,
+        length_nm: float,
+        rng: np.random.Generator,
+    ) -> GrownRegion:
+        """Grow CNTs over a ``width_nm`` × ``length_nm`` region.
+
+        Parameters
+        ----------
+        width_nm:
+            Extent along the width (track) axis.
+        length_nm:
+            Extent along the growth direction.
+        rng:
+            Random generator controlling every stochastic choice.
+        """
+        ensure_positive(width_nm, "width_nm")
+        ensure_positive(length_nm, "length_nm")
+        positions = self._sample_track_positions(width_nm, rng)
+        tracks: List[CNTTrack] = []
+        label = 0
+        for y in positions:
+            segments = self._tile_track(float(y), length_nm, rng, label)
+            label += len(segments)
+            tracks.extend(segments)
+        if self.apply_removal:
+            self._removal.apply_to_tracks(tracks, rng)
+        return GrownRegion(width_nm=width_nm, length_nm=length_nm, tracks=tracks)
+
+    # ------------------------------------------------------------------
+    # Convenience queries used by the Monte Carlo layer
+    # ------------------------------------------------------------------
+
+    def grow_row(
+        self,
+        row_width_nm: float,
+        row_length_nm: float,
+        rng: np.random.Generator,
+    ) -> GrownRegion:
+        """Alias of :meth:`grow` with row-oriented argument names."""
+        return self.grow(row_width_nm, row_length_nm, rng)
+
+    def expected_tracks(self, width_nm: float) -> float:
+        """Expected number of tracks crossing a window of width ``width_nm``."""
+        return width_nm / self.pitch.mean_nm
+
+    def correlation_length_nm(self) -> float:
+        """Distance along the growth axis over which devices share tubes."""
+        return self.cnt_length_nm
+
+
+def count_correlation_between_fets(
+    region: GrownRegion,
+    fet_width_nm: float,
+    fet_y_low_nm: float,
+    fet1_x_nm: Sequence[float],
+    fet2_x_nm: Sequence[float],
+) -> int:
+    """Number of working tubes shared by two equally sized, aligned FETs.
+
+    Helper used by the Fig. 3.1 benchmark: both FETs span the same y-window
+    ``[fet_y_low_nm, fet_y_low_nm + fet_width_nm]`` but occupy different
+    x-intervals ``fet1_x_nm`` and ``fet2_x_nm``.
+    """
+    y_high = fet_y_low_nm + fet_width_nm
+    tracks1 = {
+        t.label
+        for t in region.tracks_in_window(fet_y_low_nm, y_high, *fet1_x_nm)
+        if t.working
+    }
+    tracks2 = {
+        t.label
+        for t in region.tracks_in_window(fet_y_low_nm, y_high, *fet2_x_nm)
+        if t.working
+    }
+    return len(tracks1 & tracks2)

@@ -1,0 +1,168 @@
+"""Uncorrelated (isotropic) CNT growth simulator.
+
+Some CNT growth processes (e.g. solution deposition or non-directional CVD)
+produce tubes with random orientations and short lengths.  From the circuit
+point of view the key consequence is that different CNFETs never share a
+tube: their CNT counts and types are statistically independent, which is the
+baseline assumption of Sec. 2 of the paper.
+
+The simulator therefore does not model tube geometry in detail; it samples
+an *independent* tube population for every requested active region.  This is
+both faithful to the paper's independence assumption and keeps the Monte
+Carlo layer fast enough to estimate chip-scale failure probabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.constants import DEFAULT_MEAN_PITCH_NM, DEFAULT_PITCH_CV
+from repro.growth.cnt import CNT, CNTType
+from repro.growth.pitch import PitchDistribution, pitch_distribution_from_cv
+from repro.growth.removal import RemovalProcess
+from repro.growth.types import CNTTypeModel
+from repro.units import ensure_positive
+
+
+@dataclass(frozen=True)
+class DeviceGrowthSample:
+    """CNT population captured by one independently grown active region."""
+
+    width_nm: float
+    cnts: tuple
+
+    @property
+    def total_count(self) -> int:
+        """Number of tubes crossing the active region before removal."""
+        return len(self.cnts)
+
+    @property
+    def working_count(self) -> int:
+        """Number of semiconducting, non-removed tubes (the channel count)."""
+        return sum(1 for c in self.cnts if c.contributes_to_channel)
+
+    @property
+    def surviving_metallic_count(self) -> int:
+        """Metallic tubes that escaped removal (noise-margin hazards)."""
+        return sum(
+            1 for c in self.cnts if c.cnt_type is CNTType.METALLIC and not c.removed
+        )
+
+    @property
+    def failed(self) -> bool:
+        """CNT count failure: no working channel at all."""
+        return self.working_count == 0
+
+
+class IsotropicGrowthModel:
+    """Grows an independent CNT population per active region.
+
+    Parameters
+    ----------
+    pitch:
+        Inter-CNT pitch distribution along the device width axis.
+    type_model:
+        Metallic/semiconducting statistics and removal probabilities.
+    channel_length_nm:
+        Nominal channel length; stored for completeness (tube extent along
+        the channel is irrelevant for count statistics under independence).
+    apply_removal:
+        Whether the removal step runs as part of sampling.
+    """
+
+    def __init__(
+        self,
+        pitch: Optional[PitchDistribution] = None,
+        type_model: Optional[CNTTypeModel] = None,
+        channel_length_nm: float = 32.0,
+        apply_removal: bool = True,
+    ) -> None:
+        self.pitch = pitch or pitch_distribution_from_cv(
+            DEFAULT_MEAN_PITCH_NM, DEFAULT_PITCH_CV
+        )
+        self.type_model = type_model or CNTTypeModel()
+        self.channel_length_nm = ensure_positive(channel_length_nm, "channel_length_nm")
+        self.apply_removal = bool(apply_removal)
+        self._removal = RemovalProcess.from_type_model(self.type_model)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def sample_count(self, width_nm: float, rng: np.random.Generator) -> int:
+        """Sample the number of tubes crossing a device of width ``width_nm``."""
+        ensure_positive(width_nm, "width_nm")
+        count = 0
+        y = -float(rng.random()) * self.pitch.mean_nm
+        block = max(8, int(width_nm / self.pitch.mean_nm * 1.5) + 8)
+        while True:
+            gaps = self.pitch.sample(block, rng)
+            for gap in gaps:
+                y += float(gap)
+                if y > width_nm:
+                    return count
+                if y >= 0.0:
+                    count += 1
+
+    def sample_counts(
+        self, width_nm: float, n_samples: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sample tube counts for ``n_samples`` independent devices."""
+        return np.array(
+            [self.sample_count(width_nm, rng) for _ in range(n_samples)], dtype=int
+        )
+
+    def sample_device(
+        self, width_nm: float, rng: np.random.Generator
+    ) -> DeviceGrowthSample:
+        """Sample the full tube population for one device."""
+        ensure_positive(width_nm, "width_nm")
+        cnts: List[CNT] = []
+        y = -float(rng.random()) * self.pitch.mean_nm
+        while True:
+            gap = float(self.pitch.sample(1, rng)[0])
+            y += gap
+            if y > width_nm:
+                break
+            if y < 0.0:
+                continue
+            cnt_type = (
+                CNTType.METALLIC
+                if rng.random() < self.type_model.metallic_fraction
+                else CNTType.SEMICONDUCTING
+            )
+            cnts.append(
+                CNT(
+                    y_nm=y,
+                    x_start_nm=0.0,
+                    x_end_nm=self.channel_length_nm,
+                    cnt_type=cnt_type,
+                )
+            )
+        if self.apply_removal:
+            cnts = self._removal.apply_to_cnts(cnts, rng)
+        return DeviceGrowthSample(width_nm=width_nm, cnts=tuple(cnts))
+
+    def sample_failures(
+        self, width_nm: float, n_samples: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sample CNT-count-failure indicators for ``n_samples`` devices.
+
+        This uses the thinned-count shortcut: each tube independently works
+        with probability ``1 - pf``, so only counts and a binomial thinning
+        draw are required — far faster than materialising tube objects.
+        """
+        counts = self.sample_counts(width_nm, n_samples, rng)
+        p_success = self.type_model.per_cnt_success_probability
+        working = rng.binomial(counts, p_success)
+        return working == 0
+
+    def estimate_failure_probability(
+        self, width_nm: float, n_samples: int, rng: np.random.Generator
+    ) -> float:
+        """Monte Carlo estimate of the device failure probability pF(W)."""
+        failures = self.sample_failures(width_nm, n_samples, rng)
+        return float(np.mean(failures))

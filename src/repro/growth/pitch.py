@@ -1,0 +1,275 @@
+"""Inter-CNT pitch distributions and renewal-theory helpers.
+
+The number of CNTs captured by a CNFET of width ``W`` is a renewal count:
+starting from one edge of the active region, successive CNTs are separated
+by independent, identically distributed positive gaps ("pitches").  The
+count distribution therefore follows directly from the distribution of the
+pitch, via
+
+``P{N(W) >= n} = P{S_n <= W}``,   ``S_n = s_1 + ... + s_n``
+
+(plus a boundary convention for the first tube, handled by the count models
+in :mod:`repro.core.count_model`).
+
+This module provides the pitch distributions themselves.  Each distribution
+exposes:
+
+* ``mean_nm`` / ``std_nm`` — first two moments,
+* ``sample(size, rng)`` — Monte Carlo samples,
+* ``sum_cdf(n, w_nm)`` — the CDF of the n-fold sum evaluated at ``w_nm``
+  (exact when the family is closed under summation, otherwise a central
+  limit approximation is used).
+
+The paper keeps the ratio σS/µS from [Zhang 09a] and sets µS to the
+optimised 4 nm of [Deng 07]; the exact σS/µS value is a calibration knob
+(see :mod:`repro.core.calibration`).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.units import ensure_positive
+
+
+class PitchDistribution(abc.ABC):
+    """Abstract base class for positive inter-CNT pitch distributions."""
+
+    @property
+    @abc.abstractmethod
+    def mean_nm(self) -> float:
+        """Mean pitch µS in nm."""
+
+    @property
+    @abc.abstractmethod
+    def std_nm(self) -> float:
+        """Pitch standard deviation σS in nm."""
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation σS / µS."""
+        return self.std_nm / self.mean_nm
+
+    @property
+    def density_per_nm(self) -> float:
+        """Long-run CNT linear density (1 / µS) in tubes per nm."""
+        return 1.0 / self.mean_nm
+
+    @abc.abstractmethod
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``size`` independent pitch samples (nm)."""
+
+    @abc.abstractmethod
+    def sum_cdf(self, n: int, w_nm: float) -> float:
+        """Return ``P{s_1 + ... + s_n <= w_nm}``.
+
+        ``n = 0`` returns 1.0 for any non-negative ``w_nm`` (an empty sum is
+        zero).
+        """
+
+    def sum_cdf_array(self, n_values: np.ndarray, w_nm: float) -> np.ndarray:
+        """Vectorised :meth:`sum_cdf` over an array of integer ``n``."""
+        return np.array([self.sum_cdf(int(n), w_nm) for n in np.asarray(n_values)])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(mean_nm={self.mean_nm:.4g}, "
+            f"std_nm={self.std_nm:.4g})"
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class DeterministicPitch(PitchDistribution):
+    """Perfectly regular CNT array: every gap equals ``pitch_nm``.
+
+    This is the ideal-growth limit; with it the CNT count is simply
+    ``floor(W / pitch) + 1`` and there is no density variation at all.
+    """
+
+    pitch_nm: float
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.pitch_nm, "pitch_nm")
+
+    @property
+    def mean_nm(self) -> float:
+        return self.pitch_nm
+
+    @property
+    def std_nm(self) -> float:
+        return 0.0
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        return np.full(size, self.pitch_nm, dtype=float)
+
+    def sum_cdf(self, n: int, w_nm: float) -> float:
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        if n == 0:
+            return 1.0 if w_nm >= 0 else 0.0
+        return 1.0 if n * self.pitch_nm <= w_nm else 0.0
+
+
+@dataclass(frozen=True, repr=False)
+class ExponentialPitch(PitchDistribution):
+    """Exponentially distributed pitch (CV = 1), i.e. Poisson CNT placement.
+
+    This is the "completely random" growth limit and the default calibration
+    of the reproduction: measured inter-CNT spacings in [Zhang 09a] show a
+    spread comparable to their mean.
+    """
+
+    mean_pitch_nm: float
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.mean_pitch_nm, "mean_pitch_nm")
+
+    @property
+    def mean_nm(self) -> float:
+        return self.mean_pitch_nm
+
+    @property
+    def std_nm(self) -> float:
+        return self.mean_pitch_nm
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.exponential(scale=self.mean_pitch_nm, size=size)
+
+    def sum_cdf(self, n: int, w_nm: float) -> float:
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        if n == 0:
+            return 1.0 if w_nm >= 0 else 0.0
+        if w_nm <= 0:
+            return 0.0
+        # Sum of n exponentials is Erlang(n, rate = 1/mean).
+        return float(stats.gamma.cdf(w_nm, a=n, scale=self.mean_pitch_nm))
+
+
+@dataclass(frozen=True, repr=False)
+class GammaPitch(PitchDistribution):
+    """Gamma-distributed pitch with arbitrary coefficient of variation.
+
+    The gamma family is closed under summation, so the n-fold sum CDF is
+    exact.  ``cv < 1`` models partially ordered growth (more regular than
+    Poisson), ``cv > 1`` models clumpy growth.
+    """
+
+    mean_pitch_nm: float
+    cv_value: float
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.mean_pitch_nm, "mean_pitch_nm")
+        ensure_positive(self.cv_value, "cv_value")
+
+    @property
+    def shape(self) -> float:
+        """Gamma shape parameter k = 1 / cv^2."""
+        return 1.0 / (self.cv_value ** 2)
+
+    @property
+    def scale_nm(self) -> float:
+        """Gamma scale parameter θ = mean / k."""
+        return self.mean_pitch_nm / self.shape
+
+    @property
+    def mean_nm(self) -> float:
+        return self.mean_pitch_nm
+
+    @property
+    def std_nm(self) -> float:
+        return self.mean_pitch_nm * self.cv_value
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.gamma(shape=self.shape, scale=self.scale_nm, size=size)
+
+    def sum_cdf(self, n: int, w_nm: float) -> float:
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        if n == 0:
+            return 1.0 if w_nm >= 0 else 0.0
+        if w_nm <= 0:
+            return 0.0
+        return float(stats.gamma.cdf(w_nm, a=n * self.shape, scale=self.scale_nm))
+
+
+@dataclass(frozen=True, repr=False)
+class TruncatedNormalPitch(PitchDistribution):
+    """Normally distributed pitch truncated to positive values.
+
+    [Zhang 09a] models the inter-CNT spacing as (approximately) Gaussian.
+    The truncation at zero keeps samples physical; the nominal mean and
+    standard deviation refer to the *untruncated* parent distribution, and
+    the truncated moments are exposed separately.
+    """
+
+    nominal_mean_nm: float
+    nominal_std_nm: float
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.nominal_mean_nm, "nominal_mean_nm")
+        ensure_positive(self.nominal_std_nm, "nominal_std_nm")
+
+    @property
+    def _alpha(self) -> float:
+        """Lower truncation point in standard-normal units."""
+        return -self.nominal_mean_nm / self.nominal_std_nm
+
+    @property
+    def _dist(self):
+        return stats.truncnorm(
+            a=self._alpha, b=np.inf,
+            loc=self.nominal_mean_nm, scale=self.nominal_std_nm,
+        )
+
+    @property
+    def mean_nm(self) -> float:
+        return float(self._dist.mean())
+
+    @property
+    def std_nm(self) -> float:
+        return float(self._dist.std())
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        return self._dist.rvs(size=size, random_state=rng)
+
+    def sum_cdf(self, n: int, w_nm: float) -> float:
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        if n == 0:
+            return 1.0 if w_nm >= 0 else 0.0
+        if w_nm <= 0:
+            return 0.0
+        # The truncated-normal family is not closed under convolution; use a
+        # central-limit approximation on the truncated moments.  For n = 1
+        # the exact single-sample CDF is available.
+        if n == 1:
+            return float(self._dist.cdf(w_nm))
+        mean = n * self.mean_nm
+        std = math.sqrt(n) * self.std_nm
+        return float(stats.norm.cdf(w_nm, loc=mean, scale=std))
+
+
+def pitch_distribution_from_cv(mean_pitch_nm: float, cv: float) -> PitchDistribution:
+    """Build the most natural pitch distribution for a given (mean, CV) pair.
+
+    * ``cv == 0`` → :class:`DeterministicPitch`
+    * ``cv == 1`` → :class:`ExponentialPitch`
+    * otherwise → :class:`GammaPitch`
+
+    This is the factory used by the calibration layer, so the rest of the
+    library never hard-codes a distributional family.
+    """
+    ensure_positive(mean_pitch_nm, "mean_pitch_nm")
+    if cv < 0:
+        raise ValueError(f"cv must be non-negative, got {cv}")
+    if cv == 0.0:
+        return DeterministicPitch(pitch_nm=mean_pitch_nm)
+    if abs(cv - 1.0) < 1e-12:
+        return ExponentialPitch(mean_pitch_nm=mean_pitch_nm)
+    return GammaPitch(mean_pitch_nm=mean_pitch_nm, cv_value=cv)

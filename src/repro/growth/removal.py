@@ -1,0 +1,157 @@
+"""m-CNT removal processing step (VMR-style).
+
+After growth, metallic CNTs must be removed because they short the source
+and drain of every CNFET they cross.  The paper models the removal step
+([Patil 09c]) with two conditional probabilities:
+
+* ``pRm`` — probability that a metallic tube is removed (> 99.99 % needed
+  for VLSI; the paper's analysis assumes pRm ≈ 1),
+* ``pRs`` — probability that a semiconducting tube is removed as collateral
+  damage.
+
+This module applies that step to concrete tube populations produced by the
+growth simulators, and reports process statistics that the analytical layer
+can be validated against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.growth.cnt import CNT, CNTTrack, CNTType
+from repro.growth.types import CNTTypeModel
+from repro.units import ensure_probability
+
+
+@dataclass(frozen=True)
+class RemovalOutcome:
+    """Summary statistics of one removal-pass over a tube population."""
+
+    total_cnts: int
+    metallic_before: int
+    semiconducting_before: int
+    metallic_removed: int
+    semiconducting_removed: int
+
+    @property
+    def metallic_surviving(self) -> int:
+        """Metallic tubes that escaped removal (noise-margin hazards)."""
+        return self.metallic_before - self.metallic_removed
+
+    @property
+    def semiconducting_surviving(self) -> int:
+        """Semiconducting tubes that survived (working channels)."""
+        return self.semiconducting_before - self.semiconducting_removed
+
+    @property
+    def removal_rate_metallic(self) -> float:
+        """Empirical pRm of this pass (NaN when no metallic tube was grown)."""
+        if self.metallic_before == 0:
+            return float("nan")
+        return self.metallic_removed / self.metallic_before
+
+    @property
+    def removal_rate_semiconducting(self) -> float:
+        """Empirical pRs of this pass (NaN when no semiconducting tube)."""
+        if self.semiconducting_before == 0:
+            return float("nan")
+        return self.semiconducting_removed / self.semiconducting_before
+
+
+class RemovalProcess:
+    """Applies the m-CNT removal step to tubes or tracks.
+
+    Parameters
+    ----------
+    removal_prob_metallic:
+        pRm — conditional removal probability for metallic tubes.
+    removal_prob_semiconducting:
+        pRs — conditional removal probability for semiconducting tubes.
+    """
+
+    def __init__(
+        self,
+        removal_prob_metallic: float = 1.0,
+        removal_prob_semiconducting: float = 0.0,
+    ) -> None:
+        self.removal_prob_metallic = ensure_probability(
+            removal_prob_metallic, "removal_prob_metallic"
+        )
+        self.removal_prob_semiconducting = ensure_probability(
+            removal_prob_semiconducting, "removal_prob_semiconducting"
+        )
+
+    @classmethod
+    def from_type_model(cls, type_model: CNTTypeModel) -> "RemovalProcess":
+        """Build a removal process matching the probabilities of a type model."""
+        return cls(
+            removal_prob_metallic=type_model.removal_prob_metallic,
+            removal_prob_semiconducting=type_model.removal_prob_semiconducting,
+        )
+
+    # ------------------------------------------------------------------
+    # Application to concrete populations
+    # ------------------------------------------------------------------
+
+    def _removal_draws(
+        self, types: Sequence[CNTType], rng: np.random.Generator
+    ) -> np.ndarray:
+        """Vector of removal decisions for a sequence of tube types."""
+        u = rng.random(len(types))
+        thresholds = np.array(
+            [
+                self.removal_prob_metallic
+                if t is CNTType.METALLIC
+                else self.removal_prob_semiconducting
+                for t in types
+            ]
+        )
+        return u < thresholds
+
+    def apply_to_cnts(
+        self, cnts: Iterable[CNT], rng: np.random.Generator
+    ) -> List[CNT]:
+        """Return new :class:`CNT` objects with removal flags applied."""
+        cnts = list(cnts)
+        if not cnts:
+            return []
+        removed = self._removal_draws([c.cnt_type for c in cnts], rng)
+        return [c.with_removed(bool(r)) if r else c for c, r in zip(cnts, removed)]
+
+    def apply_to_tracks(
+        self, tracks: Iterable[CNTTrack], rng: np.random.Generator
+    ) -> List[CNTTrack]:
+        """Apply removal in place to a list of tracks and return it.
+
+        Removal happens once per physical tube; because every CNFET covering
+        a track shares the tube, the removal outcome is shared too — this is
+        part of the correlation the paper exploits.
+        """
+        tracks = list(tracks)
+        if not tracks:
+            return []
+        removed = self._removal_draws([t.cnt_type for t in tracks], rng)
+        for track, is_removed in zip(tracks, removed):
+            track.removed = bool(is_removed)
+        return tracks
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def summarise(cnts: Iterable[CNT]) -> RemovalOutcome:
+        """Compute a :class:`RemovalOutcome` for an already-processed population."""
+        cnts = list(cnts)
+        metallic = [c for c in cnts if c.cnt_type is CNTType.METALLIC]
+        semi = [c for c in cnts if c.cnt_type is CNTType.SEMICONDUCTING]
+        return RemovalOutcome(
+            total_cnts=len(cnts),
+            metallic_before=len(metallic),
+            semiconducting_before=len(semi),
+            metallic_removed=sum(1 for c in metallic if c.removed),
+            semiconducting_removed=sum(1 for c in semi if c.removed),
+        )

@@ -1,0 +1,195 @@
+"""Wafer-level growth variation and die-to-die yield maps.
+
+The paper's analysis works at the chip level with a single set of growth
+statistics.  Real directional-growth wafers additionally show die-to-die
+variation: the mean CNT density drifts across the wafer (growth temperature
+and catalyst gradients), and the growth direction is misaligned from the
+layout row direction by a small, slowly varying angle.  This module models
+both effects so users can ask wafer-level questions — how many dies meet the
+yield target, and how the aligned-active benefit degrades towards the wafer
+edge — which is the natural next step after the paper's chip-level result.
+
+Model
+-----
+* The wafer is a grid of square dies inside a circular usable radius.
+* Each die gets a mean CNT pitch drawn from a radial drift profile plus a
+  random component, and a growth-direction misalignment angle drawn from a
+  normal distribution whose spread grows with the distance from the wafer
+  centre.
+* Per die, the chip-level yield model of :mod:`repro.core` is evaluated with
+  that die's pitch; the misalignment angle feeds the mis-positioned-CNT
+  analysis of :mod:`repro.analysis.mispositioned` (a misaligned tube leaves
+  the aligned active band after a finite run length, which truncates the
+  effective correlation length).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.units import ensure_positive
+
+
+@dataclass(frozen=True)
+class DieSite:
+    """One die position on the wafer with its local growth statistics."""
+
+    column: int
+    row: int
+    x_mm: float
+    y_mm: float
+    mean_pitch_nm: float
+    misalignment_deg: float
+
+    @property
+    def radius_mm(self) -> float:
+        """Distance of the die centre from the wafer centre."""
+        return math.hypot(self.x_mm, self.y_mm)
+
+
+@dataclass(frozen=True)
+class WaferMap:
+    """A populated wafer: die sites plus the parameters that generated them."""
+
+    wafer_diameter_mm: float
+    die_size_mm: float
+    sites: Sequence[DieSite]
+
+    @property
+    def die_count(self) -> int:
+        """Number of usable dies on the wafer."""
+        return len(self.sites)
+
+    def pitches_nm(self) -> np.ndarray:
+        """Mean pitch per die."""
+        return np.array([site.mean_pitch_nm for site in self.sites])
+
+    def misalignments_deg(self) -> np.ndarray:
+        """Growth misalignment angle per die."""
+        return np.array([site.misalignment_deg for site in self.sites])
+
+    def yield_map(self, die_yield: Callable[[DieSite], float]) -> np.ndarray:
+        """Evaluate a per-die yield function across the wafer."""
+        return np.array([die_yield(site) for site in self.sites])
+
+    def good_die_fraction(
+        self, die_yield: Callable[[DieSite], float], threshold: float = 0.5
+    ) -> float:
+        """Fraction of dies whose yield estimate exceeds ``threshold``.
+
+        With the CNT-count failure model a die either comfortably meets the
+        yield target or collapses to ~0, so a 0.5 threshold robustly counts
+        "good" dies.
+        """
+        yields = self.yield_map(die_yield)
+        if yields.size == 0:
+            return 0.0
+        return float(np.mean(yields >= threshold))
+
+
+class WaferGrowthModel:
+    """Generates die-to-die growth statistics across a wafer.
+
+    Parameters
+    ----------
+    wafer_diameter_mm:
+        Usable wafer diameter.
+    die_size_mm:
+        Edge length of the (square) dies.
+    center_pitch_nm:
+        Mean inter-CNT pitch at the wafer centre.
+    edge_pitch_drift:
+        Relative increase of the mean pitch at the wafer edge (sparser
+        growth); 0.15 means the edge dies grow 15 % sparser than the centre.
+    pitch_noise_sigma:
+        Die-to-die random component of the mean pitch (relative).
+    center_misalignment_deg, edge_misalignment_deg:
+        Standard deviation of the growth-direction misalignment angle at the
+        centre and at the edge; the local spread interpolates linearly in the
+        radius.
+    """
+
+    def __init__(
+        self,
+        wafer_diameter_mm: float = 100.0,
+        die_size_mm: float = 10.0,
+        center_pitch_nm: float = 4.0,
+        edge_pitch_drift: float = 0.15,
+        pitch_noise_sigma: float = 0.02,
+        center_misalignment_deg: float = 0.2,
+        edge_misalignment_deg: float = 1.0,
+    ) -> None:
+        self.wafer_diameter_mm = ensure_positive(wafer_diameter_mm, "wafer_diameter_mm")
+        self.die_size_mm = ensure_positive(die_size_mm, "die_size_mm")
+        if die_size_mm > wafer_diameter_mm:
+            raise ValueError("die_size_mm cannot exceed the wafer diameter")
+        self.center_pitch_nm = ensure_positive(center_pitch_nm, "center_pitch_nm")
+        if edge_pitch_drift < 0:
+            raise ValueError("edge_pitch_drift must be non-negative")
+        self.edge_pitch_drift = float(edge_pitch_drift)
+        if pitch_noise_sigma < 0:
+            raise ValueError("pitch_noise_sigma must be non-negative")
+        self.pitch_noise_sigma = float(pitch_noise_sigma)
+        if center_misalignment_deg < 0 or edge_misalignment_deg < 0:
+            raise ValueError("misalignment spreads must be non-negative")
+        self.center_misalignment_deg = float(center_misalignment_deg)
+        self.edge_misalignment_deg = float(edge_misalignment_deg)
+
+    # ------------------------------------------------------------------
+    # Die-site generation
+    # ------------------------------------------------------------------
+
+    def _die_centres(self) -> List[tuple]:
+        """Grid of die centres whose full outline fits the usable radius."""
+        radius = 0.5 * self.wafer_diameter_mm
+        half_die_diag = self.die_size_mm / math.sqrt(2.0)
+        n_half = int(radius // self.die_size_mm) + 1
+        centres = []
+        for i in range(-n_half, n_half + 1):
+            for j in range(-n_half, n_half + 1):
+                x = (i + 0.5) * self.die_size_mm
+                y = (j + 0.5) * self.die_size_mm
+                if math.hypot(x, y) + half_die_diag <= radius:
+                    centres.append((i + n_half, j + n_half, x, y))
+        return centres
+
+    def _local_pitch(self, radius_mm: float, rng: np.random.Generator) -> float:
+        radius_fraction = radius_mm / (0.5 * self.wafer_diameter_mm)
+        drift = 1.0 + self.edge_pitch_drift * radius_fraction
+        noise = rng.normal(0.0, self.pitch_noise_sigma)
+        return self.center_pitch_nm * drift * max(1.0 + noise, 0.5)
+
+    def _local_misalignment(self, radius_mm: float, rng: np.random.Generator) -> float:
+        radius_fraction = radius_mm / (0.5 * self.wafer_diameter_mm)
+        sigma = (
+            self.center_misalignment_deg
+            + (self.edge_misalignment_deg - self.center_misalignment_deg)
+            * radius_fraction
+        )
+        return float(rng.normal(0.0, sigma))
+
+    def generate(self, rng: Optional[np.random.Generator] = None) -> WaferMap:
+        """Generate a :class:`WaferMap` with per-die growth statistics."""
+        rng = rng or np.random.default_rng(20100616)
+        sites = []
+        for column, row, x, y in self._die_centres():
+            radius = math.hypot(x, y)
+            sites.append(
+                DieSite(
+                    column=column,
+                    row=row,
+                    x_mm=x,
+                    y_mm=y,
+                    mean_pitch_nm=self._local_pitch(radius, rng),
+                    misalignment_deg=self._local_misalignment(radius, rng),
+                )
+            )
+        return WaferMap(
+            wafer_diameter_mm=self.wafer_diameter_mm,
+            die_size_mm=self.die_size_mm,
+            sites=tuple(sites),
+        )

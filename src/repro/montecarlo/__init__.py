@@ -1,0 +1,40 @@
+"""Monte Carlo validation of the analytical yield models.
+
+The analytical layer (Sec. 2 and Sec. 3 of the paper) rests on closed-form
+or semi-numerical expressions.  This package validates them by simulating
+fabrication outcomes directly:
+
+* :mod:`repro.montecarlo.device_sim` — per-device failure probability pF(W)
+  estimated by sampling CNT counts and per-tube outcomes; validates Eq. 2.2.
+* :mod:`repro.montecarlo.row_sim` — full placement rows under the three
+  growth/layout scenarios of Table 1, with CNT tracks shared between aligned
+  devices; validates Eq. 3.1 / 3.2 and the ≈350X relaxation.
+* :mod:`repro.montecarlo.chip_sim` — full-chip simulation of a placed design
+  (tracks shared by devices in the same row), used to compare the original
+  and aligned-active libraries end to end.
+* :mod:`repro.montecarlo.experiments` — packaged experiments comparing
+  analytic and Monte Carlo numbers, used by tests and benchmarks.
+"""
+
+from repro.montecarlo.device_sim import DeviceMonteCarlo, DeviceMCResult
+from repro.montecarlo.row_sim import RowMonteCarlo, RowMCResult, RowScenarioConfig
+from repro.montecarlo.chip_sim import ChipMonteCarlo, ChipMCResult, compare_libraries
+from repro.montecarlo.experiments import (
+    compare_device_failure,
+    compare_row_scenarios,
+    ComparisonRecord,
+)
+
+__all__ = [
+    "DeviceMonteCarlo",
+    "DeviceMCResult",
+    "RowMonteCarlo",
+    "RowMCResult",
+    "RowScenarioConfig",
+    "ChipMonteCarlo",
+    "ChipMCResult",
+    "compare_libraries",
+    "compare_device_failure",
+    "compare_row_scenarios",
+    "ComparisonRecord",
+]

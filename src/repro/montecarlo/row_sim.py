@@ -1,0 +1,218 @@
+"""Monte Carlo simulation of placement rows under the three Table 1 scenarios.
+
+The analytical row yield model (Eq. 3.1) relies on two idealisations: perfect
+track sharing for aligned devices within a CNT length, and complete
+independence beyond it.  This simulator checks the resulting row failure
+probabilities by building rows device by device:
+
+* **Uncorrelated growth** — every device draws its own independent set of
+  tubes.
+* **Directional growth, aligned layout** — one set of CNT tracks is drawn
+  for the whole row segment (one CNT length); every device covers exactly
+  the same y-band, hence the same tracks.
+* **Directional growth, non-aligned layout** — one set of tracks per
+  segment, but each device sits at a random y offset within the cell
+  height, so it covers a partially different subset of tracks.
+
+Because realistic row failure probabilities (1e-8) are too small for direct
+0/1 Monte Carlo, the simulator follows the same Rao-Blackwellisation idea as
+:mod:`repro.montecarlo.device_sim`: tube *positions* are sampled, while the
+per-tube type/removal outcome is integrated analytically wherever devices do
+not share tubes, and sampled only for the shared tracks.  For validation at
+moderate probabilities the plain indicator estimator is available as well.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.correlation import LayoutScenario
+from repro.growth.pitch import PitchDistribution, pitch_distribution_from_cv
+from repro.growth.types import CNTTypeModel
+from repro.units import ensure_positive, um_to_nm
+
+
+@dataclass(frozen=True)
+class RowScenarioConfig:
+    """Geometry of one simulated row segment.
+
+    Parameters
+    ----------
+    device_width_nm:
+        Width W of every (minimum-size, post-upsizing) device in the row.
+    devices_per_segment:
+        Number of small devices sharing one CNT length (MRmin).
+    cell_height_window_nm:
+        Vertical span within which non-aligned devices may be offset; the
+        aligned scenario uses a zero offset.
+    """
+
+    device_width_nm: float
+    devices_per_segment: int
+    cell_height_window_nm: float = 400.0
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.device_width_nm, "device_width_nm")
+        if self.devices_per_segment < 1:
+            raise ValueError("devices_per_segment must be at least 1")
+        if self.cell_height_window_nm < 0:
+            raise ValueError("cell_height_window_nm must be non-negative")
+
+
+@dataclass(frozen=True)
+class RowMCResult:
+    """Monte Carlo estimate of a row failure probability."""
+
+    scenario: LayoutScenario
+    config: RowScenarioConfig
+    n_samples: int
+    row_failure_probability: float
+    standard_error: float
+
+
+class RowMonteCarlo:
+    """Simulates row segments under the three growth/layout scenarios.
+
+    Parameters
+    ----------
+    pitch:
+        Inter-CNT pitch distribution along the device-width axis.
+    type_model:
+        CNT type and removal statistics.
+    """
+
+    def __init__(
+        self,
+        pitch: Optional[PitchDistribution] = None,
+        type_model: Optional[CNTTypeModel] = None,
+    ) -> None:
+        self.pitch = pitch or pitch_distribution_from_cv(4.0, 1.0)
+        self.type_model = type_model or CNTTypeModel()
+
+    # ------------------------------------------------------------------
+    # Track sampling helpers
+    # ------------------------------------------------------------------
+
+    def _sample_track_positions(
+        self, span_nm: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sample CNT track y-positions across a vertical span."""
+        positions: List[float] = []
+        y = -float(rng.random()) * self.pitch.mean_nm
+        while True:
+            gap = float(self.pitch.sample(1, rng)[0])
+            y += gap
+            if y > span_nm:
+                break
+            if y >= 0.0:
+                positions.append(y)
+        return np.asarray(positions, dtype=float)
+
+    # ------------------------------------------------------------------
+    # Per-scenario estimators (Rao-Blackwellised)
+    # ------------------------------------------------------------------
+
+    def _segment_failure_uncorrelated(
+        self, config: RowScenarioConfig, rng: np.random.Generator
+    ) -> float:
+        """P{segment fails} conditioned on sampled per-device counts."""
+        pf = self.type_model.per_cnt_failure_probability
+        survive = 1.0
+        for _ in range(config.devices_per_segment):
+            tracks = self._sample_track_positions(config.device_width_nm, rng)
+            p_dev_fail = pf ** tracks.size
+            survive *= 1.0 - p_dev_fail
+        return 1.0 - survive
+
+    def _segment_failure_aligned(
+        self, config: RowScenarioConfig, rng: np.random.Generator
+    ) -> float:
+        """Aligned devices all share the same tracks: one device's fate decides."""
+        pf = self.type_model.per_cnt_failure_probability
+        tracks = self._sample_track_positions(config.device_width_nm, rng)
+        # All devices see the same working/failed tubes, so the segment fails
+        # exactly when those shared tubes all fail.
+        return pf ** tracks.size
+
+    def _segment_failure_non_aligned(
+        self, config: RowScenarioConfig, rng: np.random.Generator
+    ) -> float:
+        """Devices at random y offsets cover overlapping subsets of the tracks.
+
+        Tube outcomes are sampled once per track (they are shared), and each
+        device fails iff every track it covers failed; the segment fails when
+        any device fails.
+        """
+        span = config.cell_height_window_nm + config.device_width_nm
+        tracks = self._sample_track_positions(span, rng)
+        if tracks.size == 0:
+            return 1.0
+        working = rng.random(tracks.size) >= self.type_model.per_cnt_failure_probability
+        offsets = rng.random(config.devices_per_segment) * config.cell_height_window_nm
+        for offset in offsets:
+            in_window = (tracks >= offset) & (tracks <= offset + config.device_width_nm)
+            if not np.any(working[in_window]):
+                return 1.0
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def estimate(
+        self,
+        scenario: LayoutScenario,
+        config: RowScenarioConfig,
+        n_samples: int,
+        rng: np.random.Generator,
+    ) -> RowMCResult:
+        """Estimate the segment (row) failure probability for one scenario."""
+        if n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        if scenario is LayoutScenario.UNCORRELATED_GROWTH:
+            sampler = self._segment_failure_uncorrelated
+        elif scenario is LayoutScenario.DIRECTIONAL_ALIGNED:
+            sampler = self._segment_failure_aligned
+        elif scenario is LayoutScenario.DIRECTIONAL_NON_ALIGNED:
+            sampler = self._segment_failure_non_aligned
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown scenario {scenario!r}")
+
+        samples = np.array([sampler(config, rng) for _ in range(n_samples)])
+        estimate = float(np.mean(samples))
+        stderr = (
+            float(np.std(samples, ddof=1) / math.sqrt(n_samples))
+            if n_samples > 1 else 0.0
+        )
+        return RowMCResult(
+            scenario=scenario,
+            config=config,
+            n_samples=int(n_samples),
+            row_failure_probability=estimate,
+            standard_error=stderr,
+        )
+
+    def estimate_all(
+        self,
+        config: RowScenarioConfig,
+        n_samples: int,
+        rng: np.random.Generator,
+    ) -> List[RowMCResult]:
+        """Estimate all three scenarios with the same configuration."""
+        return [
+            self.estimate(scenario, config, n_samples, rng)
+            for scenario in LayoutScenario
+        ]
+
+    @staticmethod
+    def devices_per_segment_from_parameters(
+        cnt_length_um: float, min_cnfet_density_per_um: float
+    ) -> int:
+        """MRmin = LCNT · Pmin-CNFET rounded to the nearest device count."""
+        ensure_positive(cnt_length_um, "cnt_length_um")
+        ensure_positive(min_cnfet_density_per_um, "min_cnfet_density_per_um")
+        return max(int(round(cnt_length_um * min_cnfet_density_per_um)), 1)

@@ -1,0 +1,57 @@
+"""Circuit / netlist substrate.
+
+The chip-level analyses of the paper consume a handful of design-level
+quantities: the transistor-width histogram of a synthesized design, the
+total transistor count, the number of minimum-size devices, and the linear
+density of small CNFETs along placement rows.  This package provides:
+
+* :mod:`repro.netlist.design` — gate instances, concrete designs
+  (instantiated netlists) and statistical designs (width histograms scaled
+  to arbitrary transistor counts).
+* :mod:`repro.netlist.synthesis` — a small load-driven sizing pass that maps
+  a technology-independent gate network onto library drive strengths.
+* :mod:`repro.netlist.openrisc` — a synthetic OpenRISC-like processor-core
+  generator and the statistical width distribution of Fig. 2.2a.
+* :mod:`repro.netlist.placement` — row-based placement and the extraction of
+  the small-CNFET density Pmin-CNFET used by Eq. 3.2.
+* :mod:`repro.netlist.verilog` — structural Verilog-style netlist emission
+  and parsing for the synthetic designs.
+"""
+
+from repro.netlist.design import (
+    CellInstance,
+    Design,
+    StatisticalDesign,
+    WidthHistogram,
+)
+from repro.netlist.synthesis import GateNetwork, LogicalGate, SizingPass
+from repro.netlist.openrisc import (
+    build_openrisc_like_design,
+    openrisc_width_histogram,
+    OPENRISC_WIDTH_BINS_NM,
+    OPENRISC_WIDTH_FRACTIONS,
+)
+from repro.netlist.placement import PlacementRow, RowPlacement, PlacementStatistics
+from repro.netlist.verilog import (
+    export_structural_netlist,
+    parse_structural_netlist,
+)
+
+__all__ = [
+    "CellInstance",
+    "Design",
+    "StatisticalDesign",
+    "WidthHistogram",
+    "GateNetwork",
+    "LogicalGate",
+    "SizingPass",
+    "build_openrisc_like_design",
+    "openrisc_width_histogram",
+    "OPENRISC_WIDTH_BINS_NM",
+    "OPENRISC_WIDTH_FRACTIONS",
+    "PlacementRow",
+    "RowPlacement",
+    "PlacementStatistics",
+    "export_structural_netlist",
+    "parse_structural_netlist",
+]

@@ -1,0 +1,289 @@
+"""Designs: concrete netlists and statistical width populations.
+
+Two complementary representations are provided:
+
+:class:`Design`
+    A concrete netlist of standard-cell instances, each referring to a cell
+    of a :class:`~repro.cells.library.CellLibrary`.  Used for the synthetic
+    OpenRISC-like core, for placement (Pmin-CNFET extraction) and for the
+    Monte Carlo chip simulation of small blocks.
+
+:class:`StatisticalDesign`
+    A width histogram plus a total transistor count, the form in which the
+    paper reasons about a 100-million-transistor chip without materialising
+    every device.  It can be produced from a concrete design
+    (``Design.to_statistical(scaled_to=...)``) or defined directly from
+    published histogram data (Fig. 2.2a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cells.cell import StandardCell
+from repro.cells.library import CellLibrary
+from repro.device.active_region import Polarity
+from repro.units import ensure_positive
+
+
+@dataclass(frozen=True)
+class CellInstance:
+    """One placed-or-unplaced instance of a library cell."""
+
+    name: str
+    cell_name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("instance name must be non-empty")
+        if not self.cell_name:
+            raise ValueError("cell name must be non-empty")
+
+
+@dataclass(frozen=True)
+class WidthHistogram:
+    """A transistor-width histogram: bin centres, counts and helpers."""
+
+    bin_centers_nm: np.ndarray
+    counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        centers = np.asarray(self.bin_centers_nm, dtype=float)
+        counts = np.asarray(self.counts, dtype=float)
+        if centers.shape != counts.shape:
+            raise ValueError("bin_centers_nm and counts must have the same shape")
+        if centers.size == 0:
+            raise ValueError("histogram must have at least one bin")
+        if np.any(centers <= 0):
+            raise ValueError("bin centres must be strictly positive")
+        if np.any(counts < 0):
+            raise ValueError("counts must be non-negative")
+        object.__setattr__(self, "bin_centers_nm", centers)
+        object.__setattr__(self, "counts", counts)
+
+    @property
+    def total_count(self) -> float:
+        """Total number of devices in the histogram."""
+        return float(np.sum(self.counts))
+
+    @property
+    def fractions(self) -> np.ndarray:
+        """Per-bin fraction of devices."""
+        total = self.total_count
+        if total == 0:
+            return np.zeros_like(self.counts)
+        return self.counts / total
+
+    def fraction_below(self, width_nm: float) -> float:
+        """Fraction of devices with width ≤ ``width_nm``."""
+        mask = self.bin_centers_nm <= width_nm
+        return float(np.sum(self.fractions[mask]))
+
+    def count_below(self, width_nm: float) -> float:
+        """Number of devices with width ≤ ``width_nm``."""
+        mask = self.bin_centers_nm <= width_nm
+        return float(np.sum(self.counts[mask]))
+
+    def mean_width_nm(self) -> float:
+        """Device-count-weighted mean width."""
+        total = self.total_count
+        if total == 0:
+            raise ValueError("histogram is empty")
+        return float(np.sum(self.bin_centers_nm * self.counts) / total)
+
+    def scaled_counts(self, total_count: float) -> "WidthHistogram":
+        """Same shape, rescaled so the counts sum to ``total_count``."""
+        ensure_positive(total_count, "total_count")
+        return WidthHistogram(
+            bin_centers_nm=self.bin_centers_nm.copy(),
+            counts=self.fractions * total_count,
+        )
+
+
+class Design:
+    """A concrete netlist of standard-cell instances.
+
+    Parameters
+    ----------
+    name:
+        Design name.
+    library:
+        The standard-cell library the instances refer to.
+    instances:
+        Optional initial instance list.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        library: CellLibrary,
+        instances: Optional[Iterable[CellInstance]] = None,
+    ) -> None:
+        self.name = name
+        self.library = library
+        self._instances: List[CellInstance] = []
+        self._instance_names: set = set()
+        for instance in instances or ():
+            self.add_instance(instance)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_instance(self, instance: CellInstance) -> None:
+        """Add an instance, validating the cell exists and the name is unique."""
+        if instance.name in self._instance_names:
+            raise ValueError(f"duplicate instance name {instance.name!r}")
+        if instance.cell_name not in self.library:
+            raise KeyError(
+                f"instance {instance.name!r} refers to unknown cell "
+                f"{instance.cell_name!r}"
+            )
+        self._instances.append(instance)
+        self._instance_names.add(instance.name)
+
+    def add(self, instance_name: str, cell_name: str) -> CellInstance:
+        """Create and add an instance in one call."""
+        instance = CellInstance(name=instance_name, cell_name=cell_name)
+        self.add_instance(instance)
+        return instance
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    @property
+    def instances(self) -> Sequence[CellInstance]:
+        """All instances in insertion order."""
+        return tuple(self._instances)
+
+    @property
+    def instance_count(self) -> int:
+        """Number of cell instances."""
+        return len(self._instances)
+
+    def cell_of(self, instance: CellInstance) -> StandardCell:
+        """The library cell an instance refers to."""
+        return self.library.get(instance.cell_name)
+
+    def instance_counts_by_cell(self) -> Dict[str, int]:
+        """Histogram of instances per library cell."""
+        counts: Dict[str, int] = {}
+        for instance in self._instances:
+            counts[instance.cell_name] = counts.get(instance.cell_name, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Transistor statistics
+    # ------------------------------------------------------------------
+
+    def transistor_widths_nm(
+        self, polarity: Optional[Polarity] = None
+    ) -> np.ndarray:
+        """Widths of every transistor in the design (instance-weighted)."""
+        widths: List[float] = []
+        cell_cache: Dict[str, List[float]] = {}
+        for instance in self._instances:
+            cached = cell_cache.get(instance.cell_name)
+            if cached is None:
+                cell = self.cell_of(instance)
+                cached = cell.transistor_widths_nm(polarity)
+                cell_cache[instance.cell_name] = cached
+            widths.extend(cached)
+        return np.asarray(widths, dtype=float)
+
+    @property
+    def transistor_count(self) -> int:
+        """Total number of transistors across all instances."""
+        return int(self.transistor_widths_nm().size)
+
+    def width_histogram(self, bin_width_nm: float = 80.0) -> WidthHistogram:
+        """Histogram of transistor widths on a regular grid of bins.
+
+        Bins are centred on multiples of ``bin_width_nm`` (80, 160, 240, ...),
+        matching the binning of Fig. 2.2a.
+        """
+        ensure_positive(bin_width_nm, "bin_width_nm")
+        widths = self.transistor_widths_nm()
+        if widths.size == 0:
+            raise ValueError(f"design {self.name} has no transistors")
+        bin_indices = np.maximum(np.round(widths / bin_width_nm).astype(int), 1)
+        max_bin = int(bin_indices.max())
+        counts = np.bincount(bin_indices, minlength=max_bin + 1)[1:]
+        centers = bin_width_nm * np.arange(1, max_bin + 1)
+        keep = counts > 0
+        # Keep empty interior bins out of the histogram but preserve order.
+        return WidthHistogram(bin_centers_nm=centers[keep], counts=counts[keep])
+
+    def to_statistical(
+        self,
+        scaled_to: Optional[float] = None,
+        bin_width_nm: float = 80.0,
+    ) -> "StatisticalDesign":
+        """Convert to a :class:`StatisticalDesign`, optionally rescaled.
+
+        ``scaled_to`` is the transistor count of the target chip (the paper
+        scales an OpenRISC-core histogram up to M = 1e8 devices).
+        """
+        histogram = self.width_histogram(bin_width_nm)
+        total = scaled_to if scaled_to is not None else histogram.total_count
+        return StatisticalDesign(
+            name=self.name if scaled_to is None else f"{self.name}_scaled",
+            histogram=histogram.scaled_counts(total),
+        )
+
+
+@dataclass(frozen=True)
+class StatisticalDesign:
+    """A design described only by its transistor-width histogram.
+
+    This is the representation consumed by the chip-level yield and penalty
+    analyses (Eq. 2.3–2.5, Fig. 2.2b, Fig. 3.3).
+    """
+
+    name: str
+    histogram: WidthHistogram
+    min_size_bin_count: int = 2
+    """Number of smallest bins treated as "minimum size" when estimating
+    Mmin, following the paper's two-left-most-bins rule."""
+
+    @property
+    def transistor_count(self) -> float:
+        """Total transistor count M."""
+        return self.histogram.total_count
+
+    @property
+    def widths_nm(self) -> np.ndarray:
+        """Histogram bin centres."""
+        return self.histogram.bin_centers_nm
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Histogram bin counts."""
+        return self.histogram.counts
+
+    @property
+    def min_size_device_count(self) -> float:
+        """Mmin — devices in the smallest ``min_size_bin_count`` bins."""
+        order = np.argsort(self.widths_nm)
+        smallest = order[: self.min_size_bin_count]
+        return float(np.sum(self.counts[smallest]))
+
+    @property
+    def min_size_fraction(self) -> float:
+        """Mmin / M."""
+        total = self.transistor_count
+        if total == 0:
+            return 0.0
+        return self.min_size_device_count / total
+
+    def scaled_to(self, transistor_count: float) -> "StatisticalDesign":
+        """Same width distribution rescaled to another chip size."""
+        return StatisticalDesign(
+            name=f"{self.name}_scaled",
+            histogram=self.histogram.scaled_counts(transistor_count),
+            min_size_bin_count=self.min_size_bin_count,
+        )

@@ -1,0 +1,211 @@
+"""Row-based placement and extraction of the small-CNFET density Pmin-CNFET.
+
+Equation 3.2 of the paper depends on a design-level quantity: the average
+linear density of small-width CNFETs along a placement row (Pmin-CNFET,
+1.8 FETs/µm for the OpenRISC case study).  That density is a property of
+*placed* designs, so this module provides a simple but real placement
+substrate:
+
+* cells are packed greedily into fixed-height rows of a given width,
+* each placed instance exposes the x-extents of its transistors' active
+  regions,
+* the :class:`PlacementStatistics` summary counts the minimum-size devices
+  per row and per micrometre, the quantity fed into
+  :class:`~repro.core.correlation.CorrelationParameters`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cells.cell import StandardCell
+from repro.netlist.design import CellInstance, Design
+from repro.units import ensure_positive, per_nm_to_per_um
+
+
+@dataclass(frozen=True)
+class PlacedInstance:
+    """A cell instance placed at a row-local x offset."""
+
+    instance: CellInstance
+    cell: StandardCell
+    x_nm: float
+
+    @property
+    def x_end_nm(self) -> float:
+        """Right edge of the placed cell."""
+        return self.x_nm + self.cell.width_nm
+
+
+@dataclass
+class PlacementRow:
+    """One placement row: fixed height, cells packed left to right."""
+
+    index: int
+    width_nm: float
+    placed: List[PlacedInstance] = field(default_factory=list)
+    used_nm: float = 0.0
+
+    def fits(self, cell: StandardCell) -> bool:
+        """Whether the cell still fits in the remaining row width."""
+        return self.used_nm + cell.width_nm <= self.width_nm
+
+    def place(self, instance: CellInstance, cell: StandardCell) -> PlacedInstance:
+        """Place a cell at the current packing cursor."""
+        if not self.fits(cell):
+            raise ValueError(
+                f"cell {cell.name} does not fit in row {self.index} "
+                f"({self.used_nm + cell.width_nm:.0f} > {self.width_nm:.0f} nm)"
+            )
+        placed = PlacedInstance(instance=instance, cell=cell, x_nm=self.used_nm)
+        self.placed.append(placed)
+        self.used_nm += cell.width_nm
+        return placed
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of the row width occupied by cells."""
+        return self.used_nm / self.width_nm
+
+    def transistor_positions_nm(
+        self, max_width_nm: Optional[float] = None
+    ) -> np.ndarray:
+        """x positions of (optionally only small) transistors in this row.
+
+        Each transistor is located at the centre of its column inside its
+        placed cell.  ``max_width_nm`` filters for small-width devices, which
+        is how the Pmin-CNFET density is measured.
+        """
+        positions: List[float] = []
+        for placed in self.placed:
+            cell = placed.cell
+            for t in cell.transistors:
+                if max_width_nm is not None and t.width_nm > max_width_nm:
+                    continue
+                x = placed.x_nm + (t.column + 0.5) * cell.gate_pitch_nm
+                positions.append(x)
+        return np.asarray(positions, dtype=float)
+
+
+@dataclass(frozen=True)
+class PlacementStatistics:
+    """Row-level statistics needed by the correlation model."""
+
+    row_count: int
+    row_width_nm: float
+    mean_utilisation: float
+    total_transistors: int
+    small_transistors: int
+    small_density_per_um: float
+    small_width_threshold_nm: float
+
+    @property
+    def small_fraction(self) -> float:
+        """Fraction of devices that are small-width."""
+        if self.total_transistors == 0:
+            return 0.0
+        return self.small_transistors / self.total_transistors
+
+
+class RowPlacement:
+    """Greedy row packer for a :class:`~repro.netlist.design.Design`.
+
+    Parameters
+    ----------
+    design:
+        The design to place.
+    row_width_nm:
+        Width of each placement row.  The default (200 µm) matches the CNT
+        length of the paper so one row corresponds to one correlation domain.
+    utilisation_target:
+        Fraction of each row the packer is allowed to fill (models routing
+        whitespace); cells overflow to the next row beyond it.
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        row_width_nm: float = 200_000.0,
+        utilisation_target: float = 0.85,
+    ) -> None:
+        self.design = design
+        self.row_width_nm = ensure_positive(row_width_nm, "row_width_nm")
+        if not 0.0 < utilisation_target <= 1.0:
+            raise ValueError("utilisation_target must lie in (0, 1]")
+        self.utilisation_target = float(utilisation_target)
+        self._rows: Optional[List[PlacementRow]] = None
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+
+    def run(self) -> List[PlacementRow]:
+        """Pack all instances into rows (cached after the first call)."""
+        if self._rows is not None:
+            return self._rows
+        rows: List[PlacementRow] = []
+        usable_width = self.row_width_nm * self.utilisation_target
+        current = PlacementRow(index=0, width_nm=self.row_width_nm)
+        rows.append(current)
+        for instance in self.design.instances:
+            cell = self.design.cell_of(instance)
+            if cell.width_nm > usable_width:
+                raise ValueError(
+                    f"cell {cell.name} ({cell.width_nm:.0f} nm) is wider than a "
+                    f"usable row ({usable_width:.0f} nm)"
+                )
+            if current.used_nm + cell.width_nm > usable_width:
+                current = PlacementRow(index=len(rows), width_nm=self.row_width_nm)
+                rows.append(current)
+            current.place(instance, cell)
+        self._rows = rows
+        return rows
+
+    @property
+    def rows(self) -> Sequence[PlacementRow]:
+        """The placement rows (runs the placer on first access)."""
+        return tuple(self.run())
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def statistics(self, small_width_threshold_nm: float = 160.0) -> PlacementStatistics:
+        """Placement statistics, including the Pmin-CNFET density.
+
+        Parameters
+        ----------
+        small_width_threshold_nm:
+            Devices at or below this width count as "small" (the paper's
+            minimum-size population; the default covers the two smallest
+            histogram bins).
+        """
+        rows = self.run()
+        total = 0
+        small = 0
+        occupied_length_nm = 0.0
+        for row in rows:
+            for placed in row.placed:
+                widths = placed.cell.transistor_widths_nm()
+                total += len(widths)
+                small += sum(1 for w in widths if w <= small_width_threshold_nm)
+            occupied_length_nm += row.used_nm
+        density_per_nm = small / occupied_length_nm if occupied_length_nm > 0 else 0.0
+        return PlacementStatistics(
+            row_count=len(rows),
+            row_width_nm=self.row_width_nm,
+            mean_utilisation=float(np.mean([r.utilisation for r in rows])),
+            total_transistors=total,
+            small_transistors=small,
+            small_density_per_um=per_nm_to_per_um(density_per_nm),
+            small_width_threshold_nm=float(small_width_threshold_nm),
+        )
+
+    def small_device_density_per_um(
+        self, small_width_threshold_nm: float = 160.0
+    ) -> float:
+        """Pmin-CNFET: small devices per µm of occupied row length."""
+        return self.statistics(small_width_threshold_nm).small_density_per_um

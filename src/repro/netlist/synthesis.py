@@ -1,0 +1,186 @@
+"""A minimal load-driven sizing pass ("synthesis" substrate).
+
+The paper's case study uses an OpenRISC core synthesized with a commercial
+tool.  We cannot (and need not) reproduce a full synthesis flow; what the
+yield analysis consumes is a *realistic drive-strength mix* — most gates at
+small drives, a tail of larger drives on high-fanout nets — because that mix
+determines the transistor-width histogram of Fig. 2.2a.
+
+This module provides a tiny but real sizing pass:
+
+* a :class:`GateNetwork` of technology-independent gates with fanout
+  information,
+* a :class:`SizingPass` that picks the smallest library drive strength whose
+  drive capability covers the gate's load (fanout × a nominal input load),
+  the classic load-per-drive heuristic used by quick synthesis estimates.
+
+The OpenRISC-like generator in :mod:`repro.netlist.openrisc` builds gate
+networks whose fanout distribution follows Rent-style locality, runs this
+pass, and produces the concrete :class:`~repro.netlist.design.Design`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cells.library import CellLibrary
+from repro.netlist.design import CellInstance, Design
+from repro.units import ensure_positive
+
+
+@dataclass(frozen=True)
+class LogicalGate:
+    """A technology-independent gate awaiting technology mapping.
+
+    Parameters
+    ----------
+    name:
+        Instance name.
+    function:
+        Library base function name, e.g. ``"NAND2"`` or ``"DFFR"``.
+    fanout:
+        Number of gate inputs this gate drives.
+    is_sequential:
+        Whether the gate is a register (sized from a separate drive ladder).
+    """
+
+    name: str
+    function: str
+    fanout: int
+    is_sequential: bool = False
+
+    def __post_init__(self) -> None:
+        if self.fanout < 0:
+            raise ValueError(f"fanout must be non-negative, got {self.fanout}")
+
+
+@dataclass
+class GateNetwork:
+    """A bag of logical gates with fanout statistics."""
+
+    name: str
+    gates: List[LogicalGate] = field(default_factory=list)
+
+    def add(self, gate: LogicalGate) -> None:
+        """Append a gate to the network."""
+        self.gates.append(gate)
+
+    @property
+    def gate_count(self) -> int:
+        """Number of gates."""
+        return len(self.gates)
+
+    def fanouts(self) -> np.ndarray:
+        """Array of per-gate fanouts."""
+        return np.array([g.fanout for g in self.gates], dtype=int)
+
+    def function_histogram(self) -> Dict[str, int]:
+        """Gate count per function."""
+        histogram: Dict[str, int] = {}
+        for gate in self.gates:
+            histogram[gate.function] = histogram.get(gate.function, 0) + 1
+        return histogram
+
+
+class SizingPass:
+    """Maps logical gates onto library drive strengths by load.
+
+    Parameters
+    ----------
+    library:
+        Target standard-cell library.  Drive strengths are discovered from
+        the library's cell names (``<FUNCTION>_X<drive>``).
+    load_per_fanout:
+        Load units contributed by each fanout destination.
+    drive_capability_per_x:
+        Load units one unit of drive strength can handle before the next
+        drive strength up is selected.
+    """
+
+    def __init__(
+        self,
+        library: CellLibrary,
+        load_per_fanout: float = 1.0,
+        drive_capability_per_x: float = 3.0,
+    ) -> None:
+        self.library = library
+        self.load_per_fanout = ensure_positive(load_per_fanout, "load_per_fanout")
+        self.drive_capability_per_x = ensure_positive(
+            drive_capability_per_x, "drive_capability_per_x"
+        )
+        self._drives_by_function = self._index_library(library)
+
+    @staticmethod
+    def _index_library(library: CellLibrary) -> Dict[str, List[int]]:
+        """Map function name -> sorted available drive strengths."""
+        drives: Dict[str, List[int]] = {}
+        for cell in library:
+            name = cell.name
+            if "_X" not in name:
+                continue
+            function, _, suffix = name.rpartition("_X")
+            try:
+                drive = int(suffix)
+            except ValueError:
+                continue
+            drives.setdefault(function, []).append(drive)
+        for function in drives:
+            drives[function] = sorted(set(drives[function]))
+        return drives
+
+    # ------------------------------------------------------------------
+    # Sizing
+    # ------------------------------------------------------------------
+
+    def available_functions(self) -> Sequence[str]:
+        """Functions for which at least one drive strength exists."""
+        return sorted(self._drives_by_function)
+
+    def drives_for(self, function: str) -> Sequence[int]:
+        """Available drive strengths for a function."""
+        try:
+            return tuple(self._drives_by_function[function])
+        except KeyError:
+            raise KeyError(
+                f"function {function!r} not present in library {self.library.name!r}"
+            ) from None
+
+    def select_drive(self, gate: LogicalGate) -> int:
+        """Smallest drive strength whose capability covers the gate's load."""
+        drives = self.drives_for(gate.function)
+        load = gate.fanout * self.load_per_fanout
+        for drive in drives:
+            if drive * self.drive_capability_per_x >= load:
+                return drive
+        return drives[-1]
+
+    def map_gate(self, gate: LogicalGate) -> str:
+        """Library cell name chosen for a logical gate."""
+        drive = self.select_drive(gate)
+        return f"{gate.function}_X{drive}"
+
+    def run(self, network: GateNetwork, design_name: Optional[str] = None) -> Design:
+        """Map a whole network onto library cells, producing a :class:`Design`."""
+        design = Design(design_name or network.name, self.library)
+        for index, gate in enumerate(network.gates):
+            cell_name = self.map_gate(gate)
+            design.add(f"{gate.name}_{index}", cell_name)
+        return design
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def drive_mix(self, design: Design) -> Dict[int, int]:
+        """Instance count per selected drive strength (for sanity checks)."""
+        mix: Dict[int, int] = {}
+        for instance in design.instances:
+            name = instance.cell_name
+            if "_X" not in name:
+                continue
+            drive = int(name.rpartition("_X")[2])
+            mix[drive] = mix.get(drive, 0) + 1
+        return mix

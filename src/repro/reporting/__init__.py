@@ -1,0 +1,41 @@
+"""Reporting layer: table/figure data generators and text rendering.
+
+Every table and figure of the paper has a generator here that returns plain
+data structures (dictionaries / arrays) plus a text renderer, so benchmarks
+and examples print the same rows and series the paper reports without any
+plotting dependency:
+
+* :mod:`repro.reporting.figures` — data series for Fig. 2.1, Fig. 2.2a,
+  Fig. 2.2b, Fig. 3.1 and Fig. 3.3.
+* :mod:`repro.reporting.tables` — Table 1 and Table 2 generators.
+* :mod:`repro.reporting.ascii_plot` — minimal text plotting used by the
+  examples to visualise curves in a terminal.
+* :mod:`repro.reporting.experiments` — paper-versus-measured records backing
+  EXPERIMENTS.md.
+"""
+
+from repro.reporting.figures import (
+    fig2_1_data,
+    fig2_2a_data,
+    fig2_2b_data,
+    fig3_1_data,
+    fig3_3_data,
+)
+from repro.reporting.tables import table1_data, table2_data, render_table
+from repro.reporting.ascii_plot import ascii_line_plot, ascii_bar_chart
+from repro.reporting.experiments import ExperimentRecord, experiment_summary
+
+__all__ = [
+    "fig2_1_data",
+    "fig2_2a_data",
+    "fig2_2b_data",
+    "fig3_1_data",
+    "fig3_3_data",
+    "table1_data",
+    "table2_data",
+    "render_table",
+    "ascii_line_plot",
+    "ascii_bar_chart",
+    "ExperimentRecord",
+    "experiment_summary",
+]

@@ -1,0 +1,107 @@
+"""Minimal text-based plotting for terminal output.
+
+The examples display the reproduced curves without any plotting dependency,
+so a tiny ASCII renderer is provided: a line plot (optionally log-scaled on
+the y axis) and a horizontal bar chart.  Both return strings so they can be
+asserted on in tests and piped anywhere.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+
+def ascii_line_plot(
+    x: Iterable[float],
+    y: Iterable[float],
+    width: int = 70,
+    height: int = 18,
+    log_y: bool = False,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    marker: str = "*",
+) -> str:
+    """Render a single series as an ASCII scatter/line plot.
+
+    Parameters
+    ----------
+    x, y:
+        Data series (equal length).
+    width, height:
+        Plot canvas size in characters.
+    log_y:
+        Plot log10(y) instead of y (non-positive values are dropped).
+    title, x_label, y_label:
+        Labels included in the rendered text.
+    marker:
+        Character used for data points.
+    """
+    x_arr = np.asarray(list(x), dtype=float)
+    y_arr = np.asarray(list(y), dtype=float)
+    if x_arr.size != y_arr.size:
+        raise ValueError("x and y must have the same length")
+    if x_arr.size == 0:
+        return "(no data)"
+
+    if log_y:
+        keep = y_arr > 0
+        x_arr, y_arr = x_arr[keep], np.log10(y_arr[keep])
+        if x_arr.size == 0:
+            return "(no positive data for log plot)"
+
+    x_min, x_max = float(x_arr.min()), float(x_arr.max())
+    y_min, y_max = float(y_arr.min()), float(y_arr.max())
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for xi, yi in zip(x_arr, y_arr):
+        col = int(round((xi - x_min) / (x_max - x_min) * (width - 1)))
+        row = int(round((yi - y_min) / (y_max - y_min) * (height - 1)))
+        canvas[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = f"{y_max:.3g}" + (" (log10)" if log_y else "")
+    y_bottom = f"{y_min:.3g}" + (" (log10)" if log_y else "")
+    lines.append(f"{y_label}: {y_bottom} .. {y_top}")
+    lines.extend("|" + "".join(row) for row in canvas)
+    lines.append("+" + "-" * width)
+    lines.append(f"{x_label}: {x_min:.3g} .. {x_max:.3g}")
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Iterable[float],
+    width: int = 50,
+    title: str = "",
+    value_format: str = "{:.1f}",
+) -> str:
+    """Render labelled values as a horizontal bar chart."""
+    values_arr = np.asarray(list(values), dtype=float)
+    labels = list(labels)
+    if len(labels) != values_arr.size:
+        raise ValueError("labels and values must have the same length")
+    if values_arr.size == 0:
+        return "(no data)"
+    max_value = float(np.max(np.abs(values_arr))) or 1.0
+    label_width = max(len(str(label)) for label in labels)
+
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values_arr):
+        bar_len = int(round(abs(value) / max_value * width))
+        bar = "#" * bar_len
+        lines.append(
+            f"{str(label).rjust(label_width)} | {bar} {value_format.format(value)}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Paper-versus-measured experiment records.
+
+EXPERIMENTS.md documents, for every table and figure, what the paper reports
+and what this reproduction measures.  The records here provide the
+machinery: each :class:`ExperimentRecord` carries the experiment id, the
+paper's value, the reproduced value and an agreement note, and
+:func:`experiment_summary` renders a collection of them as markdown-ready
+text.  The benchmark harness uses these records to print consistent
+paper-versus-measured lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One paper-versus-measured comparison line."""
+
+    experiment_id: str
+    description: str
+    paper_value: str
+    measured_value: str
+    note: str = ""
+
+    def as_markdown_row(self) -> str:
+        """Render as a Markdown table row."""
+        note = self.note or "-"
+        return (
+            f"| {self.experiment_id} | {self.description} | "
+            f"{self.paper_value} | {self.measured_value} | {note} |"
+        )
+
+
+MARKDOWN_HEADER = (
+    "| Experiment | Description | Paper | Measured | Note |\n"
+    "|---|---|---|---|---|"
+)
+
+
+def experiment_summary(records: Iterable[ExperimentRecord]) -> str:
+    """Render experiment records as a Markdown table."""
+    lines: List[str] = [MARKDOWN_HEADER]
+    for record in records:
+        lines.append(record.as_markdown_row())
+    return "\n".join(lines)
+
+
+def format_ratio(measured: float, paper: float) -> str:
+    """Human-readable measured/paper ratio annotation."""
+    if paper == 0:
+        return "paper value is zero"
+    ratio = measured / paper
+    return f"measured/paper = {ratio:.2f}"
+
+
+def record_from_numbers(
+    experiment_id: str,
+    description: str,
+    paper_value: float,
+    measured_value: float,
+    unit: str = "",
+    value_format: str = "{:.3g}",
+    note: Optional[str] = None,
+) -> ExperimentRecord:
+    """Build a record from two floats with consistent formatting."""
+    suffix = f" {unit}" if unit else ""
+    return ExperimentRecord(
+        experiment_id=experiment_id,
+        description=description,
+        paper_value=value_format.format(paper_value) + suffix,
+        measured_value=value_format.format(measured_value) + suffix,
+        note=note if note is not None else format_ratio(measured_value, paper_value),
+    )

@@ -1,0 +1,189 @@
+"""Data generators for every figure of the paper's evaluation.
+
+Each function returns a plain dictionary of arrays/values so that
+benchmarks, examples and tests can consume the data without a plotting
+dependency.  The corresponding paper figure is noted in each docstring.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.constants import TECHNOLOGY_NODES_NM
+from repro.core.calibration import CalibratedSetup
+from repro.core.correlation import LayoutScenario
+from repro.core.failure import CNFETFailureModel, FIG2_1_CORNERS
+from repro.core.scaling import penalty_versus_node
+from repro.core.optimizer import CoOptimizationFlow
+from repro.growth.directional import DirectionalGrowthModel, count_correlation_between_fets
+from repro.growth.isotropic import IsotropicGrowthModel
+from repro.growth.pitch import pitch_distribution_from_cv
+from repro.growth.types import CNTTypeModel
+from repro.netlist.design import StatisticalDesign
+from repro.netlist.openrisc import openrisc_width_histogram
+
+
+def fig2_1_data(
+    setup: Optional[CalibratedSetup] = None,
+    widths_nm: Optional[Sequence[float]] = None,
+) -> Dict[str, object]:
+    """Fig. 2.1 — CNFET failure probability pF versus width W.
+
+    Returns one curve per processing corner (pm=33 %/pRs=30 %, pm=33 %/pRs=0,
+    pm=0/pRs=0), plus the two horizontal budget lines (unrelaxed and relaxed)
+    and the widths at which the worst-corner curve crosses them (the paper's
+    Wmin ≈ 155 nm and ≈ 103 nm markers).
+    """
+    setup = setup or CalibratedSetup()
+    widths = np.asarray(
+        widths_nm if widths_nm is not None else np.arange(20.0, 181.0, 2.0),
+        dtype=float,
+    )
+    curves = {}
+    for corner in FIG2_1_CORNERS:
+        model = CNFETFailureModel.from_corner(setup.count_model, corner)
+        curves[corner.name] = model.failure_probabilities(widths)
+
+    budget = setup.required_pf()
+    relaxed_budget = setup.required_pf(setup.relaxation_factor())
+    worst = CNFETFailureModel.from_corner(setup.count_model, FIG2_1_CORNERS[0])
+    wmin_unrelaxed = worst.width_for_failure_probability(budget)
+    wmin_relaxed = worst.width_for_failure_probability(relaxed_budget)
+
+    return {
+        "widths_nm": widths,
+        "curves": curves,
+        "budget_pf": budget,
+        "relaxed_budget_pf": relaxed_budget,
+        "wmin_unrelaxed_nm": wmin_unrelaxed,
+        "wmin_relaxed_nm": wmin_relaxed,
+        "relaxation_factor": setup.relaxation_factor(),
+    }
+
+
+def fig2_2a_data(
+    design: Optional[StatisticalDesign] = None,
+) -> Dict[str, object]:
+    """Fig. 2.2a — transistor-width histogram of the OpenRISC case study."""
+    design = design or openrisc_width_histogram()
+    histogram = design.histogram
+    return {
+        "bin_centers_nm": histogram.bin_centers_nm,
+        "fractions": histogram.fractions,
+        "percentages": 100.0 * histogram.fractions,
+        "min_size_fraction": design.min_size_fraction,
+        "transistor_count": design.transistor_count,
+    }
+
+
+def fig2_2b_data(
+    setup: Optional[CalibratedSetup] = None,
+    design: Optional[StatisticalDesign] = None,
+    nodes_nm: Optional[Sequence[float]] = None,
+) -> Dict[str, object]:
+    """Fig. 2.2b — upsizing gate-capacitance penalty versus technology node.
+
+    Uses the *uncorrelated* Wmin (the paper's Sec. 2 baseline).
+    """
+    setup = setup or CalibratedSetup()
+    design = design or openrisc_width_histogram(setup.chip_transistor_count)
+    nodes = list(nodes_nm) if nodes_nm is not None else list(TECHNOLOGY_NODES_NM)
+    wmin = setup.wmin_solver.solve_simplified(design.min_size_device_count).wmin_nm
+    study = penalty_versus_node(
+        design.widths_nm, design.counts, wmin, nodes_nm=nodes,
+        label="Without CNT correlation",
+    )
+    return {
+        "nodes_nm": study.nodes_nm,
+        "penalty_percent": study.penalties_percent,
+        "wmin_nm": wmin,
+    }
+
+
+def fig3_1_data(
+    fet_width_nm: float = 80.0,
+    fet_separation_um: float = 1.0,
+    n_samples: int = 300,
+    seed: int = 31,
+) -> Dict[str, object]:
+    """Fig. 3.1 — CNT count correlation between two FETs under three styles.
+
+    The paper's Fig. 3.1 is an illustration (SEM-style sketches); the
+    quantitative counterpart reproduced here is the correlation coefficient
+    between the working-CNT counts of two equal-width FETs spaced 1 µm apart
+    along the growth direction, under (a) uncorrelated growth, (b)
+    directional growth with a misaligned (offset) layout and (c) directional
+    growth with an aligned-active layout.
+    """
+    rng = np.random.default_rng(seed)
+    type_model = CNTTypeModel()
+    pitch = pitch_distribution_from_cv(4.0, 1.0)
+    separation_nm = fet_separation_um * 1000.0
+    region_length_nm = separation_nm + 2_000.0
+
+    # (a) uncorrelated growth: independent populations per FET.
+    iso = IsotropicGrowthModel(pitch=pitch, type_model=type_model)
+    counts_a1 = np.empty(n_samples)
+    counts_a2 = np.empty(n_samples)
+    for i in range(n_samples):
+        counts_a1[i] = iso.sample_device(fet_width_nm, rng).working_count
+        counts_a2[i] = iso.sample_device(fet_width_nm, rng).working_count
+
+    # (b) directional growth, misaligned: FET2 offset by half a width in y.
+    # (c) directional growth, aligned: same y-window for both FETs.
+    directional = DirectionalGrowthModel(pitch=pitch, type_model=type_model)
+    counts_b1 = np.empty(n_samples)
+    counts_b2 = np.empty(n_samples)
+    counts_c1 = np.empty(n_samples)
+    counts_c2 = np.empty(n_samples)
+    offset = 0.5 * fet_width_nm
+    grow_width = fet_width_nm + offset + 20.0
+    fet1_x = (500.0, 500.0 + 200.0)
+    fet2_x = (500.0 + separation_nm, 500.0 + separation_nm + 200.0)
+    for i in range(n_samples):
+        region = directional.grow(grow_width, region_length_nm, rng)
+        counts_b1[i] = region.working_count_in_window(0.0, fet_width_nm, *fet1_x)
+        counts_b2[i] = region.working_count_in_window(offset, offset + fet_width_nm, *fet2_x)
+        counts_c1[i] = region.working_count_in_window(0.0, fet_width_nm, *fet1_x)
+        counts_c2[i] = region.working_count_in_window(0.0, fet_width_nm, *fet2_x)
+
+    def corr(x: np.ndarray, y: np.ndarray) -> float:
+        if np.std(x) == 0 or np.std(y) == 0:
+            return float("nan")
+        return float(np.corrcoef(x, y)[0, 1])
+
+    return {
+        "fet_width_nm": fet_width_nm,
+        "fet_separation_um": fet_separation_um,
+        "correlation_uncorrelated_growth": corr(counts_a1, counts_a2),
+        "correlation_directional_non_aligned": corr(counts_b1, counts_b2),
+        "correlation_directional_aligned": corr(counts_c1, counts_c2),
+        "n_samples": n_samples,
+    }
+
+
+def fig3_3_data(
+    setup: Optional[CalibratedSetup] = None,
+    design: Optional[StatisticalDesign] = None,
+    nodes_nm: Optional[Sequence[float]] = None,
+) -> Dict[str, object]:
+    """Fig. 3.3 — penalty versus node, before and after the co-optimization."""
+    setup = setup or CalibratedSetup()
+    design = design or openrisc_width_histogram(setup.chip_transistor_count)
+    flow = CoOptimizationFlow(
+        setup=setup,
+        widths_nm=design.widths_nm,
+        counts=design.counts,
+        min_size_device_count=design.min_size_device_count,
+    )
+    report = flow.run(nodes_nm=nodes_nm)
+    return {
+        "nodes_nm": report.baseline_scaling.nodes_nm,
+        "penalty_without_correlation_percent": report.baseline_scaling.penalties_percent,
+        "penalty_with_correlation_percent": report.optimized_scaling.penalties_percent,
+        "wmin_without_nm": report.baseline_wmin.wmin_nm,
+        "wmin_with_nm": report.optimized_wmin.wmin_nm,
+        "relaxation_factor": report.relaxation_factor,
+    }

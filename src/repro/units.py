@@ -1,0 +1,101 @@
+"""Unit conventions and conversion helpers used throughout :mod:`repro`.
+
+The library works in a small set of canonical units chosen to keep the
+numbers in the original paper directly readable in the code:
+
+* lengths that describe devices and layouts are in **nanometres** (nm),
+* lengths that describe carbon nanotubes and placement rows are frequently
+  quoted in **micrometres** (µm) in the paper, so conversion helpers are
+  provided,
+* capacitance is expressed in **arbitrary width-proportional units**
+  (the paper's "penalty" metric is a ratio of total gate capacitance, which
+  is proportional to total transistor width, so no absolute Farad value is
+  ever needed),
+* probabilities are plain floats in ``[0, 1]``.
+
+Keeping the units explicit in function and attribute names (``width_nm``,
+``length_um`` ...) is the convention across the code base; the helpers here
+exist so callers never have to remember the ``1e3`` factors.
+"""
+
+from __future__ import annotations
+
+NM_PER_UM = 1000.0
+"""Number of nanometres in one micrometre."""
+
+UM_PER_MM = 1000.0
+"""Number of micrometres in one millimetre."""
+
+NM_PER_MM = NM_PER_UM * UM_PER_MM
+"""Number of nanometres in one millimetre."""
+
+
+def um_to_nm(value_um: float) -> float:
+    """Convert a length from micrometres to nanometres."""
+    return float(value_um) * NM_PER_UM
+
+
+def nm_to_um(value_nm: float) -> float:
+    """Convert a length from nanometres to micrometres."""
+    return float(value_nm) / NM_PER_UM
+
+
+def mm_to_nm(value_mm: float) -> float:
+    """Convert a length from millimetres to nanometres."""
+    return float(value_mm) * NM_PER_MM
+
+
+def nm_to_mm(value_nm: float) -> float:
+    """Convert a length from nanometres to millimetres."""
+    return float(value_nm) / NM_PER_MM
+
+
+def per_um_to_per_nm(value_per_um: float) -> float:
+    """Convert a linear density from 1/µm to 1/nm.
+
+    The paper quotes the small-CNFET placement density ``Pmin-CNFET`` in
+    FETs per micrometre (1.8 FETs/µm for the OpenRISC case study); internal
+    row models work in nanometres.
+    """
+    return float(value_per_um) / NM_PER_UM
+
+
+def per_nm_to_per_um(value_per_nm: float) -> float:
+    """Convert a linear density from 1/nm to 1/µm."""
+    return float(value_per_nm) * NM_PER_UM
+
+
+def ensure_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is strictly positive and return it as float.
+
+    Raises
+    ------
+    ValueError
+        If ``value`` is not strictly positive.
+    """
+    value = float(value)
+    if not value > 0.0:
+        raise ValueError(f"{name} must be strictly positive, got {value!r}")
+    return value
+
+
+def ensure_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1].
+
+    Raises
+    ------
+    ValueError
+        If ``value`` is outside ``[0, 1]`` or not finite.
+    """
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def ensure_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is non-negative and return it as float."""
+    value = float(value)
+    if value < 0.0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value

@@ -1,0 +1,70 @@
+"""Tests for the gate-delay variation extension."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.delay import GateDelayModel
+from repro.core.count_model import PoissonCountModel
+from repro.growth.types import CNTTypeModel
+
+
+@pytest.fixture
+def model():
+    return GateDelayModel(
+        count_model=PoissonCountModel(4.0),
+        type_model=CNTTypeModel(1.0 / 3.0, 1.0, 0.0),
+        fanout=4,
+    )
+
+
+class TestNominalDelay:
+    def test_nominal_delay_positive(self, model):
+        assert model.nominal_delay(160.0) > 0.0
+
+    def test_nominal_delay_roughly_width_independent(self, model):
+        # Load and drive both scale with width, so the nominal delay is
+        # approximately constant across widths.
+        d1 = model.nominal_delay(80.0)
+        d2 = model.nominal_delay(320.0)
+        assert d1 == pytest.approx(d2, rel=0.01)
+
+
+class TestSampledDelays:
+    def test_normalised_mean_near_one(self, model, rng):
+        summary = model.summarise(320.0, 2_000, rng)
+        assert summary.mean_delay == pytest.approx(1.0, rel=0.1)
+
+    def test_spread_shrinks_with_width(self, model, rng):
+        summaries = model.spread_versus_width([40.0, 160.0, 640.0], 2_000, rng)
+        spreads = [s.relative_spread for s in summaries]
+        assert spreads[0] > spreads[1] > spreads[2]
+
+    def test_tail_quantiles_ordered(self, model, rng):
+        summary = model.summarise(160.0, 2_000, rng)
+        assert summary.p99_delay >= summary.p95_delay >= summary.mean_delay * 0.8
+
+    def test_failed_devices_reported(self, rng):
+        model = GateDelayModel(
+            count_model=PoissonCountModel(4.0),
+            type_model=CNTTypeModel(1.0 / 3.0, 1.0, 0.3),
+            fanout=2,
+        )
+        summary = model.summarise(6.0, 3_000, rng)
+        assert summary.failure_fraction > 0.1
+        assert np.isfinite(summary.mean_delay)
+
+    def test_infinite_delays_for_failed_devices(self, model, rng):
+        delays = model.sample_delays(4.0, 500, rng, normalise=False)
+        assert np.any(np.isinf(delays))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GateDelayModel(count_model=PoissonCountModel(4.0), fanout=0)
+        with pytest.raises(ValueError):
+            GateDelayModel(count_model=PoissonCountModel(4.0), diameter_std_nm=-1.0)
+
+    def test_invalid_sampling_arguments(self, model, rng):
+        with pytest.raises(ValueError):
+            model.sample_delays(0.0, 10, rng)
+        with pytest.raises(ValueError):
+            model.sample_delays(80.0, 0, rng)

@@ -1,0 +1,87 @@
+"""Tests for the CNT length-variation extension."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.length_variation import (
+    ExponentialLengthDistribution,
+    FixedLengthDistribution,
+    LengthVariationStudy,
+    LognormalLengthDistribution,
+)
+
+
+class TestDistributions:
+    def test_fixed(self):
+        dist = FixedLengthDistribution(200.0)
+        rng = np.random.default_rng(0)
+        assert dist.mean_um == 200.0
+        assert np.all(dist.sample(10, rng) == 200.0)
+
+    def test_exponential_mean(self):
+        dist = ExponentialLengthDistribution(200.0)
+        rng = np.random.default_rng(1)
+        assert dist.mean_um == 200.0
+        assert dist.sample(50_000, rng).mean() == pytest.approx(200.0, rel=0.03)
+
+    def test_lognormal_mean(self):
+        dist = LognormalLengthDistribution(median_length_um=100.0, sigma_log=0.5)
+        rng = np.random.default_rng(2)
+        assert dist.sample(100_000, rng).mean() == pytest.approx(dist.mean_um, rel=0.03)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedLengthDistribution(0.0)
+        with pytest.raises(ValueError):
+            ExponentialLengthDistribution(-1.0)
+        with pytest.raises(ValueError):
+            LognormalLengthDistribution(100.0, 0.0)
+
+
+class TestLengthVariationStudy:
+    def test_fixed_length_matches_naive(self):
+        study = LengthVariationStudy(min_cnfet_density_per_um=1.8)
+        result = study.evaluate(FixedLengthDistribution(200.0), n_segments=50_000)
+        assert result.naive_relaxation == pytest.approx(360.0)
+        # With 360 devices per segment essentially no segment is empty, so
+        # the effective relaxation matches the naive value closely.
+        assert result.effective_relaxation == pytest.approx(360.0, rel=0.05)
+        assert result.empty_segment_fraction < 1e-3
+
+    def test_length_spread_does_not_hurt_at_fixed_mean(self):
+        study = LengthVariationStudy(min_cnfet_density_per_um=1.8)
+        fixed = study.evaluate(FixedLengthDistribution(10.0), n_segments=100_000)
+        exponential = study.evaluate(
+            ExponentialLengthDistribution(10.0), n_segments=100_000
+        )
+        # Under perfect within-tube correlation, occupied segments are
+        # length-biased, so spreading the lengths at a fixed mean cannot
+        # reduce the effective relaxation (it improves it slightly).
+        assert exponential.effective_relaxation >= 0.98 * fixed.effective_relaxation
+        assert fixed.ratio_to_naive >= 0.99
+        assert exponential.ratio_to_naive >= 0.99
+
+    def test_longer_tubes_help(self):
+        study = LengthVariationStudy(min_cnfet_density_per_um=1.8)
+        results = study.sweep_mean_length([5.0, 50.0, 200.0], "exponential",
+                                          n_segments=50_000)
+        relaxations = [r.effective_relaxation for r in results]
+        assert relaxations[0] < relaxations[1] < relaxations[2]
+
+    def test_sweep_families(self):
+        study = LengthVariationStudy()
+        for family in ("fixed", "exponential", "lognormal"):
+            results = study.sweep_mean_length([20.0], family, n_segments=20_000)
+            assert len(results) == 1
+            assert results[0].effective_relaxation > 1.0
+
+    def test_unknown_family_rejected(self):
+        study = LengthVariationStudy()
+        with pytest.raises(ValueError):
+            study.sweep_mean_length([20.0], "weibull")
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LengthVariationStudy(min_cnfet_density_per_um=0.0)
+        with pytest.raises(ValueError):
+            LengthVariationStudy(device_failure_probability=0.0)

@@ -1,0 +1,80 @@
+"""Tests for the mis-positioned / misaligned CNT analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.mispositioned import (
+    MisalignmentImpactModel,
+    count_loss_probability,
+)
+
+
+class TestCountLossProbability:
+    def test_zero_angle_no_loss(self):
+        assert count_loss_probability(32.0, 80.0, 0.0) == 0.0
+
+    def test_small_angle_negligible_loss(self):
+        # The paper's justification for ignoring mis-positioned CNTs: at a
+        # 32 nm channel and 1 degree misalignment the loss is < 1 %.
+        assert count_loss_probability(32.0, 80.0, 1.0) < 0.01
+
+    def test_loss_grows_with_channel_length(self):
+        short = count_loss_probability(32.0, 80.0, 5.0)
+        long = count_loss_probability(500.0, 80.0, 5.0)
+        assert long > short
+
+    def test_loss_saturates_at_one(self):
+        assert count_loss_probability(1000.0, 10.0, 80.0) == 1.0
+
+    def test_symmetric_in_angle(self):
+        assert count_loss_probability(32.0, 80.0, 3.0) == pytest.approx(
+            count_loss_probability(32.0, 80.0, -3.0)
+        )
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            count_loss_probability(0.0, 80.0, 1.0)
+        with pytest.raises(ValueError):
+            count_loss_probability(32.0, 0.0, 1.0)
+
+
+class TestMisalignmentImpactModel:
+    @pytest.fixture
+    def model(self):
+        return MisalignmentImpactModel(
+            band_width_nm=103.0, cnt_length_um=200.0, min_cnfet_density_per_um=1.8
+        )
+
+    def test_zero_angle_keeps_full_length(self, model):
+        assert model.run_length_in_band_um(0.0) == 200.0
+        impact = model.evaluate(0.0)
+        assert impact.effective_relaxation == pytest.approx(360.0)
+        assert impact.relaxation_retention == pytest.approx(1.0)
+
+    def test_run_length_shrinks_with_angle(self, model):
+        lengths = [model.run_length_in_band_um(a) for a in (0.01, 0.1, 1.0, 5.0)]
+        assert all(a >= b for a, b in zip(lengths, lengths[1:]))
+
+    def test_run_length_geometry(self, model):
+        # At 0.1 degrees, W / tan(theta) = 103 nm / 0.001745 ≈ 59 um.
+        assert model.run_length_in_band_um(0.1) == pytest.approx(59.0, rel=0.02)
+
+    def test_relaxation_never_below_one(self, model):
+        assert model.relaxation_for_angle(89.0) >= 1.0
+
+    def test_effective_relaxation_decreases_with_spread(self, model):
+        results = model.sweep([0.0, 0.05, 0.2, 1.0], n_samples=5_000)
+        relaxations = [r.effective_relaxation for r in results]
+        assert all(a >= b for a, b in zip(relaxations, relaxations[1:]))
+        # Sub-0.05-degree alignment keeps most of the 360X benefit; a one
+        # degree spread costs the large majority of it.
+        assert results[1].relaxation_retention > 0.5
+        assert results[-1].relaxation_retention < 0.2
+
+    def test_negative_spread_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.evaluate(-1.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            MisalignmentImpactModel(band_width_nm=0.0)

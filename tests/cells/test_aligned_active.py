@@ -1,0 +1,139 @@
+"""Tests for the aligned-active enforcement heuristic (Sec. 3.2 / Fig. 3.2)."""
+
+import pytest
+
+from repro.cells.aligned_active import AlignedActiveTransform, enforce_aligned_active
+from repro.cells.cell import CellFamily, CellTransistor, StandardCell
+from repro.cells.library import CellLibrary
+from repro.device.active_region import Polarity
+
+
+def make_cell(transistors, n_columns, name="CELL_X1"):
+    return StandardCell(
+        name=name,
+        family=CellFamily.COMBINATIONAL,
+        transistors=tuple(transistors),
+        n_columns=n_columns,
+        gate_pitch_nm=190.0,
+        height_nm=1400.0,
+    )
+
+
+def nfet(name, width, column, slot=0):
+    return CellTransistor(name, Polarity.NFET, width, column, slot)
+
+
+def pfet(name, width, column, slot=0):
+    return CellTransistor(name, Polarity.PFET, width, column, slot)
+
+
+class TestCellTransform:
+    def test_upsizes_critical_devices(self):
+        cell = make_cell([nfet("MN0", 80.0, 0), pfet("MP0", 160.0, 0)], 2)
+        result = AlignedActiveTransform(wmin_nm=103.0).apply_to_cell(cell)
+        widths = {t.name: t.width_nm for t in result.modified.transistors}
+        assert widths["MN0"] == 103.0
+        assert widths["MP0"] == 160.0  # non-critical, untouched
+        assert result.upsized_device_count == 1
+        assert not result.has_area_penalty
+
+    def test_no_penalty_without_stacking(self):
+        cell = make_cell([nfet("MN0", 80.0, 0), nfet("MN1", 80.0, 1)], 3)
+        result = AlignedActiveTransform(103.0).apply_to_cell(cell)
+        assert result.extra_columns == 0
+        assert result.width_penalty == 0.0
+
+    def test_stacked_critical_pair_widens_cell(self):
+        cell = make_cell(
+            [nfet("MN0", 80.0, 0, 0), nfet("MN1", 80.0, 0, 1), nfet("MN2", 80.0, 1)],
+            11,
+        )
+        result = AlignedActiveTransform(103.0).apply_to_cell(cell)
+        assert result.extra_columns == 1
+        assert result.width_penalty == pytest.approx(1.0 / 11.0)
+        # The displaced device landed in the new column on band 0.
+        moved = next(t for t in result.modified.transistors if t.name == "MN1")
+        assert moved.column == 11
+        assert moved.row_slot == 0
+
+    def test_two_aligned_regions_absorb_stacked_pair(self):
+        cell = make_cell(
+            [nfet("MN0", 80.0, 0, 0), nfet("MN1", 80.0, 0, 1)], 5
+        )
+        result = AlignedActiveTransform(103.0, aligned_region_groups=2).apply_to_cell(cell)
+        assert result.extra_columns == 0
+        assert result.width_penalty == 0.0
+
+    def test_non_critical_stacked_pair_not_penalised(self):
+        # Wide (non-critical) stacked devices do not have to sit on the band.
+        cell = make_cell(
+            [nfet("MN0", 320.0, 0, 0), nfet("MN1", 320.0, 0, 1)], 5
+        )
+        result = AlignedActiveTransform(103.0).apply_to_cell(cell)
+        assert result.extra_columns == 0
+
+    def test_physical_cell_passthrough(self):
+        cell = StandardCell(
+            name="FILL_X1", family=CellFamily.PHYSICAL, transistors=tuple(),
+            n_columns=1, gate_pitch_nm=190.0, height_nm=1400.0,
+        )
+        result = AlignedActiveTransform(103.0).apply_to_cell(cell)
+        assert result.modified is cell
+        assert result.critical_device_count == 0
+
+    def test_area_penalty_nm2(self):
+        cell = make_cell(
+            [nfet("MN0", 80.0, 0, 0), nfet("MN1", 80.0, 0, 1)], 10
+        )
+        result = AlignedActiveTransform(103.0).apply_to_cell(cell)
+        assert result.area_penalty_nm2 == pytest.approx(190.0 * 1400.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AlignedActiveTransform(wmin_nm=0.0)
+        with pytest.raises(ValueError):
+            AlignedActiveTransform(wmin_nm=100.0, aligned_region_groups=0)
+
+
+class TestLibraryTransform:
+    def test_nangate_four_cells_penalised(self, nangate45):
+        result = enforce_aligned_active(nangate45, wmin_nm=103.0)
+        assert result.cell_count == 134
+        assert result.penalised_cell_count == 4
+        names = {r.original.name for r in result.penalised_cells}
+        assert "AOI222_X1" in names
+
+    def test_aoi222_penalty_near_nine_percent(self, nangate45):
+        result = enforce_aligned_active(nangate45, wmin_nm=103.0)
+        aoi = result.result_for("AOI222_X1")
+        # Paper: the AOI222_X1 cell width grows by ~9 %.
+        assert aoi.width_penalty == pytest.approx(0.09, abs=0.01)
+
+    def test_nangate_penalty_range(self, nangate45):
+        result = enforce_aligned_active(nangate45, wmin_nm=103.0)
+        assert 0.03 <= result.min_penalty <= 0.06
+        assert 0.10 <= result.max_penalty <= 0.16
+
+    def test_commercial65_roughly_twenty_percent(self, commercial65):
+        result = enforce_aligned_active(commercial65, wmin_nm=107.0)
+        assert result.penalised_fraction == pytest.approx(0.20, abs=0.05)
+        assert result.min_penalty >= 0.09
+        assert result.max_penalty <= 0.75
+
+    def test_commercial65_two_regions_no_penalty(self, commercial65):
+        result = enforce_aligned_active(
+            commercial65, wmin_nm=112.0, aligned_region_groups=2
+        )
+        assert result.penalised_cell_count == 0
+        assert result.min_penalty == 0.0
+        assert result.max_penalty == 0.0
+
+    def test_to_library_preserves_count(self, nangate45):
+        result = enforce_aligned_active(nangate45, wmin_nm=103.0)
+        modified = result.to_library()
+        assert len(modified) == len(nangate45)
+
+    def test_result_for_unknown_cell(self, nangate45):
+        result = enforce_aligned_active(nangate45, wmin_nm=103.0)
+        with pytest.raises(KeyError):
+            result.result_for("NOT_A_CELL")

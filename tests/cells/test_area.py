@@ -1,0 +1,67 @@
+"""Tests for the area-penalty reporting (Table 2)."""
+
+import pytest
+
+from repro.cells.aligned_active import enforce_aligned_active
+from repro.cells.area import (
+    area_penalty_report,
+    compare_region_variants,
+    design_area_increase,
+)
+
+
+class TestAreaPenaltyReport:
+    def test_report_fields(self, nangate45):
+        result = enforce_aligned_active(nangate45, wmin_nm=103.0)
+        report = area_penalty_report(result)
+        assert report.cell_count == 134
+        assert report.penalised_cell_count == 4
+        assert report.penalised_fraction == pytest.approx(4 / 134)
+        assert report.min_penalty_percent < report.max_penalty_percent
+        assert report.wmin_nm == 103.0
+
+    def test_report_no_penalty_case(self, nangate45):
+        result = enforce_aligned_active(nangate45, wmin_nm=103.0, aligned_region_groups=2)
+        report = area_penalty_report(result)
+        assert report.penalised_cell_count == 0
+        assert report.min_penalty == 0.0
+        assert report.max_penalty == 0.0
+        assert report.mean_penalty_over_penalised == 0.0
+
+    def test_as_table_row(self, nangate45):
+        result = enforce_aligned_active(nangate45, wmin_nm=103.0)
+        row = area_penalty_report(result).as_table_row()
+        assert row["num_cells"] == 134
+        assert row["cells_with_penalty"] == 4
+        assert "wmin_nm" in row
+
+    def test_compare_region_variants(self, nangate45):
+        one = area_penalty_report(enforce_aligned_active(nangate45, 103.0, 1))
+        two = area_penalty_report(enforce_aligned_active(nangate45, 103.0, 2))
+        indexed = compare_region_variants([one, two])
+        assert indexed[1].penalised_cell_count == 4
+        assert indexed[2].penalised_cell_count == 0
+
+
+class TestDesignAreaIncrease:
+    def test_zero_when_no_penalised_cells_used(self, nangate45):
+        result = enforce_aligned_active(nangate45, wmin_nm=103.0)
+        increase = design_area_increase(result, {"INV_X1": 1000, "NAND2_X1": 500})
+        assert increase == pytest.approx(0.0)
+
+    def test_positive_when_penalised_cells_used(self, nangate45):
+        result = enforce_aligned_active(nangate45, wmin_nm=103.0)
+        increase = design_area_increase(result, {"AOI222_X1": 100, "INV_X1": 100})
+        assert increase > 0.0
+
+    def test_weighting_matters(self, nangate45):
+        result = enforce_aligned_active(nangate45, wmin_nm=103.0)
+        heavy = design_area_increase(result, {"AOI222_X1": 1000, "INV_X1": 10})
+        light = design_area_increase(result, {"AOI222_X1": 10, "INV_X1": 1000})
+        assert heavy > light
+
+    def test_missing_cell_handling(self, nangate45):
+        result = enforce_aligned_active(nangate45, wmin_nm=103.0)
+        assert design_area_increase(result, {"NOT_A_CELL": 10}) == 0.0
+        with pytest.raises(KeyError):
+            design_area_increase(result, {"NOT_A_CELL": 10}, ignore_missing=False)

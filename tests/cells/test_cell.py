@@ -1,0 +1,131 @@
+"""Tests for the standard-cell model."""
+
+import pytest
+
+from repro.cells.cell import CellFamily, CellPin, CellTransistor, StandardCell
+from repro.device.active_region import Polarity
+
+
+def make_transistor(name="MN0", polarity=Polarity.NFET, width=80.0, column=0, slot=0):
+    return CellTransistor(
+        name=name, polarity=polarity, width_nm=width, column=column, row_slot=slot
+    )
+
+
+def make_cell(transistors, n_columns=4, name="TEST_X1"):
+    return StandardCell(
+        name=name,
+        family=CellFamily.COMBINATIONAL,
+        transistors=tuple(transistors),
+        n_columns=n_columns,
+        gate_pitch_nm=190.0,
+        height_nm=1400.0,
+        pins=(CellPin("A", 0), CellPin("ZN", 3, "output")),
+    )
+
+
+class TestCellTransistor:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_transistor(width=0.0)
+        with pytest.raises(ValueError):
+            CellTransistor("M", Polarity.NFET, 80.0, column=-1)
+        with pytest.raises(ValueError):
+            CellTransistor("M", Polarity.NFET, 80.0, column=0, row_slot=-1)
+
+    def test_resized(self):
+        t = make_transistor(width=80.0).resized(103.0)
+        assert t.width_nm == 103.0
+
+    def test_moved(self):
+        t = make_transistor(column=0, slot=1).moved(column=5, row_slot=0)
+        assert t.column == 5
+        assert t.row_slot == 0
+
+
+class TestStandardCell:
+    def test_width_and_area(self):
+        cell = make_cell([make_transistor()], n_columns=4)
+        assert cell.width_nm == 4 * 190.0
+        assert cell.area_nm2 == 4 * 190.0 * 1400.0
+
+    def test_column_bounds_validated(self):
+        with pytest.raises(ValueError):
+            make_cell([make_transistor(column=10)], n_columns=4)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            make_cell([make_transistor("M0"), make_transistor("M0", column=1)])
+
+    def test_polarity_filter(self):
+        cell = make_cell([
+            make_transistor("MN0", Polarity.NFET),
+            make_transistor("MP0", Polarity.PFET, column=1),
+        ])
+        assert len(cell.transistors_of(Polarity.NFET)) == 1
+        assert len(cell.transistors_of(Polarity.PFET)) == 1
+
+    def test_widths(self):
+        cell = make_cell([
+            make_transistor("MN0", width=80.0),
+            make_transistor("MP0", Polarity.PFET, width=160.0, column=1),
+        ])
+        assert sorted(cell.transistor_widths_nm()) == [80.0, 160.0]
+        assert cell.min_transistor_width_nm() == 80.0
+
+    def test_min_width_empty_cell_raises(self):
+        cell = make_cell([])
+        with pytest.raises(ValueError):
+            cell.min_transistor_width_nm()
+
+    def test_stacking_detection(self):
+        cell = make_cell([
+            make_transistor("MN0", column=0, slot=0),
+            make_transistor("MN1", column=0, slot=1),
+            make_transistor("MN2", column=1, slot=0),
+        ])
+        stacked = cell.columns_with_stacking(Polarity.NFET)
+        assert stacked == {0: 2}
+        assert cell.max_stacking_depth() == 2
+
+    def test_no_stacking(self):
+        cell = make_cell([
+            make_transistor("MN0", column=0),
+            make_transistor("MN1", column=1),
+        ])
+        assert cell.columns_with_stacking(Polarity.NFET) == {}
+        assert cell.max_stacking_depth() == 1
+
+    def test_active_regions_positions(self):
+        cell = make_cell([
+            make_transistor("MN0", column=1, slot=0),
+            make_transistor("MP0", Polarity.PFET, column=1, slot=0),
+        ])
+        regions = cell.active_regions(x_origin_nm=1000.0)
+        n_region = next(r for r in regions if r.transistor.name == "MN0").region
+        p_region = next(r for r in regions if r.transistor.name == "MP0").region
+        assert n_region.x_nm == pytest.approx(1000.0 + 190.0)
+        assert p_region.y_nm > n_region.y_nm
+        assert n_region.polarity is Polarity.NFET
+
+    def test_active_regions_stacked_offset(self):
+        cell = make_cell([
+            make_transistor("MN0", column=0, slot=0),
+            make_transistor("MN1", column=0, slot=1),
+        ])
+        regions = cell.active_regions()
+        y_values = {r.transistor.name: r.region.y_nm for r in regions}
+        assert y_values["MN1"] > y_values["MN0"]
+
+    def test_with_transistors(self):
+        cell = make_cell([make_transistor()])
+        wider = cell.with_transistors(
+            [make_transistor(width=103.0)], n_columns=5
+        )
+        assert wider.n_columns == 5
+        assert wider.transistors[0].width_nm == 103.0
+        assert wider.name == cell.name
+
+    def test_renamed(self):
+        cell = make_cell([make_transistor()])
+        assert cell.renamed("OTHER_X1").name == "OTHER_X1"

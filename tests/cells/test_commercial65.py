@@ -1,0 +1,64 @@
+"""Tests for the synthetic commercial-65-nm-like library."""
+
+import pytest
+
+from repro.cells.cell import CellFamily
+from repro.cells.commercial65 import (
+    COMMERCIAL65_TARGET_CELL_COUNT,
+    build_commercial65_library,
+    commercial65_stacked_cell_names,
+)
+
+
+class TestCommercial65Library:
+    def test_cell_count_matches_paper(self, commercial65):
+        assert len(commercial65) == COMMERCIAL65_TARGET_CELL_COUNT == 775
+
+    def test_roughly_twenty_percent_stacked(self, commercial65):
+        stacked = commercial65_stacked_cell_names(commercial65)
+        fraction = len(stacked) / len(commercial65)
+        # Paper: ~20 % of cells are affected by the aligned-active restriction.
+        assert 0.15 <= fraction <= 0.25
+
+    def test_stacked_cells_are_sequential_or_high_fanin(self, commercial65):
+        stacked = set(commercial65_stacked_cell_names(commercial65))
+        sequential = {c.name for c in commercial65.cells_of_family(CellFamily.SEQUENTIAL)}
+        non_sequential_stacked = stacked - sequential
+        # Non-sequential stacked cells are the high fan-in complex gates.
+        for name in non_sequential_stacked:
+            assert any(
+                key in name
+                for key in ("AOI", "OAI", "XOR", "XNOR", "MXIT", "FAC", "CMPR")
+            ), name
+
+    def test_contains_richer_sequential_matrix(self, commercial65):
+        for name in ("DFF_X1", "SDFFRS_X2", "EDFFR_X1", "DFFQ4_X1",
+                     "SDLH_X1", "CLKGATETST_X4", "RETSDFFRS_X1"):
+            assert name in commercial65
+
+    def test_bigger_than_nangate(self, commercial65, nangate45):
+        assert len(commercial65) > len(nangate45)
+        assert (
+            commercial65.statistics().transistor_count
+            > nangate45.statistics().transistor_count
+        )
+
+    def test_deterministic(self):
+        a = build_commercial65_library()
+        b = build_commercial65_library()
+        assert a.cell_names == b.cell_names
+
+    def test_custom_target_count(self):
+        small = build_commercial65_library(target_cell_count=700)
+        assert len(small) == 700
+
+    def test_drive_scaling(self, commercial65):
+        x1 = commercial65.get("INV_X1")
+        x8 = commercial65.get("INV_X8")
+        assert x8.transistors[0].width_nm == pytest.approx(
+            8.0 * x1.transistors[0].width_nm
+        )
+
+    def test_physical_padding_has_no_devices(self, commercial65):
+        for cell in commercial65.cells_of_family(CellFamily.PHYSICAL):
+            assert cell.transistor_count == 0

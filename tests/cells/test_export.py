@@ -1,0 +1,76 @@
+"""Tests for the LEF-style / Liberty-style library exporters."""
+
+import pytest
+
+from repro.cells.aligned_active import enforce_aligned_active
+from repro.cells.export import (
+    export_liberty_view,
+    export_physical_view,
+    parse_physical_view,
+    total_input_capacitance_af,
+)
+
+
+class TestPhysicalView:
+    def test_contains_every_cell(self, nangate45):
+        text = export_physical_view(nangate45)
+        for name in nangate45.cell_names:
+            assert f"MACRO {name}" in text
+
+    def test_round_trip_macro_count(self, nangate45):
+        text = export_physical_view(nangate45)
+        macros = parse_physical_view(text)
+        assert len(macros) == len(nangate45)
+
+    def test_round_trip_dimensions_and_devices(self, nangate45):
+        text = export_physical_view(nangate45)
+        macros = parse_physical_view(text)
+        for cell in nangate45:
+            macro = macros[cell.name]
+            assert macro.width_nm == pytest.approx(cell.width_nm, abs=0.1)
+            assert macro.height_nm == pytest.approx(cell.height_nm, abs=0.1)
+            assert macro.transistor_count == cell.transistor_count
+
+    def test_active_rect_widths_match_transistors(self, nangate45):
+        text = export_physical_view(nangate45)
+        macros = parse_physical_view(text)
+        inv = nangate45.get("INV_X1")
+        macro = macros["INV_X1"]
+        widths_from_rects = sorted(
+            round(r["y2"] - r["y1"], 1) for r in macro.active_rects
+        )
+        assert widths_from_rects == sorted(
+            round(w, 1) for w in inv.transistor_widths_nm()
+        )
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_physical_view("MACRO A\n  FROBNICATE 1\nEND MACRO")
+        with pytest.raises(ValueError):
+            parse_physical_view("MACRO A\n  CLASS COMBINATIONAL")
+        with pytest.raises(ValueError):
+            parse_physical_view("  CLASS COMBINATIONAL")
+
+
+class TestLibertyView:
+    def test_contains_cells_and_pins(self, nangate45):
+        text = export_liberty_view(nangate45)
+        assert 'cell ("INV_X1")' in text
+        assert "direction : input;" in text
+        assert "capacitance :" in text
+
+    def test_total_capacitance_positive(self, nangate45):
+        text = export_liberty_view(nangate45)
+        assert total_input_capacitance_af(text) > 0.0
+
+    def test_aligned_library_has_larger_input_capacitance(self, nangate45):
+        # Upsizing the critical devices to Wmin increases input capacitance;
+        # the Liberty views expose that directly.
+        before = total_input_capacitance_af(export_liberty_view(nangate45))
+        aligned = enforce_aligned_active(nangate45, wmin_nm=103.0).to_library()
+        after = total_input_capacitance_af(export_liberty_view(aligned))
+        assert after > before
+
+    def test_drive_strength_emitted(self, nangate45):
+        text = export_liberty_view(nangate45)
+        assert "drive_strength : 32;" in text

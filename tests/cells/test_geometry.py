@@ -1,0 +1,78 @@
+"""Tests for layout geometry primitives."""
+
+import pytest
+
+from repro.cells.geometry import PlacementGrid, Rect, snap_up
+
+
+class TestRect:
+    def test_edges_and_area(self):
+        r = Rect(10.0, 20.0, 100.0, 50.0)
+        assert r.x_end_nm == 110.0
+        assert r.y_end_nm == 70.0
+        assert r.area_nm2 == 5000.0
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Rect(0.0, 0.0, 0.0, 10.0)
+        with pytest.raises(ValueError):
+            Rect(0.0, 0.0, 10.0, -1.0)
+
+    def test_overlap(self):
+        a = Rect(0.0, 0.0, 100.0, 100.0)
+        b = Rect(50.0, 50.0, 100.0, 100.0)
+        c = Rect(100.0, 0.0, 10.0, 10.0)  # touching edge only
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_contains_point(self):
+        r = Rect(0.0, 0.0, 100.0, 50.0)
+        assert r.contains_point(50.0, 25.0)
+        assert r.contains_point(0.0, 0.0)
+        assert not r.contains_point(101.0, 25.0)
+
+    def test_translated(self):
+        r = Rect(0.0, 0.0, 10.0, 10.0).translated(5.0, -3.0)
+        assert r.x_nm == 5.0
+        assert r.y_nm == -3.0
+
+
+class TestPlacementGrid:
+    def test_lines(self):
+        grid = PlacementGrid(origin_nm=100.0, pitch_nm=50.0)
+        assert grid.line(0) == 100.0
+        assert grid.line(3) == 250.0
+
+    def test_snap(self):
+        grid = PlacementGrid(origin_nm=0.0, pitch_nm=100.0)
+        assert grid.snap(140.0) == 100.0
+        assert grid.snap(160.0) == 200.0
+
+    def test_snap_index(self):
+        grid = PlacementGrid(origin_nm=0.0, pitch_nm=100.0)
+        assert grid.snap_index(260.0) == 3
+
+    def test_is_on_grid(self):
+        grid = PlacementGrid(origin_nm=10.0, pitch_nm=100.0)
+        assert grid.is_on_grid(210.0)
+        assert not grid.is_on_grid(215.0)
+
+    def test_distance(self):
+        grid = PlacementGrid(origin_nm=0.0, pitch_nm=100.0)
+        assert grid.distance_to_grid(130.0) == pytest.approx(30.0)
+
+    def test_invalid_pitch(self):
+        with pytest.raises(ValueError):
+            PlacementGrid(origin_nm=0.0, pitch_nm=0.0)
+
+
+class TestSnapUp:
+    def test_exact_multiple_unchanged(self):
+        assert snap_up(300.0, 100.0) == 300.0
+
+    def test_rounds_up(self):
+        assert snap_up(301.0, 100.0) == 400.0
+
+    def test_invalid_step(self):
+        with pytest.raises(ValueError):
+            snap_up(10.0, 0.0)

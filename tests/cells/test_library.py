@@ -1,0 +1,90 @@
+"""Tests for the cell library container."""
+
+import numpy as np
+import pytest
+
+from repro.cells.cell import CellFamily, CellTransistor, StandardCell
+from repro.cells.library import CellLibrary
+from repro.device.active_region import Polarity
+
+
+def simple_cell(name, width=80.0, family=CellFamily.COMBINATIONAL):
+    return StandardCell(
+        name=name,
+        family=family,
+        transistors=(
+            CellTransistor("MN0", Polarity.NFET, width, 0),
+            CellTransistor("MP0", Polarity.PFET, 2 * width, 0),
+        ),
+        n_columns=2,
+        gate_pitch_nm=190.0,
+        height_nm=1400.0,
+    )
+
+
+class TestCellLibrary:
+    def test_add_and_get(self):
+        library = CellLibrary("lib", [simple_cell("INV_X1")])
+        assert "INV_X1" in library
+        assert library.get("INV_X1").name == "INV_X1"
+        assert len(library) == 1
+
+    def test_duplicate_rejected(self):
+        library = CellLibrary("lib", [simple_cell("INV_X1")])
+        with pytest.raises(ValueError):
+            library.add(simple_cell("INV_X1"))
+
+    def test_replace_allows_overwrite(self):
+        library = CellLibrary("lib", [simple_cell("INV_X1", 80.0)])
+        library.replace(simple_cell("INV_X1", 100.0))
+        assert library.get("INV_X1").transistors[0].width_nm == 100.0
+
+    def test_missing_cell_error_message(self):
+        library = CellLibrary("lib")
+        with pytest.raises(KeyError, match="lib"):
+            library.get("NAND2_X1")
+
+    def test_iteration_order(self):
+        library = CellLibrary("lib", [simple_cell("A_X1"), simple_cell("B_X1")])
+        assert library.cell_names == ["A_X1", "B_X1"]
+
+    def test_family_filter(self):
+        library = CellLibrary("lib", [
+            simple_cell("INV_X1"),
+            simple_cell("DFF_X1", family=CellFamily.SEQUENTIAL),
+        ])
+        assert len(library.cells_of_family(CellFamily.SEQUENTIAL)) == 1
+
+    def test_all_widths(self):
+        library = CellLibrary("lib", [simple_cell("INV_X1", 80.0)])
+        widths = library.all_transistor_widths_nm()
+        assert sorted(widths) == [80.0, 160.0]
+        n_only = library.all_transistor_widths_nm(Polarity.NFET)
+        assert list(n_only) == [80.0]
+
+    def test_width_histogram(self):
+        library = CellLibrary("lib", [simple_cell("INV_X1", 80.0)])
+        counts, edges = library.width_histogram([0.0, 100.0, 200.0])
+        assert counts.tolist() == [1, 1]
+
+    def test_statistics(self):
+        library = CellLibrary("lib", [
+            simple_cell("INV_X1", 80.0),
+            simple_cell("DFF_X1", 80.0, family=CellFamily.SEQUENTIAL),
+        ])
+        stats = library.statistics()
+        assert stats.cell_count == 2
+        assert stats.transistor_count == 4
+        assert stats.min_transistor_width_nm == 80.0
+        assert stats.max_transistor_width_nm == 160.0
+        assert stats.sequential_cell_count == 1
+
+    def test_statistics_empty_library_raises(self):
+        with pytest.raises(ValueError):
+            CellLibrary("lib").statistics()
+
+    def test_copy(self):
+        library = CellLibrary("lib", [simple_cell("INV_X1")])
+        clone = library.copy("lib2")
+        assert clone.name == "lib2"
+        assert len(clone) == 1

@@ -1,0 +1,87 @@
+"""Tests for the synthetic Nangate-45-like library."""
+
+import pytest
+
+from repro.cells.cell import CellFamily
+from repro.cells.nangate45 import (
+    BASE_WIDTH_NM,
+    NANGATE45_STACKED_CELLS,
+    build_nangate45_library,
+    nangate45_cell_count,
+)
+from repro.device.active_region import Polarity
+
+
+class TestNangate45Library:
+    def test_cell_count_matches_paper(self, nangate45):
+        assert len(nangate45) == 134
+        assert nangate45_cell_count() == 134
+
+    def test_contains_core_cells(self, nangate45):
+        for name in ("INV_X1", "NAND2_X1", "NOR2_X2", "AOI222_X1", "DFF_X1",
+                     "BUF_X32", "FA_X1", "FILLCELL_X8"):
+            assert name in nangate45
+
+    def test_drive_strength_scales_widths(self, nangate45):
+        x1 = nangate45.get("INV_X1")
+        x4 = nangate45.get("INV_X4")
+        assert x4.transistors[0].width_nm == pytest.approx(
+            4.0 * x1.transistors[0].width_nm
+        )
+
+    def test_inv_x1_widths(self, nangate45):
+        inv = nangate45.get("INV_X1")
+        n_widths = inv.transistor_widths_nm(Polarity.NFET)
+        p_widths = inv.transistor_widths_nm(Polarity.PFET)
+        assert n_widths == [BASE_WIDTH_NM]
+        assert p_widths == [2.0 * BASE_WIDTH_NM]
+
+    def test_nand2_series_upsizing(self, nangate45):
+        nand2 = nangate45.get("NAND2_X1")
+        n_widths = nand2.transistor_widths_nm(Polarity.NFET)
+        # Two series devices, each upsized by the stack depth.
+        assert n_widths == [2 * BASE_WIDTH_NM, 2 * BASE_WIDTH_NM]
+
+    def test_exactly_four_stacked_cells(self, nangate45):
+        stacked = [c.name for c in nangate45 if c.max_stacking_depth() > 1]
+        assert sorted(stacked) == sorted(NANGATE45_STACKED_CELLS)
+        assert len(stacked) == 4
+
+    def test_aoi222_x1_is_stacked_but_x2_is_not(self, nangate45):
+        assert nangate45.get("AOI222_X1").max_stacking_depth() == 2
+        assert nangate45.get("AOI222_X2").max_stacking_depth() == 1
+
+    def test_sequential_cells_present(self, nangate45):
+        sequential = nangate45.cells_of_family(CellFamily.SEQUENTIAL)
+        assert len(sequential) >= 20
+
+    def test_physical_cells_have_no_transistors(self, nangate45):
+        for cell in nangate45.cells_of_family(CellFamily.PHYSICAL):
+            assert cell.transistor_count == 0
+
+    def test_all_cells_have_positive_dimensions(self, nangate45):
+        for cell in nangate45:
+            assert cell.width_nm > 0
+            assert cell.height_nm > 0
+
+    def test_width_quantisation(self, nangate45):
+        # Every device width is a multiple of the 80 nm quantum, which is
+        # what produces the clean 80/160/240/320 histogram bins of Fig. 2.2a.
+        widths = nangate45.all_transistor_widths_nm()
+        remainders = widths % BASE_WIDTH_NM
+        assert max(abs(r) for r in remainders) < 1e-9
+
+    def test_library_is_deterministic(self):
+        a = build_nangate45_library()
+        b = build_nangate45_library()
+        assert a.cell_names == b.cell_names
+        assert (
+            a.all_transistor_widths_nm().tolist()
+            == b.all_transistor_widths_nm().tolist()
+        )
+
+    def test_pins_defined_for_logic_cells(self, nangate45):
+        aoi = nangate45.get("AOI222_X1")
+        directions = {p.direction for p in aoi.pins}
+        assert "input" in directions
+        assert "output" in directions

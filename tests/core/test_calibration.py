@@ -1,0 +1,68 @@
+"""Tests for the calibrated default setup."""
+
+import pytest
+
+from repro.core.calibration import CalibratedSetup, default_setup
+from repro.core.count_model import PoissonCountModel
+from repro.core.failure import FIG2_1_CORNERS
+
+
+class TestCalibratedSetup:
+    def test_default_count_model_is_poisson(self):
+        setup = CalibratedSetup()
+        assert isinstance(setup.count_model, PoissonCountModel)
+
+    def test_min_size_device_count(self):
+        setup = CalibratedSetup()
+        assert setup.min_size_device_count == pytest.approx(0.33e8)
+
+    def test_required_pf_matches_paper_budget(self):
+        # (1 - 0.9) / 33e6 ≈ 3e-9 — the horizontal line of Fig. 2.1.
+        setup = CalibratedSetup()
+        assert setup.required_pf() == pytest.approx(3.03e-9, rel=0.01)
+
+    def test_relaxation_factor_near_350(self):
+        setup = CalibratedSetup()
+        assert setup.relaxation_factor() == pytest.approx(360.0, rel=0.05)
+
+    def test_relaxed_budget(self):
+        setup = CalibratedSetup()
+        relaxed = setup.required_pf(setup.relaxation_factor())
+        # Paper: ≈1.1e-6 after the 350X relaxation.
+        assert relaxed == pytest.approx(1.09e-6, rel=0.05)
+
+    def test_wmin_ordering(self):
+        setup = CalibratedSetup()
+        assert setup.wmin_correlated_nm() < setup.wmin_uncorrelated_nm()
+
+    def test_wmin_uncorrelated_in_paper_regime(self):
+        # Paper: 155 nm; the Poisson calibration gives ≈168 nm (within ~10 %).
+        setup = CalibratedSetup()
+        assert setup.wmin_uncorrelated_nm() == pytest.approx(155.0, rel=0.12)
+
+    def test_wmin_correlated_in_paper_regime(self):
+        # Paper: 103 nm; the Poisson calibration gives ≈118 nm (within ~15 %).
+        setup = CalibratedSetup()
+        assert setup.wmin_correlated_nm() == pytest.approx(103.0, rel=0.17)
+
+    def test_failure_model_for_other_corner(self):
+        setup = CalibratedSetup()
+        worst = setup.failure_model
+        best = setup.failure_model_for(FIG2_1_CORNERS[-1])
+        w = 100.0
+        assert best.failure_probability(w) < worst.failure_probability(w)
+
+    def test_count_model_cached(self):
+        setup = CalibratedSetup()
+        assert setup.count_model is setup.count_model
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CalibratedSetup(mean_pitch_nm=0.0)
+        with pytest.raises(ValueError):
+            CalibratedSetup(pitch_cv=-1.0)
+        with pytest.raises(ValueError):
+            CalibratedSetup(yield_target=1.5)
+
+    def test_default_setup_helper(self):
+        assert isinstance(default_setup(), CalibratedSetup)

@@ -1,0 +1,100 @@
+"""Tests for the circuit-level yield model — Eq. 2.3 / 2.5."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.circuit_yield import (
+    chip_yield,
+    chip_yield_from_failure_probabilities,
+    expected_failing_devices,
+    required_device_failure_probability,
+    yield_from_uniform_failure_probability,
+    yield_loss,
+)
+from repro.core.count_model import PoissonCountModel
+from repro.core.failure import CNFETFailureModel
+
+
+class TestChipYield:
+    def test_empty_design_yields_one(self):
+        assert chip_yield_from_failure_probabilities([]) == 1.0
+
+    def test_exact_product(self):
+        assert chip_yield_from_failure_probabilities([0.1, 0.2]) == pytest.approx(
+            0.9 * 0.8
+        )
+
+    def test_counts_weighting(self):
+        direct = chip_yield_from_failure_probabilities([0.01] * 10)
+        weighted = chip_yield_from_failure_probabilities([0.01], counts=[10])
+        assert direct == pytest.approx(weighted)
+
+    def test_first_order_approximation(self):
+        approx = chip_yield_from_failure_probabilities(
+            [1e-9], counts=[3.3e7], exact=False
+        )
+        exact = chip_yield_from_failure_probabilities([1e-9], counts=[3.3e7])
+        assert approx == pytest.approx(exact, rel=1e-3)
+
+    def test_certain_failure(self):
+        assert chip_yield_from_failure_probabilities([1.0], counts=[1]) == 0.0
+
+    def test_paper_operating_point(self):
+        # Mmin = 33e6 devices at pF = 3.03e-9 should give ~90 % yield.
+        result = chip_yield_from_failure_probabilities(
+            [3.0303e-9], counts=[33e6]
+        )
+        assert result == pytest.approx(0.905, abs=0.01)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            chip_yield_from_failure_probabilities([1.2])
+
+    def test_mismatched_counts_rejected(self):
+        with pytest.raises(ValueError):
+            chip_yield_from_failure_probabilities([0.1, 0.2], counts=[1])
+
+    def test_chip_yield_from_widths(self):
+        counts_model = PoissonCountModel(4.0)
+        failure = CNFETFailureModel(counts_model, per_cnt_failure=0.533)
+        y = chip_yield([160.0, 320.0], failure, counts=[1e6, 1e6])
+        assert 0.0 < y <= 1.0
+        # Wider devices only help.
+        y_wider = chip_yield([320.0, 640.0], failure, counts=[1e6, 1e6])
+        assert y_wider >= y
+
+
+class TestBudgets:
+    def test_yield_loss(self):
+        assert yield_loss(0.9) == pytest.approx(0.1)
+
+    def test_required_pf_first_order(self):
+        budget = required_device_failure_probability(0.9, 33e6)
+        assert budget == pytest.approx(0.1 / 33e6)
+
+    def test_required_pf_exact_close_to_first_order(self):
+        first = required_device_failure_probability(0.9, 33e6)
+        exact = required_device_failure_probability(0.9, 33e6, exact=True)
+        assert exact == pytest.approx(first, rel=0.06)
+
+    def test_required_pf_perfect_yield(self):
+        assert required_device_failure_probability(1.0, 1e6) == 0.0
+
+    def test_required_pf_invalid_count(self):
+        with pytest.raises(ValueError):
+            required_device_failure_probability(0.9, 0.0)
+
+    def test_budget_round_trip(self):
+        # Using the exact budget should reproduce the yield target exactly.
+        budget = required_device_failure_probability(0.9, 1e6, exact=True)
+        assert yield_from_uniform_failure_probability(budget, 1e6) == pytest.approx(0.9)
+
+    def test_expected_failures(self):
+        assert expected_failing_devices([1e-9, 2e-9], counts=[1e6, 1e6]) == pytest.approx(
+            3e-3
+        )
+
+    def test_uniform_yield_certain_failure(self):
+        assert yield_from_uniform_failure_probability(1.0, 10) == 0.0

@@ -1,0 +1,132 @@
+"""Tests for the device failure probability pF(W) — Eq. 2.2 / Fig. 2.1."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.count_model import PoissonCountModel
+from repro.core.failure import CNFETFailureModel, FIG2_1_CORNERS, ProcessingCorner
+from repro.growth.types import CNTTypeModel
+
+
+@pytest.fixture
+def counts():
+    return PoissonCountModel(mean_pitch_nm=4.0)
+
+
+class TestEquation22:
+    def test_poisson_closed_form(self, counts):
+        model = CNFETFailureModel(counts, per_cnt_failure=0.5)
+        width = 80.0
+        lam = width / 4.0
+        assert model.failure_probability(width) == pytest.approx(
+            math.exp(-lam * 0.5), rel=1e-9
+        )
+
+    def test_pf_one_always_fails(self, counts):
+        model = CNFETFailureModel(counts, per_cnt_failure=1.0)
+        assert model.failure_probability(200.0) == 1.0
+
+    def test_pf_zero_only_empty_window_fails(self, counts):
+        model = CNFETFailureModel(counts, per_cnt_failure=0.0)
+        assert model.failure_probability(8.0) == pytest.approx(math.exp(-2.0))
+
+    def test_monotone_decreasing_in_width(self, counts):
+        model = CNFETFailureModel(counts, per_cnt_failure=0.533)
+        widths = np.arange(20.0, 200.0, 10.0)
+        values = model.failure_probabilities(widths)
+        assert np.all(np.diff(values) < 0)
+
+    def test_exponential_decrease(self, counts):
+        # With Poisson counts, log pF is linear in W: doubling the width
+        # squares the failure probability.
+        model = CNFETFailureModel(counts, per_cnt_failure=0.533)
+        p40 = model.failure_probability(40.0)
+        p80 = model.failure_probability(80.0)
+        assert p80 == pytest.approx(p40 ** 2, rel=1e-6)
+
+    def test_log10_matches_probability(self, counts):
+        model = CNFETFailureModel(counts, per_cnt_failure=0.533)
+        w = 100.0
+        assert 10 ** model.log10_failure_probability(w) == pytest.approx(
+            model.failure_probability(w), rel=1e-9
+        )
+
+    def test_survival_probability(self, counts):
+        model = CNFETFailureModel(counts, per_cnt_failure=0.5)
+        w = 60.0
+        assert model.survival_probability(w) == pytest.approx(
+            1.0 - model.failure_probability(w)
+        )
+
+    def test_corner_ordering_matches_fig2_1(self, counts):
+        # At any fixed width the three curves of Fig. 2.1 are ordered:
+        # (pm=33%, pRs=30%) > (pm=33%, pRs=0%) > (pm=0%, pRs=0%).
+        values = [
+            CNFETFailureModel.from_corner(counts, corner).failure_probability(100.0)
+            for corner in FIG2_1_CORNERS
+        ]
+        assert values[0] > values[1] > values[2]
+
+    def test_from_type_model_equivalent_to_corner(self, counts):
+        corner = FIG2_1_CORNERS[0]
+        type_model = CNTTypeModel(1.0 / 3.0, 1.0, 0.3)
+        a = CNFETFailureModel.from_corner(counts, corner)
+        b = CNFETFailureModel.from_type_model(counts, type_model)
+        assert a.failure_probability(120.0) == pytest.approx(
+            b.failure_probability(120.0)
+        )
+
+
+class TestInverseProblem:
+    def test_width_for_failure_probability(self, counts):
+        model = CNFETFailureModel(counts, per_cnt_failure=0.533)
+        target = 3.0e-9
+        width = model.width_for_failure_probability(target)
+        assert model.failure_probability(width) <= target
+        assert model.failure_probability(width - 1.0) > target
+
+    def test_zero_target_rejected(self, counts):
+        model = CNFETFailureModel(counts, per_cnt_failure=0.5)
+        with pytest.raises(ValueError):
+            model.width_for_failure_probability(0.0)
+
+    def test_bad_bracket_rejected(self, counts):
+        model = CNFETFailureModel(counts, per_cnt_failure=0.533)
+        with pytest.raises(ValueError):
+            model.width_for_failure_probability(1e-12, w_high_nm=30.0)
+
+    def test_already_satisfied_at_low_bound(self, counts):
+        model = CNFETFailureModel(counts, per_cnt_failure=0.1)
+        assert model.width_for_failure_probability(0.99, w_low_nm=5.0) == 5.0
+
+
+class TestFailureCurve:
+    def test_curve_interpolation(self, counts):
+        model = CNFETFailureModel(counts, per_cnt_failure=0.533)
+        curve = model.curve(np.arange(20.0, 200.0, 2.0))
+        target = 3.0e-9
+        w_interp = curve.interpolate_width(target)
+        w_exact = model.width_for_failure_probability(target)
+        assert w_interp == pytest.approx(w_exact, abs=2.5)
+
+    def test_unreachable_target_raises(self, counts):
+        model = CNFETFailureModel(counts, per_cnt_failure=0.533)
+        curve = model.curve(np.arange(20.0, 60.0, 2.0))
+        with pytest.raises(ValueError):
+            curve.interpolate_width(1e-30)
+
+
+class TestProcessingCorner:
+    def test_per_cnt_failure(self):
+        corner = ProcessingCorner("test", 0.25, 0.2)
+        assert corner.per_cnt_failure_probability == pytest.approx(0.25 + 0.75 * 0.2)
+
+    def test_to_type_model(self):
+        corner = ProcessingCorner("test", 0.25, 0.2)
+        model = corner.to_type_model()
+        assert model.removal_prob_metallic == 1.0
+        assert model.per_cnt_failure_probability == pytest.approx(
+            corner.per_cnt_failure_probability
+        )

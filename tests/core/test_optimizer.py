@@ -1,0 +1,86 @@
+"""Tests for the end-to-end co-optimization flow."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import CalibratedSetup
+from repro.core.correlation import LayoutScenario
+from repro.core.optimizer import CoOptimizationFlow
+from repro.netlist.openrisc import openrisc_width_histogram
+
+
+@pytest.fixture
+def flow():
+    setup = CalibratedSetup()
+    design = openrisc_width_histogram(setup.chip_transistor_count)
+    return CoOptimizationFlow(
+        setup=setup,
+        widths_nm=design.widths_nm,
+        counts=design.counts,
+        min_size_device_count=design.min_size_device_count,
+    )
+
+
+class TestCoOptimizationFlow:
+    def test_requires_widths(self):
+        with pytest.raises(ValueError):
+            CoOptimizationFlow(setup=CalibratedSetup(), widths_nm=None)
+
+    def test_baseline_and_optimized_wmin(self, flow):
+        baseline = flow.baseline_wmin()
+        optimized = flow.optimized_wmin()
+        assert optimized.wmin_nm < baseline.wmin_nm
+
+    def test_relaxation_factor(self, flow):
+        assert flow.relaxation_factor() == pytest.approx(360.0, rel=0.05)
+
+    def test_scenario_results_ordering(self, flow):
+        wmin = flow.optimized_wmin().wmin_nm
+        results = flow.scenario_results(wmin)
+        uncorrelated = results[LayoutScenario.UNCORRELATED_GROWTH]
+        non_aligned = results[LayoutScenario.DIRECTIONAL_NON_ALIGNED]
+        aligned = results[LayoutScenario.DIRECTIONAL_ALIGNED]
+        assert (
+            uncorrelated.row_failure_probability
+            > non_aligned.row_failure_probability
+            > aligned.row_failure_probability
+        )
+
+    def test_full_report(self, flow):
+        report = flow.run()
+        assert report.relaxation_factor == pytest.approx(360.0, rel=0.05)
+        assert report.wmin_reduction_nm > 0
+        # Penalty is reduced by the optimization at the 45 nm node.
+        assert (
+            report.optimized_upsizing.capacitance_penalty
+            < report.baseline_upsizing.capacitance_penalty
+        )
+        assert report.penalty_reduction > 0
+        # Scaling series span the four nodes.
+        assert list(report.baseline_scaling.nodes_nm) == [45, 32, 22, 16]
+        assert list(report.optimized_scaling.nodes_nm) == [45, 32, 22, 16]
+
+    def test_summary_lines_mention_key_numbers(self, flow):
+        report = flow.run()
+        text = "\n".join(report.summary_lines())
+        assert "Relaxation factor" in text
+        assert "Wmin" in text
+        assert "pRF" in text
+
+    def test_table1_total_gain(self, flow):
+        report = flow.run()
+        uncorrelated = report.scenario_results[LayoutScenario.UNCORRELATED_GROWTH]
+        aligned = report.scenario_results[LayoutScenario.DIRECTIONAL_ALIGNED]
+        total_gain = (
+            uncorrelated.row_failure_probability / aligned.row_failure_probability
+        )
+        # Paper: ≈350X total (26.5X growth × 13X alignment); model: ≈360X.
+        assert total_gain == pytest.approx(360.0, rel=0.05)
+
+    def test_mismatched_counts_rejected(self):
+        with pytest.raises(ValueError):
+            CoOptimizationFlow(
+                setup=CalibratedSetup(),
+                widths_nm=np.array([80.0, 160.0]),
+                counts=np.array([1.0]),
+            )

@@ -1,0 +1,87 @@
+"""Tests for the technology scaling analysis — Fig. 2.2b / Fig. 3.3."""
+
+import numpy as np
+import pytest
+
+from repro.core.scaling import (
+    TechnologyScaler,
+    penalty_comparison,
+    penalty_versus_node,
+)
+
+
+WIDTHS = np.array([80.0, 160.0, 240.0, 320.0])
+COUNTS = np.array([0.13, 0.20, 0.30, 0.37]) * 1e8
+
+
+class TestTechnologyScaler:
+    def test_scale_factor(self):
+        scaler = TechnologyScaler(45.0)
+        assert scaler.scale_factor(16.0) == pytest.approx(16.0 / 45.0)
+
+    def test_reference_node_identity(self):
+        scaler = TechnologyScaler(45.0)
+        assert np.allclose(scaler.scale_widths(WIDTHS, 45.0), WIDTHS)
+
+    def test_linear_scaling(self):
+        scaler = TechnologyScaler(45.0)
+        scaled = scaler.scale_widths(WIDTHS, 22.0)
+        assert np.allclose(scaled, WIDTHS * 22.0 / 45.0)
+
+    def test_invalid_node_rejected(self):
+        with pytest.raises(ValueError):
+            TechnologyScaler(45.0).scale_factor(0.0)
+
+
+class TestPenaltyVersusNode:
+    def test_penalty_grows_as_node_shrinks(self):
+        study = penalty_versus_node(WIDTHS, COUNTS, wmin_nm=155.0)
+        penalties = study.penalties_percent
+        assert np.all(np.diff(penalties) > 0)  # 45 -> 32 -> 22 -> 16 grows
+
+    def test_nodes_recorded(self):
+        study = penalty_versus_node(WIDTHS, COUNTS, wmin_nm=155.0)
+        assert list(study.nodes_nm) == [45, 32, 22, 16]
+
+    def test_penalty_at_lookup(self):
+        study = penalty_versus_node(WIDTHS, COUNTS, wmin_nm=155.0)
+        assert study.penalty_at(45) == pytest.approx(study.points[0].penalty)
+        with pytest.raises(KeyError):
+            study.penalty_at(90)
+
+    def test_all_devices_upsized_at_16nm(self):
+        study = penalty_versus_node(WIDTHS, COUNTS, wmin_nm=155.0)
+        point_16 = study.points[-1]
+        # At 16 nm every scaled width (max 320*16/45 ≈ 114 nm) is below Wmin.
+        assert point_16.devices_upsized_fraction == pytest.approx(1.0)
+
+    def test_penalty_magnitude_at_16nm(self):
+        # The paper's Fig. 2.2b shows the penalty growing towards ~100 % at
+        # 16 nm; with this histogram the model lands in the same regime.
+        study = penalty_versus_node(WIDTHS, COUNTS, wmin_nm=155.0)
+        assert study.penalty_at(16) > 0.5
+
+
+class TestPenaltyComparison:
+    def test_correlated_always_cheaper(self):
+        without, with_corr = penalty_comparison(
+            WIDTHS, COUNTS, wmin_uncorrelated_nm=155.0, wmin_correlated_nm=103.0
+        )
+        assert np.all(
+            with_corr.penalties_percent <= without.penalties_percent
+        )
+
+    def test_penalty_nearly_eliminated_at_45nm(self):
+        without, with_corr = penalty_comparison(
+            WIDTHS, COUNTS, wmin_uncorrelated_nm=155.0, wmin_correlated_nm=103.0
+        )
+        # Fig. 3.3: at 45 nm the optimised penalty is close to zero and much
+        # smaller than the unoptimised one.
+        assert with_corr.penalty_at(45) < 0.5 * without.penalty_at(45)
+
+    def test_labels(self):
+        without, with_corr = penalty_comparison(
+            WIDTHS, COUNTS, wmin_uncorrelated_nm=155.0, wmin_correlated_nm=103.0
+        )
+        assert "Without" in without.label
+        assert "aligned-active" in with_corr.label

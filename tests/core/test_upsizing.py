@@ -1,0 +1,76 @@
+"""Tests for the upsizing operator and penalty metric — Fig. 2.2b."""
+
+import numpy as np
+import pytest
+
+from repro.core.upsizing import UpsizingAnalysis, upsize_widths
+
+
+class TestUpsizeOperator:
+    def test_max_semantics(self):
+        result = upsize_widths([80.0, 160.0, 240.0], 155.0)
+        assert np.allclose(result, [155.0, 160.0, 240.0])
+
+    def test_no_change_when_threshold_small(self):
+        widths = [80.0, 160.0]
+        assert np.allclose(upsize_widths(widths, 10.0), widths)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            upsize_widths([80.0], 0.0)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            upsize_widths([80.0, -1.0], 100.0)
+
+
+class TestUpsizingAnalysis:
+    @pytest.fixture
+    def analysis(self):
+        widths = np.array([80.0, 160.0, 240.0, 320.0])
+        counts = np.array([13.0, 20.0, 30.0, 37.0])
+        return UpsizingAnalysis(widths, counts)
+
+    def test_device_count(self, analysis):
+        assert analysis.device_count == 100.0
+
+    def test_total_width(self, analysis):
+        expected = 80 * 13 + 160 * 20 + 240 * 30 + 320 * 37
+        assert analysis.total_width_nm == pytest.approx(expected)
+
+    def test_penalty_positive_when_upsizing(self, analysis):
+        assert analysis.capacitance_penalty(155.0) > 0.0
+
+    def test_penalty_zero_below_min_width(self, analysis):
+        assert analysis.capacitance_penalty(50.0) == pytest.approx(0.0)
+
+    def test_penalty_matches_hand_computation(self, analysis):
+        # Upsizing to 155 nm only changes the 80 nm bin.
+        before = analysis.total_width_nm
+        after = before + (155.0 - 80.0) * 13.0
+        assert analysis.capacitance_penalty(155.0) == pytest.approx(after / before - 1.0)
+
+    def test_penalty_monotone_in_threshold(self, analysis):
+        thresholds = [100.0, 155.0, 250.0, 400.0]
+        penalties = analysis.penalty_curve(thresholds)
+        assert np.all(np.diff(penalties) >= 0)
+
+    def test_analyse_result_fields(self, analysis):
+        result = analysis.analyse(155.0)
+        assert result.devices_upsized == 13.0
+        assert result.upsized_fraction == pytest.approx(0.13)
+        assert result.penalty_percent == pytest.approx(
+            100.0 * result.capacitance_penalty
+        )
+
+    def test_empty_widths_rejected(self):
+        with pytest.raises(ValueError):
+            UpsizingAnalysis([], [])
+
+    def test_mismatched_counts_rejected(self):
+        with pytest.raises(ValueError):
+            UpsizingAnalysis([80.0, 160.0], [1.0])
+
+    def test_larger_wmin_costs_more(self, analysis):
+        # The correlation benefit (smaller Wmin) must reduce the penalty.
+        assert analysis.capacitance_penalty(103.0) < analysis.capacitance_penalty(155.0)

@@ -1,0 +1,102 @@
+"""Tests for the Wmin solver — Eq. 2.4 / 2.5."""
+
+import numpy as np
+import pytest
+
+from repro.core.count_model import PoissonCountModel
+from repro.core.failure import CNFETFailureModel
+from repro.core.wmin import WminSolver
+
+
+@pytest.fixture
+def failure_model():
+    return CNFETFailureModel(
+        PoissonCountModel(mean_pitch_nm=4.0), per_cnt_failure=0.5333
+    )
+
+
+@pytest.fixture
+def solver(failure_model):
+    return WminSolver(failure_model, yield_target=0.90)
+
+
+class TestSimplifiedWmin:
+    def test_required_pf(self, solver):
+        assert solver.required_pf(33e6) == pytest.approx(0.1 / 33e6)
+
+    def test_relaxation_scales_budget(self, solver):
+        base = solver.required_pf(33e6)
+        relaxed = solver.required_pf(33e6, relaxation_factor=350.0)
+        assert relaxed == pytest.approx(350.0 * base)
+
+    def test_budget_capped_at_one(self, solver):
+        assert solver.required_pf(1.0, relaxation_factor=1e12) == 1.0
+
+    def test_wmin_meets_budget(self, solver, failure_model):
+        result = solver.solve_simplified(33e6)
+        assert failure_model.failure_probability(result.wmin_nm) <= result.required_pf
+        assert failure_model.failure_probability(result.wmin_nm - 1.0) > result.required_pf
+
+    def test_relaxation_reduces_wmin(self, solver):
+        base = solver.solve_simplified(33e6)
+        relaxed = solver.solve_simplified(33e6, relaxation_factor=350.0)
+        assert relaxed.wmin_nm < base.wmin_nm
+        # The paper's ratio is 155/103 ≈ 1.5; with the Poisson calibration the
+        # ratio is slightly smaller but clearly in the same regime.
+        assert base.wmin_nm / relaxed.wmin_nm == pytest.approx(1.45, abs=0.15)
+
+    def test_invalid_yield_target(self, failure_model):
+        with pytest.raises(ValueError):
+            WminSolver(failure_model, yield_target=1.0)
+
+    def test_result_metadata(self, solver):
+        result = solver.solve_simplified(33e6, relaxation_factor=10.0)
+        assert result.relaxation_factor == 10.0
+        assert result.yield_target == 0.90
+        assert result.min_size_device_count == 33e6
+
+
+class TestExactWmin:
+    @pytest.fixture
+    def histogram(self):
+        widths = np.array([80.0, 160.0, 240.0, 320.0])
+        counts = np.array([0.13, 0.20, 0.30, 0.37]) * 1.0e8
+        return widths, counts
+
+    def test_exact_meets_yield(self, solver, failure_model, histogram):
+        widths, counts = histogram
+        result = solver.solve_exact(widths, counts)
+        assert result.achieved_yield is not None
+        assert result.achieved_yield >= 0.90
+
+    def test_exact_close_to_simplified(self, solver, histogram):
+        widths, counts = histogram
+        exact = solver.solve_exact(widths, counts)
+        simplified = solver.solve_simplified(0.33e8)
+        assert exact.wmin_nm == pytest.approx(simplified.wmin_nm, rel=0.05)
+
+    def test_relaxation_reduces_exact_wmin(self, solver, histogram):
+        widths, counts = histogram
+        base = solver.solve_exact(widths, counts)
+        relaxed = solver.solve_exact(widths, counts, relaxation_factor=350.0)
+        assert relaxed.wmin_nm < base.wmin_nm
+
+    def test_no_upsizing_needed_case(self, failure_model):
+        solver = WminSolver(failure_model, yield_target=0.5)
+        widths = np.array([400.0, 500.0])
+        counts = np.array([10.0, 10.0])
+        result = solver.solve_exact(widths, counts)
+        assert result.wmin_nm == pytest.approx(400.0)
+
+    def test_empty_histogram_rejected(self, solver):
+        with pytest.raises(ValueError):
+            solver.solve_exact(np.array([]), np.array([]))
+
+    def test_verify_min_size_count(self, solver, histogram):
+        widths, counts = histogram
+        result = solver.solve_exact(widths, counts)
+        m_min = solver.verify_min_size_count(widths, counts, result)
+        # Wmin lands between the 160 nm and 240 nm bins, so the two smallest
+        # bins (33 % of devices) are the minimum-size population — matching
+        # the paper's Mmin choice.
+        assert m_min == pytest.approx(0.33e8)

@@ -1,0 +1,92 @@
+"""Tests for active regions and their alignment geometry."""
+
+import pytest
+
+from repro.device.active_region import ActiveRegion, Polarity
+
+
+def region(**kwargs):
+    defaults = dict(x_nm=0.0, y_nm=0.0, length_nm=200.0, width_nm=80.0)
+    defaults.update(kwargs)
+    return ActiveRegion(**defaults)
+
+
+class TestPolarity:
+    def test_opposite(self):
+        assert Polarity.NFET.opposite is Polarity.PFET
+        assert Polarity.PFET.opposite is Polarity.NFET
+
+
+class TestGeometry:
+    def test_edges(self):
+        r = region(x_nm=10.0, y_nm=20.0)
+        assert r.x_end_nm == 210.0
+        assert r.y_end_nm == 100.0
+        assert r.y_center_nm == 60.0
+
+    def test_area(self):
+        assert region().area_nm2 == 200.0 * 80.0
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            region(width_nm=0.0)
+        with pytest.raises(ValueError):
+            region(length_nm=-5.0)
+
+    def test_y_overlap(self):
+        a = region(y_nm=0.0, width_nm=80.0)
+        b = region(y_nm=40.0, width_nm=80.0)
+        assert a.y_overlap_nm(b) == pytest.approx(40.0)
+        c = region(y_nm=200.0)
+        assert a.y_overlap_nm(c) == 0.0
+
+    def test_x_overlap(self):
+        a = region(x_nm=0.0)
+        b = region(x_nm=150.0)
+        assert a.x_overlap_nm(b) == pytest.approx(50.0)
+
+
+class TestAlignment:
+    def test_aligned_same_window(self):
+        a = region(x_nm=0.0, y_nm=100.0)
+        b = region(x_nm=5000.0, y_nm=100.0)
+        assert a.is_aligned_with(b)
+
+    def test_not_aligned_different_y(self):
+        a = region(y_nm=100.0)
+        b = region(y_nm=101.0)
+        assert not a.is_aligned_with(b)
+
+    def test_not_aligned_different_width(self):
+        a = region(width_nm=80.0)
+        b = region(width_nm=100.0)
+        assert not a.is_aligned_with(b)
+
+    def test_shares_tracks_when_overlapping(self):
+        a = region(y_nm=0.0, width_nm=80.0)
+        b = region(y_nm=50.0, width_nm=80.0)
+        assert a.shares_tracks_with(b)
+
+    def test_no_shared_tracks_when_disjoint(self):
+        a = region(y_nm=0.0, width_nm=80.0)
+        b = region(y_nm=100.0, width_nm=80.0)
+        assert not a.shares_tracks_with(b)
+
+
+class TestTransformations:
+    def test_moved_to_y(self):
+        r = region(y_nm=10.0).moved_to_y(200.0)
+        assert r.y_nm == 200.0
+
+    def test_widened_to(self):
+        r = region(width_nm=80.0).widened_to(103.0)
+        assert r.width_nm == 103.0
+
+    def test_cannot_shrink(self):
+        with pytest.raises(ValueError):
+            region(width_nm=80.0).widened_to(40.0)
+
+    def test_moved_by(self):
+        r = region(x_nm=10.0, y_nm=20.0).moved_by(dx_nm=5.0, dy_nm=-5.0)
+        assert r.x_nm == 15.0
+        assert r.y_nm == 15.0

@@ -1,0 +1,57 @@
+"""Tests for the gate capacitance model and penalty metric."""
+
+import pytest
+
+from repro.device.capacitance import GateCapacitanceModel
+
+
+class TestGateCapacitance:
+    def test_device_capacitance_proportional_to_width(self):
+        model = GateCapacitanceModel(capacitance_per_width_af_per_nm=2.0)
+        assert model.device_capacitance_af(100.0) == pytest.approx(200.0)
+
+    def test_fixed_term(self):
+        model = GateCapacitanceModel(fixed_capacitance_af=10.0)
+        assert model.device_capacitance_af(100.0) == pytest.approx(110.0)
+
+    def test_total_capacitance(self):
+        model = GateCapacitanceModel()
+        assert model.total_capacitance_af([80.0, 160.0, 240.0]) == pytest.approx(480.0)
+
+    def test_total_capacitance_empty(self):
+        assert GateCapacitanceModel().total_capacitance_af([]) == 0.0
+
+    def test_total_capacitance_rejects_non_positive_width(self):
+        with pytest.raises(ValueError):
+            GateCapacitanceModel().total_capacitance_af([80.0, 0.0])
+
+    def test_penalty_is_width_increase_ratio(self):
+        model = GateCapacitanceModel()
+        original = [80.0, 160.0, 320.0]
+        upsized = [160.0, 160.0, 320.0]
+        assert model.capacitance_increase_ratio(original, upsized) == pytest.approx(
+            (640.0 / 560.0) - 1.0
+        )
+
+    def test_penalty_zero_when_unchanged(self):
+        model = GateCapacitanceModel()
+        widths = [100.0, 200.0]
+        assert model.capacitance_increase_ratio(widths, widths) == pytest.approx(0.0)
+
+    def test_penalty_rejects_empty_original(self):
+        with pytest.raises(ValueError):
+            GateCapacitanceModel().capacitance_increase_ratio([], [])
+
+    def test_dynamic_power_equals_capacitance_ratio(self):
+        model = GateCapacitanceModel()
+        original = [80.0, 80.0]
+        upsized = [120.0, 120.0]
+        assert model.dynamic_power_increase_ratio(
+            original, upsized
+        ) == pytest.approx(model.capacitance_increase_ratio(original, upsized))
+
+    def test_invalid_model_parameters(self):
+        with pytest.raises(ValueError):
+            GateCapacitanceModel(capacitance_per_width_af_per_nm=0.0)
+        with pytest.raises(ValueError):
+            GateCapacitanceModel(fixed_capacitance_af=-1.0)

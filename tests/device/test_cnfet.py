@@ -1,0 +1,86 @@
+"""Tests for the CNFET device object."""
+
+import pytest
+
+from repro.device.active_region import ActiveRegion, Polarity
+from repro.device.cnfet import CNFET, CNFETFailure
+from repro.growth.cnt import CNT, CNTTrack, CNTType
+
+
+def make_region(width_nm=80.0, y_nm=0.0):
+    return ActiveRegion(x_nm=0.0, y_nm=y_nm, length_nm=200.0, width_nm=width_nm)
+
+
+def make_cnt(y=10.0, cnt_type=CNTType.SEMICONDUCTING, removed=False):
+    return CNT(y_nm=y, x_start_nm=0.0, x_end_nm=200.0, cnt_type=cnt_type, removed=removed)
+
+
+class TestCNFETBasics:
+    def test_width_and_polarity(self):
+        fet = CNFET("m0", make_region(120.0))
+        assert fet.width_nm == 120.0
+        assert fet.polarity is Polarity.NFET
+
+    def test_counts(self):
+        cnts = (
+            make_cnt(5.0),
+            make_cnt(10.0, CNTType.METALLIC),
+            make_cnt(15.0, removed=True),
+        )
+        fet = CNFET("m0", make_region(), cnts=cnts)
+        assert fet.total_cnt_count == 3
+        assert fet.working_cnt_count == 1
+        assert fet.surviving_metallic_count == 1
+
+    def test_failure_classification(self):
+        ok = CNFET("m0", make_region(), cnts=(make_cnt(),))
+        bad = CNFET("m1", make_region(), cnts=(make_cnt(cnt_type=CNTType.METALLIC),))
+        empty = CNFET("m2", make_region(), cnts=())
+        assert ok.failure is CNFETFailure.NONE
+        assert not ok.failed
+        assert bad.failed
+        assert empty.failed
+
+
+class TestFromTracks:
+    def test_captures_only_covering_tracks(self):
+        region = make_region(width_nm=80.0, y_nm=0.0)
+        tracks = [
+            CNTTrack(10.0, 0.0, 1000.0, CNTType.SEMICONDUCTING),
+            CNTTrack(90.0, 0.0, 1000.0, CNTType.SEMICONDUCTING),   # outside y window
+            CNTTrack(50.0, 500.0, 1000.0, CNTType.SEMICONDUCTING),  # outside x window
+        ]
+        fet = CNFET.from_tracks("m0", region, tracks)
+        assert fet.total_cnt_count == 1
+        assert fet.working_cnt_count == 1
+
+    def test_removed_tracks_counted_but_not_working(self):
+        region = make_region()
+        tracks = [CNTTrack(10.0, 0.0, 1000.0, CNTType.SEMICONDUCTING, removed=True)]
+        fet = CNFET.from_tracks("m0", region, tracks)
+        assert fet.total_cnt_count == 1
+        assert fet.working_cnt_count == 0
+        assert fet.failed
+
+
+class TestElectrical:
+    def test_on_current_scales_with_tubes(self):
+        one = CNFET("a", make_region(), cnts=(make_cnt(),))
+        three = CNFET("b", make_region(), cnts=(make_cnt(1.0), make_cnt(2.0), make_cnt(3.0)))
+        assert three.on_current_ua() == pytest.approx(3 * one.on_current_ua())
+
+    def test_off_current_only_from_surviving_metallic(self):
+        clean = CNFET("a", make_region(), cnts=(make_cnt(),))
+        shorted = CNFET(
+            "b", make_region(),
+            cnts=(make_cnt(), make_cnt(5.0, CNTType.METALLIC)),
+        )
+        assert clean.off_current_ua() == 0.0
+        assert shorted.off_current_ua() > 0.0
+
+    def test_shares_tracks_with(self):
+        a = CNFET("a", make_region(y_nm=0.0))
+        b = CNFET("b", make_region(y_nm=40.0))
+        c = CNFET("c", make_region(y_nm=500.0))
+        assert a.shares_tracks_with(b)
+        assert not a.shares_tracks_with(c)

@@ -1,0 +1,88 @@
+"""Tests for the per-tube / per-device current model."""
+
+import numpy as np
+import pytest
+
+from repro.device.current import CNTCurrentModel, device_on_current
+from repro.growth.cnt import CNT, CNTType
+
+
+class TestPerTubeCurrent:
+    def test_nominal_current_at_reference(self):
+        model = CNTCurrentModel(nominal_on_current_ua=20.0, reference_diameter_nm=1.5)
+        assert model.semiconducting_on_current_ua(1.5) == pytest.approx(20.0)
+
+    def test_diameter_scaling(self):
+        model = CNTCurrentModel(diameter_exponent=1.0)
+        assert model.semiconducting_on_current_ua(3.0) == pytest.approx(
+            2.0 * model.semiconducting_on_current_ua(1.5)
+        )
+
+    def test_overdrive_scaling(self):
+        low = CNTCurrentModel(vdd=0.6, threshold_voltage=0.3, reference_vdd=0.9)
+        high = CNTCurrentModel(vdd=0.9, threshold_voltage=0.3, reference_vdd=0.9)
+        assert low.semiconducting_on_current_ua(1.5) == pytest.approx(
+            0.5 * high.semiconducting_on_current_ua(1.5)
+        )
+
+    def test_vdd_below_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            CNTCurrentModel(vdd=0.2, threshold_voltage=0.3)
+
+    def test_invalid_diameter_rejected(self):
+        model = CNTCurrentModel()
+        with pytest.raises(ValueError):
+            model.semiconducting_on_current_ua(0.0)
+
+
+class TestDeviceAggregation:
+    def make_cnt(self, cnt_type=CNTType.SEMICONDUCTING, removed=False, diameter=1.5):
+        return CNT(0.0, 0.0, 100.0, cnt_type, diameter_nm=diameter, removed=removed)
+
+    def test_parallel_tubes_sum(self):
+        model = CNTCurrentModel(nominal_on_current_ua=20.0)
+        cnts = [self.make_cnt() for _ in range(5)]
+        assert model.device_on_current_ua(cnts) == pytest.approx(100.0)
+
+    def test_removed_tubes_excluded(self):
+        model = CNTCurrentModel()
+        cnts = [self.make_cnt(), self.make_cnt(removed=True)]
+        assert model.device_on_current_ua(cnts) == pytest.approx(
+            model.semiconducting_on_current_ua(1.5)
+        )
+
+    def test_surviving_metallic_adds_current(self):
+        model = CNTCurrentModel(metallic_current_ua=40.0)
+        cnts = [self.make_cnt(), self.make_cnt(CNTType.METALLIC)]
+        on = model.device_on_current_ua(cnts)
+        assert on == pytest.approx(model.semiconducting_on_current_ua(1.5) + 40.0)
+        assert model.device_off_current_ua(cnts) == pytest.approx(40.0)
+
+    def test_sample_on_current_statistics(self):
+        model = CNTCurrentModel(nominal_on_current_ua=20.0)
+        rng = np.random.default_rng(0)
+        samples = [model.sample_on_current_ua(10, rng) for _ in range(500)]
+        assert np.mean(samples) == pytest.approx(200.0, rel=0.05)
+
+    def test_sample_zero_tubes(self):
+        model = CNTCurrentModel()
+        rng = np.random.default_rng(0)
+        assert model.sample_on_current_ua(0, rng) == 0.0
+
+    def test_sample_negative_tubes_rejected(self):
+        model = CNTCurrentModel()
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            model.sample_on_current_ua(-1, rng)
+
+
+class TestIdealisedHelper:
+    def test_linear_in_count(self):
+        assert device_on_current(5, 20.0) == 100.0
+
+    def test_zero_count(self):
+        assert device_on_current(0) == 0.0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            device_on_current(-1)

@@ -1,0 +1,63 @@
+"""Tests for the drive-current variation model (statistical averaging)."""
+
+import numpy as np
+import pytest
+
+from repro.core.count_model import PoissonCountModel
+from repro.device.variation import DriveCurrentVariationModel
+from repro.growth.types import CNTTypeModel
+
+
+@pytest.fixture
+def model():
+    return DriveCurrentVariationModel(
+        count_model=PoissonCountModel(mean_pitch_nm=4.0),
+        type_model=CNTTypeModel(
+            metallic_fraction=1.0 / 3.0,
+            removal_prob_metallic=1.0,
+            removal_prob_semiconducting=0.0,
+        ),
+        diameter_std_nm=0.2,
+    )
+
+
+class TestVariationModel:
+    def test_summary_fields(self, model):
+        rng = np.random.default_rng(1)
+        summary = model.summarise(160.0, 2000, rng)
+        assert summary.width_nm == 160.0
+        assert summary.mean_on_current_ua > 0
+        assert summary.mean_working_count == pytest.approx(
+            40.0 * (2.0 / 3.0), rel=0.1
+        )
+        assert summary.n_samples == 2000
+
+    def test_relative_spread_decreases_with_width(self, model):
+        rng = np.random.default_rng(2)
+        spreads = model.relative_spread_vs_width(
+            np.array([40.0, 160.0, 640.0]), 2000, rng
+        )
+        assert spreads[0] > spreads[1] > spreads[2]
+
+    def test_spread_roughly_inverse_sqrt(self, model):
+        # Quadrupling the width should roughly halve the relative spread.
+        rng = np.random.default_rng(3)
+        s_small = model.summarise(80.0, 4000, rng).relative_spread
+        s_large = model.summarise(320.0, 4000, rng).relative_spread
+        assert s_small / s_large == pytest.approx(2.0, rel=0.35)
+
+    def test_failure_fraction_for_narrow_devices(self, model):
+        rng = np.random.default_rng(4)
+        summary = model.summarise(4.0, 4000, rng)
+        assert summary.failure_fraction > 0.2
+
+    def test_invalid_sample_count(self, model):
+        rng = np.random.default_rng(5)
+        with pytest.raises(ValueError):
+            model.sample_on_currents(80.0, 0, rng)
+
+    def test_negative_diameter_std_rejected(self):
+        with pytest.raises(ValueError):
+            DriveCurrentVariationModel(
+                count_model=PoissonCountModel(4.0), diameter_std_nm=-0.1
+            )

@@ -1,0 +1,96 @@
+"""Tests for CNT / CNT-track value objects."""
+
+import pytest
+
+from repro.growth.cnt import CNT, CNTTrack, CNTType
+
+
+class TestCNTType:
+    def test_semiconducting_flags(self):
+        assert CNTType.SEMICONDUCTING.is_semiconducting
+        assert not CNTType.SEMICONDUCTING.is_metallic
+
+    def test_metallic_flags(self):
+        assert CNTType.METALLIC.is_metallic
+        assert not CNTType.METALLIC.is_semiconducting
+
+
+class TestCNT:
+    def make(self, **kwargs):
+        defaults = dict(
+            y_nm=10.0, x_start_nm=0.0, x_end_nm=100.0,
+            cnt_type=CNTType.SEMICONDUCTING,
+        )
+        defaults.update(kwargs)
+        return CNT(**defaults)
+
+    def test_length(self):
+        assert self.make().length_nm == 100.0
+
+    def test_inverted_extent_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(x_start_nm=10.0, x_end_nm=5.0)
+
+    def test_non_positive_diameter_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(diameter_nm=0.0)
+
+    def test_semiconducting_not_removed_contributes(self):
+        assert self.make().contributes_to_channel
+
+    def test_metallic_does_not_contribute(self):
+        assert not self.make(cnt_type=CNTType.METALLIC).contributes_to_channel
+
+    def test_removed_semiconducting_does_not_contribute(self):
+        assert not self.make(removed=True).contributes_to_channel
+
+    def test_covers_x_overlap(self):
+        cnt = self.make()
+        assert cnt.covers_x(50.0, 150.0)
+        assert not cnt.covers_x(100.0, 200.0)  # touching, no overlap
+        assert not cnt.covers_x(-50.0, 0.0)
+
+    def test_with_removed_returns_copy(self):
+        cnt = self.make()
+        removed = cnt.with_removed()
+        assert removed.removed
+        assert not cnt.removed
+        assert removed.y_nm == cnt.y_nm
+
+
+class TestCNTTrack:
+    def make(self, **kwargs):
+        defaults = dict(
+            y_nm=20.0, x_start_nm=0.0, x_end_nm=200_000.0,
+            cnt_type=CNTType.SEMICONDUCTING,
+        )
+        defaults.update(kwargs)
+        return CNTTrack(**defaults)
+
+    def test_length(self):
+        assert self.make().length_nm == 200_000.0
+
+    def test_working(self):
+        assert self.make().working
+        assert not self.make(cnt_type=CNTType.METALLIC).working
+        assert not self.make(removed=True).working
+
+    def test_covers_inside_window(self):
+        track = self.make()
+        assert track.covers(0.0, 80.0, 100.0, 300.0)
+
+    def test_covers_outside_y_window(self):
+        track = self.make()
+        assert not track.covers(30.0, 80.0, 100.0, 300.0)
+
+    def test_covers_outside_x_window(self):
+        track = self.make(x_start_nm=0.0, x_end_nm=50.0)
+        assert not track.covers(0.0, 80.0, 100.0, 300.0)
+
+    def test_as_cnt_preserves_fields(self):
+        track = self.make(removed=True)
+        cnt = track.as_cnt()
+        assert isinstance(cnt, CNT)
+        assert cnt.removed
+        assert cnt.y_nm == track.y_nm
+        assert cnt.cnt_type is track.cnt_type

@@ -1,0 +1,61 @@
+"""Tests for density statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.growth.density import (
+    density_from_pitch,
+    density_statistics_from_counts,
+    pitch_from_density,
+    statistical_averaging_cv,
+)
+from repro.growth.pitch import ExponentialPitch, GammaPitch
+
+
+class TestDensityConversions:
+    def test_density_from_pitch(self):
+        assert density_from_pitch(ExponentialPitch(4.0)) == pytest.approx(250.0)
+
+    def test_pitch_from_density_roundtrip(self):
+        pitch = pitch_from_density(250.0, cv=0.5)
+        assert isinstance(pitch, GammaPitch)
+        assert density_from_pitch(pitch) == pytest.approx(250.0)
+
+    def test_pitch_from_density_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            pitch_from_density(0.0)
+
+
+class TestDensityStatistics:
+    def test_mean_density(self):
+        counts = np.array([10, 12, 8, 10])
+        stats = density_statistics_from_counts(counts, window_width_nm=100.0)
+        assert stats.mean_per_um == pytest.approx(100.0)
+        assert stats.n_windows == 4
+
+    def test_single_window_zero_std(self):
+        stats = density_statistics_from_counts(np.array([7]), window_width_nm=50.0)
+        assert stats.std_per_um == 0.0
+
+    def test_cv(self):
+        counts = np.array([10, 10, 10, 10])
+        stats = density_statistics_from_counts(counts, window_width_nm=100.0)
+        assert stats.cv == 0.0
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(ValueError):
+            density_statistics_from_counts(np.array([]), window_width_nm=100.0)
+
+
+class TestStatisticalAveraging:
+    def test_inverse_sqrt(self):
+        assert statistical_averaging_cv(4.0) == pytest.approx(0.5)
+        assert statistical_averaging_cv(100.0) == pytest.approx(0.1)
+
+    def test_monotone_decreasing(self):
+        values = [statistical_averaging_cv(n) for n in (1, 4, 16, 64)]
+        assert values == sorted(values, reverse=True)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            statistical_averaging_cv(0.0)

@@ -1,0 +1,136 @@
+"""Tests for the directional CNT growth simulator."""
+
+import numpy as np
+import pytest
+
+from repro.growth.cnt import CNTType
+from repro.growth.directional import (
+    DirectionalGrowthModel,
+    count_correlation_between_fets,
+)
+from repro.growth.pitch import DeterministicPitch, ExponentialPitch
+from repro.growth.types import CNTTypeModel
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestDirectionalGrowth:
+    def test_track_count_matches_density(self, rng):
+        model = DirectionalGrowthModel(
+            pitch=ExponentialPitch(4.0),
+            type_model=CNTTypeModel(metallic_fraction=0.0),
+            cnt_length_nm=1.0e6,
+            apply_removal=False,
+        )
+        counts = []
+        for _ in range(50):
+            region = model.grow(width_nm=400.0, length_nm=1000.0, rng=rng)
+            counts.append(len({t.y_nm for t in region.tracks}))
+        # Expected ~100 tracks across 400 nm at 4 nm mean pitch.
+        assert np.mean(counts) == pytest.approx(100.0, rel=0.1)
+
+    def test_deterministic_pitch_track_positions(self, rng):
+        model = DirectionalGrowthModel(
+            pitch=DeterministicPitch(10.0),
+            type_model=CNTTypeModel(metallic_fraction=0.0),
+            cnt_length_nm=1.0e6,
+            apply_removal=False,
+        )
+        region = model.grow(width_nm=95.0, length_nm=500.0, rng=rng)
+        ys = sorted({t.y_nm for t in region.tracks})
+        gaps = np.diff(ys)
+        assert np.allclose(gaps, 10.0)
+
+    def test_tubes_tile_long_rows(self, rng):
+        model = DirectionalGrowthModel(
+            pitch=ExponentialPitch(8.0),
+            cnt_length_nm=1000.0,
+            apply_removal=False,
+        )
+        region = model.grow(width_nm=40.0, length_nm=5000.0, rng=rng)
+        # Every track position should be tiled by segments covering the row.
+        by_y = {}
+        for t in region.tracks:
+            by_y.setdefault(t.y_nm, []).append(t)
+        for segments in by_y.values():
+            segments = sorted(segments, key=lambda s: s.x_start_nm)
+            assert segments[0].x_start_nm == pytest.approx(0.0)
+            assert segments[-1].x_end_nm == pytest.approx(5000.0)
+            for a, b in zip(segments, segments[1:]):
+                assert b.x_start_nm == pytest.approx(a.x_end_nm)
+
+    def test_removal_marks_metallic(self, rng):
+        model = DirectionalGrowthModel(
+            pitch=ExponentialPitch(4.0),
+            type_model=CNTTypeModel(1.0 / 3.0, 1.0, 0.0),
+            cnt_length_nm=1.0e6,
+            apply_removal=True,
+        )
+        region = model.grow(width_nm=200.0, length_nm=500.0, rng=rng)
+        metallic = [t for t in region.tracks if t.cnt_type is CNTType.METALLIC]
+        assert metallic, "expected at least one metallic track"
+        assert all(t.removed for t in metallic)
+
+    def test_window_queries(self, rng):
+        model = DirectionalGrowthModel(
+            pitch=ExponentialPitch(4.0),
+            type_model=CNTTypeModel(metallic_fraction=0.0),
+            cnt_length_nm=1.0e6,
+            apply_removal=False,
+        )
+        region = model.grow(width_nm=100.0, length_nm=1000.0, rng=rng)
+        full = region.working_count_in_window(0.0, 100.0, 0.0, 1000.0)
+        half = region.working_count_in_window(0.0, 50.0, 0.0, 1000.0)
+        assert full >= half
+        assert full == region.working_track_count
+
+    def test_expected_tracks_helper(self):
+        model = DirectionalGrowthModel(pitch=ExponentialPitch(4.0))
+        assert model.expected_tracks(80.0) == pytest.approx(20.0)
+
+    def test_correlation_length(self):
+        model = DirectionalGrowthModel(cnt_length_nm=123_456.0)
+        assert model.correlation_length_nm() == 123_456.0
+
+    def test_invalid_dimensions_rejected(self, rng):
+        model = DirectionalGrowthModel()
+        with pytest.raises(ValueError):
+            model.grow(width_nm=0.0, length_nm=100.0, rng=rng)
+        with pytest.raises(ValueError):
+            model.grow(width_nm=100.0, length_nm=-1.0, rng=rng)
+
+
+class TestSharedTrackCorrelation:
+    def test_aligned_fets_share_all_working_tracks(self, rng):
+        model = DirectionalGrowthModel(
+            pitch=ExponentialPitch(4.0),
+            type_model=CNTTypeModel(metallic_fraction=0.0),
+            cnt_length_nm=1.0e7,
+            apply_removal=False,
+        )
+        region = model.grow(width_nm=100.0, length_nm=3000.0, rng=rng)
+        shared = count_correlation_between_fets(
+            region, fet_width_nm=80.0, fet_y_low_nm=0.0,
+            fet1_x_nm=(0.0, 200.0), fet2_x_nm=(1000.0, 1200.0),
+        )
+        direct = region.working_count_in_window(0.0, 80.0, 0.0, 200.0)
+        assert shared == direct
+
+    def test_disjoint_y_windows_share_nothing(self, rng):
+        model = DirectionalGrowthModel(
+            pitch=ExponentialPitch(4.0),
+            type_model=CNTTypeModel(metallic_fraction=0.0),
+            cnt_length_nm=1.0e7,
+            apply_removal=False,
+        )
+        region = model.grow(width_nm=400.0, length_nm=3000.0, rng=rng)
+        tracks_low = {
+            t.label for t in region.tracks_in_window(0.0, 80.0, 0.0, 200.0)
+        }
+        tracks_high = {
+            t.label for t in region.tracks_in_window(200.0, 280.0, 0.0, 200.0)
+        }
+        assert tracks_low.isdisjoint(tracks_high)

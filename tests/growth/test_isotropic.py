@@ -1,0 +1,76 @@
+"""Tests for the uncorrelated (isotropic) growth simulator."""
+
+import numpy as np
+import pytest
+
+from repro.growth.isotropic import IsotropicGrowthModel
+from repro.growth.pitch import DeterministicPitch, ExponentialPitch
+from repro.growth.types import CNTTypeModel
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+class TestCountSampling:
+    def test_mean_count_matches_density(self, rng):
+        model = IsotropicGrowthModel(pitch=ExponentialPitch(4.0))
+        counts = model.sample_counts(120.0, 3000, rng)
+        assert counts.mean() == pytest.approx(30.0, rel=0.05)
+
+    def test_deterministic_pitch_count(self, rng):
+        model = IsotropicGrowthModel(pitch=DeterministicPitch(10.0))
+        counts = model.sample_counts(95.0, 200, rng)
+        # With a random phase, a 95 nm window over 10 nm pitch holds 9 or 10 tubes.
+        assert set(np.unique(counts)).issubset({9, 10})
+
+    def test_zero_width_rejected(self, rng):
+        model = IsotropicGrowthModel()
+        with pytest.raises(ValueError):
+            model.sample_count(0.0, rng)
+
+
+class TestDeviceSampling:
+    def test_device_counts_consistent(self, rng):
+        model = IsotropicGrowthModel(
+            pitch=ExponentialPitch(4.0),
+            type_model=CNTTypeModel(metallic_fraction=0.0),
+        )
+        sample = model.sample_device(200.0, rng)
+        assert sample.working_count <= sample.total_count
+        assert sample.total_count > 0
+
+    def test_ideal_process_no_failures_at_large_width(self, rng):
+        model = IsotropicGrowthModel(
+            pitch=ExponentialPitch(4.0),
+            type_model=CNTTypeModel(metallic_fraction=0.0),
+        )
+        failures = model.sample_failures(200.0, 500, rng)
+        assert failures.sum() == 0
+
+    def test_all_metallic_always_fails(self, rng):
+        model = IsotropicGrowthModel(
+            pitch=ExponentialPitch(4.0),
+            type_model=CNTTypeModel(metallic_fraction=1.0),
+        )
+        failures = model.sample_failures(100.0, 200, rng)
+        assert failures.all()
+
+    def test_estimate_failure_probability_narrow_device(self, rng):
+        # Narrow device (8 nm => ~2 tubes on average) with pf=0.533:
+        # analytic Poisson pF = exp(-2 * 0.4667) ~ 0.39.
+        model = IsotropicGrowthModel(
+            pitch=ExponentialPitch(4.0),
+            type_model=CNTTypeModel(1.0 / 3.0, 1.0, 0.3),
+        )
+        estimate = model.estimate_failure_probability(8.0, 20_000, rng)
+        assert estimate == pytest.approx(np.exp(-2.0 * (1.0 - 0.5333)), abs=0.03)
+
+    def test_surviving_metallic_count_with_imperfect_removal(self, rng):
+        model = IsotropicGrowthModel(
+            pitch=ExponentialPitch(4.0),
+            type_model=CNTTypeModel(0.5, removal_prob_metallic=0.0),
+        )
+        sample = model.sample_device(400.0, rng)
+        assert sample.surviving_metallic_count > 0

@@ -1,0 +1,145 @@
+"""Tests for inter-CNT pitch distributions."""
+
+import numpy as np
+import pytest
+
+from repro.growth.pitch import (
+    DeterministicPitch,
+    ExponentialPitch,
+    GammaPitch,
+    TruncatedNormalPitch,
+    pitch_distribution_from_cv,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestDeterministicPitch:
+    def test_moments(self):
+        pitch = DeterministicPitch(pitch_nm=4.0)
+        assert pitch.mean_nm == 4.0
+        assert pitch.std_nm == 0.0
+        assert pitch.cv == 0.0
+
+    def test_samples_are_constant(self, rng):
+        pitch = DeterministicPitch(pitch_nm=4.0)
+        samples = pitch.sample(100, rng)
+        assert np.all(samples == 4.0)
+
+    def test_sum_cdf_step(self):
+        pitch = DeterministicPitch(pitch_nm=4.0)
+        assert pitch.sum_cdf(3, 12.0) == 1.0
+        assert pitch.sum_cdf(3, 11.9) == 0.0
+        assert pitch.sum_cdf(0, 0.0) == 1.0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            DeterministicPitch(pitch_nm=0.0)
+
+
+class TestExponentialPitch:
+    def test_moments(self):
+        pitch = ExponentialPitch(mean_pitch_nm=4.0)
+        assert pitch.mean_nm == 4.0
+        assert pitch.std_nm == 4.0
+        assert pitch.cv == pytest.approx(1.0)
+
+    def test_density(self):
+        pitch = ExponentialPitch(mean_pitch_nm=5.0)
+        assert pitch.density_per_nm == pytest.approx(0.2)
+
+    def test_sample_mean(self, rng):
+        pitch = ExponentialPitch(mean_pitch_nm=4.0)
+        samples = pitch.sample(50_000, rng)
+        assert np.mean(samples) == pytest.approx(4.0, rel=0.03)
+
+    def test_sum_cdf_matches_erlang(self):
+        pitch = ExponentialPitch(mean_pitch_nm=4.0)
+        # Sum of 1 exponential: CDF = 1 - exp(-w/4).
+        assert pitch.sum_cdf(1, 4.0) == pytest.approx(1.0 - np.exp(-1.0))
+
+    def test_sum_cdf_zero_terms(self):
+        pitch = ExponentialPitch(mean_pitch_nm=4.0)
+        assert pitch.sum_cdf(0, 10.0) == 1.0
+        assert pitch.sum_cdf(5, 0.0) == 0.0
+
+    def test_sum_cdf_monotone_in_n(self):
+        pitch = ExponentialPitch(mean_pitch_nm=4.0)
+        values = [pitch.sum_cdf(n, 40.0) for n in range(1, 30)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+class TestGammaPitch:
+    def test_moments(self):
+        pitch = GammaPitch(mean_pitch_nm=4.0, cv_value=0.5)
+        assert pitch.mean_nm == 4.0
+        assert pitch.std_nm == pytest.approx(2.0)
+
+    def test_shape_scale(self):
+        pitch = GammaPitch(mean_pitch_nm=4.0, cv_value=0.5)
+        assert pitch.shape == pytest.approx(4.0)
+        assert pitch.scale_nm == pytest.approx(1.0)
+
+    def test_sample_moments(self, rng):
+        pitch = GammaPitch(mean_pitch_nm=4.0, cv_value=0.5)
+        samples = pitch.sample(50_000, rng)
+        assert np.mean(samples) == pytest.approx(4.0, rel=0.03)
+        assert np.std(samples) == pytest.approx(2.0, rel=0.05)
+
+    def test_sum_cdf_additive_shape(self):
+        # Sum of n gammas with shape k equals a gamma with shape n*k: the CDF
+        # at the mean of the sum should be close to (but below) ~0.5-0.6.
+        pitch = GammaPitch(mean_pitch_nm=4.0, cv_value=0.5)
+        value = pitch.sum_cdf(10, 40.0)
+        assert 0.4 < value < 0.65
+
+    def test_low_cv_approaches_deterministic(self):
+        pitch = GammaPitch(mean_pitch_nm=4.0, cv_value=0.01)
+        assert pitch.sum_cdf(10, 41.0) > 0.99
+        assert pitch.sum_cdf(10, 39.0) < 0.01
+
+
+class TestTruncatedNormalPitch:
+    def test_mean_shifted_by_truncation(self):
+        pitch = TruncatedNormalPitch(nominal_mean_nm=4.0, nominal_std_nm=2.0)
+        # Truncation at zero pushes the mean slightly above the nominal mean.
+        assert pitch.mean_nm > 4.0
+        assert pitch.mean_nm < 5.0
+
+    def test_samples_positive(self, rng):
+        pitch = TruncatedNormalPitch(nominal_mean_nm=4.0, nominal_std_nm=3.0)
+        samples = pitch.sample(10_000, rng)
+        assert np.all(samples > 0)
+
+    def test_single_sum_cdf_is_exact_cdf(self):
+        pitch = TruncatedNormalPitch(nominal_mean_nm=4.0, nominal_std_nm=1.0)
+        assert pitch.sum_cdf(1, 4.0) == pytest.approx(0.5, abs=0.02)
+
+    def test_multi_sum_cdf_midpoint(self):
+        pitch = TruncatedNormalPitch(nominal_mean_nm=4.0, nominal_std_nm=1.0)
+        mid = pitch.sum_cdf(25, 25 * pitch.mean_nm)
+        assert mid == pytest.approx(0.5, abs=0.05)
+
+
+class TestFactory:
+    def test_zero_cv_gives_deterministic(self):
+        assert isinstance(pitch_distribution_from_cv(4.0, 0.0), DeterministicPitch)
+
+    def test_unit_cv_gives_exponential(self):
+        assert isinstance(pitch_distribution_from_cv(4.0, 1.0), ExponentialPitch)
+
+    def test_other_cv_gives_gamma(self):
+        dist = pitch_distribution_from_cv(4.0, 0.4)
+        assert isinstance(dist, GammaPitch)
+        assert dist.cv == pytest.approx(0.4)
+
+    def test_negative_cv_rejected(self):
+        with pytest.raises(ValueError):
+            pitch_distribution_from_cv(4.0, -0.1)
+
+    def test_non_positive_mean_rejected(self):
+        with pytest.raises(ValueError):
+            pitch_distribution_from_cv(0.0, 1.0)

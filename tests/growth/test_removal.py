@@ -1,0 +1,76 @@
+"""Tests for the m-CNT removal processing step."""
+
+import numpy as np
+import pytest
+
+from repro.growth.cnt import CNT, CNTTrack, CNTType
+from repro.growth.removal import RemovalProcess
+from repro.growth.types import CNTTypeModel
+
+
+def make_cnts(n_metallic, n_semi):
+    cnts = []
+    for i in range(n_metallic):
+        cnts.append(CNT(float(i), 0.0, 10.0, CNTType.METALLIC))
+    for i in range(n_semi):
+        cnts.append(CNT(float(100 + i), 0.0, 10.0, CNTType.SEMICONDUCTING))
+    return cnts
+
+
+class TestRemovalProcess:
+    def test_perfect_removal_removes_all_metallic(self):
+        rng = np.random.default_rng(1)
+        process = RemovalProcess(removal_prob_metallic=1.0, removal_prob_semiconducting=0.0)
+        processed = process.apply_to_cnts(make_cnts(50, 50), rng)
+        outcome = RemovalProcess.summarise(processed)
+        assert outcome.metallic_removed == 50
+        assert outcome.semiconducting_removed == 0
+        assert outcome.metallic_surviving == 0
+        assert outcome.semiconducting_surviving == 50
+
+    def test_no_removal_keeps_everything(self):
+        rng = np.random.default_rng(2)
+        process = RemovalProcess(removal_prob_metallic=0.0, removal_prob_semiconducting=0.0)
+        processed = process.apply_to_cnts(make_cnts(30, 70), rng)
+        assert all(not c.removed for c in processed)
+
+    def test_partial_removal_rates(self):
+        rng = np.random.default_rng(3)
+        process = RemovalProcess(removal_prob_metallic=0.8, removal_prob_semiconducting=0.2)
+        processed = process.apply_to_cnts(make_cnts(5000, 5000), rng)
+        outcome = RemovalProcess.summarise(processed)
+        assert outcome.removal_rate_metallic == pytest.approx(0.8, abs=0.03)
+        assert outcome.removal_rate_semiconducting == pytest.approx(0.2, abs=0.03)
+
+    def test_empty_population(self):
+        rng = np.random.default_rng(4)
+        process = RemovalProcess()
+        assert process.apply_to_cnts([], rng) == []
+        assert process.apply_to_tracks([], rng) == []
+
+    def test_apply_to_tracks_mutates_in_place(self):
+        rng = np.random.default_rng(5)
+        tracks = [
+            CNTTrack(0.0, 0.0, 100.0, CNTType.METALLIC),
+            CNTTrack(4.0, 0.0, 100.0, CNTType.SEMICONDUCTING),
+        ]
+        process = RemovalProcess(removal_prob_metallic=1.0, removal_prob_semiconducting=0.0)
+        result = process.apply_to_tracks(tracks, rng)
+        assert result is not None
+        assert tracks[0].removed is True
+        assert tracks[1].removed is False
+
+    def test_from_type_model(self):
+        model = CNTTypeModel(0.3, 0.95, 0.05)
+        process = RemovalProcess.from_type_model(model)
+        assert process.removal_prob_metallic == 0.95
+        assert process.removal_prob_semiconducting == 0.05
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            RemovalProcess(removal_prob_metallic=1.5)
+
+    def test_summary_rates_nan_when_empty_class(self):
+        outcome = RemovalProcess.summarise(make_cnts(0, 3))
+        assert np.isnan(outcome.removal_rate_metallic)
+        assert outcome.semiconducting_before == 3

@@ -1,0 +1,114 @@
+"""Tests for the CNT type model and Eq. 2.1."""
+
+import numpy as np
+import pytest
+
+from repro.growth.cnt import CNTType
+from repro.growth.types import (
+    CNTTypeModel,
+    IDEAL_CORNER,
+    PERFECT_REMOVAL_CORNER,
+    PESSIMISTIC_CORNER,
+    per_cnt_failure_probability,
+)
+
+
+class TestEquation21:
+    def test_ideal_process(self):
+        assert per_cnt_failure_probability(0.0, 0.0) == 0.0
+
+    def test_metallic_only(self):
+        assert per_cnt_failure_probability(1.0 / 3.0, 0.0) == pytest.approx(1.0 / 3.0)
+
+    def test_paper_pessimistic_corner(self):
+        # pf = pm + ps*pRs = 1/3 + 2/3 * 0.3 = 0.5333...
+        assert per_cnt_failure_probability(1.0 / 3.0, 0.3) == pytest.approx(0.5333, abs=1e-3)
+
+    def test_all_metallic(self):
+        assert per_cnt_failure_probability(1.0, 0.0) == 1.0
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            per_cnt_failure_probability(1.5, 0.0)
+
+
+class TestCNTTypeModel:
+    def test_defaults_are_probabilities(self):
+        model = CNTTypeModel()
+        assert 0.0 <= model.per_cnt_failure_probability <= 1.0
+
+    def test_success_complements_failure(self):
+        model = CNTTypeModel(metallic_fraction=0.3, removal_prob_semiconducting=0.1)
+        assert model.per_cnt_success_probability == pytest.approx(
+            1.0 - model.per_cnt_failure_probability
+        )
+
+    def test_pf_independent_of_prm(self):
+        a = CNTTypeModel(1.0 / 3.0, 1.0, 0.3)
+        b = CNTTypeModel(1.0 / 3.0, 0.5, 0.3)
+        assert a.per_cnt_failure_probability == b.per_cnt_failure_probability
+
+    def test_surviving_metallic_probability(self):
+        model = CNTTypeModel(metallic_fraction=0.3, removal_prob_metallic=0.9)
+        assert model.surviving_metallic_probability == pytest.approx(0.03)
+
+    def test_removed_probability(self):
+        model = CNTTypeModel(0.3, 1.0, 0.1)
+        assert model.removed_probability == pytest.approx(0.3 + 0.7 * 0.1)
+
+    def test_with_perfect_removal(self):
+        model = CNTTypeModel(0.3, 0.5, 0.1).with_perfect_removal()
+        assert model.removal_prob_metallic == 1.0
+        assert model.surviving_metallic_probability == 0.0
+
+    def test_with_no_processing(self):
+        model = CNTTypeModel(0.3, 1.0, 0.1).with_no_processing()
+        assert model.removal_prob_metallic == 0.0
+        assert model.removal_prob_semiconducting == 0.0
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            CNTTypeModel(metallic_fraction=1.5)
+
+
+class TestSampling:
+    def test_sample_types_fraction(self):
+        rng = np.random.default_rng(3)
+        model = CNTTypeModel(metallic_fraction=0.25)
+        types = model.sample_types(20_000, rng)
+        metallic = np.mean([t is CNTType.METALLIC for t in types])
+        assert metallic == pytest.approx(0.25, abs=0.02)
+
+    def test_sample_removed_conditional_rates(self):
+        rng = np.random.default_rng(4)
+        model = CNTTypeModel(0.5, removal_prob_metallic=0.9, removal_prob_semiconducting=0.1)
+        types = model.sample_types(20_000, rng)
+        removed = model.sample_removed(types, rng)
+        metallic_mask = np.array([t is CNTType.METALLIC for t in types])
+        rate_m = removed[metallic_mask].mean()
+        rate_s = removed[~metallic_mask].mean()
+        assert rate_m == pytest.approx(0.9, abs=0.02)
+        assert rate_s == pytest.approx(0.1, abs=0.02)
+
+    def test_sample_working_rate(self):
+        rng = np.random.default_rng(5)
+        model = CNTTypeModel(1.0 / 3.0, 1.0, 0.3)
+        working = model.sample_working(50_000, rng)
+        assert working.mean() == pytest.approx(
+            model.per_cnt_success_probability, abs=0.01
+        )
+
+
+class TestNamedCorners:
+    def test_ideal_corner(self):
+        assert IDEAL_CORNER.per_cnt_failure_probability == 0.0
+
+    def test_perfect_removal_corner(self):
+        assert PERFECT_REMOVAL_CORNER.per_cnt_failure_probability == pytest.approx(1.0 / 3.0)
+
+    def test_pessimistic_corner_ordering(self):
+        assert (
+            PESSIMISTIC_CORNER.per_cnt_failure_probability
+            > PERFECT_REMOVAL_CORNER.per_cnt_failure_probability
+            > IDEAL_CORNER.per_cnt_failure_probability
+        )

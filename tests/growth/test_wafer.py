@@ -1,0 +1,93 @@
+"""Tests for the wafer-level growth variation model."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import CalibratedSetup
+from repro.growth.wafer import WaferGrowthModel
+
+
+@pytest.fixture(scope="module")
+def wafer_map():
+    model = WaferGrowthModel(
+        wafer_diameter_mm=100.0,
+        die_size_mm=10.0,
+        center_pitch_nm=4.0,
+        edge_pitch_drift=0.15,
+        pitch_noise_sigma=0.02,
+        center_misalignment_deg=0.2,
+        edge_misalignment_deg=1.0,
+    )
+    return model.generate(np.random.default_rng(3))
+
+
+class TestWaferGrowthModel:
+    def test_die_count_reasonable(self, wafer_map):
+        # A 100 mm wafer with 10 mm dies holds a few dozen usable dies.
+        assert 30 <= wafer_map.die_count <= 80
+
+    def test_dies_fit_inside_wafer(self, wafer_map):
+        half_diag = wafer_map.die_size_mm / np.sqrt(2.0)
+        for site in wafer_map.sites:
+            assert site.radius_mm + half_diag <= 50.0 + 1e-9
+
+    def test_pitch_drifts_outwards(self, wafer_map):
+        radii = np.array([s.radius_mm for s in wafer_map.sites])
+        pitches = wafer_map.pitches_nm()
+        inner = pitches[radii < np.median(radii)].mean()
+        outer = pitches[radii >= np.median(radii)].mean()
+        assert outer > inner
+
+    def test_misalignment_spread_grows_outwards(self):
+        model = WaferGrowthModel(center_misalignment_deg=0.1, edge_misalignment_deg=2.0)
+        rng = np.random.default_rng(11)
+        # Average absolute misalignment over several wafers to beat noise.
+        inner_values, outer_values = [], []
+        for _ in range(10):
+            wafer = model.generate(rng)
+            radii = np.array([s.radius_mm for s in wafer.sites])
+            mis = np.abs(wafer.misalignments_deg())
+            median = np.median(radii)
+            inner_values.append(mis[radii < median].mean())
+            outer_values.append(mis[radii >= median].mean())
+        assert np.mean(outer_values) > np.mean(inner_values)
+
+    def test_generation_deterministic_for_seed(self):
+        model = WaferGrowthModel()
+        a = model.generate(np.random.default_rng(5))
+        b = model.generate(np.random.default_rng(5))
+        assert np.allclose(a.pitches_nm(), b.pitches_nm())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            WaferGrowthModel(wafer_diameter_mm=0.0)
+        with pytest.raises(ValueError):
+            WaferGrowthModel(die_size_mm=200.0, wafer_diameter_mm=100.0)
+        with pytest.raises(ValueError):
+            WaferGrowthModel(edge_pitch_drift=-0.1)
+        with pytest.raises(ValueError):
+            WaferGrowthModel(center_misalignment_deg=-1.0)
+
+
+class TestYieldMap:
+    def test_good_die_fraction_with_chip_yield(self, wafer_map):
+        # Use the per-die pitch in the calibrated chip model: sparser growth
+        # (larger pitch) lowers the chip yield, so edge dies do worse.
+        def die_yield(site):
+            setup = CalibratedSetup(mean_pitch_nm=site.mean_pitch_nm)
+            wmin = 168.0  # fixed sizing chosen for the nominal (centre) pitch
+            p_f = setup.failure_model.failure_probability(wmin)
+            m_min = setup.min_size_device_count
+            return float(np.exp(m_min * np.log1p(-p_f)))
+
+        fraction = wafer_map.good_die_fraction(die_yield, threshold=0.5)
+        yields = wafer_map.yield_map(die_yield)
+        assert 0.0 <= fraction <= 1.0
+        # Centre dies (nominal pitch) must meet the target comfortably.
+        radii = np.array([s.radius_mm for s in wafer_map.sites])
+        assert yields[np.argmin(radii)] > 0.85
+
+    def test_yield_map_shape(self, wafer_map):
+        values = wafer_map.yield_map(lambda site: 1.0)
+        assert values.shape == (wafer_map.die_count,)
+        assert wafer_map.good_die_fraction(lambda site: 1.0) == 1.0

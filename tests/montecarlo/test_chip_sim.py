@@ -1,0 +1,118 @@
+"""Tests for the full-chip Monte Carlo simulator."""
+
+import numpy as np
+import pytest
+
+from repro.cells.aligned_active import enforce_aligned_active
+from repro.cells.nangate45 import build_nangate45_library
+from repro.growth.pitch import ExponentialPitch
+from repro.growth.types import CNTTypeModel
+from repro.montecarlo.chip_sim import ChipMonteCarlo, compare_libraries
+from repro.netlist.design import Design
+from repro.netlist.placement import RowPlacement
+
+
+@pytest.fixture(scope="module")
+def library():
+    return build_nangate45_library()
+
+
+def small_block(library, n_cells=120):
+    """A small block of minimum-size inverters and NAND gates."""
+    design = Design("block", library)
+    for i in range(n_cells):
+        cell = "INV_X1" if i % 2 == 0 else "NAND2_X1"
+        design.add(f"u{i}", cell)
+    return design
+
+
+@pytest.fixture(scope="module")
+def placement(library):
+    return RowPlacement(small_block(library), row_width_nm=40_000.0)
+
+
+class TestChipMonteCarlo:
+    def test_device_count_matches_design(self, library, placement):
+        simulator = ChipMonteCarlo(placement)
+        design_transistors = small_block(library).transistor_count
+        assert simulator.device_count == design_transistors
+        assert 0 < simulator.small_device_count <= simulator.device_count
+
+    def test_ideal_process_never_fails(self, placement, rng):
+        simulator = ChipMonteCarlo(
+            placement,
+            pitch=ExponentialPitch(4.0),
+            type_model=CNTTypeModel(metallic_fraction=0.0,
+                                    removal_prob_semiconducting=0.0),
+        )
+        result = simulator.run(10, rng)
+        assert result.chip_yield == 1.0
+        assert result.mean_failing_devices == 0.0
+
+    def test_all_metallic_always_fails(self, placement, rng):
+        simulator = ChipMonteCarlo(
+            placement,
+            type_model=CNTTypeModel(metallic_fraction=1.0),
+        )
+        result = simulator.run(3, rng)
+        assert result.chip_yield == 0.0
+        assert result.mean_failing_devices == simulator.device_count
+
+    def test_failure_rate_matches_analytic_scale(self, placement, rng):
+        # Sparse growth (20 nm pitch) makes per-device failures measurable:
+        # an 80 nm device then sees ~4 tubes, pf = 0.533, so pF ≈ e^{-1.87} ≈ 0.15.
+        simulator = ChipMonteCarlo(
+            placement,
+            pitch=ExponentialPitch(20.0),
+            type_model=CNTTypeModel(1.0 / 3.0, 1.0, 0.3),
+        )
+        result = simulator.run(20, rng)
+        assert 0.02 < result.device_failure_rate < 0.4
+
+    def test_failures_cluster_on_shared_tracks(self, placement, rng):
+        # Devices in the same row share tubes, so the failing-device count
+        # is over-dispersed relative to independent (Poisson-like) failures.
+        simulator = ChipMonteCarlo(
+            placement,
+            pitch=ExponentialPitch(20.0),
+            type_model=CNTTypeModel(1.0 / 3.0, 1.0, 0.3),
+        )
+        result = simulator.run(40, rng)
+        assert result.failure_clustering_index > 1.5
+
+    def test_invalid_trials(self, placement, rng):
+        simulator = ChipMonteCarlo(placement)
+        with pytest.raises(ValueError):
+            simulator.run(0, rng)
+
+    def test_empty_design_rejected(self, library):
+        design = Design("empty", library)
+        design.add("u0", "FILLCELL_X1")  # no transistors
+        placement = RowPlacement(design, row_width_nm=10_000.0)
+        with pytest.raises(ValueError):
+            ChipMonteCarlo(placement)
+
+
+class TestLibraryComparison:
+    def test_aligned_library_improves_yield_metrics(self, library):
+        design = small_block(library, n_cells=80)
+        aligned_library = enforce_aligned_active(library, wmin_nm=103.0).to_library(
+            "nangate45_aligned"
+        )
+        aligned_design = Design("block_aligned", aligned_library)
+        for instance in design.instances:
+            aligned_design.add_instance(instance)
+
+        results = compare_libraries(
+            RowPlacement(design, row_width_nm=40_000.0),
+            RowPlacement(aligned_design, row_width_nm=40_000.0),
+            type_model=CNTTypeModel(1.0 / 3.0, 1.0, 0.3),
+            pitch=ExponentialPitch(20.0),
+            n_trials=30,
+            seed=3,
+        )
+        original, aligned = results["original"], results["aligned"]
+        # Upsizing the critical devices to Wmin lowers the per-device failure
+        # rate, which (together with clustering) raises the chip yield.
+        assert aligned.device_failure_rate < original.device_failure_rate
+        assert aligned.chip_yield >= original.chip_yield

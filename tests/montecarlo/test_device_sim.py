@@ -1,0 +1,81 @@
+"""Tests for the device-level Monte Carlo failure estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.count_model import PoissonCountModel
+from repro.core.failure import CNFETFailureModel
+from repro.growth.isotropic import IsotropicGrowthModel
+from repro.growth.pitch import ExponentialPitch
+from repro.growth.types import CNTTypeModel
+from repro.montecarlo.device_sim import DeviceMonteCarlo
+
+
+@pytest.fixture
+def type_model():
+    return CNTTypeModel(1.0 / 3.0, 1.0, 0.3)
+
+
+@pytest.fixture
+def counts():
+    return PoissonCountModel(4.0)
+
+
+class TestDeviceMonteCarlo:
+    def test_requires_a_count_source(self):
+        with pytest.raises(ValueError):
+            DeviceMonteCarlo()
+
+    def test_conditional_matches_analytic(self, counts, type_model, rng):
+        analytic = CNFETFailureModel.from_type_model(counts, type_model)
+        mc = DeviceMonteCarlo(count_model=counts, type_model=type_model)
+        width = 60.0
+        result = mc.estimate_conditional(width, 30_000, rng)
+        expected = analytic.failure_probability(width)
+        assert result.failure_probability == pytest.approx(expected, rel=0.1)
+
+    def test_naive_matches_analytic_for_moderate_pf(self, counts, type_model, rng):
+        analytic = CNFETFailureModel.from_type_model(counts, type_model)
+        mc = DeviceMonteCarlo(count_model=counts, type_model=type_model)
+        width = 16.0  # pF ≈ 0.15, comfortably measurable with 0/1 sampling
+        result = mc.estimate_naive(width, 30_000, rng)
+        expected = analytic.failure_probability(width)
+        assert result.failure_probability == pytest.approx(expected, abs=0.01)
+
+    def test_conditional_has_smaller_error(self, counts, type_model, rng):
+        mc = DeviceMonteCarlo(count_model=counts, type_model=type_model)
+        width = 40.0
+        naive = mc.estimate_naive(width, 10_000, rng)
+        conditional = mc.estimate_conditional(width, 10_000, rng)
+        assert conditional.standard_error <= naive.standard_error
+
+    def test_estimate_dispatch(self, counts, type_model, rng):
+        mc = DeviceMonteCarlo(count_model=counts, type_model=type_model)
+        cond = mc.estimate(40.0, 1000, rng, conditional=True)
+        naive = mc.estimate(40.0, 1000, rng, conditional=False)
+        assert cond.n_samples == naive.n_samples == 1000
+
+    def test_growth_model_source(self, type_model, rng):
+        growth = IsotropicGrowthModel(
+            pitch=ExponentialPitch(4.0), type_model=type_model
+        )
+        analytic = CNFETFailureModel.from_type_model(PoissonCountModel(4.0), type_model)
+        mc = DeviceMonteCarlo(type_model=type_model, growth_model=growth)
+        width = 40.0
+        result = mc.estimate_conditional(width, 5_000, rng)
+        assert result.failure_probability == pytest.approx(
+            analytic.failure_probability(width), rel=0.25
+        )
+
+    def test_result_metadata(self, counts, type_model, rng):
+        mc = DeviceMonteCarlo(count_model=counts, type_model=type_model)
+        result = mc.estimate_conditional(80.0, 2_000, rng)
+        assert result.width_nm == 80.0
+        assert result.mean_cnt_count == pytest.approx(20.0, rel=0.1)
+        assert result.mean_working_count < result.mean_cnt_count
+        assert result.relative_error >= 0.0
+
+    def test_invalid_width(self, counts, type_model, rng):
+        mc = DeviceMonteCarlo(count_model=counts, type_model=type_model)
+        with pytest.raises(ValueError):
+            mc.estimate_conditional(0.0, 100, rng)

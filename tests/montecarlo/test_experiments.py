@@ -1,0 +1,83 @@
+"""Tests for the packaged analytic-versus-Monte-Carlo experiments."""
+
+import pytest
+
+from repro.core.correlation import LayoutScenario
+from repro.montecarlo.experiments import (
+    ComparisonRecord,
+    compare_device_failure,
+    compare_row_scenarios,
+    relaxation_factor_comparison,
+)
+
+
+class TestComparisonRecord:
+    def test_agreement_by_relative_tolerance(self):
+        record = ComparisonRecord("x", analytic=1.0, monte_carlo=1.05, standard_error=0.0)
+        assert record.agrees(rtol=0.1)
+        assert not record.agrees(rtol=0.01)
+
+    def test_agreement_by_sigma(self):
+        record = ComparisonRecord("x", analytic=1.0, monte_carlo=1.5, standard_error=0.2)
+        assert record.within_sigma == pytest.approx(2.5)
+        assert record.agrees(n_sigma=3.0, rtol=0.0)
+        assert not record.agrees(n_sigma=2.0, rtol=0.0)
+
+    def test_zero_error_disagreement(self):
+        record = ComparisonRecord("x", analytic=1.0, monte_carlo=2.0, standard_error=0.0)
+        assert record.within_sigma == float("inf")
+
+
+class TestDeviceComparison:
+    def test_device_failure_agrees(self):
+        record = compare_device_failure(width_nm=48.0, n_samples=30_000, seed=3)
+        assert record.agrees(n_sigma=4.0, rtol=0.15), (
+            record.analytic, record.monte_carlo, record.standard_error
+        )
+
+    def test_labels_include_width(self):
+        record = compare_device_failure(width_nm=48.0, n_samples=1_000, seed=3)
+        assert "48" in record.label
+
+
+class TestRowComparison:
+    def test_closed_form_scenarios_agree(self):
+        records = compare_row_scenarios(
+            device_width_nm=24.0, devices_per_segment=15, n_samples=4_000, seed=5
+        )
+        assert set(records) == set(LayoutScenario)
+        for scenario in (
+            LayoutScenario.UNCORRELATED_GROWTH,
+            LayoutScenario.DIRECTIONAL_ALIGNED,
+        ):
+            record = records[scenario]
+            assert record.agrees(n_sigma=5.0, rtol=0.35), (
+                scenario, record.analytic, record.monte_carlo, record.standard_error
+            )
+
+    def test_non_aligned_between_extremes(self):
+        # The non-aligned case is model-dependent (the paper itself resorts to
+        # numerical methods); both the closed-form shared-core model and the
+        # random-offset Monte Carlo must land between the two extremes, but
+        # they need not coincide.
+        records = compare_row_scenarios(
+            device_width_nm=24.0, devices_per_segment=15, n_samples=4_000, seed=5
+        )
+        aligned = records[LayoutScenario.DIRECTIONAL_ALIGNED]
+        uncorrelated = records[LayoutScenario.UNCORRELATED_GROWTH]
+        middle = records[LayoutScenario.DIRECTIONAL_NON_ALIGNED]
+        assert aligned.analytic <= middle.analytic <= uncorrelated.analytic
+        assert (
+            aligned.monte_carlo * 0.9
+            <= middle.monte_carlo
+            <= uncorrelated.monte_carlo * 1.1
+        )
+
+    def test_relaxation_factor_comparison(self):
+        record = relaxation_factor_comparison(
+            device_width_nm=24.0, devices_per_segment=15, n_samples=4_000, seed=7
+        )
+        # Both numbers should sit between 1 and the segment size.
+        assert 1.0 < record.analytic <= 15.0
+        assert 1.0 < record.monte_carlo <= 15.0
+        assert record.agrees(n_sigma=5.0, rtol=0.4)

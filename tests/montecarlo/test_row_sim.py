@@ -1,0 +1,96 @@
+"""Tests for the row-level Monte Carlo simulator (Table 1 scenarios)."""
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import LayoutScenario
+from repro.growth.pitch import ExponentialPitch
+from repro.growth.types import CNTTypeModel
+from repro.montecarlo.row_sim import RowMonteCarlo, RowScenarioConfig
+
+
+@pytest.fixture
+def simulator():
+    return RowMonteCarlo(
+        pitch=ExponentialPitch(4.0),
+        type_model=CNTTypeModel(1.0 / 3.0, 1.0, 0.3),
+    )
+
+
+@pytest.fixture
+def config():
+    # Narrow devices and a small segment keep the probabilities measurable.
+    return RowScenarioConfig(device_width_nm=24.0, devices_per_segment=15)
+
+
+class TestRowScenarioConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RowScenarioConfig(device_width_nm=0.0, devices_per_segment=10)
+        with pytest.raises(ValueError):
+            RowScenarioConfig(device_width_nm=10.0, devices_per_segment=0)
+        with pytest.raises(ValueError):
+            RowScenarioConfig(
+                device_width_nm=10.0, devices_per_segment=1, cell_height_window_nm=-1.0
+            )
+
+    def test_devices_per_segment_helper(self):
+        assert RowMonteCarlo.devices_per_segment_from_parameters(200.0, 1.8) == 360
+
+
+class TestScenarioOrdering:
+    def test_aligned_lowest_uncorrelated_highest(self, simulator, config, rng):
+        results = {
+            r.scenario: r.row_failure_probability
+            for r in simulator.estimate_all(config, 3_000, rng)
+        }
+        assert (
+            results[LayoutScenario.DIRECTIONAL_ALIGNED]
+            <= results[LayoutScenario.DIRECTIONAL_NON_ALIGNED]
+            <= results[LayoutScenario.UNCORRELATED_GROWTH]
+        )
+
+    def test_aligned_matches_device_failure(self, simulator, config, rng):
+        # Aligned rows fail exactly as often as a single device: pF(24 nm)
+        # with Poisson counts is exp(-6 * 0.4667) ≈ 0.061.
+        result = simulator.estimate(
+            LayoutScenario.DIRECTIONAL_ALIGNED, config, 4_000, rng
+        )
+        expected = np.exp(-(24.0 / 4.0) * (1.0 - 0.5333))
+        assert result.row_failure_probability == pytest.approx(expected, rel=0.1)
+
+    def test_uncorrelated_matches_binomial_formula(self, simulator, config, rng):
+        result = simulator.estimate(
+            LayoutScenario.UNCORRELATED_GROWTH, config, 4_000, rng
+        )
+        p_f = np.exp(-(24.0 / 4.0) * (1.0 - 0.5333))
+        expected = 1.0 - (1.0 - p_f) ** config.devices_per_segment
+        assert result.row_failure_probability == pytest.approx(expected, rel=0.1)
+
+    def test_relaxation_ratio_close_to_devices_per_segment(self, simulator, rng):
+        # In the small-pF regime the ratio uncorrelated/aligned approaches
+        # MRmin; with a moderately small pF it is somewhat below that.
+        config = RowScenarioConfig(device_width_nm=40.0, devices_per_segment=12)
+        aligned = simulator.estimate(
+            LayoutScenario.DIRECTIONAL_ALIGNED, config, 6_000, rng
+        )
+        uncorrelated = simulator.estimate(
+            LayoutScenario.UNCORRELATED_GROWTH, config, 6_000, rng
+        )
+        ratio = (
+            uncorrelated.row_failure_probability / aligned.row_failure_probability
+        )
+        assert 6.0 <= ratio <= 12.5
+
+
+class TestEstimator:
+    def test_standard_error_positive(self, simulator, config, rng):
+        result = simulator.estimate(
+            LayoutScenario.DIRECTIONAL_NON_ALIGNED, config, 500, rng
+        )
+        assert result.standard_error > 0.0
+        assert result.n_samples == 500
+
+    def test_invalid_sample_count(self, simulator, config, rng):
+        with pytest.raises(ValueError):
+            simulator.estimate(LayoutScenario.DIRECTIONAL_ALIGNED, config, 0, rng)

@@ -1,0 +1,122 @@
+"""Tests for designs, width histograms and statistical designs."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.design import (
+    CellInstance,
+    Design,
+    StatisticalDesign,
+    WidthHistogram,
+)
+
+
+class TestWidthHistogram:
+    def test_totals_and_fractions(self):
+        hist = WidthHistogram(np.array([80.0, 160.0]), np.array([30.0, 70.0]))
+        assert hist.total_count == 100.0
+        assert np.allclose(hist.fractions, [0.3, 0.7])
+
+    def test_fraction_below(self):
+        hist = WidthHistogram(np.array([80.0, 160.0, 240.0]), np.array([1.0, 2.0, 7.0]))
+        assert hist.fraction_below(160.0) == pytest.approx(0.3)
+        assert hist.count_below(160.0) == pytest.approx(3.0)
+
+    def test_mean_width(self):
+        hist = WidthHistogram(np.array([100.0, 200.0]), np.array([1.0, 1.0]))
+        assert hist.mean_width_nm() == pytest.approx(150.0)
+
+    def test_scaled_counts(self):
+        hist = WidthHistogram(np.array([80.0, 160.0]), np.array([1.0, 3.0]))
+        scaled = hist.scaled_counts(1e6)
+        assert scaled.total_count == pytest.approx(1e6)
+        assert np.allclose(scaled.fractions, hist.fractions)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WidthHistogram(np.array([80.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            WidthHistogram(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            WidthHistogram(np.array([-80.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            WidthHistogram(np.array([80.0]), np.array([-1.0]))
+
+
+class TestDesign:
+    def test_add_and_count(self, nangate45):
+        design = Design("d", nangate45)
+        design.add("u1", "INV_X1")
+        design.add("u2", "NAND2_X1")
+        assert design.instance_count == 2
+        assert design.transistor_count == 2 + 4
+
+    def test_duplicate_instance_rejected(self, nangate45):
+        design = Design("d", nangate45)
+        design.add("u1", "INV_X1")
+        with pytest.raises(ValueError):
+            design.add("u1", "INV_X2")
+
+    def test_unknown_cell_rejected(self, nangate45):
+        design = Design("d", nangate45)
+        with pytest.raises(KeyError):
+            design.add("u1", "NOT_A_CELL")
+
+    def test_instance_counts_by_cell(self, nangate45):
+        design = Design("d", nangate45)
+        design.add("u1", "INV_X1")
+        design.add("u2", "INV_X1")
+        design.add("u3", "NAND2_X1")
+        assert design.instance_counts_by_cell() == {"INV_X1": 2, "NAND2_X1": 1}
+
+    def test_width_histogram_binning(self, nangate45):
+        design = Design("d", nangate45)
+        design.add("u1", "INV_X1")  # widths 80 and 160
+        hist = design.width_histogram(bin_width_nm=80.0)
+        assert 80.0 in hist.bin_centers_nm
+        assert 160.0 in hist.bin_centers_nm
+        assert hist.total_count == 2
+
+    def test_empty_design_histogram_raises(self, nangate45):
+        design = Design("d", nangate45)
+        with pytest.raises(ValueError):
+            design.width_histogram()
+
+    def test_to_statistical_scaling(self, nangate45):
+        design = Design("d", nangate45)
+        design.add("u1", "INV_X1")
+        design.add("u2", "NAND2_X1")
+        statistical = design.to_statistical(scaled_to=1e8)
+        assert statistical.transistor_count == pytest.approx(1e8)
+
+
+class TestStatisticalDesign:
+    def make(self):
+        hist = WidthHistogram(
+            np.array([80.0, 160.0, 240.0, 320.0]),
+            np.array([13.0, 20.0, 30.0, 37.0]) * 1e6,
+        )
+        return StatisticalDesign("synthetic", hist)
+
+    def test_min_size_count_two_bins(self):
+        design = self.make()
+        assert design.min_size_device_count == pytest.approx(33e6)
+        assert design.min_size_fraction == pytest.approx(0.33)
+
+    def test_scaled_to(self):
+        design = self.make().scaled_to(1e9)
+        assert design.transistor_count == pytest.approx(1e9)
+        assert design.min_size_fraction == pytest.approx(0.33)
+
+    def test_widths_and_counts_views(self):
+        design = self.make()
+        assert list(design.widths_nm) == [80.0, 160.0, 240.0, 320.0]
+        assert design.counts.sum() == pytest.approx(1e8)
+
+
+class TestCellInstance:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CellInstance("", "INV_X1")
+        with pytest.raises(ValueError):
+            CellInstance("u1", "")

@@ -1,0 +1,75 @@
+"""Tests for the load-driven sizing pass."""
+
+import pytest
+
+from repro.netlist.synthesis import GateNetwork, LogicalGate, SizingPass
+
+
+class TestGateNetwork:
+    def test_add_and_count(self):
+        network = GateNetwork("n")
+        network.add(LogicalGate("g0", "INV", fanout=1))
+        network.add(LogicalGate("g1", "NAND2", fanout=3))
+        assert network.gate_count == 2
+        assert network.function_histogram() == {"INV": 1, "NAND2": 1}
+
+    def test_fanouts(self):
+        network = GateNetwork("n")
+        network.add(LogicalGate("g0", "INV", fanout=5))
+        assert network.fanouts().tolist() == [5]
+
+    def test_negative_fanout_rejected(self):
+        with pytest.raises(ValueError):
+            LogicalGate("g", "INV", fanout=-1)
+
+
+class TestSizingPass:
+    def test_library_indexing(self, nangate45):
+        sizing = SizingPass(nangate45)
+        assert "INV" in sizing.available_functions()
+        assert sizing.drives_for("INV") == (1, 2, 4, 8, 16, 32)
+
+    def test_unknown_function(self, nangate45):
+        sizing = SizingPass(nangate45)
+        with pytest.raises(KeyError):
+            sizing.drives_for("NOT_A_FUNCTION")
+
+    def test_small_fanout_gets_x1(self, nangate45):
+        sizing = SizingPass(nangate45, drive_capability_per_x=3.0)
+        assert sizing.select_drive(LogicalGate("g", "INV", fanout=1)) == 1
+        assert sizing.map_gate(LogicalGate("g", "INV", fanout=2)) == "INV_X1"
+
+    def test_large_fanout_gets_bigger_drive(self, nangate45):
+        sizing = SizingPass(nangate45, drive_capability_per_x=3.0)
+        assert sizing.select_drive(LogicalGate("g", "INV", fanout=10)) == 4
+        assert sizing.select_drive(LogicalGate("g", "INV", fanout=30)) == 16
+
+    def test_fanout_beyond_largest_drive_clamps(self, nangate45):
+        sizing = SizingPass(nangate45, drive_capability_per_x=3.0)
+        assert sizing.select_drive(LogicalGate("g", "INV", fanout=10_000)) == 32
+
+    def test_run_produces_design(self, nangate45):
+        network = GateNetwork("n")
+        network.add(LogicalGate("a", "INV", fanout=1))
+        network.add(LogicalGate("b", "NAND2", fanout=8))
+        design = SizingPass(nangate45).run(network)
+        assert design.instance_count == 2
+        cells = {i.cell_name for i in design.instances}
+        assert "INV_X1" in cells
+        assert any(name.startswith("NAND2_X") for name in cells)
+
+    def test_drive_mix(self, nangate45):
+        network = GateNetwork("n")
+        for i, fanout in enumerate((1, 1, 1, 12)):
+            network.add(LogicalGate(f"g{i}", "INV", fanout=fanout))
+        sizing = SizingPass(nangate45)
+        design = sizing.run(network)
+        mix = sizing.drive_mix(design)
+        assert mix[1] == 3
+        assert sum(mix.values()) == 4
+
+    def test_invalid_parameters(self, nangate45):
+        with pytest.raises(ValueError):
+            SizingPass(nangate45, load_per_fanout=0.0)
+        with pytest.raises(ValueError):
+            SizingPass(nangate45, drive_capability_per_x=-1.0)

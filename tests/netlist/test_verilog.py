@@ -1,0 +1,65 @@
+"""Tests for the structural netlist export / parse round trip."""
+
+import pytest
+
+from repro.netlist.design import Design
+from repro.netlist.openrisc import build_openrisc_like_design
+from repro.netlist.verilog import (
+    cell_usage_from_netlist,
+    export_structural_netlist,
+    parse_structural_netlist,
+)
+
+
+@pytest.fixture
+def small_design(nangate45):
+    design = Design("tiny", nangate45)
+    design.add("u_inv0", "INV_X1")
+    design.add("u_inv1", "INV_X2")
+    design.add("u_nand", "NAND2_X1")
+    return design
+
+
+class TestExport:
+    def test_contains_module_and_instances(self, small_design):
+        text = export_structural_netlist(small_design)
+        assert "module tiny ();" in text
+        assert "INV_X1 u_inv0 ();" in text
+        assert text.strip().endswith("endmodule")
+
+    def test_module_name_override(self, small_design):
+        text = export_structural_netlist(small_design, module_name="top")
+        assert "module top ();" in text
+
+    def test_usage_header(self, small_design):
+        text = export_structural_netlist(small_design)
+        usage = cell_usage_from_netlist(text)
+        assert usage == {"INV_X1": 1, "INV_X2": 1, "NAND2_X1": 1}
+
+
+class TestParse:
+    def test_round_trip(self, small_design, nangate45):
+        text = export_structural_netlist(small_design)
+        parsed = parse_structural_netlist(text, nangate45)
+        assert parsed.instance_count == small_design.instance_count
+        assert parsed.instance_counts_by_cell() == small_design.instance_counts_by_cell()
+        assert parsed.name == "tiny"
+
+    def test_round_trip_openrisc(self, nangate45):
+        design = build_openrisc_like_design(nangate45, scale=0.05, seed=1)
+        text = export_structural_netlist(design)
+        parsed = parse_structural_netlist(text, nangate45)
+        assert parsed.transistor_count == design.transistor_count
+
+    def test_unknown_cell_rejected(self, nangate45):
+        text = "module t ();\n  NOT_A_CELL u0 ();\nendmodule"
+        with pytest.raises(KeyError):
+            parse_structural_netlist(text, nangate45)
+
+    def test_malformed_statement_rejected(self, nangate45):
+        with pytest.raises(ValueError):
+            parse_structural_netlist("module t ();\n  broken line\nendmodule", nangate45)
+
+    def test_missing_module_rejected(self, nangate45):
+        with pytest.raises(ValueError):
+            parse_structural_netlist("INV_X1 u0 ();", nangate45)

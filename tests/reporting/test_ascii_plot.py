@@ -1,0 +1,55 @@
+"""Tests for the ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.reporting.ascii_plot import ascii_bar_chart, ascii_line_plot
+
+
+class TestLinePlot:
+    def test_basic_plot_contains_markers(self):
+        text = ascii_line_plot([1, 2, 3], [1, 4, 9], title="squares")
+        assert "squares" in text
+        assert "*" in text
+
+    def test_log_scale(self):
+        text = ascii_line_plot([1, 2, 3], [1e-9, 1e-6, 1e-3], log_y=True)
+        assert "log10" in text
+
+    def test_log_scale_drops_non_positive(self):
+        text = ascii_line_plot([1, 2], [0.0, -1.0], log_y=True)
+        assert "no positive data" in text
+
+    def test_empty_data(self):
+        assert ascii_line_plot([], []) == "(no data)"
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ascii_line_plot([1, 2], [1])
+
+    def test_constant_series_does_not_crash(self):
+        text = ascii_line_plot([1, 2, 3], [5, 5, 5])
+        assert "*" in text
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        text = ascii_bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") < lines[1].count("#")
+
+    def test_title_and_values(self):
+        text = ascii_bar_chart(["x"], [42.0], title="t")
+        assert "t" in text
+        assert "42.0" in text
+
+    def test_empty(self):
+        assert ascii_bar_chart([], []) == "(no data)"
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+
+    def test_zero_values_do_not_crash(self):
+        text = ascii_bar_chart(["a", "b"], [0.0, 0.0])
+        assert "a" in text

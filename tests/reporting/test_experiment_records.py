@@ -1,0 +1,43 @@
+"""Tests for the paper-versus-measured experiment records."""
+
+from repro.reporting.experiments import (
+    ExperimentRecord,
+    experiment_summary,
+    format_ratio,
+    record_from_numbers,
+)
+
+
+class TestExperimentRecord:
+    def test_markdown_row(self):
+        record = ExperimentRecord("T1", "relaxation", "350X", "360X", "close")
+        row = record.as_markdown_row()
+        assert row.startswith("| T1 |")
+        assert "350X" in row and "360X" in row
+
+    def test_markdown_row_default_note(self):
+        record = ExperimentRecord("T1", "relaxation", "350X", "360X")
+        assert "| - |" in record.as_markdown_row()
+
+    def test_summary_contains_header_and_rows(self):
+        records = [
+            ExperimentRecord("F2.1", "Wmin", "155 nm", "168 nm"),
+            ExperimentRecord("T1", "relaxation", "350X", "360X"),
+        ]
+        text = experiment_summary(records)
+        assert text.splitlines()[0].startswith("| Experiment |")
+        assert len(text.splitlines()) == 4
+
+
+class TestHelpers:
+    def test_format_ratio(self):
+        assert "1.20" in format_ratio(1.2, 1.0)
+
+    def test_format_ratio_zero_paper(self):
+        assert "zero" in format_ratio(1.0, 0.0)
+
+    def test_record_from_numbers(self):
+        record = record_from_numbers("T1", "relaxation", 350.0, 360.0, unit="X")
+        assert record.paper_value == "350 X"
+        assert record.measured_value == "360 X"
+        assert "1.03" in record.note

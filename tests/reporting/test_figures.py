@@ -1,0 +1,101 @@
+"""Tests for the figure data generators."""
+
+import numpy as np
+import pytest
+
+from repro.reporting.figures import (
+    fig2_1_data,
+    fig2_2a_data,
+    fig2_2b_data,
+    fig3_1_data,
+    fig3_3_data,
+)
+
+
+class TestFig21:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return fig2_1_data(widths_nm=np.arange(20.0, 181.0, 8.0))
+
+    def test_three_curves(self, data):
+        assert len(data["curves"]) == 3
+
+    def test_curves_decrease_with_width(self, data):
+        for values in data["curves"].values():
+            assert values[0] > values[-1]
+
+    def test_budget_lines(self, data):
+        assert data["budget_pf"] == pytest.approx(3.03e-9, rel=0.02)
+        assert data["relaxed_budget_pf"] > data["budget_pf"]
+
+    def test_wmin_markers_ordered(self, data):
+        assert data["wmin_relaxed_nm"] < data["wmin_unrelaxed_nm"]
+
+    def test_relaxation_factor(self, data):
+        assert data["relaxation_factor"] == pytest.approx(360.0, rel=0.05)
+
+
+class TestFig22a:
+    def test_histogram_shape(self):
+        data = fig2_2a_data()
+        assert list(data["bin_centers_nm"]) == [80.0, 160.0, 240.0, 320.0]
+        assert np.isclose(sum(data["fractions"]), 1.0)
+        assert data["min_size_fraction"] == pytest.approx(0.33, abs=0.005)
+
+    def test_percentages(self):
+        data = fig2_2a_data()
+        assert np.allclose(data["percentages"], 100.0 * data["fractions"])
+
+
+class TestFig22b:
+    def test_penalty_grows_with_scaling(self):
+        data = fig2_2b_data()
+        penalties = data["penalty_percent"]
+        assert list(data["nodes_nm"]) == [45, 32, 22, 16]
+        assert all(b > a for a, b in zip(penalties, penalties[1:]))
+
+    def test_wmin_reported(self):
+        data = fig2_2b_data()
+        assert 120.0 < data["wmin_nm"] < 200.0
+
+
+class TestFig31:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return fig3_1_data(n_samples=120, seed=11)
+
+    def test_aligned_has_highest_correlation(self, data):
+        assert (
+            data["correlation_directional_aligned"]
+            > data["correlation_directional_non_aligned"]
+        )
+        assert (
+            data["correlation_directional_aligned"]
+            > data["correlation_uncorrelated_growth"]
+        )
+
+    def test_aligned_correlation_is_strong(self, data):
+        assert data["correlation_directional_aligned"] > 0.8
+
+    def test_uncorrelated_correlation_is_weak(self, data):
+        assert abs(data["correlation_uncorrelated_growth"]) < 0.35
+
+
+class TestFig33:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return fig3_3_data()
+
+    def test_optimised_penalty_lower_everywhere(self, data):
+        without = data["penalty_without_correlation_percent"]
+        with_corr = data["penalty_with_correlation_percent"]
+        assert np.all(with_corr <= without)
+
+    def test_wmin_values(self, data):
+        assert data["wmin_with_nm"] < data["wmin_without_nm"]
+        assert data["relaxation_factor"] == pytest.approx(360.0, rel=0.05)
+
+    def test_penalty_nearly_eliminated_at_45(self, data):
+        without = data["penalty_without_correlation_percent"][0]
+        with_corr = data["penalty_with_correlation_percent"][0]
+        assert with_corr < 0.6 * without

@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_wmin_defaults(self):
+        args = build_parser().parse_args(["wmin"])
+        assert args.yield_target == 0.90
+        assert args.pitch_cv == 1.0
+
+    def test_align_options(self):
+        args = build_parser().parse_args(
+            ["align", "--library", "commercial65", "--aligned-regions", "2"]
+        )
+        assert args.library == "commercial65"
+        assert args.aligned_regions == 2
+
+
+class TestCommands:
+    def test_wmin_command(self, capsys):
+        exit_code = main(["wmin"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Relaxation factor" in captured
+        assert "Wmin with correlation" in captured
+
+    def test_table1_command(self, capsys):
+        exit_code = main(["table1"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "pRF uncorrelated growth" in captured
+        assert "X" in captured
+
+    def test_table2_command(self, capsys):
+        exit_code = main(["table2"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "nangate45_cnfet" in captured
+        assert "commercial65" in captured
+
+    def test_scaling_command(self, capsys):
+        exit_code = main(["scaling"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "45" in captured and "16" in captured
+
+    def test_align_command_writes_views(self, tmp_path, capsys):
+        physical = tmp_path / "aligned.leftxt"
+        liberty = tmp_path / "aligned.libtxt"
+        exit_code = main([
+            "align", "--library", "nangate45",
+            "--wmin-nm", "103",
+            "--physical-out", str(physical),
+            "--liberty-out", str(liberty),
+        ])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "cells with penalty" in captured
+        assert physical.exists() and physical.stat().st_size > 0
+        assert liberty.exists() and liberty.stat().st_size > 0
+
+    def test_netlist_command_to_file(self, tmp_path, capsys):
+        output = tmp_path / "core.v"
+        exit_code = main(["netlist", "--scale", "0.05", "--output", str(output)])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "instances" in captured
+        content = output.read_text()
+        assert content.startswith("// structural netlist")
+        assert "endmodule" in content
+
+    def test_custom_yield_target_changes_wmin(self, capsys):
+        main(["wmin", "--yield-target", "0.99"])
+        strict = capsys.readouterr().out
+        main(["wmin", "--yield-target", "0.50"])
+        relaxed = capsys.readouterr().out
+
+        def extract(output):
+            for line in output.splitlines():
+                if line.startswith("Wmin without correlation"):
+                    return float(line.split(":")[1].replace("nm", "").strip())
+            raise AssertionError("Wmin line not found")
+
+        assert extract(strict) > extract(relaxed)

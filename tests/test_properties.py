@@ -1,0 +1,285 @@
+"""Property-based tests (hypothesis) on the core models and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.circuit_yield import (
+    chip_yield_from_failure_probabilities,
+    required_device_failure_probability,
+)
+from repro.core.correlation import CorrelationParameters, LayoutScenario, RowYieldModel
+from repro.core.count_model import PoissonCountModel, RenewalCountModel
+from repro.core.failure import CNFETFailureModel
+from repro.core.upsizing import UpsizingAnalysis, upsize_widths
+from repro.growth.pitch import GammaPitch, pitch_distribution_from_cv
+from repro.growth.types import per_cnt_failure_probability
+from repro.cells.aligned_active import AlignedActiveTransform
+from repro.cells.cell import CellFamily, CellTransistor, StandardCell
+from repro.device.active_region import Polarity
+
+# Hypothesis settings: keep runtimes modest, the models are not trivial.
+DEFAULT_SETTINGS = settings(max_examples=50, deadline=None)
+
+
+probabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+widths = st.floats(min_value=1.0, max_value=1000.0, allow_nan=False)
+pitches = st.floats(min_value=0.5, max_value=50.0, allow_nan=False)
+cvs = st.floats(min_value=0.05, max_value=2.0, allow_nan=False)
+
+
+class TestPerCntFailureProperties:
+    @DEFAULT_SETTINGS
+    @given(pm=probabilities, p_rs=probabilities)
+    def test_is_probability(self, pm, p_rs):
+        pf = per_cnt_failure_probability(pm, p_rs)
+        assert 0.0 <= pf <= 1.0
+
+    @DEFAULT_SETTINGS
+    @given(pm=probabilities, p_rs=probabilities)
+    def test_monotone_in_both_arguments(self, pm, p_rs):
+        pf = per_cnt_failure_probability(pm, p_rs)
+        assert per_cnt_failure_probability(min(pm + 0.1, 1.0), p_rs) >= pf - 1e-12
+        assert per_cnt_failure_probability(pm, min(p_rs + 0.1, 1.0)) >= pf - 1e-12
+
+
+class TestCountModelProperties:
+    @DEFAULT_SETTINGS
+    @given(pitch=pitches, width=widths)
+    def test_poisson_pmf_normalised(self, pitch, width):
+        model = PoissonCountModel(pitch)
+        assert model.pmf(width).sum() == pytest.approx(1.0, abs=1e-6)
+
+    @DEFAULT_SETTINGS
+    @given(pitch=pitches, cv=cvs, width=widths)
+    def test_renewal_pmf_normalised_and_nonnegative(self, pitch, cv, width):
+        model = RenewalCountModel(GammaPitch(pitch, cv))
+        pmf = model.pmf(width)
+        assert np.all(pmf >= 0.0)
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-6)
+
+    @DEFAULT_SETTINGS
+    @given(pitch=pitches, width=widths, z=st.floats(min_value=0.0, max_value=1.0))
+    def test_pgf_bounded(self, pitch, width, z):
+        model = PoissonCountModel(pitch)
+        value = model.pgf(width, z)
+        assert 0.0 <= value <= 1.0
+
+    @DEFAULT_SETTINGS
+    @given(pitch=pitches, width=widths)
+    def test_mean_count_scales_with_width(self, pitch, width):
+        model = PoissonCountModel(pitch)
+        assert model.mean_count(2 * width) == pytest.approx(2 * model.mean_count(width))
+
+
+class TestFailureModelProperties:
+    @DEFAULT_SETTINGS
+    @given(pf=st.floats(min_value=0.01, max_value=0.99), width=widths)
+    def test_failure_probability_is_probability(self, pf, width):
+        model = CNFETFailureModel(PoissonCountModel(4.0), pf)
+        value = model.failure_probability(width)
+        assert 0.0 <= value <= 1.0
+
+    @DEFAULT_SETTINGS
+    @given(
+        pf=st.floats(min_value=0.01, max_value=0.99),
+        w1=widths, w2=widths,
+    )
+    def test_monotone_decreasing_in_width(self, pf, w1, w2):
+        model = CNFETFailureModel(PoissonCountModel(4.0), pf)
+        low, high = min(w1, w2), max(w1, w2)
+        assert model.failure_probability(high) <= model.failure_probability(low) + 1e-12
+
+    @DEFAULT_SETTINGS
+    @given(
+        pf1=st.floats(min_value=0.01, max_value=0.5),
+        pf2=st.floats(min_value=0.5, max_value=0.99),
+        width=widths,
+    )
+    def test_monotone_in_per_cnt_failure(self, pf1, pf2, width):
+        counts = PoissonCountModel(4.0)
+        a = CNFETFailureModel(counts, pf1).failure_probability(width)
+        b = CNFETFailureModel(counts, pf2).failure_probability(width)
+        assert a <= b + 1e-12
+
+    @DEFAULT_SETTINGS
+    @given(
+        pf=st.floats(min_value=0.1, max_value=0.9),
+        target=st.floats(min_value=1e-9, max_value=0.5),
+    )
+    def test_width_inversion_roundtrip(self, pf, target):
+        model = CNFETFailureModel(PoissonCountModel(4.0), pf)
+        width = model.width_for_failure_probability(target, tolerance_nm=0.005)
+        assert model.failure_probability(width) <= target * (1.0 + 1e-6)
+
+
+class TestYieldProperties:
+    @DEFAULT_SETTINGS
+    @given(
+        probs=st.lists(st.floats(min_value=0.0, max_value=0.1), min_size=1, max_size=20)
+    )
+    def test_yield_in_unit_interval(self, probs):
+        value = chip_yield_from_failure_probabilities(probs)
+        assert 0.0 <= value <= 1.0
+
+    @DEFAULT_SETTINGS
+    @given(
+        probs=st.lists(st.floats(min_value=0.0, max_value=0.05), min_size=1, max_size=20)
+    )
+    def test_approximation_is_lower_bound(self, probs):
+        exact = chip_yield_from_failure_probabilities(probs, exact=True)
+        approx = chip_yield_from_failure_probabilities(probs, exact=False)
+        assert approx <= exact + 1e-12
+
+    @DEFAULT_SETTINGS
+    @given(
+        yield_target=st.floats(min_value=0.5, max_value=0.999),
+        count=st.floats(min_value=1e3, max_value=1e9),
+    )
+    def test_budget_achieves_target(self, yield_target, count):
+        budget = required_device_failure_probability(yield_target, count, exact=True)
+        achieved = chip_yield_from_failure_probabilities([budget], counts=[count])
+        assert achieved == pytest.approx(yield_target, rel=1e-6)
+
+
+class TestUpsizingProperties:
+    @DEFAULT_SETTINGS
+    @given(
+        widths_list=st.lists(
+            st.floats(min_value=10.0, max_value=1000.0), min_size=1, max_size=30
+        ),
+        threshold=st.floats(min_value=10.0, max_value=1000.0),
+    )
+    def test_upsizing_never_shrinks(self, widths_list, threshold):
+        upsized = upsize_widths(widths_list, threshold)
+        assert np.all(upsized >= np.asarray(widths_list) - 1e-12)
+        assert np.all(upsized >= threshold - 1e-12)
+
+    @DEFAULT_SETTINGS
+    @given(
+        widths_list=st.lists(
+            st.floats(min_value=10.0, max_value=1000.0), min_size=1, max_size=30
+        ),
+        t1=st.floats(min_value=10.0, max_value=1000.0),
+        t2=st.floats(min_value=10.0, max_value=1000.0),
+    )
+    def test_penalty_monotone_in_threshold(self, widths_list, t1, t2):
+        analysis = UpsizingAnalysis(widths_list)
+        low, high = min(t1, t2), max(t1, t2)
+        assert (
+            analysis.capacitance_penalty(high)
+            >= analysis.capacitance_penalty(low) - 1e-12
+        )
+
+    @DEFAULT_SETTINGS
+    @given(
+        widths_list=st.lists(
+            st.floats(min_value=10.0, max_value=1000.0), min_size=1, max_size=30
+        ),
+        threshold=st.floats(min_value=10.0, max_value=1000.0),
+    )
+    def test_penalty_non_negative(self, widths_list, threshold):
+        analysis = UpsizingAnalysis(widths_list)
+        assert analysis.capacitance_penalty(threshold) >= -1e-12
+
+
+class TestCorrelationProperties:
+    @DEFAULT_SETTINGS
+    @given(
+        p_f=st.floats(min_value=1e-12, max_value=0.5),
+        length=st.floats(min_value=1.0, max_value=1000.0),
+        density=st.floats(min_value=0.1, max_value=10.0),
+        frac=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_non_aligned_between_extremes(self, p_f, length, density, frac):
+        params = CorrelationParameters(
+            cnt_length_um=length,
+            min_cnfet_density_per_um=density,
+            alignment_fraction=frac,
+        )
+        model = RowYieldModel(parameters=params)
+        aligned = model.row_failure_probability(LayoutScenario.DIRECTIONAL_ALIGNED, p_f)
+        uncorrelated = model.row_failure_probability(
+            LayoutScenario.UNCORRELATED_GROWTH, p_f
+        )
+        middle = model.row_failure_probability(
+            LayoutScenario.DIRECTIONAL_NON_ALIGNED, p_f
+        )
+        # Tolerances are relative as well as absolute: the three scenarios are
+        # computed through different floating-point routes, which matters for
+        # pF values near machine precision.
+        assert aligned * (1.0 - 1e-6) - 1e-15 <= middle
+        assert middle <= uncorrelated * (1.0 + 1e-6) + 1e-15
+
+    @DEFAULT_SETTINGS
+    @given(
+        p_f=st.floats(min_value=1e-12, max_value=0.5),
+        length=st.floats(min_value=1.0, max_value=1000.0),
+        density=st.floats(min_value=0.1, max_value=10.0),
+    )
+    def test_relaxation_at_most_devices_per_row(self, p_f, length, density):
+        params = CorrelationParameters(
+            cnt_length_um=length, min_cnfet_density_per_um=density
+        )
+        model = RowYieldModel(parameters=params)
+        factor = model.relaxation_factor(p_f)
+        # The lower bound tolerates floating-point cancellation for tiny pF
+        # where 1 - (1 - pF)^m is evaluated near machine precision.
+        assert 1.0 - 1e-4 <= factor <= params.devices_per_row + 1e-9
+
+
+class TestAlignedActiveProperties:
+    @st.composite
+    def cells(draw):
+        n_devices = draw(st.integers(min_value=1, max_value=8))
+        n_columns = draw(st.integers(min_value=max(2, n_devices // 2 + 1), max_value=20))
+        transistors = []
+        for i in range(n_devices):
+            column = draw(st.integers(min_value=0, max_value=n_columns - 1))
+            slot = draw(st.integers(min_value=0, max_value=1))
+            width = draw(st.sampled_from([80.0, 160.0, 240.0, 320.0]))
+            transistors.append(
+                CellTransistor(f"MN{i}", Polarity.NFET, width, column, slot)
+            )
+        return StandardCell(
+            name="PROP_X1",
+            family=CellFamily.COMBINATIONAL,
+            transistors=tuple(transistors),
+            n_columns=n_columns,
+            gate_pitch_nm=190.0,
+            height_nm=1400.0,
+        )
+
+    @DEFAULT_SETTINGS
+    @given(cell=cells(), wmin=st.sampled_from([90.0, 103.0, 155.0]))
+    def test_transform_invariants(self, cell, wmin):
+        transform = AlignedActiveTransform(wmin_nm=wmin)
+        result = transform.apply_to_cell(cell)
+        modified = result.modified
+        # Device count is preserved.
+        assert modified.transistor_count == cell.transistor_count
+        # Cells never shrink and every critical device is at least Wmin wide.
+        assert modified.width_nm >= cell.width_nm
+        for before, after in zip(
+            sorted(t.name for t in cell.transistors),
+            sorted(t.name for t in modified.transistors),
+        ):
+            assert before == after
+        for t in modified.transistors:
+            original = next(o for o in cell.transistors if o.name == t.name)
+            assert t.width_nm >= original.width_nm
+            if original.width_nm <= wmin:
+                assert t.width_nm == pytest.approx(max(original.width_nm, wmin))
+        # After the transform no column stacks more critical devices than the
+        # number of aligned bands.
+        stacked = transform._conflicting_columns(modified, Polarity.NFET)
+        assert stacked == {}
+
+    @DEFAULT_SETTINGS
+    @given(cell=cells())
+    def test_two_bands_never_worse_than_one(self, cell):
+        one = AlignedActiveTransform(103.0, aligned_region_groups=1).apply_to_cell(cell)
+        two = AlignedActiveTransform(103.0, aligned_region_groups=2).apply_to_cell(cell)
+        assert two.extra_columns <= one.extra_columns

@@ -1,0 +1,74 @@
+"""Tests for unit conversions and validation helpers."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestLengthConversions:
+    def test_um_to_nm(self):
+        assert units.um_to_nm(1.0) == 1000.0
+
+    def test_nm_to_um(self):
+        assert units.nm_to_um(1500.0) == 1.5
+
+    def test_roundtrip_um(self):
+        assert units.nm_to_um(units.um_to_nm(3.7)) == pytest.approx(3.7)
+
+    def test_mm_to_nm(self):
+        assert units.mm_to_nm(2.0) == 2.0e6
+
+    def test_nm_to_mm(self):
+        assert units.nm_to_mm(5.0e5) == pytest.approx(0.5)
+
+    def test_roundtrip_mm(self):
+        assert units.nm_to_mm(units.mm_to_nm(0.123)) == pytest.approx(0.123)
+
+
+class TestDensityConversions:
+    def test_per_um_to_per_nm(self):
+        assert units.per_um_to_per_nm(1.8) == pytest.approx(0.0018)
+
+    def test_per_nm_to_per_um(self):
+        assert units.per_nm_to_per_um(0.25) == pytest.approx(250.0)
+
+    def test_density_roundtrip(self):
+        assert units.per_nm_to_per_um(units.per_um_to_per_nm(7.3)) == pytest.approx(7.3)
+
+
+class TestValidators:
+    def test_ensure_positive_accepts_positive(self):
+        assert units.ensure_positive(2.5, "x") == 2.5
+
+    def test_ensure_positive_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            units.ensure_positive(0.0, "x")
+
+    def test_ensure_positive_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.ensure_positive(-1.0, "x")
+
+    def test_ensure_probability_accepts_bounds(self):
+        assert units.ensure_probability(0.0, "p") == 0.0
+        assert units.ensure_probability(1.0, "p") == 1.0
+
+    def test_ensure_probability_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            units.ensure_probability(1.2, "p")
+
+    def test_ensure_probability_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.ensure_probability(-0.1, "p")
+
+    def test_ensure_probability_rejects_nan(self):
+        with pytest.raises(ValueError):
+            units.ensure_probability(math.nan, "p")
+
+    def test_ensure_non_negative_accepts_zero(self):
+        assert units.ensure_non_negative(0.0, "n") == 0.0
+
+    def test_ensure_non_negative_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.ensure_non_negative(-0.001, "n")
