@@ -1,0 +1,122 @@
+"""Throughput benchmark of the chip-level Monte Carlo engines.
+
+Times the scalar (pre-vectorisation oracle) and the vectorized batched
+engine on the Nangate45 OpenRISC-like block, and writes
+``BENCH_chip_sim.json`` at the repository root with trials/sec and
+device-windows/sec for both, so future PRs can track the performance
+trajectory.  Runs as a pytest test (``pytest benchmarks/bench_chip_sim.py``)
+or standalone (``python benchmarks/bench_chip_sim.py``).
+
+Set ``REPRO_BENCH_QUICK=1`` for a smaller design and fewer trials (the CI
+smoke configuration).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cells.nangate45 import build_nangate45_library
+from repro.growth.pitch import ExponentialPitch
+from repro.growth.types import CNTTypeModel
+from repro.montecarlo.chip_sim import ChipMonteCarlo
+from repro.netlist.openrisc import build_openrisc_like_design
+from repro.netlist.placement import RowPlacement
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_chip_sim.json"
+
+
+def _quick_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def _build_simulator(scale: float) -> ChipMonteCarlo:
+    library = build_nangate45_library()
+    design = build_openrisc_like_design(library, scale=scale, seed=2010)
+    placement = RowPlacement(design, row_width_nm=40_000.0)
+    # The sparse-growth corner keeps per-device failures measurable, the
+    # same configuration the validation tests use.
+    return ChipMonteCarlo(
+        placement,
+        pitch=ExponentialPitch(20.0),
+        type_model=CNTTypeModel(1.0 / 3.0, 1.0, 0.3),
+    )
+
+
+def _time_engine(run, n_trials: int, seed: int, repeats: int = 1) -> float:
+    """Best-of-``repeats`` wall time; the first pass warms the allocator."""
+    best = float("inf")
+    for _ in range(repeats):
+        rng = np.random.default_rng(seed)
+        start = time.perf_counter()
+        run(n_trials, rng)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_benchmark(scale: float, scalar_trials: int, vector_trials: int) -> dict:
+    """Measure both engines and return the benchmark record."""
+    simulator = _build_simulator(scale)
+
+    scalar_s = _time_engine(simulator.run_scalar, scalar_trials, seed=1)
+    vector_s = _time_engine(simulator.run, vector_trials, seed=1, repeats=2)
+
+    scalar_tps = scalar_trials / scalar_s
+    vector_tps = vector_trials / vector_s
+    device_count = simulator.device_count
+    return {
+        "benchmark": "ChipMonteCarlo.run on Nangate45 OpenRISC-like block",
+        "quick_mode": _quick_mode(),
+        "design": {
+            "scale": scale,
+            "device_count": device_count,
+            "distinct_windows": int(simulator._geometry.window_lo.size),
+            "rows": int(simulator._geometry.n_rows),
+        },
+        "scalar": {
+            "n_trials": scalar_trials,
+            "seconds": scalar_s,
+            "trials_per_sec": scalar_tps,
+            "device_windows_per_sec": scalar_tps * device_count,
+        },
+        "vectorized": {
+            "n_trials": vector_trials,
+            "seconds": vector_s,
+            "trials_per_sec": vector_tps,
+            "device_windows_per_sec": vector_tps * device_count,
+        },
+        "speedup": vector_tps / scalar_tps,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+
+
+def test_vectorized_engine_speedup():
+    """The batched engine must stay well ahead of the scalar oracle."""
+    if _quick_mode():
+        record = run_benchmark(scale=0.05, scalar_trials=5, vector_trials=50)
+        floor = 5.0
+    else:
+        record = run_benchmark(scale=0.25, scalar_trials=10, vector_trials=200)
+        floor = 20.0
+
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    print(f"\n=== Chip Monte Carlo throughput ({'quick' if record['quick_mode'] else 'full'}) ===")
+    print(f"devices              : {record['design']['device_count']}")
+    print(f"scalar trials/sec    : {record['scalar']['trials_per_sec']:.2f}")
+    print(f"vectorized trials/sec: {record['vectorized']['trials_per_sec']:.2f}")
+    print(f"speedup              : {record['speedup']:.1f}X")
+    print(f"written              : {RESULT_PATH}")
+
+    assert record["speedup"] >= floor, (
+        f"vectorized engine only {record['speedup']:.1f}X faster "
+        f"(floor {floor:.0f}X)"
+    )
+
+
+if __name__ == "__main__":
+    test_vectorized_engine_speedup()

@@ -182,11 +182,21 @@ class RenewalCountModel(CountModel):
         if max_count is not None:
             guess_max = max(max_count, 1)
 
+        # Vectorised fast path: one batched CDF evaluation covers the range
+        # the loop typically walks before its tail-stop; the rare overflow
+        # beyond it falls back to scalar calls.  Loop semantics (tail stop,
+        # safety stop) are unchanged.
+        upper = guess_max + 2 if max_count is None else max_count + 2
+        survival_block = self.pitch.sum_cdf_array(np.arange(1, upper), width_nm)
+
         survival_prev = 1.0  # P{N >= 0} = 1
         probs = []
         n = 0
         while True:
-            survival_next = self.pitch.sum_cdf(n + 1, width_nm)  # P{N >= n+1}
+            survival_next = (  # P{N >= n+1}
+                float(survival_block[n]) if n < survival_block.size
+                else self.pitch.sum_cdf(n + 1, width_nm)
+            )
             probs.append(max(survival_prev - survival_next, 0.0))
             survival_prev = survival_next
             n += 1

@@ -30,6 +30,7 @@ from __future__ import annotations
 import abc
 import math
 from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 from scipy import stats
@@ -64,6 +65,19 @@ class PitchDistribution(abc.ABC):
     def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
         """Draw ``size`` independent pitch samples (nm)."""
 
+    def sample_batch(
+        self, shape: Tuple[int, ...], rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw a batch of pitch samples with the given array ``shape``.
+
+        The batched Monte Carlo engine draws all gaps of all trials as one
+        2D array; this default delegates to :meth:`sample` and reshapes, so
+        a flat draw and a batched draw of the same total size consume the
+        RNG stream identically.
+        """
+        size = int(np.prod(shape))
+        return self.sample(size, rng).reshape(shape)
+
     @abc.abstractmethod
     def sum_cdf(self, n: int, w_nm: float) -> float:
         """Return ``P{s_1 + ... + s_n <= w_nm}``.
@@ -73,7 +87,12 @@ class PitchDistribution(abc.ABC):
         """
 
     def sum_cdf_array(self, n_values: np.ndarray, w_nm: float) -> np.ndarray:
-        """Vectorised :meth:`sum_cdf` over an array of integer ``n``."""
+        """Vectorised :meth:`sum_cdf` over an array of integer ``n``.
+
+        Subclasses whose family is closed under summation override this
+        with a single vectorised CDF evaluation; the base implementation
+        falls back to a per-element loop.
+        """
         return np.array([self.sum_cdf(int(n), w_nm) for n in np.asarray(n_values)])
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -114,6 +133,16 @@ class DeterministicPitch(PitchDistribution):
             return 1.0 if w_nm >= 0 else 0.0
         return 1.0 if n * self.pitch_nm <= w_nm else 0.0
 
+    def sum_cdf_array(self, n_values: np.ndarray, w_nm: float) -> np.ndarray:
+        n = np.asarray(n_values)
+        if np.any(n < 0):
+            raise ValueError("n must be non-negative")
+        return np.where(
+            n == 0,
+            1.0 if w_nm >= 0 else 0.0,
+            (n * self.pitch_nm <= w_nm).astype(float),
+        )
+
 
 @dataclass(frozen=True, repr=False)
 class ExponentialPitch(PitchDistribution):
@@ -149,6 +178,16 @@ class ExponentialPitch(PitchDistribution):
             return 0.0
         # Sum of n exponentials is Erlang(n, rate = 1/mean).
         return float(stats.gamma.cdf(w_nm, a=n, scale=self.mean_pitch_nm))
+
+    def sum_cdf_array(self, n_values: np.ndarray, w_nm: float) -> np.ndarray:
+        n = np.asarray(n_values)
+        if np.any(n < 0):
+            raise ValueError("n must be non-negative")
+        # gamma.cdf vectorises over the shape parameter; n = 0 needs the
+        # empty-sum convention patched in afterwards.
+        with np.errstate(invalid="ignore"):
+            cdf = stats.gamma.cdf(w_nm, a=n, scale=self.mean_pitch_nm)
+        return np.where(n == 0, 1.0 if w_nm >= 0 else 0.0, cdf)
 
 
 @dataclass(frozen=True, repr=False)
@@ -196,6 +235,14 @@ class GammaPitch(PitchDistribution):
         if w_nm <= 0:
             return 0.0
         return float(stats.gamma.cdf(w_nm, a=n * self.shape, scale=self.scale_nm))
+
+    def sum_cdf_array(self, n_values: np.ndarray, w_nm: float) -> np.ndarray:
+        n = np.asarray(n_values)
+        if np.any(n < 0):
+            raise ValueError("n must be non-negative")
+        with np.errstate(invalid="ignore"):
+            cdf = stats.gamma.cdf(w_nm, a=n * self.shape, scale=self.scale_nm)
+        return np.where(n == 0, 1.0 if w_nm >= 0 else 0.0, cdf)
 
 
 @dataclass(frozen=True, repr=False)
@@ -253,6 +300,19 @@ class TruncatedNormalPitch(PitchDistribution):
         mean = n * self.mean_nm
         std = math.sqrt(n) * self.std_nm
         return float(stats.norm.cdf(w_nm, loc=mean, scale=std))
+
+    def sum_cdf_array(self, n_values: np.ndarray, w_nm: float) -> np.ndarray:
+        n = np.asarray(n_values)
+        if np.any(n < 0):
+            raise ValueError("n must be non-negative")
+        if w_nm <= 0:
+            return np.where(n == 0, 1.0 if w_nm >= 0 else 0.0, 0.0)
+        safe_n = np.maximum(n, 1)
+        cdf = stats.norm.cdf(
+            w_nm, loc=safe_n * self.mean_nm, scale=np.sqrt(safe_n) * self.std_nm
+        )
+        cdf = np.where(n == 1, float(self._dist.cdf(w_nm)), cdf)
+        return np.where(n == 0, 1.0, cdf)
 
 
 def pitch_distribution_from_cv(mean_pitch_nm: float, cv: float) -> PitchDistribution:

@@ -4,6 +4,11 @@ The analytical layer (Sec. 2 and Sec. 3 of the paper) rests on closed-form
 or semi-numerical expressions.  This package validates them by simulating
 fabrication outcomes directly:
 
+* :mod:`repro.montecarlo.engine` — the vectorized batched engine: all
+  trials' CNT tracks from one 2D gap draw + ``cumsum``, all device windows
+  answered by one batched ``searchsorted``/prefix-sum pass, deterministic
+  trial chunking with ``spawn_key``-derived RNG streams and an opt-in
+  process pool.
 * :mod:`repro.montecarlo.device_sim` — per-device failure probability pF(W)
   estimated by sampling CNT counts and per-tube outcomes; validates Eq. 2.2.
 * :mod:`repro.montecarlo.row_sim` — full placement rows under the three
@@ -17,9 +22,18 @@ fabrication outcomes directly:
 """
 
 from repro.montecarlo.device_sim import DeviceMonteCarlo, DeviceMCResult
+from repro.montecarlo.engine import (
+    TrackBatch,
+    count_in_windows,
+    count_in_windows_flat,
+    sample_track_batch,
+    sample_track_counts,
+    spawn_streams,
+)
 from repro.montecarlo.row_sim import RowMonteCarlo, RowMCResult, RowScenarioConfig
 from repro.montecarlo.chip_sim import ChipMonteCarlo, ChipMCResult, compare_libraries
 from repro.montecarlo.experiments import (
+    compare_chip_engines,
     compare_device_failure,
     compare_row_scenarios,
     ComparisonRecord,
@@ -28,12 +42,19 @@ from repro.montecarlo.experiments import (
 __all__ = [
     "DeviceMonteCarlo",
     "DeviceMCResult",
+    "TrackBatch",
+    "count_in_windows",
+    "count_in_windows_flat",
+    "sample_track_batch",
+    "sample_track_counts",
+    "spawn_streams",
     "RowMonteCarlo",
     "RowMCResult",
     "RowScenarioConfig",
     "ChipMonteCarlo",
     "ChipMCResult",
     "compare_libraries",
+    "compare_chip_engines",
     "compare_device_failure",
     "compare_row_scenarios",
     "ComparisonRecord",

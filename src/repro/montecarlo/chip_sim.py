@@ -4,14 +4,29 @@ The device- and row-level simulators validate the analytical formulas in
 isolation.  This module closes the loop at the design level: it takes a
 *placed* concrete design (cells packed into rows by
 :class:`~repro.netlist.placement.RowPlacement`), grows CNT tracks over every
-row, materialises each transistor as a :class:`~repro.device.cnfet.CNFET`
-capturing the tracks its active region covers, and counts CNT-count
-failures.  Because devices in the same row that share a y-band capture the
-*same* track objects, the correlation the paper exploits emerges from the
-geometry rather than being assumed — so comparing an original library
-against its aligned-active variant directly demonstrates the yield benefit.
+row, materialises each transistor as a y-window over those tracks, and
+counts CNT-count failures.  Because devices in the same row that share a
+y-band capture the *same* tracks, the correlation the paper exploits emerges
+from the geometry rather than being assumed — so comparing an original
+library against its aligned-active variant directly demonstrates the yield
+benefit.
 
-The simulator is meant for small blocks (thousands of devices) at elevated
+Batched engine
+--------------
+:meth:`ChipMonteCarlo.run` is an array program built on
+:mod:`repro.montecarlo.engine`: every (trial, row) pair of a chunk becomes
+one renewal trial of a single :func:`~repro.montecarlo.engine.sample_track_batch`
+call (one 2D gap draw + ``cumsum``), and every device window of every trial
+is answered by one batched ``searchsorted``/prefix-sum pass.  Trials are
+processed in fixed-size chunks whose boundaries depend only on the trial
+count, and each chunk consumes its own ``spawn_key``-derived RNG stream —
+so a run is bitwise reproducible for any ``n_workers``, and ``n_workers > 1``
+distributes the same chunks over a process pool for multi-core scaling.
+The pre-vectorisation per-trial loop is retained as
+:meth:`ChipMonteCarlo.run_scalar` as a cross-check oracle for the
+statistical-equivalence tests.
+
+The simulator targets small blocks (thousands of devices) at elevated
 failure probabilities where the statistics are measurable; the analytical
 model extrapolates to the 1e8-device, 1e-9-probability regime.
 """
@@ -25,6 +40,13 @@ import numpy as np
 
 from repro.growth.pitch import PitchDistribution, pitch_distribution_from_cv
 from repro.growth.types import CNTTypeModel
+from repro.montecarlo.engine import (
+    DEFAULT_BATCH_ELEMENTS,
+    estimate_gap_count,
+    count_in_windows_flat,
+    run_chunked,
+    sample_track_batch,
+)
 from repro.netlist.placement import RowPlacement
 from repro.units import ensure_positive
 
@@ -63,8 +85,77 @@ class _DeviceWindow:
     y_high_nm: float
 
 
+@dataclass(frozen=True)
+class _ChipGeometry:
+    """Picklable snapshot of everything a chunk worker needs.
+
+    Device windows are flattened across the rows that contain at least one
+    transistor, after per-row deduplication: cells repeat along a row, so
+    many transistors cover the *same* y-band and therefore capture exactly
+    the same tracks.  One query per distinct ``(y_low, y_high)`` window with
+    a multiplicity weight gives bit-identical failure counts at a fraction
+    of the lookups.  ``window_lo/hi[w]`` bound distinct window ``w``,
+    ``window_weight[w]`` is how many devices share it, ``window_row[w]``
+    names its row, and ``row_starts`` delimits each row's contiguous slice
+    (for ``np.add.reduceat``).
+    """
+
+    pitch: PitchDistribution
+    per_cnt_failure: float
+    row_height_nm: float
+    n_rows: int
+    window_lo: np.ndarray
+    window_hi: np.ndarray
+    window_weight: np.ndarray
+    window_row: np.ndarray
+    row_starts: np.ndarray
+
+
+def _simulate_chip_chunk(
+    geometry: _ChipGeometry, n_chunk: int, rng: np.random.Generator
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Simulate one chunk of whole-chip trials, fully vectorised.
+
+    Every (trial, row) pair is one renewal trial; flat trial ``t * n_rows + r``
+    carries row ``r`` of chip trial ``t``.  Returns the per-trial failing
+    device and failing row counts.
+    """
+    n_rows = geometry.n_rows
+    batch = sample_track_batch(
+        geometry.pitch, geometry.row_height_nm, n_chunk * n_rows, rng
+    )
+    working = (
+        rng.random(batch.positions.shape) >= geometry.per_cnt_failure
+    ) & batch.valid
+
+    n_windows = geometry.window_lo.size
+    trial_index = (
+        np.repeat(np.arange(n_chunk) * n_rows, n_windows)
+        + np.tile(geometry.window_row, n_chunk)
+    )
+    counts = count_in_windows_flat(
+        batch.positions,
+        working,
+        geometry.row_height_nm,
+        np.tile(geometry.window_lo, n_chunk),
+        np.tile(geometry.window_hi, n_chunk),
+        trial_index,
+    ).reshape(n_chunk, n_windows)
+
+    failing = counts == 0
+    failing_devices = (failing * geometry.window_weight).sum(axis=1).astype(float)
+    per_row = np.add.reduceat(failing, geometry.row_starts, axis=1)
+    failing_rows = (per_row > 0).sum(axis=1).astype(float)
+    return failing_devices, failing_rows
+
+
 class ChipMonteCarlo:
     """Monte Carlo CNT-count-yield simulation of a placed design.
+
+    Placement geometry is materialised exactly once at construction:
+    ``placement.run()`` is executed a single time, and the device windows,
+    device counts and small-device counts are all derived from that cached
+    result.
 
     Parameters
     ----------
@@ -96,10 +187,11 @@ class ChipMonteCarlo:
         self.small_width_threshold_nm = ensure_positive(
             small_width_threshold_nm, "small_width_threshold_nm"
         )
-        rows = placement.run()
+        self._rows = placement.run()
         if row_height_nm is None:
             first_cell = next(
-                (p.cell for row in rows for p in row.placed if p.cell.transistors),
+                (p.cell for row in self._rows for p in row.placed
+                 if p.cell.transistors),
                 None,
             )
             if first_cell is None:
@@ -107,6 +199,15 @@ class ChipMonteCarlo:
             row_height_nm = first_cell.height_nm
         self.row_height_nm = ensure_positive(row_height_nm, "row_height_nm")
         self._row_windows = self._collect_device_windows()
+        self._device_count = sum(len(w) for w in self._row_windows)
+        self._small_device_count = sum(
+            1
+            for row in self._rows
+            for placed in row.placed
+            for w in placed.cell.transistor_widths_nm()
+            if w <= self.small_width_threshold_nm
+        )
+        self._geometry = self._build_geometry()
 
     # ------------------------------------------------------------------
     # Geometry pre-computation
@@ -115,58 +216,115 @@ class ChipMonteCarlo:
     def _collect_device_windows(self) -> List[List[_DeviceWindow]]:
         """Per row, the y-window of every transistor's active region."""
         rows: List[List[_DeviceWindow]] = []
-        for row in self.placement.run():
+        for row in self._rows:
             windows: List[_DeviceWindow] = []
             for placed in row.placed:
                 for cell_region in placed.cell.active_regions(x_origin_nm=placed.x_nm):
                     region = cell_region.region
+                    # Clamp both ends into the grown span: tracks only exist
+                    # in [0, row_height], and the batched window counter
+                    # requires in-span queries.  A region entirely outside
+                    # the span collapses to a zero-width window that
+                    # captures no tracks (the device always fails).
+                    y_low = min(max(region.y_nm, 0.0), self.row_height_nm)
+                    y_high = min(max(region.y_end_nm, y_low), self.row_height_nm)
                     windows.append(
-                        _DeviceWindow(
-                            y_low_nm=region.y_nm,
-                            y_high_nm=min(region.y_end_nm, self.row_height_nm),
-                        )
+                        _DeviceWindow(y_low_nm=y_low, y_high_nm=y_high)
                     )
             rows.append(windows)
         return rows
 
+    def _build_geometry(self) -> _ChipGeometry:
+        """Flatten the device windows of non-empty rows into engine arrays.
+
+        Windows are deduplicated per row: devices covering the same y-band
+        capture the same tracks, so one weighted query answers all of them.
+        """
+        lo: List[float] = []
+        hi: List[float] = []
+        weight: List[int] = []
+        row_of_window: List[int] = []
+        row_starts: List[int] = []
+        sim_row = 0
+        for windows in self._row_windows:
+            if not windows:
+                # Rows without transistors cannot fail; dropping them keeps
+                # every simulated row non-empty (reduceat needs that).
+                continue
+            distinct: Dict[Tuple[float, float], int] = {}
+            for window in windows:
+                key = (window.y_low_nm, window.y_high_nm)
+                distinct[key] = distinct.get(key, 0) + 1
+            row_starts.append(len(lo))
+            for (y_low, y_high), count in distinct.items():
+                lo.append(y_low)
+                hi.append(y_high)
+                weight.append(count)
+                row_of_window.append(sim_row)
+            sim_row += 1
+        return _ChipGeometry(
+            pitch=self.pitch,
+            per_cnt_failure=self.type_model.per_cnt_failure_probability,
+            row_height_nm=self.row_height_nm,
+            n_rows=sim_row,
+            window_lo=np.asarray(lo, dtype=float),
+            window_hi=np.asarray(hi, dtype=float),
+            window_weight=np.asarray(weight, dtype=np.int64),
+            window_row=np.asarray(row_of_window, dtype=np.int64),
+            row_starts=np.asarray(row_starts, dtype=np.int64),
+        )
+
     @property
     def device_count(self) -> int:
         """Number of transistors simulated."""
-        return sum(len(windows) for windows in self._row_windows)
+        return self._device_count
 
     @property
     def small_device_count(self) -> int:
         """Number of transistors at or below the small-width threshold."""
-        count = 0
-        for row in self.placement.run():
-            for placed in row.placed:
-                count += sum(
-                    1 for w in placed.cell.transistor_widths_nm()
-                    if w <= self.small_width_threshold_nm
-                )
-        return count
+        return self._small_device_count
+
+    #: Minimum number of chunks a default-chunked run is split into (when it
+    #: has that many trials), so process pools up to this size always receive
+    #: work.  A constant — never the worker count — keeps the chunk layout,
+    #: and hence the per-chunk RNG streams, independent of ``n_workers``.
+    DEFAULT_PARALLEL_GRAIN = 16
+
+    def _default_trial_chunk(self, n_trials: int) -> int:
+        """Trials per batch: bounded by the engine's element budget and small
+        enough that at least :attr:`DEFAULT_PARALLEL_GRAIN` chunks exist."""
+        est_slots = estimate_gap_count(self.pitch, self.row_height_nm)
+        per_trial = max(1, self._geometry.n_rows * est_slots)
+        budget = max(1, DEFAULT_BATCH_ELEMENTS // per_trial)
+        spread = -(-n_trials // self.DEFAULT_PARALLEL_GRAIN)
+        return max(1, min(budget, spread))
 
     # ------------------------------------------------------------------
-    # Simulation
+    # Scalar reference implementation (pre-vectorisation oracle)
     # ------------------------------------------------------------------
 
     def _sample_tracks(self, rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray]:
-        """Sample track y-positions and working flags for one row trial."""
-        positions: List[float] = []
-        y = -float(rng.random()) * self.pitch.mean_nm
+        """Sample track y-positions and working flags for one row trial.
+
+        Deliberately does NOT use the batched engine: this is the
+        independent implementation of the renewal convention (first track
+        one uniformly-offset pitch below the origin, gaps accumulated until
+        the span is cleared) that the equivalence tests check the engine
+        against.
+        """
         mean = self.pitch.mean_nm
         block = max(16, int(self.row_height_nm / mean * 1.5) + 8)
-        while y <= self.row_height_nm:
-            gaps = self.pitch.sample(block, rng)
-            for gap in gaps:
+        positions: List[float] = []
+        y = -float(rng.random()) * mean
+        done = False
+        while not done:
+            for gap in self.pitch.sample(block, rng):
                 y += float(gap)
                 if y > self.row_height_nm:
+                    done = True
                     break
                 if y >= 0.0:
                     positions.append(y)
-            else:
-                continue
-            break
         pos = np.asarray(positions, dtype=float)
         working = rng.random(pos.size) >= self.type_model.per_cnt_failure_probability
         return pos, working
@@ -180,9 +338,6 @@ class ChipMonteCarlo:
         positions, working = self._sample_tracks(rng)
         if positions.size == 0:
             return len(windows)
-        order = np.argsort(positions)
-        positions = positions[order]
-        working = working[order]
         # Prefix sums of working tubes let each device query its y-window in
         # O(log n) instead of scanning every track.
         prefix = np.concatenate([[0], np.cumsum(working.astype(int))])
@@ -194,8 +349,14 @@ class ChipMonteCarlo:
                 failing += 1
         return failing
 
-    def run(self, n_trials: int, rng: np.random.Generator) -> ChipMCResult:
-        """Simulate ``n_trials`` fabrications of the placed design."""
+    def run_scalar(self, n_trials: int, rng: np.random.Generator) -> ChipMCResult:
+        """Per-trial/per-row reference implementation of :meth:`run`.
+
+        Draws the same distribution as the batched engine but walks every
+        trial, row and window in Python; kept as the oracle for the
+        statistical-equivalence tests and as readable documentation of the
+        sampling process.
+        """
         if n_trials <= 0:
             raise ValueError("n_trials must be positive")
         failing_devices = np.zeros(n_trials, dtype=float)
@@ -204,13 +365,71 @@ class ChipMonteCarlo:
             total_failing = 0
             rows_failing = 0
             for windows in self._row_windows:
+                if not windows:
+                    continue
                 row_failures = self._row_failing_devices(windows, rng)
                 total_failing += row_failures
                 if row_failures > 0:
                     rows_failing += 1
             failing_devices[trial] = total_failing
             failing_rows[trial] = rows_failing
+        return self._result(failing_devices, failing_rows)
 
+    # ------------------------------------------------------------------
+    # Batched simulation
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        n_trials: int,
+        rng: np.random.Generator,
+        n_workers: int = 1,
+        trial_chunk: Optional[int] = None,
+    ) -> ChipMCResult:
+        """Simulate ``n_trials`` fabrications of the placed design.
+
+        Parameters
+        ----------
+        n_trials:
+            Number of whole-chip fabrication trials.
+        rng:
+            Root generator; each trial chunk consumes its own child stream
+            spawned from it, so results do not depend on ``n_workers``.
+        n_workers:
+            Processes to spread the trial chunks over.  ``1`` (default)
+            runs in-process; larger values use a process pool and produce
+            bitwise-identical statistics.
+        trial_chunk:
+            Trials per batch.  The default keeps one batched gap matrix
+            near the engine's element budget (~32 MB) while still splitting
+            the run into at least :attr:`DEFAULT_PARALLEL_GRAIN` chunks so
+            that ``n_workers > 1`` always has work to distribute.
+        """
+        if n_trials <= 0:
+            raise ValueError("n_trials must be positive")
+        if self._geometry.n_rows == 0:
+            # No row carries a transistor window: nothing can fail (matches
+            # the scalar oracle, which skips empty rows).
+            zeros = np.zeros(n_trials)
+            return self._result(zeros, zeros)
+        if trial_chunk is None:
+            trial_chunk = self._default_trial_chunk(n_trials)
+        chunks = run_chunked(
+            _simulate_chip_chunk,
+            self._geometry,
+            n_trials,
+            rng,
+            trial_chunk=trial_chunk,
+            n_workers=n_workers,
+        )
+        failing_devices = np.concatenate([c[0] for c in chunks])
+        failing_rows = np.concatenate([c[1] for c in chunks])
+        return self._result(failing_devices, failing_rows)
+
+    def _result(
+        self, failing_devices: np.ndarray, failing_rows: np.ndarray
+    ) -> ChipMCResult:
+        n_trials = failing_devices.size
         device_count = self.device_count
         return ChipMCResult(
             n_trials=int(n_trials),
@@ -222,7 +441,10 @@ class ChipMonteCarlo:
                 float(np.std(failing_devices, ddof=1)) if n_trials > 1 else 0.0
             ),
             mean_failing_rows=float(np.mean(failing_rows)),
-            device_failure_rate=float(np.mean(failing_devices) / device_count),
+            device_failure_rate=(
+                float(np.mean(failing_devices) / device_count)
+                if device_count else float("nan")
+            ),
         )
 
 
@@ -233,6 +455,7 @@ def compare_libraries(
     pitch: Optional[PitchDistribution] = None,
     n_trials: int = 50,
     seed: int = 2010,
+    n_workers: int = 1,
 ) -> Dict[str, ChipMCResult]:
     """Simulate the same netlist on the original and aligned-active libraries.
 
@@ -247,5 +470,5 @@ def compare_libraries(
                              ("aligned", aligned_placement)):
         simulator = ChipMonteCarlo(placement, pitch=pitch, type_model=type_model)
         rng = np.random.default_rng(seed)
-        results[label] = simulator.run(n_trials, rng)
+        results[label] = simulator.run(n_trials, rng, n_workers=n_workers)
     return results

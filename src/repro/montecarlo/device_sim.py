@@ -9,6 +9,14 @@ count (``pf ** count``), averaging those conditional probabilities instead
 of averaging 0/1 failure indicators.  This keeps the estimator unbiased
 while reducing its variance by orders of magnitude, making validation of
 small probabilities feasible.
+
+Counts can come from three sources: the analytical count model (keeps the
+comparison apples-to-apples with Eq. 2.2), the isotropic growth simulator,
+or — via ``pitch`` — the batched renewal engine of
+:mod:`repro.montecarlo.engine`, which simulates the gap-by-gap track
+placement itself (one 2D gap draw + ``cumsum`` for all samples at once,
+memory-bounded by internal chunking).  The engine source is what the
+device-level statistical-equivalence tests exercise.
 """
 
 from __future__ import annotations
@@ -20,7 +28,9 @@ import numpy as np
 
 from repro.core.count_model import CountModel
 from repro.growth.isotropic import IsotropicGrowthModel
+from repro.growth.pitch import PitchDistribution
 from repro.growth.types import CNTTypeModel
+from repro.montecarlo.engine import sample_track_counts
 from repro.units import ensure_positive
 
 
@@ -58,6 +68,11 @@ class DeviceMonteCarlo:
     growth_model:
         Optional growth simulator; when provided, counts come from it instead
         of the count model.
+    pitch:
+        Optional pitch distribution; when provided, counts come from the
+        batched renewal engine (direct simulation of the inter-CNT gaps).
+        Precedence when several sources are given: ``growth_model``, then
+        ``pitch``, then ``count_model``.
     """
 
     def __init__(
@@ -65,12 +80,16 @@ class DeviceMonteCarlo:
         count_model: Optional[CountModel] = None,
         type_model: Optional[CNTTypeModel] = None,
         growth_model: Optional[IsotropicGrowthModel] = None,
+        pitch: Optional[PitchDistribution] = None,
     ) -> None:
-        if count_model is None and growth_model is None:
-            raise ValueError("either count_model or growth_model must be provided")
+        if count_model is None and growth_model is None and pitch is None:
+            raise ValueError(
+                "one of count_model, growth_model or pitch must be provided"
+            )
         self.count_model = count_model
         self.type_model = type_model or CNTTypeModel()
         self.growth_model = growth_model
+        self.pitch = pitch
 
     # ------------------------------------------------------------------
     # Count sampling
@@ -81,6 +100,8 @@ class DeviceMonteCarlo:
     ) -> np.ndarray:
         if self.growth_model is not None:
             return self.growth_model.sample_counts(width_nm, n_samples, rng)
+        if self.pitch is not None:
+            return sample_track_counts(self.pitch, width_nm, n_samples, rng)
         assert self.count_model is not None
         return self.count_model.sample(width_nm, n_samples, rng)
 

@@ -1,0 +1,308 @@
+"""Vectorized batched Monte Carlo engine for CNT track simulation.
+
+The scalar simulators in :mod:`repro.montecarlo` build each trial with
+Python loops: sample one gap, advance the cursor, test one device window at
+a time.  That caps validation at tens of trials of small blocks.  This
+module provides the batched primitives that replace those loops with NumPy
+array programs over a leading ``(n_trials, ...)`` batch axis:
+
+* :func:`sample_track_batch` — grow the CNT tracks of *all* trials at once:
+  one 2D gap draw per batch, a single ``cumsum`` along the gap axis, and a
+  validity mask marking the tracks that landed inside the span.  The
+  renewal convention matches the scalar samplers exactly (the first track
+  sits one uniformly-offset pitch below the span origin), so the batched
+  and scalar engines draw from the same distribution.
+* :func:`count_in_windows` / :func:`count_in_windows_flat` — answer "how
+  many (working) tracks does window ``[lo, hi]`` of trial ``t`` capture?"
+  for every window of every trial in one pass.  Each trial's track row is
+  already sorted (a ``cumsum`` of positive gaps), so shifting trial ``t``
+  by ``t * stride`` makes the whole batch globally sorted and two
+  ``searchsorted`` calls plus a prefix sum answer every query at once.
+* :func:`sample_track_counts` — memory-bounded helper returning only the
+  per-trial track counts (used when the positions themselves are not
+  needed, e.g. device-level failure estimation).
+* :func:`spawn_streams` / :func:`chunk_sizes` — deterministic RNG
+  sub-streams and trial chunking.  Chunk boundaries depend only on the
+  trial count and chunk size — never on the worker count — so a run with
+  ``n_workers=4`` consumes exactly the same per-chunk streams as a serial
+  run and produces bitwise-identical statistics.
+
+Workers receive ``(payload, n_chunk, stream)`` tuples through
+:func:`run_chunked`; the payload must be picklable (the simulators pass
+small dataclasses of NumPy arrays plus the pitch/type models).
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from repro.growth.pitch import PitchDistribution
+from repro.units import ensure_positive
+
+__all__ = [
+    "TrackBatch",
+    "estimate_gap_count",
+    "sample_track_batch",
+    "sample_track_counts",
+    "count_in_windows",
+    "count_in_windows_flat",
+    "spawn_streams",
+    "chunk_sizes",
+    "run_chunked",
+]
+
+#: Soft cap on the number of elements of one batched gap matrix.  Callers
+#: chunk their trial axis so ``n_trials * gaps_per_trial`` stays near this
+#: (≈32 MB of float64 per matrix), keeping peak memory flat regardless of
+#: the requested trial count.
+DEFAULT_BATCH_ELEMENTS: int = 1 << 22
+
+
+@dataclass(frozen=True)
+class TrackBatch:
+    """CNT track positions for a batch of independent row trials.
+
+    ``positions`` is ``(n_trials, n_slots)`` and sorted ascending along the
+    slot axis (it is a cumulative sum of positive gaps).  Slots whose track
+    fell outside ``[0, span_nm]`` are retained for shape regularity and
+    masked out by ``valid``.
+    """
+
+    positions: np.ndarray
+    valid: np.ndarray
+    span_nm: float
+
+    @property
+    def n_trials(self) -> int:
+        return self.positions.shape[0]
+
+    def counts(self) -> np.ndarray:
+        """Number of in-span tracks per trial, shape ``(n_trials,)``."""
+        return self.valid.sum(axis=1)
+
+
+def estimate_gap_count(pitch: PitchDistribution, span_nm: float) -> int:
+    """Gap draws per trial so the cumulative sum almost surely clears the span.
+
+    The renewal count over ``span + mean`` fluctuates with standard
+    deviation ≈ ``cv * sqrt(n)``; an 8-sigma margin plus a constant floor
+    makes the top-up loop in :func:`sample_track_batch` a rare event rather
+    than the common path.  Callers use this as the per-trial element
+    estimate when sizing memory-bounded chunks.
+    """
+    mean = pitch.mean_nm
+    n_mean = (span_nm + mean) / mean
+    cv = pitch.std_nm / mean if mean > 0 else 0.0
+    return int(n_mean + 8.0 * cv * math.sqrt(n_mean + 1.0)) + 16
+
+
+def sample_track_batch(
+    pitch: PitchDistribution,
+    span_nm: float,
+    n_trials: int,
+    rng: np.random.Generator,
+) -> TrackBatch:
+    """Sample the CNT tracks of ``n_trials`` independent rows in one pass.
+
+    Matches the scalar samplers' convention: each trial starts a renewal
+    process at ``-u`` with ``u ~ U(0, mean_pitch)`` and keeps the track
+    positions that land inside ``[0, span_nm]``.
+    """
+    ensure_positive(span_nm, "span_nm")
+    if n_trials <= 0:
+        raise ValueError("n_trials must be positive")
+    start_offsets = rng.random(n_trials) * pitch.mean_nm
+    n_gaps = estimate_gap_count(pitch, span_nm)
+    gaps = pitch.sample_batch((n_trials, n_gaps), rng)
+    positions = np.cumsum(gaps, axis=1)
+    positions -= start_offsets[:, None]
+    # Top up the rare trials whose gap budget did not clear the span.  The
+    # extra draws are appended for every trial (keeping the array
+    # rectangular); out-of-span tracks are masked below either way.
+    while np.any(positions[:, -1] <= span_nm):
+        block = max(16, n_gaps // 4)
+        extra = pitch.sample_batch((n_trials, block), rng)
+        tail = positions[:, -1][:, None] + np.cumsum(extra, axis=1)
+        positions = np.concatenate([positions, tail], axis=1)
+    valid = (positions >= 0.0) & (positions <= span_nm)
+    return TrackBatch(positions=positions, valid=valid, span_nm=float(span_nm))
+
+
+def sample_track_counts(
+    pitch: PitchDistribution,
+    span_nm: float,
+    n_trials: int,
+    rng: np.random.Generator,
+    batch_elements: int = DEFAULT_BATCH_ELEMENTS,
+) -> np.ndarray:
+    """Per-trial count of tracks captured by a span, shape ``(n_trials,)``.
+
+    Internally chunks the trial axis so peak memory stays bounded by
+    ``batch_elements`` regardless of ``n_trials``.
+    """
+    if n_trials <= 0:
+        raise ValueError("n_trials must be positive")
+    per_trial = max(1, estimate_gap_count(pitch, span_nm))
+    chunk = max(1, batch_elements // per_trial)
+    counts = np.empty(n_trials, dtype=np.int64)
+    done = 0
+    while done < n_trials:
+        n = min(chunk, n_trials - done)
+        counts[done:done + n] = sample_track_batch(pitch, span_nm, n, rng).counts()
+        done += n
+    return counts
+
+
+def count_in_windows_flat(
+    positions: np.ndarray,
+    weights: np.ndarray,
+    span_nm: float,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    trial_index: np.ndarray,
+) -> np.ndarray:
+    """Weighted track counts for an arbitrary flat list of window queries.
+
+    Parameters
+    ----------
+    positions:
+        ``(n_trials, n_slots)`` track positions, sorted along the slot axis
+        (as produced by :func:`sample_track_batch`).
+    weights:
+        Per-slot weights, same shape; must already be zero on slots that
+        should not count (out-of-span tracks, failed tubes).
+    span_nm:
+        Span of the trials; queries must lie inside ``[0, span_nm]``.
+    lo, hi:
+        Query bounds, shape ``(n_queries,)``.  Both ends are inclusive,
+        matching the scalar simulators.
+    trial_index:
+        ``(n_queries,)`` index of the trial each query interrogates.
+
+    Returns the weighted count per query, shape ``(n_queries,)``.
+    """
+    n_trials = positions.shape[0]
+    # Shift trial t by t * stride: each row is sorted, the shifted rows are
+    # disjoint, so the flattened batch is globally sorted and two
+    # searchsorted calls answer every (trial, window) query at once.
+    # Positions are clipped just outside the query range first — clipping
+    # is monotone, preserves sortedness, and never moves a track across a
+    # query boundary (queries live inside [0, span]).
+    pad = 1.0
+    stride = span_nm + 4.0 * pad
+    clipped = np.clip(positions, -pad, span_nm + pad)
+    offsets = np.arange(n_trials, dtype=float) * stride
+    flat = (clipped + offsets[:, None]).ravel()
+    prefix = np.zeros(flat.size + 1)
+    np.cumsum(weights.ravel(), out=prefix[1:])
+    shift = offsets[trial_index]
+    left = np.searchsorted(flat, np.asarray(lo, dtype=float) + shift, side="left")
+    right = np.searchsorted(flat, np.asarray(hi, dtype=float) + shift, side="right")
+    return prefix[right] - prefix[left]
+
+
+def count_in_windows(
+    batch: TrackBatch,
+    weights: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+) -> np.ndarray:
+    """Weighted track counts on a regular ``(n_trials, n_windows)`` grid.
+
+    ``lo`` / ``hi`` may be ``(n_windows,)`` (the same windows for every
+    trial) or ``(n_trials, n_windows)`` (per-trial windows, e.g. random
+    device offsets).  Returns counts of shape ``(n_trials, n_windows)``.
+    """
+    lo = np.asarray(lo, dtype=float)
+    hi = np.asarray(hi, dtype=float)
+    if lo.ndim == 1:
+        lo = np.broadcast_to(lo, (batch.n_trials, lo.size))
+    if hi.ndim == 1:
+        hi = np.broadcast_to(hi, (batch.n_trials, hi.size))
+    if lo.shape != hi.shape or lo.shape[0] != batch.n_trials:
+        raise ValueError(
+            f"window bounds {lo.shape} do not match batch of {batch.n_trials} trials"
+        )
+    n_trials, n_windows = lo.shape
+    trial_index = np.repeat(np.arange(n_trials), n_windows)
+    counts = count_in_windows_flat(
+        batch.positions,
+        weights,
+        batch.span_nm,
+        lo.ravel(),
+        hi.ravel(),
+        trial_index,
+    )
+    return counts.reshape(n_trials, n_windows)
+
+
+# ----------------------------------------------------------------------
+# RNG streams and chunked (optionally multi-process) execution
+# ----------------------------------------------------------------------
+
+
+def spawn_streams(rng: np.random.Generator, n: int) -> List[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``rng``.
+
+    Uses ``Generator.spawn`` (NumPy ≥ 1.25) when available and falls back
+    to spawning the underlying ``SeedSequence`` otherwise.  Either way the
+    children are keyed by the parent's ``spawn_key``, so repeated calls on
+    identically-seeded parents yield identical stream families.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if hasattr(rng, "spawn"):
+        return list(rng.spawn(n))
+    seed_seq = rng.bit_generator.seed_seq  # pragma: no cover - old NumPy
+    return [np.random.Generator(type(rng.bit_generator)(s))
+            for s in seed_seq.spawn(n)]
+
+
+def chunk_sizes(n_trials: int, trial_chunk: int) -> List[int]:
+    """Split ``n_trials`` into deterministic chunks of ``trial_chunk``.
+
+    The split depends only on its arguments — in particular not on the
+    worker count — which is what makes multi-worker runs bitwise
+    reproducible against serial runs.
+    """
+    if n_trials <= 0:
+        raise ValueError("n_trials must be positive")
+    if trial_chunk <= 0:
+        raise ValueError("trial_chunk must be positive")
+    full, rest = divmod(n_trials, trial_chunk)
+    return [trial_chunk] * full + ([rest] if rest else [])
+
+
+def run_chunked(
+    worker: Callable[..., Tuple[np.ndarray, ...]],
+    payload,
+    n_trials: int,
+    rng: np.random.Generator,
+    trial_chunk: int,
+    n_workers: int = 1,
+) -> List[Tuple[np.ndarray, ...]]:
+    """Run ``worker(payload, n_chunk, stream)`` over deterministic chunks.
+
+    One RNG stream is spawned per chunk up front; with ``n_workers > 1``
+    the chunks are dispatched to a process pool (``worker`` and
+    ``payload`` must be picklable), otherwise they run in-process.  The
+    returned list is ordered by chunk, so results are identical for any
+    worker count.
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be at least 1")
+    sizes = chunk_sizes(n_trials, trial_chunk)
+    streams = spawn_streams(rng, len(sizes))
+    if n_workers == 1 or len(sizes) == 1:
+        return [worker(payload, n, stream) for n, stream in zip(sizes, streams)]
+    with ProcessPoolExecutor(max_workers=min(n_workers, len(sizes))) as pool:
+        futures = [
+            pool.submit(worker, payload, n, stream)
+            for n, stream in zip(sizes, streams)
+        ]
+        return [f.result() for f in futures]

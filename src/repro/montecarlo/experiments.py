@@ -22,8 +22,10 @@ from repro.core.count_model import CountModel, count_model_from_pitch
 from repro.core.failure import CNFETFailureModel
 from repro.growth.pitch import PitchDistribution, pitch_distribution_from_cv
 from repro.growth.types import CNTTypeModel
+from repro.montecarlo.chip_sim import ChipMonteCarlo
 from repro.montecarlo.device_sim import DeviceMonteCarlo
 from repro.montecarlo.row_sim import RowMonteCarlo, RowScenarioConfig
+from repro.netlist.placement import RowPlacement
 
 
 @dataclass(frozen=True)
@@ -131,6 +133,39 @@ def compare_row_scenarios(
             standard_error=result.standard_error,
         )
     return records
+
+
+def compare_chip_engines(
+    placement: RowPlacement,
+    pitch: Optional[PitchDistribution] = None,
+    type_model: Optional[CNTTypeModel] = None,
+    n_trials: int = 30,
+    seed: int = 2010,
+    n_workers: int = 1,
+) -> ComparisonRecord:
+    """Compare the scalar and vectorized chip engines on one placed design.
+
+    Both engines draw from the same distribution but consume the RNG
+    differently, so agreement is statistical: the record carries the
+    combined standard error of the two mean-failing-device estimates.
+    The ``analytic`` slot holds the scalar (oracle) mean so the generic
+    :meth:`ComparisonRecord.agrees` tolerance machinery applies.
+    """
+    simulator = ChipMonteCarlo(placement, pitch=pitch, type_model=type_model)
+    scalar = simulator.run_scalar(n_trials, np.random.default_rng(seed))
+    vectorized = simulator.run(
+        n_trials, np.random.default_rng(seed), n_workers=n_workers
+    )
+    combined_se = float(np.sqrt(
+        (scalar.std_failing_devices ** 2 + vectorized.std_failing_devices ** 2)
+        / n_trials
+    ))
+    return ComparisonRecord(
+        label="chip mean failing devices (scalar vs vectorized)",
+        analytic=scalar.mean_failing_devices,
+        monte_carlo=vectorized.mean_failing_devices,
+        standard_error=combined_se,
+    )
 
 
 def relaxation_factor_comparison(

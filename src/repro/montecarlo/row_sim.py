@@ -20,6 +20,14 @@ Because realistic row failure probabilities (1e-8) are too small for direct
 per-tube type/removal outcome is integrated analytically wherever devices do
 not share tubes, and sampled only for the shared tracks.  For validation at
 moderate probabilities the plain indicator estimator is available as well.
+
+The default estimators are batched array programs over the sample axis,
+built on :mod:`repro.montecarlo.engine`: all track sets of all samples come
+from one 2D gap draw + ``cumsum`` (:func:`~repro.montecarlo.engine.sample_track_batch`),
+and the non-aligned scenario resolves every (sample, device-offset) window
+with one batched ``searchsorted``/prefix-sum pass.  The original per-sample
+scalar samplers are retained (``vectorized=False``) as the oracle for the
+statistical-equivalence tests.
 """
 
 from __future__ import annotations
@@ -33,6 +41,13 @@ import numpy as np
 from repro.core.correlation import LayoutScenario
 from repro.growth.pitch import PitchDistribution, pitch_distribution_from_cv
 from repro.growth.types import CNTTypeModel
+from repro.montecarlo.engine import (
+    DEFAULT_BATCH_ELEMENTS,
+    count_in_windows,
+    estimate_gap_count,
+    sample_track_batch,
+    sample_track_counts,
+)
 from repro.units import ensure_positive, um_to_nm
 
 
@@ -160,6 +175,66 @@ class RowMonteCarlo:
         return 0.0
 
     # ------------------------------------------------------------------
+    # Batched per-scenario estimators (default path)
+    # ------------------------------------------------------------------
+
+    def _segment_failures_uncorrelated_batch(
+        self, config: RowScenarioConfig, n_samples: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """All samples at once: every device draws its own track set."""
+        pf = self.type_model.per_cnt_failure_probability
+        counts = sample_track_counts(
+            self.pitch,
+            config.device_width_nm,
+            n_samples * config.devices_per_segment,
+            rng,
+        ).reshape(n_samples, config.devices_per_segment)
+        p_dev_fail = np.power(pf, counts.astype(float))
+        return 1.0 - np.prod(1.0 - p_dev_fail, axis=1)
+
+    def _segment_failures_aligned_batch(
+        self, config: RowScenarioConfig, n_samples: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """All samples at once: one shared track set decides each segment."""
+        pf = self.type_model.per_cnt_failure_probability
+        counts = sample_track_counts(
+            self.pitch, config.device_width_nm, n_samples, rng
+        )
+        return np.power(pf, counts.astype(float))
+
+    def _segment_failures_non_aligned_batch(
+        self, config: RowScenarioConfig, n_samples: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """All samples at once: shared tubes, per-device random y offsets.
+
+        Tube outcomes are sampled once per track (they are shared); the
+        batched window counter then answers every (sample, device) window
+        in one pass, and a segment fails when any of its devices captured
+        zero working tubes.  The sample axis is chunked so peak memory
+        stays near the engine's element budget for any ``n_samples``.
+        """
+        pf = self.type_model.per_cnt_failure_probability
+        span = config.cell_height_window_nm + config.device_width_nm
+        per_sample = max(1, estimate_gap_count(self.pitch, span))
+        chunk = max(1, DEFAULT_BATCH_ELEMENTS // per_sample)
+        failures = np.empty(n_samples)
+        done = 0
+        while done < n_samples:
+            n = min(chunk, n_samples - done)
+            batch = sample_track_batch(self.pitch, span, n, rng)
+            working = (rng.random(batch.positions.shape) >= pf) & batch.valid
+            offsets = (
+                rng.random((n, config.devices_per_segment))
+                * config.cell_height_window_nm
+            )
+            counts = count_in_windows(
+                batch, working, offsets, offsets + config.device_width_nm
+            )
+            failures[done:done + n] = np.any(counts == 0, axis=1)
+            done += n
+        return failures
+
+    # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
 
@@ -169,20 +244,35 @@ class RowMonteCarlo:
         config: RowScenarioConfig,
         n_samples: int,
         rng: np.random.Generator,
+        vectorized: bool = True,
     ) -> RowMCResult:
-        """Estimate the segment (row) failure probability for one scenario."""
+        """Estimate the segment (row) failure probability for one scenario.
+
+        ``vectorized=True`` (default) evaluates all samples as one batched
+        array program; ``vectorized=False`` runs the original per-sample
+        scalar loop, which draws from the same distribution and serves as
+        the equivalence oracle.
+        """
         if n_samples <= 0:
             raise ValueError("n_samples must be positive")
-        if scenario is LayoutScenario.UNCORRELATED_GROWTH:
-            sampler = self._segment_failure_uncorrelated
-        elif scenario is LayoutScenario.DIRECTIONAL_ALIGNED:
-            sampler = self._segment_failure_aligned
-        elif scenario is LayoutScenario.DIRECTIONAL_NON_ALIGNED:
-            sampler = self._segment_failure_non_aligned
-        else:  # pragma: no cover - defensive
+        scalar_samplers = {
+            LayoutScenario.UNCORRELATED_GROWTH: self._segment_failure_uncorrelated,
+            LayoutScenario.DIRECTIONAL_ALIGNED: self._segment_failure_aligned,
+            LayoutScenario.DIRECTIONAL_NON_ALIGNED: self._segment_failure_non_aligned,
+        }
+        batch_samplers = {
+            LayoutScenario.UNCORRELATED_GROWTH: self._segment_failures_uncorrelated_batch,
+            LayoutScenario.DIRECTIONAL_ALIGNED: self._segment_failures_aligned_batch,
+            LayoutScenario.DIRECTIONAL_NON_ALIGNED: self._segment_failures_non_aligned_batch,
+        }
+        if scenario not in scalar_samplers:  # pragma: no cover - defensive
             raise ValueError(f"unknown scenario {scenario!r}")
 
-        samples = np.array([sampler(config, rng) for _ in range(n_samples)])
+        if vectorized:
+            samples = batch_samplers[scenario](config, n_samples, rng)
+        else:
+            sampler = scalar_samplers[scenario]
+            samples = np.array([sampler(config, rng) for _ in range(n_samples)])
         estimate = float(np.mean(samples))
         stderr = (
             float(np.std(samples, ddof=1) / math.sqrt(n_samples))
@@ -201,10 +291,11 @@ class RowMonteCarlo:
         config: RowScenarioConfig,
         n_samples: int,
         rng: np.random.Generator,
+        vectorized: bool = True,
     ) -> List[RowMCResult]:
         """Estimate all three scenarios with the same configuration."""
         return [
-            self.estimate(scenario, config, n_samples, rng)
+            self.estimate(scenario, config, n_samples, rng, vectorized=vectorized)
             for scenario in LayoutScenario
         ]
 

@@ -143,3 +143,31 @@ class TestFactory:
     def test_non_positive_mean_rejected(self):
         with pytest.raises(ValueError):
             pitch_distribution_from_cv(0.0, 1.0)
+
+
+class TestSumCdfArray:
+    """The vectorised sum_cdf_array must agree with the scalar sum_cdf."""
+
+    @pytest.mark.parametrize("pitch", [
+        DeterministicPitch(5.0),
+        ExponentialPitch(4.0),
+        GammaPitch(4.0, 0.5),
+        GammaPitch(4.0, 1.7),
+        TruncatedNormalPitch(4.0, 2.0),
+    ])
+    @pytest.mark.parametrize("w_nm", [-1.0, 0.0, 3.0, 40.0])
+    def test_matches_scalar_elementwise(self, pitch, w_nm):
+        n_values = np.arange(0, 12)
+        vectorised = pitch.sum_cdf_array(n_values, w_nm)
+        scalar = np.array([pitch.sum_cdf(int(n), w_nm) for n in n_values])
+        np.testing.assert_allclose(vectorised, scalar, rtol=1e-12, atol=1e-15)
+
+    def test_batch_sampling_matches_flat_stream(self):
+        pitch = GammaPitch(4.0, 0.5)
+        flat = pitch.sample(12, np.random.default_rng(3))
+        batched = pitch.sample_batch((3, 4), np.random.default_rng(3))
+        np.testing.assert_array_equal(batched.ravel(), flat)
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialPitch(4.0).sum_cdf_array(np.array([1, -1]), 10.0)

@@ -92,6 +92,43 @@ class TestChipMonteCarlo:
         with pytest.raises(ValueError):
             ChipMonteCarlo(placement)
 
+    def test_short_row_height_clamps_windows(self, library, placement, rng):
+        # An explicit row height below some active regions must clamp every
+        # window into [0, row_height]: the batched counter requires in-span
+        # queries, and devices with no in-span coverage must count as
+        # failing in both engines (they capture no tracks).
+        simulator = ChipMonteCarlo(
+            placement,
+            pitch=ExponentialPitch(4.0),
+            type_model=CNTTypeModel(metallic_fraction=0.0,
+                                    removal_prob_semiconducting=0.0),
+            row_height_nm=50.0,
+        )
+        geometry = simulator._geometry
+        assert np.all(geometry.window_lo >= 0.0)
+        assert np.all(geometry.window_hi >= geometry.window_lo)
+        assert np.all(geometry.window_hi <= 50.0)
+        out_of_span = int(
+            geometry.window_weight[geometry.window_lo == geometry.window_hi].sum()
+        )
+        assert out_of_span > 0  # the short span must actually cut regions off
+        result = simulator.run(8, rng)
+        assert result.mean_failing_devices >= out_of_span
+        assert result.mean_failing_devices <= simulator.device_count
+
+    def test_windowless_design_with_explicit_height(self, library, rng):
+        # An explicit row height bypasses the no-transistor rejection; both
+        # engines must then agree that nothing can fail.
+        design = Design("empty", library)
+        design.add("u0", "FILLCELL_X1")
+        placement = RowPlacement(design, row_width_nm=10_000.0)
+        simulator = ChipMonteCarlo(placement, row_height_nm=1_400.0)
+        vectorized = simulator.run(4, rng)
+        scalar = simulator.run_scalar(4, rng)
+        assert vectorized.mean_failing_devices == 0.0
+        assert scalar.mean_failing_devices == 0.0
+        assert vectorized.chip_yield == scalar.chip_yield == 1.0
+
 
 class TestLibraryComparison:
     def test_aligned_library_improves_yield_metrics(self, library):

@@ -1,0 +1,177 @@
+"""Unit tests for the vectorized batched Monte Carlo engine."""
+
+import numpy as np
+import pytest
+
+from repro.growth.pitch import DeterministicPitch, ExponentialPitch, GammaPitch
+from repro.montecarlo.engine import (
+    TrackBatch,
+    chunk_sizes,
+    count_in_windows,
+    count_in_windows_flat,
+    run_chunked,
+    sample_track_batch,
+    sample_track_counts,
+    spawn_streams,
+)
+
+
+def _brute_force_counts(batch, weights, lo, hi):
+    """Reference O(trials * windows * slots) window counter."""
+    n_trials, n_windows = lo.shape
+    out = np.zeros((n_trials, n_windows))
+    for t in range(n_trials):
+        for w in range(n_windows):
+            in_window = (
+                (batch.positions[t] >= lo[t, w])
+                & (batch.positions[t] <= hi[t, w])
+            )
+            out[t, w] = weights[t][in_window].sum()
+    return out
+
+
+class TestSampleTrackBatch:
+    def test_positions_sorted_and_valid_in_span(self, rng):
+        batch = sample_track_batch(ExponentialPitch(4.0), 200.0, 64, rng)
+        assert batch.positions.shape[0] == 64
+        assert np.all(np.diff(batch.positions, axis=1) >= 0.0)
+        in_span = batch.positions[batch.valid]
+        assert np.all((in_span >= 0.0) & (in_span <= 200.0))
+        # Every trial's gap budget cleared the span.
+        assert np.all(batch.positions[:, -1] > 200.0)
+
+    def test_poisson_count_statistics(self, rng):
+        # Exponential gaps started at a uniform offset form a Poisson
+        # process, so counts over W are Poisson(W / mean).
+        batch = sample_track_batch(ExponentialPitch(4.0), 400.0, 4_000, rng)
+        counts = batch.counts()
+        assert counts.mean() == pytest.approx(100.0, rel=0.05)
+        assert counts.var() == pytest.approx(100.0, rel=0.15)
+
+    def test_deterministic_pitch_exact_counts(self, rng):
+        # With a perfectly regular 5 nm array and a start offset in
+        # (-5, 0], exactly ceil(span / pitch) tracks land in [0, span]
+        # unless a track hits the boundary (measure zero for the uniform
+        # offset).
+        batch = sample_track_batch(DeterministicPitch(5.0), 102.5, 256, rng)
+        counts = batch.counts()
+        assert np.all((counts == 20) | (counts == 21))
+
+    def test_invalid_arguments(self, rng):
+        with pytest.raises(ValueError):
+            sample_track_batch(ExponentialPitch(4.0), 100.0, 0, rng)
+        with pytest.raises(ValueError):
+            sample_track_batch(ExponentialPitch(4.0), -1.0, 4, rng)
+
+
+class TestSampleTrackCounts:
+    def test_matches_batch_counts_distribution(self, rng):
+        counts = sample_track_counts(ExponentialPitch(4.0), 200.0, 5_000, rng)
+        assert counts.shape == (5_000,)
+        assert counts.mean() == pytest.approx(50.0, rel=0.05)
+
+    def test_chunked_execution_covers_all_trials(self, rng):
+        # Force many internal chunks and check every trial is filled.
+        counts = sample_track_counts(
+            GammaPitch(4.0, 0.5), 100.0, 1_000, rng, batch_elements=64
+        )
+        assert counts.shape == (1_000,)
+        assert np.all(counts >= 0)
+        assert counts.mean() == pytest.approx(25.0, rel=0.1)
+
+
+class TestCountInWindows:
+    def test_matches_brute_force_shared_windows(self, rng):
+        batch = sample_track_batch(ExponentialPitch(6.0), 300.0, 32, rng)
+        weights = (rng.random(batch.positions.shape) < 0.7) & batch.valid
+        lo = np.sort(rng.random(12) * 250.0)
+        hi = lo + rng.random(12) * 50.0
+        counts = count_in_windows(batch, weights, lo, hi)
+        lo2 = np.broadcast_to(lo, (32, 12))
+        hi2 = np.broadcast_to(hi, (32, 12))
+        np.testing.assert_array_equal(
+            counts, _brute_force_counts(batch, weights, lo2, hi2)
+        )
+
+    def test_matches_brute_force_per_trial_windows(self, rng):
+        batch = sample_track_batch(ExponentialPitch(6.0), 300.0, 16, rng)
+        weights = batch.valid.astype(float)
+        lo = rng.random((16, 8)) * 250.0
+        hi = lo + rng.random((16, 8)) * 40.0
+        counts = count_in_windows(batch, weights, lo, hi)
+        np.testing.assert_array_equal(
+            counts, _brute_force_counts(batch, weights, lo, hi)
+        )
+
+    def test_flat_queries_with_trial_index(self, rng):
+        batch = sample_track_batch(ExponentialPitch(5.0), 200.0, 8, rng)
+        weights = batch.valid
+        # Interrogate only trials 2 and 5, twice each, out of order.
+        trial_index = np.array([5, 2, 5, 2])
+        lo = np.array([0.0, 10.0, 50.0, 0.0])
+        hi = np.array([200.0, 60.0, 150.0, 200.0])
+        counts = count_in_windows_flat(
+            batch.positions, weights, batch.span_nm, lo, hi, trial_index
+        )
+        assert counts[0] == batch.counts()[5]
+        assert counts[3] == batch.counts()[2]
+
+    def test_shape_mismatch_rejected(self, rng):
+        batch = sample_track_batch(ExponentialPitch(5.0), 100.0, 4, rng)
+        with pytest.raises(ValueError):
+            count_in_windows(
+                batch,
+                batch.valid,
+                np.zeros((3, 2)),
+                np.ones((3, 2)),
+            )
+
+
+class TestStreamsAndChunks:
+    def test_spawn_streams_deterministic(self):
+        a = spawn_streams(np.random.default_rng(42), 4)
+        b = spawn_streams(np.random.default_rng(42), 4)
+        for ga, gb in zip(a, b):
+            np.testing.assert_array_equal(ga.random(8), gb.random(8))
+        with pytest.raises(ValueError):
+            spawn_streams(np.random.default_rng(0), 0)
+
+    def test_spawn_streams_independent(self):
+        streams = spawn_streams(np.random.default_rng(42), 2)
+        assert not np.allclose(streams[0].random(8), streams[1].random(8))
+
+    def test_chunk_sizes(self):
+        assert chunk_sizes(10, 4) == [4, 4, 2]
+        assert chunk_sizes(8, 4) == [4, 4]
+        assert chunk_sizes(3, 100) == [3]
+        with pytest.raises(ValueError):
+            chunk_sizes(0, 4)
+        with pytest.raises(ValueError):
+            chunk_sizes(4, 0)
+
+
+def _sum_of_stream(payload, n_chunk, rng):
+    """Picklable worker: per-chunk draws scaled by the payload."""
+    return (payload * rng.random(n_chunk),)
+
+
+class TestRunChunked:
+    def test_serial_matches_parallel(self):
+        serial = run_chunked(
+            _sum_of_stream, 2.0, 50, np.random.default_rng(7),
+            trial_chunk=13, n_workers=1,
+        )
+        parallel = run_chunked(
+            _sum_of_stream, 2.0, 50, np.random.default_rng(7),
+            trial_chunk=13, n_workers=2,
+        )
+        assert len(serial) == len(parallel) == 4
+        for (a,), (b,) in zip(serial, parallel):
+            np.testing.assert_array_equal(a, b)
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            run_chunked(
+                _sum_of_stream, 1.0, 10, np.random.default_rng(0),
+                trial_chunk=5, n_workers=0,
+            )
