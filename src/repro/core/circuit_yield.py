@@ -18,6 +18,7 @@ for numerical robustness) and the first-order approximation, plus the
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Iterable, Optional, Union
 
 import numpy as np
@@ -149,3 +150,84 @@ def yield_from_uniform_failure_probability(
             return 0.0
         return math.exp(device_count * math.log1p(-p))
     return max(0.0, 1.0 - device_count * p)
+
+
+@dataclass(frozen=True)
+class YieldEstimate:
+    """A chip yield derived from a *sampled* failure probability.
+
+    Carries the delta-method standard error of the propagated Monte Carlo
+    uncertainty, so rare-event tail estimates (pF ≈ 1e-9 from the
+    importance sampler) can be compared against the Eq. 2.3 closed forms
+    *within their reported error* instead of eyeballing absolute numbers.
+    """
+
+    yield_value: float
+    standard_error: float
+    device_count: float
+    failure_probability: float
+    failure_probability_se: float
+
+    @property
+    def yield_loss(self) -> float:
+        """1 - yield."""
+        return 1.0 - self.yield_value
+
+    @property
+    def loss_relative_error(self) -> float:
+        """Standard error relative to the yield *loss* (the tail quantity)."""
+        if self.yield_loss == 0:
+            return float("nan")
+        return self.standard_error / self.yield_loss
+
+    def agrees_with(self, reference_yield: float, n_sigma: float = 4.0) -> bool:
+        """True when ``reference_yield`` lies within ``n_sigma`` errors."""
+        if self.standard_error == 0:
+            return self.yield_value == reference_yield
+        return (
+            abs(self.yield_value - reference_yield)
+            <= n_sigma * self.standard_error
+        )
+
+
+def chip_yield_from_failure_estimate(
+    failure_probability: float,
+    standard_error: float,
+    device_count: float,
+    exact: bool = False,
+) -> YieldEstimate:
+    """Chip yield (Eq. 2.3) from an *estimated* uniform device pF.
+
+    ``exact=False`` (default) applies the paper's first-order form
+    ``1 - M·pF`` whose propagated standard error is simply ``M·SE``;
+    ``exact=True`` uses the product form ``(1 - pF)^M`` with the
+    delta-method error ``M·(1-pF)^(M-1)·SE``.  The two coincide to within
+    a fraction of a percent at the paper's operating point (M = 1e8,
+    pF = 1e-9).
+    """
+    p = ensure_probability(failure_probability, "failure_probability")
+    if standard_error < 0:
+        raise ValueError("standard_error must be non-negative")
+    if device_count < 0:
+        raise ValueError("device_count must be non-negative")
+    if exact:
+        yield_value = yield_from_uniform_failure_probability(
+            p, device_count, exact=True
+        )
+        if p < 1.0:
+            slope = device_count * math.exp(
+                (device_count - 1.0) * math.log1p(-p)
+            )
+        else:
+            slope = 0.0
+        se = slope * standard_error
+    else:
+        yield_value = max(0.0, 1.0 - device_count * p)
+        se = device_count * standard_error
+    return YieldEstimate(
+        yield_value=yield_value,
+        standard_error=se,
+        device_count=float(device_count),
+        failure_probability=p,
+        failure_probability_se=float(standard_error),
+    )

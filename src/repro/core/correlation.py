@@ -146,6 +146,32 @@ class RowYieldResult:
         return 1.0 - self.chip_yield
 
 
+@dataclass(frozen=True)
+class RowYieldEstimate:
+    """Chip yield propagated from a *sampled* row failure probability.
+
+    The rare-event samplers return pRF with a standard error; pushing both
+    through Eq. 3.1 (``Yield = (1 - pRF)^KR``) with the delta method gives
+    the chip yield and its uncertainty, so sampled tails can be compared
+    against closed forms within their reported error.
+    """
+
+    scenario: LayoutScenario
+    row_failure_probability: float
+    row_failure_probability_se: float
+    row_count: float
+    chip_yield: float
+    chip_yield_se: float
+
+    @property
+    def loss_relative_error(self) -> float:
+        """Chip-yield standard error relative to the yield loss."""
+        loss = 1.0 - self.chip_yield
+        if loss == 0:
+            return float("nan")
+        return self.chip_yield_se / loss
+
+
 class RowYieldModel:
     """Chip yield under the three growth/layout scenarios of Table 1.
 
@@ -313,6 +339,43 @@ class RowYieldModel:
             devices_per_row=m_r,
             row_count=k_r,
             chip_yield=chip,
+        )
+
+    def evaluate_estimate(
+        self,
+        scenario: LayoutScenario,
+        row_failure_probability: float,
+        row_failure_probability_se: float,
+        min_size_device_count: float,
+    ) -> RowYieldEstimate:
+        """Chip yield (Eq. 3.1) from a *sampled* row failure probability.
+
+        The Monte Carlo counterpart of :meth:`evaluate`: instead of deriving
+        pRF from a device pF analytically, take a sampled pRF (for example a
+        rare-event tail estimate from
+        :mod:`repro.montecarlo.rare_event`) together with its standard
+        error and propagate both through ``Yield = (1 - pRF)^KR`` via the
+        delta method (``dY/dpRF = -KR (1 - pRF)^(KR-1)``).
+        """
+        p_rf = ensure_probability(
+            row_failure_probability, "row_failure_probability"
+        )
+        if row_failure_probability_se < 0:
+            raise ValueError("row_failure_probability_se must be non-negative")
+        ensure_positive(min_size_device_count, "min_size_device_count")
+        k_r = min_size_device_count / self.parameters.devices_per_row
+        if p_rf >= 1.0:
+            chip, slope = 0.0, 0.0
+        else:
+            chip = math.exp(k_r * math.log1p(-p_rf))
+            slope = k_r * math.exp((k_r - 1.0) * math.log1p(-p_rf))
+        return RowYieldEstimate(
+            scenario=scenario,
+            row_failure_probability=p_rf,
+            row_failure_probability_se=float(row_failure_probability_se),
+            row_count=k_r,
+            chip_yield=chip,
+            chip_yield_se=slope * float(row_failure_probability_se),
         )
 
     def relaxation_factor(

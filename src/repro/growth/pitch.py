@@ -38,6 +38,45 @@ from scipy import stats
 from repro.units import ensure_positive
 
 
+@dataclass(frozen=True)
+class GapTilt:
+    """An exponential tilt of an inter-CNT gap distribution.
+
+    Importance sampling for rare under-count events replaces the nominal gap
+    density ``f`` with the tilted density ``g(s) ∝ f(s) · exp(θ s)``; for
+    ``θ > 0`` gaps stretch, tubes become sparse, and open-region/under-count
+    failures become common.  The log likelihood ratio of a renewal trajectory
+    stopped after ``n`` gaps summing to ``S`` is *affine* in ``(n, S)`` for
+    every family closed under exponential tilting:
+
+    ``log(dP_f / dP_g) = n · log_const_per_gap + S · log_slope_per_nm``
+
+    which is what lets the batched engine carry per-trial weights through its
+    one ``cumsum`` + ``searchsorted`` pass.  Instances are produced by
+    :meth:`PitchDistribution.exponential_tilt`.
+    """
+
+    nominal: "PitchDistribution"
+    tilted: "PitchDistribution"
+    log_const_per_gap: float
+    log_slope_per_nm: float
+
+    @property
+    def mean_factor(self) -> float:
+        """Ratio of tilted to nominal mean pitch (> 1 stretches gaps)."""
+        return self.tilted.mean_nm / self.nominal.mean_nm
+
+    def log_likelihood_ratio(
+        self, n_gaps: np.ndarray, gap_sum_nm: np.ndarray
+    ) -> np.ndarray:
+        """``log(dP_f/dP_g)`` for trajectories of ``n_gaps`` gaps summing to
+        ``gap_sum_nm``; vectorised over both arguments."""
+        return (
+            np.asarray(n_gaps, dtype=float) * self.log_const_per_gap
+            + np.asarray(gap_sum_nm, dtype=float) * self.log_slope_per_nm
+        )
+
+
 class PitchDistribution(abc.ABC):
     """Abstract base class for positive inter-CNT pitch distributions."""
 
@@ -94,6 +133,19 @@ class PitchDistribution(abc.ABC):
         falls back to a per-element loop.
         """
         return np.array([self.sum_cdf(int(n), w_nm) for n in np.asarray(n_values)])
+
+    def exponential_tilt(self, mean_factor: float) -> GapTilt:
+        """Exponentially tilted copy of this distribution, as a :class:`GapTilt`.
+
+        ``mean_factor > 1`` stretches gaps (rare under-count events become
+        common); families not closed under exponential tilting raise
+        ``NotImplementedError`` — the multilevel-splitting fallback in
+        :mod:`repro.montecarlo.rare_event` covers those.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no closed-form exponential tilt; "
+            "use the multilevel-splitting sampler instead"
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -189,6 +241,12 @@ class ExponentialPitch(PitchDistribution):
             cdf = stats.gamma.cdf(w_nm, a=n, scale=self.mean_pitch_nm)
         return np.where(n == 0, 1.0 if w_nm >= 0 else 0.0, cdf)
 
+    def exponential_tilt(self, mean_factor: float) -> GapTilt:
+        # Tilting Exp(mean) by exp(θs) stays exponential with mean
+        # mean / (1 - θ·mean); parameterised by the mean factor β the
+        # per-gap log ratio is  log β − s (β − 1) / (β · mean).
+        return _gamma_family_tilt(self, shape=1.0, mean_factor=mean_factor)
+
 
 @dataclass(frozen=True, repr=False)
 class GammaPitch(PitchDistribution):
@@ -243,6 +301,11 @@ class GammaPitch(PitchDistribution):
         with np.errstate(invalid="ignore"):
             cdf = stats.gamma.cdf(w_nm, a=n * self.shape, scale=self.scale_nm)
         return np.where(n == 0, 1.0 if w_nm >= 0 else 0.0, cdf)
+
+    def exponential_tilt(self, mean_factor: float) -> GapTilt:
+        # Tilting Gamma(k, c) by exp(θs) stays Gamma(k, c / (1 - θc)): the
+        # shape (and hence the CV) is preserved, only the scale stretches.
+        return _gamma_family_tilt(self, shape=self.shape, mean_factor=mean_factor)
 
 
 @dataclass(frozen=True, repr=False)
@@ -313,6 +376,58 @@ class TruncatedNormalPitch(PitchDistribution):
         )
         cdf = np.where(n == 1, float(self._dist.cdf(w_nm)), cdf)
         return np.where(n == 0, 1.0, cdf)
+
+    def exponential_tilt(self, mean_factor: float) -> GapTilt:
+        # Tilting N(m, σ²)·1{s>0} by exp(θs) shifts the location to
+        # m + θσ² (same σ, same truncation point).  Parameterise by the
+        # *nominal-location* factor β: m' = β·m, θ = m(β−1)/σ²; for the
+        # lightly-truncated pitches used here the truncated mean scales by
+        # ≈ β as well.  The per-gap log ratio picks up the ratio of the
+        # truncation normalisations Φ(m'/σ)/Φ(m/σ).
+        if mean_factor <= 0:
+            raise ValueError(f"mean_factor must be positive, got {mean_factor}")
+        m, sigma = self.nominal_mean_nm, self.nominal_std_nm
+        m_tilted = m * mean_factor
+        tilted = TruncatedNormalPitch(
+            nominal_mean_nm=m_tilted, nominal_std_nm=sigma
+        )
+        z_nominal = float(stats.norm.cdf(m / sigma))
+        z_tilted = float(stats.norm.cdf(m_tilted / sigma))
+        return GapTilt(
+            nominal=self,
+            tilted=tilted,
+            log_const_per_gap=(
+                (m_tilted ** 2 - m ** 2) / (2.0 * sigma ** 2)
+                + math.log(z_tilted / z_nominal)
+            ),
+            log_slope_per_nm=(m - m_tilted) / sigma ** 2,
+        )
+
+
+def _gamma_family_tilt(
+    nominal: PitchDistribution, shape: float, mean_factor: float
+) -> GapTilt:
+    """Exponential tilt shared by the gamma family (exponential = shape 1).
+
+    With nominal scale ``c = mean / shape`` and tilted scale ``c·β``, the
+    per-gap log density ratio is ``shape · log β + s · (1/(cβ) − 1/c)``.
+    """
+    if mean_factor <= 0:
+        raise ValueError(f"mean_factor must be positive, got {mean_factor}")
+    mean = nominal.mean_nm
+    if isinstance(nominal, ExponentialPitch):
+        tilted: PitchDistribution = ExponentialPitch(
+            mean_pitch_nm=mean * mean_factor
+        )
+    else:
+        tilted = GammaPitch(mean_pitch_nm=mean * mean_factor, cv_value=nominal.cv)
+    scale = mean / shape
+    return GapTilt(
+        nominal=nominal,
+        tilted=tilted,
+        log_const_per_gap=shape * math.log(mean_factor),
+        log_slope_per_nm=(1.0 / (scale * mean_factor) - 1.0 / scale),
+    )
 
 
 def pitch_distribution_from_cv(mean_pitch_nm: float, cv: float) -> PitchDistribution:

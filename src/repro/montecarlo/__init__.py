@@ -17,6 +17,10 @@ fabrication outcomes directly:
 * :mod:`repro.montecarlo.chip_sim` — full-chip simulation of a placed design
   (tracks shared by devices in the same row), used to compare the original
   and aligned-active libraries end to end.
+* :mod:`repro.montecarlo.rare_event` — rare-event layer: exponentially
+  tilted importance sampling with stopped likelihood-ratio weights and an
+  adaptive multilevel-splitting fallback; reaches the paper's 1e8-device,
+  1e-9-failure-probability operating point directly.
 * :mod:`repro.montecarlo.experiments` — packaged experiments comparing
   analytic and Monte Carlo numbers, used by tests and benchmarks.
 """
@@ -30,12 +34,27 @@ from repro.montecarlo.engine import (
     sample_track_counts,
     spawn_streams,
 )
+from repro.montecarlo.rare_event import (
+    SplittingResult,
+    WeightedEstimate,
+    default_tilt_factor,
+    estimate_device_failure_tilted,
+    max_stable_tilt,
+    multilevel_splitting,
+    weighted_estimate,
+)
 from repro.montecarlo.row_sim import RowMonteCarlo, RowMCResult, RowScenarioConfig
-from repro.montecarlo.chip_sim import ChipMonteCarlo, ChipMCResult, compare_libraries
+from repro.montecarlo.chip_sim import (
+    ChipMonteCarlo,
+    ChipMCResult,
+    ChipTailResult,
+    compare_libraries,
+)
 from repro.montecarlo.experiments import (
     compare_chip_engines,
     compare_device_failure,
     compare_row_scenarios,
+    compare_tail_scenarios,
     ComparisonRecord,
 )
 
@@ -48,14 +67,23 @@ __all__ = [
     "sample_track_batch",
     "sample_track_counts",
     "spawn_streams",
+    "WeightedEstimate",
+    "weighted_estimate",
+    "default_tilt_factor",
+    "max_stable_tilt",
+    "estimate_device_failure_tilted",
+    "multilevel_splitting",
+    "SplittingResult",
     "RowMonteCarlo",
     "RowMCResult",
     "RowScenarioConfig",
     "ChipMonteCarlo",
     "ChipMCResult",
+    "ChipTailResult",
     "compare_libraries",
     "compare_chip_engines",
     "compare_device_failure",
     "compare_row_scenarios",
+    "compare_tail_scenarios",
     "ComparisonRecord",
 ]

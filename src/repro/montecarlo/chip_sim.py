@@ -34,16 +34,17 @@ model extrapolates to the 1e8-device, 1e-9-probability regime.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.growth.pitch import PitchDistribution, pitch_distribution_from_cv
+import repro.montecarlo.rare_event as rare_event
+from repro.growth.pitch import GapTilt, PitchDistribution, pitch_distribution_from_cv
 from repro.growth.types import CNTTypeModel
 from repro.montecarlo.engine import (
-    DEFAULT_BATCH_ELEMENTS,
-    estimate_gap_count,
     count_in_windows_flat,
+    default_trial_chunk,
+    estimate_gap_count,
     run_chunked,
     sample_track_batch,
 )
@@ -75,6 +76,46 @@ class ChipMCResult:
         if self.mean_failing_devices == 0:
             return float("nan")
         return self.std_failing_devices ** 2 / self.mean_failing_devices
+
+
+@dataclass(frozen=True)
+class ChipTailResult:
+    """Importance-sampled tail estimate of a placed design's chip yield.
+
+    Produced by :meth:`ChipMonteCarlo.run` with ``sampler="tilted"``.  The
+    per-window device failure probabilities are Rao-Blackwellised
+    (``pf ** N_window`` given the sampled tracks) and weighted by
+    likelihood ratios stopped at each window's own upper bound; the chip
+    yield is assembled as ``Π_rows (1 - Σ_windows pF_window)`` — rows are
+    independent and the within-row union bound is first-order exact in the
+    rare-failure regime this sampler targets (the same approximation
+    Eq. 3.1 makes analytically).
+    """
+
+    n_trials: int
+    device_count: int
+    small_device_count: int
+    chip_yield: float
+    yield_standard_error: float
+    expected_failing_devices: float
+    expected_failing_devices_se: float
+    effective_sample_size: float
+    tilt_factor: float
+
+    @property
+    def device_failure_rate(self) -> float:
+        """Mean per-device failure probability implied by the estimate."""
+        if self.device_count == 0:
+            return float("nan")
+        return self.expected_failing_devices / self.device_count
+
+    @property
+    def yield_relative_error(self) -> float:
+        """Standard error of the yield-loss, relative to the yield-loss."""
+        loss = 1.0 - self.chip_yield
+        if loss == 0:
+            return float("nan")
+        return self.yield_standard_error / loss
 
 
 @dataclass(frozen=True)
@@ -147,6 +188,61 @@ def _simulate_chip_chunk(
     per_row = np.add.reduceat(failing, geometry.row_starts, axis=1)
     failing_rows = (per_row > 0).sum(axis=1).astype(float)
     return failing_devices, failing_rows
+
+
+@dataclass(frozen=True)
+class _TiltedChipPayload:
+    """Picklable chunk payload for the importance-sampled chip estimator."""
+
+    geometry: _ChipGeometry
+    tilt: GapTilt
+
+
+def _simulate_chip_chunk_tilted(
+    payload: _TiltedChipPayload, n_chunk: int, rng: np.random.Generator
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One chunk of tilted chip trials.
+
+    Every (trial, row) pair is one tilted renewal trial.  Each distinct
+    device window contributes the Rao-Blackwellised value
+    ``pf ** N_window`` times the likelihood ratio of the trajectory stopped
+    at the window's upper bound (stopping per window keeps the weight noise
+    proportional to the window's altitude in the row, not the full row
+    span).  Returns per-trial per-row window sums (union-bound row failure
+    probabilities) and per-trial failing-device expectations.
+    """
+    geometry = payload.geometry
+    n_rows = geometry.n_rows
+    batch = sample_track_batch(
+        payload.tilt.tilted,
+        geometry.row_height_nm,
+        n_chunk * n_rows,
+        rng,
+        offset_mean_nm=payload.tilt.nominal.mean_nm,
+    )
+    n_windows = geometry.window_lo.size
+    trial_index = (
+        np.repeat(np.arange(n_chunk) * n_rows, n_windows)
+        + np.tile(geometry.window_row, n_chunk)
+    )
+    hi = np.tile(geometry.window_hi, n_chunk)
+    counts, stop_index = count_in_windows_flat(
+        batch.positions,
+        batch.valid.astype(float),
+        geometry.row_height_nm,
+        np.tile(geometry.window_lo, n_chunk),
+        hi,
+        trial_index,
+        return_stop_index=True,
+    )
+    log_w = rare_event.window_stopped_log_weights(
+        batch, payload.tilt, hi, trial_index, stop_index=stop_index
+    )
+    values = (np.power(geometry.per_cnt_failure, counts)
+              * np.exp(log_w)).reshape(n_chunk, n_windows)
+    row_sums = np.add.reduceat(values, geometry.row_starts, axis=1)
+    device_sums = (values * geometry.window_weight).sum(axis=1)
+    return row_sums, device_sums
 
 
 class ChipMonteCarlo:
@@ -295,9 +391,9 @@ class ChipMonteCarlo:
         enough that at least :attr:`DEFAULT_PARALLEL_GRAIN` chunks exist."""
         est_slots = estimate_gap_count(self.pitch, self.row_height_nm)
         per_trial = max(1, self._geometry.n_rows * est_slots)
-        budget = max(1, DEFAULT_BATCH_ELEMENTS // per_trial)
-        spread = -(-n_trials // self.DEFAULT_PARALLEL_GRAIN)
-        return max(1, min(budget, spread))
+        return default_trial_chunk(
+            per_trial, n_trials, grain=self.DEFAULT_PARALLEL_GRAIN
+        )
 
     # ------------------------------------------------------------------
     # Scalar reference implementation (pre-vectorisation oracle)
@@ -385,7 +481,9 @@ class ChipMonteCarlo:
         rng: np.random.Generator,
         n_workers: int = 1,
         trial_chunk: Optional[int] = None,
-    ) -> ChipMCResult:
+        sampler: str = "naive",
+        tilt_factor: Optional[float] = None,
+    ) -> Union["ChipMCResult", "ChipTailResult"]:
         """Simulate ``n_trials`` fabrications of the placed design.
 
         Parameters
@@ -404,9 +502,27 @@ class ChipMonteCarlo:
             near the engine's element budget (~32 MB) while still splitting
             the run into at least :attr:`DEFAULT_PARALLEL_GRAIN` chunks so
             that ``n_workers > 1`` always has work to distribute.
+        sampler:
+            ``"naive"`` (default) returns a :class:`ChipMCResult` from
+            direct indicator sampling.  ``"tilted"`` importance-samples the
+            failure tail under an exponentially tilted gap distribution and
+            returns a :class:`ChipTailResult`; use it when per-device
+            failures are too rare for indicators to resolve.
+        tilt_factor:
+            Mean-pitch stretch factor for ``sampler="tilted"``.  The
+            default balances the ``pf``-cancellation rule against the
+            stopped-weight stability budget of the row span (see
+            :mod:`repro.montecarlo.rare_event`).
         """
         if n_trials <= 0:
             raise ValueError("n_trials must be positive")
+        if sampler not in ("naive", "tilted"):
+            raise ValueError(
+                f"unknown sampler {sampler!r}; expected 'naive' or 'tilted'"
+            )
+        if sampler == "tilted":
+            return self._run_tilted(n_trials, rng, n_workers, trial_chunk,
+                                    tilt_factor)
         if self._geometry.n_rows == 0:
             # No row carries a transistor window: nothing can fail (matches
             # the scalar oracle, which skips empty rows).
@@ -425,6 +541,96 @@ class ChipMonteCarlo:
         failing_devices = np.concatenate([c[0] for c in chunks])
         failing_rows = np.concatenate([c[1] for c in chunks])
         return self._result(failing_devices, failing_rows)
+
+    def default_chip_tilt_factor(self) -> float:
+        """Default tilt for :meth:`run` with ``sampler="tilted"``.
+
+        The ``pf``-cancellation rule fixes the in-window weight noise; the
+        stability budget over the full row span bounds the below-window
+        noise that the per-window stopped weights still accumulate.  The
+        smaller of the two wins.
+        """
+        pf = self._geometry.per_cnt_failure
+        return min(
+            rare_event.default_tilt_factor(self.pitch, self.row_height_nm, pf),
+            rare_event.max_stable_tilt(self.pitch, self.row_height_nm),
+        )
+
+    def _run_tilted(
+        self,
+        n_trials: int,
+        rng: np.random.Generator,
+        n_workers: int,
+        trial_chunk: Optional[int],
+        tilt_factor: Optional[float],
+    ) -> ChipTailResult:
+        if self._geometry.n_rows == 0:
+            return ChipTailResult(
+                n_trials=int(n_trials),
+                device_count=self.device_count,
+                small_device_count=self.small_device_count,
+                chip_yield=1.0,
+                yield_standard_error=0.0,
+                expected_failing_devices=0.0,
+                expected_failing_devices_se=0.0,
+                effective_sample_size=float(n_trials),
+                tilt_factor=1.0,
+            )
+        if tilt_factor is None:
+            tilt_factor = self.default_chip_tilt_factor()
+        tilt = self.pitch.exponential_tilt(tilt_factor)
+        if trial_chunk is None:
+            # Size chunks from the *tilted* pitch actually sampled: its
+            # stretched mean means ~tilt_factor fewer gaps per row, so the
+            # nominal-pitch estimate would leave most of the element budget
+            # unused.
+            est_slots = estimate_gap_count(tilt.tilted, self.row_height_nm)
+            trial_chunk = default_trial_chunk(
+                max(1, self._geometry.n_rows * est_slots),
+                n_trials,
+                grain=self.DEFAULT_PARALLEL_GRAIN,
+            )
+        chunks = run_chunked(
+            _simulate_chip_chunk_tilted,
+            _TiltedChipPayload(geometry=self._geometry, tilt=tilt),
+            n_trials,
+            rng,
+            trial_chunk=trial_chunk,
+            n_workers=n_workers,
+        )
+        row_sums = np.vstack([c[0] for c in chunks])
+        device_summary = rare_event.weighted_estimate(
+            np.concatenate([c[1] for c in chunks])
+        )
+        p_row = row_sums.mean(axis=0)
+        se_row = (
+            row_sums.std(axis=0, ddof=1) / np.sqrt(n_trials)
+            if n_trials > 1 else np.zeros_like(p_row)
+        )
+        p_clipped = np.clip(p_row, 0.0, 1.0)
+        chip_yield = float(np.prod(1.0 - p_clipped))
+        survive = 1.0 - p_clipped
+        if np.all(survive > 0.0):
+            yield_se = chip_yield * float(
+                np.sqrt(np.sum((se_row / survive) ** 2))
+            )
+        else:
+            # A row's union-bound probability clipped at 1: the sampler is
+            # outside its rare-failure regime (or a weight outlier hit) and
+            # the yield estimate carries no information — report infinite
+            # uncertainty rather than a falsely exact zero.
+            yield_se = float("inf")
+        return ChipTailResult(
+            n_trials=int(n_trials),
+            device_count=self.device_count,
+            small_device_count=self.small_device_count,
+            chip_yield=chip_yield,
+            yield_standard_error=yield_se,
+            expected_failing_devices=device_summary.estimate,
+            expected_failing_devices_se=device_summary.standard_error,
+            effective_sample_size=device_summary.effective_sample_size,
+            tilt_factor=float(tilt_factor),
+        )
 
     def _result(
         self, failing_devices: np.ndarray, failing_rows: np.ndarray
@@ -456,6 +662,7 @@ def compare_libraries(
     n_trials: int = 50,
     seed: int = 2010,
     n_workers: int = 1,
+    rng: Optional[np.random.Generator] = None,
 ) -> Dict[str, ChipMCResult]:
     """Simulate the same netlist on the original and aligned-active libraries.
 
@@ -464,11 +671,21 @@ def compare_libraries(
     were upsized to Wmin) and a higher failure-clustering index (failures
     concentrate on shared tracks), which together produce the chip-yield
     benefit the paper reports.
+
+    An externally supplied ``rng`` takes precedence over ``seed``: each
+    library consumes its own child stream spawned from it, so callers can
+    coordinate this comparison with other estimators through shared spawn
+    keys instead of ad-hoc reseeding.
     """
+    if rng is not None:
+        streams = rng.spawn(2)
+    else:
+        streams = [np.random.default_rng(seed), np.random.default_rng(seed)]
     results: Dict[str, ChipMCResult] = {}
-    for label, placement in (("original", original_placement),
-                             ("aligned", aligned_placement)):
+    for stream, (label, placement) in zip(
+        streams,
+        (("original", original_placement), ("aligned", aligned_placement)),
+    ):
         simulator = ChipMonteCarlo(placement, pitch=pitch, type_model=type_model)
-        rng = np.random.default_rng(seed)
-        results[label] = simulator.run(n_trials, rng, n_workers=n_workers)
+        results[label] = simulator.run(n_trials, stream, n_workers=n_workers)
     return results

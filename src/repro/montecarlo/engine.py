@@ -37,7 +37,7 @@ from __future__ import annotations
 import math
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -51,8 +51,10 @@ __all__ = [
     "sample_track_counts",
     "count_in_windows",
     "count_in_windows_flat",
+    "window_stop_indices",
     "spawn_streams",
     "chunk_sizes",
+    "default_trial_chunk",
     "run_chunked",
 ]
 
@@ -70,12 +72,16 @@ class TrackBatch:
     ``positions`` is ``(n_trials, n_slots)`` and sorted ascending along the
     slot axis (it is a cumulative sum of positive gaps).  Slots whose track
     fell outside ``[0, span_nm]`` are retained for shape regularity and
-    masked out by ``valid``.
+    masked out by ``valid``.  ``start_offsets`` records each trial's uniform
+    renewal offset ``u`` (position ``j`` sits at ``S_j - u`` with ``S_j`` the
+    cumulative gap sum); the rare-event layer needs it to reconstruct the
+    gap sums that enter the likelihood-ratio weights.
     """
 
     positions: np.ndarray
     valid: np.ndarray
     span_nm: float
+    start_offsets: Optional[np.ndarray] = None
 
     @property
     def n_trials(self) -> int:
@@ -106,17 +112,26 @@ def sample_track_batch(
     span_nm: float,
     n_trials: int,
     rng: np.random.Generator,
+    offset_mean_nm: Optional[float] = None,
 ) -> TrackBatch:
     """Sample the CNT tracks of ``n_trials`` independent rows in one pass.
 
     Matches the scalar samplers' convention: each trial starts a renewal
     process at ``-u`` with ``u ~ U(0, mean_pitch)`` and keeps the track
     positions that land inside ``[0, span_nm]``.
+
+    ``offset_mean_nm`` overrides the mean used for the uniform start offset
+    ``u``.  The rare-event importance sampler passes the *nominal* pitch mean
+    here while ``pitch`` itself is the tilted distribution, so the offset law
+    is common to both measures and only the gaps enter the likelihood ratio.
     """
     ensure_positive(span_nm, "span_nm")
     if n_trials <= 0:
         raise ValueError("n_trials must be positive")
-    start_offsets = rng.random(n_trials) * pitch.mean_nm
+    if offset_mean_nm is None:
+        offset_mean_nm = pitch.mean_nm
+    ensure_positive(offset_mean_nm, "offset_mean_nm")
+    start_offsets = rng.random(n_trials) * offset_mean_nm
     n_gaps = estimate_gap_count(pitch, span_nm)
     gaps = pitch.sample_batch((n_trials, n_gaps), rng)
     positions = np.cumsum(gaps, axis=1)
@@ -130,7 +145,12 @@ def sample_track_batch(
         tail = positions[:, -1][:, None] + np.cumsum(extra, axis=1)
         positions = np.concatenate([positions, tail], axis=1)
     valid = (positions >= 0.0) & (positions <= span_nm)
-    return TrackBatch(positions=positions, valid=valid, span_nm=float(span_nm))
+    return TrackBatch(
+        positions=positions,
+        valid=valid,
+        span_nm=float(span_nm),
+        start_offsets=start_offsets,
+    )
 
 
 def sample_track_counts(
@@ -158,6 +178,44 @@ def sample_track_counts(
     return counts
 
 
+def _banded_positions(
+    positions: np.ndarray, span_nm: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flatten sorted trial rows into one globally sorted banded array.
+
+    Shifting trial ``t`` by ``t * stride`` makes the (clipped) rows
+    disjoint, so one ``searchsorted`` on the flattened array answers every
+    (trial, query) pair at once.  Clipping just outside the query range is
+    monotone, preserves sortedness, and never moves a track across a query
+    boundary (queries live inside ``[0, span]``).  Returns the flattened
+    array and the per-trial band offsets.
+    """
+    pad = 1.0
+    stride = span_nm + 4.0 * pad
+    offsets = np.arange(positions.shape[0], dtype=float) * stride
+    flat = (np.clip(positions, -pad, span_nm + pad) + offsets[:, None]).ravel()
+    return flat, offsets
+
+
+def window_stop_indices(
+    positions: np.ndarray,
+    span_nm: float,
+    hi: np.ndarray,
+    trial_index: np.ndarray,
+) -> np.ndarray:
+    """Per-query slot index of the first track strictly above ``hi``.
+
+    The rare-event layer stops each query's likelihood-ratio weight at this
+    slot; :func:`sample_track_batch` guarantees the index exists for any
+    bound inside the span (the last slot always clears it).
+    """
+    flat, offsets = _banded_positions(positions, span_nm)
+    right = np.searchsorted(
+        flat, np.asarray(hi, dtype=float) + offsets[trial_index], side="right"
+    )
+    return right - trial_index * positions.shape[1]
+
+
 def count_in_windows_flat(
     positions: np.ndarray,
     weights: np.ndarray,
@@ -165,7 +223,8 @@ def count_in_windows_flat(
     lo: np.ndarray,
     hi: np.ndarray,
     trial_index: np.ndarray,
-) -> np.ndarray:
+    return_stop_index: bool = False,
+):
     """Weighted track counts for an arbitrary flat list of window queries.
 
     Parameters
@@ -183,27 +242,25 @@ def count_in_windows_flat(
         matching the scalar simulators.
     trial_index:
         ``(n_queries,)`` index of the trial each query interrogates.
+    return_stop_index:
+        When True also return each query's per-trial slot index of the
+        first track strictly above ``hi`` (as :func:`window_stop_indices`,
+        but sharing this pass's searchsorted work — the rare-event chip
+        sampler needs both).
 
-    Returns the weighted count per query, shape ``(n_queries,)``.
+    Returns the weighted count per query, shape ``(n_queries,)`` (plus the
+    stop indices when requested).
     """
-    n_trials = positions.shape[0]
-    # Shift trial t by t * stride: each row is sorted, the shifted rows are
-    # disjoint, so the flattened batch is globally sorted and two
-    # searchsorted calls answer every (trial, window) query at once.
-    # Positions are clipped just outside the query range first — clipping
-    # is monotone, preserves sortedness, and never moves a track across a
-    # query boundary (queries live inside [0, span]).
-    pad = 1.0
-    stride = span_nm + 4.0 * pad
-    clipped = np.clip(positions, -pad, span_nm + pad)
-    offsets = np.arange(n_trials, dtype=float) * stride
-    flat = (clipped + offsets[:, None]).ravel()
+    flat, offsets = _banded_positions(positions, span_nm)
     prefix = np.zeros(flat.size + 1)
     np.cumsum(weights.ravel(), out=prefix[1:])
     shift = offsets[trial_index]
     left = np.searchsorted(flat, np.asarray(lo, dtype=float) + shift, side="left")
     right = np.searchsorted(flat, np.asarray(hi, dtype=float) + shift, side="right")
-    return prefix[right] - prefix[left]
+    counts = prefix[right] - prefix[left]
+    if return_stop_index:
+        return counts, right - trial_index * positions.shape[1]
+    return counts
 
 
 def count_in_windows(
@@ -261,6 +318,24 @@ def spawn_streams(rng: np.random.Generator, n: int) -> List[np.random.Generator]
     seed_seq = rng.bit_generator.seed_seq  # pragma: no cover - old NumPy
     return [np.random.Generator(type(rng.bit_generator)(s))
             for s in seed_seq.spawn(n)]
+
+
+def default_trial_chunk(
+    per_trial_elements: int, n_trials: int, grain: int = 16
+) -> int:
+    """Trials per batch under the engine's element budget.
+
+    Bounded by :data:`DEFAULT_BATCH_ELEMENTS` (so one gap matrix stays near
+    ~32 MB) and small enough that at least ``grain`` chunks exist, so
+    process pools up to that size always receive work.  This is the single
+    chunk-sizing policy shared by the chip simulator and the rare-event
+    estimators.
+    """
+    if n_trials <= 0:
+        raise ValueError("n_trials must be positive")
+    budget = max(1, DEFAULT_BATCH_ELEMENTS // max(1, per_trial_elements))
+    spread = -(-n_trials // grain)
+    return max(1, min(budget, spread))
 
 
 def chunk_sizes(n_trials: int, trial_chunk: int) -> List[int]:

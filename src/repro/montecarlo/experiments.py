@@ -62,15 +62,21 @@ def compare_device_failure(
     type_model: Optional[CNTTypeModel] = None,
     n_samples: int = 20_000,
     seed: int = 7,
+    rng: Optional[np.random.Generator] = None,
 ) -> ComparisonRecord:
-    """Compare analytical pF(W) (Eq. 2.2) with its Monte Carlo estimate."""
+    """Compare analytical pF(W) (Eq. 2.2) with its Monte Carlo estimate.
+
+    An externally supplied ``rng`` takes precedence over ``seed`` so this
+    experiment can share spawn keys with the other estimators.
+    """
     pitch = pitch or pitch_distribution_from_cv(4.0, 1.0)
     type_model = type_model or CNTTypeModel()
     count_model: CountModel = count_model_from_pitch(pitch)
     failure_model = CNFETFailureModel.from_type_model(count_model, type_model)
     analytic = failure_model.failure_probability(width_nm)
 
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     mc = DeviceMonteCarlo(count_model=count_model, type_model=type_model)
     result = mc.estimate(width_nm, n_samples, rng)
     return ComparisonRecord(
@@ -88,6 +94,7 @@ def compare_row_scenarios(
     type_model: Optional[CNTTypeModel] = None,
     n_samples: int = 4_000,
     seed: int = 11,
+    rng: Optional[np.random.Generator] = None,
 ) -> Dict[LayoutScenario, ComparisonRecord]:
     """Compare the row failure probabilities of Eq. 3.1 with simulation.
 
@@ -115,7 +122,8 @@ def compare_row_scenarios(
         device_width_nm=device_width_nm,
         devices_per_segment=devices_per_segment,
     )
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
 
     records: Dict[LayoutScenario, ComparisonRecord] = {}
     for scenario in LayoutScenario:
@@ -142,6 +150,7 @@ def compare_chip_engines(
     n_trials: int = 30,
     seed: int = 2010,
     n_workers: int = 1,
+    rng: Optional[np.random.Generator] = None,
 ) -> ComparisonRecord:
     """Compare the scalar and vectorized chip engines on one placed design.
 
@@ -149,13 +158,18 @@ def compare_chip_engines(
     differently, so agreement is statistical: the record carries the
     combined standard error of the two mean-failing-device estimates.
     The ``analytic`` slot holds the scalar (oracle) mean so the generic
-    :meth:`ComparisonRecord.agrees` tolerance machinery applies.
+    :meth:`ComparisonRecord.agrees` tolerance machinery applies.  With an
+    externally supplied ``rng`` each engine consumes its own spawned child
+    stream instead of an ad-hoc reseed.
     """
     simulator = ChipMonteCarlo(placement, pitch=pitch, type_model=type_model)
-    scalar = simulator.run_scalar(n_trials, np.random.default_rng(seed))
-    vectorized = simulator.run(
-        n_trials, np.random.default_rng(seed), n_workers=n_workers
-    )
+    if rng is not None:
+        scalar_rng, vector_rng = rng.spawn(2)
+    else:
+        scalar_rng = np.random.default_rng(seed)
+        vector_rng = np.random.default_rng(seed)
+    scalar = simulator.run_scalar(n_trials, scalar_rng)
+    vectorized = simulator.run(n_trials, vector_rng, n_workers=n_workers)
     combined_se = float(np.sqrt(
         (scalar.std_failing_devices ** 2 + vectorized.std_failing_devices ** 2)
         / n_trials
@@ -166,6 +180,82 @@ def compare_chip_engines(
         monte_carlo=vectorized.mean_failing_devices,
         standard_error=combined_se,
     )
+
+
+def compare_tail_scenarios(
+    device_width_nm: float = 160.0,
+    devices_per_segment: int = 360,
+    mean_pitch_nm: float = 4.0,
+    type_model: Optional[CNTTypeModel] = None,
+    n_samples: int = 20_000,
+    splitting_particles: int = 3_000,
+    seed: int = 17,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[LayoutScenario, ComparisonRecord]:
+    """Compare Eq. 3.1 closed forms with *rare-event* sampled tails.
+
+    The deep-tail counterpart of :func:`compare_row_scenarios`: the default
+    width puts the device failure probability near 1e-8 — far beyond
+    indicator sampling — and the three Table 1 scenarios are estimated with
+    the rare-event layer (exponential tilting for the closed-form aligned /
+    uncorrelated scenarios, multilevel splitting for the non-aligned one).
+    The pitch is exponential so that the engine's uniform-offset renewal
+    convention matches the analytic Poisson count model *exactly*; with any
+    other family the two sides differ by a boundary-condition term that the
+    tail magnifies.
+
+    The default ``devices_per_segment=360`` is the paper's MRmin
+    (LCNT · Pmin-CNFET = 200 µm · 1.8 /µm), so the ratio of the
+    uncorrelated and aligned records reproduces the headline ≈350X
+    relaxation.  The non-aligned record's analytic slot carries the
+    offset-cluster model, which is itself approximate — callers should
+    assert bracketing between the two extremes rather than agreement.
+    """
+    from repro.growth.pitch import ExponentialPitch
+
+    pitch = ExponentialPitch(mean_pitch_nm)
+    type_model = type_model or CNTTypeModel()
+    count_model = count_model_from_pitch(pitch)
+    failure_model = CNFETFailureModel.from_type_model(count_model, type_model)
+    p_f = failure_model.failure_probability(device_width_nm)
+
+    params = CorrelationParameters(
+        cnt_length_um=float(devices_per_segment),
+        min_cnfet_density_per_um=1.0,
+    )
+    analytic_model = RowYieldModel(parameters=params, count_model=count_model)
+
+    mc = RowMonteCarlo(pitch=pitch, type_model=type_model)
+    config = RowScenarioConfig(
+        device_width_nm=device_width_nm,
+        devices_per_segment=devices_per_segment,
+    )
+    if rng is None:
+        rng = np.random.default_rng(seed)
+
+    records: Dict[LayoutScenario, ComparisonRecord] = {}
+    for scenario in LayoutScenario:
+        analytic = analytic_model.row_failure_probability(
+            scenario,
+            p_f,
+            width_nm=device_width_nm,
+            per_cnt_failure=type_model.per_cnt_failure_probability,
+        )
+        if scenario is LayoutScenario.DIRECTIONAL_NON_ALIGNED:
+            result = mc.estimate(
+                scenario, config, splitting_particles, rng, sampler="splitting"
+            )
+        else:
+            result = mc.estimate(
+                scenario, config, n_samples, rng, sampler="tilted"
+            )
+        records[scenario] = ComparisonRecord(
+            label=f"tail pRF[{scenario.value}]",
+            analytic=analytic,
+            monte_carlo=result.row_failure_probability,
+            standard_error=result.standard_error,
+        )
+    return records
 
 
 def relaxation_factor_comparison(

@@ -28,6 +28,17 @@ and the non-aligned scenario resolves every (sample, device-offset) window
 with one batched ``searchsorted``/prefix-sum pass.  The original per-sample
 scalar samplers are retained (``vectorized=False``) as the oracle for the
 statistical-equivalence tests.
+
+Rare-event sampling
+-------------------
+Realistic row failure probabilities sit far below what indicator sampling
+can resolve; :meth:`RowMonteCarlo.estimate` therefore accepts an opt-in
+``sampler=`` strategy backed by :mod:`repro.montecarlo.rare_event`:
+``"tilted"`` runs the closed-form scenarios (aligned, uncorrelated) under
+an exponentially tilted gap distribution with per-sample likelihood-ratio
+weights, and ``"splitting"`` runs adaptive multilevel splitting — the
+fallback for the non-aligned layout, whose failure event has no closed-form
+tilt.  Both reach row failure probabilities of 1e-9 and below directly.
 """
 
 from __future__ import annotations
@@ -38,6 +49,7 @@ from typing import List, Optional
 
 import numpy as np
 
+import repro.montecarlo.rare_event as rare_event
 from repro.core.correlation import LayoutScenario
 from repro.growth.pitch import PitchDistribution, pitch_distribution_from_cv
 from repro.growth.types import CNTTypeModel
@@ -80,13 +92,20 @@ class RowScenarioConfig:
 
 @dataclass(frozen=True)
 class RowMCResult:
-    """Monte Carlo estimate of a row failure probability."""
+    """Monte Carlo estimate of a row failure probability.
+
+    ``sampler`` names the strategy that produced the estimate and
+    ``effective_sample_size`` carries the contribution ESS for the
+    importance-sampled strategies (``None`` for naive and splitting runs).
+    """
 
     scenario: LayoutScenario
     config: RowScenarioConfig
     n_samples: int
     row_failure_probability: float
     standard_error: float
+    sampler: str = "naive"
+    effective_sample_size: Optional[float] = None
 
 
 class RowMonteCarlo:
@@ -235,6 +254,130 @@ class RowMonteCarlo:
         return failures
 
     # ------------------------------------------------------------------
+    # Rare-event samplers (importance sampling / multilevel splitting)
+    # ------------------------------------------------------------------
+
+    def _segment_contributions_aligned_tilted(
+        self,
+        config: RowScenarioConfig,
+        n_samples: int,
+        rng: np.random.Generator,
+        tilt: rare_event.GapTilt,
+    ) -> np.ndarray:
+        """Weighted per-sample contributions ``pf^N · w`` for aligned rows."""
+        return rare_event.sample_tilted_contributions(
+            tilt,
+            config.device_width_nm,
+            self.type_model.per_cnt_failure_probability,
+            n_samples,
+            rng,
+        )
+
+    def _segment_contributions_uncorrelated_tilted(
+        self,
+        config: RowScenarioConfig,
+        n_samples: int,
+        rng: np.random.Generator,
+        tilt: rare_event.GapTilt,
+    ) -> np.ndarray:
+        """Weighted contributions for independent-device segments.
+
+        Each device draws its own tilted track set; ``pf^N_d · w_d`` is an
+        unbiased estimate of that device's failure probability, the devices
+        are independent, so ``1 - Π_d (1 - pf^N_d · w_d)`` is unbiased for
+        the segment failure probability.
+        """
+        d = config.devices_per_segment
+        z = self._segment_contributions_aligned_tilted(
+            config, n_samples * d, rng, tilt
+        ).reshape(n_samples, d)
+        # log1p/expm1 keep the deep tail (Σz far below 1e-15) exact; rows
+        # with a weight outlier pushing some z past 1 fall back to the
+        # direct product, which stays unbiased either way.
+        contributions = np.empty(n_samples)
+        in_range = np.all(z < 1.0, axis=1)
+        contributions[in_range] = -np.expm1(
+            np.sum(np.log1p(-z[in_range]), axis=1)
+        )
+        rest = ~in_range
+        if np.any(rest):
+            contributions[rest] = 1.0 - np.prod(1.0 - z[rest], axis=1)
+        return contributions
+
+    def _splitting_model(
+        self, scenario: LayoutScenario, config: RowScenarioConfig
+    ) -> rare_event.SplittingModel:
+        pf = self.type_model.per_cnt_failure_probability
+        if scenario is LayoutScenario.DIRECTIONAL_ALIGNED:
+            return rare_event.AlignedRowModel(
+                self.pitch, pf, config.device_width_nm
+            )
+        if scenario is LayoutScenario.UNCORRELATED_GROWTH:
+            return rare_event.UncorrelatedRowModel(
+                self.pitch, pf, config.device_width_nm,
+                config.devices_per_segment,
+            )
+        return rare_event.NonAlignedRowModel(
+            self.pitch, pf, config.device_width_nm,
+            config.devices_per_segment, config.cell_height_window_nm,
+        )
+
+    def _estimate_tilted(
+        self,
+        scenario: LayoutScenario,
+        config: RowScenarioConfig,
+        n_samples: int,
+        rng: np.random.Generator,
+        tilt_factor: Optional[float],
+    ) -> RowMCResult:
+        if scenario is LayoutScenario.DIRECTIONAL_NON_ALIGNED:
+            raise ValueError(
+                "the non-aligned layout has no closed-form tilt (shared "
+                "tubes couple with random device offsets); use "
+                "sampler='splitting'"
+            )
+        pf = self.type_model.per_cnt_failure_probability
+        tilt = rare_event.resolve_tilt(
+            self.pitch, config.device_width_nm, pf, tilt_factor
+        )
+        if scenario is LayoutScenario.DIRECTIONAL_ALIGNED:
+            contributions = self._segment_contributions_aligned_tilted(
+                config, n_samples, rng, tilt
+            )
+        else:
+            contributions = self._segment_contributions_uncorrelated_tilted(
+                config, n_samples, rng, tilt
+            )
+        summary = rare_event.weighted_estimate(contributions)
+        return RowMCResult(
+            scenario=scenario,
+            config=config,
+            n_samples=int(n_samples),
+            row_failure_probability=summary.estimate,
+            standard_error=summary.standard_error,
+            sampler="tilted",
+            effective_sample_size=summary.effective_sample_size,
+        )
+
+    def _estimate_splitting(
+        self,
+        scenario: LayoutScenario,
+        config: RowScenarioConfig,
+        n_samples: int,
+        rng: np.random.Generator,
+    ) -> RowMCResult:
+        model = self._splitting_model(scenario, config)
+        result = rare_event.multilevel_splitting(model, n_samples, rng)
+        return RowMCResult(
+            scenario=scenario,
+            config=config,
+            n_samples=int(n_samples),
+            row_failure_probability=result.probability,
+            standard_error=result.standard_error,
+            sampler="splitting",
+        )
+
+    # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
 
@@ -245,6 +388,8 @@ class RowMonteCarlo:
         n_samples: int,
         rng: np.random.Generator,
         vectorized: bool = True,
+        sampler: str = "naive",
+        tilt_factor: Optional[float] = None,
     ) -> RowMCResult:
         """Estimate the segment (row) failure probability for one scenario.
 
@@ -252,9 +397,28 @@ class RowMonteCarlo:
         array program; ``vectorized=False`` runs the original per-sample
         scalar loop, which draws from the same distribution and serves as
         the equivalence oracle.
+
+        ``sampler`` selects the estimation strategy: ``"naive"`` (default)
+        is direct sampling at the nominal gap law, ``"tilted"`` importance
+        sampling under an exponentially tilted gap distribution (closed-form
+        scenarios only; ``tilt_factor`` overrides the automatic mean factor),
+        and ``"splitting"`` adaptive multilevel splitting (``n_samples``
+        becomes the particle count).  The rare-event strategies resolve
+        failure probabilities far below ``1/n_samples``.
         """
         if n_samples <= 0:
             raise ValueError("n_samples must be positive")
+        if sampler not in ("naive", "tilted", "splitting"):
+            raise ValueError(
+                f"unknown sampler {sampler!r}; "
+                "expected 'naive', 'tilted' or 'splitting'"
+            )
+        if sampler == "tilted":
+            return self._estimate_tilted(
+                scenario, config, n_samples, rng, tilt_factor
+            )
+        if sampler == "splitting":
+            return self._estimate_splitting(scenario, config, n_samples, rng)
         scalar_samplers = {
             LayoutScenario.UNCORRELATED_GROWTH: self._segment_failure_uncorrelated,
             LayoutScenario.DIRECTIONAL_ALIGNED: self._segment_failure_aligned,
@@ -292,12 +456,26 @@ class RowMonteCarlo:
         n_samples: int,
         rng: np.random.Generator,
         vectorized: bool = True,
+        sampler: str = "naive",
     ) -> List[RowMCResult]:
-        """Estimate all three scenarios with the same configuration."""
-        return [
-            self.estimate(scenario, config, n_samples, rng, vectorized=vectorized)
-            for scenario in LayoutScenario
-        ]
+        """Estimate all three scenarios with the same configuration.
+
+        With a rare-event ``sampler`` the non-aligned scenario automatically
+        falls back to multilevel splitting (it has no closed-form tilt).
+        """
+        results = []
+        for scenario in LayoutScenario:
+            effective = sampler
+            if (sampler == "tilted"
+                    and scenario is LayoutScenario.DIRECTIONAL_NON_ALIGNED):
+                effective = "splitting"
+            results.append(
+                self.estimate(
+                    scenario, config, n_samples, rng,
+                    vectorized=vectorized, sampler=effective,
+                )
+            )
+        return results
 
     @staticmethod
     def devices_per_segment_from_parameters(

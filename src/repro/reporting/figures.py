@@ -107,6 +107,7 @@ def fig3_1_data(
     fet_separation_um: float = 1.0,
     n_samples: int = 300,
     seed: int = 31,
+    rng: Optional[np.random.Generator] = None,
 ) -> Dict[str, object]:
     """Fig. 3.1 — CNT count correlation between two FETs under three styles.
 
@@ -117,7 +118,8 @@ def fig3_1_data(
     directional growth with a misaligned (offset) layout and (c) directional
     growth with an aligned-active layout.
     """
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     type_model = CNTTypeModel()
     pitch = pitch_distribution_from_cv(4.0, 1.0)
     separation_nm = fet_separation_um * 1000.0

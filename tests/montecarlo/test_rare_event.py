@@ -1,0 +1,387 @@
+"""Statistical-equivalence suite for the rare-event sampling layer.
+
+The tilted importance sampler and the multilevel-splitting fallback must
+reproduce the naive engine's answers wherever the naive engine can still
+measure them (moderate failure probabilities, 1e-3 .. 1e-4), and their
+weighted-ESS / error diagnostics must behave sanely.  Fixed seeds keep the
+n-sigma assertions deterministic.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import LayoutScenario
+from repro.growth.pitch import (
+    DeterministicPitch,
+    ExponentialPitch,
+    GammaPitch,
+    TruncatedNormalPitch,
+)
+from repro.growth.types import CNTTypeModel
+from repro.montecarlo.chip_sim import ChipMonteCarlo, ChipTailResult
+from repro.montecarlo.device_sim import DeviceMonteCarlo
+from repro.montecarlo.engine import sample_track_counts
+from repro.montecarlo.rare_event import (
+    AlignedRowModel,
+    NonAlignedRowModel,
+    UncorrelatedRowModel,
+    WeightedEstimate,
+    default_tilt_factor,
+    estimate_device_failure_tilted,
+    max_stable_tilt,
+    multilevel_splitting,
+    weighted_estimate,
+)
+from repro.montecarlo.row_sim import RowMonteCarlo, RowScenarioConfig
+from repro.netlist.design import Design
+from repro.netlist.placement import RowPlacement
+
+N_SIGMA = 5.0
+
+#: The paper's pessimistic processing corner (pm = 33 %, pRs = 30 %).
+PF = 1.0 / 3.0 + (2.0 / 3.0) * 0.3
+
+
+@pytest.fixture(scope="module")
+def sparse_type_model():
+    return CNTTypeModel(1.0 / 3.0, 1.0, 0.3)
+
+
+def _assert_within_sigma(a, b, se, n_sigma=N_SIGMA):
+    assert abs(a - b) <= n_sigma * se, (
+        f"|{a} - {b}| = {abs(a - b)} exceeds {n_sigma} sigma = {n_sigma * se}"
+    )
+
+
+class TestWeightedEstimateAPI:
+    def test_summary_statistics(self):
+        summary = weighted_estimate(np.array([1.0, 1.0, 1.0, 1.0]))
+        assert summary.estimate == 1.0
+        assert summary.standard_error == 0.0
+        assert summary.effective_sample_size == pytest.approx(4.0)
+        assert summary.n_samples == 4
+
+    def test_ess_penalises_weight_concentration(self):
+        concentrated = weighted_estimate(np.array([100.0, 0.0, 0.0, 0.0]))
+        assert concentrated.effective_sample_size == pytest.approx(1.0)
+
+    def test_relative_error_of_zero_estimate_is_nan(self):
+        summary = weighted_estimate(np.zeros(8))
+        assert math.isnan(summary.relative_error)
+
+    def test_empty_contributions_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_estimate(np.array([]))
+
+    def test_variance_per_sample_roundtrip(self):
+        rng = np.random.default_rng(3)
+        v = rng.random(1000)
+        summary = weighted_estimate(v)
+        assert summary.variance_per_sample == pytest.approx(
+            float(np.var(v, ddof=1)), rel=1e-9
+        )
+
+
+class TestTiltSelection:
+    def test_exponential_default_is_inverse_pf(self):
+        pitch = ExponentialPitch(4.0)
+        assert default_tilt_factor(pitch, 200.0, PF) == pytest.approx(
+            1.0 / PF, rel=1e-6
+        )
+
+    def test_gamma_default_is_pf_root(self):
+        # The cancellation condition k·ln β = -ln pf gives β = pf^(-1/k).
+        pitch = GammaPitch(4.0, 0.5)
+        expected = PF ** (-pitch.cv ** 2)
+        assert default_tilt_factor(pitch, 200.0, PF) == pytest.approx(
+            expected, rel=1e-6
+        )
+
+    def test_zero_pf_uses_mean_count_cap(self):
+        pitch = ExponentialPitch(4.0)
+        assert default_tilt_factor(pitch, 80.0, 0.0) == pytest.approx(20.0)
+
+    def test_cap_binds_for_narrow_spans(self):
+        pitch = ExponentialPitch(4.0)
+        # span of one mean pitch: cap = 1 → no tilt.
+        assert default_tilt_factor(pitch, 4.0, PF) == 1.0
+
+    def test_max_stable_tilt_monotone_in_span(self):
+        pitch = ExponentialPitch(4.0)
+        short = max_stable_tilt(pitch, 50.0)
+        long = max_stable_tilt(pitch, 5000.0)
+        assert short > long > 1.0
+
+    def test_deterministic_pitch_has_no_tilt(self):
+        with pytest.raises(NotImplementedError):
+            DeterministicPitch(4.0).exponential_tilt(2.0)
+        assert max_stable_tilt(DeterministicPitch(4.0), 100.0) == 1.0
+
+
+class TestDeviceTiltedEquivalence:
+    """Tilted estimates must match the naive engine at moderate pF."""
+
+    @pytest.mark.parametrize(
+        "pitch",
+        [ExponentialPitch(4.0), GammaPitch(4.0, 0.5), TruncatedNormalPitch(4.0, 2.0)],
+        ids=["exponential", "gamma", "truncnorm"],
+    )
+    def test_matches_naive_engine(self, pitch):
+        width = 40.0
+        counts = sample_track_counts(
+            pitch, width, 120_000, np.random.default_rng(21)
+        )
+        values = np.power(PF, counts.astype(float))
+        naive = float(np.mean(values))
+        naive_se = float(np.std(values, ddof=1) / math.sqrt(values.size))
+
+        tilted = estimate_device_failure_tilted(
+            pitch, PF, width, 20_000, np.random.default_rng(22)
+        )
+        _assert_within_sigma(
+            tilted.estimate, naive, math.hypot(naive_se, tilted.standard_error)
+        )
+
+    def test_tilted_ess_fraction_is_healthy(self):
+        # The default tilt cancels the count dependence: the contribution
+        # ESS should stay a sizable fraction of the trial count even nine
+        # decades into the tail.
+        pitch = ExponentialPitch(4.0)
+        width = 4.0 * math.log(1e9) / (1.0 - PF)  # analytic pF = 1e-9
+        result = estimate_device_failure_tilted(
+            pitch, PF, width, 10_000, np.random.default_rng(23)
+        )
+        assert isinstance(result, WeightedEstimate)
+        assert 0.25 * result.n_samples <= result.effective_sample_size
+        assert result.effective_sample_size <= result.n_samples + 1e-6
+        assert result.relative_error < 0.02
+
+    def test_device_monte_carlo_sampler_dispatch(self, sparse_type_model):
+        mc = DeviceMonteCarlo(
+            pitch=ExponentialPitch(8.0), type_model=sparse_type_model
+        )
+        naive = mc.estimate(40.0, 30_000, np.random.default_rng(31))
+        tilted = mc.estimate(
+            40.0, 30_000, np.random.default_rng(32), sampler="tilted"
+        )
+        _assert_within_sigma(
+            tilted.failure_probability,
+            naive.failure_probability,
+            math.hypot(naive.standard_error, tilted.standard_error),
+        )
+
+    def test_tilted_requires_pitch_source(self, sparse_type_model, poisson_counts):
+        mc = DeviceMonteCarlo(
+            count_model=poisson_counts, type_model=sparse_type_model
+        )
+        with pytest.raises(ValueError, match="pitch"):
+            mc.estimate(40.0, 100, np.random.default_rng(0), sampler="tilted")
+
+    def test_unknown_sampler_rejected(self, sparse_type_model):
+        mc = DeviceMonteCarlo(
+            pitch=ExponentialPitch(8.0), type_model=sparse_type_model
+        )
+        with pytest.raises(ValueError, match="sampler"):
+            mc.estimate(40.0, 100, np.random.default_rng(0), sampler="magic")
+
+
+class TestRowTiltedEquivalence:
+    @pytest.mark.parametrize(
+        "scenario",
+        [LayoutScenario.DIRECTIONAL_ALIGNED, LayoutScenario.UNCORRELATED_GROWTH],
+        ids=["aligned", "uncorrelated"],
+    )
+    def test_matches_naive_sampler(self, scenario, sparse_type_model):
+        simulator = RowMonteCarlo(
+            pitch=ExponentialPitch(4.0), type_model=sparse_type_model
+        )
+        config = RowScenarioConfig(device_width_nm=24.0, devices_per_segment=15)
+        naive = simulator.estimate(
+            scenario, config, 20_000, np.random.default_rng(41)
+        )
+        tilted = simulator.estimate(
+            scenario, config, 20_000, np.random.default_rng(42), sampler="tilted"
+        )
+        assert tilted.sampler == "tilted"
+        assert tilted.effective_sample_size is not None
+        se = math.hypot(naive.standard_error, tilted.standard_error)
+        _assert_within_sigma(
+            naive.row_failure_probability, tilted.row_failure_probability, se
+        )
+        # The tilted estimator must not be *worse* than naive sampling at
+        # equal trial counts.
+        assert tilted.standard_error <= naive.standard_error
+
+    def test_non_aligned_tilt_refused_with_guidance(self, sparse_type_model):
+        simulator = RowMonteCarlo(
+            pitch=ExponentialPitch(4.0), type_model=sparse_type_model
+        )
+        config = RowScenarioConfig(device_width_nm=24.0, devices_per_segment=5)
+        with pytest.raises(ValueError, match="splitting"):
+            simulator.estimate(
+                LayoutScenario.DIRECTIONAL_NON_ALIGNED,
+                config, 100, np.random.default_rng(0), sampler="tilted",
+            )
+
+    def test_unknown_sampler_rejected(self, sparse_type_model):
+        simulator = RowMonteCarlo(
+            pitch=ExponentialPitch(4.0), type_model=sparse_type_model
+        )
+        config = RowScenarioConfig(device_width_nm=24.0, devices_per_segment=5)
+        with pytest.raises(ValueError, match="sampler"):
+            simulator.estimate(
+                LayoutScenario.DIRECTIONAL_ALIGNED,
+                config, 100, np.random.default_rng(0), sampler="nope",
+            )
+
+
+class TestSplittingEquivalence:
+    def test_non_aligned_matches_naive(self, sparse_type_model):
+        pitch = ExponentialPitch(4.0)
+        config = RowScenarioConfig(
+            device_width_nm=48.0, devices_per_segment=15,
+            cell_height_window_nm=400.0,
+        )
+        simulator = RowMonteCarlo(pitch=pitch, type_model=sparse_type_model)
+        naive = simulator.estimate(
+            LayoutScenario.DIRECTIONAL_NON_ALIGNED,
+            config, 60_000, np.random.default_rng(51),
+        )
+        split = simulator.estimate(
+            LayoutScenario.DIRECTIONAL_NON_ALIGNED,
+            config, 2_500, np.random.default_rng(52), sampler="splitting",
+        )
+        assert split.sampler == "splitting"
+        se = math.hypot(naive.standard_error, split.standard_error)
+        _assert_within_sigma(
+            naive.row_failure_probability, split.row_failure_probability, se
+        )
+
+    def test_aligned_splitting_matches_tilted_in_tail(self, sparse_type_model):
+        # Two independent rare-event methods on the same tail quantity.
+        pitch = ExponentialPitch(4.0)
+        width = 100.0  # analytic pF ≈ 8.6e-6, beyond quick naive sampling
+        model = AlignedRowModel(pitch, PF, width)
+        split = multilevel_splitting(model, 3_000, np.random.default_rng(53))
+        tilted = estimate_device_failure_tilted(
+            pitch, PF, width, 20_000, np.random.default_rng(54)
+        )
+        se = math.hypot(split.standard_error, tilted.standard_error)
+        _assert_within_sigma(split.probability, tilted.estimate, se)
+
+    def test_uncorrelated_splitting_matches_closed_form(self, sparse_type_model):
+        pitch = ExponentialPitch(4.0)
+        width = 40.0
+        analytic_pf = math.exp(-(width / 4.0) * (1.0 - PF))
+        devices = 5
+        analytic = -math.expm1(devices * math.log1p(-analytic_pf))
+        model = UncorrelatedRowModel(pitch, PF, width, devices)
+        split = multilevel_splitting(model, 3_000, np.random.default_rng(55))
+        _assert_within_sigma(split.probability, analytic, split.standard_error)
+
+    def test_level_probabilities_multiply_to_estimate(self):
+        model = NonAlignedRowModel(ExponentialPitch(4.0), PF, 48.0, 10, 400.0)
+        result = multilevel_splitting(model, 1_000, np.random.default_rng(56))
+        assert result.probability == pytest.approx(
+            float(np.prod(result.level_probabilities))
+        )
+        assert 0.0 < result.probability < 1.0
+        assert result.n_levels == len(result.levels)
+
+    def test_particle_floor_enforced(self):
+        model = AlignedRowModel(ExponentialPitch(4.0), PF, 40.0)
+        with pytest.raises(ValueError):
+            multilevel_splitting(model, 4, np.random.default_rng(0))
+
+
+class TestChipTiltedEquivalence:
+    @pytest.fixture(scope="class")
+    def placement(self):
+        design = Design("rare_block", build_small_library())
+        for i in range(60):
+            design.add(f"u{i}", "INV_X1" if i % 2 == 0 else "NAND2_X1")
+        return RowPlacement(design, row_width_nm=16_000.0)
+
+    def test_expected_failing_devices_matches_naive(
+        self, placement, sparse_type_model
+    ):
+        simulator = ChipMonteCarlo(
+            placement, pitch=ExponentialPitch(20.0), type_model=sparse_type_model
+        )
+        naive = simulator.run(3_000, np.random.default_rng(61))
+        tail = simulator.run(
+            3_000, np.random.default_rng(62), sampler="tilted"
+        )
+        assert isinstance(tail, ChipTailResult)
+        naive_se = naive.std_failing_devices / math.sqrt(naive.n_trials)
+        _assert_within_sigma(
+            tail.expected_failing_devices,
+            naive.mean_failing_devices,
+            math.hypot(naive_se, tail.expected_failing_devices_se),
+        )
+        # Rao-Blackwellisation + tilting must beat indicator sampling.
+        assert tail.expected_failing_devices_se < naive_se
+
+    def test_chip_yield_matches_naive_in_rare_regime(
+        self, placement, sparse_type_model
+    ):
+        # Denser growth makes per-device failures rare — the regime the
+        # union-bound yield assembly is designed for.
+        simulator = ChipMonteCarlo(
+            placement, pitch=ExponentialPitch(8.0), type_model=sparse_type_model
+        )
+        naive = simulator.run(8_000, np.random.default_rng(63))
+        tail = simulator.run(4_000, np.random.default_rng(64), sampler="tilted")
+        naive_yield_se = math.sqrt(
+            naive.chip_yield * (1.0 - naive.chip_yield) / naive.n_trials
+        )
+        _assert_within_sigma(
+            tail.chip_yield,
+            naive.chip_yield,
+            math.hypot(naive_yield_se, tail.yield_standard_error),
+        )
+        assert tail.yield_standard_error < naive_yield_se
+
+    def test_unknown_sampler_rejected(self, placement, sparse_type_model):
+        simulator = ChipMonteCarlo(
+            placement, pitch=ExponentialPitch(20.0), type_model=sparse_type_model
+        )
+        with pytest.raises(ValueError, match="sampler"):
+            simulator.run(10, np.random.default_rng(0), sampler="wrong")
+
+
+def build_small_library():
+    from repro.cells.nangate45 import build_nangate45_library
+
+    return build_nangate45_library()
+
+
+class TestEstimateAllFallback:
+    def test_tilted_estimate_all_falls_back_to_splitting(self, sparse_type_model):
+        simulator = RowMonteCarlo(
+            pitch=ExponentialPitch(4.0), type_model=sparse_type_model
+        )
+        config = RowScenarioConfig(device_width_nm=24.0, devices_per_segment=5)
+        results = simulator.estimate_all(
+            config, 600, np.random.default_rng(71), sampler="tilted"
+        )
+        by_scenario = {r.scenario: r for r in results}
+        assert by_scenario[LayoutScenario.DIRECTIONAL_ALIGNED].sampler == "tilted"
+        assert by_scenario[LayoutScenario.UNCORRELATED_GROWTH].sampler == "tilted"
+        assert (
+            by_scenario[LayoutScenario.DIRECTIONAL_NON_ALIGNED].sampler
+            == "splitting"
+        )
+        for result in results:
+            assert 0.0 <= result.row_failure_probability <= 1.0
+
+
+class TestSplittingMemoryGuard:
+    def test_paper_scale_uncorrelated_splitting_refused(self):
+        # Hundreds of devices per segment have the closed-form tilt; the
+        # splitting state would be multi-GB, so it must fail fast.
+        model = UncorrelatedRowModel(ExponentialPitch(4.0), PF, 178.0, 360)
+        with pytest.raises(ValueError, match="tilted"):
+            model.component_shapes(3_000)

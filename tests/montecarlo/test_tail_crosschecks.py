@@ -1,0 +1,167 @@
+"""Analytic cross-checks of the rare-event layer deep in the tail.
+
+These tests compare importance-sampled / splitting-sampled tail
+probabilities against the paper's closed forms at the operating points the
+naive engine cannot reach: device pF down to 1e-9 (Eq. 2.2 / 2.3), the
+three Table 1 row scenarios (Eq. 3.1), and the headline ≈350X
+aligned/uncorrelated relaxation (Eq. 3.2).  The pitch is exponential
+throughout so the engine's uniform-offset renewal convention and the
+analytic Poisson count model describe *exactly* the same process — any
+systematic discrepancy is a bug, not a boundary condition.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.circuit_yield import chip_yield_from_failure_estimate
+from repro.core.correlation import (
+    CorrelationParameters,
+    LayoutScenario,
+    RowYieldModel,
+)
+from repro.growth.pitch import ExponentialPitch
+from repro.montecarlo.experiments import compare_tail_scenarios
+from repro.montecarlo.rare_event import estimate_device_failure_tilted
+
+#: pf at the paper's pessimistic corner (pm = 33 %, pRs = 30 %).
+PF_TUBE = 1.0 / 3.0 + (2.0 / 3.0) * 0.3
+
+MEAN_PITCH_NM = 4.0
+
+
+def width_for_target_pf(target_pf: float) -> float:
+    """Exact inversion of pF = exp(-λ(1-pf)) for exponential pitch."""
+    lam = math.log(1.0 / target_pf) / (1.0 - PF_TUBE)
+    return lam * MEAN_PITCH_NM
+
+
+class TestDeviceTailVsEq22:
+    @pytest.mark.parametrize("target_pf", [1e-6, 1e-9], ids=["1e-6", "1e-9"])
+    def test_sampled_tail_matches_analytic(self, target_pf):
+        width = width_for_target_pf(target_pf)
+        pitch = ExponentialPitch(MEAN_PITCH_NM)
+        result = estimate_device_failure_tilted(
+            pitch, PF_TUBE, width, 30_000, np.random.default_rng(101)
+        )
+        assert result.standard_error > 0.0
+        assert abs(result.estimate - target_pf) <= 5.0 * result.standard_error
+        # The tail must actually be resolved, not just bracketed.
+        assert result.relative_error < 0.01
+
+
+class TestChipYieldVsEq23:
+    def test_importance_sampled_chip_yield_at_operating_point(self):
+        """The acceptance-criterion regime: pF = 1e-9, M = 1e8 devices."""
+        target_pf = 1e-9
+        device_count = 1e8
+        width = width_for_target_pf(target_pf)
+        pitch = ExponentialPitch(MEAN_PITCH_NM)
+        result = estimate_device_failure_tilted(
+            pitch, PF_TUBE, width, 50_000, np.random.default_rng(102)
+        )
+        sampled = chip_yield_from_failure_estimate(
+            result.estimate, result.standard_error, device_count
+        )
+        analytic_yield = 1.0 - device_count * target_pf  # Eq. 2.3 first order
+        assert analytic_yield == pytest.approx(0.9)
+        # Agreement within the *reported* error of the sampled estimate.
+        assert sampled.agrees_with(analytic_yield, n_sigma=4.0), (
+            sampled.yield_value, analytic_yield, sampled.standard_error
+        )
+        # And the reported error must itself be small enough to be useful.
+        assert sampled.loss_relative_error < 0.02
+
+    def test_exact_and_first_order_forms_agree_at_operating_point(self):
+        # At M·pF = 0.1 the exact product exp(-0.1) and the first-order
+        # 1 - M·pF differ by ~0.5 % — the paper's approximation regime.
+        sampled = chip_yield_from_failure_estimate(1e-9, 1e-11, 1e8, exact=False)
+        exact = chip_yield_from_failure_estimate(1e-9, 1e-11, 1e8, exact=True)
+        assert sampled.yield_value == pytest.approx(exact.yield_value, rel=1e-2)
+        assert sampled.standard_error == pytest.approx(
+            exact.standard_error, rel=0.15
+        )
+
+
+class TestTableOneTailScenarios:
+    @pytest.fixture(scope="class")
+    def records(self):
+        # W = 160 nm puts pF near 8e-9; 360 devices per segment is the
+        # paper's MRmin = LCNT · Pmin-CNFET.
+        return compare_tail_scenarios(
+            device_width_nm=160.0,
+            devices_per_segment=360,
+            n_samples=5_000,
+            splitting_particles=2_000,
+            seed=103,
+        )
+
+    def test_closed_form_scenarios_agree(self, records):
+        for scenario in (
+            LayoutScenario.UNCORRELATED_GROWTH,
+            LayoutScenario.DIRECTIONAL_ALIGNED,
+        ):
+            record = records[scenario]
+            assert record.agrees(n_sigma=5.0, rtol=0.02), (
+                scenario, record.analytic, record.monte_carlo,
+                record.standard_error,
+            )
+
+    def test_non_aligned_bracketed_between_extremes(self, records):
+        # The paper evaluates this scenario numerically; the sampled value
+        # must land strictly between the two closed-form extremes.
+        aligned = records[LayoutScenario.DIRECTIONAL_ALIGNED]
+        uncorrelated = records[LayoutScenario.UNCORRELATED_GROWTH]
+        middle = records[LayoutScenario.DIRECTIONAL_NON_ALIGNED]
+        assert aligned.monte_carlo < middle.monte_carlo < uncorrelated.monte_carlo
+
+    def test_relaxation_ratio_reproduces_eq32(self, records):
+        """MRmin = 360 devices/segment must surface as the ≈350X headline."""
+        uncorrelated = records[LayoutScenario.UNCORRELATED_GROWTH]
+        aligned = records[LayoutScenario.DIRECTIONAL_ALIGNED]
+        ratio = uncorrelated.monte_carlo / aligned.monte_carlo
+        rel_se = math.hypot(
+            uncorrelated.standard_error / uncorrelated.monte_carlo,
+            aligned.standard_error / aligned.monte_carlo,
+        )
+        analytic_ratio = uncorrelated.analytic / aligned.analytic
+        assert abs(ratio - analytic_ratio) <= 5.0 * ratio * rel_se
+        assert 330.0 <= ratio <= 390.0  # "≈350X"
+
+
+class TestRowYieldEstimatePropagation:
+    def test_sampled_aligned_tail_reproduces_eq31_chip_yield(self):
+        """Eq. 3.1 chip yield from a *sampled* pRF vs the closed form."""
+        target_pf = 1e-9
+        width = width_for_target_pf(target_pf)
+        pitch = ExponentialPitch(MEAN_PITCH_NM)
+        sampled_prf = estimate_device_failure_tilted(
+            pitch, PF_TUBE, width, 30_000, np.random.default_rng(104)
+        )
+        params = CorrelationParameters()  # LCNT = 200 µm, 1.8 FETs/µm
+        model = RowYieldModel(parameters=params)
+        m_min = 3.3e7
+
+        analytic = model.evaluate(
+            LayoutScenario.DIRECTIONAL_ALIGNED, target_pf, m_min
+        )
+        estimate = model.evaluate_estimate(
+            LayoutScenario.DIRECTIONAL_ALIGNED,
+            sampled_prf.estimate,
+            sampled_prf.standard_error,
+            m_min,
+        )
+        assert estimate.row_count == pytest.approx(analytic.row_count)
+        assert estimate.chip_yield_se > 0.0
+        assert abs(estimate.chip_yield - analytic.chip_yield) <= (
+            4.0 * estimate.chip_yield_se
+        )
+
+    def test_degenerate_row_failure_yields_zero(self):
+        model = RowYieldModel()
+        estimate = model.evaluate_estimate(
+            LayoutScenario.DIRECTIONAL_ALIGNED, 1.0, 0.1, 1e6
+        )
+        assert estimate.chip_yield == 0.0
+        assert estimate.chip_yield_se == 0.0
