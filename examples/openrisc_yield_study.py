@@ -9,8 +9,10 @@ shortcut:
    load-driven sizing pass,
 3. place it into 200 µm rows and extract the small-CNFET density
    Pmin-CNFET (the design half of Eq. 3.2),
-4. compute the device failure-probability curve (Fig. 2.1) and chip yield
-   before and after upsizing,
+4. sweep the device failure-probability curve (Fig. 2.1) into a yield
+   surface and answer every width query — the curve, the design's whole
+   width histogram, before and after upsizing — through the batched
+   serving layer,
 5. feed the measured placement density into the correlation model and
    report the design-specific relaxation factor.
 
@@ -23,20 +25,23 @@ import numpy as np
 
 from repro.cells.nangate45 import build_nangate45_library
 from repro.core.calibration import CalibratedSetup
-from repro.core.circuit_yield import chip_yield
+from repro.core.circuit_yield import chip_yield_from_failure_probabilities
 from repro.core.correlation import CorrelationParameters, LayoutScenario, RowYieldModel
 from repro.core.upsizing import UpsizingAnalysis, upsize_widths
+from repro.growth.pitch import pitch_distribution_from_cv
 from repro.netlist.openrisc import build_openrisc_like_design
 from repro.netlist.placement import RowPlacement
 from repro.reporting.ascii_plot import ascii_line_plot
+from repro.serving import YieldService
+from repro.surface import GridAxis, SurfaceBuilder, SweepSpec
 
 
-def main() -> None:
+def main(scale: float = 0.5) -> None:
     setup = CalibratedSetup()
     library = build_nangate45_library()
 
     print("Building the synthetic OpenRISC-like core ...")
-    design = build_openrisc_like_design(library, scale=0.5, seed=2010)
+    design = build_openrisc_like_design(library, scale=scale, seed=2010)
     print(f"  instances   : {design.instance_count}")
     print(f"  transistors : {design.transistor_count}")
 
@@ -53,28 +58,51 @@ def main() -> None:
     print(f"  small CNFET density  : {stats.small_density_per_um:.2f} FETs/um "
           f"(paper: 1.8 FETs/um)")
 
-    # Device failure-probability curve at the pessimistic processing corner.
-    failure_model = setup.failure_model
+    # Sweep the device failure surface once; every pF(W) below is a batched
+    # query against it instead of a per-point Eq. 2.2 evaluation.
+    wmin = setup.wmin_uncorrelated_nm()
+    statistical = design.to_statistical(scaled_to=setup.chip_transistor_count)
+    w_high = max(float(np.max(statistical.widths_nm)), wmin) + 50.0
+    surface = SurfaceBuilder(SweepSpec(
+        width_axis=GridAxis.from_range("width_nm", 20.0, w_high, 33),
+        density_axis=GridAxis.from_range(
+            "cnt_density_per_um", 200.0, 300.0, 5
+        ),
+        pitch=pitch_distribution_from_cv(setup.mean_pitch_nm, setup.pitch_cv),
+        per_cnt_failure=setup.corner.per_cnt_failure_probability,
+        correlation=setup.correlation,
+    )).build()
+    service = YieldService()
+    key = service.register(surface)
+
+    def device_pf(widths_nm):
+        return service.query(key, np.asarray(widths_nm, dtype=float))
+
     widths = np.arange(20.0, 181.0, 4.0)
-    curve = failure_model.failure_probabilities(widths)
-    print("\nDevice failure probability vs width (Fig. 2.1, worst corner):")
+    curve = device_pf(widths).failure_probability
+    print("\nDevice failure probability vs width (Fig. 2.1, worst corner, "
+          "served from the yield surface):")
     print(ascii_line_plot(widths, curve, log_y=True, height=12,
                           x_label="W (nm)", y_label="pF"))
 
-    # Chip-level yield of the concrete core, scaled to a full chip.
-    statistical = design.to_statistical(scaled_to=setup.chip_transistor_count)
-    yield_before = chip_yield(
-        statistical.widths_nm, failure_model, counts=statistical.counts
+    # Chip-level yield of the concrete core, scaled to a full chip: the
+    # whole width histogram is answered in one batched query.
+    before = device_pf(statistical.widths_nm)
+    yield_before = chip_yield_from_failure_probabilities(
+        before.failure_probability, counts=statistical.counts
     )
-    wmin = setup.wmin_uncorrelated_nm()
     upsized = upsize_widths(statistical.widths_nm, wmin)
-    yield_after = chip_yield(upsized, failure_model, counts=statistical.counts)
+    after = device_pf(upsized)
+    yield_after = chip_yield_from_failure_probabilities(
+        after.failure_probability, counts=statistical.counts
+    )
     penalty = UpsizingAnalysis(
         statistical.widths_nm, statistical.counts
     ).capacitance_penalty(wmin)
     print(f"\nChip yield before upsizing          : {yield_before:.3%}")
     print(f"Chip yield after upsizing to {wmin:5.1f} nm: {yield_after:.3%}")
     print(f"Gate-capacitance penalty             : {100.0 * penalty:.1f} %")
+    print(f"Surface queries served               : {service.queries_served}")
 
     # Plug the measured placement density into the correlation model.
     params = CorrelationParameters(
@@ -95,7 +123,7 @@ def main() -> None:
 
     aligned = row_model.evaluate(
         LayoutScenario.DIRECTIONAL_ALIGNED,
-        failure_model.failure_probability(wmin_relaxed),
+        device_pf([wmin_relaxed]).failure_probability[0],
         setup.min_size_device_count,
     )
     print(f"Chip yield with aligned-active cells : {aligned.chip_yield:.3%}")

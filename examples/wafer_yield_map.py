@@ -11,6 +11,12 @@ sizing strategies:
 * upsizing to the correlation-relaxed Wmin with aligned-active cells,
   de-rated per die by the local misalignment angle.
 
+All per-die yield evaluations go through the precomputed yield-surface
+serving layer: one device-pF surface is swept over (width, CNT density)
+up front, and each strategy is a single batched
+:class:`~repro.serving.YieldService` query over every die's local density
+— no per-die closed-form re-evaluation.
+
 The output is a text yield map plus good-die counts per strategy.
 
 Run with::
@@ -18,28 +24,36 @@ Run with::
     python examples/wafer_yield_map.py
 """
 
-import math
-
 import numpy as np
 
 from repro.analysis.mispositioned import MisalignmentImpactModel
 from repro.core.calibration import CalibratedSetup
+from repro.core.circuit_yield import yield_from_uniform_failure_probability_array
+from repro.growth.pitch import pitch_distribution_from_cv
 from repro.growth.wafer import WaferGrowthModel
+from repro.serving import YieldService
+from repro.surface import GridAxis, SurfaceBuilder, SweepSpec
 
 
-def die_yield(setup_template, pitch_nm, width_nm, relaxation=1.0):
-    """Chip yield of one die with its local pitch and an upsized width."""
-    setup = CalibratedSetup(
-        mean_pitch_nm=pitch_nm,
-        pitch_cv=setup_template.pitch_cv,
-        corner=setup_template.corner,
-        chip_transistor_count=setup_template.chip_transistor_count,
-        min_size_fraction=setup_template.min_size_fraction,
-        yield_target=setup_template.yield_target,
+def strategy_yields(service, key, width_nm, densities, device_count,
+                    relaxations=None):
+    """Per-die chip yields for one sizing strategy — one batched query.
+
+    ``relaxations`` optionally divides each die's device pF by its local
+    correlation benefit before the Eq. 2.3 product, mirroring the relaxed
+    per-device budget of Sec. 3.
+    """
+    result = service.query(
+        key,
+        np.full(densities.shape, width_nm),
+        cnt_density_per_um=densities,
+        device_count=1.0,
     )
-    p_f = setup.failure_model.failure_probability(width_nm) / relaxation
-    m_min = setup.min_size_device_count
-    return math.exp(m_min * math.log1p(-min(p_f, 1.0 - 1e-12)))
+    p_f = result.failure_probability
+    if relaxations is not None:
+        p_f = p_f / np.asarray(relaxations)
+    p_f = np.minimum(p_f, 1.0 - 1e-12)
+    return yield_from_uniform_failure_probability_array(p_f, device_count)
 
 
 def render_map(wafer, values, threshold=0.5):
@@ -60,11 +74,11 @@ def render_map(wafer, values, threshold=0.5):
     return "\n".join(lines)
 
 
-def main() -> None:
+def main(die_size_mm: float = 10.0, misalignment_samples: int = 2_000) -> None:
     setup = CalibratedSetup()
     wafer = WaferGrowthModel(
         wafer_diameter_mm=100.0,
-        die_size_mm=10.0,
+        die_size_mm=die_size_mm,
         center_pitch_nm=setup.mean_pitch_nm,
         edge_pitch_drift=0.12,
         pitch_noise_sigma=0.02,
@@ -81,31 +95,53 @@ def main() -> None:
         min_cnfet_density_per_um=setup.correlation.min_cnfet_density_per_um,
     )
 
+    # One sweep serves every die and strategy: densities bracket the wafer's
+    # edge drift and noise, widths bracket all three sizing strategies.
+    densities = np.array([1000.0 / site.mean_pitch_nm for site in wafer.sites])
+    surface = SurfaceBuilder(SweepSpec(
+        width_axis=GridAxis.from_range(
+            "width_nm", 60.0, max(wmin_baseline, wmin_optimised) + 50.0, 17
+        ),
+        density_axis=GridAxis.from_range(
+            "cnt_density_per_um",
+            0.9 * float(densities.min()), 1.1 * float(densities.max()), 9,
+        ),
+        pitch=pitch_distribution_from_cv(setup.mean_pitch_nm, setup.pitch_cv),
+        per_cnt_failure=setup.corner.per_cnt_failure_probability,
+        correlation=setup.correlation,
+    )).build()
+    service = YieldService()
+    key = service.register(surface)
+    m_min = setup.min_size_device_count
+
     strategies = {}
-    strategies["no upsizing (80 nm devices)"] = [
-        die_yield(setup, site.mean_pitch_nm, 80.0) for site in wafer.sites
-    ]
-    strategies[f"upsized to baseline Wmin ({wmin_baseline:.0f} nm)"] = [
-        die_yield(setup, site.mean_pitch_nm, wmin_baseline) for site in wafer.sites
-    ]
-    optimised = []
-    for site in wafer.sites:
-        local_relaxation = misalignment_model.evaluate(
-            abs(site.misalignment_deg), n_samples=2_000
+    strategies["no upsizing (80 nm devices)"] = strategy_yields(
+        service, key, 80.0, densities, m_min
+    )
+    strategies[f"upsized to baseline Wmin ({wmin_baseline:.0f} nm)"] = (
+        strategy_yields(service, key, wmin_baseline, densities, m_min)
+    )
+    local_relaxations = np.array([
+        misalignment_model.evaluate(
+            abs(site.misalignment_deg), n_samples=misalignment_samples
         ).effective_relaxation
-        optimised.append(
-            die_yield(setup, site.mean_pitch_nm, wmin_optimised,
-                      relaxation=local_relaxation)
-        )
+        for site in wafer.sites
+    ])
     strategies[
         f"aligned-active at Wmin {wmin_optimised:.0f} nm (local misalignment de-rate)"
-    ] = optimised
+    ] = strategy_yields(
+        service, key, wmin_optimised, densities, m_min,
+        relaxations=local_relaxations,
+    )
 
     print(f"Wafer: {wafer.die_count} dies, {wafer.wafer_diameter_mm:.0f} mm, "
           f"{wafer.die_size_mm:.0f} mm dies")
-    print(f"Nominal relaxation factor: {nominal_relaxation:.0f}X\n")
+    print(f"Nominal relaxation factor: {nominal_relaxation:.0f}X")
+    print(f"Yield surface: {surface.key} "
+          f"({surface.width_nm.size}x{surface.cnt_density_per_um.size} grid, "
+          f"{service.queries_served} die-queries served)\n")
     for label, values in strategies.items():
-        good = sum(1 for v in values if v >= 0.5)
+        good = int(np.sum(values >= 0.5))
         print(f"--- {label}")
         print(f"    good dies: {good}/{wafer.die_count} "
               f"(mean yield {np.mean(values):.2%})")

@@ -20,7 +20,11 @@ The package is organised into:
   row yield model, upsizing penalties, technology scaling and the
   end-to-end co-optimization flow).
 * :mod:`repro.montecarlo` — Monte Carlo validation of the analytical
-  models.
+  models (batched engine + rare-event importance sampling/splitting).
+* :mod:`repro.surface` — precomputed, error-bounded, disk-persisted
+  yield-surface artifacts swept from the closed forms or MC estimators.
+* :mod:`repro.serving` — the batched query-serving tier over those
+  surfaces (interpolation with propagated bounds, LRU cache, fallbacks).
 * :mod:`repro.analysis` — extensions (noise margin, CNT length variation,
   delay variation).
 * :mod:`repro.reporting` — table/figure data generators and text rendering.

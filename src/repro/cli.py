@@ -28,15 +28,29 @@ without writing Python:
     (default pF ≈ 1e-9) with the chip-yield consequence at the configured
     transistor count, compared against the Eq. 2.3 / 3.1 closed forms.
 
+``python -m repro.cli sweep``
+    Precompute yield surfaces (device pF and the Table 1 scenarios) over a
+    (width, CNT density) grid and persist them to a surface store.
+
+``python -m repro.cli query``
+    Answer batched yield queries against a persisted surface through the
+    serving layer (interpolation with error bounds, exact fallback).
+
 Every sub-command accepts the calibration knobs that matter (yield target,
-pitch CV, CNT length, density) so quick what-if studies need no code.
+pitch CV, CNT length, density) so quick what-if studies need no code, plus
+``--json`` for machine-readable output.  All handlers exit 0 on success
+and 1 on runtime errors (argparse usage errors keep their conventional
+exit code 2).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.core.calibration import CalibratedSetup
 from repro.core.correlation import CorrelationParameters
@@ -76,6 +90,38 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
                         help="small-CNFET density Pmin-CNFET in FETs/um (default 1.8)")
 
 
+def _json_default(value: object) -> object:
+    """Make NumPy scalars/arrays JSON-serialisable."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    raise TypeError(f"not JSON-serialisable: {type(value).__name__}")
+
+
+def _emit(args: argparse.Namespace, payload: Dict[str, object],
+          lines: Sequence[str]) -> int:
+    """Print either the human-readable lines or the JSON payload."""
+    if getattr(args, "json", False):
+        print(json.dumps(payload, indent=2, default=_json_default))
+    else:
+        for line in lines:
+            print(line)
+    return 0
+
+
+def _parse_float_list(text: str, name: str) -> List[float]:
+    try:
+        values = [float(part) for part in text.split(",") if part.strip()]
+    except ValueError as exc:
+        raise ValueError(f"could not parse {name} {text!r}: {exc}") from None
+    if not values:
+        raise ValueError(f"{name} must contain at least one value")
+    return values
+
+
 def _cmd_wmin(args: argparse.Namespace) -> int:
     setup = _build_setup(args)
     design = openrisc_width_histogram(setup.chip_transistor_count)
@@ -86,9 +132,16 @@ def _cmd_wmin(args: argparse.Namespace) -> int:
         min_size_device_count=design.min_size_device_count,
     )
     report = flow.run()
-    for line in report.summary_lines():
-        print(line)
-    return 0
+    payload = {
+        "wmin_baseline_nm": report.baseline_wmin.wmin_nm,
+        "wmin_optimized_nm": report.optimized_wmin.wmin_nm,
+        "relaxation_factor": report.relaxation_factor,
+        "required_pf_baseline": report.baseline_wmin.required_pf,
+        "required_pf_optimized": report.optimized_wmin.required_pf,
+        "capacitance_penalty_baseline": report.baseline_upsizing.capacitance_penalty,
+        "capacitance_penalty_optimized": report.optimized_upsizing.capacitance_penalty,
+    }
+    return _emit(args, payload, report.summary_lines())
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -96,13 +149,15 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 
     setup = _build_setup(args)
     data = table1_data(setup=setup)
-    print(f"device pF at Wmin ({data['wmin_nm']:.1f} nm): {data['device_pf']:.3e}")
-    print(f"pRF uncorrelated growth            : {data['prf_uncorrelated']:.3e}")
-    print(f"pRF directional, non-aligned       : {data['prf_directional_non_aligned']:.3e}")
-    print(f"pRF directional, aligned-active    : {data['prf_directional_aligned']:.3e}")
-    print(f"gain from growth / alignment / all : {data['gain_from_growth']:.1f}X / "
-          f"{data['gain_from_alignment']:.1f}X / {data['total_gain']:.1f}X")
-    return 0
+    lines = [
+        f"device pF at Wmin ({data['wmin_nm']:.1f} nm): {data['device_pf']:.3e}",
+        f"pRF uncorrelated growth            : {data['prf_uncorrelated']:.3e}",
+        f"pRF directional, non-aligned       : {data['prf_directional_non_aligned']:.3e}",
+        f"pRF directional, aligned-active    : {data['prf_directional_aligned']:.3e}",
+        f"gain from growth / alignment / all : {data['gain_from_growth']:.1f}X / "
+        f"{data['gain_from_alignment']:.1f}X / {data['total_gain']:.1f}X",
+    ]
+    return _emit(args, dict(data), lines)
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
@@ -110,11 +165,11 @@ def _cmd_table2(args: argparse.Namespace) -> int:
 
     setup = _build_setup(args)
     rows = table2_data(setup=setup)
-    print(render_table(rows, columns=[
+    table = render_table(rows, columns=[
         "library", "aligned_regions", "num_cells", "cells_with_penalty",
         "cells_with_penalty_pct", "min_penalty_pct", "max_penalty_pct", "wmin_nm",
-    ]))
-    return 0
+    ])
+    return _emit(args, {"rows": rows}, [table])
 
 
 def _cmd_scaling(args: argparse.Namespace) -> int:
@@ -122,16 +177,18 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
 
     setup = _build_setup(args)
     data = fig3_3_data(setup=setup)
-    print(f"Wmin without correlation: {data['wmin_without_nm']:.1f} nm")
-    print(f"Wmin with correlation   : {data['wmin_with_nm']:.1f} nm")
-    print("node (nm)   penalty without (%)   penalty with (%)")
+    lines = [
+        f"Wmin without correlation: {data['wmin_without_nm']:.1f} nm",
+        f"Wmin with correlation   : {data['wmin_with_nm']:.1f} nm",
+        "node (nm)   penalty without (%)   penalty with (%)",
+    ]
     for node, a, b in zip(
         data["nodes_nm"],
         data["penalty_without_correlation_percent"],
         data["penalty_with_correlation_percent"],
     ):
-        print(f"{node:9.0f}   {a:19.1f}   {b:16.1f}")
-    return 0
+        lines.append(f"{node:9.0f}   {a:19.1f}   {b:16.1f}")
+    return _emit(args, dict(data), lines)
 
 
 def _cmd_align(args: argparse.Namespace) -> int:
@@ -153,30 +210,42 @@ def _cmd_align(args: argparse.Namespace) -> int:
         library, wmin, aligned_region_groups=args.aligned_regions
     )
     report = area_penalty_report(result)
-    print(f"library                : {report.library_name}")
-    print(f"Wmin                   : {report.wmin_nm:.1f} nm")
-    print(f"aligned regions        : {report.aligned_region_groups}")
-    print(f"cells                  : {report.cell_count}")
-    print(f"cells with penalty     : {report.penalised_cell_count} "
-          f"({100.0 * report.penalised_fraction:.1f} %)")
-    print(f"penalty range          : {report.min_penalty_percent:.1f} % .. "
-          f"{report.max_penalty_percent:.1f} %")
+    payload = {
+        "library": report.library_name,
+        "wmin_nm": report.wmin_nm,
+        "aligned_regions": report.aligned_region_groups,
+        "cell_count": report.cell_count,
+        "penalised_cell_count": report.penalised_cell_count,
+        "penalised_fraction": report.penalised_fraction,
+        "min_penalty_percent": report.min_penalty_percent,
+        "max_penalty_percent": report.max_penalty_percent,
+    }
+    lines = [
+        f"library                : {report.library_name}",
+        f"Wmin                   : {report.wmin_nm:.1f} nm",
+        f"aligned regions        : {report.aligned_region_groups}",
+        f"cells                  : {report.cell_count}",
+        f"cells with penalty     : {report.penalised_cell_count} "
+        f"({100.0 * report.penalised_fraction:.1f} %)",
+        f"penalty range          : {report.min_penalty_percent:.1f} % .. "
+        f"{report.max_penalty_percent:.1f} %",
+    ]
     if args.physical_out:
         modified = result.to_library()
         with open(args.physical_out, "w", encoding="utf-8") as handle:
             handle.write(export_physical_view(modified))
-        print(f"wrote physical view    : {args.physical_out}")
+        payload["physical_out"] = args.physical_out
+        lines.append(f"wrote physical view    : {args.physical_out}")
     if args.liberty_out:
         modified = result.to_library()
         with open(args.liberty_out, "w", encoding="utf-8") as handle:
             handle.write(export_liberty_view(modified))
-        print(f"wrote liberty view     : {args.liberty_out}")
-    return 0
+        payload["liberty_out"] = args.liberty_out
+        lines.append(f"wrote liberty view     : {args.liberty_out}")
+    return _emit(args, payload, lines)
 
 
 def _cmd_rare_event(args: argparse.Namespace) -> int:
-    import numpy as np
-
     from repro.core.circuit_yield import (
         chip_yield_from_failure_estimate,
         yield_from_uniform_failure_probability,
@@ -222,24 +291,45 @@ def _cmd_rare_event(args: argparse.Namespace) -> int:
         m_min,
     )
 
-    print(f"device width            : {width:.2f} nm (tilt factor {tilt:.3f})")
-    print(f"analytic pF (Eq. 2.2)   : {analytic_pf:.4e}")
-    print(f"sampled pF (tilted IS)  : {result.failure_probability:.4e} "
-          f"+- {result.standard_error:.2e} "
-          f"({100.0 * result.relative_error:.2f} % rel, "
-          f"{args.samples} samples)")
+    payload = {
+        "width_nm": width,
+        "tilt_factor": tilt,
+        "n_samples": args.samples,
+        "analytic_pf": analytic_pf,
+        "sampled_pf": result.failure_probability,
+        "sampled_pf_se": result.standard_error,
+        "min_size_device_count": m_min,
+        "chip_yield_analytic": analytic_yield,
+        "chip_yield_sampled": sampled.yield_value,
+        "chip_yield_sampled_se": sampled.standard_error,
+        "chip_yield_aligned": aligned.chip_yield,
+        "chip_yield_aligned_se": aligned.chip_yield_se,
+        "row_count": aligned.row_count,
+    }
+    lines = [
+        f"device width            : {width:.2f} nm (tilt factor {tilt:.3f})",
+        f"analytic pF (Eq. 2.2)   : {analytic_pf:.4e}",
+        f"sampled pF (tilted IS)  : {result.failure_probability:.4e} "
+        f"+- {result.standard_error:.2e} "
+        f"({100.0 * result.relative_error:.2f} % rel, "
+        f"{args.samples} samples)",
+    ]
     if args.pitch_cv != 1.0:
-        print("  note: pitch CV != 1 — the analytic count model uses the "
-              "ordinary-renewal boundary convention, the sampler the "
-              "uniform-offset one; the tail magnifies that difference")
-    print(f"Mmin                    : {m_min:.3e} minimum-size devices")
-    print(f"chip yield, Eq. 2.3     : {analytic_yield:.4f}")
-    print(f"chip yield, sampled pF  : {sampled.yield_value:.4f} "
-          f"+- {sampled.standard_error:.4f}")
-    print(f"chip yield, aligned 3.1 : {aligned.chip_yield:.4f} "
-          f"+- {aligned.chip_yield_se:.4f} "
-          f"(KR = {aligned.row_count:.3e} rows)")
-    return 0
+        lines.append(
+            "  note: pitch CV != 1 — the analytic count model uses the "
+            "ordinary-renewal boundary convention, the sampler the "
+            "uniform-offset one; the tail magnifies that difference"
+        )
+    lines.extend([
+        f"Mmin                    : {m_min:.3e} minimum-size devices",
+        f"chip yield, Eq. 2.3     : {analytic_yield:.4f}",
+        f"chip yield, sampled pF  : {sampled.yield_value:.4f} "
+        f"+- {sampled.standard_error:.4f}",
+        f"chip yield, aligned 3.1 : {aligned.chip_yield:.4f} "
+        f"+- {aligned.chip_yield_se:.4f} "
+        f"(KR = {aligned.row_count:.3e} rows)",
+    ])
+    return _emit(args, payload, lines)
 
 
 def _cmd_netlist(args: argparse.Namespace) -> int:
@@ -250,13 +340,128 @@ def _cmd_netlist(args: argparse.Namespace) -> int:
     library = build_nangate45_library()
     design = build_openrisc_like_design(library, scale=args.scale, seed=args.seed)
     text = export_structural_netlist(design)
+    payload = {
+        "instance_count": design.instance_count,
+        "transistor_count": design.transistor_count,
+    }
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(text)
-        print(f"wrote {design.instance_count} instances to {args.output}")
+        payload["output"] = args.output
+        lines = [f"wrote {design.instance_count} instances to {args.output}"]
     else:
-        print(text)
-    return 0
+        lines = [text]
+    return _emit(args, payload, lines)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.growth.pitch import pitch_distribution_from_cv
+    from repro.reporting.tables import (
+        SURFACE_SUMMARY_COLUMNS,
+        render_table,
+        surface_summary_rows,
+    )
+    from repro.surface import (
+        ALL_SCENARIOS,
+        GridAxis,
+        SurfaceBuilder,
+        SurfaceStore,
+        SweepSpec,
+    )
+
+    setup = _build_setup(args)
+    scenarios = ALL_SCENARIOS if args.scenario == "all" else (args.scenario,)
+    pitch = pitch_distribution_from_cv(args.mean_pitch_nm, args.pitch_cv)
+    store = SurfaceStore(args.out)
+
+    surfaces = []
+    reports = []
+    for scenario in scenarios:
+        spec = SweepSpec(
+            scenario=scenario,
+            width_axis=GridAxis.from_range(
+                "width_nm", args.w_min, args.w_max, args.w_points
+            ),
+            density_axis=GridAxis.from_range(
+                "cnt_density_per_um",
+                args.density_min, args.density_max, args.density_points,
+            ),
+            pitch=pitch,
+            per_cnt_failure=setup.corner.per_cnt_failure_probability,
+            correlation=setup.correlation,
+            method=args.method,
+            tolerance_log=args.tolerance,
+            max_refinement_rounds=args.max_refinement_rounds,
+            mc_samples=args.mc_samples,
+            seed=args.seed,
+        )
+        report = SurfaceBuilder(spec).build_report()
+        store.save(report.surface)
+        surfaces.append(report.surface)
+        reports.append(report)
+
+    payload = {
+        "store": str(store.root),
+        "surfaces": [s.describe() for s in surfaces],
+        "evaluations": [r.evaluations for r in reports],
+    }
+    lines = [
+        render_table(
+            surface_summary_rows(surfaces), columns=SURFACE_SUMMARY_COLUMNS
+        ),
+        f"persisted {len(surfaces)} surface(s) under {store.root}",
+    ]
+    return _emit(args, payload, lines)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.serving import YieldService
+    from repro.surface import SurfaceStore
+
+    store = SurfaceStore(args.store)
+    keys = store.keys()
+    if args.key is None:
+        raise ValueError(
+            f"--key is required; available surfaces: {keys or '(none)'}"
+        )
+    service = YieldService(store=store)
+    widths = np.asarray(_parse_float_list(args.width_nm, "--width-nm"))
+    densities = (
+        np.asarray(_parse_float_list(args.density, "--density"))
+        if args.density is not None else None
+    )
+    result = service.query(
+        args.key,
+        widths,
+        cnt_density_per_um=densities,
+        device_count=args.transistors * args.min_size_fraction,
+        fallback=args.fallback,
+    )
+    payload = {
+        "scenario": result.scenario,
+        "device_count": args.transistors * args.min_size_fraction,
+        "width_nm": widths,
+        "failure_probability": result.failure_probability,
+        "failure_lower": result.failure_lower,
+        "failure_upper": result.failure_upper,
+        "chip_yield": result.chip_yield,
+        "yield_lower": result.yield_lower,
+        "yield_upper": result.yield_upper,
+        "interpolated": result.interpolated,
+    }
+    lines = [
+        f"scenario      : {result.scenario}",
+        f"device count  : {args.transistors * args.min_size_fraction:.3e}",
+        "width (nm)   failure prob [lower, upper]            chip yield  served",
+    ]
+    for idx in range(result.n_queries):
+        served = "grid" if result.interpolated[idx] else args.fallback
+        lines.append(
+            f"{widths[idx]:10.2f}   {result.failure_probability[idx]:.4e} "
+            f"[{result.failure_lower[idx]:.4e}, {result.failure_upper[idx]:.4e}]"
+            f"   {result.chip_yield[idx]:.6f}  {served}"
+        )
+    return _emit(args, payload, lines)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -267,20 +472,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    def add_subparser(name: str, handler, description: str,
+                      common: bool = True) -> argparse.ArgumentParser:
+        sub = subparsers.add_parser(name, help=description)
+        if common:
+            _add_common_options(sub)
+        sub.add_argument("--json", action="store_true",
+                         help="emit a machine-readable JSON payload")
+        sub.set_defaults(handler=handler)
+        return sub
+
     for name, handler, description in (
         ("wmin", _cmd_wmin, "baseline/optimised Wmin and penalties"),
         ("table1", _cmd_table1, "row failure probabilities (Table 1)"),
         ("table2", _cmd_table2, "library area penalties (Table 2)"),
         ("scaling", _cmd_scaling, "penalty versus technology node (Fig. 2.2b / 3.3)"),
     ):
-        sub = subparsers.add_parser(name, help=description)
-        _add_common_options(sub)
-        sub.set_defaults(handler=handler)
+        add_subparser(name, handler, description)
 
-    align = subparsers.add_parser(
-        "align", help="apply the aligned-active restriction to a library"
+    align = add_subparser(
+        "align", _cmd_align, "apply the aligned-active restriction to a library"
     )
-    _add_common_options(align)
     align.add_argument("--library", choices=("nangate45", "commercial65"),
                        default="nangate45")
     align.add_argument("--wmin-nm", type=float, default=None,
@@ -291,13 +503,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the modified physical (LEF-style) view here")
     align.add_argument("--liberty-out", type=str, default=None,
                        help="write the modified Liberty-style view here")
-    align.set_defaults(handler=_cmd_align)
 
-    rare = subparsers.add_parser(
-        "rare-event",
-        help="importance-sampled tail pF and its chip-yield consequence",
+    rare = add_subparser(
+        "rare-event", _cmd_rare_event,
+        "importance-sampled tail pF and its chip-yield consequence",
     )
-    _add_common_options(rare)
     rare.add_argument("--target-pf", type=float, default=1e-9,
                       help="device failure probability to probe (default 1e-9)")
     rare.add_argument("--width-nm", type=float, default=None,
@@ -308,26 +518,86 @@ def build_parser() -> argparse.ArgumentParser:
     rare.add_argument("--tilt-factor", type=float, default=None,
                       help="mean-pitch stretch factor (auto when omitted)")
     rare.add_argument("--seed", type=int, default=2010, help="RNG seed")
-    rare.set_defaults(handler=_cmd_rare_event)
 
-    netlist = subparsers.add_parser(
-        "netlist", help="generate the synthetic OpenRISC-like netlist"
+    netlist = add_subparser(
+        "netlist", _cmd_netlist, "generate the synthetic OpenRISC-like netlist",
+        common=False,
     )
     netlist.add_argument("--scale", type=float, default=0.25,
                          help="netlist size scale factor (default 0.25)")
     netlist.add_argument("--seed", type=int, default=2010, help="generator seed")
     netlist.add_argument("--output", type=str, default=None,
                          help="output file (stdout when omitted)")
-    netlist.set_defaults(handler=_cmd_netlist)
+
+    sweep = add_subparser(
+        "sweep", _cmd_sweep,
+        "precompute yield surfaces over a (width, CNT density) grid",
+    )
+    sweep.add_argument("--scenario", default="all",
+                       choices=("all", "device", "uncorrelated",
+                                "directional_non_aligned", "directional_aligned"),
+                       help="which surface(s) to sweep (default all)")
+    sweep.add_argument("--w-min", type=float, default=20.0,
+                       help="width axis lower bound in nm (default 20)")
+    sweep.add_argument("--w-max", type=float, default=400.0,
+                       help="width axis upper bound in nm (default 400)")
+    sweep.add_argument("--w-points", type=int, default=33,
+                       help="initial width grid points (default 33)")
+    sweep.add_argument("--density-min", type=float, default=125.0,
+                       help="CNT density axis lower bound per um (default 125)")
+    sweep.add_argument("--density-max", type=float, default=500.0,
+                       help="CNT density axis upper bound per um (default 500)")
+    sweep.add_argument("--density-points", type=int, default=17,
+                       help="initial density grid points (default 17)")
+    sweep.add_argument("--tolerance", type=float, default=1e-3,
+                       help="interpolation-error tolerance in log space")
+    sweep.add_argument("--max-refinement-rounds", type=int, default=3,
+                       help="maximum grid-refinement rounds (default 3)")
+    sweep.add_argument("--method", default="auto",
+                       choices=("auto", "closed_form", "tilted"),
+                       help="sweep path (default auto)")
+    sweep.add_argument("--mc-samples", type=int, default=20_000,
+                       help="samples per grid point on the tilted path")
+    sweep.add_argument("--seed", type=int, default=20100613, help="sweep RNG seed")
+    sweep.add_argument("--out", type=str, default="surfaces",
+                       help="surface store directory (default ./surfaces)")
+
+    query = add_subparser(
+        "query", _cmd_query,
+        "serve batched yield queries from a persisted surface",
+    )
+    query.add_argument("--store", type=str, default="surfaces",
+                       help="surface store directory (default ./surfaces)")
+    query.add_argument("--key", type=str, default=None,
+                       help="surface key or unambiguous prefix (see sweep output)")
+    query.add_argument("--width-nm", type=str, required=True,
+                       help="comma-separated device widths to query")
+    query.add_argument("--density", type=str, default=None,
+                       help="comma-separated CNT densities per um "
+                            "(surface reference density when omitted)")
+    query.add_argument("--fallback", default="exact",
+                       choices=("exact", "mc", "none"),
+                       help="out-of-grid handling (default exact)")
 
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Runtime failures in any handler are reported on stderr and mapped to
+    exit code 1, so scripted callers get a consistent contract: 0 success,
+    1 runtime error, 2 usage error (from argparse).
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except Exception as exc:  # noqa: BLE001 — the CLI boundary
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -152,6 +152,31 @@ def yield_from_uniform_failure_probability(
     return max(0.0, 1.0 - device_count * p)
 
 
+def yield_from_uniform_failure_probability_array(
+    failure_probabilities: np.ndarray,
+    device_count: Union[float, np.ndarray],
+    exact: bool = True,
+) -> np.ndarray:
+    """Vectorised :func:`yield_from_uniform_failure_probability`.
+
+    The batched query-serving layer pushes whole arrays of interpolated
+    failure probabilities through Eq. 2.3 / 3.1 with this hook; the
+    device count may be a scalar or broadcast elementwise.
+    """
+    p = np.asarray(failure_probabilities, dtype=float)
+    m = np.asarray(device_count, dtype=float)
+    if p.size and (np.any(p < 0) | np.any(p > 1)):
+        raise ValueError("failure probabilities must lie in [0, 1]")
+    if m.size and np.any(m < 0):
+        raise ValueError("device_count must be non-negative")
+    if exact:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            log_yield = m * np.log1p(-p)
+        log_yield = np.where(np.isnan(log_yield), 0.0, log_yield)
+        return np.where((p >= 1.0) & (m > 0), 0.0, np.exp(log_yield))
+    return np.maximum(0.0, 1.0 - m * p)
+
+
 @dataclass(frozen=True)
 class YieldEstimate:
     """A chip yield derived from a *sampled* failure probability.

@@ -397,6 +397,83 @@ class RowYieldModel:
         return uncorrelated / aligned
 
 
+def scenario_row_failure_probabilities(
+    scenario: LayoutScenario,
+    device_failure_probabilities: np.ndarray,
+    parameters: Optional[CorrelationParameters] = None,
+) -> np.ndarray:
+    """Vectorised pRF over an array of device pF values.
+
+    The closed forms of :meth:`RowYieldModel.row_failure_probability`
+    evaluated elementwise in one pass — the yield-surface sweeps map whole
+    pF grids through the Table 1 scenarios with this hook instead of a
+    Python loop.  Matches the scalar path to floating-point accuracy.
+    """
+    params = parameters or CorrelationParameters()
+    p = np.asarray(device_failure_probabilities, dtype=float)
+    if p.size and (np.any(p < 0) | np.any(p > 1)):
+        raise ValueError("device failure probabilities must lie in [0, 1]")
+    m_r = params.devices_per_row
+
+    if scenario is LayoutScenario.DIRECTIONAL_ALIGNED:
+        return p.copy()
+    if scenario is LayoutScenario.UNCORRELATED_GROWTH:
+        return -np.expm1(m_r * np.log1p(-p))
+    if scenario is LayoutScenario.DIRECTIONAL_NON_ALIGNED:
+        groups = params.unaligned_offset_groups
+        if groups is not None:
+            effective = min(max(float(groups), 1.0), max(m_r, 1.0))
+            return -np.expm1(effective * np.log1p(-p))
+        frac = params.alignment_fraction
+        if frac >= 1.0:
+            return p.copy()
+        if frac <= 0.0:
+            return -np.expm1(m_r * np.log1p(-p))
+        n_dev = max(m_r, 1.0)
+        with np.errstate(divide="ignore"):
+            shared_fail = np.where(p > 0.0, p ** frac, 0.0)
+            private_fail = np.where(p > 0.0, p ** (1.0 - frac), 0.0)
+        row_given_core = np.where(
+            private_fail >= 1.0, 1.0, -np.expm1(n_dev * np.log1p(-private_fail))
+        )
+        return shared_fail * row_given_core
+    raise ValueError(f"unknown scenario {scenario!r}")
+
+
+def propagate_row_failure_se(
+    scenario: LayoutScenario,
+    device_failure_probabilities: np.ndarray,
+    device_failure_se: np.ndarray,
+    parameters: Optional[CorrelationParameters] = None,
+) -> np.ndarray:
+    """Delta-method pRF standard errors from sampled device pF errors.
+
+    ``SE(pRF) = |dpRF/dpF| · SE(pF)``, with the derivative taken as a
+    central difference of :func:`scenario_row_failure_probabilities` on a
+    relative step — exact enough for error *bounds* while staying correct
+    for every scenario model (offset-cluster and shared-fraction alike).
+    This is how Monte Carlo-built yield surfaces carry the rare-event
+    sampler's :class:`~repro.core.circuit_yield.YieldEstimate`-style
+    uncertainties through Eq. 3.1.
+    """
+    params = parameters or CorrelationParameters()
+    p = np.asarray(device_failure_probabilities, dtype=float)
+    se = np.asarray(device_failure_se, dtype=float)
+    if se.shape != p.shape:
+        raise ValueError("device_failure_se must match probabilities in shape")
+    if se.size and np.any(se < 0):
+        raise ValueError("standard errors must be non-negative")
+    step = np.maximum(1e-6 * p, 1e-300)
+    lo = np.clip(p - step, 0.0, 1.0)
+    hi = np.clip(p + step, 0.0, 1.0)
+    f_lo = scenario_row_failure_probabilities(scenario, lo, params)
+    f_hi = scenario_row_failure_probabilities(scenario, hi, params)
+    span = hi - lo
+    with np.errstate(divide="ignore", invalid="ignore"):
+        slope = np.where(span > 0.0, (f_hi - f_lo) / span, 0.0)
+    return np.abs(slope) * se
+
+
 def relaxation_factor(
     cnt_length_um: float = DEFAULT_CNT_LENGTH_UM,
     min_cnfet_density_per_um: float = DEFAULT_MIN_CNFET_DENSITY_PER_UM,

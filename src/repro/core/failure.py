@@ -119,6 +119,28 @@ class CNFETFailureModel:
         """Vectorised :meth:`failure_probability`."""
         return np.array([self.failure_probability(float(w)) for w in widths_nm])
 
+    def log_failure_probabilities(self, widths_nm: Iterable[float]) -> np.ndarray:
+        """Natural-log pF(W) over a width array — the sweep-grid fast path.
+
+        The yield-surface builder tabulates log pF, where the interesting
+        values (1e-9 and below) underflow a plain probability array's
+        relative precision.  Poisson count models evaluate the closed form
+        ``log pF = -(W/µS)·(1 - pf)`` in one vectorised expression; other
+        count models fall back to per-width PGF evaluations with
+        underflowed probabilities mapped to ``-inf``.
+        """
+        widths = np.asarray(list(widths_nm), dtype=float)
+        if widths.size and np.any(widths <= 0):
+            raise ValueError("widths_nm must be positive")
+        if isinstance(self.count_model, PoissonCountModel):
+            lam = widths / self.count_model.mean_pitch_nm
+            return -lam * (1.0 - self.per_cnt_failure)
+        out = np.empty(widths.size, dtype=float)
+        for i, w in enumerate(widths):
+            p = self.failure_probability(float(w))
+            out[i] = math.log(p) if p > 0.0 else -math.inf
+        return out
+
     def log10_failure_probability(self, width_nm: float) -> float:
         """log10 pF(W); uses the Poisson closed form when available to avoid
         underflow at very large widths."""

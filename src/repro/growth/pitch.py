@@ -147,6 +147,19 @@ class PitchDistribution(abc.ABC):
             "use the multilevel-splitting sampler instead"
         )
 
+    def with_mean(self, mean_nm: float) -> "PitchDistribution":
+        """Same family and shape (CV), rescaled to a new mean pitch.
+
+        Pitch is a scale family in every implemented distribution, so
+        rescaling the mean preserves the coefficient of variation exactly.
+        The yield-surface sweeps use this to walk a CNT-density axis
+        (density = 1 / µS) without re-deriving the family each time.
+        """
+        ensure_positive(mean_nm, "mean_nm")
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement with_mean"
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"{type(self).__name__}(mean_nm={self.mean_nm:.4g}, "
@@ -194,6 +207,9 @@ class DeterministicPitch(PitchDistribution):
             1.0 if w_nm >= 0 else 0.0,
             (n * self.pitch_nm <= w_nm).astype(float),
         )
+
+    def with_mean(self, mean_nm: float) -> "DeterministicPitch":
+        return DeterministicPitch(pitch_nm=mean_nm)
 
 
 @dataclass(frozen=True, repr=False)
@@ -246,6 +262,9 @@ class ExponentialPitch(PitchDistribution):
         # mean / (1 - θ·mean); parameterised by the mean factor β the
         # per-gap log ratio is  log β − s (β − 1) / (β · mean).
         return _gamma_family_tilt(self, shape=1.0, mean_factor=mean_factor)
+
+    def with_mean(self, mean_nm: float) -> "ExponentialPitch":
+        return ExponentialPitch(mean_pitch_nm=mean_nm)
 
 
 @dataclass(frozen=True, repr=False)
@@ -306,6 +325,9 @@ class GammaPitch(PitchDistribution):
         # Tilting Gamma(k, c) by exp(θs) stays Gamma(k, c / (1 - θc)): the
         # shape (and hence the CV) is preserved, only the scale stretches.
         return _gamma_family_tilt(self, shape=self.shape, mean_factor=mean_factor)
+
+    def with_mean(self, mean_nm: float) -> "GammaPitch":
+        return GammaPitch(mean_pitch_nm=mean_nm, cv_value=self.cv_value)
 
 
 @dataclass(frozen=True, repr=False)
@@ -401,6 +423,17 @@ class TruncatedNormalPitch(PitchDistribution):
                 + math.log(z_tilted / z_nominal)
             ),
             log_slope_per_nm=(m - m_tilted) / sigma ** 2,
+        )
+
+    def with_mean(self, mean_nm: float) -> "TruncatedNormalPitch":
+        # Scaling both nominal parameters by the same factor scales every
+        # truncated moment linearly (the truncation point stays at zero),
+        # so the truncated mean hits the target exactly and the CV is kept.
+        ensure_positive(mean_nm, "mean_nm")
+        factor = mean_nm / self.mean_nm
+        return TruncatedNormalPitch(
+            nominal_mean_nm=self.nominal_mean_nm * factor,
+            nominal_std_nm=self.nominal_std_nm * factor,
         )
 
 

@@ -38,6 +38,7 @@ from repro.montecarlo.rare_event import (
     SplittingResult,
     WeightedEstimate,
     default_tilt_factor,
+    estimate_device_failure_grid,
     estimate_device_failure_tilted,
     max_stable_tilt,
     multilevel_splitting,
@@ -72,6 +73,7 @@ __all__ = [
     "default_tilt_factor",
     "max_stable_tilt",
     "estimate_device_failure_tilted",
+    "estimate_device_failure_grid",
     "multilevel_splitting",
     "SplittingResult",
     "RowMonteCarlo",

@@ -51,7 +51,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -78,6 +78,7 @@ __all__ = [
     "window_stopped_log_weights",
     "sample_tilted_contributions",
     "estimate_device_failure_tilted",
+    "estimate_device_failure_grid",
     "SplittingModel",
     "AlignedRowModel",
     "UncorrelatedRowModel",
@@ -422,6 +423,43 @@ def estimate_device_failure_tilted(
     )
     contributions = np.concatenate([c[0] for c in chunks])
     return weighted_estimate(contributions)
+
+
+def estimate_device_failure_grid(
+    pitch: PitchDistribution,
+    per_cnt_failure: float,
+    widths_nm: np.ndarray,
+    n_samples: int,
+    seed_key: Sequence[int],
+    tilt_factor: Optional[float] = None,
+    n_workers: int = 1,
+) -> List[WeightedEstimate]:
+    """Tilted tail estimates over a width grid — the yield-surface MC path.
+
+    Every grid point gets its own stream seeded by ``seed_key`` extended
+    with the width *coordinate* (rounded to 1e-6 nm), not the grid index:
+    a point's estimate is therefore independent of grid order and of how
+    the sweep was batched — evaluating ``[a, b]`` and later ``[b]`` alone
+    under the same ``seed_key`` yields bitwise-identical results for
+    ``b``, which is what lets the surface builder's refinement cache mix
+    batches freely.  Within a point the estimate stays bitwise
+    independent of ``n_workers``, exactly like the single-point
+    estimator.
+    """
+    widths = np.asarray(widths_nm, dtype=float)
+    base_key = [int(part) for part in seed_key]
+    return [
+        estimate_device_failure_tilted(
+            pitch,
+            per_cnt_failure,
+            float(width),
+            n_samples,
+            np.random.default_rng(base_key + [int(round(width * 1e6))]),
+            tilt_factor=tilt_factor,
+            n_workers=n_workers,
+        )
+        for width in widths
+    ]
 
 
 # ----------------------------------------------------------------------

@@ -151,3 +151,35 @@ def render_table(
     for r in body:
         lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(columns))))
     return "\n".join(lines)
+
+
+SURFACE_SUMMARY_COLUMNS: Sequence[str] = (
+    "scenario", "key", "grid", "width_nm", "density_per_um",
+    "max_interp_err", "max_stat_se", "method", "rounds",
+)
+
+
+def surface_summary_rows(surfaces: Sequence[object]) -> List[Dict[str, object]]:
+    """Summary rows for a set of yield surfaces (``repro sweep`` output).
+
+    Accepts :class:`~repro.surface.surface.YieldSurface` objects (typed as
+    ``object`` to keep the reporting layer import-light) and flattens
+    their :meth:`describe` payloads into :func:`render_table`-ready rows.
+    """
+    rows: List[Dict[str, object]] = []
+    for surface in surfaces:
+        info = surface.describe()
+        w_lo, w_hi = info["width_nm_range"]
+        d_lo, d_hi = info["cnt_density_per_um_range"]
+        rows.append({
+            "scenario": info["scenario"],
+            "key": info["key"],
+            "grid": f"{info['n_width']}x{info['n_density']}",
+            "width_nm": f"{w_lo:g}..{w_hi:g}",
+            "density_per_um": f"{d_lo:g}..{d_hi:g}",
+            "max_interp_err": info["max_interp_error_log"],
+            "max_stat_se": info["max_stat_se_log"],
+            "method": info["method"],
+            "rounds": info["refinement_rounds"],
+        })
+    return rows

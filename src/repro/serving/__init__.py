@@ -1,0 +1,27 @@
+"""Batched query serving over precomputed yield surfaces.
+
+The serving tier of the reproduction: load versioned
+:class:`~repro.surface.surface.YieldSurface` artifacts through an LRU
+cache, answer vectorized (width, CNT density, device count) query batches
+by error-bounded log-space interpolation, and fall back gracefully to the
+exact closed forms (or opt-in Monte Carlo refinement) when a query leaves
+the swept grid.
+
+* :mod:`repro.serving.interpolate` — the error-propagating interpolation
+  layer.
+* :mod:`repro.serving.cache` — the content-hash-keyed surface LRU.
+* :mod:`repro.serving.service` — :class:`YieldService`, the in-process
+  API behind the ``sweep`` / ``query`` CLI subcommands.
+"""
+
+from repro.serving.cache import LRUCache
+from repro.serving.interpolate import InterpolatedLog, interpolate_log_failure
+from repro.serving.service import QueryResult, YieldService
+
+__all__ = [
+    "LRUCache",
+    "InterpolatedLog",
+    "interpolate_log_failure",
+    "QueryResult",
+    "YieldService",
+]

@@ -1,0 +1,69 @@
+"""LRU cache for loaded yield surfaces, keyed by content hash.
+
+A serving process typically owns many persisted surfaces (one per
+scenario × pitch family × corner) but answers most traffic from a
+handful.  The cache holds the hot set in memory, evicts least-recently
+used artifacts beyond capacity, and counts hits/misses/evictions so
+benchmarks and operators can see the hit rate.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Generic, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class LRUCache(Generic[T]):
+    """A minimal ordered-dict LRU with load-through semantics."""
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be at least 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[str, T]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str, loader: Optional[Callable[[], T]] = None) -> Optional[T]:
+        """Return the cached value, loading (and caching) it on a miss.
+
+        Without a ``loader`` a miss simply returns ``None``.
+        """
+        if key in self._entries:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        self.misses += 1
+        if loader is None:
+            return None
+        value = loader()
+        self.put(key, value)
+        return value
+
+    def put(self, key: str, value: T) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def stats(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "capacity": self.capacity,
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hits / total if total else float("nan"),
+        }

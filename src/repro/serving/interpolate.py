@@ -1,0 +1,77 @@
+"""Batched, error-bounded interpolation against a :class:`YieldSurface`.
+
+The raw bilinear kernel lives with the grid machinery in
+:mod:`repro.surface.grid`; this module adds what serving needs on top:
+
+* log-space interpolation of the tabulated failure probability,
+* a propagated per-query error bound combining the cell's probed
+  interpolation residual with the (delta-method) statistical standard
+  errors of the surface's Monte Carlo-built nodes, and
+* the in-grid mask that routes out-of-range queries to the exact
+  fallback path.
+
+The statistical term uses the *maximum* of the four corner standard
+errors: bilinear weights are convex, so the interpolated value's standard
+deviation can never exceed the worst corner — a bound, not an estimate,
+which is what the serving contract promises.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.surface.grid import bilinear_interpolate
+from repro.surface.surface import YieldSurface
+
+
+class InterpolatedLog(NamedTuple):
+    """Interpolated log failure values with their error bounds."""
+
+    log_failure: np.ndarray
+    error_log: np.ndarray
+    in_grid: np.ndarray
+
+
+def interpolate_log_failure(
+    surface: YieldSurface,
+    width_nm: np.ndarray,
+    cnt_density_per_um: np.ndarray,
+    n_sigma: float = 4.0,
+) -> InterpolatedLog:
+    """Interpolate ``log p`` at query points with a propagated error bound.
+
+    ``error_log`` bounds ``|log p_interp - log p_exact|``: the cell's
+    probed interpolation residual plus ``n_sigma`` times the worst corner
+    standard error (zero for closed-form-built surfaces, making the bound
+    deterministic).  Out-of-grid queries get clamped values and
+    ``in_grid=False`` — callers must not serve those without fallback.
+    """
+    if n_sigma < 0:
+        raise ValueError(f"n_sigma must be non-negative, got {n_sigma}")
+    widths = np.asarray(width_nm, dtype=float)
+    densities = np.asarray(cnt_density_per_um, dtype=float)
+    if widths.shape != densities.shape:
+        raise ValueError("width and density query arrays must match in shape")
+
+    log_p, i, j = bilinear_interpolate(
+        surface.width_nm,
+        surface.cnt_density_per_um,
+        surface.log_failure,
+        widths,
+        densities,
+    )
+    log_p = np.minimum(log_p, 0.0)
+
+    error_log = surface.interp_error_log[i, j]
+    se = surface.stat_se_log
+    if n_sigma > 0.0 and surface.max_stat_se_log > 0.0:
+        corner_se = np.maximum(
+            np.maximum(se[i, j], se[i + 1, j]),
+            np.maximum(se[i, j + 1], se[i + 1, j + 1]),
+        )
+        error_log = error_log + n_sigma * corner_se
+
+    in_grid = surface.covers(widths, densities)
+    return InterpolatedLog(log_failure=log_p, error_log=error_log, in_grid=in_grid)

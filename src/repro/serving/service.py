@@ -1,0 +1,284 @@
+"""The in-process yield query service.
+
+:class:`YieldService` answers vectorized batched queries — arrays of
+(width, CNT density, device count) — against precomputed
+:class:`~repro.surface.surface.YieldSurface` artifacts:
+
+* interpolated answers come from the error-bounded bilinear layer in
+  :mod:`repro.serving.interpolate`, at millions of queries per second;
+* surfaces load through an :class:`~repro.serving.cache.LRUCache` keyed
+  by content hash, backed by an optional on-disk
+  :class:`~repro.surface.surface.SurfaceStore`;
+* queries outside the swept grid gracefully fall back to the exact
+  closed-form evaluator the surface was built with (or, opt-in, to the
+  tilted Monte Carlo estimator for families without closed forms).
+
+Every answer carries guaranteed bounds: the failure probability interval
+comes from the surface's per-cell error channel, and the chip-yield
+interval is its monotone image through Eq. 2.3 / 3.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.circuit_yield import yield_from_uniform_failure_probability_array
+from repro.core.correlation import CorrelationParameters
+from repro.serving.cache import LRUCache
+from repro.serving.interpolate import interpolate_log_failure
+from repro.surface.builder import ExactEvaluator, pitch_from_descriptor
+from repro.surface.surface import SCENARIO_DEVICE, SurfaceStore, YieldSurface
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One batched query's answers with propagated error bounds.
+
+    ``failure_probability`` is pF (device surfaces) or pRF (row-scenario
+    surfaces); ``chip_yield`` is its Eq. 2.3 / 3.1 image at the queried
+    device count.  The ``*_lower``/``*_upper`` arrays bound the exact
+    value whenever the surface's per-cell error bounds hold (always, for
+    closed-form sweeps; at the configured sigma level for MC sweeps).
+    ``interpolated`` flags which entries were served from the grid — the
+    rest went through the fallback path.
+    """
+
+    scenario: str
+    failure_probability: np.ndarray
+    failure_lower: np.ndarray
+    failure_upper: np.ndarray
+    chip_yield: np.ndarray
+    yield_lower: np.ndarray
+    yield_upper: np.ndarray
+    interpolated: np.ndarray
+
+    @property
+    def n_queries(self) -> int:
+        return int(self.failure_probability.size)
+
+    @property
+    def n_fallback(self) -> int:
+        return int(np.size(self.interpolated) - np.count_nonzero(self.interpolated))
+
+    def bounds_contain(self, exact_failure_probability: np.ndarray) -> np.ndarray:
+        """Elementwise check that the failure bounds contain exact values."""
+        exact = np.asarray(exact_failure_probability, dtype=float)
+        return (exact >= self.failure_lower) & (exact <= self.failure_upper)
+
+
+class YieldService:
+    """Serves batched yield queries from cached surfaces with fallbacks.
+
+    Parameters
+    ----------
+    store:
+        Optional on-disk surface store; keys not already registered
+        in-memory load through the LRU from here.
+    cache_capacity:
+        Maximum number of surfaces held in memory.
+    n_sigma:
+        Sigma multiplier applied to statistical standard errors (both the
+        surface nodes' and the fallback estimators') when forming bounds.
+    """
+
+    def __init__(
+        self,
+        store: Optional[Union[SurfaceStore, str]] = None,
+        cache_capacity: int = 8,
+        n_sigma: float = 4.0,
+    ) -> None:
+        if isinstance(store, str):
+            store = SurfaceStore(store)
+        self.store = store
+        self.cache: LRUCache[YieldSurface] = LRUCache(capacity=cache_capacity)
+        self.n_sigma = float(n_sigma)
+        self._evaluators: Dict[str, ExactEvaluator] = {}
+        self._pinned: Dict[str, YieldSurface] = {}
+        self.queries_served = 0
+
+    # ------------------------------------------------------------------
+    # Surface access
+    # ------------------------------------------------------------------
+
+    def register(self, surface: YieldSurface, persist: bool = False) -> str:
+        """Adopt a surface into the cache (optionally persisting it).
+
+        The returned key stays queryable for the service's lifetime:
+        persisted surfaces reload through the store after an LRU
+        eviction, while unpersisted ones are pinned outside the LRU (the
+        caller handed us the only copy, so eviction must not orphan the
+        key it got back).
+        """
+        key = surface.key
+        self.cache.put(key, surface)
+        if persist:
+            if self.store is None:
+                raise ValueError("cannot persist without a SurfaceStore")
+            self.store.save(surface)
+        else:
+            self._pinned[key] = surface
+        return key
+
+    def surface(self, key_or_surface: Union[str, YieldSurface]) -> YieldSurface:
+        """Resolve a key (or pass a surface through) via the LRU cache.
+
+        Exact keys hit the in-memory cache first (so registered-but-not-
+        persisted surfaces stay addressable on a store-backed service);
+        anything else resolves through the store, where unambiguous key
+        prefixes are accepted.
+        """
+        if isinstance(key_or_surface, YieldSurface):
+            return key_or_surface
+        key = key_or_surface
+        if key in self.cache:
+            return self.cache.get(key)
+        if key in self._pinned:
+            return self._pinned[key]
+        if self.store is not None:
+            resolved = self.store.path_for(key).stem
+            surface = self.cache.get(resolved, lambda: self.store.load(resolved))
+            if surface is not None:
+                return surface
+        raise KeyError(f"surface {key!r} is neither cached nor in a store")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        surface: Union[str, YieldSurface],
+        width_nm: np.ndarray,
+        cnt_density_per_um: Optional[np.ndarray] = None,
+        device_count: Union[float, np.ndarray] = 1.0,
+        fallback: str = "exact",
+        mc_samples: int = 20_000,
+    ) -> QueryResult:
+        """Answer a batched yield query.
+
+        Parameters
+        ----------
+        surface:
+            A surface or a (prefix of a) store key.
+        width_nm:
+            Device widths, any shape (flattened internally).
+        cnt_density_per_um:
+            CNT densities per query; defaults to the surface's reference
+            density (the pitch family's nominal 1/µS).
+        device_count:
+            M for device surfaces, Mmin for row-scenario surfaces (the
+            row count KR = Mmin / MRmin is derived from the surface's
+            correlation metadata); scalar or per-query array.
+        fallback:
+            ``"exact"`` (default) answers out-of-grid queries with the
+            surface's exact evaluator; ``"mc"`` opts into tilted
+            Monte Carlo refinement instead; ``"none"`` raises if any
+            query leaves the grid.
+        """
+        if fallback not in ("exact", "mc", "none"):
+            raise ValueError(f"unknown fallback mode {fallback!r}")
+        surf = self.surface(surface)
+        widths = np.atleast_1d(np.asarray(width_nm, dtype=float)).ravel()
+        if cnt_density_per_um is None:
+            densities = np.full(widths.shape, self._reference_density(surf))
+        else:
+            densities = np.atleast_1d(
+                np.asarray(cnt_density_per_um, dtype=float)
+            ).ravel()
+            if densities.size == 1 and widths.size > 1:
+                densities = np.full(widths.shape, densities[0])
+        if densities.shape != widths.shape:
+            raise ValueError("width and density query arrays must match in shape")
+
+        log_p, err_log, in_grid = interpolate_log_failure(
+            surf, widths, densities, n_sigma=self.n_sigma
+        )
+
+        if not in_grid.all():
+            if fallback == "none":
+                n_out = int(in_grid.size - np.count_nonzero(in_grid))
+                raise ValueError(
+                    f"{n_out} queries fall outside the surface grid "
+                    "and fallback is disabled"
+                )
+            outside = ~in_grid
+            log_exact, err_exact = self._fallback_values(
+                surf, widths[outside], densities[outside], fallback, mc_samples
+            )
+            log_p = log_p.copy()
+            err_log = err_log.copy()
+            log_p[outside] = log_exact
+            err_log[outside] = err_exact
+
+        p = np.exp(np.minimum(log_p, 0.0))
+        p_lower = np.exp(np.minimum(log_p - err_log, 0.0))
+        p_upper = np.minimum(np.exp(log_p + err_log), 1.0)
+
+        counts = self._effective_counts(surf, device_count)
+        chip_yield = yield_from_uniform_failure_probability_array(p, counts)
+        yield_lower = yield_from_uniform_failure_probability_array(p_upper, counts)
+        yield_upper = yield_from_uniform_failure_probability_array(p_lower, counts)
+
+        self.queries_served += int(widths.size)
+        return QueryResult(
+            scenario=surf.scenario,
+            failure_probability=p,
+            failure_lower=p_lower,
+            failure_upper=p_upper,
+            chip_yield=chip_yield,
+            yield_lower=yield_lower,
+            yield_upper=yield_upper,
+            interpolated=in_grid,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _reference_density(surface: YieldSurface) -> float:
+        pitch = pitch_from_descriptor(surface.metadata["pitch"])
+        return 1000.0 / pitch.mean_nm
+
+    @staticmethod
+    def _effective_counts(
+        surface: YieldSurface, device_count: Union[float, np.ndarray]
+    ) -> np.ndarray:
+        counts = np.asarray(device_count, dtype=float)
+        if surface.scenario == SCENARIO_DEVICE:
+            return counts
+        params = CorrelationParameters(**surface.metadata["correlation"])
+        return counts / params.devices_per_row
+
+    def _evaluator(
+        self, surface: YieldSurface, method: str, mc_samples: int
+    ) -> ExactEvaluator:
+        # MC evaluators are cached per sample count: their internal
+        # per-(W, ρ) result cache must never hand a 200-sample estimate to
+        # a caller who explicitly paid for more.
+        cache_key = (
+            f"{surface.key}:{method}:{mc_samples if method == 'mc' else ''}"
+        )
+        evaluator = self._evaluators.get(cache_key)
+        if evaluator is None:
+            evaluator = ExactEvaluator.from_surface(surface)
+            if method == "mc":
+                evaluator.method = "tilted"
+                evaluator.mc_samples = int(mc_samples)
+            self._evaluators[cache_key] = evaluator
+        return evaluator
+
+    def _fallback_values(
+        self,
+        surface: YieldSurface,
+        widths: np.ndarray,
+        densities: np.ndarray,
+        fallback: str,
+        mc_samples: int,
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        evaluator = self._evaluator(surface, fallback, int(mc_samples))
+        log_exact, se_log = evaluator.points(widths, densities)
+        return log_exact, self.n_sigma * se_log

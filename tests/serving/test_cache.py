@@ -1,0 +1,62 @@
+"""Tests for the content-hash-keyed surface LRU cache."""
+
+import pytest
+
+from repro.serving.cache import LRUCache
+
+
+class TestLRUCache:
+    def test_put_get_round_trip(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert "a" in cache and len(cache) == 1
+
+    def test_miss_without_loader_returns_none(self):
+        cache = LRUCache(capacity=2)
+        assert cache.get("missing") is None
+        assert cache.misses == 1
+
+    def test_load_through_on_miss(self):
+        cache = LRUCache(capacity=2)
+        calls = []
+
+        def loader():
+            calls.append(1)
+            return "value"
+
+        assert cache.get("k", loader) == "value"
+        assert cache.get("k", loader) == "value"
+        assert len(calls) == 1
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh a; b is now LRU
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.evictions == 1
+
+    def test_put_updates_existing_key_without_eviction(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert cache.get("a") == 10
+        assert len(cache) == 2 and cache.evictions == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LRUCache(capacity=0)
+
+    def test_stats(self):
+        cache = LRUCache(capacity=1)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.5)
+        assert stats["size"] == 1 and stats["capacity"] == 1

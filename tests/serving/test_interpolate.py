@@ -1,0 +1,75 @@
+"""Unit tests for the error-propagating interpolation layer."""
+
+import numpy as np
+import pytest
+
+from repro.serving.interpolate import interpolate_log_failure
+from repro.surface import GridAxis, SurfaceBuilder, SweepSpec, YieldSurface
+
+
+@pytest.fixture(scope="module")
+def device_surface():
+    return SurfaceBuilder(SweepSpec(
+        width_axis=GridAxis.from_range("width_nm", 60.0, 200.0, 9),
+        density_axis=GridAxis.from_range("cnt_density_per_um", 200.0, 300.0, 5),
+    )).build()
+
+
+def test_rejects_negative_sigma(device_surface):
+    with pytest.raises(ValueError, match="n_sigma"):
+        interpolate_log_failure(
+            device_surface, np.array([100.0]), np.array([250.0]), n_sigma=-1.0
+        )
+
+
+def test_rejects_shape_mismatch(device_surface):
+    with pytest.raises(ValueError, match="match in shape"):
+        interpolate_log_failure(
+            device_surface, np.array([100.0, 110.0]), np.array([250.0])
+        )
+
+
+def test_in_grid_mask(device_surface):
+    result = interpolate_log_failure(
+        device_surface,
+        np.array([50.0, 100.0, 250.0]),
+        np.array([250.0, 250.0, 250.0]),
+    )
+    assert result.in_grid.tolist() == [False, True, False]
+
+
+def test_statistical_corner_errors_widen_bounds():
+    surface = SurfaceBuilder(SweepSpec(
+        width_axis=GridAxis.from_range("width_nm", 60.0, 120.0, 3),
+        density_axis=GridAxis.from_range("cnt_density_per_um", 200.0, 300.0, 2),
+        method="tilted",
+        mc_samples=2_000,
+        max_refinement_rounds=0,
+    )).build()
+    assert surface.max_stat_se_log > 0.0
+    w = np.array([90.0])
+    d = np.array([250.0])
+    no_sigma = interpolate_log_failure(surface, w, d, n_sigma=0.0)
+    with_sigma = interpolate_log_failure(surface, w, d, n_sigma=4.0)
+    assert with_sigma.error_log[0] > no_sigma.error_log[0]
+    # The widening is exactly bounded by the worst corner SE.
+    assert with_sigma.error_log[0] <= (
+        no_sigma.error_log[0] + 4.0 * surface.max_stat_se_log + 1e-15
+    )
+
+
+def test_clamps_log_to_non_positive():
+    # A hand-built surface whose extrapolated corner would cross log p = 0.
+    surface = YieldSurface(
+        scenario="device",
+        width_nm=np.array([1.0, 2.0]),
+        cnt_density_per_um=np.array([1.0, 2.0]),
+        log_failure=np.array([[-2.0, -1.0], [-1.0, -0.001]]),
+        stat_se_log=np.zeros((2, 2)),
+        interp_error_log=np.full((1, 1), 1e-9),
+        metadata={},
+    )
+    result = interpolate_log_failure(
+        surface, np.array([2.0]), np.array([2.0])
+    )
+    assert result.log_failure[0] <= 0.0

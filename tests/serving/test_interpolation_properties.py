@@ -1,0 +1,149 @@
+"""Property-based tests (hypothesis) for surface interpolation.
+
+Three contracts the serving layer advertises:
+
+* chip yield is monotone non-decreasing in the device width W (wider
+  devices catch more tubes, on-grid and interpolated alike);
+* yield is monotone in correlation strength — aligned-active can never
+  serve a lower yield than non-aligned, which can never undercut
+  uncorrelated growth, at matched query points;
+* the reported error bounds never exclude the exact Eq. 2.2 / 3.1 value.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.correlation import (
+    CorrelationParameters,
+    LayoutScenario,
+    RowYieldModel,
+)
+from repro.core.count_model import count_model_from_pitch
+from repro.core.failure import CNFETFailureModel
+from repro.growth.pitch import GammaPitch
+from repro.serving import YieldService
+from repro.surface import (
+    GridAxis,
+    SurfaceBuilder,
+    SweepSpec,
+    density_to_mean_pitch_nm,
+)
+
+W_LOW, W_HIGH = 60.0, 300.0
+D_LOW, D_HIGH = 180.0, 350.0
+CORRELATION = CorrelationParameters()
+
+widths = st.floats(min_value=W_LOW, max_value=W_HIGH, allow_nan=False)
+densities = st.floats(min_value=D_LOW, max_value=D_HIGH, allow_nan=False)
+
+
+def build(scenario, pitch=None, tolerance=5e-3):
+    return SurfaceBuilder(SweepSpec(
+        scenario=scenario,
+        width_axis=GridAxis.from_range("width_nm", W_LOW, W_HIGH, 17),
+        density_axis=GridAxis.from_range("cnt_density_per_um", D_LOW, D_HIGH, 9),
+        pitch=pitch if pitch is not None else SweepSpec().pitch,
+        correlation=CORRELATION,
+        tolerance_log=tolerance,
+        max_refinement_rounds=4,
+    )).build()
+
+
+@pytest.fixture(scope="module")
+def service():
+    svc = YieldService()
+    keys = {}
+    keys["device"] = svc.register(build("device"))
+    keys["device_gamma"] = svc.register(
+        build("device", pitch=GammaPitch(4.0, 0.5))
+    )
+    for scenario in LayoutScenario:
+        keys[scenario.value] = svc.register(build(scenario.value))
+    return svc, keys
+
+
+class TestMonotonicity:
+    @settings(max_examples=200, deadline=None)
+    @given(w1=widths, w2=widths, d=densities)
+    def test_yield_non_decreasing_in_width(self, service, w1, w2, d):
+        svc, keys = service
+        w_lo, w_hi = sorted((w1, w2))
+        result = svc.query(
+            keys["device"],
+            np.array([w_lo, w_hi]),
+            cnt_density_per_um=np.array([d, d]),
+            device_count=3.3e7,
+        )
+        assert result.chip_yield[1] >= result.chip_yield[0] - 1e-12
+
+    @settings(max_examples=200, deadline=None)
+    @given(w=widths, d=densities)
+    def test_yield_monotone_in_correlation_strength(self, service, w, d):
+        svc, keys = service
+        order = [
+            LayoutScenario.UNCORRELATED_GROWTH,
+            LayoutScenario.DIRECTIONAL_NON_ALIGNED,
+            LayoutScenario.DIRECTIONAL_ALIGNED,
+        ]
+        yields = [
+            svc.query(
+                keys[scenario.value],
+                np.array([w]),
+                cnt_density_per_um=np.array([d]),
+                device_count=3.3e7,
+            ).chip_yield[0]
+            for scenario in order
+        ]
+        # Stronger correlation can only help; allow the combined
+        # interpolation bound as slack between neighbouring scenarios.
+        assert yields[1] >= yields[0] - 1e-9
+        assert yields[2] >= yields[1] - 1e-9
+
+
+class TestErrorBounds:
+    @settings(max_examples=200, deadline=None)
+    @given(w=widths, d=densities)
+    def test_bounds_never_exclude_exact_device_value(self, service, w, d):
+        svc, keys = service
+        result = svc.query(
+            keys["device"], np.array([w]), cnt_density_per_um=np.array([d])
+        )
+        pitch = SweepSpec().pitch.with_mean(density_to_mean_pitch_nm(d))
+        model = CNFETFailureModel(
+            count_model_from_pitch(pitch), SweepSpec().per_cnt_failure
+        )
+        exact = model.failure_probability(w)
+        assert result.failure_lower[0] <= exact <= result.failure_upper[0]
+
+    @settings(max_examples=50, deadline=None)
+    @given(w=widths, d=densities)
+    def test_bounds_never_exclude_exact_gamma_value(self, service, w, d):
+        svc, keys = service
+        result = svc.query(
+            keys["device_gamma"], np.array([w]), cnt_density_per_um=np.array([d])
+        )
+        pitch = GammaPitch(4.0, 0.5).with_mean(density_to_mean_pitch_nm(d))
+        model = CNFETFailureModel(
+            count_model_from_pitch(pitch), SweepSpec().per_cnt_failure
+        )
+        exact = model.failure_probability(w)
+        assert result.failure_lower[0] <= exact <= result.failure_upper[0]
+
+    @settings(max_examples=100, deadline=None)
+    @given(w=widths, d=densities)
+    def test_bounds_never_exclude_exact_row_value(self, service, w, d):
+        svc, keys = service
+        scenario = LayoutScenario.UNCORRELATED_GROWTH
+        result = svc.query(
+            keys[scenario.value], np.array([w]), cnt_density_per_um=np.array([d])
+        )
+        pitch = SweepSpec().pitch.with_mean(density_to_mean_pitch_nm(d))
+        model = CNFETFailureModel(
+            count_model_from_pitch(pitch), SweepSpec().per_cnt_failure
+        )
+        exact = RowYieldModel(parameters=CORRELATION).row_failure_probability(
+            scenario, model.failure_probability(w)
+        )
+        assert result.failure_lower[0] <= exact <= result.failure_upper[0]

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -76,6 +78,71 @@ class TestCommands:
         assert content.startswith("// structural netlist")
         assert "endmodule" in content
 
+    def test_sweep_and_query_round_trip(self, tmp_path, capsys):
+        store = tmp_path / "surfaces"
+        exit_code = main([
+            "sweep", "--scenario", "device",
+            "--w-min", "60", "--w-max", "300", "--w-points", "9",
+            "--density-min", "180", "--density-max", "350",
+            "--density-points", "5",
+            "--out", str(store),
+        ])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "device" in captured and "persisted 1 surface(s)" in captured
+        assert list(store.glob("device-*.npz"))
+
+        exit_code = main([
+            "query", "--store", str(store), "--key", "device",
+            "--width-nm", "103,155,178",
+        ])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "chip yield" in captured
+        assert captured.count("grid") >= 3
+
+    def test_query_fallback_modes(self, tmp_path, capsys):
+        store = tmp_path / "surfaces"
+        main([
+            "sweep", "--scenario", "device",
+            "--w-min", "60", "--w-max", "300", "--w-points", "9",
+            "--density-min", "180", "--density-max", "350",
+            "--density-points", "5",
+            "--out", str(store),
+        ])
+        capsys.readouterr()
+        # Out-of-grid width served through the exact fallback.
+        exit_code = main([
+            "query", "--store", str(store), "--key", "device",
+            "--width-nm", "20", "--json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload["interpolated"] == [False]
+        # fallback=none makes the same query a hard error (exit code 1).
+        exit_code = main([
+            "query", "--store", str(store), "--key", "device",
+            "--width-nm", "20", "--fallback", "none",
+        ])
+        assert exit_code == 1
+
+    def test_query_missing_key_exits_one(self, tmp_path, capsys):
+        exit_code = main([
+            "query", "--store", str(tmp_path), "--key", "nope",
+            "--width-nm", "100",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "error:" in captured.err
+
+    def test_query_bad_width_list_exits_one(self, tmp_path, capsys):
+        exit_code = main([
+            "query", "--store", str(tmp_path), "--key", "device",
+            "--width-nm", "abc",
+        ])
+        assert exit_code == 1
+        assert "error:" in capsys.readouterr().err
+
     def test_custom_yield_target_changes_wmin(self, capsys):
         main(["wmin", "--yield-target", "0.99"])
         strict = capsys.readouterr().out
@@ -89,3 +156,58 @@ class TestCommands:
             raise AssertionError("Wmin line not found")
 
         assert extract(strict) > extract(relaxed)
+
+
+class TestJsonOutput:
+    """Every sub-command must emit parseable JSON under --json."""
+
+    @pytest.mark.parametrize("argv", [
+        ["wmin", "--json"],
+        ["table1", "--json"],
+        ["table2", "--json"],
+        ["scaling", "--json"],
+        ["align", "--wmin-nm", "103", "--json"],
+    ])
+    def test_analysis_commands(self, argv, capsys):
+        exit_code = main(argv)
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert isinstance(payload, dict) and payload
+
+    def test_wmin_json_fields(self, capsys):
+        main(["wmin", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["wmin_baseline_nm"] > payload["wmin_optimized_nm"]
+        assert payload["relaxation_factor"] > 100.0
+
+    def test_netlist_json(self, tmp_path, capsys):
+        output = tmp_path / "core.v"
+        exit_code = main([
+            "netlist", "--scale", "0.05", "--output", str(output), "--json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload["instance_count"] > 0
+        assert payload["output"] == str(output)
+
+    def test_rare_event_json(self, capsys):
+        exit_code = main([
+            "rare-event", "--samples", "2000", "--target-pf", "1e-6", "--json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload["sampled_pf"] > 0
+        assert payload["chip_yield_sampled_se"] >= 0
+
+    def test_sweep_json(self, tmp_path, capsys):
+        exit_code = main([
+            "sweep", "--scenario", "directional_aligned",
+            "--w-min", "60", "--w-max", "300", "--w-points", "5",
+            "--density-min", "180", "--density-max", "350",
+            "--density-points", "3",
+            "--out", str(tmp_path / "surfaces"), "--json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload["surfaces"][0]["scenario"] == "directional_aligned"
+        assert payload["evaluations"][0] > 0

@@ -1,0 +1,72 @@
+"""End-to-end smoke tests for the runnable examples.
+
+The examples are documentation that executes; these tests load them as
+modules (they are scripts, not a package) and drive their ``main`` at a
+reduced scale, asserting the headline output so a broken wiring of the
+surface/serving API — their whole point after the rewiring — fails CI.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestWaferYieldMap:
+    def test_runs_end_to_end(self, capsys):
+        module = load_example("wafer_yield_map")
+        # Larger dies → ~a dozen sites; fewer misalignment samples per die.
+        module.main(die_size_mm=25.0, misalignment_samples=200)
+        out = capsys.readouterr().out
+        assert "Wafer: " in out
+        assert "Yield surface: device-" in out
+        assert "die-queries served" in out
+        assert out.count("good dies:") == 3
+        # The baseline-upsized strategy must beat no-upsizing somewhere.
+        assert "#" in out
+
+    def test_strategy_yields_is_batched(self):
+        import numpy as np
+
+        module = load_example("wafer_yield_map")
+        from repro.serving import YieldService
+        from repro.surface import SurfaceBuilder, SweepSpec, GridAxis
+
+        surface = SurfaceBuilder(SweepSpec(
+            width_axis=GridAxis.from_range("width_nm", 60.0, 250.0, 9),
+            density_axis=GridAxis.from_range("cnt_density_per_um", 180.0, 320.0, 5),
+        )).build()
+        service = YieldService()
+        key = service.register(surface)
+        densities = np.array([230.0, 250.0, 280.0])
+        yields = module.strategy_yields(service, key, 160.0, densities, 3.3e7)
+        assert yields.shape == (3,)
+        # Higher density ⇒ more tubes ⇒ higher yield.
+        assert yields[2] >= yields[0]
+        relaxed = module.strategy_yields(
+            service, key, 160.0, densities, 3.3e7,
+            relaxations=np.full(3, 360.0),
+        )
+        assert (relaxed >= yields - 1e-12).all()
+
+
+class TestOpenriscYieldStudy:
+    def test_runs_end_to_end(self, capsys):
+        module = load_example("openrisc_yield_study")
+        module.main(scale=0.05)
+        out = capsys.readouterr().out
+        assert "served from the yield surface" in out
+        assert "Surface queries served" in out
+        assert "Design-specific relaxation factor" in out
+        assert "Chip yield with aligned-active cells" in out
