@@ -1,0 +1,153 @@
+"""Throughput benchmark of the stacked wafer runner vs the per-die loop.
+
+Times :func:`repro.montecarlo.wafer_sim.simulate_wafer` (one stacked
+die × trial × track pass per die group) against
+:func:`repro.montecarlo.wafer_sim.per_die_loop` (the pre-stacked path:
+:class:`~repro.montecarlo.device_sim.DeviceMonteCarlo` once per die and
+width class) on the same wafer, the same width-class histogram and equal
+trial counts per (die, width-class) estimate, and writes
+``BENCH_wafer.json`` at the repository root.
+
+The stacked pass wins on three structural counts: all width classes of a
+die are answered from one shared track set (the per-die loop re-samples
+tracks per width), its gap budget carries a 2-sigma margin with exact
+top-ups instead of the engine's 8-sigma margin, and the per-die Python
+and allocation overheads amortise over the whole wafer.
+
+Runs as a pytest test (``pytest benchmarks/bench_wafer.py``) or
+standalone (``python benchmarks/bench_wafer.py``).  Set
+``REPRO_BENCH_QUICK=1`` for the CI smoke configuration.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.backend import get_backend
+from repro.growth.pitch import ExponentialPitch
+from repro.growth.types import CNTTypeModel
+from repro.growth.wafer import WaferGrowthModel
+from repro.montecarlo.wafer_sim import per_die_loop, simulate_wafer
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_wafer.json"
+
+#: OpenRISC-flavoured minimum-size width-class histogram: the device
+#: widths a die actually carries between the baseline Wmin region and the
+#: upsized classes, with per-die multiplicities.  All classes physically
+#: share each row's tracks — exactly what the stacked pass exploits.
+WIDTH_CLASSES_NM = (90.0, 105.0, 120.0, 150.0, 178.0)
+DEVICE_COUNTS = (400.0, 300.0, 250.0, 200.0, 150.0)
+
+SEED_KEY = (20100616,)
+
+
+def _quick_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def _time(fn, repeats: int = 3) -> float:
+    fn()  # warm the allocator / import paths
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_benchmark(die_size_mm: float, n_trials: int) -> dict:
+    wafer = WaferGrowthModel(
+        center_pitch_nm=4.0, die_size_mm=die_size_mm
+    ).generate(np.random.default_rng(1))
+    pitch = ExponentialPitch(4.0)
+    type_model = CNTTypeModel(1.0 / 3.0, 1.0, 0.3)
+    args = (wafer, pitch, type_model, WIDTH_CLASSES_NM, DEVICE_COUNTS)
+    kwargs = dict(n_trials=n_trials, seed_key=SEED_KEY)
+
+    loop_s = _time(lambda: per_die_loop(*args, **kwargs))
+    stacked_s = _time(lambda: simulate_wafer(*args, **kwargs))
+    f32 = get_backend("numpy", dtype="float32")
+    stacked32_s = _time(lambda: simulate_wafer(*args, backend=f32, **kwargs))
+
+    stacked = simulate_wafer(*args, **kwargs)
+    loop = per_die_loop(*args, **kwargs)
+    estimates = wafer.die_count * len(WIDTH_CLASSES_NM)
+    return {
+        "benchmark": "wafer_sim stacked pass vs per-die DeviceMonteCarlo loop",
+        "quick_mode": _quick_mode(),
+        "workload": {
+            "die_count": wafer.die_count,
+            "width_classes_nm": list(WIDTH_CLASSES_NM),
+            "device_counts": list(DEVICE_COUNTS),
+            "trials_per_die": n_trials,
+            "note": (
+                "equal trial counts per (die, width-class) estimate; the "
+                "stacked pass answers all width classes from one shared "
+                "track set per trial, the per-die loop re-samples per class"
+            ),
+        },
+        "per_die_loop": {
+            "seconds": loop_s,
+            "die_estimates_per_sec": estimates / loop_s,
+            "dtype": "float64",
+        },
+        "stacked": {
+            "seconds": stacked_s,
+            "die_estimates_per_sec": estimates / stacked_s,
+            "dtype": "float64",
+        },
+        "stacked_float32": {
+            "seconds": stacked32_s,
+            "die_estimates_per_sec": estimates / stacked32_s,
+        },
+        "speedup": loop_s / stacked_s,
+        "speedup_float32": loop_s / stacked32_s,
+        "agreement": {
+            "mean_chip_yield_stacked": stacked.mean_chip_yield,
+            "mean_chip_yield_loop": loop.mean_chip_yield,
+            "good_die_fraction_stacked": stacked.good_die_fraction,
+            "good_die_fraction_loop": loop.good_die_fraction,
+        },
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+
+
+def test_stacked_wafer_speedup():
+    """The stacked wafer pass must stay well ahead of the per-die loop."""
+    if _quick_mode():
+        record = run_benchmark(die_size_mm=20.0, n_trials=128)
+        floor = 1.5
+    else:
+        record = run_benchmark(die_size_mm=10.0, n_trials=512)
+        floor = 3.0
+
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    mode = "quick" if record["quick_mode"] else "full"
+    print(f"\n=== Wafer Monte Carlo throughput ({mode}) ===")
+    print(f"dies x width classes : {record['workload']['die_count']} x "
+          f"{len(record['workload']['width_classes_nm'])}")
+    print(f"per-die loop         : {record['per_die_loop']['seconds']*1e3:.1f} ms")
+    print(f"stacked pass         : {record['stacked']['seconds']*1e3:.1f} ms")
+    print(f"speedup              : {record['speedup']:.2f}X "
+          f"(float32: {record['speedup_float32']:.2f}X)")
+    print(f"written              : {RESULT_PATH}")
+
+    assert record["speedup"] >= floor, (
+        f"stacked wafer pass only {record['speedup']:.2f}X faster than the "
+        f"per-die loop (floor {floor:.1f}X)"
+    )
+    # The two paths estimate the same wafer: aggregates must agree closely.
+    agree = record["agreement"]
+    assert abs(
+        agree["mean_chip_yield_stacked"] - agree["mean_chip_yield_loop"]
+    ) < 0.05
+
+
+if __name__ == "__main__":
+    test_stacked_wafer_speedup()

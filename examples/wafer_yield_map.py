@@ -11,13 +11,20 @@ sizing strategies:
 * upsizing to the correlation-relaxed Wmin with aligned-active cells,
   de-rated per die by the local misalignment angle.
 
-All per-die yield evaluations go through the precomputed yield-surface
-serving layer: one device-pF surface is swept over (width, CNT density)
-up front, and each strategy is a single batched
-:class:`~repro.serving.YieldService` query over every die's local density
-— no per-die closed-form re-evaluation.
+Two engines drive the per-die numbers:
 
-The output is a text yield map plus good-die counts per strategy.
+* the *stacked wafer Monte Carlo runner*
+  (:func:`repro.montecarlo.wafer_sim.simulate_wafer`) simulates every
+  die's CNT growth directly — one die × trial × track pass answers all
+  sizing widths from the same sampled tracks — and prints a radial yield
+  summary for a measurable compute-tile workload;
+* the precomputed yield-surface serving layer answers the deep-tail
+  full-chip strategies (pF ~ 1e-9, beyond direct per-die sampling) as one
+  batched :class:`~repro.serving.YieldService` query over every die's
+  local density.
+
+The output is the Monte Carlo radial table plus a text yield map and
+good-die counts per strategy.
 
 Run with::
 
@@ -31,6 +38,12 @@ from repro.core.calibration import CalibratedSetup
 from repro.core.circuit_yield import yield_from_uniform_failure_probability_array
 from repro.growth.pitch import pitch_distribution_from_cv
 from repro.growth.wafer import WaferGrowthModel
+from repro.montecarlo.wafer_sim import simulate_wafer
+from repro.reporting.tables import (
+    WAFER_SUMMARY_COLUMNS,
+    render_table,
+    wafer_summary_rows,
+)
 from repro.serving import YieldService
 from repro.surface import GridAxis, SurfaceBuilder, SweepSpec
 
@@ -74,7 +87,36 @@ def render_map(wafer, values, threshold=0.5):
     return "\n".join(lines)
 
 
-def main(die_size_mm: float = 10.0, misalignment_samples: int = 2_000) -> None:
+def monte_carlo_tile_study(wafer, setup, n_trials: int = 2_048) -> None:
+    """Direct stacked Monte Carlo over the wafer for a measurable workload.
+
+    Simulates a 10k-minimum-size-device compute tile per die at two sizing
+    widths under the pessimistic processing corner — a regime where
+    per-die failures are frequent enough for direct sampling — and prints
+    the radial yield table.  Both widths are answered from the *same*
+    sampled tracks of each trial (they physically share them), which is
+    what makes whole-wafer Monte Carlo affordable.
+    """
+    pitch = pitch_distribution_from_cv(setup.mean_pitch_nm, setup.pitch_cv)
+    result = simulate_wafer(
+        wafer,
+        pitch,
+        setup.corner.to_type_model(),
+        widths_nm=[80.0, 120.0],
+        device_counts=[5_000.0, 5_000.0],
+        n_trials=n_trials,
+        seed_key=(20100616,),
+    )
+    print(f"--- stacked Monte Carlo: 10k-device tile per die, "
+          f"{result.n_trials} trials/die")
+    print(render_table(wafer_summary_rows(result),
+                       columns=WAFER_SUMMARY_COLUMNS))
+    print(f"    expected good dice: {result.expected_good_dice:.1f}"
+          f"/{result.die_count}\n")
+
+
+def main(die_size_mm: float = 10.0, misalignment_samples: int = 2_000,
+         mc_trials: int = 2_048) -> None:
     setup = CalibratedSetup()
     wafer = WaferGrowthModel(
         wafer_diameter_mm=100.0,
@@ -136,6 +178,7 @@ def main(die_size_mm: float = 10.0, misalignment_samples: int = 2_000) -> None:
 
     print(f"Wafer: {wafer.die_count} dies, {wafer.wafer_diameter_mm:.0f} mm, "
           f"{wafer.die_size_mm:.0f} mm dies")
+    monte_carlo_tile_study(wafer, setup, n_trials=mc_trials)
     print(f"Nominal relaxation factor: {nominal_relaxation:.0f}X")
     print(f"Yield surface: {surface.key} "
           f"({surface.width_nm.size}x{surface.cnt_density_per_um.size} grid, "

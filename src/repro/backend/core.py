@@ -1,0 +1,310 @@
+"""Array backend protocol, dtype policy, and the backend registry.
+
+The batched Monte Carlo engine is an array program: one 2D gap draw, a
+``cumsum``, a banded ``searchsorted``, prefix sums, and a handful of
+gathers.  None of those steps is NumPy-specific — they exist verbatim in
+CuPy and (under slightly different names) in PyTorch — so the engine is
+written against the small namespace protocol defined here instead of
+against ``numpy`` directly.
+
+:class:`ArrayBackend` is that protocol.  A backend bundles three things:
+
+* the *array namespace* — ``cumsum``, ``searchsorted``, ``take``,
+  ``concatenate`` … (elementwise arithmetic and comparisons go through the
+  arrays' own operators and need no dispatch);
+* the *RNG adapter* — :meth:`ArrayBackend.uniform` and
+  :meth:`ArrayBackend.sample_gaps` turn the caller's
+  :class:`numpy.random.Generator` (the single source of randomness, keyed
+  by ``spawn_key`` for reproducible chunking) into draws on the backend's
+  device;
+* the *dtype policy* — ``dtype`` is the storage/compute dtype of track
+  positions and values (float64 reference, float32 for GPU-friendly
+  runs), ``accum_dtype`` the dtype of the reductions that are sensitive
+  to rounding (window prefix sums and likelihood-ratio accumulation),
+  float64 by default even under a float32 storage policy.
+
+Bit-identity contract
+---------------------
+The NumPy backend at float64 must be *bit-identical* to the pre-dispatch
+engine: every method maps to exactly the NumPy call the engine used to
+make, in the same order, and the RNG adapter passes the caller's
+generator straight through (draws always happen in the generator's native
+float64 and are cast to the policy dtype afterwards, so the float32 and
+float64 policies consume identical streams).  The conformance suite under
+``tests/backend/`` pins this down.
+
+Selection
+---------
+``get_backend()`` resolves a backend by name — explicitly, or from the
+``REPRO_BACKEND`` environment variable (default ``numpy``); the dtype
+policy likewise from ``REPRO_DTYPE`` (default ``float64``).  GPU backends
+(``cupy``, ``torch``) are resolved lazily: importing this package never
+imports them, and asking for an unavailable one raises
+:class:`BackendUnavailableError` with an install hint.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ArrayBackend",
+    "BackendUnavailableError",
+    "available_backends",
+    "default_backend",
+    "get_backend",
+    "match_dtype",
+    "register_backend",
+    "resolve_dtype",
+]
+
+
+class BackendUnavailableError(RuntimeError):
+    """Raised when a requested backend's runtime cannot be imported."""
+
+
+_DTYPE_NAMES = {
+    "float32": np.float32,
+    "float64": np.float64,
+    "f32": np.float32,
+    "f64": np.float64,
+}
+
+
+def resolve_dtype(dtype) -> np.dtype:
+    """Normalise a dtype spec (name or NumPy dtype) to a NumPy dtype.
+
+    Only the two floating policies of the engine are accepted; anything
+    else is a configuration error worth failing loudly on.
+    """
+    if isinstance(dtype, str):
+        try:
+            dtype = _DTYPE_NAMES[dtype.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown dtype policy {dtype!r}; expected one of "
+                f"{sorted(set(_DTYPE_NAMES))}"
+            ) from None
+    dt = np.dtype(dtype)
+    if dt not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError(
+            f"dtype policy must be float32 or float64, got {dt}"
+        )
+    return dt
+
+
+def match_dtype(values, like: np.ndarray) -> np.ndarray:
+    """Cast ``values`` to the dtype of ``like`` (no copy when it already matches).
+
+    This is the explicit-cast helper for ``searchsorted`` operands: NumPy
+    silently promotes a float32 haystack + float64 needle to float64,
+    which is a full-array upcast on the hot path (and a hard error on
+    torch, which refuses mixed-dtype searches).  Casting the *queries* to
+    the *positions* dtype keeps the promotion explicit, cheap (queries
+    are the small side), and identical in float64 where it is a no-op.
+    """
+    return np.asarray(values, dtype=like.dtype)
+
+
+class ArrayBackend:
+    """Namespace protocol the engine's array programs are written against.
+
+    The base class implements the whole protocol in terms of ``self.xp``,
+    an array module with NumPy semantics (NumPy itself, CuPy, or a shim).
+    Methods whose semantics differ between runtimes (``searchsorted``
+    side flags, prefix sums, paired gathers, RNG) are the named methods
+    below; everything elementwise stays on the arrays' operators.
+    """
+
+    #: registry name; subclasses override.
+    name: str = "abstract"
+
+    def __init__(self, dtype=np.float64, accum_dtype=np.float64) -> None:
+        self.dtype = resolve_dtype(dtype)
+        self.accum_dtype = resolve_dtype(accum_dtype)
+
+    # -- identity / transport ------------------------------------------------
+
+    @property
+    def xp(self):  # pragma: no cover - subclasses bind a module
+        raise NotImplementedError
+
+    def asarray(self, a, dtype=None):
+        """Backend array from ``a``; ``dtype=None`` keeps the input dtype."""
+        return self.xp.asarray(a, dtype=dtype)
+
+    def to_numpy(self, a) -> np.ndarray:
+        """NumPy array from a backend array (host transfer when needed)."""
+        return np.asarray(a)
+
+    def cast_like(self, values, like):
+        """Backend counterpart of :func:`match_dtype`."""
+        return self.xp.asarray(values, dtype=like.dtype)
+
+    # -- creation ------------------------------------------------------------
+
+    def zeros(self, shape, dtype=None):
+        return self.xp.zeros(shape, dtype=dtype or self.dtype)
+
+    def empty(self, shape, dtype=None):
+        return self.xp.empty(shape, dtype=dtype or self.dtype)
+
+    def full(self, shape, fill_value, dtype=None):
+        return self.xp.full(shape, fill_value, dtype=dtype or self.dtype)
+
+    def arange(self, n, dtype=None):
+        return self.xp.arange(n, dtype=dtype)
+
+    def where(self, cond, a, b):
+        return self.xp.where(cond, a, b)
+
+    # -- the engine's array program ------------------------------------------
+
+    def cumsum(self, a, axis):
+        return self.xp.cumsum(a, axis=axis)
+
+    def concatenate(self, arrays, axis):
+        return self.xp.concatenate(arrays, axis=axis)
+
+    def clip(self, a, lo, hi):
+        return self.xp.clip(a, lo, hi)
+
+    def searchsorted(self, a, v, side):
+        """Insertion indices of ``v`` into sorted ``a``.
+
+        ``v`` must already share ``a``'s dtype (see :func:`match_dtype`);
+        the conformance suite asserts the engine never relies on implicit
+        promotion here.
+        """
+        return self.xp.searchsorted(a, v, side=side)
+
+    def take(self, a, indices):
+        return self.xp.take(a, indices)
+
+    def take_pairs(self, a, rows, cols):
+        """``a[rows, cols]`` for a 2D array and paired index vectors."""
+        return a[rows, cols]
+
+    def prefix_sum(self, values, size=None):
+        """Zero-prefixed inclusive cumulative sum in the accumulator dtype.
+
+        Returns an array of length ``len(values) + 1`` whose element ``i``
+        is the sum of ``values[:i]``, accumulated in ``accum_dtype`` (the
+        window-counting reduction is the engine step most sensitive to
+        float32 rounding, so it gets its own dtype knob).
+        """
+        out = self.xp.zeros((size if size is not None else values.shape[0]) + 1,
+                            dtype=self.accum_dtype)
+        self.xp.cumsum(values, out=out[1:])
+        return out
+
+    def sum(self, a, axis=None):
+        return self.xp.sum(a, axis=axis)
+
+    def any(self, a) -> bool:
+        return bool(self.xp.any(a))
+
+    def exp(self, a):
+        return self.xp.exp(a)
+
+    def power(self, base, exponent):
+        return self.xp.power(base, exponent)
+
+    def reshape(self, a, shape):
+        return self.xp.reshape(a, shape)
+
+    def ravel(self, a):
+        return self.xp.ravel(a)
+
+    # -- RNG adapter ---------------------------------------------------------
+
+    def uniform(self, rng: np.random.Generator, shape):
+        """U(0, 1) draws of ``shape`` on the backend's device.
+
+        Always consumes the caller's generator in its native float64 (so
+        the float32 policy sees the *same* stream, cast) — except on GPU
+        backends, which draw from a device generator deterministically
+        derived from ``rng`` (see :meth:`device_rng`).
+        """
+        raise NotImplementedError
+
+    def sample_gaps(self, pitch, shape, rng: np.random.Generator, out=None):
+        """Inter-CNT gap draws from ``pitch`` of ``shape``, policy dtype.
+
+        ``out`` is an optional pre-allocated destination (a view into a
+        stacked batch); backends may ignore it and return a fresh array —
+        callers must use the *returned* array either way.
+        """
+        raise NotImplementedError
+
+    # -- plumbing ------------------------------------------------------------
+
+    def __reduce__(self):
+        # Backends ride inside picklable chunk payloads dispatched to
+        # process pools; reconstruct by name so workers re-resolve the
+        # runtime locally instead of shipping module handles.
+        return (get_backend, (self.name, self.dtype.name, self.accum_dtype.name))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(name={self.name!r}, dtype={self.dtype.name}, "
+            f"accum_dtype={self.accum_dtype.name})"
+        )
+
+
+_REGISTRY: Dict[str, Callable[[np.dtype, np.dtype], ArrayBackend]] = {}
+_CACHE: Dict[Tuple[str, str, str], ArrayBackend] = {}
+
+
+def register_backend(
+    name: str, factory: Callable[[np.dtype, np.dtype], ArrayBackend]
+) -> None:
+    """Register a backend factory under ``name`` (used by :func:`get_backend`)."""
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names accepted by :func:`get_backend` (availability checked lazily)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(
+    name: Optional[str] = None,
+    dtype=None,
+    accum_dtype=None,
+) -> ArrayBackend:
+    """Resolve a backend by name and dtype policy.
+
+    ``None`` arguments fall back to the ``REPRO_BACKEND`` / ``REPRO_DTYPE``
+    environment variables and then to ``numpy`` / ``float64``.  Instances
+    are cached per (name, dtype, accum_dtype) — backends are stateless.
+    """
+    if name is None:
+        name = os.environ.get("REPRO_BACKEND", "numpy")
+    if dtype is None:
+        dtype = os.environ.get("REPRO_DTYPE", "float64")
+    dt = resolve_dtype(dtype)
+    if accum_dtype is None:
+        accum_dtype = os.environ.get("REPRO_ACCUM_DTYPE", "float64")
+    accum = resolve_dtype(accum_dtype)
+    key = (name, dt.name, accum.name)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; known backends: {available_backends()}"
+        ) from None
+    backend = factory(dt, accum)
+    _CACHE[key] = backend
+    return backend
+
+
+def default_backend() -> ArrayBackend:
+    """The environment-selected backend (``numpy``/``float64`` by default)."""
+    return get_backend()

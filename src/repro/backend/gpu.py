@@ -1,0 +1,261 @@
+"""GPU backends: CuPy (drop-in NumPy namespace) and PyTorch (shimmed).
+
+Imported lazily by the factories in :mod:`repro.backend` — importing the
+backend package never imports CuPy or torch, and resolving one that is
+not installed raises
+:class:`~repro.backend.core.BackendUnavailableError`.  Neither runtime is
+available in CI, so this module is exercised only by the ``gpu``-marked
+conformance tests (auto-skipped elsewhere) and is excluded from the
+coverage gate (see ``.coveragerc``).
+
+RNG derivation
+--------------
+Engine callers hand every kernel a :class:`numpy.random.Generator`
+spawned from the chunk tree, which is what makes runs independent of
+``n_workers``.  GPU backends cannot share that stream directly; instead
+every device draw consumes one 63-bit integer from the *host* generator
+and seeds a fresh device generator with it.  The derivation is
+deterministic — same spawn key, same call sequence, same device streams —
+so GPU runs keep the bitwise ``n_workers`` invariance *within* a backend,
+while drawing different (equally valid) randomness than the NumPy
+reference; the conformance suite therefore holds GPU backends to
+statistical, not bitwise, agreement.  (Host generators cannot be weakly
+referenced, so a per-generator device-RNG cache is not an option; one
+host draw per device draw is the stateless alternative.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.core import ArrayBackend, BackendUnavailableError
+
+__all__ = ["CupyBackend", "TorchBackend"]
+
+
+def _device_seed(rng: np.random.Generator) -> int:
+    """Fresh deterministic device seed, advancing the host stream once."""
+    return int(rng.integers(0, 2**63))
+
+
+class CupyBackend(ArrayBackend):
+    """CuPy backend: the NumPy namespace on a CUDA device."""
+
+    name = "cupy"
+
+    def __init__(self, dtype=np.float64, accum_dtype=np.float64) -> None:
+        try:
+            import cupy
+        except ImportError as exc:
+            raise BackendUnavailableError(
+                "backend 'cupy' requested but cupy is not importable; "
+                "install cupy-cuda* matching your CUDA toolkit"
+            ) from exc
+        super().__init__(dtype=dtype, accum_dtype=accum_dtype)
+        self._cupy = cupy
+
+    @property
+    def xp(self):
+        return self._cupy
+
+    def to_numpy(self, a) -> np.ndarray:
+        return self._cupy.asnumpy(a)
+
+    def device_rng(self, rng: np.random.Generator):
+        """Fresh device generator for one draw, seeded from the host stream."""
+        return self._cupy.random.default_rng(_device_seed(rng))
+
+    def uniform(self, rng: np.random.Generator, shape):
+        return self.device_rng(rng).random(shape, dtype=self.dtype)
+
+    def sample_gaps(self, pitch, shape, rng: np.random.Generator, out=None):
+        # ``out`` is an optimisation hint the protocol allows backends to
+        # ignore; callers use the returned array either way.
+        from repro.growth.pitch import (
+            DeterministicPitch,
+            ExponentialPitch,
+            GammaPitch,
+        )
+
+        dev = self.device_rng(rng)
+        if isinstance(pitch, DeterministicPitch):
+            return self._cupy.full(shape, pitch.pitch_nm, dtype=self.dtype)
+        if isinstance(pitch, ExponentialPitch):
+            u = dev.random(shape, dtype=self.dtype)
+            return -self._cupy.log1p(-u) * pitch.mean_nm
+        if isinstance(pitch, GammaPitch):
+            gaps = dev.standard_gamma(pitch.shape, shape)
+            return self._cupy.asarray(gaps, dtype=self.dtype) * pitch.scale_nm
+        # Families without a device sampler: draw on the host stream and
+        # transfer — correct, just not fast.  (TruncatedNormalPitch etc.)
+        return self._cupy.asarray(pitch.sample_batch(shape, rng),
+                                  dtype=self.dtype)
+
+
+class TorchBackend(ArrayBackend):
+    """PyTorch backend: NumPy-protocol shim over ``torch`` tensor ops.
+
+    The device is ``cuda`` when available, else ``cpu`` (override with the
+    ``REPRO_TORCH_DEVICE`` environment variable) — the CPU fallback makes
+    the conformance suite runnable on any box with torch installed.
+    """
+
+    name = "torch"
+
+    def __init__(self, dtype=np.float64, accum_dtype=np.float64) -> None:
+        try:
+            import torch
+        except ImportError as exc:
+            raise BackendUnavailableError(
+                "backend 'torch' requested but torch is not importable"
+            ) from exc
+        super().__init__(dtype=dtype, accum_dtype=accum_dtype)
+        import os
+
+        self._torch = torch
+        device = os.environ.get("REPRO_TORCH_DEVICE")
+        if device is None:
+            device = "cuda" if torch.cuda.is_available() else "cpu"
+        self.device = torch.device(device)
+
+    # -- dtype plumbing ------------------------------------------------------
+
+    def _tdtype(self, dtype=None):
+        torch = self._torch
+        if isinstance(dtype, torch.dtype):
+            return dtype
+        dt = np.dtype(dtype) if dtype is not None else self.dtype
+        if dt == np.dtype(np.float32):
+            return torch.float32
+        if dt == np.dtype(np.float64):
+            return torch.float64
+        if dt == np.dtype(np.int64):
+            return torch.int64
+        raise ValueError(f"no torch mapping for dtype {dt}")
+
+    @property
+    def xp(self):
+        raise NotImplementedError(
+            "TorchBackend dispatches through explicit methods, not a module"
+        )
+
+    def asarray(self, a, dtype=None):
+        torch = self._torch
+        if isinstance(a, torch.Tensor):
+            return a.to(self._tdtype(dtype)) if dtype is not None else a
+        return torch.as_tensor(
+            np.asarray(a), dtype=self._tdtype(dtype) if dtype is not None else None,
+            device=self.device,
+        )
+
+    def to_numpy(self, a) -> np.ndarray:
+        if isinstance(a, self._torch.Tensor):
+            return a.detach().cpu().numpy()
+        return np.asarray(a)
+
+    def cast_like(self, values, like):
+        return self.asarray(values).to(like.dtype)
+
+    # -- array program -------------------------------------------------------
+
+    def zeros(self, shape, dtype=None):
+        return self._torch.zeros(shape, dtype=self._tdtype(dtype),
+                                 device=self.device)
+
+    def empty(self, shape, dtype=None):
+        return self._torch.empty(shape, dtype=self._tdtype(dtype),
+                                 device=self.device)
+
+    def full(self, shape, fill_value, dtype=None):
+        return self._torch.full(shape, fill_value, dtype=self._tdtype(dtype),
+                                device=self.device)
+
+    def arange(self, n, dtype=None):
+        return self._torch.arange(
+            n, dtype=self._tdtype(dtype) if dtype is not None else None,
+            device=self.device,
+        )
+
+    def where(self, cond, a, b):
+        torch = self._torch
+        if not isinstance(b, torch.Tensor):
+            b = torch.as_tensor(b, dtype=a.dtype if isinstance(a, torch.Tensor)
+                                else None, device=self.device)
+        return torch.where(cond, a, b)
+
+    def cumsum(self, a, axis):
+        return self._torch.cumsum(a, dim=axis)
+
+    def concatenate(self, arrays, axis):
+        return self._torch.cat(tuple(arrays), dim=axis)
+
+    def clip(self, a, lo, hi):
+        return self._torch.clamp(a, min=lo, max=hi)
+
+    def searchsorted(self, a, v, side):
+        return self._torch.searchsorted(a, v, right=(side == "right"))
+
+    def take(self, a, indices):
+        return a[indices]
+
+    def take_pairs(self, a, rows, cols):
+        return a[rows, cols]
+
+    def prefix_sum(self, values, size=None):
+        torch = self._torch
+        n = size if size is not None else values.shape[0]
+        out = torch.zeros(n + 1, dtype=self._tdtype(self.accum_dtype),
+                          device=self.device)
+        torch.cumsum(values.to(out.dtype), dim=0, out=out[1:])
+        return out
+
+    def sum(self, a, axis=None):
+        return self._torch.sum(a, dim=axis) if axis is not None else self._torch.sum(a)
+
+    def any(self, a) -> bool:
+        return bool(self._torch.any(a))
+
+    def exp(self, a):
+        return self._torch.exp(a)
+
+    def power(self, base, exponent):
+        torch = self._torch
+        if not isinstance(base, torch.Tensor):
+            base = torch.as_tensor(base, device=self.device)
+        return torch.pow(base, exponent)
+
+    def reshape(self, a, shape):
+        return self._torch.reshape(a, shape)
+
+    def ravel(self, a):
+        return self._torch.ravel(a)
+
+    # -- RNG adapter ---------------------------------------------------------
+
+    def device_rng(self, rng: np.random.Generator):
+        """Fresh device generator for one draw, seeded from the host stream."""
+        dev = self._torch.Generator(device=self.device)
+        dev.manual_seed(_device_seed(rng))
+        return dev
+
+    def uniform(self, rng: np.random.Generator, shape):
+        if isinstance(shape, int):
+            shape = (shape,)
+        return self._torch.rand(shape, generator=self.device_rng(rng),
+                                dtype=self._tdtype(), device=self.device)
+
+    def sample_gaps(self, pitch, shape, rng: np.random.Generator, out=None):
+        # ``out`` is an optimisation hint the protocol allows backends to
+        # ignore; callers use the returned array either way.
+        from repro.growth.pitch import DeterministicPitch, ExponentialPitch
+
+        torch = self._torch
+        if isinstance(pitch, DeterministicPitch):
+            return torch.full(shape, pitch.pitch_nm, dtype=self._tdtype(),
+                              device=self.device)
+        if isinstance(pitch, ExponentialPitch):
+            u = self.uniform(rng, shape)
+            return -torch.log1p(-u) * pitch.mean_nm
+        # torch has no generator-controlled gamma sampler; draw on the host
+        # stream and transfer (correct, slower — documented limitation).
+        return self.asarray(pitch.sample_batch(shape, rng), dtype=self.dtype)

@@ -28,6 +28,11 @@ without writing Python:
     (default pF ≈ 1e-9) with the chip-yield consequence at the configured
     transistor count, compared against the Eq. 2.3 / 3.1 closed forms.
 
+``python -m repro.cli wafer``
+    Wafer-level Monte Carlo: per-die chip yield under die-to-die CNT
+    density drift, simulated by the stacked (die × trial × track) engine
+    with a radial summary table.
+
 ``python -m repro.cli sweep``
     Precompute yield surfaces (device pF and the Table 1 scenarios) over a
     (width, CNT density) grid and persist them to a surface store.
@@ -332,6 +337,90 @@ def _cmd_rare_event(args: argparse.Namespace) -> int:
     return _emit(args, payload, lines)
 
 
+def _cmd_wafer(args: argparse.Namespace) -> int:
+    from repro.backend import get_backend
+    from repro.growth.pitch import pitch_distribution_from_cv
+    from repro.growth.wafer import WaferGrowthModel
+    from repro.montecarlo.wafer_sim import per_die_loop, simulate_wafer
+    from repro.reporting.tables import (
+        WAFER_SUMMARY_COLUMNS,
+        render_table,
+        wafer_summary_rows,
+    )
+
+    setup = _build_setup(args)
+    if args.widths_nm is not None:
+        widths = _parse_float_list(args.widths_nm, "--widths-nm")
+    else:
+        # The per-die yield below multiplies *independent* device survival
+        # probabilities (Eq. 2.3), so the matching default sizing is the
+        # uncorrelated Wmin; the correlated Wmin only reaches the target
+        # together with the Eq. 3.1 row model.
+        widths = [setup.wmin_uncorrelated_nm()]
+    if args.device_counts is not None:
+        counts = _parse_float_list(args.device_counts, "--device-counts")
+    else:
+        counts = [setup.min_size_device_count / len(widths)] * len(widths)
+
+    model = WaferGrowthModel(
+        wafer_diameter_mm=args.wafer_diameter_mm,
+        die_size_mm=args.die_size_mm,
+        center_pitch_nm=args.mean_pitch_nm,
+        edge_pitch_drift=args.edge_pitch_drift,
+        pitch_noise_sigma=args.pitch_noise_sigma,
+    )
+    wafer = model.generate(np.random.default_rng(args.seed))
+    pitch = pitch_distribution_from_cv(args.mean_pitch_nm, args.pitch_cv)
+    type_model = setup.corner.to_type_model()
+    backend = get_backend(args.backend, dtype=args.dtype) if (
+        args.backend or args.dtype
+    ) else None
+    runner = per_die_loop if args.per_die_loop else simulate_wafer
+    kwargs = {} if args.per_die_loop else {
+        "n_workers": args.workers, "backend": backend,
+    }
+    result = runner(
+        wafer, pitch, type_model, widths, counts,
+        n_trials=args.trials,
+        seed_key=(args.seed,),
+        good_die_threshold=args.good_die_threshold,
+        **kwargs,
+    )
+    payload = {
+        "die_count": result.die_count,
+        "n_trials": result.n_trials,
+        "widths_nm": list(result.widths_nm),
+        "device_counts": list(result.device_counts),
+        "mean_chip_yield": result.mean_chip_yield,
+        "good_die_fraction": result.good_die_fraction,
+        "expected_good_dice": result.expected_good_dice,
+        "dice": [
+            {
+                "column": d.column, "row": d.row,
+                "x_mm": d.x_mm, "y_mm": d.y_mm,
+                "mean_pitch_nm": d.mean_pitch_nm,
+                "cnt_density_per_um": d.cnt_density_per_um,
+                "chip_yield": d.chip_yield,
+                "chip_yield_se": d.chip_yield_se,
+            }
+            for d in result.dice
+        ],
+    }
+    lines = [
+        f"dies                 : {result.die_count} "
+        f"({args.wafer_diameter_mm:.0f} mm wafer, "
+        f"{args.die_size_mm:.0f} mm dies)",
+        f"trials per die       : {result.n_trials}",
+        f"width classes (nm)   : {', '.join(f'{w:.1f}' for w in result.widths_nm)}",
+        f"mean chip yield      : {result.mean_chip_yield:.4f}",
+        f"good-die fraction    : {result.good_die_fraction:.3f} "
+        f"(threshold {result.good_die_threshold:g})",
+        f"expected good dice   : {result.expected_good_dice:.1f}",
+        render_table(wafer_summary_rows(result), columns=WAFER_SUMMARY_COLUMNS),
+    ]
+    return _emit(args, payload, lines)
+
+
 def _cmd_netlist(args: argparse.Namespace) -> int:
     from repro.cells.nangate45 import build_nangate45_library
     from repro.netlist.openrisc import build_openrisc_like_design
@@ -518,6 +607,42 @@ def build_parser() -> argparse.ArgumentParser:
     rare.add_argument("--tilt-factor", type=float, default=None,
                       help="mean-pitch stretch factor (auto when omitted)")
     rare.add_argument("--seed", type=int, default=2010, help="RNG seed")
+
+    wafer = add_subparser(
+        "wafer", _cmd_wafer,
+        "wafer-level per-die yield under CNT density drift (stacked engine)",
+    )
+    wafer.add_argument("--wafer-diameter-mm", type=float, default=100.0,
+                       help="usable wafer diameter (default 100)")
+    wafer.add_argument("--die-size-mm", type=float, default=10.0,
+                       help="square die edge length (default 10)")
+    wafer.add_argument("--edge-pitch-drift", type=float, default=0.15,
+                       help="relative pitch increase at the wafer edge")
+    wafer.add_argument("--pitch-noise-sigma", type=float, default=0.02,
+                       help="die-to-die random pitch component (relative)")
+    wafer.add_argument("--widths-nm", type=str, default=None,
+                       help="comma-separated device width classes "
+                            "(default: the uncorrelated Wmin, which matches "
+                            "the independent-device Eq. 2.3 product)")
+    wafer.add_argument("--device-counts", type=str, default=None,
+                       help="devices per width class per die "
+                            "(default: Mmin split evenly)")
+    wafer.add_argument("--trials", type=int, default=2048,
+                       help="Monte Carlo trials per die (default 2048)")
+    wafer.add_argument("--good-die-threshold", type=float, default=0.5,
+                       help="yield above which a die counts as good")
+    wafer.add_argument("--workers", type=int, default=1,
+                       help="processes for die groups (results identical)")
+    wafer.add_argument("--backend", type=str, default=None,
+                       help="array backend (numpy/cupy/torch; default: "
+                            "REPRO_BACKEND or numpy)")
+    wafer.add_argument("--dtype", type=str, default=None,
+                       help="dtype policy float64/float32 (default: "
+                            "REPRO_DTYPE or float64)")
+    wafer.add_argument("--per-die-loop", action="store_true",
+                       help="use the reference die-by-die loop instead of "
+                            "the stacked engine (cross-check/benchmark)")
+    wafer.add_argument("--seed", type=int, default=20100616, help="RNG seed")
 
     netlist = add_subparser(
         "netlist", _cmd_netlist, "generate the synthetic OpenRISC-like netlist",

@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 import repro.montecarlo.rare_event as rare_event
+from repro.backend import ArrayBackend, default_backend
 from repro.growth.pitch import GapTilt, PitchDistribution, pitch_distribution_from_cv
 from repro.growth.types import CNTTypeModel
 from repro.montecarlo.engine import (
@@ -150,6 +151,7 @@ class _ChipGeometry:
     window_weight: np.ndarray
     window_row: np.ndarray
     row_starts: np.ndarray
+    backend: Optional[ArrayBackend] = None
 
 
 def _simulate_chip_chunk(
@@ -159,14 +161,18 @@ def _simulate_chip_chunk(
 
     Every (trial, row) pair is one renewal trial; flat trial ``t * n_rows + r``
     carries row ``r`` of chip trial ``t``.  Returns the per-trial failing
-    device and failing row counts.
+    device and failing row counts.  The window-counting pass runs on the
+    geometry's backend; the per-row reduction is a host-side ``reduceat``
+    over the (small) per-window results.
     """
+    xp = geometry.backend if geometry.backend is not None else default_backend()
     n_rows = geometry.n_rows
     batch = sample_track_batch(
-        geometry.pitch, geometry.row_height_nm, n_chunk * n_rows, rng
+        geometry.pitch, geometry.row_height_nm, n_chunk * n_rows, rng,
+        backend=xp,
     )
     working = (
-        rng.random(batch.positions.shape) >= geometry.per_cnt_failure
+        xp.uniform(rng, batch.positions.shape) >= geometry.per_cnt_failure
     ) & batch.valid
 
     n_windows = geometry.window_lo.size
@@ -174,14 +180,15 @@ def _simulate_chip_chunk(
         np.repeat(np.arange(n_chunk) * n_rows, n_windows)
         + np.tile(geometry.window_row, n_chunk)
     )
-    counts = count_in_windows_flat(
+    counts = xp.to_numpy(count_in_windows_flat(
         batch.positions,
         working,
         geometry.row_height_nm,
         np.tile(geometry.window_lo, n_chunk),
         np.tile(geometry.window_hi, n_chunk),
         trial_index,
-    ).reshape(n_chunk, n_windows)
+        backend=xp,
+    )).reshape(n_chunk, n_windows)
 
     failing = counts == 0
     failing_devices = (failing * geometry.window_weight).sum(axis=1).astype(float)
@@ -212,6 +219,7 @@ def _simulate_chip_chunk_tilted(
     probabilities) and per-trial failing-device expectations.
     """
     geometry = payload.geometry
+    xp = geometry.backend if geometry.backend is not None else default_backend()
     n_rows = geometry.n_rows
     batch = sample_track_batch(
         payload.tilt.tilted,
@@ -219,6 +227,7 @@ def _simulate_chip_chunk_tilted(
         n_chunk * n_rows,
         rng,
         offset_mean_nm=payload.tilt.nominal.mean_nm,
+        backend=xp,
     )
     n_windows = geometry.window_lo.size
     trial_index = (
@@ -228,18 +237,21 @@ def _simulate_chip_chunk_tilted(
     hi = np.tile(geometry.window_hi, n_chunk)
     counts, stop_index = count_in_windows_flat(
         batch.positions,
-        batch.valid.astype(float),
+        xp.asarray(batch.valid, dtype=xp.dtype),
         geometry.row_height_nm,
         np.tile(geometry.window_lo, n_chunk),
         hi,
         trial_index,
         return_stop_index=True,
+        backend=xp,
     )
     log_w = rare_event.window_stopped_log_weights(
-        batch, payload.tilt, hi, trial_index, stop_index=stop_index
+        batch, payload.tilt, hi, trial_index, stop_index=stop_index,
+        backend=xp,
     )
-    values = (np.power(geometry.per_cnt_failure, counts)
-              * np.exp(log_w)).reshape(n_chunk, n_windows)
+    values = xp.to_numpy(
+        xp.power(geometry.per_cnt_failure, counts) * xp.exp(log_w)
+    ).reshape(n_chunk, n_windows)
     row_sums = np.add.reduceat(values, geometry.row_starts, axis=1)
     device_sums = (values * geometry.window_weight).sum(axis=1)
     return row_sums, device_sums
@@ -267,6 +279,11 @@ class ChipMonteCarlo:
     small_width_threshold_nm:
         Devices at or below this width are counted as "small" in the
         statistics (mirrors the Mmin bookkeeping of the analytical model).
+    backend:
+        Array backend for the batched passes (see :mod:`repro.backend`).
+        ``None`` resolves the environment default at chunk-execution time
+        (``REPRO_BACKEND`` / ``REPRO_DTYPE``); an explicit backend pins the
+        run to it regardless of the environment.
     """
 
     def __init__(
@@ -276,8 +293,10 @@ class ChipMonteCarlo:
         type_model: Optional[CNTTypeModel] = None,
         row_height_nm: Optional[float] = None,
         small_width_threshold_nm: float = 160.0,
+        backend: Optional[ArrayBackend] = None,
     ) -> None:
         self.placement = placement
+        self.backend = backend
         self.pitch = pitch or pitch_distribution_from_cv(4.0, 1.0)
         self.type_model = type_model or CNTTypeModel()
         self.small_width_threshold_nm = ensure_positive(
@@ -368,6 +387,7 @@ class ChipMonteCarlo:
             window_weight=np.asarray(weight, dtype=np.int64),
             window_row=np.asarray(row_of_window, dtype=np.int64),
             row_starts=np.asarray(row_starts, dtype=np.int64),
+            backend=self.backend,
         )
 
     @property

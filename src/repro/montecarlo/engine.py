@@ -27,6 +27,20 @@ array programs over a leading ``(n_trials, ...)`` batch axis:
   ``n_workers=4`` consumes exactly the same per-chunk streams as a serial
   run and produces bitwise-identical statistics.
 
+Backend dispatch
+----------------
+Every array kernel takes an optional ``backend``
+(:class:`repro.backend.ArrayBackend`); ``None`` resolves the
+environment-selected default (``REPRO_BACKEND`` / ``REPRO_DTYPE``, NumPy
+float64 out of the box).  The NumPy float64 path maps one-to-one onto the
+pre-dispatch implementation and is bit-identical to it; float32 and GPU
+policies are held to tolerance by the conformance suite under
+``tests/backend/``.  Search operands are explicitly cast to the positions
+dtype (:meth:`~repro.backend.ArrayBackend.cast_like`) — NumPy would
+silently promote a float32 haystack to float64 on every query batch, and
+torch refuses mixed-dtype searches outright — and band offsets are built
+in the positions dtype for the same reason.
+
 Workers receive ``(payload, n_chunk, stream)`` tuples through
 :func:`run_chunked`; the payload must be picklable (the simulators pass
 small dataclasses of NumPy arrays plus the pitch/type models).
@@ -41,6 +55,7 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.backend import ArrayBackend, default_backend
 from repro.growth.pitch import PitchDistribution
 from repro.units import ensure_positive
 
@@ -87,6 +102,11 @@ class TrackBatch:
     def n_trials(self) -> int:
         return self.positions.shape[0]
 
+    @property
+    def dtype(self):
+        """Storage dtype of the track positions (the backend's policy dtype)."""
+        return self.positions.dtype
+
     def counts(self) -> np.ndarray:
         """Number of in-span tracks per trial, shape ``(n_trials,)``."""
         return self.valid.sum(axis=1)
@@ -113,6 +133,7 @@ def sample_track_batch(
     n_trials: int,
     rng: np.random.Generator,
     offset_mean_nm: Optional[float] = None,
+    backend: Optional[ArrayBackend] = None,
 ) -> TrackBatch:
     """Sample the CNT tracks of ``n_trials`` independent rows in one pass.
 
@@ -125,25 +146,26 @@ def sample_track_batch(
     here while ``pitch`` itself is the tilted distribution, so the offset law
     is common to both measures and only the gaps enter the likelihood ratio.
     """
+    xp = backend if backend is not None else default_backend()
     ensure_positive(span_nm, "span_nm")
     if n_trials <= 0:
         raise ValueError("n_trials must be positive")
     if offset_mean_nm is None:
         offset_mean_nm = pitch.mean_nm
     ensure_positive(offset_mean_nm, "offset_mean_nm")
-    start_offsets = rng.random(n_trials) * offset_mean_nm
+    start_offsets = xp.uniform(rng, n_trials) * offset_mean_nm
     n_gaps = estimate_gap_count(pitch, span_nm)
-    gaps = pitch.sample_batch((n_trials, n_gaps), rng)
-    positions = np.cumsum(gaps, axis=1)
+    gaps = xp.sample_gaps(pitch, (n_trials, n_gaps), rng)
+    positions = xp.cumsum(gaps, axis=1)
     positions -= start_offsets[:, None]
     # Top up the rare trials whose gap budget did not clear the span.  The
     # extra draws are appended for every trial (keeping the array
     # rectangular); out-of-span tracks are masked below either way.
-    while np.any(positions[:, -1] <= span_nm):
+    while xp.any(positions[:, -1] <= span_nm):
         block = max(16, n_gaps // 4)
-        extra = pitch.sample_batch((n_trials, block), rng)
-        tail = positions[:, -1][:, None] + np.cumsum(extra, axis=1)
-        positions = np.concatenate([positions, tail], axis=1)
+        extra = xp.sample_gaps(pitch, (n_trials, block), rng)
+        tail = positions[:, -1][:, None] + xp.cumsum(extra, axis=1)
+        positions = xp.concatenate([positions, tail], axis=1)
     valid = (positions >= 0.0) & (positions <= span_nm)
     return TrackBatch(
         positions=positions,
@@ -159,12 +181,15 @@ def sample_track_counts(
     n_trials: int,
     rng: np.random.Generator,
     batch_elements: int = DEFAULT_BATCH_ELEMENTS,
+    backend: Optional[ArrayBackend] = None,
 ) -> np.ndarray:
     """Per-trial count of tracks captured by a span, shape ``(n_trials,)``.
 
     Internally chunks the trial axis so peak memory stays bounded by
-    ``batch_elements`` regardless of ``n_trials``.
+    ``batch_elements`` regardless of ``n_trials``.  Counts are returned on
+    the host (NumPy int64) whatever the backend.
     """
+    xp = backend if backend is not None else default_backend()
     if n_trials <= 0:
         raise ValueError("n_trials must be positive")
     per_trial = max(1, estimate_gap_count(pitch, span_nm))
@@ -173,13 +198,15 @@ def sample_track_counts(
     done = 0
     while done < n_trials:
         n = min(chunk, n_trials - done)
-        counts[done:done + n] = sample_track_batch(pitch, span_nm, n, rng).counts()
+        counts[done:done + n] = xp.to_numpy(
+            sample_track_batch(pitch, span_nm, n, rng, backend=xp).counts()
+        )
         done += n
     return counts
 
 
 def _banded_positions(
-    positions: np.ndarray, span_nm: float
+    positions: np.ndarray, span_nm: float, xp: ArrayBackend
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Flatten sorted trial rows into one globally sorted banded array.
 
@@ -188,12 +215,25 @@ def _banded_positions(
     (trial, query) pair at once.  Clipping just outside the query range is
     monotone, preserves sortedness, and never moves a track across a query
     boundary (queries live inside ``[0, span]``).  Returns the flattened
-    array and the per-trial band offsets.
+    array and the per-trial band offsets, both in the positions dtype (an
+    implicit float64 band would silently promote every float32 search) —
+    except when a float32 band would be *inaccurate*: offsets grow with
+    the trial count, and once the float32 ulp at the top band exceeds a
+    fraction of the pad, rounding of ``position + offset`` can move
+    tracks across window edges.  Such batches are banded in float64
+    (correctness beats the bandwidth saving; float64 batches never hit
+    this, their ulp at any realistic band is sub-femtometre).
     """
     pad = 1.0
     stride = span_nm + 4.0 * pad
-    offsets = np.arange(positions.shape[0], dtype=float) * stride
-    flat = (np.clip(positions, -pad, span_nm + pad) + offsets[:, None]).ravel()
+    band_dtype = positions.dtype
+    if xp.dtype == np.dtype(np.float32):
+        top_offset = np.float32((positions.shape[0] - 1) * stride)
+        if np.spacing(top_offset) > pad / 8.0:
+            band_dtype = np.dtype(np.float64)
+            positions = xp.asarray(positions, dtype=band_dtype)
+    offsets = xp.arange(positions.shape[0], dtype=band_dtype) * stride
+    flat = xp.ravel(xp.clip(positions, -pad, span_nm + pad) + offsets[:, None])
     return flat, offsets
 
 
@@ -202,6 +242,7 @@ def window_stop_indices(
     span_nm: float,
     hi: np.ndarray,
     trial_index: np.ndarray,
+    backend: Optional[ArrayBackend] = None,
 ) -> np.ndarray:
     """Per-query slot index of the first track strictly above ``hi``.
 
@@ -209,9 +250,11 @@ def window_stop_indices(
     slot; :func:`sample_track_batch` guarantees the index exists for any
     bound inside the span (the last slot always clears it).
     """
-    flat, offsets = _banded_positions(positions, span_nm)
-    right = np.searchsorted(
-        flat, np.asarray(hi, dtype=float) + offsets[trial_index], side="right"
+    xp = backend if backend is not None else default_backend()
+    flat, offsets = _banded_positions(positions, span_nm, xp)
+    right = xp.searchsorted(
+        flat, xp.cast_like(hi, flat) + xp.take(offsets, trial_index),
+        side="right",
     )
     return right - trial_index * positions.shape[1]
 
@@ -224,6 +267,7 @@ def count_in_windows_flat(
     hi: np.ndarray,
     trial_index: np.ndarray,
     return_stop_index: bool = False,
+    backend: Optional[ArrayBackend] = None,
 ):
     """Weighted track counts for an arbitrary flat list of window queries.
 
@@ -249,15 +293,16 @@ def count_in_windows_flat(
         sampler needs both).
 
     Returns the weighted count per query, shape ``(n_queries,)`` (plus the
-    stop indices when requested).
+    stop indices when requested).  Counts accumulate in the backend's
+    ``accum_dtype`` (float64 by default, even under a float32 policy).
     """
-    flat, offsets = _banded_positions(positions, span_nm)
-    prefix = np.zeros(flat.size + 1)
-    np.cumsum(weights.ravel(), out=prefix[1:])
-    shift = offsets[trial_index]
-    left = np.searchsorted(flat, np.asarray(lo, dtype=float) + shift, side="left")
-    right = np.searchsorted(flat, np.asarray(hi, dtype=float) + shift, side="right")
-    counts = prefix[right] - prefix[left]
+    xp = backend if backend is not None else default_backend()
+    flat, offsets = _banded_positions(positions, span_nm, xp)
+    prefix = xp.prefix_sum(xp.ravel(weights))
+    shift = xp.take(offsets, trial_index)
+    left = xp.searchsorted(flat, xp.cast_like(lo, flat) + shift, side="left")
+    right = xp.searchsorted(flat, xp.cast_like(hi, flat) + shift, side="right")
+    counts = xp.take(prefix, right) - xp.take(prefix, left)
     if return_stop_index:
         return counts, right - trial_index * positions.shape[1]
     return counts
@@ -268,6 +313,7 @@ def count_in_windows(
     weights: np.ndarray,
     lo: np.ndarray,
     hi: np.ndarray,
+    backend: Optional[ArrayBackend] = None,
 ) -> np.ndarray:
     """Weighted track counts on a regular ``(n_trials, n_windows)`` grid.
 
@@ -275,6 +321,7 @@ def count_in_windows(
     trial) or ``(n_trials, n_windows)`` (per-trial windows, e.g. random
     device offsets).  Returns counts of shape ``(n_trials, n_windows)``.
     """
+    xp = backend if backend is not None else default_backend()
     lo = np.asarray(lo, dtype=float)
     hi = np.asarray(hi, dtype=float)
     if lo.ndim == 1:
@@ -294,8 +341,9 @@ def count_in_windows(
         lo.ravel(),
         hi.ravel(),
         trial_index,
+        backend=xp,
     )
-    return counts.reshape(n_trials, n_windows)
+    return xp.reshape(counts, (n_trials, n_windows))
 
 
 # ----------------------------------------------------------------------

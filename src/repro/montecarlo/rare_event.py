@@ -55,6 +55,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.backend import ArrayBackend, default_backend
 from repro.growth.pitch import GapTilt, PitchDistribution
 from repro.montecarlo.engine import (
     DEFAULT_BATCH_ELEMENTS,
@@ -253,11 +254,28 @@ def resolve_tilt(
 # ----------------------------------------------------------------------
 
 
+def _affine_log_weights(
+    tilt: GapTilt, n_gaps, gap_sum, xp: ArrayBackend
+):
+    """``log dP_nominal/dP_tilted`` as the tilt's affine form, on-backend.
+
+    Mirrors :meth:`repro.growth.pitch.GapTilt.log_likelihood_ratio` but
+    accumulates in the backend's ``accum_dtype`` (likelihood-ratio
+    accumulation is the float32 policy's most rounding-sensitive step, so
+    it stays in float64 unless explicitly lowered).
+    """
+    return (
+        xp.asarray(n_gaps, dtype=xp.accum_dtype) * tilt.log_const_per_gap
+        + xp.asarray(gap_sum, dtype=xp.accum_dtype) * tilt.log_slope_per_nm
+    )
+
+
 def sample_weighted_track_batch(
     tilt: GapTilt,
     span_nm: float,
     n_trials: int,
     rng: np.random.Generator,
+    backend: Optional[ArrayBackend] = None,
 ) -> Tuple[TrackBatch, np.ndarray]:
     """Sample tilted renewal trials and their full-span log weights.
 
@@ -268,21 +286,23 @@ def sample_weighted_track_batch(
     track strictly beyond ``span_nm`` — a stopping time of the gap
     filtration, hence unbiased for any functional of the in-span tracks.
     """
+    xp = backend if backend is not None else default_backend()
     batch = sample_track_batch(
         tilt.tilted,
         span_nm,
         n_trials,
         rng,
         offset_mean_nm=tilt.nominal.mean_nm,
+        backend=xp,
     )
     positions = batch.positions
     # First slot strictly beyond the span: rows are sorted and the engine
     # guarantees the last slot cleared the span, so the index always exists.
-    stop_index = np.sum(positions <= span_nm, axis=1)
-    rows = np.arange(positions.shape[0])
-    gap_sum = positions[rows, stop_index] + batch.start_offsets
+    stop_index = xp.sum(positions <= span_nm, axis=1)
+    rows = xp.arange(positions.shape[0])
+    gap_sum = xp.take_pairs(positions, rows, stop_index) + batch.start_offsets
     n_gaps = stop_index + 1
-    log_w = tilt.log_likelihood_ratio(n_gaps, gap_sum)
+    log_w = _affine_log_weights(tilt, n_gaps, gap_sum, xp)
     return batch, log_w
 
 
@@ -292,6 +312,7 @@ def window_stopped_log_weights(
     hi: np.ndarray,
     trial_index: np.ndarray,
     stop_index: Optional[np.ndarray] = None,
+    backend: Optional[ArrayBackend] = None,
 ) -> np.ndarray:
     """Per-query log weights stopped at each query's own upper bound.
 
@@ -307,6 +328,7 @@ def window_stopped_log_weights(
     counting pass (``count_in_windows_flat(..., return_stop_index=True)``)
     instead of paying a second banded searchsorted.
     """
+    xp = backend if backend is not None else default_backend()
     positions = batch.positions
     if batch.start_offsets is None:
         raise ValueError("batch must carry start_offsets (engine-sampled)")
@@ -315,12 +337,12 @@ def window_stopped_log_weights(
         raise ValueError("window upper bounds must lie inside the span")
     if stop_index is None:
         stop_index = window_stop_indices(
-            positions, batch.span_nm, hi, trial_index
+            positions, batch.span_nm, hi, trial_index, backend=xp
         )
-    gap_sum = (positions[trial_index, stop_index]
-               + batch.start_offsets[trial_index])
+    gap_sum = (xp.take_pairs(positions, trial_index, stop_index)
+               + xp.take(batch.start_offsets, trial_index))
     n_gaps = stop_index + 1
-    return tilt.log_likelihood_ratio(n_gaps, gap_sum)
+    return _affine_log_weights(tilt, n_gaps, gap_sum, xp)
 
 
 # ----------------------------------------------------------------------
@@ -335,17 +357,21 @@ class _TiltedDevicePayload:
     tilt: GapTilt
     width_nm: float
     per_cnt_failure: float
+    backend: Optional[ArrayBackend] = None
 
 
 def _device_tilted_chunk(
     payload: _TiltedDevicePayload, n_chunk: int, rng: np.random.Generator
 ) -> Tuple[np.ndarray]:
     """One chunk of tilted device trials: per-trial contributions."""
+    xp = payload.backend if payload.backend is not None else default_backend()
     batch, log_w = sample_weighted_track_batch(
-        payload.tilt, payload.width_nm, n_chunk, rng
+        payload.tilt, payload.width_nm, n_chunk, rng, backend=xp
     )
-    values = np.power(payload.per_cnt_failure, batch.counts().astype(float))
-    return (values * np.exp(log_w),)
+    values = xp.power(
+        payload.per_cnt_failure, xp.asarray(batch.counts(), dtype=xp.accum_dtype)
+    )
+    return (xp.to_numpy(values * xp.exp(log_w)),)
 
 
 def _default_trial_chunk(
@@ -363,6 +389,7 @@ def sample_tilted_contributions(
     per_cnt_failure: float,
     n_samples: int,
     rng: np.random.Generator,
+    backend: Optional[ArrayBackend] = None,
 ) -> np.ndarray:
     """Per-trial contributions ``pf^N · w`` for ``n_samples`` tilted trials.
 
@@ -375,7 +402,8 @@ def sample_tilted_contributions(
     if n_samples <= 0:
         raise ValueError("n_samples must be positive")
     payload = _TiltedDevicePayload(
-        tilt=tilt, width_nm=float(span_nm), per_cnt_failure=float(per_cnt_failure)
+        tilt=tilt, width_nm=float(span_nm),
+        per_cnt_failure=float(per_cnt_failure), backend=backend,
     )
     chunk = _default_trial_chunk(tilt.tilted, span_nm, n_samples)
     contributions = np.empty(n_samples)
@@ -396,6 +424,7 @@ def estimate_device_failure_tilted(
     tilt_factor: Optional[float] = None,
     trial_chunk: Optional[int] = None,
     n_workers: int = 1,
+    backend: Optional[ArrayBackend] = None,
 ) -> WeightedEstimate:
     """Importance-sampled device failure probability pF(W) — the tail path.
 
@@ -411,7 +440,8 @@ def estimate_device_failure_tilted(
     if trial_chunk is None:
         trial_chunk = _default_trial_chunk(tilt.tilted, width_nm, n_samples)
     payload = _TiltedDevicePayload(
-        tilt=tilt, width_nm=float(width_nm), per_cnt_failure=float(per_cnt_failure)
+        tilt=tilt, width_nm=float(width_nm),
+        per_cnt_failure=float(per_cnt_failure), backend=backend,
     )
     chunks = run_chunked(
         _device_tilted_chunk,

@@ -1,0 +1,626 @@
+"""Wafer-level batched Monte Carlo: every die of a wafer in one stacked pass.
+
+:mod:`repro.growth.wafer` models die-to-die growth variation — each die of
+a :class:`~repro.growth.wafer.WaferMap` carries its own mean CNT pitch —
+which makes every die a *distinct* simulation: a different gap law, hence
+a different renewal process, hence a separate Monte Carlo run.  Looping
+the single-die estimator over a wafer wastes most of its time on per-die
+overheads and on the engine's conservative 8-sigma gap budget.  This
+module simulates the whole wafer as one stacked 3D array program
+(die × trial × track):
+
+* every die's trials are drawn from a *spawn-keyed stream* derived from
+  the die's grid coordinates (:func:`die_stream`) — never from the die's
+  position in a loop — so per-die results are bitwise independent of die
+  ordering, of how dies are grouped into batches, and of ``n_workers``;
+* per-die gap budgets carry a tight 2-sigma margin instead of the
+  engine's 8-sigma one; the rare trials whose budget does not clear the
+  widest window are *topped up exactly* from the same die stream;
+* window counts are answered by a two-level blocked scan
+  (:func:`_blocked_count_leq`): block sums + a block-prefix ``cumsum``
+  locate each trial's crossing block, and a gather + short inner
+  ``cumsum`` refines it — O(tracks / BLOCK) prefix work instead of a
+  dense cumulative sum over every gap, and no banded ``searchsorted``;
+* all device-width classes of a die are answered from the *same* sampled
+  tracks (they physically share them — the paper's correlation insight),
+  where the per-die loop must re-sample per width.
+
+Per die the estimator is the Rao-Blackwellised conditional
+``pf ** N(W)`` of :mod:`repro.montecarlo.device_sim`; per-die chip yield
+is assembled through the Eq. 2.3 product over width classes with a full
+delta-method covariance (the width classes share tracks, so their
+estimates are correlated — the covariance keeps the reported standard
+error honest).  Aggregates are computed in canonical die order
+(sorted by grid coordinates), so they too are order-invariant.
+
+The retained per-die reference path (:func:`per_die_loop`) drives
+:class:`~repro.montecarlo.device_sim.DeviceMonteCarlo` die by die and
+width by width; it is the statistical oracle for the equivalence tests
+and the baseline for ``benchmarks/bench_wafer.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backend import ArrayBackend, default_backend
+from repro.growth.pitch import PitchDistribution
+from repro.growth.types import CNTTypeModel
+from repro.growth.wafer import DieSite, WaferMap
+from repro.montecarlo.engine import DEFAULT_BATCH_ELEMENTS
+from repro.units import ensure_positive
+
+__all__ = [
+    "DieYieldEstimate",
+    "WaferYieldResult",
+    "die_stream",
+    "simulate_die",
+    "simulate_wafer",
+    "per_die_loop",
+]
+
+#: Domain-separation tag mixed into every die stream's spawn key, so wafer
+#: streams can never collide with the engine's chunk streams or the
+#: surface sweep's grid streams under a shared root seed.
+DIE_STREAM_TAG = 0x57A6ED
+
+#: Tracks per block of the two-level count scan.  8 keeps the inner refine
+#: cumsum tiny while cutting the prefix work 8x versus a dense cumsum.
+BLOCK = 8
+
+
+def die_stream(seed_key: Sequence[int], site: DieSite) -> np.random.Generator:
+    """The RNG stream owned by one die under a wafer-run seed key.
+
+    Keyed by the die's *grid coordinates*, not its index in any
+    particular ordering — this is what makes wafer results invariant to
+    die ordering and to how dies are batched across workers.
+    """
+    return np.random.default_rng(
+        [int(part) for part in seed_key]
+        + [DIE_STREAM_TAG, int(site.column), int(site.row)]
+    )
+
+
+# ----------------------------------------------------------------------
+# Result containers
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DieYieldEstimate:
+    """Monte Carlo yield estimate of one die at its local growth statistics."""
+
+    column: int
+    row: int
+    x_mm: float
+    y_mm: float
+    mean_pitch_nm: float
+    n_trials: int
+    widths_nm: Tuple[float, ...]
+    device_counts: Tuple[float, ...]
+    failure_probabilities: Tuple[float, ...]
+    failure_standard_errors: Tuple[float, ...]
+    chip_yield: float
+    chip_yield_se: float
+
+    @property
+    def radius_mm(self) -> float:
+        """Distance of the die centre from the wafer centre."""
+        return math.hypot(self.x_mm, self.y_mm)
+
+    @property
+    def cnt_density_per_um(self) -> float:
+        """Local CNT density implied by the die's mean pitch."""
+        return 1.0e3 / self.mean_pitch_nm
+
+
+@dataclass(frozen=True)
+class WaferYieldResult:
+    """Per-die and wafer-aggregate outcome of one wafer simulation.
+
+    ``dice`` is sorted canonically by (column, row); every aggregate is
+    computed over that order, so results are bitwise invariant to the
+    ordering of the input :class:`~repro.growth.wafer.WaferMap` sites.
+    """
+
+    wafer_diameter_mm: float
+    die_size_mm: float
+    widths_nm: Tuple[float, ...]
+    device_counts: Tuple[float, ...]
+    n_trials: int
+    good_die_threshold: float
+    dice: Tuple[DieYieldEstimate, ...]
+
+    @property
+    def die_count(self) -> int:
+        return len(self.dice)
+
+    def die_yields(self) -> np.ndarray:
+        """Chip yield per die, canonical order."""
+        return np.array([d.chip_yield for d in self.dice])
+
+    @property
+    def mean_chip_yield(self) -> float:
+        """Wafer-average chip yield (the expected per-die yield)."""
+        return float(np.mean(self.die_yields())) if self.dice else float("nan")
+
+    @property
+    def good_die_fraction(self) -> float:
+        """Fraction of dies whose yield estimate clears the threshold."""
+        if not self.dice:
+            return 0.0
+        return float(np.mean(self.die_yields() >= self.good_die_threshold))
+
+    @property
+    def expected_good_dice(self) -> float:
+        """Expected number of good dies on the wafer, Σ_die yield_die."""
+        return float(np.sum(self.die_yields()))
+
+
+# ----------------------------------------------------------------------
+# The stacked kernel
+# ----------------------------------------------------------------------
+
+
+def _tight_gap_budget(pitch: PitchDistribution, span_nm: float) -> int:
+    """Initial gaps per trial: 2-sigma renewal margin, rounded to blocks.
+
+    Deliberately tighter than the engine's 8-sigma
+    :func:`~repro.montecarlo.engine.estimate_gap_count`: the stacked pass
+    tops up the few uncleared trials exactly, so the budget only has to
+    make top-ups *uncommon*, not negligible.
+    """
+    mean = pitch.mean_nm
+    n_mean = (span_nm + mean) / mean
+    cv = pitch.std_nm / mean if mean > 0 else 0.0
+    n0 = int(n_mean + 2.0 * cv * math.sqrt(n_mean + 1.0)) + 4
+    return BLOCK * (-(-n0 // BLOCK))
+
+
+def _blocked_count_leq(g3, prefix, bounds, xp: ArrayBackend):
+    """Per-row count of renewal positions ``<= bound`` via a two-level scan.
+
+    ``g3`` is the gap cube reshaped ``(rows, K, BLOCK)``, ``prefix`` the
+    inclusive block-prefix sums ``(rows, K)``, ``bounds`` one bound per
+    row.  The crossing block of each row is located on the block prefix,
+    then refined with a gather and a BLOCK-wide inner cumsum.  The count
+    is exact for the blockwise-evaluated positions (track ``t`` of block
+    ``j`` sits at ``prefix[j-1] + inner_cumsum``), including rows whose
+    whole budget lies below the bound (returns the full slot count) and
+    rows padded with ``inf`` (padding never counts).
+    """
+    n_blocks = prefix.shape[1]
+    if not xp.any(prefix[:, 0] <= bounds):
+        # Every bound sits inside the first block (true for the renewal
+        # convention's lower bounds, which live below one mean pitch):
+        # no crossing-block search, no gather — same result bitwise.
+        inner = xp.cumsum(g3[:, 0], axis=1)
+        return xp.sum(inner <= bounds[:, None], axis=1)
+    below = prefix <= bounds[:, None]
+    m = xp.clip(xp.sum(below, axis=1), 0, n_blocks - 1)
+    rows = xp.arange(prefix.shape[0])
+    start = xp.where(
+        m > 0, xp.take_pairs(prefix, rows, xp.clip(m - 1, 0, n_blocks - 1)), 0.0
+    )
+    inner = xp.cumsum(xp.take_pairs(g3, rows, m), axis=1)
+    return m * BLOCK + xp.sum(inner <= (bounds - start)[:, None], axis=1)
+
+
+@dataclass(frozen=True)
+class _WaferPayload:
+    """Picklable spec of a wafer run, shared by every die group."""
+
+    pitch: PitchDistribution
+    per_cnt_failure: float
+    widths_nm: Tuple[float, ...]
+    device_counts: Tuple[float, ...]
+    n_trials: int
+    seed_key: Tuple[int, ...]
+    backend: Optional[ArrayBackend] = None
+
+
+def _simulate_die_group(
+    payload: _WaferPayload, sites: Sequence[DieSite]
+) -> List[DieYieldEstimate]:
+    """Simulate one group of dies as a single stacked (die·trial, track) pass.
+
+    Per die only the draws (offsets, gaps, rare exact top-ups) touch the
+    Python level; block prefixes and the per-width counts run once over
+    the whole stack.  Every per-die quantity depends only on that die's
+    own stream and budget, so group composition cannot change results.
+    """
+    xp = payload.backend if payload.backend is not None else default_backend()
+    n_trials = payload.n_trials
+    widths = payload.widths_nm
+    w_max = max(widths)
+    n_dies = len(sites)
+
+    pitches = [payload.pitch.with_mean(site.mean_pitch_nm) for site in sites]
+    budgets = [_tight_gap_budget(p, w_max) for p in pitches]
+    s_max = max(budgets)
+    n_rows = n_dies * n_trials
+
+    gaps = xp.empty((n_rows, s_max))
+    lo = xp.zeros(n_rows)
+    streams = []
+    for i, (site, pitch) in enumerate(zip(sites, pitches)):
+        rng = die_stream(payload.seed_key, site)
+        rows = slice(i * n_trials, (i + 1) * n_trials)
+        lo[rows] = xp.uniform(rng, n_trials) * pitch.mean_nm
+        if budgets[i] == s_max:
+            # Contiguous destination: the backend may draw straight into
+            # the stack without an intermediate allocation.
+            view = gaps[rows]
+            drawn = xp.sample_gaps(pitch, (n_trials, s_max), rng, out=view)
+            if drawn is not view:
+                gaps[rows] = drawn
+        else:
+            gaps[rows, : budgets[i]] = xp.sample_gaps(
+                pitch, (n_trials, budgets[i]), rng
+            )
+            # Padding slots never count: +inf sits above every bound.
+            gaps[rows, budgets[i]:] = np.inf
+        streams.append(rng)
+
+    g3 = xp.reshape(gaps, (n_rows, s_max // BLOCK, BLOCK))
+    # Block sums as a matvec with ones: same reduction, ~3x faster than a
+    # short-axis ``sum`` (NumPy's reduce is slow on 8-wide inner loops).
+    prefix = xp.cumsum(g3 @ xp.full((BLOCK,), 1.0), axis=1)
+
+    n_lo = xp.to_numpy(_blocked_count_leq(g3, prefix, lo, xp))
+    n_hi = np.empty((len(widths), n_rows), dtype=np.int64)
+    for q, width in enumerate(widths):
+        n_hi[q] = xp.to_numpy(
+            _blocked_count_leq(g3, prefix, lo + width, xp)
+        )
+
+    # Exact top-up: trials whose budget did not clear their widest window
+    # continue drawing BLOCK-wide chunks from their own die stream.  Extra
+    # tracks sit strictly above the die's cleared total, so adding
+    # ``#(extra <= hi_q) - #(extra <= lo)`` is a no-op for every window
+    # the main budget already cleared.
+    lo_np = xp.to_numpy(lo).astype(float)
+    for i, site in enumerate(sites):
+        rows = slice(i * n_trials, (i + 1) * n_trials)
+        k_i = budgets[i] // BLOCK
+        total = xp.to_numpy(prefix[rows, k_i - 1]).astype(float)
+        hi_max = lo_np[rows] + w_max
+        alive = np.flatnonzero(total <= hi_max)
+        run = total[alive]
+        while alive.size:
+            extra = np.cumsum(
+                xp.to_numpy(
+                    xp.sample_gaps(pitches[i], (alive.size, BLOCK), streams[i])
+                ).astype(float),
+                axis=1,
+            ) + run[:, None]
+            sel = i * n_trials + alive
+            for q, width in enumerate(widths):
+                n_hi[q, sel] += (
+                    extra <= (lo_np[sel] + width)[:, None]
+                ).sum(axis=1)
+            n_lo[sel] += (extra <= lo_np[sel][:, None]).sum(axis=1)
+            run = extra[:, -1]
+            keep = run <= hi_max[alive]
+            alive = alive[keep]
+            run = run[keep]
+
+    counts = (n_hi - n_lo[None, :]).reshape(len(widths), n_dies, n_trials)
+    values = np.power(payload.per_cnt_failure, counts.astype(float))
+    return _assemble_group(sites, values, payload)
+
+
+def _assemble_group(
+    sites: Sequence[DieSite], values: np.ndarray, payload: _WaferPayload
+) -> List[DieYieldEstimate]:
+    """Fold per-trial ``pf ** N`` values, shape (widths, dies, trials), into
+    per-die yield estimates.
+
+    The width classes share tracks, so their pF estimates are correlated;
+    the Eq. 2.3 chip-yield standard error therefore uses the full
+    delta-method covariance of the per-width means instead of treating
+    them as independent.  All statistics are batched over the die axis
+    (per-(width, die) reductions run over each die's own contiguous trial
+    slice, so a group's estimates match a single-die run bit for bit).
+    """
+    n_widths, n_dies, n_trials = values.shape
+    p = values.mean(axis=2)  # (Q, D)
+    if n_trials > 1:
+        centred = values - p[:, :, None]
+        # (D, Q, T) @ (D, T, Q) -> per-die covariance of the means.
+        cov = (
+            np.matmul(centred.transpose(1, 0, 2), centred.transpose(1, 2, 0))
+            / (n_trials - 1) / n_trials
+        )
+    else:
+        cov = np.zeros((n_dies, n_widths, n_widths))
+    se = np.sqrt(np.diagonal(cov, axis1=1, axis2=2)).T  # (Q, D)
+    counts_q = np.asarray(payload.device_counts, dtype=float)
+    survive = 1.0 - np.clip(p, 0.0, 1.0)
+    ok = np.all(survive > 0.0, axis=0)
+    with np.errstate(divide="ignore"):
+        chip_yield = np.where(
+            ok, np.exp(np.sum(counts_q[:, None] * np.log(
+                np.where(survive > 0.0, survive, 1.0)), axis=0)), 0.0
+        )
+    grad = counts_q[:, None] / np.where(survive > 0.0, survive, 1.0)  # (Q, D)
+    # Quadratic form Σ_qr grad_q · cov_qr · grad_r in a fixed accumulation
+    # order: einsum picks different contraction paths for different die
+    # counts, which would break the bitwise group-vs-single-die contract
+    # by an ulp.
+    var = np.zeros(n_dies)
+    for qi in range(n_widths):
+        for ri in range(n_widths):
+            var += grad[qi] * cov[:, qi, ri] * grad[ri]
+    chip_yield_se = np.where(
+        ok, chip_yield * np.sqrt(np.maximum(var, 0.0)), np.inf
+    )
+    return [
+        DieYieldEstimate(
+            column=site.column,
+            row=site.row,
+            x_mm=site.x_mm,
+            y_mm=site.y_mm,
+            mean_pitch_nm=site.mean_pitch_nm,
+            n_trials=int(n_trials),
+            widths_nm=payload.widths_nm,
+            device_counts=payload.device_counts,
+            failure_probabilities=tuple(float(x) for x in p[:, i]),
+            failure_standard_errors=tuple(float(x) for x in se[:, i]),
+            chip_yield=float(chip_yield[i]),
+            chip_yield_se=float(chip_yield_se[i]),
+        )
+        for i, site in enumerate(sites)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Public entry points
+# ----------------------------------------------------------------------
+
+
+def _normalise_classes(widths_nm, device_counts) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+    widths = np.atleast_1d(np.asarray(widths_nm, dtype=float))
+    if widths.size == 0:
+        raise ValueError("widths_nm must contain at least one width")
+    for w in widths:
+        ensure_positive(float(w), "widths_nm")
+    if device_counts is None:
+        counts = np.ones_like(widths)
+    else:
+        counts = np.atleast_1d(np.asarray(device_counts, dtype=float))
+        if counts.shape != widths.shape:
+            raise ValueError(
+                f"device_counts shape {counts.shape} does not match "
+                f"widths shape {widths.shape}"
+            )
+        if np.any(counts < 0):
+            raise ValueError("device_counts must be non-negative")
+    return tuple(float(w) for w in widths), tuple(float(c) for c in counts)
+
+
+def _canonical_sites(wafer: WaferMap) -> List[DieSite]:
+    return sorted(wafer.sites, key=lambda s: (s.column, s.row))
+
+
+#: Minimum number of die groups a wafer run is split into (when it has
+#: that many dies), so process pools up to this size always receive work.
+#: A constant — never the worker count — which, together with per-die
+#: streams, keeps results bitwise independent of ``n_workers``.
+DEFAULT_PARALLEL_GRAIN = 8
+
+
+def _dies_per_group(n_dies: int, payload: _WaferPayload, s_max_hint: int) -> int:
+    """Dies per stacked pass: element-budget bounded, grain-split."""
+    per_die = max(1, payload.n_trials * s_max_hint)
+    budget = max(1, DEFAULT_BATCH_ELEMENTS // per_die)
+    spread = -(-n_dies // DEFAULT_PARALLEL_GRAIN)
+    return max(1, min(budget, spread))
+
+
+def simulate_die(
+    site: DieSite,
+    pitch: PitchDistribution,
+    type_model: CNTTypeModel,
+    widths_nm,
+    device_counts=None,
+    n_trials: int = 1024,
+    seed_key: Sequence[int] = (20100616,),
+    backend: Optional[ArrayBackend] = None,
+) -> DieYieldEstimate:
+    """Simulate one die independently — the per-die reference of the runner.
+
+    Runs the *same* stacked kernel on a single die with the same
+    spawn-keyed stream, so a die's estimate here is bitwise identical to
+    its estimate inside any :func:`simulate_wafer` run sharing the seed
+    key (the wafer-combination property tests pin this).
+    """
+    widths, counts = _normalise_classes(widths_nm, device_counts)
+    if n_trials <= 0:
+        raise ValueError("n_trials must be positive")
+    payload = _WaferPayload(
+        pitch=pitch,
+        per_cnt_failure=type_model.per_cnt_failure_probability,
+        widths_nm=widths,
+        device_counts=counts,
+        n_trials=int(n_trials),
+        seed_key=tuple(int(part) for part in seed_key),
+        backend=backend,
+    )
+    return _simulate_die_group(payload, [site])[0]
+
+
+def simulate_wafer(
+    wafer: WaferMap,
+    pitch: PitchDistribution,
+    type_model: CNTTypeModel,
+    widths_nm,
+    device_counts=None,
+    n_trials: int = 1024,
+    seed_key: Sequence[int] = (20100616,),
+    good_die_threshold: float = 0.5,
+    n_workers: int = 1,
+    backend: Optional[ArrayBackend] = None,
+) -> WaferYieldResult:
+    """Simulate every die of ``wafer`` in stacked (die × trial × track) passes.
+
+    Parameters
+    ----------
+    wafer:
+        Die map with per-die growth statistics; each die's gap law is
+        ``pitch.with_mean(site.mean_pitch_nm)`` (same family and CV,
+        rescaled to the local density).
+    type_model:
+        Metallic/semiconducting and removal statistics (fixes the per-CNT
+        failure probability of the conditional estimator).
+    widths_nm, device_counts:
+        Device-width classes evaluated per die and how many devices of
+        each class a die carries; all classes are answered from the same
+        sampled tracks.  ``device_counts=None`` means one device per
+        class.
+    n_trials:
+        Renewal trials per die (each trial grows one shared track set).
+    seed_key:
+        Root spawn key; die streams derive from it and the die's grid
+        coordinates, so per-die results are reproducible and independent
+        of ordering, grouping and ``n_workers``.
+    n_workers:
+        Processes to spread die groups over (groups are element-budget
+        bounded either way; results are bitwise identical for any value).
+    backend:
+        Array backend for the stacked passes (``None`` = environment
+        default).
+    """
+    widths, counts = _normalise_classes(widths_nm, device_counts)
+    if n_trials <= 0:
+        raise ValueError("n_trials must be positive")
+    if n_workers < 1:
+        raise ValueError("n_workers must be at least 1")
+    if not 0.0 <= good_die_threshold <= 1.0:
+        raise ValueError("good_die_threshold must lie in [0, 1]")
+    payload = _WaferPayload(
+        pitch=pitch,
+        per_cnt_failure=type_model.per_cnt_failure_probability,
+        widths_nm=widths,
+        device_counts=counts,
+        n_trials=int(n_trials),
+        seed_key=tuple(int(part) for part in seed_key),
+        backend=backend,
+    )
+    sites = _canonical_sites(wafer)
+    dice: List[DieYieldEstimate] = []
+    if sites:
+        s_max_hint = max(
+            _tight_gap_budget(pitch.with_mean(s.mean_pitch_nm), max(widths))
+            for s in sites
+        )
+        group = _dies_per_group(len(sites), payload, s_max_hint)
+        groups = [sites[i:i + group] for i in range(0, len(sites), group)]
+        if n_workers == 1 or len(groups) == 1:
+            for g in groups:
+                dice.extend(_simulate_die_group(payload, g))
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(n_workers, len(groups))
+            ) as pool:
+                futures = [
+                    pool.submit(_simulate_die_group, payload, g) for g in groups
+                ]
+                for future in futures:
+                    dice.extend(future.result())
+    return WaferYieldResult(
+        wafer_diameter_mm=wafer.wafer_diameter_mm,
+        die_size_mm=wafer.die_size_mm,
+        widths_nm=widths,
+        device_counts=counts,
+        n_trials=int(n_trials),
+        good_die_threshold=float(good_die_threshold),
+        dice=tuple(dice),
+    )
+
+
+def per_die_loop(
+    wafer: WaferMap,
+    pitch: PitchDistribution,
+    type_model: CNTTypeModel,
+    widths_nm,
+    device_counts=None,
+    n_trials: int = 1024,
+    seed_key: Sequence[int] = (20100616,),
+    good_die_threshold: float = 0.5,
+) -> WaferYieldResult:
+    """Reference wafer evaluation: the pre-stacked die-by-die loop.
+
+    Drives :class:`~repro.montecarlo.device_sim.DeviceMonteCarlo` once per
+    (die, width class) — fresh tracks per width, engine gap budget, per-die
+    Python overhead.  Statistically equivalent to :func:`simulate_wafer`
+    at equal ``n_trials`` (the equivalence tests pin that down) and the
+    baseline that ``benchmarks/bench_wafer.py`` measures the stacked pass
+    against.  Per-width streams extend the die spawn key with the class
+    index, so this path is deterministic and order-invariant too.
+    """
+    from repro.montecarlo.device_sim import DeviceMonteCarlo
+
+    widths, counts = _normalise_classes(widths_nm, device_counts)
+    if n_trials <= 0:
+        raise ValueError("n_trials must be positive")
+    payload = _WaferPayload(
+        pitch=pitch,
+        per_cnt_failure=type_model.per_cnt_failure_probability,
+        widths_nm=widths,
+        device_counts=counts,
+        n_trials=int(n_trials),
+        seed_key=tuple(int(part) for part in seed_key),
+    )
+    dice: List[DieYieldEstimate] = []
+    for site in _canonical_sites(wafer):
+        die_pitch = pitch.with_mean(site.mean_pitch_nm)
+        mc = DeviceMonteCarlo(pitch=die_pitch, type_model=type_model)
+        p = np.empty(len(widths))
+        se = np.empty(len(widths))
+        for q, width in enumerate(widths):
+            stream = np.random.default_rng(
+                list(payload.seed_key)
+                + [DIE_STREAM_TAG, int(site.column), int(site.row), q]
+            )
+            result = mc.estimate_conditional(width, n_trials, stream)
+            p[q] = result.failure_probability
+            se[q] = result.standard_error
+        counts_q = np.asarray(counts, dtype=float)
+        survive = 1.0 - np.clip(p, 0.0, 1.0)
+        if np.all(survive > 0.0):
+            chip_yield = float(np.exp(np.sum(counts_q * np.log(survive))))
+            chip_yield_se = chip_yield * float(
+                np.sqrt(np.sum((counts_q * se / survive) ** 2))
+            )
+        else:
+            chip_yield, chip_yield_se = 0.0, float("inf")
+        dice.append(DieYieldEstimate(
+            column=site.column,
+            row=site.row,
+            x_mm=site.x_mm,
+            y_mm=site.y_mm,
+            mean_pitch_nm=site.mean_pitch_nm,
+            n_trials=int(n_trials),
+            widths_nm=widths,
+            device_counts=counts,
+            failure_probabilities=tuple(float(x) for x in p),
+            failure_standard_errors=tuple(float(x) for x in se),
+            chip_yield=chip_yield,
+            chip_yield_se=chip_yield_se,
+        ))
+    return WaferYieldResult(
+        wafer_diameter_mm=wafer.wafer_diameter_mm,
+        die_size_mm=wafer.die_size_mm,
+        widths_nm=widths,
+        device_counts=counts,
+        n_trials=int(n_trials),
+        good_die_threshold=float(good_die_threshold),
+        dice=tuple(dice),
+    )

@@ -183,3 +183,52 @@ def surface_summary_rows(surfaces: Sequence[object]) -> List[Dict[str, object]]:
             "rounds": info["refinement_rounds"],
         })
     return rows
+
+
+WAFER_SUMMARY_COLUMNS: Sequence[str] = (
+    "zone", "dies", "mean_pitch_nm", "mean_yield", "min_yield", "max_yield",
+    "good_dies", "good_fraction",
+)
+
+
+def wafer_summary_rows(result: object) -> List[Dict[str, object]]:
+    """Radial summary rows for a wafer Monte Carlo run (``repro wafer``).
+
+    Accepts a :class:`~repro.montecarlo.wafer_sim.WaferYieldResult` (typed
+    as ``object`` to keep the reporting layer import-light) and bins its
+    dice into four radial zones plus a whole-wafer row — die-to-die growth
+    drift makes yield degrade towards the edge, which this table makes
+    visible without a 2D plot.
+    """
+    import numpy as np
+
+    dice = list(result.dice)
+    if not dice:
+        return []
+    radius = np.array([d.radius_mm for d in dice])
+    yields = np.array([d.chip_yield for d in dice])
+    pitches = np.array([d.mean_pitch_nm for d in dice])
+    good = yields >= result.good_die_threshold
+    edges = np.linspace(0.0, 0.5 * result.wafer_diameter_mm, 5)
+
+    def zone_row(label: str, mask: np.ndarray) -> Dict[str, object]:
+        return {
+            "zone": label,
+            "dies": int(mask.sum()),
+            "mean_pitch_nm": float(pitches[mask].mean()),
+            "mean_yield": float(yields[mask].mean()),
+            "min_yield": float(yields[mask].min()),
+            "max_yield": float(yields[mask].max()),
+            "good_dies": int(good[mask].sum()),
+            "good_fraction": float(good[mask].mean()),
+        }
+
+    rows = []
+    for i in range(4):
+        mask = (radius >= edges[i]) & (
+            radius < edges[i + 1] if i < 3 else radius <= edges[i + 1]
+        )
+        if mask.any():
+            rows.append(zone_row(f"r {edges[i]:.0f}-{edges[i + 1]:.0f} mm", mask))
+    rows.append(zone_row("wafer", np.ones(len(dice), dtype=bool)))
+    return rows

@@ -1,0 +1,188 @@
+"""Tests for the stacked wafer-level Monte Carlo runner."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.backend import get_backend
+from repro.growth.pitch import ExponentialPitch, GammaPitch
+from repro.growth.types import CNTTypeModel
+from repro.growth.wafer import WaferGrowthModel, WaferMap
+from repro.montecarlo.wafer_sim import (
+    die_stream,
+    per_die_loop,
+    simulate_die,
+    simulate_wafer,
+)
+from repro.reporting.tables import (
+    WAFER_SUMMARY_COLUMNS,
+    render_table,
+    wafer_summary_rows,
+)
+
+
+@pytest.fixture(scope="module")
+def wafer():
+    return WaferGrowthModel(
+        center_pitch_nm=4.0, die_size_mm=20.0
+    ).generate(np.random.default_rng(1))
+
+
+@pytest.fixture(scope="module")
+def sparse_type_model():
+    return CNTTypeModel(1.0 / 3.0, 1.0, 0.3)
+
+
+WIDTHS = (90.0, 140.0)
+COUNTS = (300.0, 200.0)
+
+
+class TestStackedRunner:
+    def test_die_estimates_match_independent_single_die_runs(
+        self, wafer, sparse_type_model
+    ):
+        # The headline contract: the stacked pass consumes each die's
+        # spawn-keyed stream exactly as an independent run of that die.
+        result = simulate_wafer(
+            wafer, ExponentialPitch(4.0), sparse_type_model, WIDTHS, COUNTS,
+            n_trials=256, seed_key=(7,),
+        )
+        for die in result.dice:
+            site = next(
+                s for s in wafer.sites
+                if (s.column, s.row) == (die.column, die.row)
+            )
+            alone = simulate_die(
+                site, ExponentialPitch(4.0), sparse_type_model, WIDTHS,
+                COUNTS, n_trials=256, seed_key=(7,),
+            )
+            assert alone == die
+
+    def test_poisson_analytic_failure_probability(self, wafer, sparse_type_model):
+        # Exponential gaps + uniform offset: N(W) is Poisson(W/µ_die), so
+        # E[pf^N] = exp(-(W/µ_die)(1-pf)) exactly, per die.
+        pf = sparse_type_model.per_cnt_failure_probability
+        result = simulate_wafer(
+            wafer, ExponentialPitch(4.0), sparse_type_model, [100.0],
+            n_trials=6_000, seed_key=(11,),
+        )
+        for die in result.dice:
+            analytic = math.exp(-(100.0 / die.mean_pitch_nm) * (1.0 - pf))
+            estimate = die.failure_probabilities[0]
+            se = die.failure_standard_errors[0]
+            assert se > 0.0
+            assert abs(estimate - analytic) <= 5.0 * se
+
+    def test_matches_per_die_loop_statistically(self, wafer, sparse_type_model):
+        pitch = GammaPitch(4.0, 0.6)
+        stacked = simulate_wafer(
+            wafer, pitch, sparse_type_model, WIDTHS, COUNTS,
+            n_trials=2_000, seed_key=(13,),
+        )
+        loop = per_die_loop(
+            wafer, pitch, sparse_type_model, WIDTHS, COUNTS,
+            n_trials=2_000, seed_key=(13,),
+        )
+        for a, b in zip(stacked.dice, loop.dice):
+            assert (a.column, a.row) == (b.column, b.row)
+            for p1, s1, p2, s2 in zip(
+                a.failure_probabilities, a.failure_standard_errors,
+                b.failure_probabilities, b.failure_standard_errors,
+            ):
+                assert abs(p1 - p2) <= 5.0 * math.hypot(s1, s2) + 1e-12
+
+    def test_n_workers_bitwise_invariant(self, wafer, sparse_type_model):
+        serial = simulate_wafer(
+            wafer, ExponentialPitch(4.0), sparse_type_model, WIDTHS, COUNTS,
+            n_trials=64, seed_key=(17,),
+        )
+        pooled = simulate_wafer(
+            wafer, ExponentialPitch(4.0), sparse_type_model, WIDTHS, COUNTS,
+            n_trials=64, seed_key=(17,), n_workers=3,
+        )
+        assert serial.dice == pooled.dice
+
+    def test_float32_backend_agrees_with_float64(self, wafer, sparse_type_model):
+        kwargs = dict(n_trials=512, seed_key=(19,))
+        r64 = simulate_wafer(
+            wafer, ExponentialPitch(4.0), sparse_type_model, WIDTHS, COUNTS,
+            backend=get_backend("numpy", dtype="float64"), **kwargs,
+        )
+        r32 = simulate_wafer(
+            wafer, ExponentialPitch(4.0), sparse_type_model, WIDTHS, COUNTS,
+            backend=get_backend("numpy", dtype="float32"), **kwargs,
+        )
+        for a, b in zip(r64.dice, r32.dice):
+            for p1, s1, p2 in zip(
+                a.failure_probabilities, a.failure_standard_errors,
+                b.failure_probabilities,
+            ):
+                assert abs(p1 - p2) <= max(5.0 * s1, 1e-5 * max(p1, 1e-30))
+
+    def test_die_metadata_and_aggregates(self, wafer, sparse_type_model):
+        result = simulate_wafer(
+            wafer, ExponentialPitch(4.0), sparse_type_model, [120.0], [100.0],
+            n_trials=128, seed_key=(23,), good_die_threshold=0.2,
+        )
+        assert result.die_count == wafer.die_count
+        yields = result.die_yields()
+        assert np.all((yields >= 0.0) & (yields <= 1.0))
+        assert result.mean_chip_yield == pytest.approx(float(yields.mean()))
+        assert result.expected_good_dice == pytest.approx(float(yields.sum()))
+        assert 0.0 <= result.good_die_fraction <= 1.0
+        die = result.dice[0]
+        assert die.cnt_density_per_um == pytest.approx(1e3 / die.mean_pitch_nm)
+        assert die.radius_mm == pytest.approx(math.hypot(die.x_mm, die.y_mm))
+
+    def test_empty_wafer(self, sparse_type_model):
+        empty = WaferMap(wafer_diameter_mm=100.0, die_size_mm=10.0, sites=())
+        result = simulate_wafer(
+            empty, ExponentialPitch(4.0), sparse_type_model, [120.0],
+            n_trials=16,
+        )
+        assert result.die_count == 0
+        assert result.good_die_fraction == 0.0
+        assert wafer_summary_rows(result) == []
+
+    def test_validation_errors(self, wafer, sparse_type_model):
+        pitch = ExponentialPitch(4.0)
+        with pytest.raises(ValueError):
+            simulate_wafer(wafer, pitch, sparse_type_model, [], n_trials=8)
+        with pytest.raises(ValueError):
+            simulate_wafer(wafer, pitch, sparse_type_model, [100.0],
+                           n_trials=0)
+        with pytest.raises(ValueError):
+            simulate_wafer(wafer, pitch, sparse_type_model, [100.0],
+                           [1.0, 2.0], n_trials=8)
+        with pytest.raises(ValueError):
+            simulate_wafer(wafer, pitch, sparse_type_model, [100.0],
+                           [-1.0], n_trials=8)
+        with pytest.raises(ValueError):
+            simulate_wafer(wafer, pitch, sparse_type_model, [100.0],
+                           n_trials=8, n_workers=0)
+        with pytest.raises(ValueError):
+            simulate_wafer(wafer, pitch, sparse_type_model, [100.0],
+                           n_trials=8, good_die_threshold=1.5)
+
+    def test_die_stream_keyed_by_coordinates(self, wafer):
+        a, b = wafer.sites[0], wafer.sites[1]
+        draw_a = die_stream((5,), a).random(4)
+        draw_a2 = die_stream((5,), a).random(4)
+        draw_b = die_stream((5,), b).random(4)
+        np.testing.assert_array_equal(draw_a, draw_a2)
+        assert not np.array_equal(draw_a, draw_b)
+
+
+class TestWaferSummaryTable:
+    def test_radial_rows_cover_all_dice(self, wafer, sparse_type_model):
+        result = simulate_wafer(
+            wafer, ExponentialPitch(4.0), sparse_type_model, [168.0],
+            [1000.0], n_trials=256, seed_key=(31,),
+        )
+        rows = wafer_summary_rows(result)
+        assert rows[-1]["zone"] == "wafer"
+        assert rows[-1]["dies"] == result.die_count
+        assert sum(r["dies"] for r in rows[:-1]) == result.die_count
+        text = render_table(rows, columns=WAFER_SUMMARY_COLUMNS)
+        assert "wafer" in text and "good_fraction" in text

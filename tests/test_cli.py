@@ -211,3 +211,47 @@ class TestJsonOutput:
         assert exit_code == 0
         assert payload["surfaces"][0]["scenario"] == "directional_aligned"
         assert payload["evaluations"][0] > 0
+
+    def test_wafer_command(self, capsys):
+        exit_code = main([
+            "wafer", "--trials", "128", "--die-size-mm", "25",
+            "--widths-nm", "100,140", "--device-counts", "200,100",
+        ])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "mean chip yield" in out
+        assert "good-die fraction" in out
+        assert "wafer" in out  # the radial summary table's aggregate row
+
+    def test_wafer_json_matches_per_die_loop_statistically(self, capsys):
+        common = [
+            "--trials", "256", "--die-size-mm", "25",
+            "--widths-nm", "110", "--device-counts", "150", "--json",
+        ]
+        assert main(["wafer"] + common) == 0
+        stacked = json.loads(capsys.readouterr().out)
+        assert main(["wafer"] + common + ["--per-die-loop"]) == 0
+        loop = json.loads(capsys.readouterr().out)
+        assert stacked["die_count"] == loop["die_count"] > 0
+        assert stacked["mean_chip_yield"] == pytest.approx(
+            loop["mean_chip_yield"], abs=0.1
+        )
+        assert 0.0 <= stacked["good_die_fraction"] <= 1.0
+
+    def test_wafer_dtype_option(self, capsys):
+        exit_code = main([
+            "wafer", "--trials", "64", "--die-size-mm", "25",
+            "--widths-nm", "100", "--device-counts", "50",
+            "--dtype", "float32", "--json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload["die_count"] > 0
+
+    def test_wafer_bad_width_list_exits_one(self, capsys):
+        exit_code = main([
+            "wafer", "--widths-nm", "not-a-number", "--trials", "8",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "error:" in captured.err

@@ -27,9 +27,13 @@ class TestWaferYieldMap:
     def test_runs_end_to_end(self, capsys):
         module = load_example("wafer_yield_map")
         # Larger dies → ~a dozen sites; fewer misalignment samples per die.
-        module.main(die_size_mm=25.0, misalignment_samples=200)
+        module.main(die_size_mm=25.0, misalignment_samples=200, mc_trials=256)
         out = capsys.readouterr().out
         assert "Wafer: " in out
+        # The stacked Monte Carlo tile study prints the radial table.
+        assert "stacked Monte Carlo" in out
+        assert "expected good dice" in out
+        assert "good_fraction" in out
         assert "Yield surface: device-" in out
         assert "die-queries served" in out
         assert out.count("good dies:") == 3
