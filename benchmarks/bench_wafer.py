@@ -1,18 +1,30 @@
-"""Throughput benchmark of the stacked wafer runner vs the per-die loop.
+"""Throughput benchmark of the wafer tier: stacked passes vs per-die loops.
 
-Times :func:`repro.montecarlo.wafer_sim.simulate_wafer` (one stacked
-die × trial × track pass per die group) against
-:func:`repro.montecarlo.wafer_sim.per_die_loop` (the pre-stacked path:
-:class:`~repro.montecarlo.device_sim.DeviceMonteCarlo` once per die and
-width class) on the same wafer, the same width-class histogram and equal
-trial counts per (die, width-class) estimate, and writes
-``BENCH_wafer.json`` at the repository root.
+Three cases, all at equal trial counts per estimate, written to
+``BENCH_wafer.json`` at the repository root:
 
-The stacked pass wins on three structural counts: all width classes of a
-die are answered from one shared track set (the per-die loop re-samples
-tracks per width), its gap budget carries a 2-sigma margin with exact
-top-ups instead of the engine's 8-sigma margin, and the per-die Python
-and allocation overheads amortise over the whole wafer.
+* **width-class wafer** — :func:`repro.montecarlo.wafer_sim.simulate_wafer`
+  (one stacked die × trial × track pass per die group) against
+  :func:`repro.montecarlo.wafer_sim.per_die_loop`
+  (:class:`~repro.montecarlo.device_sim.DeviceMonteCarlo` once per die and
+  width class) on the same radial-drift wafer;
+* **correlated-field wafer** — the same comparison on a wafer whose
+  density and misalignment carry spatially correlated Gaussian-random-field
+  structure (:mod:`repro.growth.spatial`) with per-die misalignment
+  de-rating applied inside the stacked pass;
+* **chip wafer** — :func:`repro.montecarlo.wafer_sim.run_chip_wafer`
+  (whole-placement per-die chip runs on one shared geometry) against
+  :func:`repro.montecarlo.wafer_sim.chip_per_die_loop` (a fresh
+  :class:`~repro.montecarlo.chip_sim.ChipMonteCarlo` per die), bitwise
+  identical direct statistics by construction.
+
+The stacked width-class pass wins on three structural counts: all width
+classes of a die are answered from one shared track set (the per-die loop
+re-samples tracks per width), its gap budget carries a 2-sigma margin
+with exact top-ups instead of the engine's 8-sigma margin, and the
+per-die Python and allocation overheads amortise over the whole wafer.
+The chip-wafer pass wins by materialising the placement geometry once
+instead of once per die.
 
 Runs as a pytest test (``pytest benchmarks/bench_wafer.py``) or
 standalone (``python benchmarks/bench_wafer.py``).  Set
@@ -28,11 +40,22 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.analysis.mispositioned import MisalignmentImpactModel
 from repro.backend import get_backend
+from repro.cells.nangate45 import build_nangate45_library
 from repro.growth.pitch import ExponentialPitch
+from repro.growth.spatial import SpatialFieldSpec
 from repro.growth.types import CNTTypeModel
 from repro.growth.wafer import WaferGrowthModel
-from repro.montecarlo.wafer_sim import per_die_loop, simulate_wafer
+from repro.montecarlo.chip_sim import ChipMonteCarlo
+from repro.montecarlo.wafer_sim import (
+    chip_per_die_loop,
+    per_die_loop,
+    run_chip_wafer,
+    simulate_wafer,
+)
+from repro.netlist.openrisc import build_openrisc_like_design
+from repro.netlist.placement import RowPlacement
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_wafer.json"
 
@@ -60,14 +83,12 @@ def _time(fn, repeats: int = 3) -> float:
     return best
 
 
-def run_benchmark(die_size_mm: float, n_trials: int) -> dict:
-    wafer = WaferGrowthModel(
-        center_pitch_nm=4.0, die_size_mm=die_size_mm
-    ).generate(np.random.default_rng(1))
-    pitch = ExponentialPitch(4.0)
-    type_model = CNTTypeModel(1.0 / 3.0, 1.0, 0.3)
+def _width_class_case(wafer, pitch, type_model, n_trials: int,
+                      misalignment=None) -> dict:
+    """Stacked width-class pass vs per-die DeviceMonteCarlo loop."""
     args = (wafer, pitch, type_model, WIDTH_CLASSES_NM, DEVICE_COUNTS)
-    kwargs = dict(n_trials=n_trials, seed_key=SEED_KEY)
+    kwargs = dict(n_trials=n_trials, seed_key=SEED_KEY,
+                  misalignment=misalignment)
 
     loop_s = _time(lambda: per_die_loop(*args, **kwargs))
     stacked_s = _time(lambda: simulate_wafer(*args, **kwargs))
@@ -78,19 +99,11 @@ def run_benchmark(die_size_mm: float, n_trials: int) -> dict:
     loop = per_die_loop(*args, **kwargs)
     estimates = wafer.die_count * len(WIDTH_CLASSES_NM)
     return {
-        "benchmark": "wafer_sim stacked pass vs per-die DeviceMonteCarlo loop",
-        "quick_mode": _quick_mode(),
-        "workload": {
-            "die_count": wafer.die_count,
-            "width_classes_nm": list(WIDTH_CLASSES_NM),
-            "device_counts": list(DEVICE_COUNTS),
-            "trials_per_die": n_trials,
-            "note": (
-                "equal trial counts per (die, width-class) estimate; the "
-                "stacked pass answers all width classes from one shared "
-                "track set per trial, the per-die loop re-samples per class"
-            ),
-        },
+        "die_count": wafer.die_count,
+        "width_classes_nm": list(WIDTH_CLASSES_NM),
+        "device_counts": list(DEVICE_COUNTS),
+        "trials_per_die": n_trials,
+        "misalignment_derated": misalignment is not None,
         "per_die_loop": {
             "seconds": loop_s,
             "die_estimates_per_sec": estimates / loop_s,
@@ -113,40 +126,126 @@ def run_benchmark(die_size_mm: float, n_trials: int) -> dict:
             "good_die_fraction_stacked": stacked.good_die_fraction,
             "good_die_fraction_loop": loop.good_die_fraction,
         },
+    }
+
+
+def _chip_wafer_case(wafer, netlist_scale: float, n_trials: int) -> dict:
+    """Shared-geometry whole-placement wafer pass vs fresh-simulator loop."""
+    library = build_nangate45_library()
+    design = build_openrisc_like_design(library, scale=netlist_scale, seed=2010)
+    placement = RowPlacement(design)
+    chip = ChipMonteCarlo(
+        placement,
+        pitch=ExponentialPitch(4.0),
+        type_model=CNTTypeModel(1.0 / 3.0, 1.0, 0.3),
+    )
+    kwargs = dict(n_trials=n_trials, seed_key=SEED_KEY)
+
+    loop_s = _time(lambda: chip_per_die_loop(wafer, chip, **kwargs), repeats=2)
+    stacked_s = _time(lambda: run_chip_wafer(wafer, chip, **kwargs), repeats=2)
+
+    stacked = run_chip_wafer(wafer, chip, **kwargs)
+    loop = chip_per_die_loop(wafer, chip, **kwargs)
+    bitwise = all(
+        a.chip_yield == b.chip_yield
+        and a.mean_failing_devices == b.mean_failing_devices
+        and a.std_failing_devices == b.std_failing_devices
+        and a.mean_failing_rows == b.mean_failing_rows
+        for a, b in zip(stacked.dice, loop.dice)
+    )
+    return {
+        "die_count": wafer.die_count,
+        "netlist_scale": netlist_scale,
+        "device_count": chip.device_count,
+        "width_class_count": len(stacked.widths_nm),
+        "trials_per_die": n_trials,
+        "per_die_chip_loop": {"seconds": loop_s},
+        "shared_geometry": {"seconds": stacked_s},
+        "speedup": loop_s / stacked_s,
+        "direct_stats_bitwise_equal": bitwise,
+        "agreement": {
+            "mean_chip_yield_stacked": stacked.mean_chip_yield,
+            "mean_chip_yield_loop": loop.mean_chip_yield,
+        },
+    }
+
+
+def run_benchmark(die_size_mm: float, n_trials: int, netlist_scale: float,
+                  chip_trials: int) -> dict:
+    """All three wafer-tier cases on one wafer geometry."""
+    radial_wafer = WaferGrowthModel(
+        center_pitch_nm=4.0, die_size_mm=die_size_mm
+    ).generate(np.random.default_rng(1))
+    correlated_wafer = WaferGrowthModel(
+        center_pitch_nm=4.0,
+        die_size_mm=die_size_mm,
+        density_field=SpatialFieldSpec(sigma=0.04, correlation_length_mm=25.0),
+        misalignment_field=SpatialFieldSpec(sigma=1.0, correlation_length_mm=30.0),
+    ).generate(seed_key=(1,))
+    pitch = ExponentialPitch(4.0)
+    type_model = CNTTypeModel(1.0 / 3.0, 1.0, 0.3)
+    misalignment = MisalignmentImpactModel(
+        band_width_nm=103.0, cnt_length_um=200.0, min_cnfet_density_per_um=1.8
+    )
+
+    return {
+        "benchmark": "wafer tier: stacked passes vs per-die loops",
+        "quick_mode": _quick_mode(),
+        "width_class": _width_class_case(
+            radial_wafer, pitch, type_model, n_trials
+        ),
+        "correlated_field": _width_class_case(
+            correlated_wafer, pitch, type_model, n_trials,
+            misalignment=misalignment,
+        ),
+        "chip_wafer": _chip_wafer_case(
+            correlated_wafer, netlist_scale, chip_trials
+        ),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
     }
 
 
 def test_stacked_wafer_speedup():
-    """The stacked wafer pass must stay well ahead of the per-die loop."""
+    """Every stacked wafer pass must stay well ahead of its per-die loop."""
     if _quick_mode():
-        record = run_benchmark(die_size_mm=20.0, n_trials=128)
-        floor = 1.5
+        record = run_benchmark(die_size_mm=20.0, n_trials=128,
+                               netlist_scale=0.02, chip_trials=32)
+        floor, chip_floor = 1.5, 1.3
     else:
-        record = run_benchmark(die_size_mm=10.0, n_trials=512)
-        floor = 3.0
+        record = run_benchmark(die_size_mm=10.0, n_trials=512,
+                               netlist_scale=0.05, chip_trials=96)
+        floor, chip_floor = 3.0, 1.5
 
     RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
 
     mode = "quick" if record["quick_mode"] else "full"
     print(f"\n=== Wafer Monte Carlo throughput ({mode}) ===")
-    print(f"dies x width classes : {record['workload']['die_count']} x "
-          f"{len(record['workload']['width_classes_nm'])}")
-    print(f"per-die loop         : {record['per_die_loop']['seconds']*1e3:.1f} ms")
-    print(f"stacked pass         : {record['stacked']['seconds']*1e3:.1f} ms")
-    print(f"speedup              : {record['speedup']:.2f}X "
-          f"(float32: {record['speedup_float32']:.2f}X)")
-    print(f"written              : {RESULT_PATH}")
+    for case in ("width_class", "correlated_field"):
+        c = record[case]
+        print(f"{case:17s}: loop {c['per_die_loop']['seconds']*1e3:8.1f} ms | "
+              f"stacked {c['stacked']['seconds']*1e3:7.1f} ms | "
+              f"{c['speedup']:.2f}X (f32 {c['speedup_float32']:.2f}X)")
+    c = record["chip_wafer"]
+    print(f"chip_wafer       : loop {c['per_die_chip_loop']['seconds']*1e3:8.1f} ms | "
+          f"shared  {c['shared_geometry']['seconds']*1e3:7.1f} ms | "
+          f"{c['speedup']:.2f}X (bitwise={c['direct_stats_bitwise_equal']})")
+    print(f"written          : {RESULT_PATH}")
 
-    assert record["speedup"] >= floor, (
-        f"stacked wafer pass only {record['speedup']:.2f}X faster than the "
-        f"per-die loop (floor {floor:.1f}X)"
+    for case in ("width_class", "correlated_field"):
+        assert record[case]["speedup"] >= floor, (
+            f"{case} stacked pass only {record[case]['speedup']:.2f}X faster "
+            f"than the per-die loop (floor {floor:.1f}X)"
+        )
+        agree = record[case]["agreement"]
+        assert abs(
+            agree["mean_chip_yield_stacked"] - agree["mean_chip_yield_loop"]
+        ) < 0.05
+    assert record["chip_wafer"]["speedup"] >= chip_floor, (
+        f"chip-wafer shared-geometry pass only "
+        f"{record['chip_wafer']['speedup']:.2f}X faster than the per-die "
+        f"ChipMonteCarlo loop (floor {chip_floor:.1f}X)"
     )
-    # The two paths estimate the same wafer: aggregates must agree closely.
-    agree = record["agreement"]
-    assert abs(
-        agree["mean_chip_yield_stacked"] - agree["mean_chip_yield_loop"]
-    ) < 0.05
+    assert record["chip_wafer"]["direct_stats_bitwise_equal"]
 
 
 if __name__ == "__main__":

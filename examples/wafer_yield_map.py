@@ -2,9 +2,10 @@
 """Wafer-level what-if study: die-to-die growth variation and yield maps.
 
 Goes one level above the paper's chip-scale analysis: every die on a wafer
-gets its own CNT density (drifting towards the edge) and growth-direction
-misalignment, and the chip-level yield model is evaluated per die for three
-sizing strategies:
+gets its own CNT density (drifting towards the edge, with spatially
+correlated 2-D structure from :mod:`repro.growth.spatial`) and
+growth-direction misalignment (correlated the same way), and the
+chip-level yield model is evaluated per die for three sizing strategies:
 
 * no upsizing at all,
 * upsizing to the uncorrelated Wmin (Sec. 2 baseline),
@@ -37,11 +38,13 @@ from repro.analysis.mispositioned import MisalignmentImpactModel
 from repro.core.calibration import CalibratedSetup
 from repro.core.circuit_yield import yield_from_uniform_failure_probability_array
 from repro.growth.pitch import pitch_distribution_from_cv
+from repro.growth.spatial import SpatialFieldSpec
 from repro.growth.wafer import WaferGrowthModel
 from repro.montecarlo.wafer_sim import simulate_wafer
 from repro.reporting.tables import (
     WAFER_SUMMARY_COLUMNS,
     render_table,
+    wafer_map_lines,
     wafer_summary_rows,
 )
 from repro.serving import YieldService
@@ -71,23 +74,11 @@ def strategy_yields(service, key, width_nm, densities, device_count,
 
 def render_map(wafer, values, threshold=0.5):
     """Render a crude text map: '#' good die, '.' failing die."""
-    columns = sorted({site.column for site in wafer.sites})
-    rows = sorted({site.row for site in wafer.sites})
-    by_pos = {(s.column, s.row): v for s, v in zip(wafer.sites, values)}
-    lines = []
-    for row in reversed(rows):
-        cells = []
-        for column in columns:
-            value = by_pos.get((column, row))
-            if value is None:
-                cells.append(" ")
-            else:
-                cells.append("#" if value >= threshold else ".")
-        lines.append("".join(cells))
-    return "\n".join(lines)
+    return "\n".join(wafer_map_lines(wafer.sites, values, threshold=threshold))
 
 
-def monte_carlo_tile_study(wafer, setup, n_trials: int = 2_048) -> None:
+def monte_carlo_tile_study(wafer, setup, n_trials: int = 2_048,
+                           misalignment=None) -> None:
     """Direct stacked Monte Carlo over the wafer for a measurable workload.
 
     Simulates a 10k-minimum-size-device compute tile per die at two sizing
@@ -95,7 +86,10 @@ def monte_carlo_tile_study(wafer, setup, n_trials: int = 2_048) -> None:
     per-die failures are frequent enough for direct sampling — and prints
     the radial yield table.  Both widths are answered from the *same*
     sampled tracks of each trial (they physically share them), which is
-    what makes whole-wafer Monte Carlo affordable.
+    what makes whole-wafer Monte Carlo affordable.  When a
+    ``misalignment`` model is given, the Sec. 3 analytic relaxation is
+    applied per die inside the stacked pass, de-rated by each die's local
+    misalignment angle.
     """
     pitch = pitch_distribution_from_cv(setup.mean_pitch_nm, setup.pitch_cv)
     result = simulate_wafer(
@@ -106,6 +100,7 @@ def monte_carlo_tile_study(wafer, setup, n_trials: int = 2_048) -> None:
         device_counts=[5_000.0, 5_000.0],
         n_trials=n_trials,
         seed_key=(20100616,),
+        misalignment=misalignment,
     )
     print(f"--- stacked Monte Carlo: 10k-device tile per die, "
           f"{result.n_trials} trials/die")
@@ -118,15 +113,20 @@ def monte_carlo_tile_study(wafer, setup, n_trials: int = 2_048) -> None:
 def main(die_size_mm: float = 10.0, misalignment_samples: int = 2_000,
          mc_trials: int = 2_048) -> None:
     setup = CalibratedSetup()
+    # Spatially correlated density and misalignment structure (PR 5):
+    # neighbouring dies see correlated CNT densities and drift the same
+    # way, which is what makes the edge zones fail *together* rather
+    # than as independent coin flips.
     wafer = WaferGrowthModel(
         wafer_diameter_mm=100.0,
         die_size_mm=die_size_mm,
         center_pitch_nm=setup.mean_pitch_nm,
         edge_pitch_drift=0.12,
-        pitch_noise_sigma=0.02,
         center_misalignment_deg=0.02,
         edge_misalignment_deg=0.3,
-    ).generate(np.random.default_rng(7))
+        density_field=SpatialFieldSpec(sigma=0.02, correlation_length_mm=25.0),
+        misalignment_field=SpatialFieldSpec(sigma=1.0, correlation_length_mm=30.0),
+    ).generate(seed_key=(7,))
 
     wmin_baseline = setup.wmin_uncorrelated_nm()
     wmin_optimised = setup.wmin_correlated_nm()
@@ -177,8 +177,11 @@ def main(die_size_mm: float = 10.0, misalignment_samples: int = 2_000,
     )
 
     print(f"Wafer: {wafer.die_count} dies, {wafer.wafer_diameter_mm:.0f} mm, "
-          f"{wafer.die_size_mm:.0f} mm dies")
-    monte_carlo_tile_study(wafer, setup, n_trials=mc_trials)
+          f"{wafer.die_size_mm:.0f} mm dies "
+          f"(density field l = "
+          f"{wafer.density_field.spec.correlation_length_mm:.0f} mm)")
+    monte_carlo_tile_study(wafer, setup, n_trials=mc_trials,
+                           misalignment=misalignment_model)
     print(f"Nominal relaxation factor: {nominal_relaxation:.0f}X")
     print(f"Yield surface: {surface.key} "
           f"({surface.width_nm.size}x{surface.cnt_density_per_um.size} grid, "

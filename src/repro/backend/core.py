@@ -130,6 +130,7 @@ class ArrayBackend:
 
     @property
     def xp(self):  # pragma: no cover - subclasses bind a module
+        """The backing array module (NumPy, CuPy, or a shim)."""
         raise NotImplementedError
 
     def asarray(self, a, dtype=None):
@@ -147,29 +148,37 @@ class ArrayBackend:
     # -- creation ------------------------------------------------------------
 
     def zeros(self, shape, dtype=None):
+        """Zero-filled backend array; ``dtype=None`` uses the policy dtype."""
         return self.xp.zeros(shape, dtype=dtype or self.dtype)
 
     def empty(self, shape, dtype=None):
+        """Uninitialised backend array; ``dtype=None`` uses the policy dtype."""
         return self.xp.empty(shape, dtype=dtype or self.dtype)
 
     def full(self, shape, fill_value, dtype=None):
+        """Constant-filled backend array; ``dtype=None`` uses the policy dtype."""
         return self.xp.full(shape, fill_value, dtype=dtype or self.dtype)
 
     def arange(self, n, dtype=None):
+        """``[0, n)`` index vector on the backend."""
         return self.xp.arange(n, dtype=dtype)
 
     def where(self, cond, a, b):
+        """Elementwise ``a if cond else b`` on the backend."""
         return self.xp.where(cond, a, b)
 
     # -- the engine's array program ------------------------------------------
 
     def cumsum(self, a, axis):
+        """Inclusive cumulative sum along ``axis``."""
         return self.xp.cumsum(a, axis=axis)
 
     def concatenate(self, arrays, axis):
+        """Concatenate backend arrays along ``axis``."""
         return self.xp.concatenate(arrays, axis=axis)
 
     def clip(self, a, lo, hi):
+        """Elementwise clamp of ``a`` into ``[lo, hi]``."""
         return self.xp.clip(a, lo, hi)
 
     def searchsorted(self, a, v, side):
@@ -182,6 +191,7 @@ class ArrayBackend:
         return self.xp.searchsorted(a, v, side=side)
 
     def take(self, a, indices):
+        """Gather ``a[indices]`` (flat take)."""
         return self.xp.take(a, indices)
 
     def take_pairs(self, a, rows, cols):
@@ -202,21 +212,27 @@ class ArrayBackend:
         return out
 
     def sum(self, a, axis=None):
+        """Sum reduction over ``axis`` (all elements when ``None``)."""
         return self.xp.sum(a, axis=axis)
 
     def any(self, a) -> bool:
+        """True when any element of ``a`` is truthy (host bool)."""
         return bool(self.xp.any(a))
 
     def exp(self, a):
+        """Elementwise exponential."""
         return self.xp.exp(a)
 
     def power(self, base, exponent):
+        """Elementwise ``base ** exponent``."""
         return self.xp.power(base, exponent)
 
     def reshape(self, a, shape):
+        """View ``a`` with a new ``shape``."""
         return self.xp.reshape(a, shape)
 
     def ravel(self, a):
+        """Flattened view (or copy) of ``a``."""
         return self.xp.ravel(a)
 
     # -- RNG adapter ---------------------------------------------------------

@@ -56,9 +56,11 @@ class CupyBackend(ArrayBackend):
 
     @property
     def xp(self):
+        """The backing array module: CuPy."""
         return self._cupy
 
     def to_numpy(self, a) -> np.ndarray:
+        """Device-to-host transfer via ``cupy.asnumpy``."""
         return self._cupy.asnumpy(a)
 
     def device_rng(self, rng: np.random.Generator):
@@ -66,11 +68,15 @@ class CupyBackend(ArrayBackend):
         return self._cupy.random.default_rng(_device_seed(rng))
 
     def uniform(self, rng: np.random.Generator, shape):
+        """U(0, 1) draws on the device, seeded from the host stream."""
         return self.device_rng(rng).random(shape, dtype=self.dtype)
 
     def sample_gaps(self, pitch, shape, rng: np.random.Generator, out=None):
         # ``out`` is an optimisation hint the protocol allows backends to
         # ignore; callers use the returned array either way.
+        """Gap draws from ``pitch`` on the device (host fallback for families
+        without a device sampler); ``out`` is ignored, use the return value.
+        """
         from repro.growth.pitch import (
             DeterministicPitch,
             ExponentialPitch,
@@ -135,11 +141,13 @@ class TorchBackend(ArrayBackend):
 
     @property
     def xp(self):
+        """No NumPy-like module: every protocol method is shimmed explicitly."""
         raise NotImplementedError(
             "TorchBackend dispatches through explicit methods, not a module"
         )
 
     def asarray(self, a, dtype=None):
+        """Torch tensor on the backend device; ``dtype=None`` keeps the input dtype."""
         torch = self._torch
         if isinstance(a, torch.Tensor):
             return a.to(self._tdtype(dtype)) if dtype is not None else a
@@ -149,34 +157,41 @@ class TorchBackend(ArrayBackend):
         )
 
     def to_numpy(self, a) -> np.ndarray:
+        """Host NumPy array from a tensor (detach + cpu transfer)."""
         if isinstance(a, self._torch.Tensor):
             return a.detach().cpu().numpy()
         return np.asarray(a)
 
     def cast_like(self, values, like):
+        """Tensor of ``values`` cast to the dtype and device of ``like``."""
         return self.asarray(values).to(like.dtype)
 
     # -- array program -------------------------------------------------------
 
     def zeros(self, shape, dtype=None):
+        """Zero-filled tensor; ``dtype=None`` uses the policy dtype."""
         return self._torch.zeros(shape, dtype=self._tdtype(dtype),
                                  device=self.device)
 
     def empty(self, shape, dtype=None):
+        """Uninitialised tensor; ``dtype=None`` uses the policy dtype."""
         return self._torch.empty(shape, dtype=self._tdtype(dtype),
                                  device=self.device)
 
     def full(self, shape, fill_value, dtype=None):
+        """Constant-filled tensor; ``dtype=None`` uses the policy dtype."""
         return self._torch.full(shape, fill_value, dtype=self._tdtype(dtype),
                                 device=self.device)
 
     def arange(self, n, dtype=None):
+        """``[0, n)`` index tensor on the device."""
         return self._torch.arange(
             n, dtype=self._tdtype(dtype) if dtype is not None else None,
             device=self.device,
         )
 
     def where(self, cond, a, b):
+        """Elementwise ``a if cond else b`` as a tensor op."""
         torch = self._torch
         if not isinstance(b, torch.Tensor):
             b = torch.as_tensor(b, dtype=a.dtype if isinstance(a, torch.Tensor)
@@ -184,24 +199,31 @@ class TorchBackend(ArrayBackend):
         return torch.where(cond, a, b)
 
     def cumsum(self, a, axis):
+        """Inclusive cumulative sum along ``axis`` (``torch.cumsum``)."""
         return self._torch.cumsum(a, dim=axis)
 
     def concatenate(self, arrays, axis):
+        """Concatenate tensors along ``axis`` (``torch.cat``)."""
         return self._torch.cat(tuple(arrays), dim=axis)
 
     def clip(self, a, lo, hi):
+        """Elementwise clamp into ``[lo, hi]`` (``torch.clamp``)."""
         return self._torch.clamp(a, min=lo, max=hi)
 
     def searchsorted(self, a, v, side):
+        """Insertion indices into sorted ``a``; torch requires matching dtypes."""
         return self._torch.searchsorted(a, v, right=(side == "right"))
 
     def take(self, a, indices):
+        """Flat gather ``a[indices]`` (``torch.take``)."""
         return a[indices]
 
     def take_pairs(self, a, rows, cols):
+        """Paired 2D gather ``a[rows, cols]`` via advanced indexing."""
         return a[rows, cols]
 
     def prefix_sum(self, values, size=None):
+        """Zero-prefixed inclusive cumulative sum in the accumulator dtype."""
         torch = self._torch
         n = size if size is not None else values.shape[0]
         out = torch.zeros(n + 1, dtype=self._tdtype(self.accum_dtype),
@@ -210,24 +232,30 @@ class TorchBackend(ArrayBackend):
         return out
 
     def sum(self, a, axis=None):
+        """Sum reduction over ``axis`` (all elements when ``None``)."""
         return self._torch.sum(a, dim=axis) if axis is not None else self._torch.sum(a)
 
     def any(self, a) -> bool:
+        """True when any element is truthy (host bool)."""
         return bool(self._torch.any(a))
 
     def exp(self, a):
+        """Elementwise exponential (``torch.exp``)."""
         return self._torch.exp(a)
 
     def power(self, base, exponent):
+        """Elementwise ``base ** exponent`` (``torch.pow``)."""
         torch = self._torch
         if not isinstance(base, torch.Tensor):
             base = torch.as_tensor(base, device=self.device)
         return torch.pow(base, exponent)
 
     def reshape(self, a, shape):
+        """Tensor view with a new ``shape``."""
         return self._torch.reshape(a, shape)
 
     def ravel(self, a):
+        """Flattened tensor view (``torch.reshape(-1)``)."""
         return self._torch.ravel(a)
 
     # -- RNG adapter ---------------------------------------------------------
@@ -239,6 +267,7 @@ class TorchBackend(ArrayBackend):
         return dev
 
     def uniform(self, rng: np.random.Generator, shape):
+        """U(0, 1) draws on the device, seeded from the host stream."""
         if isinstance(shape, int):
             shape = (shape,)
         return self._torch.rand(shape, generator=self.device_rng(rng),
@@ -247,6 +276,9 @@ class TorchBackend(ArrayBackend):
     def sample_gaps(self, pitch, shape, rng: np.random.Generator, out=None):
         # ``out`` is an optimisation hint the protocol allows backends to
         # ignore; callers use the returned array either way.
+        """Gap draws from ``pitch`` on the device (host fallback for families
+        without a device sampler); ``out`` is ignored, use the return value.
+        """
         from repro.growth.pitch import DeterministicPitch, ExponentialPitch
 
         torch = self._torch

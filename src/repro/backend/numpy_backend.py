@@ -24,18 +24,27 @@ class NumpyBackend(ArrayBackend):
 
     @property
     def xp(self):
+        """The backing array module: NumPy itself."""
         return np
 
     def to_numpy(self, a) -> np.ndarray:
+        """Identity transport: the array is already on the host."""
         return np.asarray(a)
 
     # -- RNG adapter ---------------------------------------------------------
 
     def uniform(self, rng: np.random.Generator, shape):
+        """U(0, 1) draws from the caller's generator, cast to the policy dtype."""
         u = rng.random(shape)
         return np.asarray(u, dtype=self.dtype)
 
     def sample_gaps(self, pitch, shape, rng: np.random.Generator, out=None):
+        """Gap draws from ``pitch`` on the caller's generator, policy dtype.
+
+        ``out`` enables an allocation-free fast path for exponential/gamma
+        families under the float64 policy; the drawn values are identical
+        to the generic path either way.
+        """
         if out is not None and self.dtype == np.dtype(np.float64):
             # Allocation-free fast path for the families whose standard
             # variates NumPy can draw straight into a destination view.

@@ -30,8 +30,16 @@ without writing Python:
 
 ``python -m repro.cli wafer``
     Wafer-level Monte Carlo: per-die chip yield under die-to-die CNT
-    density drift, simulated by the stacked (die × trial × track) engine
-    with a radial summary table.
+    density drift — radial, or spatially correlated via
+    ``--correlation-length-mm`` — simulated by the stacked
+    (die × trial × track) engine with a radial summary table, optional
+    per-die misalignment de-rating, and a text yield map.
+
+``python -m repro.cli chip-wafer``
+    Whole-placement per-die chip runs: the synthetic OpenRISC-like block
+    yield-mapped across every die of a wafer on one shared placement
+    geometry, reporting the direct (correlation-aware) and Eq. 2.3
+    (independent-device) yields side by side.
 
 ``python -m repro.cli sweep``
     Precompute yield surfaces (device pF and the Table 1 scenarios) over a
@@ -104,6 +112,15 @@ def _json_default(value: object) -> object:
     if isinstance(value, (np.bool_,)):
         return bool(value)
     raise TypeError(f"not JSON-serialisable: {type(value).__name__}")
+
+
+def _nan_to_none(value: float) -> Optional[float]:
+    """``None`` for NaN — strict-JSON payloads must not carry bare ``NaN``.
+
+    ``json.dumps`` would happily emit the (non-RFC-8259) ``NaN`` literal,
+    which breaks ``jq`` and every strict parser downstream.
+    """
+    return None if value != value else value
 
 
 def _emit(args: argparse.Namespace, payload: Dict[str, object],
@@ -337,10 +354,95 @@ def _cmd_rare_event(args: argparse.Namespace) -> int:
     return _emit(args, payload, lines)
 
 
+def _build_wafer_model(args: argparse.Namespace) -> "object":
+    """Wafer growth model from the shared wafer CLI options.
+
+    A ``--correlation-length-mm`` switches the density variation from the
+    legacy independent per-die noise to a spatially correlated
+    Gaussian-random-field draw; ``--misalignment-correlation-length-mm``
+    does the same for the misalignment angle.
+    """
+    from repro.growth.spatial import SpatialFieldSpec
+    from repro.growth.wafer import WaferGrowthModel
+
+    density_field = None
+    if args.correlation_length_mm is not None:
+        density_field = SpatialFieldSpec(
+            sigma=args.field_sigma,
+            correlation_length_mm=args.correlation_length_mm,
+        )
+    misalignment_field = None
+    if args.misalignment_correlation_length_mm is not None:
+        misalignment_field = SpatialFieldSpec(
+            sigma=1.0,
+            correlation_length_mm=args.misalignment_correlation_length_mm,
+        )
+    return WaferGrowthModel(
+        wafer_diameter_mm=args.wafer_diameter_mm,
+        die_size_mm=args.die_size_mm,
+        center_pitch_nm=args.mean_pitch_nm,
+        edge_pitch_drift=args.edge_pitch_drift,
+        pitch_noise_sigma=args.pitch_noise_sigma,
+        center_misalignment_deg=args.center_misalignment_deg,
+        edge_misalignment_deg=args.edge_misalignment_deg,
+        density_field=density_field,
+        misalignment_field=misalignment_field,
+    )
+
+
+def _build_misalignment_model(args: argparse.Namespace, setup) -> "object":
+    """The Sec. 3 de-rating model for ``--derate-misalignment`` runs."""
+    from repro.analysis.mispositioned import MisalignmentImpactModel
+
+    if not args.derate_misalignment:
+        return None
+    return MisalignmentImpactModel(
+        band_width_nm=setup.wmin_correlated_nm(),
+        cnt_length_um=args.cnt_length_um,
+        min_cnfet_density_per_um=args.cnfet_density,
+    )
+
+
+def _add_wafer_geometry_options(parser: argparse.ArgumentParser) -> None:
+    """Wafer map options shared by the ``wafer`` and ``chip-wafer`` commands."""
+    parser.add_argument("--wafer-diameter-mm", type=float, default=100.0,
+                        help="usable wafer diameter (default 100)")
+    parser.add_argument("--die-size-mm", type=float, default=10.0,
+                        help="square die edge length (default 10)")
+    parser.add_argument("--edge-pitch-drift", type=float, default=0.15,
+                        help="relative pitch increase at the wafer edge")
+    parser.add_argument("--pitch-noise-sigma", type=float, default=0.02,
+                        help="die-to-die random pitch component (relative; "
+                             "replaced by the field when "
+                             "--correlation-length-mm is given)")
+    parser.add_argument("--correlation-length-mm", type=float, default=None,
+                        help="correlation length of a spatially correlated "
+                             "CNT-density field (omit for the legacy "
+                             "independent per-die noise)")
+    parser.add_argument("--field-sigma", type=float, default=0.05,
+                        help="marginal sigma of the correlated density field "
+                             "(log-density units, default 0.05)")
+    parser.add_argument("--misalignment-correlation-length-mm", type=float,
+                        default=None,
+                        help="correlation length of the misalignment-angle "
+                             "field (omit for independent per-die angles)")
+    parser.add_argument("--center-misalignment-deg", type=float, default=0.2,
+                        help="misalignment spread at the wafer centre")
+    parser.add_argument("--edge-misalignment-deg", type=float, default=1.0,
+                        help="misalignment spread at the wafer edge")
+    parser.add_argument("--derate-misalignment", action="store_true",
+                        help="apply the Sec. 3 analytic relaxation per die, "
+                             "de-rated by the local misalignment angle")
+    parser.add_argument("--good-die-threshold", type=float, default=0.5,
+                        help="yield above which a die counts as good")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="processes for die groups (results identical)")
+    parser.add_argument("--seed", type=int, default=20100616, help="RNG seed")
+
+
 def _cmd_wafer(args: argparse.Namespace) -> int:
     from repro.backend import get_backend
     from repro.growth.pitch import pitch_distribution_from_cv
-    from repro.growth.wafer import WaferGrowthModel
     from repro.montecarlo.wafer_sim import per_die_loop, simulate_wafer
     from repro.reporting.tables import (
         WAFER_SUMMARY_COLUMNS,
@@ -362,16 +464,13 @@ def _cmd_wafer(args: argparse.Namespace) -> int:
     else:
         counts = [setup.min_size_device_count / len(widths)] * len(widths)
 
-    model = WaferGrowthModel(
-        wafer_diameter_mm=args.wafer_diameter_mm,
-        die_size_mm=args.die_size_mm,
-        center_pitch_nm=args.mean_pitch_nm,
-        edge_pitch_drift=args.edge_pitch_drift,
-        pitch_noise_sigma=args.pitch_noise_sigma,
+    model = _build_wafer_model(args)
+    wafer = model.generate(
+        np.random.default_rng(args.seed), seed_key=(args.seed,)
     )
-    wafer = model.generate(np.random.default_rng(args.seed))
     pitch = pitch_distribution_from_cv(args.mean_pitch_nm, args.pitch_cv)
     type_model = setup.corner.to_type_model()
+    misalignment = _build_misalignment_model(args, setup)
     backend = get_backend(args.backend, dtype=args.dtype) if (
         args.backend or args.dtype
     ) else None
@@ -384,10 +483,111 @@ def _cmd_wafer(args: argparse.Namespace) -> int:
         n_trials=args.trials,
         seed_key=(args.seed,),
         good_die_threshold=args.good_die_threshold,
+        misalignment=misalignment,
         **kwargs,
     )
     payload = {
         "die_count": result.die_count,
+        "n_trials": result.n_trials,
+        "widths_nm": list(result.widths_nm),
+        "device_counts": list(result.device_counts),
+        "correlation_length_mm": args.correlation_length_mm,
+        "derate_misalignment": bool(args.derate_misalignment),
+        "mean_chip_yield": result.mean_chip_yield,
+        "good_die_fraction": result.good_die_fraction,
+        "expected_good_dice": result.expected_good_dice,
+        "dice": [
+            {
+                "column": d.column, "row": d.row,
+                "x_mm": d.x_mm, "y_mm": d.y_mm,
+                "mean_pitch_nm": d.mean_pitch_nm,
+                "cnt_density_per_um": d.cnt_density_per_um,
+                "misalignment_deg": d.misalignment_deg,
+                "relaxation_factor": d.relaxation_factor,
+                "chip_yield": d.chip_yield,
+                "chip_yield_se": d.chip_yield_se,
+            }
+            for d in result.dice
+        ],
+    }
+    from repro.reporting.tables import wafer_map_lines
+
+    lines = [
+        f"dies                 : {result.die_count} "
+        f"({args.wafer_diameter_mm:.0f} mm wafer, "
+        f"{args.die_size_mm:.0f} mm dies)",
+        f"trials per die       : {result.n_trials}",
+        f"width classes (nm)   : {', '.join(f'{w:.1f}' for w in result.widths_nm)}",
+        f"density field        : "
+        + (f"correlated, l = {args.correlation_length_mm:g} mm, "
+           f"sigma = {args.field_sigma:g}"
+           if args.correlation_length_mm is not None
+           else "radial + independent noise"),
+        f"misalignment de-rate : {'on' if misalignment is not None else 'off'}",
+        f"mean chip yield      : {result.mean_chip_yield:.4f}",
+        f"good-die fraction    : {result.good_die_fraction:.3f} "
+        f"(threshold {result.good_die_threshold:g})",
+        f"expected good dice   : {result.expected_good_dice:.1f}",
+        render_table(wafer_summary_rows(result), columns=WAFER_SUMMARY_COLUMNS),
+        *wafer_map_lines(result.dice, result.die_yields(),
+                         threshold=result.good_die_threshold),
+    ]
+    return _emit(args, payload, lines)
+
+
+def _cmd_chip_wafer(args: argparse.Namespace) -> int:
+    from repro.cells.nangate45 import build_nangate45_library
+    from repro.growth.pitch import pitch_distribution_from_cv
+    from repro.montecarlo.chip_sim import ChipMonteCarlo
+    from repro.montecarlo.wafer_sim import chip_per_die_loop, run_chip_wafer
+    from repro.netlist.openrisc import build_openrisc_like_design
+    from repro.netlist.placement import RowPlacement
+    from repro.reporting.tables import (
+        CHIP_WAFER_SUMMARY_COLUMNS,
+        render_table,
+        chip_wafer_summary_rows,
+        wafer_map_lines,
+    )
+
+    setup = _build_setup(args)
+    wafer = _build_wafer_model(args).generate(
+        np.random.default_rng(args.seed), seed_key=(args.seed,)
+    )
+    library = build_nangate45_library()
+    design = build_openrisc_like_design(
+        library, scale=args.scale, seed=args.netlist_seed
+    )
+    placement = RowPlacement(design)
+    chip = ChipMonteCarlo(
+        placement,
+        pitch=pitch_distribution_from_cv(args.mean_pitch_nm, args.pitch_cv),
+        type_model=setup.corner.to_type_model(),
+    )
+    misalignment = _build_misalignment_model(args, setup)
+    if args.per_die_loop:
+        # The reference loop computes only the direct view (no Eq. 2.3
+        # classes to de-rate) and runs serially; say so instead of
+        # silently dropping the flags.
+        if misalignment is not None:
+            print("note: --derate-misalignment ignored with --per-die-loop "
+                  "(the reference loop has no Eq. 2.3 view to de-rate)",
+                  file=sys.stderr)
+        if args.workers != 1:
+            print("note: --workers ignored with --per-die-loop "
+                  "(the reference loop is serial)", file=sys.stderr)
+        result = chip_per_die_loop(
+            wafer, chip, n_trials=args.trials, seed_key=(args.seed,),
+            good_die_threshold=args.good_die_threshold,
+        )
+    else:
+        result = run_chip_wafer(
+            wafer, chip, n_trials=args.trials, seed_key=(args.seed,),
+            good_die_threshold=args.good_die_threshold,
+            n_workers=args.workers, misalignment=misalignment,
+        )
+    payload = {
+        "die_count": result.die_count,
+        "device_count": result.device_count,
         "n_trials": result.n_trials,
         "widths_nm": list(result.widths_nm),
         "device_counts": list(result.device_counts),
@@ -399,9 +599,12 @@ def _cmd_wafer(args: argparse.Namespace) -> int:
                 "column": d.column, "row": d.row,
                 "x_mm": d.x_mm, "y_mm": d.y_mm,
                 "mean_pitch_nm": d.mean_pitch_nm,
-                "cnt_density_per_um": d.cnt_density_per_um,
+                "misalignment_deg": d.misalignment_deg,
                 "chip_yield": d.chip_yield,
-                "chip_yield_se": d.chip_yield_se,
+                "eq23_chip_yield": _nan_to_none(d.eq23_chip_yield),
+                "eq23_chip_yield_se": _nan_to_none(d.eq23_chip_yield_se),
+                "mean_failing_devices": d.mean_failing_devices,
+                "relaxation_factor": d.relaxation_factor,
             }
             for d in result.dice
         ],
@@ -410,13 +613,18 @@ def _cmd_wafer(args: argparse.Namespace) -> int:
         f"dies                 : {result.die_count} "
         f"({args.wafer_diameter_mm:.0f} mm wafer, "
         f"{args.die_size_mm:.0f} mm dies)",
+        f"placed design        : {design.instance_count} instances, "
+        f"{result.device_count} transistors "
+        f"({len(result.widths_nm)} width classes)",
         f"trials per die       : {result.n_trials}",
-        f"width classes (nm)   : {', '.join(f'{w:.1f}' for w in result.widths_nm)}",
-        f"mean chip yield      : {result.mean_chip_yield:.4f}",
+        f"mean direct yield    : {result.mean_chip_yield:.4f}",
         f"good-die fraction    : {result.good_die_fraction:.3f} "
         f"(threshold {result.good_die_threshold:g})",
         f"expected good dice   : {result.expected_good_dice:.1f}",
-        render_table(wafer_summary_rows(result), columns=WAFER_SUMMARY_COLUMNS),
+        render_table(chip_wafer_summary_rows(result),
+                     columns=CHIP_WAFER_SUMMARY_COLUMNS),
+        *wafer_map_lines(result.dice, result.die_yields(),
+                         threshold=result.good_die_threshold),
     ]
     return _emit(args, payload, lines)
 
@@ -612,14 +820,7 @@ def build_parser() -> argparse.ArgumentParser:
         "wafer", _cmd_wafer,
         "wafer-level per-die yield under CNT density drift (stacked engine)",
     )
-    wafer.add_argument("--wafer-diameter-mm", type=float, default=100.0,
-                       help="usable wafer diameter (default 100)")
-    wafer.add_argument("--die-size-mm", type=float, default=10.0,
-                       help="square die edge length (default 10)")
-    wafer.add_argument("--edge-pitch-drift", type=float, default=0.15,
-                       help="relative pitch increase at the wafer edge")
-    wafer.add_argument("--pitch-noise-sigma", type=float, default=0.02,
-                       help="die-to-die random pitch component (relative)")
+    _add_wafer_geometry_options(wafer)
     wafer.add_argument("--widths-nm", type=str, default=None,
                        help="comma-separated device width classes "
                             "(default: the uncorrelated Wmin, which matches "
@@ -629,10 +830,6 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: Mmin split evenly)")
     wafer.add_argument("--trials", type=int, default=2048,
                        help="Monte Carlo trials per die (default 2048)")
-    wafer.add_argument("--good-die-threshold", type=float, default=0.5,
-                       help="yield above which a die counts as good")
-    wafer.add_argument("--workers", type=int, default=1,
-                       help="processes for die groups (results identical)")
     wafer.add_argument("--backend", type=str, default=None,
                        help="array backend (numpy/cupy/torch; default: "
                             "REPRO_BACKEND or numpy)")
@@ -642,7 +839,22 @@ def build_parser() -> argparse.ArgumentParser:
     wafer.add_argument("--per-die-loop", action="store_true",
                        help="use the reference die-by-die loop instead of "
                             "the stacked engine (cross-check/benchmark)")
-    wafer.add_argument("--seed", type=int, default=20100616, help="RNG seed")
+
+    chip_wafer = add_subparser(
+        "chip-wafer", _cmd_chip_wafer,
+        "whole-placement per-die chip yield across a wafer (shared geometry)",
+    )
+    _add_wafer_geometry_options(chip_wafer)
+    chip_wafer.add_argument("--scale", type=float, default=0.05,
+                            help="OpenRISC-like netlist scale factor "
+                                 "(default 0.05)")
+    chip_wafer.add_argument("--netlist-seed", type=int, default=2010,
+                            help="netlist generator seed")
+    chip_wafer.add_argument("--trials", type=int, default=128,
+                            help="whole-chip trials per die (default 128)")
+    chip_wafer.add_argument("--per-die-loop", action="store_true",
+                            help="use the fresh-simulator-per-die reference "
+                                 "instead of the shared-geometry pass")
 
     netlist = add_subparser(
         "netlist", _cmd_netlist, "generate the synthetic OpenRISC-like netlist",

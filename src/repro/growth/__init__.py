@@ -18,8 +18,12 @@ by circuit-level analysis:
   samples its own CNT population.
 * :mod:`repro.growth.density` — CNT density statistics and density-variation
   summaries.
+* :mod:`repro.growth.spatial` — spatially correlated Gaussian-random-field
+  variation over the wafer plane (FFT circulant-embedding sampling,
+  spawn-keyed reproducibility).
 * :mod:`repro.growth.wafer` — wafer-level die-to-die variation of the growth
-  statistics (density drift and growth-direction misalignment).
+  statistics (density drift, correlated density/misalignment fields and
+  growth-direction misalignment).
 """
 
 from repro.growth.cnt import CNT, CNTType, CNTTrack
@@ -36,6 +40,7 @@ from repro.growth.removal import RemovalProcess
 from repro.growth.directional import DirectionalGrowthModel, GrownRegion
 from repro.growth.isotropic import IsotropicGrowthModel
 from repro.growth.density import DensityStatistics, density_from_pitch
+from repro.growth.spatial import GaussianRandomField, SpatialFieldSpec, sample_field
 from repro.growth.wafer import DieSite, WaferGrowthModel, WaferMap
 
 __all__ = [
@@ -56,6 +61,9 @@ __all__ = [
     "IsotropicGrowthModel",
     "DensityStatistics",
     "density_from_pitch",
+    "GaussianRandomField",
+    "SpatialFieldSpec",
+    "sample_field",
     "DieSite",
     "WaferGrowthModel",
     "WaferMap",

@@ -182,16 +182,20 @@ class DeterministicPitch(PitchDistribution):
 
     @property
     def mean_nm(self) -> float:
+        """Mean pitch µS in nm (the fixed pitch itself)."""
         return self.pitch_nm
 
     @property
     def std_nm(self) -> float:
+        """Pitch standard deviation σS in nm (zero: no variation)."""
         return 0.0
 
     def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``size`` identical gaps of ``pitch_nm`` nm."""
         return np.full(size, self.pitch_nm, dtype=float)
 
     def sum_cdf(self, n: int, w_nm: float) -> float:
+        """Degenerate n-fold sum CDF: a unit step at ``n * pitch_nm``."""
         if n < 0:
             raise ValueError(f"n must be non-negative, got {n}")
         if n == 0:
@@ -199,6 +203,7 @@ class DeterministicPitch(PitchDistribution):
         return 1.0 if n * self.pitch_nm <= w_nm else 0.0
 
     def sum_cdf_array(self, n_values: np.ndarray, w_nm: float) -> np.ndarray:
+        """Vectorised :meth:`sum_cdf` (a step function per ``n``)."""
         n = np.asarray(n_values)
         if np.any(n < 0):
             raise ValueError("n must be non-negative")
@@ -209,6 +214,7 @@ class DeterministicPitch(PitchDistribution):
         )
 
     def with_mean(self, mean_nm: float) -> "DeterministicPitch":
+        """Deterministic pitch rescaled to a new value (CV stays 0)."""
         return DeterministicPitch(pitch_nm=mean_nm)
 
 
@@ -228,16 +234,20 @@ class ExponentialPitch(PitchDistribution):
 
     @property
     def mean_nm(self) -> float:
+        """Mean pitch µS in nm."""
         return self.mean_pitch_nm
 
     @property
     def std_nm(self) -> float:
+        """Pitch standard deviation σS in nm (equals the mean: CV = 1)."""
         return self.mean_pitch_nm
 
     def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``size`` independent exponential gaps (nm)."""
         return rng.exponential(scale=self.mean_pitch_nm, size=size)
 
     def sum_cdf(self, n: int, w_nm: float) -> float:
+        """Exact n-fold sum CDF ``P{S_n <= w_nm}`` (Erlang distribution)."""
         if n < 0:
             raise ValueError(f"n must be non-negative, got {n}")
         if n == 0:
@@ -248,6 +258,7 @@ class ExponentialPitch(PitchDistribution):
         return float(stats.gamma.cdf(w_nm, a=n, scale=self.mean_pitch_nm))
 
     def sum_cdf_array(self, n_values: np.ndarray, w_nm: float) -> np.ndarray:
+        """Vectorised :meth:`sum_cdf` via one gamma-CDF call over ``n``."""
         n = np.asarray(n_values)
         if np.any(n < 0):
             raise ValueError("n must be non-negative")
@@ -261,9 +272,11 @@ class ExponentialPitch(PitchDistribution):
         # Tilting Exp(mean) by exp(θs) stays exponential with mean
         # mean / (1 - θ·mean); parameterised by the mean factor β the
         # per-gap log ratio is  log β − s (β − 1) / (β · mean).
+        """In-family tilt: the tilted gap law stays exponential."""
         return _gamma_family_tilt(self, shape=1.0, mean_factor=mean_factor)
 
     def with_mean(self, mean_nm: float) -> "ExponentialPitch":
+        """Exponential pitch rescaled to a new mean (CV stays 1)."""
         return ExponentialPitch(mean_pitch_nm=mean_nm)
 
 
@@ -295,16 +308,20 @@ class GammaPitch(PitchDistribution):
 
     @property
     def mean_nm(self) -> float:
+        """Mean pitch µS in nm."""
         return self.mean_pitch_nm
 
     @property
     def std_nm(self) -> float:
+        """Pitch standard deviation σS in nm (mean times CV)."""
         return self.mean_pitch_nm * self.cv_value
 
     def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``size`` independent gamma gaps (nm)."""
         return rng.gamma(shape=self.shape, scale=self.scale_nm, size=size)
 
     def sum_cdf(self, n: int, w_nm: float) -> float:
+        """Exact n-fold sum CDF: Gamma(n·k, θ) closure under summation."""
         if n < 0:
             raise ValueError(f"n must be non-negative, got {n}")
         if n == 0:
@@ -314,6 +331,7 @@ class GammaPitch(PitchDistribution):
         return float(stats.gamma.cdf(w_nm, a=n * self.shape, scale=self.scale_nm))
 
     def sum_cdf_array(self, n_values: np.ndarray, w_nm: float) -> np.ndarray:
+        """Vectorised :meth:`sum_cdf` via one gamma-CDF call over ``n``."""
         n = np.asarray(n_values)
         if np.any(n < 0):
             raise ValueError("n must be non-negative")
@@ -324,9 +342,11 @@ class GammaPitch(PitchDistribution):
     def exponential_tilt(self, mean_factor: float) -> GapTilt:
         # Tilting Gamma(k, c) by exp(θs) stays Gamma(k, c / (1 - θc)): the
         # shape (and hence the CV) is preserved, only the scale stretches.
+        """In-family tilt: shape (hence CV) preserved, scale stretched."""
         return _gamma_family_tilt(self, shape=self.shape, mean_factor=mean_factor)
 
     def with_mean(self, mean_nm: float) -> "GammaPitch":
+        """Gamma pitch rescaled to a new mean (shape and CV preserved)."""
         return GammaPitch(mean_pitch_nm=mean_nm, cv_value=self.cv_value)
 
 
@@ -361,16 +381,20 @@ class TruncatedNormalPitch(PitchDistribution):
 
     @property
     def mean_nm(self) -> float:
+        """Mean pitch µS of the *truncated* distribution, in nm."""
         return float(self._dist.mean())
 
     @property
     def std_nm(self) -> float:
+        """Standard deviation σS of the *truncated* distribution, in nm."""
         return float(self._dist.std())
 
     def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``size`` independent truncated-normal gaps (nm)."""
         return self._dist.rvs(size=size, random_state=rng)
 
     def sum_cdf(self, n: int, w_nm: float) -> float:
+        """n-fold sum CDF: exact for n <= 1, CLT approximation beyond."""
         if n < 0:
             raise ValueError(f"n must be non-negative, got {n}")
         if n == 0:
@@ -387,6 +411,7 @@ class TruncatedNormalPitch(PitchDistribution):
         return float(stats.norm.cdf(w_nm, loc=mean, scale=std))
 
     def sum_cdf_array(self, n_values: np.ndarray, w_nm: float) -> np.ndarray:
+        """Vectorised :meth:`sum_cdf` (exact at n = 1, CLT beyond)."""
         n = np.asarray(n_values)
         if np.any(n < 0):
             raise ValueError("n must be non-negative")
@@ -406,6 +431,7 @@ class TruncatedNormalPitch(PitchDistribution):
         # lightly-truncated pitches used here the truncated mean scales by
         # ≈ β as well.  The per-gap log ratio picks up the ratio of the
         # truncation normalisations Φ(m'/σ)/Φ(m/σ).
+        """In-family tilt: location shifted, same σ and truncation point."""
         if mean_factor <= 0:
             raise ValueError(f"mean_factor must be positive, got {mean_factor}")
         m, sigma = self.nominal_mean_nm, self.nominal_std_nm
@@ -429,6 +455,7 @@ class TruncatedNormalPitch(PitchDistribution):
         # Scaling both nominal parameters by the same factor scales every
         # truncated moment linearly (the truncation point stays at zero),
         # so the truncated mean hits the target exactly and the CV is kept.
+        """Truncated-normal pitch rescaled so the truncated mean hits the target."""
         ensure_positive(mean_nm, "mean_nm")
         factor = mean_nm / self.mean_nm
         return TruncatedNormalPitch(

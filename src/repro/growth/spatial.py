@@ -1,0 +1,348 @@
+"""Spatially correlated growth-variation fields over the wafer plane.
+
+The wafer tier of :mod:`repro.growth.wafer` originally modelled die-to-die
+variation as a radial drift plus independent per-die noise.  Real CNT
+growth additionally shows *2-D spatially correlated* structure: catalyst
+density, furnace temperature and gas-flow gradients vary smoothly across
+the wafer, so neighbouring dies see correlated CNT densities and
+correlated growth-direction misalignment (cf. Hills et al., "Rapid
+Co-optimization of Processing and Circuit Design to Overcome Carbon
+Nanotube Variations").  This module samples such structure as stationary
+Gaussian random fields (GRFs) on a regular grid covering the wafer,
+using FFT-based circulant embedding.
+
+Model
+-----
+A field is specified by a :class:`SpatialFieldSpec` — marginal standard
+deviation ``sigma``, correlation length ``correlation_length_mm`` and a
+covariance kernel (``"gaussian"`` squared-exponential or
+``"exponential"``).  :func:`sample_field` draws one realisation as a
+:class:`GaussianRandomField`:
+
+* the field lives on a regular grid of spacing ``resolution_mm`` covering
+  the requested square extent; evaluation (:meth:`GaussianRandomField.at`)
+  is nearest-grid-node, so the field is piecewise constant at the
+  resolution scale and every evaluation point has the *exact* marginal
+  variance ``sigma**2``;
+* sampling uses circulant embedding: the kernel is evaluated on a torus
+  at least twice the extent, its FFT gives the embedding eigenvalues, and
+  one pair of standard-normal grids pushed through the inverse FFT yields
+  a realisation with the target covariance (tiny negative eigenvalues of
+  the embedding are clipped; the padding keeps them negligible for the
+  supported kernels);
+* ``correlation_length_mm = 0`` is the white-noise (nugget) limit: grid
+  nodes are independent ``N(0, sigma**2)`` draws, which reproduces the
+  legacy independent per-die noise of the wafer model;
+* ``sigma = 0`` degenerates to the identically-zero field, which makes
+  any composition with a radial profile reduce *bitwise* to the
+  radial-only result.
+
+Determinism / spawn-key contract
+--------------------------------
+:func:`sample_field` derives its generator as
+``np.random.default_rng([*seed_key, FIELD_STREAM_TAG, tag])`` and draws a
+fixed-shape normal grid, so a field realisation is a pure function of
+``(spec, extent, seed_key, tag)``.  Because dies merely *read* the field
+at their centre coordinates, every per-die value is bitwise invariant to
+the order in which dies are generated or evaluated — the same invariance
+contract the stacked wafer runner gives per-die streams.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.units import ensure_positive
+
+__all__ = [
+    "FIELD_STREAM_TAG",
+    "SpatialFieldSpec",
+    "GaussianRandomField",
+    "sample_field",
+]
+
+#: Domain-separation tag mixed into every field stream's spawn key, so
+#: field draws can never collide with the wafer runner's die streams or
+#: the engine's chunk streams under a shared root seed.
+FIELD_STREAM_TAG = 0xF1E1D
+
+#: Kernels accepted by :class:`SpatialFieldSpec`.
+_KERNELS = ("gaussian", "exponential")
+
+#: Hard cap on grid nodes per axis (the embedding grid is twice this);
+#: keeps one field draw below ~64 MB however fine the requested
+#: resolution is.
+MAX_GRID_NODES = 1 << 10
+
+
+@dataclass(frozen=True)
+class SpatialFieldSpec:
+    """Specification of a stationary Gaussian random field over the wafer.
+
+    Parameters
+    ----------
+    sigma:
+        Marginal standard deviation of the field.  ``0`` gives the
+        identically-zero field (exact radial-only reduction).
+    correlation_length_mm:
+        Correlation length of the kernel in mm.  ``0`` is the white-noise
+        limit: grid nodes are independent draws (the legacy independent
+        per-die noise).
+    kernel:
+        ``"gaussian"`` — squared-exponential ``exp(-(d/l)**2)`` — or
+        ``"exponential"`` — ``exp(-d/l)``.
+    resolution_mm:
+        Grid spacing.  ``None`` (default) picks ``correlation_length_mm/4``
+        clamped into ``[1, 5]`` mm, so the grid resolves the kernel without
+        exploding for short correlation lengths.
+    """
+
+    sigma: float
+    correlation_length_mm: float
+    kernel: str = "gaussian"
+    resolution_mm: float | None = None
+
+    def __post_init__(self) -> None:
+        """Validate the spec (non-negative sigma/length, known kernel)."""
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        if self.correlation_length_mm < 0:
+            raise ValueError("correlation_length_mm must be non-negative")
+        if self.kernel not in _KERNELS:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; expected one of {_KERNELS}"
+            )
+        if self.resolution_mm is not None:
+            ensure_positive(self.resolution_mm, "resolution_mm")
+
+    def grid_resolution_mm(self) -> float:
+        """Grid spacing actually used: explicit, or ``l/4`` clamped to [1, 5]."""
+        if self.resolution_mm is not None:
+            return float(self.resolution_mm)
+        if self.correlation_length_mm == 0.0:
+            return 1.0
+        return float(min(5.0, max(1.0, self.correlation_length_mm / 4.0)))
+
+    def covariance(self, distance_mm) -> np.ndarray:
+        """Kernel covariance ``sigma**2 * rho(d)`` at the given distances.
+
+        Vectorised over ``distance_mm``.  For ``correlation_length_mm = 0``
+        the covariance is a pure nugget: ``sigma**2`` at distance zero and
+        ``0`` elsewhere.
+        """
+        d = np.asarray(distance_mm, dtype=float)
+        if self.sigma == 0.0:
+            return np.zeros_like(d)
+        if self.correlation_length_mm == 0.0:
+            return np.where(d == 0.0, self.sigma ** 2, 0.0)
+        r = d / self.correlation_length_mm
+        if self.kernel == "gaussian":
+            rho = np.exp(-(r ** 2))
+        else:
+            rho = np.exp(-r)
+        return self.sigma ** 2 * rho
+
+
+@dataclass(frozen=True)
+class GaussianRandomField:
+    """One sampled realisation of a :class:`SpatialFieldSpec` on a grid.
+
+    Attributes
+    ----------
+    spec:
+        The specification the field was drawn from.
+    origin_mm:
+        Coordinate of grid node ``(0, 0)`` (the grid is centred on the
+        wafer, so this is negative).
+    resolution_mm:
+        Grid spacing in mm.
+    values:
+        ``(n, n)`` field values; ``values[i, j]`` sits at
+        ``(origin + i * resolution, origin + j * resolution)``.
+    """
+
+    spec: SpatialFieldSpec
+    origin_mm: float
+    resolution_mm: float
+    values: np.ndarray
+
+    @property
+    def grid_nodes(self) -> int:
+        """Number of grid nodes per axis."""
+        return int(self.values.shape[0])
+
+    def at(self, x_mm, y_mm) -> np.ndarray:
+        """Field value at wafer coordinates, nearest-grid-node lookup.
+
+        Vectorised over ``x_mm`` / ``y_mm``.  Nearest-node evaluation keeps
+        the marginal variance exactly ``sigma**2`` everywhere (interpolation
+        would shrink it between nodes) and makes evaluation a pure function
+        of the coordinates — the order of evaluation points can never
+        change any value.  Coordinates outside the grid clamp to the edge
+        node.
+        """
+        n = self.grid_nodes
+        i = np.clip(np.rint(
+            (np.asarray(x_mm, dtype=float) - self.origin_mm) / self.resolution_mm
+        ).astype(np.int64), 0, n - 1)
+        j = np.clip(np.rint(
+            (np.asarray(y_mm, dtype=float) - self.origin_mm) / self.resolution_mm
+        ).astype(np.int64), 0, n - 1)
+        return self.values[i, j]
+
+
+def _embedding_eigenvalues(
+    spec: SpatialFieldSpec, n_embed: int, resolution_mm: float
+) -> np.ndarray:
+    """Eigenvalues of the circulant embedding of the kernel on the torus.
+
+    The covariance between torus nodes depends only on the wrap-around
+    displacement; its 2-D FFT diagonalises the circulant covariance
+    operator.  Small negative eigenvalues (the embedding of a smooth
+    kernel on a finite torus need not be exactly non-negative definite)
+    are clipped to zero — with the factor-2 padding used by
+    :func:`sample_field` the clipped mass is negligible for the supported
+    kernels.
+    """
+    k = np.arange(n_embed)
+    wrap = np.minimum(k, n_embed - k) * resolution_mm
+    dist = np.hypot(wrap[:, None], wrap[None, :])
+    cov = spec.covariance(dist)
+    eig = np.fft.fft2(cov).real
+    return np.maximum(eig, 0.0)
+
+
+def sample_field(
+    spec: SpatialFieldSpec,
+    extent_mm: float,
+    seed_key: Sequence[int],
+    tag: int = 0,
+) -> GaussianRandomField:
+    """Draw one field realisation covering a centred square of ``extent_mm``.
+
+    Parameters
+    ----------
+    spec:
+        Field specification (sigma, correlation length, kernel,
+        resolution).
+    extent_mm:
+        Edge length of the covered square, centred on the origin — pass
+        the wafer diameter so every die centre lies on the grid.
+    seed_key:
+        Root spawn key of the wafer run; the field stream is derived from
+        it (plus :data:`FIELD_STREAM_TAG` and ``tag``), never from global
+        state.
+    tag:
+        Distinguishes multiple fields of one wafer run (density vs
+        misalignment) under the same ``seed_key``.
+
+    Returns
+    -------
+    GaussianRandomField
+        The sampled field; reproducible as a pure function of the
+        arguments, and bitwise identical however many dies later read it.
+    """
+    ensure_positive(extent_mm, "extent_mm")
+    resolution = spec.grid_resolution_mm()
+    n = int(math.ceil(extent_mm / resolution)) + 1
+    if n > MAX_GRID_NODES:
+        raise ValueError(
+            f"field grid of {n} nodes per axis exceeds the cap "
+            f"{MAX_GRID_NODES}; coarsen resolution_mm"
+        )
+    origin = -0.5 * (n - 1) * resolution
+    rng = np.random.default_rng(
+        [int(part) for part in seed_key] + [FIELD_STREAM_TAG, int(tag)]
+    )
+    if spec.sigma == 0.0:
+        # Exact radial-only reduction: no draws at all, identically zero.
+        return GaussianRandomField(
+            spec=spec, origin_mm=origin, resolution_mm=resolution,
+            values=np.zeros((n, n)),
+        )
+    if spec.correlation_length_mm == 0.0:
+        # White-noise (nugget) limit: independent nodes, no embedding.
+        values = spec.sigma * rng.standard_normal((n, n))
+        return GaussianRandomField(
+            spec=spec, origin_mm=origin, resolution_mm=resolution,
+            values=values,
+        )
+    # Circulant embedding on a torus at least twice the extent (and wide
+    # enough that the kernel has decayed across the pad, which keeps the
+    # clipped-eigenvalue mass negligible).
+    pad = int(math.ceil(3.0 * spec.correlation_length_mm / resolution))
+    n_embed = 2 * (n + pad)
+    eig = _embedding_eigenvalues(spec, n_embed, resolution)
+    noise = rng.standard_normal((n_embed, n_embed)) \
+        + 1j * rng.standard_normal((n_embed, n_embed))
+    modes = np.sqrt(eig / (n_embed * n_embed)) * noise
+    field = np.fft.fft2(modes).real[:n, :n]
+    return GaussianRandomField(
+        spec=spec, origin_mm=origin, resolution_mm=resolution,
+        values=field,
+    )
+
+
+def field_correlation(
+    spec: SpatialFieldSpec, distance_mm: float
+) -> float:
+    """Kernel correlation ``rho(d)`` at one distance (1 at d=0, ≤1 beyond).
+
+    Convenience for tests and docs: the normalised covariance the sampled
+    fields are held to by the variogram checks.
+    """
+    if spec.sigma == 0.0:
+        return 1.0 if distance_mm == 0.0 else 0.0
+    return float(
+        spec.covariance(distance_mm) / spec.covariance(0.0)
+    )
+
+
+def variogram(
+    field_values: np.ndarray,
+    coords_mm: np.ndarray,
+    bin_edges_mm: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical semivariogram of field samples at scattered coordinates.
+
+    Parameters
+    ----------
+    field_values:
+        ``(n_points,)`` or ``(n_realisations, n_points)`` field values.
+    coords_mm:
+        ``(n_points, 2)`` evaluation coordinates.
+    bin_edges_mm:
+        Distance bin edges, shape ``(n_bins + 1,)``.
+
+    Returns
+    -------
+    gamma, counts:
+        Per-bin semivariance ``0.5 * E[(Z(p) - Z(q))**2]`` and the number
+        of point pairs (times realisations) that fell in each bin.  For a
+        stationary field, ``gamma(d) = sigma**2 * (1 - rho(d))`` — the
+        statistical check the spatial-field tests pin the sampler to.
+    """
+    values = np.atleast_2d(np.asarray(field_values, dtype=float))
+    coords = np.asarray(coords_mm, dtype=float)
+    if coords.ndim != 2 or coords.shape[1] != 2:
+        raise ValueError("coords_mm must have shape (n_points, 2)")
+    if values.shape[1] != coords.shape[0]:
+        raise ValueError("field_values and coords_mm disagree on n_points")
+    edges = np.asarray(bin_edges_mm, dtype=float)
+    iu, ju = np.triu_indices(coords.shape[0], k=1)
+    dist = np.hypot(*(coords[iu] - coords[ju]).T)
+    sq = (values[:, iu] - values[:, ju]) ** 2
+    which = np.digitize(dist, edges) - 1
+    n_bins = edges.size - 1
+    gamma = np.full(n_bins, np.nan)
+    counts = np.zeros(n_bins, dtype=np.int64)
+    for b in range(n_bins):
+        mask = which == b
+        counts[b] = int(mask.sum()) * values.shape[0]
+        if counts[b]:
+            gamma[b] = 0.5 * float(sq[:, mask].mean())
+    return gamma, counts

@@ -21,17 +21,49 @@ Model
   analysis of :mod:`repro.analysis.mispositioned` (a misaligned tube leaves
   the aligned active band after a finite run length, which truncates the
   effective correlation length).
+
+Spatially correlated fields
+---------------------------
+Real growth is not purely radial: catalyst and temperature gradients give
+the density (and the growth direction) 2-D spatially *correlated*
+structure.  Passing :class:`~repro.growth.spatial.SpatialFieldSpec`
+instances as ``density_field`` / ``misalignment_field`` composes such
+Gaussian-random-field draws with the radial profile:
+
+* the per-die density is the radial profile times a lognormal factor
+  ``exp(Z - sigma**2/2)`` (mean one, so the wafer-average density is
+  preserved) with ``Z`` read from one spawn-keyed field realisation;
+* the per-die misalignment angle is the radial spread profile times a
+  *unit-variance* correlated draw, so neighbouring dies are misaligned
+  the same way;
+* field draws are keyed by ``seed_key`` (see
+  :mod:`repro.growth.spatial`), never by die order, so per-die values are
+  bitwise invariant to the order dies are generated in;
+* a field with ``sigma = 0`` (or no field at all with
+  ``pitch_noise_sigma = 0``) reduces *bitwise* to the radial-only
+  profile, and ``correlation_length_mm = 0`` is the independent-per-die
+  (white-noise) limit of the legacy noise model.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.growth.spatial import GaussianRandomField, SpatialFieldSpec, sample_field
 from repro.units import ensure_positive
+
+#: Field-stream tags separating the two per-wafer field draws under one
+#: ``seed_key`` (mixed in after :data:`repro.growth.spatial.FIELD_STREAM_TAG`).
+DENSITY_FIELD_TAG = 0
+MISALIGNMENT_FIELD_TAG = 1
+
+#: Default root spawn key of field draws when the caller does not pass one
+#: (the paper's publication date, like the Monte Carlo tiers).
+DEFAULT_SEED_KEY = (20100616,)
 
 
 @dataclass(frozen=True)
@@ -50,14 +82,27 @@ class DieSite:
         """Distance of the die centre from the wafer centre."""
         return math.hypot(self.x_mm, self.y_mm)
 
+    @property
+    def cnt_density_per_um(self) -> float:
+        """Local CNT density (tubes per µm) implied by the die's mean pitch."""
+        return 1.0e3 / self.mean_pitch_nm
+
 
 @dataclass(frozen=True)
 class WaferMap:
-    """A populated wafer: die sites plus the parameters that generated them."""
+    """A populated wafer: die sites plus the parameters that generated them.
+
+    ``density_field`` / ``misalignment_field`` record the spatially
+    correlated field realisations the sites were drawn from (``None`` for
+    the legacy radial + independent-noise model), so wafer-level studies
+    can inspect or re-evaluate the underlying fields.
+    """
 
     wafer_diameter_mm: float
     die_size_mm: float
     sites: Sequence[DieSite]
+    density_field: Optional[GaussianRandomField] = None
+    misalignment_field: Optional[GaussianRandomField] = None
 
     @property
     def die_count(self) -> int:
@@ -111,6 +156,22 @@ class WaferGrowthModel:
         Standard deviation of the growth-direction misalignment angle at the
         centre and at the edge; the local spread interpolates linearly in the
         radius.
+    density_field:
+        Optional :class:`~repro.growth.spatial.SpatialFieldSpec` for a
+        spatially correlated CNT-density field.  When set, the per-die
+        density is the radial profile times the lognormal factor
+        ``exp(Z - sigma**2/2)`` with ``Z`` a spawn-keyed field draw, and
+        the independent ``pitch_noise_sigma`` component is *not* applied
+        (the field's ``correlation_length_mm = 0`` limit is its
+        replacement).
+    misalignment_field:
+        Optional :class:`~repro.growth.spatial.SpatialFieldSpec` for the
+        correlation *structure* of the misalignment angle.  The angle
+        magnitude still comes from the radial
+        ``center/edge_misalignment_deg`` profile; the field draw is
+        normalised to unit variance before scaling, so pass ``sigma=1``
+        (a ``sigma=0`` spec pins every angle to zero).  When set, the
+        independent per-die normal draw is not applied.
     """
 
     def __init__(
@@ -122,6 +183,8 @@ class WaferGrowthModel:
         pitch_noise_sigma: float = 0.02,
         center_misalignment_deg: float = 0.2,
         edge_misalignment_deg: float = 1.0,
+        density_field: Optional[SpatialFieldSpec] = None,
+        misalignment_field: Optional[SpatialFieldSpec] = None,
     ) -> None:
         self.wafer_diameter_mm = ensure_positive(wafer_diameter_mm, "wafer_diameter_mm")
         self.die_size_mm = ensure_positive(die_size_mm, "die_size_mm")
@@ -138,6 +201,8 @@ class WaferGrowthModel:
             raise ValueError("misalignment spreads must be non-negative")
         self.center_misalignment_deg = float(center_misalignment_deg)
         self.edge_misalignment_deg = float(edge_misalignment_deg)
+        self.density_field = density_field
+        self.misalignment_field = misalignment_field
 
     # ------------------------------------------------------------------
     # Die-site generation
@@ -157,39 +222,103 @@ class WaferGrowthModel:
                     centres.append((i + n_half, j + n_half, x, y))
         return centres
 
-    def _local_pitch(self, radius_mm: float, rng: np.random.Generator) -> float:
+    def radial_pitch_nm(self, radius_mm: float) -> float:
+        """Deterministic radial pitch profile (no noise, no field)."""
         radius_fraction = radius_mm / (0.5 * self.wafer_diameter_mm)
-        drift = 1.0 + self.edge_pitch_drift * radius_fraction
-        noise = rng.normal(0.0, self.pitch_noise_sigma)
-        return self.center_pitch_nm * drift * max(1.0 + noise, 0.5)
+        return self.center_pitch_nm * (1.0 + self.edge_pitch_drift * radius_fraction)
 
-    def _local_misalignment(self, radius_mm: float, rng: np.random.Generator) -> float:
+    def radial_misalignment_sigma_deg(self, radius_mm: float) -> float:
+        """Misalignment-angle spread at a radius (linear centre→edge ramp)."""
         radius_fraction = radius_mm / (0.5 * self.wafer_diameter_mm)
-        sigma = (
+        return (
             self.center_misalignment_deg
             + (self.edge_misalignment_deg - self.center_misalignment_deg)
             * radius_fraction
         )
-        return float(rng.normal(0.0, sigma))
 
-    def generate(self, rng: Optional[np.random.Generator] = None) -> WaferMap:
-        """Generate a :class:`WaferMap` with per-die growth statistics."""
+    def _local_pitch(self, radius_mm: float, rng: np.random.Generator) -> float:
+        """Radial profile times the legacy independent noise factor."""
+        noise = rng.normal(0.0, self.pitch_noise_sigma)
+        return self.radial_pitch_nm(radius_mm) * max(1.0 + noise, 0.5)
+
+    def _local_misalignment(self, radius_mm: float, rng: np.random.Generator) -> float:
+        """Legacy independent per-die misalignment draw at the radial spread."""
+        return float(rng.normal(0.0, self.radial_misalignment_sigma_deg(radius_mm)))
+
+    def generate(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        seed_key: Sequence[int] = DEFAULT_SEED_KEY,
+    ) -> WaferMap:
+        """Generate a :class:`WaferMap` with per-die growth statistics.
+
+        Parameters
+        ----------
+        rng:
+            Generator for the legacy independent per-die draws (pitch
+            noise, misalignment); defaults to a fixed-seed generator.
+            Components driven by a spatial field do not consume it.
+        seed_key:
+            Root spawn key of the correlated field draws (ignored when no
+            field spec is configured).  Fields are keyed by
+            ``(seed_key, field tag)``, never by die order, so per-die
+            values are bitwise invariant to generation order.
+
+        Returns
+        -------
+        WaferMap
+            Usable dies with their local growth statistics, plus the
+            field realisations that produced them (``None`` when the
+            legacy independent-noise model was used).
+        """
         rng = rng or np.random.default_rng(20100616)
+        density_field = None
+        misalignment_field = None
+        if self.density_field is not None:
+            density_field = sample_field(
+                self.density_field, self.wafer_diameter_mm, seed_key,
+                tag=DENSITY_FIELD_TAG,
+            )
+        if self.misalignment_field is not None:
+            misalignment_field = sample_field(
+                self.misalignment_field, self.wafer_diameter_mm, seed_key,
+                tag=MISALIGNMENT_FIELD_TAG,
+            )
         sites = []
         for column, row, x, y in self._die_centres():
             radius = math.hypot(x, y)
+            if density_field is None:
+                pitch = self._local_pitch(radius, rng)
+            else:
+                # Lognormal density factor with mean one: the field
+                # perturbs density, so it divides the pitch.  sigma = 0
+                # gives factor exactly 1.0 — the bitwise radial-only
+                # reduction the composition tests pin down.
+                sigma = density_field.spec.sigma
+                z = float(density_field.at(x, y))
+                pitch = self.radial_pitch_nm(radius) / math.exp(
+                    z - 0.5 * sigma * sigma
+                )
+            if misalignment_field is None:
+                angle = self._local_misalignment(radius, rng)
+            else:
+                sigma = misalignment_field.spec.sigma
+                unit = float(misalignment_field.at(x, y)) / sigma if sigma > 0 else 0.0
+                angle = self.radial_misalignment_sigma_deg(radius) * unit
             sites.append(
                 DieSite(
                     column=column,
                     row=row,
                     x_mm=x,
                     y_mm=y,
-                    mean_pitch_nm=self._local_pitch(radius, rng),
-                    misalignment_deg=self._local_misalignment(radius, rng),
+                    mean_pitch_nm=pitch,
+                    misalignment_deg=angle,
                 )
             )
         return WaferMap(
             wafer_diameter_mm=self.wafer_diameter_mm,
             die_size_mm=self.die_size_mm,
             sites=tuple(sites),
+            density_field=density_field,
+            misalignment_field=misalignment_field,
         )

@@ -21,6 +21,11 @@ fabrication outcomes directly:
   tilted importance sampling with stopped likelihood-ratio weights and an
   adaptive multilevel-splitting fallback; reaches the paper's 1e8-device,
   1e-9-failure-probability operating point directly.
+* :mod:`repro.montecarlo.wafer_sim` — wafer tier: every die of a
+  :class:`~repro.growth.wafer.WaferMap` simulated in stacked
+  (die × trial × track) passes with spawn-keyed per-die streams,
+  analytic misalignment de-rating, and whole-placement per-die chip runs
+  (:func:`~repro.montecarlo.wafer_sim.run_chip_wafer`).
 * :mod:`repro.montecarlo.experiments` — packaged experiments comparing
   analytic and Monte Carlo numbers, used by tests and benchmarks.
 """
@@ -50,6 +55,17 @@ from repro.montecarlo.chip_sim import (
     ChipMCResult,
     ChipTailResult,
     compare_libraries,
+)
+from repro.montecarlo.wafer_sim import (
+    ChipDieYield,
+    ChipWaferResult,
+    DieYieldEstimate,
+    WaferYieldResult,
+    chip_per_die_loop,
+    per_die_loop,
+    run_chip_wafer,
+    simulate_die,
+    simulate_wafer,
 )
 from repro.montecarlo.experiments import (
     compare_chip_engines,
@@ -83,6 +99,15 @@ __all__ = [
     "ChipMCResult",
     "ChipTailResult",
     "compare_libraries",
+    "DieYieldEstimate",
+    "WaferYieldResult",
+    "ChipDieYield",
+    "ChipWaferResult",
+    "simulate_die",
+    "simulate_wafer",
+    "per_die_loop",
+    "run_chip_wafer",
+    "chip_per_die_loop",
     "compare_chip_engines",
     "compare_device_failure",
     "compare_row_scenarios",

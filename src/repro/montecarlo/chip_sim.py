@@ -154,16 +154,45 @@ class _ChipGeometry:
     backend: Optional[ArrayBackend] = None
 
 
-def _simulate_chip_chunk(
+def _width_class_matrix(
+    geometry: _ChipGeometry,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Width-class structure of a placement geometry — the single source.
+
+    Returns ``(widths_nm, class_matrix, class_counts)``: the sorted
+    distinct window spans (each window's ``y_high - y_low``, rounded to
+    6 decimals so float noise cannot split a class), the dense
+    ``(n_windows, Q)`` matrix whose entry ``(w, q)`` is the device
+    multiplicity of window ``w`` if it belongs to class ``q`` (else 0),
+    and the per-class device totals.  One matmul of a per-trial failing
+    mask against ``class_matrix`` yields every class's failing-device
+    count.  Both :meth:`ChipMonteCarlo.width_class_histogram` and the
+    wafer tier's Eq. 2.3 assembly derive their classes here, so the two
+    views can never diverge.
+    """
+    spans = np.round(geometry.window_hi - geometry.window_lo, 6)
+    widths = np.unique(spans)
+    class_matrix = (
+        (spans[:, None] == widths[None, :])
+        * geometry.window_weight[:, None].astype(float)
+    )
+    return widths, class_matrix, class_matrix.sum(axis=0)
+
+
+def _chip_window_failures(
     geometry: _ChipGeometry, n_chunk: int, rng: np.random.Generator
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Simulate one chunk of whole-chip trials, fully vectorised.
+) -> np.ndarray:
+    """Per-(trial, distinct window) failure indicators for one chunk.
 
     Every (trial, row) pair is one renewal trial; flat trial ``t * n_rows + r``
-    carries row ``r`` of chip trial ``t``.  Returns the per-trial failing
-    device and failing row counts.  The window-counting pass runs on the
-    geometry's backend; the per-row reduction is a host-side ``reduceat``
-    over the (small) per-window results.
+    carries row ``r`` of chip trial ``t``.  Returns the boolean failing
+    matrix of shape ``(n_chunk, n_windows)`` (a window fails when it
+    captures zero working tubes).  The window-counting pass runs on the
+    geometry's backend; this is the shared sampling kernel of
+    :func:`_simulate_chip_chunk` and the wafer tier's per-die chip runs
+    (:func:`repro.montecarlo.wafer_sim.run_chip_wafer`) — both consume
+    the generator identically, which is what keeps the two paths bitwise
+    comparable.
     """
     xp = geometry.backend if geometry.backend is not None else default_backend()
     n_rows = geometry.n_rows
@@ -189,8 +218,19 @@ def _simulate_chip_chunk(
         trial_index,
         backend=xp,
     )).reshape(n_chunk, n_windows)
+    return counts == 0
 
-    failing = counts == 0
+
+def _simulate_chip_chunk(
+    geometry: _ChipGeometry, n_chunk: int, rng: np.random.Generator
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Simulate one chunk of whole-chip trials, fully vectorised.
+
+    Returns the per-trial failing device and failing row counts; the
+    per-row reduction is a host-side ``reduceat`` over the (small)
+    per-window results of :func:`_chip_window_failures`.
+    """
+    failing = _chip_window_failures(geometry, n_chunk, rng)
     failing_devices = (failing * geometry.window_weight).sum(axis=1).astype(float)
     per_row = np.add.reduceat(failing, geometry.row_starts, axis=1)
     failing_rows = (per_row > 0).sum(axis=1).astype(float)
@@ -394,6 +434,32 @@ class ChipMonteCarlo:
     def device_count(self) -> int:
         """Number of transistors simulated."""
         return self._device_count
+
+    def chip_geometry(self) -> _ChipGeometry:
+        """The cached, picklable geometry snapshot of the placed design.
+
+        One snapshot serves every run of this simulator; the wafer tier
+        (:func:`repro.montecarlo.wafer_sim.run_chip_wafer`) substitutes a
+        per-die pitch into copies of it (``dataclasses.replace``) instead
+        of re-materialising the placement once per die — the structural
+        saving its benchmark measures.
+        """
+        return self._geometry
+
+    def width_class_histogram(self) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+        """Distinct device-width classes of the placement and their counts.
+
+        Returns
+        -------
+        widths_nm, device_counts:
+            Sorted distinct device widths (each window's ``y_high - y_low``
+            span, in nm) and how many transistors of the whole placement
+            carry each width.  This is the width-class view the wafer
+            tier's Eq. 2.3 product runs over: all classes of a die are
+            answered from the same sampled tracks.
+        """
+        widths, _, counts = _width_class_matrix(self._geometry)
+        return tuple(float(w) for w in widths), tuple(float(c) for c in counts)
 
     @property
     def small_device_count(self) -> int:

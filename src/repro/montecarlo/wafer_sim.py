@@ -37,37 +37,89 @@ The retained per-die reference path (:func:`per_die_loop`) drives
 :class:`~repro.montecarlo.device_sim.DeviceMonteCarlo` die by die and
 width by width; it is the statistical oracle for the equivalence tests
 and the baseline for ``benchmarks/bench_wafer.py``.
+
+Misalignment de-rating
+----------------------
+Each die of a :class:`~repro.growth.wafer.WaferMap` carries a
+growth-direction misalignment angle.  Passing a
+:class:`~repro.analysis.mispositioned.MisalignmentImpactModel` as
+``misalignment`` applies the Sec. 3 analytic relaxation *inside* the
+stacked pass: every die's Rao-Blackwellised failure values are divided by
+the relaxation factor at that die's own angle
+(:meth:`~repro.analysis.mispositioned.MisalignmentImpactModel.relaxation_for_angle`),
+so the per-device failure budget is relaxed exactly as the aligned-active
+optimisation assumes, de-rated by how far the local growth direction has
+drifted.  The factor is a pure function of the die site, so de-rated runs
+keep every bitwise-invariance guarantee.
+
+Whole-placement chip runs
+-------------------------
+:func:`run_chip_wafer` closes the loop at the design level: it drives the
+batched :class:`~repro.montecarlo.chip_sim.ChipMonteCarlo` kernel over
+every die of a wafer under the wafer stream convention — per-die
+spawn-keyed streams (:func:`chip_die_stream`), the placement geometry
+materialised *once* and re-pitched per die, and every device-width class
+of the placement answered from each trial's shared tracks.  Per die it
+reports both the direct indicator yield (which captures the row-level
+failure correlation the paper exploits) and the Eq. 2.3 product over the
+placement's width classes with full delta-method covariance.  The
+retained reference (:func:`chip_per_die_loop`) constructs a fresh
+:class:`~repro.montecarlo.chip_sim.ChipMonteCarlo` per die; it is the
+bitwise oracle for the equivalence tests and the baseline
+``benchmarks/bench_wafer.py`` measures the shared-geometry pass against.
 """
 
 from __future__ import annotations
 
 import math
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.mispositioned import MisalignmentImpactModel
 from repro.backend import ArrayBackend, default_backend
+from repro.montecarlo.chip_sim import (
+    ChipMonteCarlo,
+    _ChipGeometry,
+    _chip_window_failures,
+    _width_class_matrix,
+)
 from repro.growth.pitch import PitchDistribution
 from repro.growth.types import CNTTypeModel
 from repro.growth.wafer import DieSite, WaferMap
-from repro.montecarlo.engine import DEFAULT_BATCH_ELEMENTS
+from repro.montecarlo.engine import (
+    DEFAULT_BATCH_ELEMENTS,
+    default_trial_chunk,
+    estimate_gap_count,
+    run_chunked,
+)
 from repro.units import ensure_positive
 
 __all__ = [
     "DieYieldEstimate",
     "WaferYieldResult",
+    "ChipDieYield",
+    "ChipWaferResult",
     "die_stream",
+    "chip_die_stream",
     "simulate_die",
     "simulate_wafer",
     "per_die_loop",
+    "run_chip_wafer",
+    "chip_per_die_loop",
 ]
 
 #: Domain-separation tag mixed into every die stream's spawn key, so wafer
 #: streams can never collide with the engine's chunk streams or the
 #: surface sweep's grid streams under a shared root seed.
 DIE_STREAM_TAG = 0x57A6ED
+
+#: Domain-separation tag of the whole-placement chip runs, distinct from
+#: :data:`DIE_STREAM_TAG` so a width-class wafer run and a chip-wafer run
+#: sharing one root seed key never consume the same streams.
+CHIP_STREAM_TAG = 0xC417
 
 #: Tracks per block of the two-level count scan.  8 keeps the inner refine
 #: cumsum tiny while cutting the prefix work 8x versus a dense cumsum.
@@ -87,6 +139,20 @@ def die_stream(seed_key: Sequence[int], site: DieSite) -> np.random.Generator:
     )
 
 
+def chip_die_stream(seed_key: Sequence[int], site: DieSite) -> np.random.Generator:
+    """The RNG stream owned by one die's whole-placement chip run.
+
+    Same grid-coordinate keying as :func:`die_stream` (hence the same
+    order/grouping/``n_workers`` invariance), under a separate domain tag
+    so chip runs and width-class runs can share a root seed key without
+    stream collisions.
+    """
+    return np.random.default_rng(
+        [int(part) for part in seed_key]
+        + [CHIP_STREAM_TAG, int(site.column), int(site.row)]
+    )
+
+
 # ----------------------------------------------------------------------
 # Result containers
 # ----------------------------------------------------------------------
@@ -94,7 +160,14 @@ def die_stream(seed_key: Sequence[int], site: DieSite) -> np.random.Generator:
 
 @dataclass(frozen=True)
 class DieYieldEstimate:
-    """Monte Carlo yield estimate of one die at its local growth statistics."""
+    """Monte Carlo yield estimate of one die at its local growth statistics.
+
+    ``failure_probabilities`` are the *effective* per-width failure
+    probabilities that enter the Eq. 2.3 chip yield: under misalignment
+    de-rating they are the raw Rao-Blackwellised estimates divided by
+    ``relaxation_factor`` (1.0 when no de-rating was requested, in which
+    case they are the raw estimates bit for bit).
+    """
 
     column: int
     row: int
@@ -108,6 +181,8 @@ class DieYieldEstimate:
     failure_standard_errors: Tuple[float, ...]
     chip_yield: float
     chip_yield_se: float
+    misalignment_deg: float = 0.0
+    relaxation_factor: float = 1.0
 
     @property
     def radius_mm(self) -> float:
@@ -139,6 +214,7 @@ class WaferYieldResult:
 
     @property
     def die_count(self) -> int:
+        """Number of dies simulated."""
         return len(self.dice)
 
     def die_yields(self) -> np.ndarray:
@@ -223,6 +299,24 @@ class _WaferPayload:
     n_trials: int
     seed_key: Tuple[int, ...]
     backend: Optional[ArrayBackend] = None
+    misalignment: Optional[MisalignmentImpactModel] = None
+
+
+def _die_relaxations(
+    misalignment: Optional[MisalignmentImpactModel], sites: Sequence[DieSite]
+) -> Optional[np.ndarray]:
+    """Per-die Sec. 3 relaxation factors at each die's misalignment angle.
+
+    ``None`` when de-rating is off — callers must then skip the division
+    entirely (dividing by an all-ones array would already be a no-op in
+    IEEE arithmetic, but skipping keeps the contract self-evident).
+    """
+    if misalignment is None:
+        return None
+    return np.array([
+        misalignment.relaxation_for_angle(site.misalignment_deg)
+        for site in sites
+    ])
 
 
 def _simulate_die_group(
@@ -316,20 +410,15 @@ def _simulate_die_group(
     return _assemble_group(sites, values, payload)
 
 
-def _assemble_group(
-    sites: Sequence[DieSite], values: np.ndarray, payload: _WaferPayload
-) -> List[DieYieldEstimate]:
-    """Fold per-trial ``pf ** N`` values, shape (widths, dies, trials), into
-    per-die yield estimates.
+def _class_mean_covariance(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-die mean and covariance-of-the-mean of per-trial class values.
 
-    The width classes share tracks, so their pF estimates are correlated;
-    the Eq. 2.3 chip-yield standard error therefore uses the full
-    delta-method covariance of the per-width means instead of treating
-    them as independent.  All statistics are batched over the die axis
-    (per-(width, die) reductions run over each die's own contiguous trial
-    slice, so a group's estimates match a single-die run bit for bit).
+    ``values`` has shape ``(n_classes, n_dies, n_trials)``; returns the
+    class means ``(Q, D)`` and the per-die covariance of those means
+    ``(D, Q, Q)``.  The classes share tracks, so their estimates are
+    correlated — downstream yield errors must use the full covariance.
     """
-    n_widths, n_dies, n_trials = values.shape
+    n_classes, n_dies, n_trials = values.shape
     p = values.mean(axis=2)  # (Q, D)
     if n_trials > 1:
         centred = values - p[:, :, None]
@@ -339,9 +428,23 @@ def _assemble_group(
             / (n_trials - 1) / n_trials
         )
     else:
-        cov = np.zeros((n_dies, n_widths, n_widths))
-    se = np.sqrt(np.diagonal(cov, axis1=1, axis2=2)).T  # (Q, D)
-    counts_q = np.asarray(payload.device_counts, dtype=float)
+        cov = np.zeros((n_dies, n_classes, n_classes))
+    return p, cov
+
+
+def _eq23_chip_yield(
+    p: np.ndarray, cov: np.ndarray, counts_q: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Eq. 2.3 chip yield per die with full delta-method covariance.
+
+    ``p`` is ``(Q, D)`` per-class failure probabilities, ``cov`` the
+    ``(D, Q, Q)`` covariance of those estimates, ``counts_q`` the device
+    count per class.  Returns per-die ``(yield, standard error)``; a die
+    whose survival collapses to zero reports yield 0 with infinite SE
+    (the estimate carries no information there).
+    """
+    n_classes = p.shape[0]
+    n_dies = p.shape[1]
     survive = 1.0 - np.clip(p, 0.0, 1.0)
     ok = np.all(survive > 0.0, axis=0)
     with np.errstate(divide="ignore"):
@@ -355,12 +458,39 @@ def _assemble_group(
     # counts, which would break the bitwise group-vs-single-die contract
     # by an ulp.
     var = np.zeros(n_dies)
-    for qi in range(n_widths):
-        for ri in range(n_widths):
+    for qi in range(n_classes):
+        for ri in range(n_classes):
             var += grad[qi] * cov[:, qi, ri] * grad[ri]
     chip_yield_se = np.where(
         ok, chip_yield * np.sqrt(np.maximum(var, 0.0)), np.inf
     )
+    return chip_yield, chip_yield_se
+
+
+def _assemble_group(
+    sites: Sequence[DieSite], values: np.ndarray, payload: _WaferPayload
+) -> List[DieYieldEstimate]:
+    """Fold per-trial ``pf ** N`` values, shape (widths, dies, trials), into
+    per-die yield estimates.
+
+    The width classes share tracks, so their pF estimates are correlated;
+    the Eq. 2.3 chip-yield standard error therefore uses the full
+    delta-method covariance of the per-width means instead of treating
+    them as independent.  All statistics are batched over the die axis
+    (per-(width, die) reductions run over each die's own contiguous trial
+    slice, so a group's estimates match a single-die run bit for bit).
+    Misalignment de-rating divides every die's per-trial values by that
+    die's analytic relaxation factor before any statistic is formed, so
+    mean, covariance and Eq. 2.3 yield stay mutually consistent.
+    """
+    relaxations = _die_relaxations(payload.misalignment, sites)
+    if relaxations is not None:
+        values = values / relaxations[None, :, None]
+    n_trials = values.shape[2]
+    p, cov = _class_mean_covariance(values)
+    se = np.sqrt(np.diagonal(cov, axis1=1, axis2=2)).T  # (Q, D)
+    counts_q = np.asarray(payload.device_counts, dtype=float)
+    chip_yield, chip_yield_se = _eq23_chip_yield(p, cov, counts_q)
     return [
         DieYieldEstimate(
             column=site.column,
@@ -375,6 +505,10 @@ def _assemble_group(
             failure_standard_errors=tuple(float(x) for x in se[:, i]),
             chip_yield=float(chip_yield[i]),
             chip_yield_se=float(chip_yield_se[i]),
+            misalignment_deg=float(site.misalignment_deg),
+            relaxation_factor=(
+                float(relaxations[i]) if relaxations is not None else 1.0
+            ),
         )
         for i, site in enumerate(sites)
     ]
@@ -433,6 +567,7 @@ def simulate_die(
     n_trials: int = 1024,
     seed_key: Sequence[int] = (20100616,),
     backend: Optional[ArrayBackend] = None,
+    misalignment: Optional[MisalignmentImpactModel] = None,
 ) -> DieYieldEstimate:
     """Simulate one die independently — the per-die reference of the runner.
 
@@ -440,6 +575,22 @@ def simulate_die(
     spawn-keyed stream, so a die's estimate here is bitwise identical to
     its estimate inside any :func:`simulate_wafer` run sharing the seed
     key (the wafer-combination property tests pin this).
+
+    Parameters
+    ----------
+    site:
+        The die position and local growth statistics to simulate.
+    pitch, type_model, widths_nm, device_counts, n_trials, seed_key, backend:
+        As for :func:`simulate_wafer`.
+    misalignment:
+        Optional analytic de-rating model; when given, the die's failure
+        values are divided by the Sec. 3 relaxation factor at the die's
+        misalignment angle (see the module notes).
+
+    Returns
+    -------
+    DieYieldEstimate
+        The die's per-width failure probabilities and Eq. 2.3 chip yield.
     """
     widths, counts = _normalise_classes(widths_nm, device_counts)
     if n_trials <= 0:
@@ -452,6 +603,7 @@ def simulate_die(
         n_trials=int(n_trials),
         seed_key=tuple(int(part) for part in seed_key),
         backend=backend,
+        misalignment=misalignment,
     )
     return _simulate_die_group(payload, [site])[0]
 
@@ -467,6 +619,7 @@ def simulate_wafer(
     good_die_threshold: float = 0.5,
     n_workers: int = 1,
     backend: Optional[ArrayBackend] = None,
+    misalignment: Optional[MisalignmentImpactModel] = None,
 ) -> WaferYieldResult:
     """Simulate every die of ``wafer`` in stacked (die × trial × track) passes.
 
@@ -496,6 +649,20 @@ def simulate_wafer(
     backend:
         Array backend for the stacked passes (``None`` = environment
         default).
+    misalignment:
+        Optional :class:`~repro.analysis.mispositioned.MisalignmentImpactModel`.
+        When given, every die's failure values are divided by the Sec. 3
+        analytic relaxation factor at that die's misalignment angle,
+        inside the stacked pass (see the module notes).  ``None`` (the
+        default) leaves results bitwise identical to a run without the
+        parameter.
+
+    Returns
+    -------
+    WaferYieldResult
+        Per-die estimates in canonical (column, row) order plus wafer
+        aggregates; bitwise invariant to die order, grouping and
+        ``n_workers``.
     """
     widths, counts = _normalise_classes(widths_nm, device_counts)
     if n_trials <= 0:
@@ -512,6 +679,7 @@ def simulate_wafer(
         n_trials=int(n_trials),
         seed_key=tuple(int(part) for part in seed_key),
         backend=backend,
+        misalignment=misalignment,
     )
     sites = _canonical_sites(wafer)
     dice: List[DieYieldEstimate] = []
@@ -554,6 +722,7 @@ def per_die_loop(
     n_trials: int = 1024,
     seed_key: Sequence[int] = (20100616,),
     good_die_threshold: float = 0.5,
+    misalignment: Optional[MisalignmentImpactModel] = None,
 ) -> WaferYieldResult:
     """Reference wafer evaluation: the pre-stacked die-by-die loop.
 
@@ -564,6 +733,8 @@ def per_die_loop(
     baseline that ``benchmarks/bench_wafer.py`` measures the stacked pass
     against.  Per-width streams extend the die spawn key with the class
     index, so this path is deterministic and order-invariant too.
+    Misalignment de-rating divides each die's estimates by the same
+    analytic relaxation factor the stacked pass applies.
     """
     from repro.montecarlo.device_sim import DeviceMonteCarlo
 
@@ -592,6 +763,12 @@ def per_die_loop(
             result = mc.estimate_conditional(width, n_trials, stream)
             p[q] = result.failure_probability
             se[q] = result.standard_error
+        if misalignment is not None:
+            relaxation = misalignment.relaxation_for_angle(site.misalignment_deg)
+            p = p / relaxation
+            se = se / relaxation
+        else:
+            relaxation = 1.0
         counts_q = np.asarray(counts, dtype=float)
         survive = 1.0 - np.clip(p, 0.0, 1.0)
         if np.all(survive > 0.0):
@@ -614,6 +791,8 @@ def per_die_loop(
             failure_standard_errors=tuple(float(x) for x in se),
             chip_yield=chip_yield,
             chip_yield_se=chip_yield_se,
+            misalignment_deg=float(site.misalignment_deg),
+            relaxation_factor=float(relaxation),
         ))
     return WaferYieldResult(
         wafer_diameter_mm=wafer.wafer_diameter_mm,
@@ -622,5 +801,401 @@ def per_die_loop(
         device_counts=counts,
         n_trials=int(n_trials),
         good_die_threshold=float(good_die_threshold),
+        dice=tuple(dice),
+    )
+
+
+# ----------------------------------------------------------------------
+# Whole-placement chip runs per die
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChipDieYield:
+    """Whole-placement Monte Carlo outcome of one die of a chip wafer.
+
+    Two yield views are reported per die:
+
+    * the *direct* indicator yield — the fraction of trials in which no
+      device of the placed design failed; it captures the row-level
+      failure correlation (shared tubes) the paper exploits;
+    * the *Eq. 2.3* product over the placement's device-width classes —
+      the independent-device chip yield at the sampled per-class failure
+      probabilities, with full delta-method covariance (classes share
+      tracks, so their estimates are correlated).  Under misalignment
+      de-rating the class probabilities are divided by
+      ``relaxation_factor`` first.
+
+    The direct yield exceeding the Eq. 2.3 product — often by orders of
+    magnitude — is the paper's correlation benefit made measurable:
+    failures arrive in row-sized bursts on shared tubes, so far fewer
+    *chips* fail than the independent-device product predicts.  The
+    reference :func:`chip_per_die_loop` reports only the direct view
+    (its class fields are empty / NaN).
+    """
+
+    column: int
+    row: int
+    x_mm: float
+    y_mm: float
+    mean_pitch_nm: float
+    misalignment_deg: float
+    n_trials: int
+    chip_yield: float
+    mean_failing_devices: float
+    std_failing_devices: float
+    mean_failing_rows: float
+    device_failure_rate: float
+    widths_nm: Tuple[float, ...]
+    device_counts: Tuple[float, ...]
+    class_failure_probabilities: Tuple[float, ...]
+    class_failure_standard_errors: Tuple[float, ...]
+    eq23_chip_yield: float
+    eq23_chip_yield_se: float
+    relaxation_factor: float = 1.0
+
+    @property
+    def radius_mm(self) -> float:
+        """Distance of the die centre from the wafer centre."""
+        return math.hypot(self.x_mm, self.y_mm)
+
+    @property
+    def cnt_density_per_um(self) -> float:
+        """Local CNT density implied by the die's mean pitch."""
+        return 1.0e3 / self.mean_pitch_nm
+
+
+@dataclass(frozen=True)
+class ChipWaferResult:
+    """Per-die and wafer-aggregate outcome of a whole-placement wafer run.
+
+    ``dice`` is sorted canonically by (column, row), so aggregates are
+    bitwise invariant to the ordering of the input wafer's sites — the
+    same contract as :class:`WaferYieldResult` (and the radial summary
+    table of :func:`repro.reporting.tables.wafer_summary_rows` accepts
+    either result type).
+    """
+
+    wafer_diameter_mm: float
+    die_size_mm: float
+    device_count: int
+    small_device_count: int
+    n_trials: int
+    good_die_threshold: float
+    widths_nm: Tuple[float, ...]
+    device_counts: Tuple[float, ...]
+    dice: Tuple[ChipDieYield, ...]
+
+    @property
+    def die_count(self) -> int:
+        """Number of dies simulated."""
+        return len(self.dice)
+
+    def die_yields(self) -> np.ndarray:
+        """Direct chip yield per die, canonical order."""
+        return np.array([d.chip_yield for d in self.dice])
+
+    @property
+    def mean_chip_yield(self) -> float:
+        """Wafer-average direct chip yield."""
+        return float(np.mean(self.die_yields())) if self.dice else float("nan")
+
+    @property
+    def good_die_fraction(self) -> float:
+        """Fraction of dies whose direct yield clears the threshold."""
+        if not self.dice:
+            return 0.0
+        return float(np.mean(self.die_yields() >= self.good_die_threshold))
+
+    @property
+    def expected_good_dice(self) -> float:
+        """Expected number of good dies on the wafer, Σ_die yield_die."""
+        return float(np.sum(self.die_yields()))
+
+
+@dataclass(frozen=True)
+class _ChipWaferPayload:
+    """Picklable spec of a chip-wafer run, shared by every die job."""
+
+    geometry: _ChipGeometry
+    pitch: PitchDistribution
+    class_matrix: np.ndarray
+    class_counts: np.ndarray
+    widths_nm: Tuple[float, ...]
+    n_trials: int
+    seed_key: Tuple[int, ...]
+    trial_chunk: Optional[int]
+    misalignment: Optional[MisalignmentImpactModel]
+
+
+def _chip_die_trial_chunk(
+    die_pitch: PitchDistribution, geometry: _ChipGeometry, n_trials: int
+) -> int:
+    """Per-die trial chunk, identical to the policy of a per-die simulator.
+
+    Mirrors :meth:`ChipMonteCarlo._default_trial_chunk` evaluated at the
+    die's local pitch, so a shared-geometry die run consumes exactly the
+    chunk layout (hence the RNG streams) a fresh per-die
+    :class:`ChipMonteCarlo` would — the bitwise contract the equivalence
+    tests pin down.
+    """
+    est_slots = estimate_gap_count(die_pitch, geometry.row_height_nm)
+    per_trial = max(1, geometry.n_rows * est_slots)
+    return default_trial_chunk(
+        per_trial, n_trials, grain=ChipMonteCarlo.DEFAULT_PARALLEL_GRAIN
+    )
+
+
+def _chip_die_chunk(
+    payload: Tuple[_ChipGeometry, np.ndarray],
+    n_chunk: int,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One chunk of whole-placement trials plus per-width-class reductions.
+
+    Draws exactly what :func:`~repro.montecarlo.chip_sim._simulate_chip_chunk`
+    draws (the shared :func:`~repro.montecarlo.chip_sim._chip_window_failures`
+    kernel consumes the generator identically), then reduces the failing
+    mask three ways: failing devices, failing rows, and failing devices
+    per width class (one matmul against the class matrix).
+    """
+    geometry, class_matrix = payload
+    failing = _chip_window_failures(geometry, n_chunk, rng)
+    failing_devices = (failing * geometry.window_weight).sum(axis=1).astype(float)
+    per_row = np.add.reduceat(failing, geometry.row_starts, axis=1)
+    failing_rows = (per_row > 0).sum(axis=1).astype(float)
+    class_failing = failing.astype(float) @ class_matrix
+    return failing_devices, failing_rows, class_failing
+
+
+def _simulate_chip_die(payload: _ChipWaferPayload, site: DieSite) -> ChipDieYield:
+    """Run one die's whole-placement trials on the shared geometry.
+
+    The die's gap law is the nominal pitch rescaled to the local density
+    (``with_mean``); its trials consume the die's own
+    :func:`chip_die_stream`, chunked by the same policy a fresh per-die
+    simulator would use, so the result is bitwise identical to
+    :func:`chip_per_die_loop` on that die — while skipping the per-die
+    placement materialisation entirely.
+    """
+    die_pitch = payload.pitch.with_mean(site.mean_pitch_nm)
+    geometry = replace(payload.geometry, pitch=die_pitch)
+    trial_chunk = payload.trial_chunk
+    if trial_chunk is None:
+        trial_chunk = _chip_die_trial_chunk(die_pitch, geometry, payload.n_trials)
+    rng = chip_die_stream(payload.seed_key, site)
+    chunks = run_chunked(
+        _chip_die_chunk,
+        (geometry, payload.class_matrix),
+        payload.n_trials,
+        rng,
+        trial_chunk=trial_chunk,
+        n_workers=1,
+    )
+    failing_devices = np.concatenate([c[0] for c in chunks])
+    failing_rows = np.concatenate([c[1] for c in chunks])
+    class_failing = np.vstack([c[2] for c in chunks])
+    n_trials = failing_devices.size
+    device_count = float(payload.class_counts.sum())
+
+    if payload.misalignment is not None:
+        relaxation = payload.misalignment.relaxation_for_angle(
+            site.misalignment_deg
+        )
+    else:
+        relaxation = 1.0
+    # Per-trial per-class failure fractions feed the Eq. 2.3 product; the
+    # de-rating divides the per-trial values (not just the means) so the
+    # covariance stays consistent with the estimate.
+    values = (class_failing / payload.class_counts[None, :]).T[:, None, :]
+    if payload.misalignment is not None:
+        values = values / relaxation
+    p, cov = _class_mean_covariance(values)
+    se = np.sqrt(np.diagonal(cov, axis1=1, axis2=2)).T
+    eq23_yield, eq23_se = _eq23_chip_yield(
+        p, cov, np.asarray(payload.class_counts, dtype=float)
+    )
+    return ChipDieYield(
+        column=site.column,
+        row=site.row,
+        x_mm=site.x_mm,
+        y_mm=site.y_mm,
+        mean_pitch_nm=site.mean_pitch_nm,
+        misalignment_deg=float(site.misalignment_deg),
+        n_trials=int(n_trials),
+        chip_yield=float(np.mean(failing_devices == 0)),
+        mean_failing_devices=float(np.mean(failing_devices)),
+        std_failing_devices=(
+            float(np.std(failing_devices, ddof=1)) if n_trials > 1 else 0.0
+        ),
+        mean_failing_rows=float(np.mean(failing_rows)),
+        device_failure_rate=(
+            float(np.mean(failing_devices) / device_count)
+            if device_count else float("nan")
+        ),
+        widths_nm=payload.widths_nm,
+        device_counts=tuple(float(c) for c in payload.class_counts),
+        class_failure_probabilities=tuple(float(x) for x in p[:, 0]),
+        class_failure_standard_errors=tuple(float(x) for x in se[:, 0]),
+        eq23_chip_yield=float(eq23_yield[0]),
+        eq23_chip_yield_se=float(eq23_se[0]),
+        relaxation_factor=float(relaxation),
+    )
+
+
+def run_chip_wafer(
+    wafer: WaferMap,
+    chip: ChipMonteCarlo,
+    n_trials: int = 256,
+    seed_key: Sequence[int] = (20100616,),
+    good_die_threshold: float = 0.5,
+    n_workers: int = 1,
+    trial_chunk: Optional[int] = None,
+    misalignment: Optional[MisalignmentImpactModel] = None,
+) -> ChipWaferResult:
+    """Yield-map a placed design across every die of a wafer in one run.
+
+    Drives the batched :class:`~repro.montecarlo.chip_sim.ChipMonteCarlo`
+    kernel under the wafer stream convention: the placement geometry is
+    materialised once (by ``chip``) and re-pitched per die, each die's
+    trials consume the die's own spawn-keyed :func:`chip_die_stream`, and
+    every device-width class of the placement is answered from each
+    trial's shared tracks.
+
+    Parameters
+    ----------
+    wafer:
+        Die map with per-die growth statistics; each die's gap law is
+        ``chip.pitch.with_mean(site.mean_pitch_nm)``.
+    chip:
+        The placed-design simulator whose geometry (and nominal pitch,
+        type model, backend) the wafer run shares.
+    n_trials:
+        Whole-chip fabrication trials per die.
+    seed_key:
+        Root spawn key; die streams derive from it and the die's grid
+        coordinates (under :data:`CHIP_STREAM_TAG`), so per-die results
+        are bitwise invariant to die order, grouping and ``n_workers``.
+    good_die_threshold:
+        Direct yield above which a die counts as good.
+    n_workers:
+        Processes to spread whole dies over (per-die results identical
+        for any value).
+    trial_chunk:
+        Trials per batched pass; ``None`` applies the per-die simulator's
+        chunk policy at each die's local pitch (the bitwise-equivalence
+        contract with :func:`chip_per_die_loop`).
+    misalignment:
+        Optional analytic de-rating of the Eq. 2.3 view (the direct
+        indicator yield is a realised count and is never de-rated).
+
+    Returns
+    -------
+    ChipWaferResult
+        Per-die direct and Eq. 2.3 yields in canonical (column, row)
+        order plus wafer aggregates.
+    """
+    if n_trials <= 0:
+        raise ValueError("n_trials must be positive")
+    if n_workers < 1:
+        raise ValueError("n_workers must be at least 1")
+    if not 0.0 <= good_die_threshold <= 1.0:
+        raise ValueError("good_die_threshold must lie in [0, 1]")
+    geometry = chip.chip_geometry()
+    widths, class_matrix, class_counts = _width_class_matrix(geometry)
+    payload = _ChipWaferPayload(
+        geometry=geometry,
+        pitch=chip.pitch,
+        class_matrix=class_matrix,
+        class_counts=class_counts,
+        widths_nm=tuple(float(w) for w in widths),
+        n_trials=int(n_trials),
+        seed_key=tuple(int(part) for part in seed_key),
+        trial_chunk=trial_chunk,
+        misalignment=misalignment,
+    )
+    sites = _canonical_sites(wafer)
+    if n_workers == 1 or len(sites) <= 1:
+        dice = [_simulate_chip_die(payload, site) for site in sites]
+    else:
+        with ProcessPoolExecutor(max_workers=min(n_workers, len(sites))) as pool:
+            futures = [
+                pool.submit(_simulate_chip_die, payload, site) for site in sites
+            ]
+            dice = [future.result() for future in futures]
+    return ChipWaferResult(
+        wafer_diameter_mm=wafer.wafer_diameter_mm,
+        die_size_mm=wafer.die_size_mm,
+        device_count=chip.device_count,
+        small_device_count=chip.small_device_count,
+        n_trials=int(n_trials),
+        good_die_threshold=float(good_die_threshold),
+        widths_nm=payload.widths_nm,
+        device_counts=tuple(float(c) for c in class_counts),
+        dice=tuple(dice),
+    )
+
+
+def chip_per_die_loop(
+    wafer: WaferMap,
+    chip: ChipMonteCarlo,
+    n_trials: int = 256,
+    seed_key: Sequence[int] = (20100616,),
+    good_die_threshold: float = 0.5,
+) -> ChipWaferResult:
+    """Reference chip-wafer evaluation: a fresh simulator per die.
+
+    Constructs a new :class:`~repro.montecarlo.chip_sim.ChipMonteCarlo`
+    for every die — re-running the placement, re-collecting the device
+    windows and re-building the engine geometry each time — and runs it
+    on the die's :func:`chip_die_stream`.  Its direct statistics are
+    bitwise identical to :func:`run_chip_wafer` (same streams, same chunk
+    policy, same kernel); the width-class / Eq. 2.3 fields are not
+    computed (empty tuples, NaN yields).  This is the baseline
+    ``benchmarks/bench_wafer.py`` measures the shared-geometry pass
+    against.
+    """
+    if n_trials <= 0:
+        raise ValueError("n_trials must be positive")
+    dice: List[ChipDieYield] = []
+    for site in _canonical_sites(wafer):
+        mc = ChipMonteCarlo(
+            chip.placement,
+            pitch=chip.pitch.with_mean(site.mean_pitch_nm),
+            type_model=chip.type_model,
+            row_height_nm=chip.row_height_nm,
+            small_width_threshold_nm=chip.small_width_threshold_nm,
+            backend=chip.backend,
+        )
+        result = mc.run(n_trials, chip_die_stream(seed_key, site))
+        dice.append(ChipDieYield(
+            column=site.column,
+            row=site.row,
+            x_mm=site.x_mm,
+            y_mm=site.y_mm,
+            mean_pitch_nm=site.mean_pitch_nm,
+            misalignment_deg=float(site.misalignment_deg),
+            n_trials=int(result.n_trials),
+            chip_yield=result.chip_yield,
+            mean_failing_devices=result.mean_failing_devices,
+            std_failing_devices=result.std_failing_devices,
+            mean_failing_rows=result.mean_failing_rows,
+            device_failure_rate=result.device_failure_rate,
+            widths_nm=(),
+            device_counts=(),
+            class_failure_probabilities=(),
+            class_failure_standard_errors=(),
+            eq23_chip_yield=float("nan"),
+            eq23_chip_yield_se=float("nan"),
+        ))
+    return ChipWaferResult(
+        wafer_diameter_mm=wafer.wafer_diameter_mm,
+        die_size_mm=wafer.die_size_mm,
+        device_count=chip.device_count,
+        small_device_count=chip.small_device_count,
+        n_trials=int(n_trials),
+        good_die_threshold=float(good_die_threshold),
+        widths_nm=(),
+        device_counts=(),
         dice=tuple(dice),
     )

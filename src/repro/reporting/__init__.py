@@ -21,7 +21,14 @@ from repro.reporting.figures import (
     fig3_1_data,
     fig3_3_data,
 )
-from repro.reporting.tables import table1_data, table2_data, render_table
+from repro.reporting.tables import (
+    chip_wafer_summary_rows,
+    render_table,
+    table1_data,
+    table2_data,
+    wafer_map_lines,
+    wafer_summary_rows,
+)
 from repro.reporting.ascii_plot import ascii_line_plot, ascii_bar_chart
 from repro.reporting.experiments import ExperimentRecord, experiment_summary
 
@@ -34,6 +41,9 @@ __all__ = [
     "table1_data",
     "table2_data",
     "render_table",
+    "wafer_summary_rows",
+    "chip_wafer_summary_rows",
+    "wafer_map_lines",
     "ascii_line_plot",
     "ascii_bar_chart",
     "ExperimentRecord",

@@ -191,6 +191,33 @@ WAFER_SUMMARY_COLUMNS: Sequence[str] = (
 )
 
 
+def _radial_zone_rows(result: object, zone_row) -> List[Dict[str, object]]:
+    """Shared radial-zone binning of a wafer result's dice.
+
+    Splits the usable radius into four equal zones (the last bin is
+    closed at the wafer edge) plus a whole-wafer row, and calls
+    ``zone_row(label, mask)`` for each non-empty zone — the single
+    binning implementation behind :func:`wafer_summary_rows` and
+    :func:`chip_wafer_summary_rows`.
+    """
+    import numpy as np
+
+    dice = list(result.dice)
+    if not dice:
+        return []
+    radius = np.array([d.radius_mm for d in dice])
+    edges = np.linspace(0.0, 0.5 * result.wafer_diameter_mm, 5)
+    rows = []
+    for i in range(4):
+        mask = (radius >= edges[i]) & (
+            radius < edges[i + 1] if i < 3 else radius <= edges[i + 1]
+        )
+        if mask.any():
+            rows.append(zone_row(f"r {edges[i]:.0f}-{edges[i + 1]:.0f} mm", mask))
+    rows.append(zone_row("wafer", np.ones(len(dice), dtype=bool)))
+    return rows
+
+
 def wafer_summary_rows(result: object) -> List[Dict[str, object]]:
     """Radial summary rows for a wafer Monte Carlo run (``repro wafer``).
 
@@ -205,11 +232,9 @@ def wafer_summary_rows(result: object) -> List[Dict[str, object]]:
     dice = list(result.dice)
     if not dice:
         return []
-    radius = np.array([d.radius_mm for d in dice])
     yields = np.array([d.chip_yield for d in dice])
     pitches = np.array([d.mean_pitch_nm for d in dice])
     good = yields >= result.good_die_threshold
-    edges = np.linspace(0.0, 0.5 * result.wafer_diameter_mm, 5)
 
     def zone_row(label: str, mask: np.ndarray) -> Dict[str, object]:
         return {
@@ -223,12 +248,73 @@ def wafer_summary_rows(result: object) -> List[Dict[str, object]]:
             "good_fraction": float(good[mask].mean()),
         }
 
-    rows = []
-    for i in range(4):
-        mask = (radius >= edges[i]) & (
-            radius < edges[i + 1] if i < 3 else radius <= edges[i + 1]
-        )
-        if mask.any():
-            rows.append(zone_row(f"r {edges[i]:.0f}-{edges[i + 1]:.0f} mm", mask))
-    rows.append(zone_row("wafer", np.ones(len(dice), dtype=bool)))
-    return rows
+    return _radial_zone_rows(result, zone_row)
+
+
+CHIP_WAFER_SUMMARY_COLUMNS: Sequence[str] = (
+    "zone", "dies", "mean_pitch_nm", "mean_direct_yield", "mean_eq23_yield",
+    "mean_failing_devices", "good_dies", "good_fraction",
+)
+
+
+def chip_wafer_summary_rows(result: object) -> List[Dict[str, object]]:
+    """Radial summary rows for a whole-placement chip-wafer run.
+
+    Accepts a :class:`~repro.montecarlo.wafer_sim.ChipWaferResult` (typed
+    as ``object`` to keep the reporting layer import-light).  Alongside
+    the direct per-die chip yield it reports the Eq. 2.3
+    independent-device product — the gap between the two columns is the
+    correlation benefit the paper quantifies, zone by zone.
+    """
+    import numpy as np
+
+    dice = list(result.dice)
+    if not dice:
+        return []
+    yields = np.array([d.chip_yield for d in dice])
+    eq23 = np.array([d.eq23_chip_yield for d in dice])
+    failing = np.array([d.mean_failing_devices for d in dice])
+    pitches = np.array([d.mean_pitch_nm for d in dice])
+    good = yields >= result.good_die_threshold
+
+    def zone_row(label: str, mask: np.ndarray) -> Dict[str, object]:
+        return {
+            "zone": label,
+            "dies": int(mask.sum()),
+            "mean_pitch_nm": float(pitches[mask].mean()),
+            "mean_direct_yield": float(yields[mask].mean()),
+            "mean_eq23_yield": float(eq23[mask].mean()),
+            "mean_failing_devices": float(failing[mask].mean()),
+            "good_dies": int(good[mask].sum()),
+            "good_fraction": float(good[mask].mean()),
+        }
+
+    return _radial_zone_rows(result, zone_row)
+
+
+def wafer_map_lines(
+    sites: Sequence[object],
+    values: Sequence[float],
+    threshold: float = 0.5,
+) -> List[str]:
+    """Crude text yield map: ``#`` good die, ``.`` failing die.
+
+    ``sites`` is any sequence of objects with ``column`` / ``row``
+    attributes (die sites or die estimates), ``values`` the per-site
+    quantity tested against ``threshold``.  Rows are rendered top-down
+    (largest grid row first), mirroring how a wafer map is usually drawn.
+    """
+    columns = sorted({site.column for site in sites})
+    rows = sorted({site.row for site in sites})
+    by_pos = {(s.column, s.row): v for s, v in zip(sites, values)}
+    lines = []
+    for row in reversed(rows):
+        cells = []
+        for column in columns:
+            value = by_pos.get((column, row))
+            if value is None:
+                cells.append(" ")
+            else:
+                cells.append("#" if value >= threshold else ".")
+        lines.append("".join(cells))
+    return lines

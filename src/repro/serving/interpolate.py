@@ -25,6 +25,14 @@ import numpy as np
 from repro.surface.grid import bilinear_interpolate
 from repro.surface.surface import YieldSurface
 
+#: Absolute log-space slack added to every served error bound.  The
+#: per-cell residual is *probed* (midpoints, 2X safety), so a cell whose
+#: probed residual rounds to ~0 can still hide a curvature residual a few
+#: hundred ulps wide; 1e-9 in log space (a 1e-9 relative probability —
+#: orders of magnitude below any tolerance a sweep accepts) closes that
+#: gap and makes "bounds never exclude the exact value" hold exactly.
+FLOAT_SLACK_LOG = 1e-9
+
 
 class InterpolatedLog(NamedTuple):
     """Interpolated log failure values with their error bounds."""
@@ -64,7 +72,7 @@ def interpolate_log_failure(
     )
     log_p = np.minimum(log_p, 0.0)
 
-    error_log = surface.interp_error_log[i, j]
+    error_log = surface.interp_error_log[i, j] + FLOAT_SLACK_LOG
     se = surface.stat_se_log
     if n_sigma > 0.0 and surface.max_stat_se_log > 0.0:
         corner_se = np.maximum(

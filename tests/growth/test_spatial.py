@@ -1,0 +1,240 @@
+"""Tests for the spatially correlated growth-variation fields.
+
+Pins the statistical contract of the circulant-embedding sampler
+(marginal variance, variogram against the kernel, white-noise limit) and
+the determinism/bitwise-invariance contract (spawn-keyed draws,
+evaluation-order independence, exact radial-only reduction at sigma 0).
+"""
+
+import numpy as np
+import pytest
+
+from repro.growth.spatial import (
+    GaussianRandomField,
+    SpatialFieldSpec,
+    field_correlation,
+    sample_field,
+    variogram,
+)
+from repro.growth.wafer import WaferGrowthModel
+
+
+class TestSpec:
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            SpatialFieldSpec(sigma=-0.1, correlation_length_mm=10.0)
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            SpatialFieldSpec(sigma=0.1, correlation_length_mm=-1.0)
+
+    def test_rejects_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            SpatialFieldSpec(sigma=0.1, correlation_length_mm=10.0, kernel="matern")
+
+    def test_covariance_at_zero_is_variance(self):
+        spec = SpatialFieldSpec(sigma=0.3, correlation_length_mm=10.0)
+        assert spec.covariance(0.0) == pytest.approx(0.09)
+
+    def test_exponential_kernel_decays_slower_than_gaussian(self):
+        g = SpatialFieldSpec(sigma=1.0, correlation_length_mm=10.0)
+        e = SpatialFieldSpec(sigma=1.0, correlation_length_mm=10.0,
+                             kernel="exponential")
+        assert e.covariance(20.0) > g.covariance(20.0)
+
+
+class TestDeterminism:
+    def test_same_seed_key_bitwise_identical(self):
+        spec = SpatialFieldSpec(sigma=0.1, correlation_length_mm=20.0)
+        a = sample_field(spec, 100.0, (123, 4), tag=2)
+        b = sample_field(spec, 100.0, (123, 4), tag=2)
+        assert np.array_equal(a.values, b.values)
+
+    def test_different_tags_differ(self):
+        spec = SpatialFieldSpec(sigma=0.1, correlation_length_mm=20.0)
+        a = sample_field(spec, 100.0, (123,), tag=0)
+        b = sample_field(spec, 100.0, (123,), tag=1)
+        assert not np.array_equal(a.values, b.values)
+
+    def test_evaluation_order_invariant(self):
+        # Reading the field at shuffled coordinates returns the same
+        # values per coordinate — the die-order invariance contract.
+        spec = SpatialFieldSpec(sigma=0.1, correlation_length_mm=20.0)
+        field = sample_field(spec, 100.0, (7,))
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-45, 45, size=40)
+        y = rng.uniform(-45, 45, size=40)
+        direct = field.at(x, y)
+        perm = rng.permutation(40)
+        shuffled = field.at(x[perm], y[perm])
+        assert np.array_equal(direct[perm], shuffled)
+
+    def test_sigma_zero_is_exactly_zero_field(self):
+        field = sample_field(
+            SpatialFieldSpec(sigma=0.0, correlation_length_mm=20.0),
+            100.0, (5,),
+        )
+        assert np.all(field.values == 0.0)
+
+
+class TestStatistics:
+    @pytest.fixture(scope="class")
+    def realisations(self):
+        spec = SpatialFieldSpec(sigma=1.0, correlation_length_mm=20.0)
+        pts = np.array([
+            [0.0, 0.0], [20.0, 0.0], [0.0, 20.0], [40.0, 0.0],
+            [-30.0, 10.0], [10.0, -35.0],
+        ])
+        values = np.array([
+            sample_field(spec, 100.0, (42,), tag=t).at(pts[:, 0], pts[:, 1])
+            for t in range(600)
+        ])
+        return spec, pts, values
+
+    def test_unit_marginal_variance(self, realisations):
+        _, _, values = realisations
+        # 600 realisations: the sample std of a unit normal is within a
+        # few percent at 5 sigma.
+        assert np.all(np.abs(values.std(axis=0) - 1.0) < 0.15)
+
+    def test_correlation_matches_kernel_at_one_length(self, realisations):
+        spec, _, values = realisations
+        target = field_correlation(spec, 20.0)
+        for pair in ((0, 1), (0, 2)):
+            c = np.corrcoef(values[:, pair[0]], values[:, pair[1]])[0, 1]
+            assert abs(c - target) < 0.15
+
+    def test_distant_points_nearly_uncorrelated(self, realisations):
+        _, _, values = realisations
+        c = np.corrcoef(values[:, 4], values[:, 5])[0, 1]
+        assert abs(c) < 0.15
+
+    def test_variogram_tracks_kernel(self, realisations):
+        spec, pts, values = realisations
+        edges = np.array([15.0, 25.0, 50.0, 90.0])
+        gamma, counts = variogram(values, pts, edges)
+        assert np.all(counts > 0)
+        # gamma(d) = sigma^2 (1 - rho(d)); compare at the bin centres.
+        for g, centre in zip(gamma, (20.0, 37.5, 70.0)):
+            expected = spec.sigma ** 2 * (1.0 - field_correlation(spec, centre))
+            assert abs(g - expected) < 0.35 * max(expected, 0.2)
+
+    def test_white_noise_limit_is_iid(self):
+        # correlation_length 0: neighbouring grid nodes are independent
+        # N(0, sigma^2) — the legacy independent per-die noise.
+        spec = SpatialFieldSpec(sigma=0.5, correlation_length_mm=0.0)
+        field = sample_field(spec, 100.0, (11,))
+        v = field.values
+        assert abs(v.std() - 0.5) < 0.05
+        lag = np.corrcoef(v[:-1, :].ravel(), v[1:, :].ravel())[0, 1]
+        assert abs(lag) < 0.05
+
+
+class TestEvaluation:
+    def test_nearest_node_lookup(self):
+        spec = SpatialFieldSpec(sigma=1.0, correlation_length_mm=0.0,
+                                resolution_mm=2.0)
+        field = sample_field(spec, 20.0, (3,))
+        # A coordinate exactly on a node returns that node's value.
+        i, j = 4, 7
+        x = field.origin_mm + i * field.resolution_mm
+        y = field.origin_mm + j * field.resolution_mm
+        assert field.at(x, y) == field.values[i, j]
+
+    def test_out_of_grid_clamps_to_edge(self):
+        spec = SpatialFieldSpec(sigma=1.0, correlation_length_mm=0.0,
+                                resolution_mm=2.0)
+        field = sample_field(spec, 20.0, (3,))
+        assert field.at(1e4, 1e4) == field.values[-1, -1]
+
+    def test_grid_cap_enforced(self):
+        spec = SpatialFieldSpec(sigma=1.0, correlation_length_mm=10.0,
+                                resolution_mm=0.01)
+        with pytest.raises(ValueError):
+            sample_field(spec, 100.0, (1,))
+
+
+class TestWaferComposition:
+    """The field-driven wafer model composes with the radial profile."""
+
+    def test_sigma_zero_reduces_bitwise_to_radial_only(self):
+        radial = WaferGrowthModel(
+            pitch_noise_sigma=0.0,
+            center_misalignment_deg=0.0,
+            edge_misalignment_deg=0.0,
+        ).generate(np.random.default_rng(1))
+        fielded = WaferGrowthModel(
+            density_field=SpatialFieldSpec(sigma=0.0, correlation_length_mm=25.0),
+            misalignment_field=SpatialFieldSpec(sigma=0.0, correlation_length_mm=25.0),
+        ).generate(seed_key=(1,))
+        assert len(radial.sites) == len(fielded.sites)
+        for a, b in zip(radial.sites, fielded.sites):
+            assert a.mean_pitch_nm == b.mean_pitch_nm
+            assert b.misalignment_deg == 0.0
+
+    def test_composition_is_radial_times_field_factor(self):
+        # Dividing out the field factor per die recovers the pure radial
+        # profile exactly: the composition is multiplicative.  The factor
+        # is recomputed with the implementation's own expression (same
+        # association, same libm exp) so the equality is bitwise.
+        import math
+
+        spec = SpatialFieldSpec(sigma=0.05, correlation_length_mm=25.0)
+        model = WaferGrowthModel(density_field=spec)
+        wafer = model.generate(seed_key=(9,))
+        f = wafer.density_field
+        assert f is not None
+        for site in wafer.sites:
+            z = float(f.at(site.x_mm, site.y_mm))
+            factor = math.exp(z - 0.5 * spec.sigma * spec.sigma)
+            radial = model.radial_pitch_nm(site.radius_mm)
+            assert site.mean_pitch_nm == radial / factor
+
+    def test_nugget_limit_matches_legacy_noise_statistics(self):
+        # correlation_length -> 0 gives independent per-die lognormal
+        # density noise: per-die log factors are iid N(-s^2/2, s^2).
+        spec = SpatialFieldSpec(sigma=0.04, correlation_length_mm=0.0)
+        model = WaferGrowthModel(die_size_mm=10.0, density_field=spec)
+        logs = []
+        for seed in range(40):
+            wafer = model.generate(seed_key=(seed,))
+            for site in wafer.sites:
+                radial = model.radial_pitch_nm(site.radius_mm)
+                logs.append(np.log(radial / site.mean_pitch_nm))
+        logs = np.asarray(logs)
+        assert abs(logs.mean() + 0.5 * spec.sigma ** 2) < 0.004
+        assert abs(logs.std() - spec.sigma) < 0.005
+
+    def test_misalignment_field_correlates_neighbours(self):
+        model = WaferGrowthModel(
+            die_size_mm=10.0,
+            center_misalignment_deg=1.0,
+            edge_misalignment_deg=1.0,
+            misalignment_field=SpatialFieldSpec(sigma=1.0,
+                                                correlation_length_mm=40.0),
+        )
+        products, mags = [], []
+        for seed in range(60):
+            wafer = model.generate(seed_key=(seed, 1))
+            by_pos = {(s.column, s.row): s.misalignment_deg
+                      for s in wafer.sites}
+            for (c, r), angle in by_pos.items():
+                right = by_pos.get((c + 1, r))
+                if right is not None:
+                    products.append(angle * right)
+                    mags.append(angle * angle)
+        # E[Z(p) Z(q)] = rho(10 mm) ~ 0.94 at l = 40 mm; independent
+        # draws would average ~0.
+        ratio = np.mean(products) / np.mean(mags)
+        assert ratio > 0.5
+
+    def test_die_order_invariance_of_field_values(self):
+        # Two generations of the same model agree die by die, however
+        # the sites are later reordered.
+        model = WaferGrowthModel(
+            density_field=SpatialFieldSpec(sigma=0.05, correlation_length_mm=25.0),
+        )
+        a = model.generate(seed_key=(3,))
+        b = model.generate(seed_key=(3,))
+        key = lambda s: (s.column, s.row)
+        assert sorted(a.sites, key=key) == sorted(b.sites, key=key)

@@ -186,3 +186,168 @@ class TestWaferSummaryTable:
         assert sum(r["dies"] for r in rows[:-1]) == result.die_count
         text = render_table(rows, columns=WAFER_SUMMARY_COLUMNS)
         assert "wafer" in text and "good_fraction" in text
+
+
+class TestMisalignmentDerating:
+    """The Sec. 3 analytic relaxation applied per die inside the pass."""
+
+    @pytest.fixture(scope="class")
+    def misaligned_wafer(self):
+        return WaferGrowthModel(
+            center_pitch_nm=4.0,
+            die_size_mm=20.0,
+            center_misalignment_deg=0.3,
+            edge_misalignment_deg=1.5,
+        ).generate(np.random.default_rng(7))
+
+    @pytest.fixture(scope="class")
+    def model(self):
+        from repro.analysis.mispositioned import MisalignmentImpactModel
+
+        return MisalignmentImpactModel(
+            band_width_nm=103.0, cnt_length_um=200.0,
+            min_cnfet_density_per_um=1.8,
+        )
+
+    def test_none_is_bitwise_default(self, misaligned_wafer, sparse_type_model):
+        a = simulate_wafer(
+            misaligned_wafer, ExponentialPitch(4.0), sparse_type_model,
+            WIDTHS, COUNTS, n_trials=64, seed_key=(3,),
+        )
+        b = simulate_wafer(
+            misaligned_wafer, ExponentialPitch(4.0), sparse_type_model,
+            WIDTHS, COUNTS, n_trials=64, seed_key=(3,), misalignment=None,
+        )
+        assert a.dice == b.dice
+        assert all(d.relaxation_factor == 1.0 for d in a.dice)
+
+    def test_derated_probabilities_divide_by_relaxation(
+        self, misaligned_wafer, sparse_type_model, model
+    ):
+        base = simulate_wafer(
+            misaligned_wafer, ExponentialPitch(4.0), sparse_type_model,
+            WIDTHS, COUNTS, n_trials=64, seed_key=(5,),
+        )
+        derated = simulate_wafer(
+            misaligned_wafer, ExponentialPitch(4.0), sparse_type_model,
+            WIDTHS, COUNTS, n_trials=64, seed_key=(5,), misalignment=model,
+        )
+        for a, b in zip(base.dice, derated.dice):
+            expected = model.relaxation_for_angle(a.misalignment_deg)
+            assert b.relaxation_factor == pytest.approx(expected)
+            assert b.relaxation_factor >= 1.0
+            for p_raw, p_der, se_raw, se_der in zip(
+                a.failure_probabilities, b.failure_probabilities,
+                a.failure_standard_errors, b.failure_standard_errors,
+            ):
+                assert p_der == pytest.approx(
+                    p_raw / b.relaxation_factor, rel=1e-12
+                )
+                assert se_der == pytest.approx(
+                    se_raw / b.relaxation_factor, rel=1e-12
+                )
+            assert b.chip_yield >= a.chip_yield - 1e-12
+
+    def test_loop_matches_stacked_derating(
+        self, misaligned_wafer, sparse_type_model, model
+    ):
+        stacked = simulate_wafer(
+            misaligned_wafer, ExponentialPitch(4.0), sparse_type_model,
+            [100.0], [500.0], n_trials=4_000, seed_key=(9,),
+            misalignment=model,
+        )
+        loop = per_die_loop(
+            misaligned_wafer, ExponentialPitch(4.0), sparse_type_model,
+            [100.0], [500.0], n_trials=4_000, seed_key=(9,),
+            misalignment=model,
+        )
+        for a, b in zip(stacked.dice, loop.dice):
+            assert a.relaxation_factor == pytest.approx(b.relaxation_factor)
+            p1, s1 = a.failure_probabilities[0], a.failure_standard_errors[0]
+            p2, s2 = b.failure_probabilities[0], b.failure_standard_errors[0]
+            assert abs(p1 - p2) <= 5.0 * math.hypot(s1, s2) + 1e-15
+
+    def test_simulate_die_carries_derating(
+        self, misaligned_wafer, sparse_type_model, model
+    ):
+        site = max(misaligned_wafer.sites,
+                   key=lambda s: abs(s.misalignment_deg))
+        wafer_run = simulate_wafer(
+            misaligned_wafer, ExponentialPitch(4.0), sparse_type_model,
+            WIDTHS, COUNTS, n_trials=64, seed_key=(11,), misalignment=model,
+        )
+        alone = simulate_die(
+            site, ExponentialPitch(4.0), sparse_type_model, WIDTHS, COUNTS,
+            n_trials=64, seed_key=(11,), misalignment=model,
+        )
+        in_wafer = next(
+            d for d in wafer_run.dice
+            if (d.column, d.row) == (site.column, site.row)
+        )
+        assert alone == in_wafer
+        assert alone.relaxation_factor > 1.0 or site.misalignment_deg == 0.0
+
+
+class TestCorrelatedFieldWaferRuns:
+    """Acceptance: correlated-field wafer runs keep every invariance."""
+
+    @pytest.fixture(scope="class")
+    def field_wafer(self):
+        from repro.growth.spatial import SpatialFieldSpec
+
+        return WaferGrowthModel(
+            center_pitch_nm=4.0,
+            die_size_mm=20.0,
+            density_field=SpatialFieldSpec(sigma=0.05,
+                                           correlation_length_mm=25.0),
+            misalignment_field=SpatialFieldSpec(sigma=1.0,
+                                                correlation_length_mm=30.0),
+        ).generate(seed_key=(13,))
+
+    def test_bitwise_invariant_to_order_grouping_workers(self, field_wafer,
+                                                         sparse_type_model):
+        reference = simulate_wafer(
+            field_wafer, ExponentialPitch(4.0), sparse_type_model,
+            WIDTHS, COUNTS, n_trials=64, seed_key=(29,),
+        )
+        shuffled_sites = list(field_wafer.sites)
+        np.random.default_rng(0).shuffle(shuffled_sites)
+        shuffled = WaferMap(
+            wafer_diameter_mm=field_wafer.wafer_diameter_mm,
+            die_size_mm=field_wafer.die_size_mm,
+            sites=tuple(shuffled_sites),
+        )
+        reordered = simulate_wafer(
+            shuffled, ExponentialPitch(4.0), sparse_type_model,
+            WIDTHS, COUNTS, n_trials=64, seed_key=(29,),
+        )
+        pooled = simulate_wafer(
+            field_wafer, ExponentialPitch(4.0), sparse_type_model,
+            WIDTHS, COUNTS, n_trials=64, seed_key=(29,), n_workers=3,
+        )
+        assert reordered.dice == reference.dice
+        assert pooled.dice == reference.dice
+
+    def test_reduces_to_radial_only_at_sigma_zero(self, sparse_type_model):
+        from repro.growth.spatial import SpatialFieldSpec
+
+        radial = WaferGrowthModel(
+            center_pitch_nm=4.0, die_size_mm=20.0, pitch_noise_sigma=0.0,
+            center_misalignment_deg=0.0, edge_misalignment_deg=0.0,
+        ).generate(np.random.default_rng(1))
+        degenerate = WaferGrowthModel(
+            center_pitch_nm=4.0, die_size_mm=20.0,
+            density_field=SpatialFieldSpec(sigma=0.0,
+                                           correlation_length_mm=25.0),
+            misalignment_field=SpatialFieldSpec(sigma=0.0,
+                                                correlation_length_mm=25.0),
+        ).generate(seed_key=(1,))
+        a = simulate_wafer(
+            radial, ExponentialPitch(4.0), sparse_type_model, WIDTHS,
+            COUNTS, n_trials=64, seed_key=(31,),
+        )
+        b = simulate_wafer(
+            degenerate, ExponentialPitch(4.0), sparse_type_model, WIDTHS,
+            COUNTS, n_trials=64, seed_key=(31,),
+        )
+        assert a.dice == b.dice

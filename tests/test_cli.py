@@ -255,3 +255,70 @@ class TestJsonOutput:
         captured = capsys.readouterr()
         assert exit_code == 1
         assert "error:" in captured.err
+
+
+class TestWaferFieldOptions:
+    """Correlated-field, de-rating and chip-wafer additions (PR 5)."""
+
+    def test_wafer_correlated_field_and_derate(self, capsys):
+        exit_code = main([
+            "wafer", "--trials", "64", "--die-size-mm", "25",
+            "--widths-nm", "100", "--device-counts", "100",
+            "--correlation-length-mm", "25", "--field-sigma", "0.05",
+            "--misalignment-correlation-length-mm", "30",
+            "--derate-misalignment", "--json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload["correlation_length_mm"] == 25.0
+        assert payload["derate_misalignment"] is True
+        assert all(d["relaxation_factor"] >= 1.0 for d in payload["dice"])
+
+    def test_wafer_field_run_is_deterministic(self, capsys):
+        args = [
+            "wafer", "--trials", "32", "--die-size-mm", "25",
+            "--widths-nm", "100", "--correlation-length-mm", "20", "--json",
+        ]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first["dice"] == second["dice"]
+
+    def test_wafer_prints_yield_map(self, capsys):
+        exit_code = main([
+            "wafer", "--trials", "32", "--die-size-mm", "25",
+            "--widths-nm", "100",
+        ])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        # The text map draws one character per die.
+        assert "#" in out or "." in out
+
+    def test_chip_wafer_command(self, capsys):
+        exit_code = main([
+            "chip-wafer", "--trials", "16", "--die-size-mm", "25",
+            "--scale", "0.01", "--json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload["die_count"] > 0
+        assert payload["device_count"] > 0
+        assert len(payload["widths_nm"]) >= 1
+        for die in payload["dice"]:
+            assert 0.0 <= die["chip_yield"] <= 1.0
+            assert 0.0 <= die["eq23_chip_yield"] <= 1.0
+
+    def test_chip_wafer_matches_per_die_loop(self, capsys):
+        common = [
+            "--trials", "16", "--die-size-mm", "25", "--scale", "0.01",
+            "--json",
+        ]
+        assert main(["chip-wafer"] + common) == 0
+        shared = json.loads(capsys.readouterr().out)
+        assert main(["chip-wafer"] + common + ["--per-die-loop"]) == 0
+        loop = json.loads(capsys.readouterr().out)
+        assert shared["die_count"] == loop["die_count"]
+        for a, b in zip(shared["dice"], loop["dice"]):
+            assert a["chip_yield"] == b["chip_yield"]
+            assert a["mean_failing_devices"] == b["mean_failing_devices"]
