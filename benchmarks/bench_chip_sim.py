@@ -13,13 +13,13 @@ smoke configuration).
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
 
 import numpy as np
 
+from repro.resilience.atomic import atomic_write_json
 from repro.cells.nangate45 import build_nangate45_library
 from repro.growth.pitch import ExponentialPitch
 from repro.growth.types import CNTTypeModel
@@ -103,7 +103,7 @@ def test_vectorized_engine_speedup():
         record = run_benchmark(scale=0.25, scalar_trials=10, vector_trials=200)
         floor = 20.0
 
-    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    atomic_write_json(RESULT_PATH, record)
 
     print(f"\n=== Chip Monte Carlo throughput ({'quick' if record['quick_mode'] else 'full'}) ===")
     print(f"devices              : {record['design']['device_count']}")

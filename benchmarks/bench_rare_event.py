@@ -22,7 +22,6 @@ standalone (``python benchmarks/bench_rare_event.py``).  Set
 
 from __future__ import annotations
 
-import json
 import math
 import os
 import time
@@ -30,6 +29,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.resilience.atomic import atomic_write_json
 from repro.core.circuit_yield import chip_yield_from_failure_estimate
 from repro.core.count_model import PoissonCountModel
 from repro.growth.pitch import ExponentialPitch
@@ -154,7 +154,7 @@ def test_rare_event_variance_reduction():
     else:
         record = run_benchmark(tilted_samples=200_000, naive_timing_samples=100_000)
 
-    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    atomic_write_json(RESULT_PATH, record)
 
     vrf = record["variance_reduction"]["equal_wallclock_factor"]
     chip = record["chip_yield"]

@@ -20,13 +20,13 @@ standalone (``python benchmarks/bench_serving.py``).  Set
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
 
 import numpy as np
 
+from repro.resilience.atomic import atomic_write_json
 from repro.core.calibration import CalibratedSetup
 from repro.core.correlation import LayoutScenario, RowYieldModel
 from repro.core.count_model import count_model_from_pitch
@@ -193,7 +193,7 @@ def test_serving_throughput_and_bounds():
     else:
         record = run_benchmark(n_queries=4_000_000, batch_size=1_000_000)
 
-    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    atomic_write_json(RESULT_PATH, record)
 
     rate = record["throughput"]["queries_per_sec"]
     checks = record["table1_crosscheck"]

@@ -33,13 +33,13 @@ standalone (``python benchmarks/bench_wafer.py``).  Set
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
 
 import numpy as np
 
+from repro.resilience.atomic import atomic_write_json
 from repro.analysis.mispositioned import MisalignmentImpactModel
 from repro.backend import get_backend
 from repro.cells.nangate45 import build_nangate45_library
@@ -216,7 +216,7 @@ def test_stacked_wafer_speedup():
                                netlist_scale=0.05, chip_trials=96)
         floor, chip_floor = 3.0, 1.5
 
-    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    atomic_write_json(RESULT_PATH, record)
 
     mode = "quick" if record["quick_mode"] else "full"
     print(f"\n=== Wafer Monte Carlo throughput ({mode}) ===")

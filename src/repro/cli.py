@@ -51,9 +51,15 @@ without writing Python:
 
 Every sub-command accepts the calibration knobs that matter (yield target,
 pitch CV, CNT length, density) so quick what-if studies need no code, plus
-``--json`` for machine-readable output.  All handlers exit 0 on success
-and 1 on runtime errors (argparse usage errors keep their conventional
-exit code 2).
+``--json`` for machine-readable output.  The long-running campaign
+commands (``wafer``, ``chip-wafer``, ``sweep``) accept
+``--checkpoint-dir`` to persist completed work units and ``--resume`` to
+continue an interrupted campaign bitwise-identically.
+
+Exit codes: 0 on success; 1 on runtime errors (``error: ...`` on
+stderr); 2 on usage errors — both argparse's own and semantic ones such
+as invalid flag combinations or unreadable checkpoint/store paths
+(one-line ``error: ...`` on stderr).
 """
 
 from __future__ import annotations
@@ -61,6 +67,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -69,6 +76,55 @@ from repro.core.calibration import CalibratedSetup
 from repro.core.correlation import CorrelationParameters
 from repro.core.optimizer import CoOptimizationFlow
 from repro.netlist.openrisc import openrisc_width_histogram
+
+
+class CLIUsageError(Exception):
+    """A semantic usage error: wrong flag combination or unusable path.
+
+    Raised by handlers for mistakes argparse cannot see (``--resume``
+    without ``--checkpoint-dir``, a store path that is not a readable
+    directory).  ``main`` maps it to the conventional usage exit code 2
+    with a one-line ``error: ...`` message, matching argparse's own
+    behaviour.
+    """
+
+
+def _add_checkpoint_options(parser: argparse.ArgumentParser) -> None:
+    """Checkpoint/resume options shared by the campaign commands."""
+    parser.add_argument("--checkpoint-dir", type=str, default=None,
+                        help="persist completed work units under this "
+                             "directory so an interrupted campaign can be "
+                             "resumed")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume from an existing checkpoint in "
+                             "--checkpoint-dir (bitwise identical to an "
+                             "uninterrupted run)")
+
+
+def _validate_checkpoint_args(args: argparse.Namespace) -> None:
+    """Reject unusable checkpoint flag combinations (usage errors)."""
+    if args.resume and args.checkpoint_dir is None:
+        raise CLIUsageError("--resume requires --checkpoint-dir")
+    if args.checkpoint_dir is not None:
+        path = Path(args.checkpoint_dir)
+        if path.exists() and not path.is_dir():
+            raise CLIUsageError(
+                f"--checkpoint-dir {args.checkpoint_dir!r} exists but is "
+                "not a directory"
+            )
+        if args.resume and not path.exists():
+            raise CLIUsageError(
+                f"cannot resume: checkpoint dir {args.checkpoint_dir!r} "
+                "does not exist"
+            )
+
+
+def _checkpoint_kwargs(args: argparse.Namespace) -> Dict[str, object]:
+    """Checkpoint keyword arguments for the campaign runners."""
+    _validate_checkpoint_args(args)
+    if args.checkpoint_dir is None:
+        return {}
+    return {"checkpoint_dir": args.checkpoint_dir, "resume": bool(args.resume)}
 
 
 def _build_setup(args: argparse.Namespace) -> CalibratedSetup:
@@ -474,10 +530,17 @@ def _cmd_wafer(args: argparse.Namespace) -> int:
     backend = get_backend(args.backend, dtype=args.dtype) if (
         args.backend or args.dtype
     ) else None
+    checkpoint_kwargs = _checkpoint_kwargs(args)
     runner = per_die_loop if args.per_die_loop else simulate_wafer
-    kwargs = {} if args.per_die_loop else {
-        "n_workers": args.workers, "backend": backend,
-    }
+    if args.per_die_loop:
+        if checkpoint_kwargs:
+            print("note: --checkpoint-dir ignored with --per-die-loop "
+                  "(the reference loop is not checkpointed)",
+                  file=sys.stderr)
+        kwargs = {}
+    else:
+        kwargs = {"n_workers": args.workers, "backend": backend,
+                  **checkpoint_kwargs}
     result = runner(
         wafer, pitch, type_model, widths, counts,
         n_trials=args.trials,
@@ -564,6 +627,7 @@ def _cmd_chip_wafer(args: argparse.Namespace) -> int:
         type_model=setup.corner.to_type_model(),
     )
     misalignment = _build_misalignment_model(args, setup)
+    checkpoint_kwargs = _checkpoint_kwargs(args)
     if args.per_die_loop:
         # The reference loop computes only the direct view (no Eq. 2.3
         # classes to de-rate) and runs serially; say so instead of
@@ -575,6 +639,10 @@ def _cmd_chip_wafer(args: argparse.Namespace) -> int:
         if args.workers != 1:
             print("note: --workers ignored with --per-die-loop "
                   "(the reference loop is serial)", file=sys.stderr)
+        if checkpoint_kwargs:
+            print("note: --checkpoint-dir ignored with --per-die-loop "
+                  "(the reference loop is not checkpointed)",
+                  file=sys.stderr)
         result = chip_per_die_loop(
             wafer, chip, n_trials=args.trials, seed_key=(args.seed,),
             good_die_threshold=args.good_die_threshold,
@@ -584,6 +652,7 @@ def _cmd_chip_wafer(args: argparse.Namespace) -> int:
             wafer, chip, n_trials=args.trials, seed_key=(args.seed,),
             good_die_threshold=args.good_die_threshold,
             n_workers=args.workers, misalignment=misalignment,
+            **checkpoint_kwargs,
         )
     payload = {
         "die_count": result.die_count,
@@ -670,6 +739,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     scenarios = ALL_SCENARIOS if args.scenario == "all" else (args.scenario,)
     pitch = pitch_distribution_from_cv(args.mean_pitch_nm, args.pitch_cv)
     store = SurfaceStore(args.out)
+    checkpoint_kwargs = _checkpoint_kwargs(args)
 
     surfaces = []
     reports = []
@@ -692,7 +762,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             mc_samples=args.mc_samples,
             seed=args.seed,
         )
-        report = SurfaceBuilder(spec).build_report()
+        report = SurfaceBuilder(spec, **checkpoint_kwargs).build_report()
         store.save(report.surface)
         surfaces.append(report.surface)
         reports.append(report)
@@ -715,6 +785,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
     from repro.serving import YieldService
     from repro.surface import SurfaceStore
 
+    store_path = Path(args.store)
+    if not store_path.exists():
+        raise CLIUsageError(f"surface store {args.store!r} does not exist")
+    if not store_path.is_dir():
+        raise CLIUsageError(f"surface store {args.store!r} is not a directory")
     store = SurfaceStore(args.store)
     keys = store.keys()
     if args.key is None:
@@ -733,6 +808,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         cnt_density_per_um=densities,
         device_count=args.transistors * args.min_size_fraction,
         fallback=args.fallback,
+        deadline_s=args.deadline_s,
     )
     payload = {
         "scenario": result.scenario,
@@ -745,10 +821,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
         "yield_lower": result.yield_lower,
         "yield_upper": result.yield_upper,
         "interpolated": result.interpolated,
+        "degraded": result.degraded,
+        "degradation": list(result.degradation),
     }
     lines = [
         f"scenario      : {result.scenario}",
         f"device count  : {args.transistors * args.min_size_fraction:.3e}",
+        f"degradation   : {', '.join(result.degradation)}",
         "width (nm)   failure prob [lower, upper]            chip yield  served",
     ]
     for idx in range(result.n_queries):
@@ -839,6 +918,7 @@ def build_parser() -> argparse.ArgumentParser:
     wafer.add_argument("--per-die-loop", action="store_true",
                        help="use the reference die-by-die loop instead of "
                             "the stacked engine (cross-check/benchmark)")
+    _add_checkpoint_options(wafer)
 
     chip_wafer = add_subparser(
         "chip-wafer", _cmd_chip_wafer,
@@ -855,6 +935,7 @@ def build_parser() -> argparse.ArgumentParser:
     chip_wafer.add_argument("--per-die-loop", action="store_true",
                             help="use the fresh-simulator-per-die reference "
                                  "instead of the shared-geometry pass")
+    _add_checkpoint_options(chip_wafer)
 
     netlist = add_subparser(
         "netlist", _cmd_netlist, "generate the synthetic OpenRISC-like netlist",
@@ -898,6 +979,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=20100613, help="sweep RNG seed")
     sweep.add_argument("--out", type=str, default="surfaces",
                        help="surface store directory (default ./surfaces)")
+    _add_checkpoint_options(sweep)
 
     query = add_subparser(
         "query", _cmd_query,
@@ -915,6 +997,11 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--fallback", default="exact",
                        choices=("exact", "mc", "none"),
                        help="out-of-grid handling (default exact)")
+    query.add_argument("--deadline-s", type=float, default=None,
+                       help="wall-clock budget per query; past it, "
+                            "out-of-grid answers clamp to the nearest grid "
+                            "point with [0, 1] bounds and the result is "
+                            "flagged degraded")
 
     return parser
 
@@ -924,7 +1011,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     Runtime failures in any handler are reported on stderr and mapped to
     exit code 1, so scripted callers get a consistent contract: 0 success,
-    1 runtime error, 2 usage error (from argparse).
+    1 runtime error, 2 usage error (from argparse or a
+    :class:`CLIUsageError` — invalid flag combination, unusable path).
     """
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -932,6 +1020,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return args.handler(args)
     except (KeyboardInterrupt, SystemExit):
         raise
+    except CLIUsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except Exception as exc:  # noqa: BLE001 — the CLI boundary
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -50,6 +50,7 @@ from repro.montecarlo.engine import (
     sample_track_batch,
 )
 from repro.netlist.placement import RowPlacement
+from repro.resilience.guards import check_finite
 from repro.units import ensure_positive
 
 
@@ -569,6 +570,10 @@ class ChipMonteCarlo:
         trial_chunk: Optional[int] = None,
         sampler: str = "naive",
         tilt_factor: Optional[float] = None,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = True,
+        policy=None,
+        faults=None,
     ) -> Union["ChipMCResult", "ChipTailResult"]:
         """Simulate ``n_trials`` fabrications of the placed design.
 
@@ -599,6 +604,22 @@ class ChipMonteCarlo:
             default balances the ``pf``-cancellation rule against the
             stopped-weight stability budget of the row span (see
             :mod:`repro.montecarlo.rare_event`).
+        checkpoint_dir:
+            When given, completed trial chunks persist under this
+            directory (content-hashed, atomically written) and a rerun
+            with the same configuration and root generator resumes from
+            them bitwise-identically.  ``resume=False`` discards any
+            previous units first.
+        resume:
+            Whether an existing checkpoint for this campaign is loaded
+            (default) or cleared.
+        policy:
+            A :class:`~repro.resilience.supervise.RetryPolicy` enabling
+            supervised execution (per-chunk timeouts, bounded retries on
+            worker death) even without a checkpoint.
+        faults:
+            A :class:`~repro.resilience.faults.FaultPlan` for chaos
+            testing; never set in production runs.
         """
         if n_trials <= 0:
             raise ValueError("n_trials must be positive")
@@ -608,7 +629,8 @@ class ChipMonteCarlo:
             )
         if sampler == "tilted":
             return self._run_tilted(n_trials, rng, n_workers, trial_chunk,
-                                    tilt_factor)
+                                    tilt_factor, checkpoint_dir=checkpoint_dir,
+                                    resume=resume, policy=policy, faults=faults)
         if self._geometry.n_rows == 0:
             # No row carries a transistor window: nothing can fail (matches
             # the scalar oracle, which skips empty rows).
@@ -616,6 +638,9 @@ class ChipMonteCarlo:
             return self._result(zeros, zeros)
         if trial_chunk is None:
             trial_chunk = self._default_trial_chunk(n_trials)
+        checkpoint = self._open_checkpoint(
+            checkpoint_dir, "chip-naive", n_trials, trial_chunk, rng, resume
+        )
         chunks = run_chunked(
             _simulate_chip_chunk,
             self._geometry,
@@ -623,10 +648,58 @@ class ChipMonteCarlo:
             rng,
             trial_chunk=trial_chunk,
             n_workers=n_workers,
+            policy=policy,
+            checkpoint=checkpoint,
+            faults=faults,
         )
         failing_devices = np.concatenate([c[0] for c in chunks])
         failing_rows = np.concatenate([c[1] for c in chunks])
         return self._result(failing_devices, failing_rows)
+
+    def _open_checkpoint(
+        self,
+        checkpoint_dir: Optional[str],
+        campaign: str,
+        n_trials: int,
+        trial_chunk: int,
+        rng: np.random.Generator,
+        resume: bool,
+    ):
+        """Open the chunk-level campaign checkpoint, or ``None`` without one.
+
+        The fingerprint binds the checkpoint to the placement geometry,
+        the sampling configuration and the root generator (stream state
+        plus spawn counter), so resuming with *anything* different is a
+        :class:`~repro.resilience.checkpoint.CheckpointError` instead of
+        silently mixed results.
+        """
+        if checkpoint_dir is None:
+            return None
+        from repro.montecarlo.engine import chunk_sizes
+        from repro.resilience.checkpoint import CheckpointStore, fingerprint_parts
+
+        geometry = self._geometry
+        fingerprint = fingerprint_parts(
+            campaign,
+            int(n_trials),
+            int(trial_chunk),
+            float(geometry.per_cnt_failure),
+            float(geometry.row_height_nm),
+            int(geometry.n_rows),
+            geometry.window_lo,
+            geometry.window_hi,
+            geometry.window_weight,
+            geometry.window_row,
+            repr(self.pitch),
+            rng.bit_generator.state,
+            int(rng.bit_generator.seed_seq.n_children_spawned),
+        )
+        return CheckpointStore(checkpoint_dir).campaign(
+            campaign,
+            fingerprint,
+            len(chunk_sizes(n_trials, trial_chunk)),
+            resume=resume,
+        )
 
     def default_chip_tilt_factor(self) -> float:
         """Default tilt for :meth:`run` with ``sampler="tilted"``.
@@ -649,6 +722,10 @@ class ChipMonteCarlo:
         n_workers: int,
         trial_chunk: Optional[int],
         tilt_factor: Optional[float],
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = True,
+        policy=None,
+        faults=None,
     ) -> ChipTailResult:
         if self._geometry.n_rows == 0:
             return ChipTailResult(
@@ -676,6 +753,9 @@ class ChipMonteCarlo:
                 n_trials,
                 grain=self.DEFAULT_PARALLEL_GRAIN,
             )
+        checkpoint = self._open_checkpoint(
+            checkpoint_dir, "chip-tilted", n_trials, trial_chunk, rng, resume
+        )
         chunks = run_chunked(
             _simulate_chip_chunk_tilted,
             _TiltedChipPayload(geometry=self._geometry, tilt=tilt),
@@ -683,8 +763,14 @@ class ChipMonteCarlo:
             rng,
             trial_chunk=trial_chunk,
             n_workers=n_workers,
+            policy=policy,
+            checkpoint=checkpoint,
+            faults=faults,
         )
         row_sums = np.vstack([c[0] for c in chunks])
+        # Importance weights may legitimately overflow to inf under extreme
+        # tilts (reported as infinite uncertainty below); NaN never is.
+        check_finite(row_sums, "chip_mc.tilted.row_sums", allow_inf=True)
         device_summary = rare_event.weighted_estimate(
             np.concatenate([c[1] for c in chunks])
         )
@@ -721,6 +807,8 @@ class ChipMonteCarlo:
     def _result(
         self, failing_devices: np.ndarray, failing_rows: np.ndarray
     ) -> ChipMCResult:
+        check_finite(failing_devices, "chip_mc.failing_devices")
+        check_finite(failing_rows, "chip_mc.failing_rows")
         n_trials = failing_devices.size
         device_count = self.device_count
         return ChipMCResult(

@@ -408,6 +408,9 @@ def run_chunked(
     rng: np.random.Generator,
     trial_chunk: int,
     n_workers: int = 1,
+    policy=None,
+    checkpoint=None,
+    faults=None,
 ) -> List[Tuple[np.ndarray, ...]]:
     """Run ``worker(payload, n_chunk, stream)`` over deterministic chunks.
 
@@ -416,10 +419,38 @@ def run_chunked(
     ``payload`` must be picklable), otherwise they run in-process.  The
     returned list is ordered by chunk, so results are identical for any
     worker count.
+
+    Passing any of ``policy`` (a
+    :class:`~repro.resilience.supervise.RetryPolicy`), ``checkpoint`` (a
+    :class:`~repro.resilience.checkpoint.CampaignCheckpoint`) or
+    ``faults`` (a :class:`~repro.resilience.faults.FaultPlan`) routes
+    execution through the supervised runner: failed chunks are retried
+    from rebuilt seed sequences, completed chunks persist to the
+    checkpoint, and results stay bitwise identical to the fast path
+    because the chunk streams derive from the same spawn keys.
     """
     if n_workers < 1:
         raise ValueError("n_workers must be at least 1")
     sizes = chunk_sizes(n_trials, trial_chunk)
+    if policy is not None or checkpoint is not None or faults is not None:
+        from repro.resilience.supervise import (
+            SeededChunk,
+            run_supervised,
+            seed_sequences_for,
+        )
+
+        seeds, bit_generator = seed_sequences_for(rng, len(sizes))
+        tasks = [
+            SeededChunk(worker, payload, n, seed, bit_generator)
+            for n, seed in zip(sizes, seeds)
+        ]
+        return run_supervised(
+            tasks,
+            n_workers=n_workers,
+            policy=policy,
+            checkpoint=checkpoint,
+            faults=faults,
+        )
     streams = spawn_streams(rng, len(sizes))
     if n_workers == 1 or len(sizes) == 1:
         return [worker(payload, n, stream) for n, stream in zip(sizes, streams)]

@@ -73,8 +73,8 @@ from __future__ import annotations
 
 import math
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -95,6 +95,7 @@ from repro.montecarlo.engine import (
     estimate_gap_count,
     run_chunked,
 )
+from repro.resilience.guards import check_finite
 from repro.units import ensure_positive
 
 __all__ = [
@@ -486,6 +487,9 @@ def _assemble_group(
     relaxations = _die_relaxations(payload.misalignment, sites)
     if relaxations is not None:
         values = values / relaxations[None, :, None]
+    # A NaN here (poisoned draw, corrupt backend buffer) would silently
+    # spread through every per-die statistic; fail loudly instead.
+    check_finite(values, "wafer.die_group.values")
     n_trials = values.shape[2]
     p, cov = _class_mean_covariance(values)
     se = np.sqrt(np.diagonal(cov, axis1=1, axis2=2)).T  # (Q, D)
@@ -558,6 +562,81 @@ def _dies_per_group(n_dies: int, payload: _WaferPayload, s_max_hint: int) -> int
     return max(1, min(budget, spread))
 
 
+# ----------------------------------------------------------------------
+# Resilient-campaign plumbing (checkpointed / supervised wafer runs)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _DieGroupTask:
+    """Picklable zero-arg task simulating one die group (supervised runs).
+
+    Die streams are derived inside the kernel from stateless spawn keys,
+    so re-executing the task after a worker death reproduces its results
+    bit for bit with no supervisor-side state.
+    """
+
+    payload: _WaferPayload
+    sites: Tuple[DieSite, ...]
+
+    def __call__(self) -> List[DieYieldEstimate]:
+        return _simulate_die_group(self.payload, list(self.sites))
+
+
+@dataclass(frozen=True)
+class _ChipDieTask:
+    """Picklable zero-arg task for one die's whole-placement chip run."""
+
+    payload: "_ChipWaferPayload"
+    site: DieSite
+
+    def __call__(self) -> "ChipDieYield":
+        return _simulate_chip_die(self.payload, self.site)
+
+
+def _estimate_from_json(cls, payload: Dict[str, object]):
+    """Rebuild a frozen result dataclass from its JSON round-trip.
+
+    JSON turns the tuple fields into lists; everything else (ints,
+    ``repr``-round-tripping floats, ±inf under Python's JSON dialect)
+    comes back exactly, so the reconstruction is bitwise faithful.
+    """
+    return cls(**{
+        key: tuple(value) if isinstance(value, list) else value
+        for key, value in payload.items()
+    })
+
+
+def _die_group_encode(results):
+    """Checkpoint codec: die-group results as a JSON meta payload."""
+    return {}, [asdict(est) for est in results]
+
+
+def _die_group_decode(arrays, meta):
+    """Inverse of :func:`_die_group_encode`."""
+    del arrays
+    return [_estimate_from_json(DieYieldEstimate, d) for d in meta]
+
+
+def _chip_die_encode(result):
+    """Checkpoint codec: one chip-die result as a JSON meta payload."""
+    return {}, asdict(result)
+
+
+def _chip_die_decode(arrays, meta):
+    """Inverse of :func:`_chip_die_encode`."""
+    del arrays
+    return _estimate_from_json(ChipDieYield, meta)
+
+
+def _site_signature(sites: Sequence[DieSite]) -> List[Tuple]:
+    """Canonical per-site tuple list entering campaign fingerprints."""
+    return [
+        (s.column, s.row, s.x_mm, s.y_mm, s.mean_pitch_nm, s.misalignment_deg)
+        for s in sites
+    ]
+
+
 def simulate_die(
     site: DieSite,
     pitch: PitchDistribution,
@@ -620,6 +699,10 @@ def simulate_wafer(
     n_workers: int = 1,
     backend: Optional[ArrayBackend] = None,
     misalignment: Optional[MisalignmentImpactModel] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = True,
+    policy=None,
+    faults=None,
 ) -> WaferYieldResult:
     """Simulate every die of ``wafer`` in stacked (die × trial × track) passes.
 
@@ -656,6 +739,22 @@ def simulate_wafer(
         inside the stacked pass (see the module notes).  ``None`` (the
         default) leaves results bitwise identical to a run without the
         parameter.
+    checkpoint_dir:
+        When given, each completed die group persists under this
+        directory (content-hashed, atomically written); a rerun with the
+        same configuration resumes from the verified units and is
+        bitwise identical to an uninterrupted run.  Corrupt units are
+        quarantined and recomputed.
+    resume:
+        Whether an existing checkpoint for this campaign is loaded
+        (default) or discarded first.
+    policy:
+        A :class:`~repro.resilience.supervise.RetryPolicy` routing the
+        run through the supervised executor (bounded retries on worker
+        death, per-group timeouts) even without a checkpoint.
+    faults:
+        A :class:`~repro.resilience.faults.FaultPlan` for chaos tests;
+        never set in production runs.
 
     Returns
     -------
@@ -690,7 +789,43 @@ def simulate_wafer(
         )
         group = _dies_per_group(len(sites), payload, s_max_hint)
         groups = [sites[i:i + group] for i in range(0, len(sites), group)]
-        if n_workers == 1 or len(groups) == 1:
+        if checkpoint_dir is not None or policy is not None or faults is not None:
+            from repro.resilience.checkpoint import (
+                CheckpointStore,
+                fingerprint_parts,
+            )
+            from repro.resilience.supervise import run_supervised
+
+            checkpoint = None
+            if checkpoint_dir is not None:
+                fingerprint = fingerprint_parts(
+                    "wafer-sim",
+                    repr(payload.pitch),
+                    payload.per_cnt_failure,
+                    payload.widths_nm,
+                    payload.device_counts,
+                    payload.n_trials,
+                    payload.seed_key,
+                    repr(payload.backend),
+                    repr(payload.misalignment),
+                    int(group),
+                    _site_signature(sites),
+                )
+                checkpoint = CheckpointStore(checkpoint_dir).campaign(
+                    "wafer", fingerprint, len(groups), resume=resume
+                )
+            group_results = run_supervised(
+                [_DieGroupTask(payload, tuple(g)) for g in groups],
+                n_workers=n_workers,
+                policy=policy,
+                checkpoint=checkpoint,
+                faults=faults,
+                encode=_die_group_encode,
+                decode=_die_group_decode,
+            )
+            for result in group_results:
+                dice.extend(result)
+        elif n_workers == 1 or len(groups) == 1:
             for g in groups:
                 dice.extend(_simulate_die_group(payload, g))
         else:
@@ -1052,6 +1187,10 @@ def run_chip_wafer(
     n_workers: int = 1,
     trial_chunk: Optional[int] = None,
     misalignment: Optional[MisalignmentImpactModel] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = True,
+    policy=None,
+    faults=None,
 ) -> ChipWaferResult:
     """Yield-map a placed design across every die of a wafer in one run.
 
@@ -1088,6 +1227,22 @@ def run_chip_wafer(
     misalignment:
         Optional analytic de-rating of the Eq. 2.3 view (the direct
         indicator yield is a realised count and is never de-rated).
+    checkpoint_dir:
+        When given, every completed die persists under this directory
+        (content-hashed, atomically written); a rerun with the same
+        configuration resumes from the verified dies bitwise-identically
+        — the per-die :func:`chip_die_stream` spawn keys make a resumed
+        die indistinguishable from an uninterrupted one.
+    resume:
+        Whether an existing checkpoint for this campaign is loaded
+        (default) or discarded first.
+    policy:
+        A :class:`~repro.resilience.supervise.RetryPolicy` routing the
+        run through the supervised executor (bounded retries on worker
+        death, per-die timeouts) even without a checkpoint.
+    faults:
+        A :class:`~repro.resilience.faults.FaultPlan` for chaos tests;
+        never set in production runs.
 
     Returns
     -------
@@ -1115,7 +1270,42 @@ def run_chip_wafer(
         misalignment=misalignment,
     )
     sites = _canonical_sites(wafer)
-    if n_workers == 1 or len(sites) <= 1:
+    if checkpoint_dir is not None or policy is not None or faults is not None:
+        from repro.resilience.checkpoint import CheckpointStore, fingerprint_parts
+        from repro.resilience.supervise import run_supervised
+
+        checkpoint = None
+        if checkpoint_dir is not None and sites:
+            fingerprint = fingerprint_parts(
+                "chip-wafer",
+                repr(payload.pitch),
+                payload.widths_nm,
+                tuple(float(c) for c in class_counts),
+                payload.n_trials,
+                payload.seed_key,
+                payload.trial_chunk,
+                repr(payload.misalignment),
+                repr(geometry.backend),
+                float(geometry.per_cnt_failure),
+                geometry.window_lo,
+                geometry.window_hi,
+                geometry.window_weight,
+                geometry.window_row,
+                _site_signature(sites),
+            )
+            checkpoint = CheckpointStore(checkpoint_dir).campaign(
+                "chip-wafer", fingerprint, len(sites), resume=resume
+            )
+        dice = run_supervised(
+            [_ChipDieTask(payload, site) for site in sites],
+            n_workers=n_workers,
+            policy=policy,
+            checkpoint=checkpoint,
+            faults=faults,
+            encode=_chip_die_encode,
+            decode=_chip_die_decode,
+        )
+    elif n_workers == 1 or len(sites) <= 1:
         dice = [_simulate_chip_die(payload, site) for site in sites]
     else:
         with ProcessPoolExecutor(max_workers=min(n_workers, len(sites))) as pool:

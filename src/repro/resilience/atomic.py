@@ -1,0 +1,84 @@
+"""Atomic file writes and content hashing.
+
+Every artifact the campaign layer persists — checkpoint units, manifest
+files, surface ``.npz`` archives, ``BENCH_*.json`` records — goes through
+the write-temp-then-rename idiom implemented here: the payload is written
+to a temporary file *in the destination directory* (so the final
+``os.replace`` stays on one filesystem and is atomic), flushed and fsynced,
+then renamed over the destination.  A reader therefore observes either the
+old complete file or the new complete file, never a truncated mix.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Union
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_write_json",
+    "sha256_bytes",
+    "sha256_file",
+]
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The parent directory is created if missing.  The temporary file name
+    embeds the pid so concurrent writers in different processes never
+    collide; the loser of a same-destination race is simply overwritten
+    by the winner's complete file.
+
+    Returns
+    -------
+    Path
+        The destination path, for chaining.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink(missing_ok=True)
+    return path
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> Path:
+    """Write ``text`` (UTF-8) to ``path`` atomically."""
+    return atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_json(path: Union[str, Path], payload: object, **kwargs) -> Path:
+    """Serialise ``payload`` as JSON and write it atomically.
+
+    Keyword arguments are forwarded to :func:`json.dumps`; the default
+    is compact-but-readable (``indent=2``) with a trailing newline so the
+    artifacts diff cleanly.
+    """
+    kwargs.setdefault("indent", 2)
+    return atomic_write_text(path, json.dumps(payload, **kwargs) + "\n")
+
+
+def sha256_bytes(data: bytes) -> str:
+    """Hex sha256 digest of an in-memory payload."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def sha256_file(path: Union[str, Path]) -> str:
+    """Hex sha256 digest of a file's contents (streamed in 1 MiB blocks)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()

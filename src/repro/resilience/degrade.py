@@ -1,0 +1,100 @@
+"""Degradation primitives: circuit breaker and deadline budget.
+
+The serving layer's fallback ladder (interpolated → exact closed-form →
+stale cache) needs two small pieces of mechanism that are independent of
+yield semantics: a :class:`CircuitBreaker` that stops hammering a failing
+artifact store for a cooldown period, and a :class:`Deadline` that turns
+a per-query wall-clock budget into cheap "is there time left?" checks.
+Both use :func:`time.monotonic` so wall-clock adjustments never confuse
+them.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+__all__ = ["CircuitBreaker", "Deadline"]
+
+
+class CircuitBreaker:
+    """Open after consecutive failures, close again after a cooldown.
+
+    The breaker guards a fallible resource (the surface store).  Every
+    failure increments a consecutive-failure count; reaching
+    ``failure_threshold`` *opens* the breaker, and while open
+    :meth:`allow` returns ``False`` so callers skip the resource and go
+    straight to their degraded path.  After ``cooldown_s`` seconds the
+    next :meth:`allow` lets one probe through (half-open); a success
+    closes the breaker, another failure re-opens it for a full cooldown.
+    """
+
+    def __init__(
+        self, failure_threshold: int = 3, cooldown_s: float = 30.0
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown_s = float(cooldown_s)
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+
+    @property
+    def is_open(self) -> bool:
+        """Whether the breaker currently rejects calls (cooldown active)."""
+        if self._opened_at is None:
+            return False
+        if time.monotonic() - self._opened_at >= self.cooldown_s:
+            return False  # cooldown elapsed: half-open, allow a probe
+        return True
+
+    def allow(self) -> bool:
+        """Whether the caller should attempt the guarded resource."""
+        return not self.is_open
+
+    def record_success(self) -> None:
+        """Reset the breaker after a successful call."""
+        self._failures = 0
+        self._opened_at = None
+
+    def record_failure(self) -> None:
+        """Count a failure, opening the breaker at the threshold."""
+        self._failures += 1
+        if self._failures >= self.failure_threshold:
+            self._opened_at = time.monotonic()
+
+    def stats(self) -> dict:
+        """Snapshot of breaker state for diagnostics."""
+        return {
+            "failures": self._failures,
+            "open": self.is_open,
+            "failure_threshold": self.failure_threshold,
+            "cooldown_s": self.cooldown_s,
+        }
+
+
+class Deadline:
+    """A monotonic wall-clock budget for one request.
+
+    ``Deadline(None)`` never expires, so callers can thread a deadline
+    unconditionally without branching on its presence.
+    """
+
+    def __init__(self, budget_s: Optional[float]) -> None:
+        self.budget_s = budget_s
+        self._start = time.monotonic()
+
+    def elapsed(self) -> float:
+        """Seconds since the deadline was created."""
+        return time.monotonic() - self._start
+
+    def remaining(self) -> float:
+        """Seconds left in the budget (``inf`` for an unbounded deadline)."""
+        if self.budget_s is None:
+            return float("inf")
+        return self.budget_s - self.elapsed()
+
+    @property
+    def expired(self) -> bool:
+        """Whether the budget has been used up."""
+        return self.remaining() <= 0.0

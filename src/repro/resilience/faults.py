@@ -1,0 +1,187 @@
+"""Deterministic, seed-keyed fault injection for the chaos test suite.
+
+A :class:`FaultPlan` decides — purely from ``(seed, unit, attempt)`` spawn
+keys, never from wall-clock or process state — whether a unit of work is
+killed, delayed, or has NaN injected into its result, and
+:func:`corrupt_file` deterministically flips bytes in a persisted
+artifact.  Determinism matters twice over: chaos tests reproduce exactly
+under ``pytest -x``, and a killed unit's *successful retry* must see the
+fault plan decline to fire again (keyed on the attempt number) without
+any shared mutable state between supervisor and workers.
+
+Fault decisions are derived from ``default_rng([seed, FAULT_STREAM_TAG,
+kind, unit, attempt])`` so they are independent of each other and of
+every simulation stream (which use their own tags).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "FAULT_STREAM_TAG",
+    "InjectedFault",
+    "WorkerCrash",
+    "FaultPlan",
+    "FaultyTask",
+    "corrupt_file",
+]
+
+#: Spawn-key tag isolating fault-decision streams from simulation streams.
+FAULT_STREAM_TAG = 0xFA0175
+
+_KIND_KILL = 1
+_KIND_DELAY = 2
+_KIND_NAN = 3
+_KIND_CORRUPT = 4
+
+
+class InjectedFault(RuntimeError):
+    """Base class for failures raised by the fault-injection harness."""
+
+
+class WorkerCrash(InjectedFault):
+    """An injected in-worker crash (the ``raise`` flavour of kill)."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of injected faults, keyed by spawn keys.
+
+    Attributes
+    ----------
+    seed:
+        Root of every fault-decision stream.
+    kill_units:
+        Unit indices whose first ``kill_attempts`` executions are killed
+        (targeted faults — the workhorse of the chaos suite).
+    kill_attempts:
+        How many leading attempts of each targeted unit die before the
+        unit is allowed to succeed; pair with a retry budget below this
+        to abort a campaign mid-run deterministically.
+    kill_probability:
+        Additional random kill rate per ``(unit, attempt)``.
+    kill_mode:
+        ``"raise"`` raises :class:`WorkerCrash` inside the worker;
+        ``"exit"`` calls ``os._exit`` — in a process pool this breaks
+        the pool exactly like a real worker death.  In-process
+        supervisors always downgrade ``"exit"`` to ``"raise"``.
+    delay_units / delay_s:
+        Units whose execution sleeps ``delay_s`` seconds first (for
+        exercising timeouts).
+    nan_units:
+        Units whose *result* gets one NaN injected into its first float
+        array, for driving the numerical guardrails.
+    """
+
+    seed: int = 0
+    kill_units: Tuple[int, ...] = field(default_factory=tuple)
+    kill_attempts: int = 1
+    kill_probability: float = 0.0
+    kill_mode: str = "raise"
+    delay_units: Tuple[int, ...] = field(default_factory=tuple)
+    delay_s: float = 0.0
+    nan_units: Tuple[int, ...] = field(default_factory=tuple)
+
+    def _stream(self, kind: int, unit: int, attempt: int) -> np.random.Generator:
+        return np.random.default_rng(
+            [int(self.seed), FAULT_STREAM_TAG, kind, int(unit), int(attempt)]
+        )
+
+    def should_kill(self, unit: int, attempt: int) -> bool:
+        """Whether execution ``attempt`` of ``unit`` is killed."""
+        if unit in self.kill_units and attempt < self.kill_attempts:
+            return True
+        if self.kill_probability > 0.0:
+            draw = self._stream(_KIND_KILL, unit, attempt).random()
+            return bool(draw < self.kill_probability)
+        return False
+
+    def delay_for(self, unit: int, attempt: int) -> float:
+        """Seconds of injected startup delay for this execution."""
+        del attempt  # delays are per-unit; the key keeps the API uniform
+        return self.delay_s if unit in self.delay_units else 0.0
+
+    def should_inject_nan(self, unit: int, attempt: int) -> bool:
+        """Whether this execution's result gets a NaN injected."""
+        del attempt
+        return unit in self.nan_units
+
+
+def _poison_first_float_array(result: Any) -> Any:
+    """Return ``result`` with one NaN written into its first float array."""
+    if isinstance(result, np.ndarray):
+        if result.dtype.kind == "f" and result.size:
+            poisoned = result.copy()
+            poisoned.flat[0] = np.nan
+            return poisoned
+        return result
+    if isinstance(result, tuple):
+        items = list(result)
+        for i, item in enumerate(items):
+            poisoned = _poison_first_float_array(item)
+            if poisoned is not item:
+                items[i] = poisoned
+                return tuple(items)
+        return result
+    return result
+
+
+@dataclass(frozen=True)
+class FaultyTask:
+    """Picklable wrapper executing a task under a :class:`FaultPlan`.
+
+    The supervisor wraps each submission with the unit index and attempt
+    number, so the plan's decisions travel with the task into pool
+    workers without shared state.
+    """
+
+    task: Callable[[], Any]
+    plan: FaultPlan
+    unit: int
+    attempt: int
+    allow_exit: bool = True
+
+    def __call__(self) -> Any:
+        delay = self.plan.delay_for(self.unit, self.attempt)
+        if delay > 0.0:
+            time.sleep(delay)
+        if self.plan.should_kill(self.unit, self.attempt):
+            if self.plan.kill_mode == "exit" and self.allow_exit:
+                os._exit(17)
+            raise WorkerCrash(
+                f"injected kill: unit {self.unit} attempt {self.attempt}"
+            )
+        result = self.task()
+        if self.plan.should_inject_nan(self.unit, self.attempt):
+            result = _poison_first_float_array(result)
+        return result
+
+
+def corrupt_file(
+    path: Union[str, Path], seed: int = 0, n_bytes: int = 16
+) -> Path:
+    """Deterministically flip ``n_bytes`` bytes in the middle of a file.
+
+    Simulates silent media corruption: offsets are drawn from the
+    seed-keyed fault stream within the middle half of the file (so
+    archive headers usually survive and the corruption is only caught by
+    content-hash verification, the interesting failure mode).
+    """
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        raise ValueError(f"cannot corrupt empty file {path}")
+    rng = np.random.default_rng([int(seed), FAULT_STREAM_TAG, _KIND_CORRUPT])
+    lo, hi = len(data) // 4, max(len(data) // 4 + 1, 3 * len(data) // 4)
+    offsets = rng.integers(lo, hi, size=min(n_bytes, len(data)))
+    for offset in offsets:
+        data[int(offset)] ^= 0xFF
+    path.write_bytes(bytes(data))
+    return path

@@ -1,0 +1,101 @@
+"""Numerical guardrails: structured diagnostics for poisoned values.
+
+Monte Carlo campaigns and the serving layer move probabilities and log
+weights through many aggregation steps; a NaN injected anywhere (a bad
+worker, a corrupt artifact, an overflowed tilt) silently poisons every
+downstream statistic.  The guards here are cheap single-pass checks
+applied at *aggregation boundaries* — per-chunk results, per-die
+estimates, per-query bounds — that raise :class:`NumericalGuardError`
+with enough structured context (where, what kind, how many) to locate
+the poisoned unit instead of shipping a NaN yield to a caller.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["NumericalGuardError", "check_finite", "check_probabilities"]
+
+
+class NumericalGuardError(ValueError):
+    """A guarded array failed validation; carries structured context.
+
+    Attributes
+    ----------
+    context:
+        Dotted location label, e.g. ``"chip_mc.failing_devices"``.
+    kind:
+        The violation class: ``"nan"``, ``"inf"``, ``"negative"`` or
+        ``"above_one"``.
+    count / total:
+        Number of offending elements and the array size.
+    """
+
+    def __init__(self, context: str, kind: str, count: int, total: int) -> None:
+        super().__init__(
+            f"numerical guard tripped at {context}: {count}/{total} "
+            f"element(s) are {kind}"
+        )
+        self.context = context
+        self.kind = kind
+        self.count = count
+        self.total = total
+
+
+def check_finite(
+    array: np.ndarray,
+    context: str,
+    allow_inf: bool = False,
+) -> np.ndarray:
+    """Raise :class:`NumericalGuardError` if ``array`` holds NaN (or inf).
+
+    Parameters
+    ----------
+    array:
+        Values to validate (validated as float; returned unchanged).
+    context:
+        Location label recorded on the diagnostic.
+    allow_inf:
+        Permit infinities (legitimate for, e.g., unbounded standard
+        errors) while still rejecting NaN.
+    """
+    values = np.asarray(array)
+    nan_count = int(np.count_nonzero(np.isnan(values)))
+    if nan_count:
+        raise NumericalGuardError(context, "nan", nan_count, values.size)
+    if not allow_inf:
+        inf_count = int(np.count_nonzero(np.isinf(values)))
+        if inf_count:
+            raise NumericalGuardError(context, "inf", inf_count, values.size)
+    return array
+
+
+def check_probabilities(
+    array: np.ndarray,
+    context: str,
+    upper: Optional[float] = 1.0,
+) -> np.ndarray:
+    """Validate an array of probabilities: finite, non-negative, bounded.
+
+    Parameters
+    ----------
+    array:
+        Probability values (returned unchanged when valid).
+    context:
+        Location label recorded on the diagnostic.
+    upper:
+        Inclusive upper bound; ``None`` skips the bound check (for
+        unnormalised weights that are only required non-negative).
+    """
+    values = np.asarray(array)
+    check_finite(values, context)
+    negative = int(np.count_nonzero(values < 0.0))
+    if negative:
+        raise NumericalGuardError(context, "negative", negative, values.size)
+    if upper is not None:
+        above = int(np.count_nonzero(values > upper))
+        if above:
+            raise NumericalGuardError(context, "above_one", above, values.size)
+    return array

@@ -5,65 +5,115 @@ scenario × pitch family × corner) but answers most traffic from a
 handful.  The cache holds the hot set in memory, evicts least-recently
 used artifacts beyond capacity, and counts hits/misses/evictions so
 benchmarks and operators can see the hit rate.
+
+The cache is thread-safe, and load-through gets are **single-flight**:
+when several threads miss on the same key concurrently, exactly one
+runs the loader while the rest wait and share its result (or its
+exception).  Loaders run outside the cache lock, so a slow disk load
+never blocks unrelated keys.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from typing import Callable, Generic, Optional, TypeVar
+from typing import Callable, Dict, Generic, Optional, TypeVar
 
 T = TypeVar("T")
 
 
+class _Flight:
+    """One in-progress load that concurrent misses on a key share."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: object = None
+        self.error: Optional[BaseException] = None
+
+
 class LRUCache(Generic[T]):
-    """A minimal ordered-dict LRU with load-through semantics."""
+    """A thread-safe ordered-dict LRU with single-flight load-through."""
 
     def __init__(self, capacity: int = 8) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be at least 1, got {capacity}")
         self.capacity = int(capacity)
         self._entries: "OrderedDict[str, T]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._inflight: Dict[str, _Flight] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: str, loader: Optional[Callable[[], T]] = None) -> Optional[T]:
         """Return the cached value, loading (and caching) it on a miss.
 
-        Without a ``loader`` a miss simply returns ``None``.
+        Without a ``loader`` a miss simply returns ``None``.  With one,
+        concurrent misses on the same key run the loader exactly once;
+        if it raises, every waiter observes the same exception and the
+        key stays uncached (the next get retries).
         """
-        if key in self._entries:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            return self._entries[key]
-        self.misses += 1
-        if loader is None:
-            return None
-        value = loader()
-        self.put(key, value)
-        return value
+        with self._lock:
+            if key in self._entries:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            self.misses += 1
+            if loader is None:
+                return None
+            flight = self._inflight.get(key)
+            leader = flight is None
+            if leader:
+                flight = _Flight()
+                self._inflight[key] = flight
+        if not leader:
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.value  # type: ignore[return-value]
+        try:
+            value = loader()
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        else:
+            flight.value = value
+            self.put(key, value)
+            return value
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.event.set()
 
     def put(self, key: str, value: T) -> None:
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        """Insert (or refresh) a key, evicting LRU entries past capacity."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def stats(self) -> dict:
-        total = self.hits + self.misses
-        return {
-            "capacity": self.capacity,
-            "size": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": self.hits / total if total else float("nan"),
-        }
+        """Snapshot of capacity, occupancy, and hit/miss/eviction counts."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / total if total else float("nan"),
+            }

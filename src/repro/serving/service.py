@@ -20,13 +20,16 @@ interval is its monotone image through Eq. 2.3 / 3.1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Union
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.circuit_yield import yield_from_uniform_failure_probability_array
 from repro.core.correlation import CorrelationParameters
+from repro.resilience.checkpoint import CorruptArtifactError
+from repro.resilience.degrade import CircuitBreaker, Deadline
+from repro.resilience.guards import check_finite
 from repro.serving.cache import LRUCache
 from repro.serving.interpolate import interpolate_log_failure
 from repro.surface.builder import ExactEvaluator, pitch_from_descriptor
@@ -44,6 +47,16 @@ class QueryResult:
     closed-form sweeps; at the configured sigma level for MC sweeps).
     ``interpolated`` flags which entries were served from the grid — the
     rest went through the fallback path.
+
+    ``degradation`` records whether (and how) the answer was served in a
+    degraded mode: ``"none"`` is the healthy path, ``"stale_cache"``
+    means the artifact store failed (corrupt file, open circuit breaker)
+    and a previously loaded copy of the surface answered instead, and
+    ``"deadline_clamped"`` means the per-query deadline expired before
+    the exact fallback could run, so out-of-grid queries were answered
+    at the nearest grid point with trivially correct ``[0, 1]`` bounds.
+    Degraded answers are still bounded — the flags exist so callers can
+    tell guaranteed-tight answers from best-effort ones.
     """
 
     scenario: str
@@ -54,6 +67,8 @@ class QueryResult:
     yield_lower: np.ndarray
     yield_upper: np.ndarray
     interpolated: np.ndarray
+    degraded: bool = False
+    degradation: Tuple[str, ...] = field(default=("none",))
 
     @property
     def n_queries(self) -> int:
@@ -82,6 +97,14 @@ class YieldService:
     n_sigma:
         Sigma multiplier applied to statistical standard errors (both the
         surface nodes' and the fallback estimators') when forming bounds.
+    breaker:
+        Circuit breaker guarding store loads; after repeated load
+        failures the store is skipped for a cooldown and keys are served
+        from the stale cache directly.  Defaults to a 3-failure, 30 s
+        breaker.
+    deadline_s:
+        Default per-query wall-clock budget.  ``None`` (the default)
+        means unbounded; :meth:`query` can override per call.
     """
 
     def __init__(
@@ -89,15 +112,21 @@ class YieldService:
         store: Optional[Union[SurfaceStore, str]] = None,
         cache_capacity: int = 8,
         n_sigma: float = 4.0,
+        breaker: Optional[CircuitBreaker] = None,
+        deadline_s: Optional[float] = None,
     ) -> None:
         if isinstance(store, str):
             store = SurfaceStore(store)
         self.store = store
         self.cache: LRUCache[YieldSurface] = LRUCache(capacity=cache_capacity)
         self.n_sigma = float(n_sigma)
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.deadline_s = deadline_s
         self._evaluators: Dict[str, ExactEvaluator] = {}
         self._pinned: Dict[str, YieldSurface] = {}
+        self._stale: Dict[str, YieldSurface] = {}
         self.queries_served = 0
+        self.degraded_queries = 0
 
     # ------------------------------------------------------------------
     # Surface access
@@ -128,21 +157,67 @@ class YieldService:
         Exact keys hit the in-memory cache first (so registered-but-not-
         persisted surfaces stay addressable on a store-backed service);
         anything else resolves through the store, where unambiguous key
-        prefixes are accepted.
+        prefixes are accepted.  When the store fails (corrupt artifact,
+        open circuit breaker) a previously loaded copy is served from
+        the stale cache instead — use :meth:`resolve` to observe which
+        path answered.
+        """
+        return self.resolve(key_or_surface)[0]
+
+    def resolve(
+        self, key_or_surface: Union[str, YieldSurface]
+    ) -> Tuple[YieldSurface, str]:
+        """Resolve a surface plus the degradation tag of the path taken.
+
+        The ladder is: in-memory LRU / pinned registry → on-disk store
+        (guarded by the circuit breaker, loads verified and quarantined
+        on corruption) → stale cache of previously served copies.  The
+        returned tag is ``"none"`` for the first two rungs and
+        ``"stale_cache"`` for the last.  Raises ``KeyError`` (unknown
+        key) or :class:`CorruptArtifactError` (corrupt artifact, no
+        stale copy) when every rung fails.
         """
         if isinstance(key_or_surface, YieldSurface):
-            return key_or_surface
+            return key_or_surface, "none"
         key = key_or_surface
         if key in self.cache:
-            return self.cache.get(key)
+            return self.cache.get(key), "none"
         if key in self._pinned:
-            return self._pinned[key]
+            return self._pinned[key], "none"
+        failure: Optional[Exception] = None
         if self.store is not None:
-            resolved = self.store.path_for(key).stem
-            surface = self.cache.get(resolved, lambda: self.store.load(resolved))
-            if surface is not None:
-                return surface
+            if self.breaker.allow():
+                try:
+                    resolved = self.store.path_for(key).stem
+                    surface = self.cache.get(
+                        resolved, lambda: self.store.load(resolved)
+                    )
+                    self.breaker.record_success()
+                    self._stale[resolved] = surface
+                    return surface, "none"
+                except KeyError as exc:
+                    # A missing key is not a store fault: don't trip the
+                    # breaker, but a quarantined artifact's key goes
+                    # missing too, so still consult the stale cache.
+                    failure = exc
+                except (CorruptArtifactError, OSError, ValueError) as exc:
+                    self.breaker.record_failure()
+                    failure = exc
+            stale = self._stale_for(key)
+            if stale is not None:
+                return stale, "stale_cache"
+        if failure is not None:
+            raise failure
         raise KeyError(f"surface {key!r} is neither cached nor in a store")
+
+    def _stale_for(self, key: str) -> Optional[YieldSurface]:
+        """Find a stale copy by exact key or unambiguous prefix."""
+        if key in self._stale:
+            return self._stale[key]
+        matches = [k for k in self._stale if k.startswith(key)]
+        if len(matches) == 1:
+            return self._stale[matches[0]]
+        return None
 
     # ------------------------------------------------------------------
     # Queries
@@ -156,6 +231,7 @@ class YieldService:
         device_count: Union[float, np.ndarray] = 1.0,
         fallback: str = "exact",
         mc_samples: int = 20_000,
+        deadline_s: Optional[float] = None,
     ) -> QueryResult:
         """Answer a batched yield query.
 
@@ -177,10 +253,20 @@ class YieldService:
             surface's exact evaluator; ``"mc"`` opts into tilted
             Monte Carlo refinement instead; ``"none"`` raises if any
             query leaves the grid.
+        deadline_s:
+            Wall-clock budget for this query (overrides the service
+            default).  When the budget runs out before the exact
+            fallback has run, out-of-grid entries are answered at the
+            nearest grid point with trivially correct ``[0, 1]`` bounds
+            and the result is flagged ``"deadline_clamped"``.
         """
         if fallback not in ("exact", "mc", "none"):
             raise ValueError(f"unknown fallback mode {fallback!r}")
-        surf = self.surface(surface)
+        deadline = Deadline(deadline_s if deadline_s is not None else self.deadline_s)
+        degradation = []
+        surf, resolution = self.resolve(surface)
+        if resolution != "none":
+            degradation.append(resolution)
         widths = np.atleast_1d(np.asarray(width_nm, dtype=float)).ravel()
         if cnt_density_per_um is None:
             densities = np.full(widths.shape, self._reference_density(surf))
@@ -205,14 +291,36 @@ class YieldService:
                     "and fallback is disabled"
                 )
             outside = ~in_grid
-            log_exact, err_exact = self._fallback_values(
-                surf, widths[outside], densities[outside], fallback, mc_samples
-            )
-            log_p = log_p.copy()
-            err_log = err_log.copy()
-            log_p[outside] = log_exact
-            err_log[outside] = err_exact
+            if deadline.expired:
+                # Out of time for the exact evaluator: answer at the
+                # nearest grid point and widen the bounds to the
+                # trivially correct [0, 1] so the contract still holds.
+                degradation.append("deadline_clamped")
+                w_clip = np.clip(
+                    widths[outside], surf.width_nm[0], surf.width_nm[-1]
+                )
+                d_clip = np.clip(
+                    densities[outside],
+                    surf.cnt_density_per_um[0],
+                    surf.cnt_density_per_um[-1],
+                )
+                log_near, _, _ = interpolate_log_failure(
+                    surf, w_clip, d_clip, n_sigma=self.n_sigma
+                )
+                log_p = log_p.copy()
+                err_log = err_log.copy()
+                log_p[outside] = log_near
+                err_log[outside] = np.inf
+            else:
+                log_exact, err_exact = self._fallback_values(
+                    surf, widths[outside], densities[outside], fallback, mc_samples
+                )
+                log_p = log_p.copy()
+                err_log = err_log.copy()
+                log_p[outside] = log_exact
+                err_log[outside] = err_exact
 
+        check_finite(log_p, "serving.query.log_failure", allow_inf=True)
         p = np.exp(np.minimum(log_p, 0.0))
         p_lower = np.exp(np.minimum(log_p - err_log, 0.0))
         p_upper = np.minimum(np.exp(log_p + err_log), 1.0)
@@ -223,6 +331,8 @@ class YieldService:
         yield_upper = yield_from_uniform_failure_probability_array(p_lower, counts)
 
         self.queries_served += int(widths.size)
+        if degradation:
+            self.degraded_queries += 1
         return QueryResult(
             scenario=surf.scenario,
             failure_probability=p,
@@ -232,6 +342,8 @@ class YieldService:
             yield_lower=yield_lower,
             yield_upper=yield_upper,
             interpolated=in_grid,
+            degraded=bool(degradation),
+            degradation=tuple(degradation) if degradation else ("none",),
         )
 
     # ------------------------------------------------------------------

@@ -336,13 +336,94 @@ class BuildReport:
 
 
 class SurfaceBuilder:
-    """Runs a :class:`SweepSpec` to a persisted-ready :class:`YieldSurface`."""
+    """Runs a :class:`SweepSpec` to a persisted-ready :class:`YieldSurface`.
 
-    def __init__(self, spec: Optional[SweepSpec] = None) -> None:
+    Parameters
+    ----------
+    spec:
+        The sweep to run (defaults to :class:`SweepSpec`).
+    checkpoint_dir:
+        When given, the evaluator's point cache persists under this
+        directory after every refinement round (content-hashed, written
+        atomically).  A rerun of the same spec resumes from the last
+        verified snapshot: every cached grid point replays instead of
+        re-evaluating, and because refinement decisions are deterministic
+        functions of the point values, the resumed surface is bitwise
+        identical (same content hash) to an uninterrupted build.
+    resume:
+        Whether an existing checkpoint for this spec is loaded (default)
+        or discarded first.
+    """
+
+    def __init__(
+        self,
+        spec: Optional[SweepSpec] = None,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = True,
+    ) -> None:
         self.spec = spec or SweepSpec()
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
 
     def build(self) -> YieldSurface:
         return self.build_report().surface
+
+    def _open_checkpoint(self):
+        """Open this spec's sweep campaign, or ``None`` when not checkpointing."""
+        if self.checkpoint_dir is None:
+            return None
+        from repro.resilience.checkpoint import CheckpointStore, fingerprint_parts
+
+        spec = self.spec
+        fingerprint = fingerprint_parts(
+            "surface-sweep",
+            spec.scenario,
+            spec.width_axis.values,
+            spec.density_axis.values,
+            pitch_descriptor(spec.pitch),
+            float(spec.per_cnt_failure),
+            dataclasses.asdict(spec.correlation),
+            spec.resolved_method,
+            float(spec.tolerance_log),
+            int(spec.max_refinement_rounds),
+            float(spec.safety_factor),
+            int(spec.mc_samples),
+            int(spec.seed),
+        )
+        return CheckpointStore(self.checkpoint_dir).campaign(
+            f"sweep-{spec.scenario}",
+            fingerprint,
+            spec.max_refinement_rounds + 1,
+            resume=self.resume,
+        )
+
+    @staticmethod
+    def _restore_cache(evaluator: ExactEvaluator, checkpoint) -> None:
+        """Preload the evaluator cache from the latest verified snapshot."""
+        units = checkpoint.verified_units()
+        if not units:
+            return
+        arrays, _meta = units[max(units)]
+        for w, d, v, e in zip(
+            arrays["key_w"], arrays["key_d"], arrays["value"], arrays["error"]
+        ):
+            evaluator._cache[(float(w), float(d))] = (float(v), float(e))
+
+    @staticmethod
+    def _snapshot_cache(evaluator: ExactEvaluator, checkpoint, unit: int) -> None:
+        """Persist the evaluator cache as the round-``unit`` snapshot."""
+        keys = list(evaluator._cache)
+        values = [evaluator._cache[k] for k in keys]
+        checkpoint.save_unit(
+            unit,
+            arrays={
+                "key_w": np.array([k[0] for k in keys], dtype=float),
+                "key_d": np.array([k[1] for k in keys], dtype=float),
+                "value": np.array([v[0] for v in values], dtype=float),
+                "error": np.array([v[1] for v in values], dtype=float),
+            },
+            meta={"round": int(unit), "points": len(keys)},
+        )
 
     def build_report(self) -> BuildReport:
         spec = self.spec
@@ -355,12 +436,17 @@ class SurfaceBuilder:
             mc_samples=spec.mc_samples,
             seed=spec.seed,
         )
+        checkpoint = self._open_checkpoint()
+        if checkpoint is not None:
+            self._restore_cache(evaluator, checkpoint)
         w_axis, d_axis = spec.width_axis, spec.density_axis
         rounds = 0
         while True:
             values, stat_se, cell_err, cell_noise = self._sweep_once(
                 evaluator, w_axis, d_axis
             )
+            if checkpoint is not None:
+                self._snapshot_cache(evaluator, checkpoint, rounds)
             # cell_err carries the safety factor, so the statistical gate
             # must scale its noise allowance identically: a residual that
             # is REFINE_NOISE_SIGMA probe-SEs of pure noise would show up

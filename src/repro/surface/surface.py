@@ -31,6 +31,9 @@ from typing import Dict, List, Union
 
 import numpy as np
 
+from repro.resilience.atomic import atomic_write_bytes
+from repro.resilience.checkpoint import CorruptArtifactError
+
 #: On-disk format version; bumped on any incompatible layout change.
 SURFACE_FORMAT_VERSION = 1
 
@@ -192,9 +195,12 @@ class YieldSurface:
     # ------------------------------------------------------------------
 
     def save(self, path: Union[str, Path]) -> Path:
-        """Write the artifact as one ``.npz`` (arrays + metadata JSON)."""
+        """Write the artifact as one ``.npz`` (arrays + metadata JSON).
+
+        The write is atomic (temp file + rename), so a crash mid-save
+        never leaves a truncated artifact at the destination.
+        """
         path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
         buffer = io.BytesIO()
         np.savez(
             buffer,
@@ -203,7 +209,7 @@ class YieldSurface:
             ),
             **{name: getattr(self, name) for name in _ARRAY_FIELDS},
         )
-        path.write_bytes(buffer.getvalue())
+        atomic_write_bytes(path, buffer.getvalue())
         return path
 
     @classmethod
@@ -234,18 +240,29 @@ class SurfaceStore:
     identifies artifacts without opening them; re-saving an identical
     surface is a no-op (content-addressed storage is naturally
     idempotent).
+
+    Loads are verified by default: the loaded surface's recomputed
+    content hash must match the hash embedded in the filename.  A
+    mismatch — or an artifact that fails to decode at all — moves the
+    file into ``<root>/quarantine/`` and raises
+    :class:`~repro.resilience.checkpoint.CorruptArtifactError`, so a
+    corrupt artifact is never served and never poisons a later load.
     """
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(self, root: Union[str, Path], verify: bool = True) -> None:
         self.root = Path(root)
+        self.verify = bool(verify)
+        self.quarantined: List[Path] = []
 
     def save(self, surface: YieldSurface) -> Path:
+        """Persist a surface under its content key (idempotent)."""
         path = self.root / f"{surface.key}.npz"
         if not path.exists():
             surface.save(path)
         return path
 
     def keys(self) -> List[str]:
+        """Sorted keys of every artifact currently in the store."""
         if not self.root.is_dir():
             return []
         return sorted(p.stem for p in self.root.glob("*.npz"))
@@ -259,5 +276,34 @@ class SurfaceStore:
             raise KeyError(f"ambiguous surface key {key!r}: {matches}")
         return self.root / f"{matches[0]}.npz"
 
+    def _quarantine(self, path: Path) -> Path:
+        """Move a corrupt artifact out of the served namespace."""
+        quarantine = self.root / "quarantine"
+        quarantine.mkdir(parents=True, exist_ok=True)
+        target = quarantine / path.name
+        path.replace(target)
+        self.quarantined.append(target)
+        return target
+
     def load(self, key: str) -> YieldSurface:
-        return YieldSurface.load(self.path_for(key))
+        """Load a surface, quarantining it if it fails verification."""
+        path = self.path_for(key)
+        try:
+            surface = YieldSurface.load(path)
+        except Exception as exc:
+            target = self._quarantine(path)
+            raise CorruptArtifactError(
+                f"surface artifact {path.name} failed to decode "
+                f"({exc}); quarantined to {target}"
+            ) from exc
+        if self.verify:
+            expected = path.stem.rsplit("-", 1)[-1]
+            actual = surface.content_hash[: len(expected)]
+            if actual != expected:
+                target = self._quarantine(path)
+                raise CorruptArtifactError(
+                    f"surface artifact {path.name} content hash {actual} "
+                    f"does not match its filename ({expected}); "
+                    f"quarantined to {target}"
+                )
+        return surface

@@ -1,0 +1,188 @@
+"""Tests for the small resilience primitives: atomic IO, guards, faults,
+circuit breaker, and deadlines."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.resilience import (
+    CircuitBreaker,
+    Deadline,
+    FaultPlan,
+    NumericalGuardError,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    check_finite,
+    check_probabilities,
+    corrupt_file,
+    sha256_bytes,
+    sha256_file,
+)
+
+
+class TestAtomicWrites:
+    def test_bytes_round_trip(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "blob.bin"
+        atomic_write_bytes(path, b"\x00\x01payload")
+        assert path.read_bytes() == b"\x00\x01payload"
+
+    def test_no_temp_debris_after_write(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_json(path, {"a": 1})
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_json_round_trips_exactly(self, tmp_path):
+        payload = {"x": 0.1 + 0.2, "inf": float("inf"), "n": [1, 2]}
+        path = tmp_path / "out.json"
+        atomic_write_json(path, payload)
+        loaded = json.loads(path.read_text())
+        assert loaded["x"] == payload["x"]
+        assert loaded["inf"] == float("inf")
+
+    def test_text_write(self, tmp_path):
+        path = tmp_path / "t.txt"
+        atomic_write_text(path, "hello\n")
+        assert path.read_text() == "hello\n"
+
+    def test_overwrite_replaces_atomically(self, tmp_path):
+        path = tmp_path / "f.bin"
+        atomic_write_bytes(path, b"old")
+        atomic_write_bytes(path, b"new")
+        assert path.read_bytes() == b"new"
+
+    def test_sha256_file_matches_bytes(self, tmp_path):
+        data = os.urandom(3 * 1024 * 1024)  # spans several stream chunks
+        path = tmp_path / "big.bin"
+        path.write_bytes(data)
+        assert sha256_file(path) == sha256_bytes(data)
+
+
+class TestGuards:
+    def test_finite_array_passes(self):
+        check_finite(np.array([1.0, -2.0, 0.0]), "ctx")
+
+    def test_nan_raises_with_context(self):
+        with pytest.raises(NumericalGuardError) as err:
+            check_finite(np.array([1.0, np.nan, np.nan]), "stage.x")
+        assert err.value.context == "stage.x"
+        assert err.value.kind == "nan"
+        assert err.value.count == 2
+        assert "2/3" in str(err.value)
+
+    def test_inf_raises_unless_allowed(self):
+        values = np.array([1.0, np.inf])
+        with pytest.raises(NumericalGuardError):
+            check_finite(values, "ctx")
+        check_finite(values, "ctx", allow_inf=True)
+
+    def test_nan_still_raises_when_inf_allowed(self):
+        with pytest.raises(NumericalGuardError):
+            check_finite(np.array([np.nan, np.inf]), "ctx", allow_inf=True)
+
+    def test_probabilities_in_range_pass(self):
+        check_probabilities(np.array([0.0, 0.5, 1.0]), "ctx")
+
+    def test_negative_probability_raises(self):
+        with pytest.raises(NumericalGuardError) as err:
+            check_probabilities(np.array([-1e-9, 0.5]), "ctx")
+        assert err.value.kind == "negative"
+
+    def test_above_one_raises(self):
+        with pytest.raises(NumericalGuardError) as err:
+            check_probabilities(np.array([0.5, 1.0 + 1e-9]), "ctx")
+        assert err.value.kind == "above_one"
+
+    def test_upper_none_skips_bound(self):
+        check_probabilities(np.array([0.5, 7.0]), "ctx", upper=None)
+
+
+class TestFaultPlan:
+    def test_decisions_are_deterministic(self):
+        a = FaultPlan(seed=7, kill_probability=0.5)
+        b = FaultPlan(seed=7, kill_probability=0.5)
+        decisions = [(u, t) for u in range(20) for t in range(3)]
+        assert [a.should_kill(u, t) for u, t in decisions] == [
+            b.should_kill(u, t) for u, t in decisions
+        ]
+
+    def test_seed_changes_decisions(self):
+        a = FaultPlan(seed=7, kill_probability=0.5)
+        b = FaultPlan(seed=8, kill_probability=0.5)
+        decisions = [(u, 0) for u in range(64)]
+        assert [a.should_kill(*d) for d in decisions] != [
+            b.should_kill(*d) for d in decisions
+        ]
+
+    def test_targeted_kill_respects_attempt_budget(self):
+        plan = FaultPlan(kill_units=(3,), kill_attempts=2)
+        assert plan.should_kill(3, 0) and plan.should_kill(3, 1)
+        assert not plan.should_kill(3, 2)
+        assert not plan.should_kill(4, 0)
+
+    def test_delay_only_on_selected_units(self):
+        plan = FaultPlan(delay_units=(1,), delay_s=0.25)
+        assert plan.delay_for(1, 0) == 0.25
+        assert plan.delay_for(0, 0) == 0.0
+
+    def test_nan_units(self):
+        plan = FaultPlan(nan_units=(2,))
+        assert plan.should_inject_nan(2, 0)
+        assert not plan.should_inject_nan(1, 0)
+
+    def test_corrupt_file_is_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.bin", tmp_path / "b.bin"
+        a.write_bytes(bytes(range(256)) * 8)
+        b.write_bytes(bytes(range(256)) * 8)
+        corrupt_file(a, seed=5)
+        corrupt_file(b, seed=5)
+        assert a.read_bytes() == b.read_bytes()
+        assert a.read_bytes() != bytes(range(256)) * 8
+
+
+class TestCircuitBreaker:
+    def test_opens_at_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=60.0)
+        breaker.record_failure()
+        assert breaker.allow()
+        breaker.record_failure()
+        assert not breaker.allow()
+
+    def test_success_resets(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=60.0)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.allow()
+
+    def test_half_open_after_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=0.0)
+        breaker.record_failure()
+        assert breaker.allow()  # cooldown of 0 s elapses immediately
+
+    def test_stats_shape(self):
+        stats = CircuitBreaker().stats()
+        assert set(stats) == {
+            "failures", "open", "failure_threshold", "cooldown_s"
+        }
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+
+class TestDeadline:
+    def test_unbounded_never_expires(self):
+        deadline = Deadline(None)
+        assert deadline.remaining() == float("inf")
+        assert not deadline.expired
+
+    def test_zero_budget_is_expired(self):
+        assert Deadline(0.0).expired
+
+    def test_elapsed_is_monotone(self):
+        deadline = Deadline(10.0)
+        first = deadline.elapsed()
+        assert deadline.elapsed() >= first >= 0.0

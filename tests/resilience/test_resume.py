@@ -1,0 +1,238 @@
+"""Bitwise resume-equals-uninterrupted tests for every campaign type.
+
+Each test runs a campaign to completion without checkpointing, then
+re-runs it with a deterministic mid-campaign kill (targeted fault with a
+zero retry budget), and finally resumes from the checkpoint — asserting
+the resumed result is bitwise identical to the uninterrupted one.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.cells.nangate45 import build_nangate45_library
+from repro.growth.pitch import pitch_distribution_from_cv
+from repro.growth.types import CNTTypeModel
+from repro.growth.wafer import WaferGrowthModel
+from repro.montecarlo.chip_sim import ChipMonteCarlo
+from repro.montecarlo.wafer_sim import run_chip_wafer, simulate_wafer
+from repro.netlist.design import Design
+from repro.netlist.placement import RowPlacement
+from repro.resilience import (
+    CheckpointError,
+    FaultPlan,
+    NumericalGuardError,
+    RetryPolicy,
+    SupervisorError,
+    corrupt_file,
+)
+from repro.surface.builder import SurfaceBuilder, SweepSpec
+from repro.surface.grid import GridAxis
+
+
+@pytest.fixture(scope="module")
+def chip():
+    library = build_nangate45_library()
+    design = Design("block", library)
+    for i in range(60):
+        design.add(f"u{i}", "INV_X1" if i % 2 == 0 else "NAND2_X1")
+    placement = RowPlacement(design, row_width_nm=10_000.0)
+    return ChipMonteCarlo(placement)
+
+
+@pytest.fixture(scope="module")
+def wafer():
+    model = WaferGrowthModel(wafer_diameter_mm=100.0, die_size_mm=25.0)
+    return model.generate(np.random.default_rng(5), seed_key=(5,))
+
+
+@pytest.fixture(scope="module")
+def pitch():
+    return pitch_distribution_from_cv(4.0, 1.0)
+
+
+@pytest.fixture(scope="module")
+def type_model():
+    return CNTTypeModel(
+        metallic_fraction=1.0 / 3.0,
+        removal_prob_metallic=1.0,
+        removal_prob_semiconducting=0.30,
+    )
+
+
+def _chip_fields(result):
+    return dataclasses.asdict(result)
+
+
+class TestChipResume:
+    N_TRIALS = 96
+    CHUNK = 16  # six units per campaign
+
+    def _run(self, chip, **kwargs):
+        rng = np.random.default_rng(42)
+        return chip.run(
+            self.N_TRIALS, rng, trial_chunk=self.CHUNK, **kwargs
+        )
+
+    def test_checkpointed_run_matches_plain(self, chip, tmp_path):
+        plain = self._run(chip)
+        checkpointed = self._run(chip, checkpoint_dir=str(tmp_path))
+        assert _chip_fields(checkpointed) == _chip_fields(plain)
+
+    def test_kill_then_resume_is_bitwise_identical(self, chip, tmp_path):
+        plain = self._run(chip)
+        with pytest.raises(SupervisorError):
+            self._run(
+                chip,
+                checkpoint_dir=str(tmp_path),
+                policy=RetryPolicy(max_retries=0, backoff_s=0.0),
+                faults=FaultPlan(kill_units=(3,), kill_attempts=1),
+            )
+        resumed = self._run(chip, checkpoint_dir=str(tmp_path), resume=True)
+        assert _chip_fields(resumed) == _chip_fields(plain)
+
+    def test_corrupt_unit_recomputed_bitwise(self, chip, tmp_path):
+        plain = self._run(chip)
+        self._run(chip, checkpoint_dir=str(tmp_path))
+        units = sorted((tmp_path / "chip-naive" / "units").glob("*.npz"))
+        assert units
+        corrupt_file(units[2], seed=11)
+        resumed = self._run(chip, checkpoint_dir=str(tmp_path))
+        assert _chip_fields(resumed) == _chip_fields(plain)
+        assert list((tmp_path / "chip-naive" / "quarantine").glob("*.npz"))
+
+    def test_different_campaign_fingerprint_rejected(self, chip, tmp_path):
+        self._run(chip, checkpoint_dir=str(tmp_path))
+        rng = np.random.default_rng(43)  # different seed, same directory
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            chip.run(
+                self.N_TRIALS,
+                rng,
+                trial_chunk=self.CHUNK,
+                checkpoint_dir=str(tmp_path),
+            )
+
+    def test_nan_injection_trips_numerical_guard(self, chip, tmp_path):
+        with pytest.raises(NumericalGuardError) as err:
+            self._run(
+                chip,
+                checkpoint_dir=str(tmp_path),
+                faults=FaultPlan(nan_units=(1,)),
+            )
+        assert err.value.kind == "nan"
+
+
+class TestWaferResume:
+    def _run(self, wafer, pitch, type_model, **kwargs):
+        return simulate_wafer(
+            wafer,
+            pitch,
+            type_model,
+            widths_nm=[200.0],
+            device_counts=[1.0e6],
+            n_trials=64,
+            seed_key=(5,),
+            **kwargs,
+        )
+
+    def test_kill_then_resume_is_bitwise_identical(
+        self, wafer, pitch, type_model, tmp_path
+    ):
+        plain = self._run(wafer, pitch, type_model)
+        with pytest.raises(SupervisorError):
+            self._run(
+                wafer,
+                pitch,
+                type_model,
+                checkpoint_dir=str(tmp_path),
+                policy=RetryPolicy(max_retries=0, backoff_s=0.0),
+                faults=FaultPlan(kill_units=(1,), kill_attempts=1),
+            )
+        resumed = self._run(
+            wafer, pitch, type_model, checkpoint_dir=str(tmp_path)
+        )
+        assert resumed.dice == plain.dice
+
+    def test_checkpointed_matches_plain(
+        self, wafer, pitch, type_model, tmp_path
+    ):
+        plain = self._run(wafer, pitch, type_model)
+        checkpointed = self._run(
+            wafer, pitch, type_model, checkpoint_dir=str(tmp_path)
+        )
+        assert checkpointed.dice == plain.dice
+
+
+class TestChipWaferResume:
+    def _run(self, wafer, chip, **kwargs):
+        return run_chip_wafer(
+            wafer, chip, n_trials=16, seed_key=(5,), **kwargs
+        )
+
+    def test_kill_then_resume_is_bitwise_identical(
+        self, wafer, chip, tmp_path
+    ):
+        plain = self._run(wafer, chip)
+        with pytest.raises(SupervisorError):
+            self._run(
+                wafer,
+                chip,
+                checkpoint_dir=str(tmp_path),
+                policy=RetryPolicy(max_retries=0, backoff_s=0.0),
+                faults=FaultPlan(kill_units=(2,), kill_attempts=1),
+            )
+        resumed = self._run(wafer, chip, checkpoint_dir=str(tmp_path))
+        assert resumed.dice == plain.dice
+
+
+class TestSweepResume:
+    SPEC = dict(
+        scenario="uncorrelated",
+        max_refinement_rounds=1,
+    )
+
+    def _spec(self):
+        return SweepSpec(
+            width_axis=GridAxis.from_range("width_nm", 200.0, 400.0, 4),
+            density_axis=GridAxis.from_range(
+                "cnt_density_per_um", 0.15, 0.35, 4
+            ),
+            **self.SPEC,
+        )
+
+    def test_resume_replays_without_evaluations(self, tmp_path):
+        plain = SurfaceBuilder(self._spec()).build_report()
+        first = SurfaceBuilder(
+            self._spec(), checkpoint_dir=str(tmp_path)
+        ).build_report()
+        resumed = SurfaceBuilder(
+            self._spec(), checkpoint_dir=str(tmp_path)
+        ).build_report()
+        assert first.surface.content_hash == plain.surface.content_hash
+        assert resumed.surface.content_hash == plain.surface.content_hash
+        assert resumed.evaluations == 0
+
+    def test_corrupt_snapshot_quarantined_and_rebuilt(self, tmp_path):
+        plain = SurfaceBuilder(self._spec()).build_report()
+        SurfaceBuilder(
+            self._spec(), checkpoint_dir=str(tmp_path)
+        ).build_report()
+        campaign_dir = tmp_path / "sweep-uncorrelated"
+        units = sorted((campaign_dir / "units").glob("*.npz"))
+        assert units
+        corrupt_file(units[-1], seed=3)
+        rebuilt = SurfaceBuilder(
+            self._spec(), checkpoint_dir=str(tmp_path)
+        ).build_report()
+        assert rebuilt.surface.content_hash == plain.surface.content_hash
+        assert list((campaign_dir / "quarantine").glob("*.npz"))
+
+    def test_resume_false_recomputes(self, tmp_path):
+        first = SurfaceBuilder(
+            self._spec(), checkpoint_dir=str(tmp_path)
+        ).build_report()
+        fresh = SurfaceBuilder(
+            self._spec(), checkpoint_dir=str(tmp_path), resume=False
+        ).build_report()
+        assert fresh.evaluations == first.evaluations > 0

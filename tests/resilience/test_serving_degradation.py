@@ -1,0 +1,155 @@
+"""Chaos tests for graceful-degradation serving: corrupt artifacts,
+stale-cache fallback, circuit breaking, and deadline clamping."""
+
+import numpy as np
+import pytest
+
+from repro.resilience import CircuitBreaker, CorruptArtifactError, corrupt_file
+from repro.serving.service import YieldService
+from repro.surface.builder import SurfaceBuilder, SweepSpec
+from repro.surface.grid import GridAxis
+from repro.surface.surface import SurfaceStore
+
+
+@pytest.fixture(scope="module")
+def surface():
+    spec = SweepSpec(
+        scenario="uncorrelated",
+        width_axis=GridAxis.from_range("width_nm", 200.0, 400.0, 4),
+        density_axis=GridAxis.from_range("cnt_density_per_um", 0.15, 0.35, 4),
+        max_refinement_rounds=1,
+    )
+    return SurfaceBuilder(spec).build()
+
+
+WIDTHS = np.array([250.0, 330.0])
+DENSITIES = np.array([0.25, 0.30])
+
+
+class TestCorruptArtifacts:
+    def test_store_load_quarantines_and_raises(self, surface, tmp_path):
+        store = SurfaceStore(tmp_path)
+        path = store.save(surface)
+        corrupt_file(path, seed=1)
+        with pytest.raises(CorruptArtifactError, match="quarantined"):
+            store.load(surface.key)
+        assert store.quarantined
+        assert not path.exists()
+        assert (tmp_path / "quarantine" / path.name).exists()
+
+    def test_quarantined_artifact_never_served_again(self, surface, tmp_path):
+        store = SurfaceStore(tmp_path)
+        path = store.save(surface)
+        corrupt_file(path, seed=1)
+        with pytest.raises(CorruptArtifactError):
+            store.load(surface.key)
+        with pytest.raises(KeyError):
+            store.load(surface.key)
+
+    def test_hash_mismatch_detected_for_decodable_corruption(
+        self, surface, tmp_path
+    ):
+        # A renamed-but-valid artifact decodes fine; only the content
+        # hash check can catch it.
+        store = SurfaceStore(tmp_path)
+        good = store.save(surface)
+        forged = tmp_path / f"{surface.scenario}-{'0' * 12}.npz"
+        forged.write_bytes(good.read_bytes())
+        with pytest.raises(CorruptArtifactError, match="content hash"):
+            store.load(forged.stem)
+
+    def test_verify_false_skips_hash_check(self, surface, tmp_path):
+        store = SurfaceStore(tmp_path, verify=False)
+        good = store.save(surface)
+        forged = tmp_path / f"{surface.scenario}-{'0' * 12}.npz"
+        forged.write_bytes(good.read_bytes())
+        loaded = store.load(forged.stem)
+        assert loaded.content_hash == surface.content_hash
+
+
+class TestStaleCacheServing:
+    def test_corrupt_store_falls_back_to_stale_copy(self, surface, tmp_path):
+        store = SurfaceStore(tmp_path)
+        path = store.save(surface)
+        service = YieldService(store=SurfaceStore(tmp_path), cache_capacity=1)
+        healthy = service.query(surface.key, WIDTHS, DENSITIES)
+        assert not healthy.degraded
+
+        corrupt_file(path, seed=2)
+        service.cache.put("filler", surface)  # evict the key from the LRU
+        degraded = service.query(surface.key, WIDTHS, DENSITIES)
+        assert degraded.degraded
+        assert degraded.degradation == ("stale_cache",)
+        np.testing.assert_array_equal(
+            degraded.failure_probability, healthy.failure_probability
+        )
+
+    def test_no_stale_copy_raises_corrupt_artifact(self, surface, tmp_path):
+        store = SurfaceStore(tmp_path)
+        path = store.save(surface)
+        corrupt_file(path, seed=3)
+        service = YieldService(store=SurfaceStore(tmp_path))
+        with pytest.raises(CorruptArtifactError):
+            service.query(surface.key, WIDTHS, DENSITIES)
+        assert service.breaker.stats()["failures"] == 1
+
+    def test_open_breaker_skips_store_entirely(self, surface, tmp_path):
+        store = SurfaceStore(tmp_path)
+        store.save(surface)
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=3600.0)
+        service = YieldService(
+            store=SurfaceStore(tmp_path), cache_capacity=1, breaker=breaker
+        )
+        healthy = service.query(surface.key, WIDTHS, DENSITIES)
+        breaker.record_failure()  # breaker opens; store must not be touched
+        service.cache.put("filler", surface)
+        result = service.query(surface.key, WIDTHS, DENSITIES)
+        assert result.degradation == ("stale_cache",)
+        np.testing.assert_array_equal(
+            result.failure_probability, healthy.failure_probability
+        )
+
+    def test_degraded_query_counter(self, surface, tmp_path):
+        store = SurfaceStore(tmp_path)
+        path = store.save(surface)
+        service = YieldService(store=SurfaceStore(tmp_path), cache_capacity=1)
+        service.query(surface.key, WIDTHS, DENSITIES)
+        assert service.degraded_queries == 0
+        corrupt_file(path, seed=4)
+        service.cache.put("filler", surface)
+        service.query(surface.key, WIDTHS, DENSITIES)
+        assert service.degraded_queries == 1
+
+
+class TestDeadlineClamping:
+    def test_expired_deadline_clamps_out_of_grid(self, surface):
+        service = YieldService()
+        key = service.register(surface)
+        widths = np.array([150.0, 250.0])  # first is out of grid
+        densities = np.array([0.25, 0.25])
+        exact = service.query(key, widths, densities)
+        clamped = service.query(key, widths, densities, deadline_s=0.0)
+        assert clamped.degradation == ("deadline_clamped",)
+        # Out-of-grid entry gets the trivially correct [0, 1] bounds.
+        assert clamped.failure_lower[0] == 0.0
+        assert clamped.failure_upper[0] == 1.0
+        # The in-grid entry is untouched by the clamp.
+        np.testing.assert_allclose(
+            clamped.failure_probability[1], exact.failure_probability[1]
+        )
+        assert clamped.bounds_contain(exact.failure_probability).all()
+
+    def test_unbounded_deadline_stays_exact(self, surface):
+        service = YieldService()
+        key = service.register(surface)
+        result = service.query(
+            key, np.array([150.0]), np.array([0.25]), deadline_s=None
+        )
+        assert not result.degraded
+        assert result.degradation == ("none",)
+
+    def test_in_grid_queries_never_clamp(self, surface):
+        service = YieldService(deadline_s=0.0)
+        key = service.register(surface)
+        result = service.query(key, WIDTHS, DENSITIES)
+        assert not result.degraded

@@ -60,3 +60,88 @@ class TestLRUCache:
         assert stats["hits"] == 1 and stats["misses"] == 1
         assert stats["hit_rate"] == pytest.approx(0.5)
         assert stats["size"] == 1 and stats["capacity"] == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_misses_run_loader_once(self):
+        import threading
+        import time
+
+        cache = LRUCache(capacity=4)
+        calls = []
+        started = threading.Barrier(6)
+
+        def loader():
+            calls.append(1)
+            time.sleep(0.05)
+            return "value"
+
+        results = []
+
+        def worker():
+            started.wait()
+            results.append(cache.get("k", loader))
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(calls) == 1
+        assert results == ["value"] * 6
+
+    def test_failing_loader_propagates_to_all_waiters(self):
+        import threading
+        import time
+
+        cache = LRUCache(capacity=4)
+        calls = []
+        errors = []
+
+        def loader():
+            calls.append(1)
+            time.sleep(0.02)
+            raise RuntimeError("disk on fire")
+
+        def worker():
+            try:
+                cache.get("bad", loader)
+            except RuntimeError as exc:
+                errors.append(str(exc))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(calls) == 1
+        assert errors == ["disk on fire"] * 4
+        assert "bad" not in cache  # failed loads must not cache
+
+    def test_failed_key_can_be_retried(self):
+        cache = LRUCache(capacity=4)
+
+        def boom():
+            raise RuntimeError("once")
+
+        with pytest.raises(RuntimeError):
+            cache.get("k", boom)
+        assert cache.get("k", lambda: 42) == 42
+
+    def test_concurrent_puts_respect_capacity(self):
+        import threading
+
+        cache = LRUCache(capacity=8)
+
+        def worker(base):
+            for i in range(50):
+                cache.put(f"{base}-{i}", i)
+
+        threads = [
+            threading.Thread(target=worker, args=(n,)) for n in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(cache) <= 8

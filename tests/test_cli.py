@@ -322,3 +322,113 @@ class TestWaferFieldOptions:
         for a, b in zip(shared["dice"], loop["dice"]):
             assert a["chip_yield"] == b["chip_yield"]
             assert a["mean_failing_devices"] == b["mean_failing_devices"]
+
+
+class TestUsageErrors:
+    """Semantic usage errors must exit 2 with a one-line message."""
+
+    def test_resume_without_checkpoint_dir(self, capsys):
+        exit_code = main(["wafer", "--resume", "--trials", "8"])
+        err = capsys.readouterr().err
+        assert exit_code == 2
+        assert err.startswith("error: ")
+        assert "--resume requires --checkpoint-dir" in err
+        assert err.count("\n") == 1  # exactly one line
+
+    def test_checkpoint_dir_is_a_file(self, capsys, tmp_path):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("occupied")
+        exit_code = main([
+            "wafer", "--trials", "8", "--checkpoint-dir", str(blocker),
+        ])
+        err = capsys.readouterr().err
+        assert exit_code == 2
+        assert "not a directory" in err
+
+    def test_resume_from_nonexistent_checkpoint_dir(self, capsys, tmp_path):
+        exit_code = main([
+            "sweep", "--scenario", "device",
+            "--checkpoint-dir", str(tmp_path / "missing"), "--resume",
+        ])
+        err = capsys.readouterr().err
+        assert exit_code == 2
+        assert "does not exist" in err
+
+    def test_query_nonexistent_store_exits_two(self, capsys, tmp_path):
+        exit_code = main([
+            "query", "--store", str(tmp_path / "missing"),
+            "--key", "device", "--width-nm", "250",
+        ])
+        err = capsys.readouterr().err
+        assert exit_code == 2
+        assert "does not exist" in err
+
+    def test_query_store_is_a_file_exits_two(self, capsys, tmp_path):
+        blocker = tmp_path / "store-file"
+        blocker.write_text("occupied")
+        exit_code = main([
+            "query", "--store", str(blocker),
+            "--key", "device", "--width-nm", "250",
+        ])
+        err = capsys.readouterr().err
+        assert exit_code == 2
+        assert "not a directory" in err
+
+    def test_chip_wafer_usage_errors_share_the_contract(self, capsys):
+        exit_code = main(["chip-wafer", "--resume", "--trials", "8"])
+        err = capsys.readouterr().err
+        assert exit_code == 2
+        assert "--resume requires --checkpoint-dir" in err
+
+
+class TestCheckpointedCommands:
+    def test_wafer_checkpoint_resume_identical(self, capsys, tmp_path):
+        common = [
+            "wafer", "--trials", "16", "--die-size-mm", "25", "--json",
+        ]
+        assert main(common) == 0
+        plain = json.loads(capsys.readouterr().out)
+        ck = ["--checkpoint-dir", str(tmp_path / "ck")]
+        assert main(common + ck) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(common + ck + ["--resume"]) == 0
+        resumed = json.loads(capsys.readouterr().out)
+        assert first == plain
+        assert resumed == plain
+        assert (tmp_path / "ck" / "wafer" / "manifest.json").exists()
+
+    def test_sweep_checkpoint_resume_replays(self, capsys, tmp_path):
+        common = [
+            "sweep", "--scenario", "device",
+            "--w-min", "150", "--w-max", "300", "--w-points", "5",
+            "--density-min", "200", "--density-max", "300",
+            "--density-points", "5", "--max-refinement-rounds", "1",
+            "--json", "--checkpoint-dir", str(tmp_path / "ck"),
+        ]
+        assert main(common + ["--out", str(tmp_path / "s1")]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(
+            common + ["--out", str(tmp_path / "s2"), "--resume"]
+        ) == 0
+        resumed = json.loads(capsys.readouterr().out)
+        assert first["surfaces"] == resumed["surfaces"]
+        assert first["evaluations"][0] > 0
+        assert resumed["evaluations"] == [0]
+
+    def test_query_reports_degradation_field(self, capsys, tmp_path):
+        sweep = [
+            "sweep", "--scenario", "device",
+            "--w-min", "150", "--w-max", "300", "--w-points", "5",
+            "--density-min", "200", "--density-max", "300",
+            "--density-points", "5", "--max-refinement-rounds", "1",
+            "--out", str(tmp_path / "store"), "--json",
+        ]
+        assert main(sweep) == 0
+        capsys.readouterr()
+        assert main([
+            "query", "--store", str(tmp_path / "store"),
+            "--key", "device", "--width-nm", "200,250", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["degraded"] is False
+        assert payload["degradation"] == ["none"]

@@ -19,6 +19,7 @@ AUDITED_PATHS = (
     REPO / "src" / "repro" / "growth",
     REPO / "src" / "repro" / "backend",
     REPO / "src" / "repro" / "montecarlo" / "wafer_sim.py",
+    REPO / "src" / "repro" / "resilience",
 )
 
 
