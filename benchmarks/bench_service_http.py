@@ -1,0 +1,369 @@
+"""Load test of the network-facing yield service (HTTP/ASGI tier).
+
+Boots ``python -m repro.cli serve`` as a real subprocess over a
+freshly-built device surface, drives ``POST /v1/query`` with persistent
+keep-alive connections, and writes ``BENCH_service_http.json`` at the
+repository root.  Three headline checks:
+
+* **throughput** — at least 1e4 served yield queries/sec through the
+  full network stack (HTTP parse, JSON validation, interpolation,
+  bounds transform, JSON encode).  The API is batched, so the floor is
+  on query *points* per second — the unit the co-optimization inner
+  loop consumes — with the raw HTTP request rate recorded alongside;
+* **latency** — client-observed p99 within the latency budget;
+* **correctness** — the bounds on the wire are identical (after the
+  JSON float round-trip) to the in-process
+  :meth:`~repro.serving.service.YieldService.query` answer for the same
+  batch.
+
+Runs as a pytest test (``pytest benchmarks/bench_service_http.py``) or
+standalone (``python benchmarks/bench_service_http.py [--quick]``).
+Set ``REPRO_BENCH_QUICK=1`` for the CI smoke configuration.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src"
+if str(SRC_ROOT) not in sys.path:
+    sys.path.insert(0, str(SRC_ROOT))
+
+from repro.core.calibration import CalibratedSetup  # noqa: E402
+from repro.growth.pitch import pitch_distribution_from_cv  # noqa: E402
+from repro.resilience.atomic import atomic_write_json  # noqa: E402
+from repro.serving import YieldService  # noqa: E402
+from repro.surface import (  # noqa: E402
+    GridAxis,
+    SurfaceBuilder,
+    SurfaceStore,
+    SweepSpec,
+)
+
+RESULT_PATH = REPO_ROOT / "BENCH_service_http.json"
+
+#: Floor on batched query-point throughput through the HTTP stack.
+QUERY_THROUGHPUT_FLOOR = 1.0e4
+
+#: Client-observed p99 latency budget per request (seconds).
+P99_LATENCY_BUDGET_S = 0.050
+
+W_LOW, W_HIGH = 60.0, 300.0
+D_LOW, D_HIGH = 150.0, 400.0
+DEVICE_COUNT = 3.3e7
+
+
+def _quick_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def build_store(root: Path) -> str:
+    """Build the device surface at the calibrated operating point."""
+    setup = CalibratedSetup()
+    spec = SweepSpec(
+        scenario="device",
+        width_axis=GridAxis.from_range("width_nm", W_LOW, W_HIGH, 17),
+        density_axis=GridAxis.from_range(
+            "cnt_density_per_um", D_LOW, D_HIGH, 9
+        ),
+        pitch=pitch_distribution_from_cv(setup.mean_pitch_nm, setup.pitch_cv),
+        per_cnt_failure=setup.corner.per_cnt_failure_probability,
+        correlation=setup.correlation,
+    )
+    surface = SurfaceBuilder(spec).build()
+    store = SurfaceStore(root)
+    store.save(surface)
+    return surface.key
+
+
+def start_server(store_root: Path, port: int) -> subprocess.Popen:
+    """Boot the CLI ``serve`` subcommand and wait until it answers."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_ROOT) + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--store", str(store_root),
+            "--host", "127.0.0.1",
+            "--port", str(port),
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise RuntimeError(
+                f"server exited during startup (code {process.returncode})"
+            )
+        try:
+            status, _ = _http_once(port, b"GET", b"/healthz", b"")
+            if status == 200:
+                return process
+        except OSError:
+            time.sleep(0.05)
+    process.terminate()
+    raise RuntimeError("server did not become ready within 30s")
+
+
+def _read_response(sock: socket.socket, buffer: bytearray) -> Tuple[int, bytes]:
+    """Read one HTTP/1.1 response off a persistent connection."""
+    while b"\r\n\r\n" not in buffer:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("server closed the connection")
+        buffer += chunk
+    head_end = buffer.index(b"\r\n\r\n")
+    head = bytes(buffer[:head_end])
+    status = int(head.split(b" ", 2)[1])
+    length = 0
+    for line in head.split(b"\r\n")[1:]:
+        name, _, value = line.partition(b":")
+        if name.strip().lower() == b"content-length":
+            length = int(value.strip())
+    body_start = head_end + 4
+    while len(buffer) < body_start + length:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("server closed mid-body")
+        buffer += chunk
+    body = bytes(buffer[body_start:body_start + length])
+    del buffer[:body_start + length]
+    return status, body
+
+
+def _http_once(port: int, method: bytes, path: bytes, body: bytes) -> Tuple[int, bytes]:
+    """One short-lived request (readiness probe / correctness check)."""
+    with socket.create_connection(("127.0.0.1", port), timeout=5.0) as sock:
+        sock.sendall(
+            b"%s %s HTTP/1.1\r\nhost: bench\r\ncontent-type: application/json\r\n"
+            b"content-length: %d\r\nconnection: close\r\n\r\n%s"
+            % (method, path, len(body), body)
+        )
+        buffer = bytearray()
+        return _read_response(sock, buffer)
+
+
+def _query_body(rng: np.random.Generator, surface_key: str, batch: int) -> bytes:
+    widths = rng.uniform(W_LOW, W_HIGH, batch)
+    densities = rng.uniform(D_LOW, D_HIGH, batch)
+    return json.dumps({
+        "surface": surface_key,
+        "width_nm": widths.tolist(),
+        "cnt_density_per_um": densities.tolist(),
+        "device_count": DEVICE_COUNT,
+    }).encode("utf-8")
+
+
+def _client_worker(
+    port: int,
+    request: bytes,
+    stop_at: float,
+    latencies: List[float],
+    counters: Dict[str, int],
+    lock: threading.Lock,
+) -> None:
+    """One persistent-connection client hammering ``POST /v1/query``."""
+    local_latencies: List[float] = []
+    requests = errors = 0
+    with socket.create_connection(("127.0.0.1", port), timeout=10.0) as sock:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        buffer = bytearray()
+        while time.monotonic() < stop_at:
+            started = time.perf_counter()
+            sock.sendall(request)
+            status, _ = _read_response(sock, buffer)
+            local_latencies.append(time.perf_counter() - started)
+            requests += 1
+            if status != 200:
+                errors += 1
+    with lock:
+        latencies.extend(local_latencies)
+        counters["requests"] += requests
+        counters["errors"] += errors
+
+
+def measure_load(
+    port: int, surface_key: str, batch: int, clients: int, duration_s: float
+) -> dict:
+    """Drive the server with persistent connections; summarise latency."""
+    rng = np.random.default_rng(20100613)
+    body = _query_body(rng, surface_key, batch)
+    request = (
+        b"POST /v1/query HTTP/1.1\r\nhost: bench\r\n"
+        b"content-type: application/json\r\ncontent-length: %d\r\n\r\n%s"
+        % (len(body), body)
+    )
+    latencies: List[float] = []
+    counters = {"requests": 0, "errors": 0}
+    lock = threading.Lock()
+    stop_at = time.monotonic() + duration_s
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(
+            target=_client_worker,
+            args=(port, request, stop_at, latencies, counters, lock),
+            daemon=True,
+        )
+        for _ in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    ordered = np.sort(np.asarray(latencies)) if latencies else np.array([0.0])
+
+    def _pct(q: float) -> float:
+        return float(ordered[min(len(ordered) - 1, int(q * len(ordered)))])
+
+    return {
+        "clients": clients,
+        "batch_size": batch,
+        "duration_s": elapsed,
+        "requests": counters["requests"],
+        "errors": counters["errors"],
+        "requests_per_sec": counters["requests"] / elapsed,
+        "queries_per_sec": counters["requests"] * batch / elapsed,
+        "latency_p50_s": _pct(0.50),
+        "latency_p90_s": _pct(0.90),
+        "latency_p99_s": _pct(0.99),
+        "latency_max_s": float(ordered[-1]),
+    }
+
+
+def crosscheck_bounds(port: int, store_root: Path, surface_key: str) -> dict:
+    """Wire bounds must equal the in-process answer bit-for-bit."""
+    rng = np.random.default_rng(7)
+    widths = rng.uniform(W_LOW, W_HIGH, 16)
+    densities = rng.uniform(D_LOW, D_HIGH, 16)
+    body = json.dumps({
+        "surface": surface_key,
+        "width_nm": widths.tolist(),
+        "cnt_density_per_um": densities.tolist(),
+        "device_count": DEVICE_COUNT,
+    }).encode("utf-8")
+    status, raw = _http_once(port, b"POST", b"/v1/query", body)
+    wire = json.loads(raw)
+    service = YieldService(store=store_root)
+    local = service.query(
+        surface_key, widths, cnt_density_per_um=densities,
+        device_count=DEVICE_COUNT,
+    )
+    fields = {
+        "failure_probability": local.failure_probability,
+        "failure_lower": local.failure_lower,
+        "failure_upper": local.failure_upper,
+        "chip_yield": local.chip_yield,
+        "yield_lower": local.yield_lower,
+        "yield_upper": local.yield_upper,
+    }
+    mismatches = [
+        name for name, expected in fields.items()
+        if wire[name] != expected.tolist()
+    ]
+    return {
+        "status": status,
+        "n_points": int(widths.size),
+        "fields_checked": sorted(fields),
+        "mismatched_fields": mismatches,
+        "identical": status == 200 and not mismatches,
+    }
+
+
+def run_benchmark(batch: int, clients: int, duration_s: float) -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as tmp:
+        store_root = Path(tmp) / "surfaces"
+        surface_key = build_store(store_root)
+        port = _free_port()
+        server = start_server(store_root, port)
+        try:
+            # Warm-up: page in the surface, settle the interpreter.
+            measure_load(port, surface_key, batch, clients=1,
+                         duration_s=min(1.0, duration_s / 4))
+            load = measure_load(port, surface_key, batch, clients, duration_s)
+            crosscheck = crosscheck_bounds(port, store_root, surface_key)
+            status, raw = _http_once(port, b"GET", b"/v1/metrics", b"")
+            metrics = json.loads(raw) if status == 200 else {"status": status}
+        finally:
+            server.terminate()
+            server.wait(timeout=10.0)
+    return {
+        "benchmark": "network-facing yield service, HTTP/ASGI tier",
+        "quick_mode": _quick_mode(),
+        "surface_key": surface_key,
+        "load": load,
+        "query_throughput_floor": QUERY_THROUGHPUT_FLOOR,
+        "p99_latency_budget_s": P99_LATENCY_BUDGET_S,
+        "bounds_crosscheck": crosscheck,
+        "server_metrics": {
+            "routes": metrics.get("routes"),
+            "service": metrics.get("service"),
+        },
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+
+
+def test_service_http_throughput_and_bounds():
+    """≥1e4 queries/sec over HTTP; p99 in budget; wire == in-process."""
+    if _quick_mode():
+        record = run_benchmark(batch=32, clients=2, duration_s=3.0)
+    else:
+        record = run_benchmark(batch=32, clients=4, duration_s=10.0)
+
+    atomic_write_json(RESULT_PATH, record)
+
+    load = record["load"]
+    print(f"\n=== Yield service HTTP tier "
+          f"({'quick' if record['quick_mode'] else 'full'}) ===")
+    print(f"requests             : {load['requests']} "
+          f"({load['errors']} errors, {load['clients']} clients, "
+          f"batch {load['batch_size']})")
+    print(f"throughput           : {load['queries_per_sec']:.3e} queries/sec "
+          f"({load['requests_per_sec']:.0f} req/s; "
+          f"floor {record['query_throughput_floor']:.0e})")
+    print(f"latency              : p50 {load['latency_p50_s'] * 1e3:.2f} ms, "
+          f"p99 {load['latency_p99_s'] * 1e3:.2f} ms "
+          f"(budget {record['p99_latency_budget_s'] * 1e3:.0f} ms)")
+    print(f"bounds cross-check   : identical="
+          f"{record['bounds_crosscheck']['identical']}")
+    print(f"written              : {RESULT_PATH}")
+
+    assert load["errors"] == 0, f"{load['errors']} non-200 responses under load"
+    assert load["queries_per_sec"] >= QUERY_THROUGHPUT_FLOOR, (
+        f"HTTP query throughput {load['queries_per_sec']:.3e}/s is below "
+        f"the {QUERY_THROUGHPUT_FLOOR:.0e} floor"
+    )
+    assert load["latency_p99_s"] <= P99_LATENCY_BUDGET_S, (
+        f"p99 latency {load['latency_p99_s'] * 1e3:.1f} ms exceeds the "
+        f"{P99_LATENCY_BUDGET_S * 1e3:.0f} ms budget"
+    )
+    assert record["bounds_crosscheck"]["identical"], (
+        "wire bounds diverged from the in-process YieldService.query answer: "
+        f"{record['bounds_crosscheck']}"
+    )
+
+
+if __name__ == "__main__":
+    if "--quick" in sys.argv[1:]:
+        os.environ["REPRO_BENCH_QUICK"] = "1"
+    test_service_http_throughput_and_bounds()

@@ -49,6 +49,12 @@ without writing Python:
     Answer batched yield queries against a persisted surface through the
     serving layer (interpolation with error bounds, exact fallback).
 
+``python -m repro.cli serve``
+    Run the network-facing yield service: the asyncio HTTP/ASGI tier
+    over a surface store (batched ``POST /v1/query``, surface
+    listing/upload, metrics), optionally scaled across ``--workers``
+    processes sharing the port via ``SO_REUSEPORT``.
+
 Every sub-command accepts the calibration knobs that matter (yield target,
 pitch CV, CNT length, density) so quick what-if studies need no code, plus
 ``--json`` for machine-readable output.  The long-running campaign
@@ -840,6 +846,36 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return _emit(args, payload, lines)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.http import StoreAppFactory, run_server
+
+    store = None
+    if args.store is not None:
+        store_path = Path(args.store)
+        if not store_path.exists():
+            raise CLIUsageError(f"surface store {args.store!r} does not exist")
+        if not store_path.is_dir():
+            raise CLIUsageError(
+                f"surface store {args.store!r} is not a directory"
+            )
+        store = args.store
+    if args.workers < 1:
+        raise CLIUsageError("--workers must be at least 1")
+    if args.workers > 1 and args.port == 0:
+        raise CLIUsageError("--workers > 1 needs an explicit --port")
+    factory = StoreAppFactory(
+        store=store,
+        cache_capacity=args.cache_capacity,
+        deadline_s=args.deadline_s,
+        refine_capacity=args.refine_capacity,
+        refine_workers=args.refine_workers,
+    )
+    run_server(
+        factory, host=args.host, port=args.port, workers=args.workers
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -1002,6 +1038,31 @@ def build_parser() -> argparse.ArgumentParser:
                             "out-of-grid answers clamp to the nearest grid "
                             "point with [0, 1] bounds and the result is "
                             "flagged degraded")
+
+    serve = add_subparser(
+        "serve", _cmd_serve,
+        "run the HTTP/ASGI yield service over a surface store",
+        common=False,
+    )
+    serve.add_argument("--store", type=str, default=None,
+                       help="surface store directory to serve (omit for an "
+                            "upload-only service)")
+    serve.add_argument("--host", type=str, default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8000,
+                       help="bind port; 0 picks a free port "
+                            "(single-worker only)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker processes sharing the port via "
+                            "SO_REUSEPORT (default 1)")
+    serve.add_argument("--cache-capacity", type=int, default=8,
+                       help="surfaces held in memory per worker (default 8)")
+    serve.add_argument("--deadline-s", type=float, default=None,
+                       help="default per-query wall-clock budget")
+    serve.add_argument("--refine-capacity", type=int, default=64,
+                       help="bound on pending background MC refinement jobs")
+    serve.add_argument("--refine-workers", type=int, default=1,
+                       help="background refinement threads per worker")
 
     return parser
 

@@ -418,17 +418,22 @@ def scenario_row_failure_probabilities(
     if scenario is LayoutScenario.DIRECTIONAL_ALIGNED:
         return p.copy()
     if scenario is LayoutScenario.UNCORRELATED_GROWTH:
-        return -np.expm1(m_r * np.log1p(-p))
+        # p == 1 passes log1p(-1) = -inf through expm1; the 1.0 limit is
+        # exact, so the divide warning is noise.
+        with np.errstate(divide="ignore"):
+            return -np.expm1(m_r * np.log1p(-p))
     if scenario is LayoutScenario.DIRECTIONAL_NON_ALIGNED:
         groups = params.unaligned_offset_groups
         if groups is not None:
             effective = min(max(float(groups), 1.0), max(m_r, 1.0))
-            return -np.expm1(effective * np.log1p(-p))
+            with np.errstate(divide="ignore"):
+                return -np.expm1(effective * np.log1p(-p))
         frac = params.alignment_fraction
         if frac >= 1.0:
             return p.copy()
         if frac <= 0.0:
-            return -np.expm1(m_r * np.log1p(-p))
+            with np.errstate(divide="ignore"):
+                return -np.expm1(m_r * np.log1p(-p))
         n_dev = max(m_r, 1.0)
         with np.errstate(divide="ignore"):
             shared_fail = np.where(p > 0.0, p ** frac, 0.0)

@@ -7,10 +7,19 @@ artifact store for a cooldown period, and a :class:`Deadline` that turns
 a per-query wall-clock budget into cheap "is there time left?" checks.
 Both use :func:`time.monotonic` so wall-clock adjustments never confuse
 them.
+
+The breaker is thread-safe — the network service tier
+(:mod:`repro.service`) shares one breaker across every concurrent
+request — and its half-open state admits exactly **one** probe after the
+cooldown: the first caller through :meth:`CircuitBreaker.allow` gets to
+try the resource while everyone else keeps taking the degraded path
+until that probe settles (success, failure, or an explicit
+:meth:`CircuitBreaker.release`).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Optional
 
@@ -25,8 +34,15 @@ class CircuitBreaker:
     ``failure_threshold`` *opens* the breaker, and while open
     :meth:`allow` returns ``False`` so callers skip the resource and go
     straight to their degraded path.  After ``cooldown_s`` seconds the
-    next :meth:`allow` lets one probe through (half-open); a success
-    closes the breaker, another failure re-opens it for a full cooldown.
+    breaker is *half-open*: the next :meth:`allow` lets exactly one
+    probe through while concurrent callers keep being rejected.  The
+    probe settles the breaker — :meth:`record_success` closes it,
+    :meth:`record_failure` re-opens it for a full cooldown, and
+    :meth:`release` returns it to half-open (for probes whose outcome
+    says nothing about the resource's health, e.g. a missing key).
+
+    All methods are thread-safe; many serving threads may share one
+    breaker.
     """
 
     def __init__(
@@ -36,41 +52,91 @@ class CircuitBreaker:
             raise ValueError("failure_threshold must be >= 1")
         self.failure_threshold = int(failure_threshold)
         self.cooldown_s = float(cooldown_s)
+        self._lock = threading.Lock()
         self._failures = 0
         self._opened_at: Optional[float] = None
+        self._probing = False
+
+    def _state_locked(self) -> str:
+        """Current state name; caller must hold the lock."""
+        if self._opened_at is None:
+            return "closed"
+        if time.monotonic() - self._opened_at >= self.cooldown_s:
+            return "half_open"
+        return "open"
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"``, or ``"half_open"`` right now."""
+        with self._lock:
+            return self._state_locked()
 
     @property
     def is_open(self) -> bool:
         """Whether the breaker currently rejects calls (cooldown active)."""
-        if self._opened_at is None:
-            return False
-        if time.monotonic() - self._opened_at >= self.cooldown_s:
-            return False  # cooldown elapsed: half-open, allow a probe
-        return True
+        with self._lock:
+            return self._state_locked() == "open"
 
     def allow(self) -> bool:
-        """Whether the caller should attempt the guarded resource."""
-        return not self.is_open
+        """Whether the caller should attempt the guarded resource.
+
+        Closed: always ``True``.  Open: always ``False``.  Half-open
+        (cooldown elapsed): ``True`` for exactly one caller — the probe —
+        and ``False`` for everyone else until that probe settles via
+        :meth:`record_success`, :meth:`record_failure`, or
+        :meth:`release`.
+        """
+        with self._lock:
+            state = self._state_locked()
+            if state == "closed":
+                return True
+            if state == "open":
+                return False
+            if self._probing:
+                return False
+            self._probing = True
+            return True
 
     def record_success(self) -> None:
         """Reset the breaker after a successful call."""
-        self._failures = 0
-        self._opened_at = None
+        with self._lock:
+            self._failures = 0
+            self._opened_at = None
+            self._probing = False
 
     def record_failure(self) -> None:
-        """Count a failure, opening the breaker at the threshold."""
-        self._failures += 1
-        if self._failures >= self.failure_threshold:
-            self._opened_at = time.monotonic()
+        """Count a failure, opening the breaker at the threshold.
+
+        A failed half-open probe re-opens the breaker for a full
+        cooldown.
+        """
+        with self._lock:
+            self._probing = False
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._opened_at = time.monotonic()
+
+    def release(self) -> None:
+        """Release a granted probe without recording an outcome.
+
+        For probes that neither succeeded nor failed the *resource* —
+        e.g. the store answered "no such key", which proves nothing
+        about artifact health either way.  The breaker returns to
+        half-open so the next caller may probe again.
+        """
+        with self._lock:
+            self._probing = False
 
     def stats(self) -> dict:
         """Snapshot of breaker state for diagnostics."""
-        return {
-            "failures": self._failures,
-            "open": self.is_open,
-            "failure_threshold": self.failure_threshold,
-            "cooldown_s": self.cooldown_s,
-        }
+        with self._lock:
+            return {
+                "failures": self._failures,
+                "open": self._state_locked() == "open",
+                "state": self._state_locked(),
+                "failure_threshold": self.failure_threshold,
+                "cooldown_s": self.cooldown_s,
+            }
 
 
 class Deadline:

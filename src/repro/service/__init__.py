@@ -1,0 +1,52 @@
+"""The network-facing yield service: an HTTP/ASGI tier over serving.
+
+Promotes the in-process :class:`~repro.serving.service.YieldService`
+(~4e6 queries/sec, single caller) to a deployable network service for
+many concurrent clients — the "millions of users" path of the roadmap,
+and the always-available inner-loop evaluator the process/design
+co-optimization blueprint assumes:
+
+* :mod:`repro.service.app` — :class:`YieldApp`, the framework-free
+  ASGI 3 application (``POST /v1/query`` batched bounds queries with
+  degradation flags on the wire, surface listing/upload/hot-reload,
+  metrics endpoint);
+* :mod:`repro.service.schemas` — strict-JSON request validation and
+  response shaping (the wire carries exactly the in-process bound
+  contract);
+* :mod:`repro.service.queue` — the bounded background queue that keeps
+  Monte Carlo refinement off the request path;
+* :mod:`repro.service.metrics` — per-route counters and fixed-bucket
+  latency histograms;
+* :mod:`repro.service.http` — a dependency-free asyncio HTTP/1.1
+  server (keep-alive, ``SO_REUSEPORT`` multi-worker scaling) driving
+  the ASGI app, used by ``python -m repro.cli serve``.
+
+Load-tested by ``benchmarks/bench_service_http.py``
+(``BENCH_service_http.json``: throughput floor + p99 latency budget).
+"""
+
+from repro.service.app import YieldApp
+from repro.service.http import (
+    AsgiHttpServer,
+    StoreAppFactory,
+    build_app,
+    run_server,
+)
+from repro.service.metrics import LatencyHistogram, MetricsRegistry, RouteMetrics
+from repro.service.queue import RefinementJob, RefinementQueue
+from repro.service.schemas import QueryRequest, SchemaError
+
+__all__ = [
+    "YieldApp",
+    "AsgiHttpServer",
+    "StoreAppFactory",
+    "build_app",
+    "run_server",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "RouteMetrics",
+    "RefinementJob",
+    "RefinementQueue",
+    "QueryRequest",
+    "SchemaError",
+]

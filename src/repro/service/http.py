@@ -1,0 +1,355 @@
+"""A minimal asyncio HTTP/1.1 server that drives the ASGI app.
+
+The container ships no ASGI server, so the service brings its own: a
+small, dependency-free HTTP/1.1 implementation on ``asyncio`` streams.
+It supports exactly what the yield service needs — persistent
+(keep-alive) connections, ``Content-Length`` bodies, and a fast parse
+path — and hands every request to the ASGI application in
+:mod:`repro.service.app`.  The app stays standard ASGI, so swapping in
+uvicorn/hypercorn later is a deployment change, not a code change.
+
+Scaling follows the engine's philosophy: one process saturates one core
+(the GIL bounds the JSON + NumPy hot path), so :func:`run_server` forks
+``workers`` processes that share the listening port via ``SO_REUSEPORT``
+— the kernel load-balances accepted connections across them.  Each
+worker owns an independent :class:`YieldService` over the same
+content-addressed store, which is safe because artifacts are immutable
+(a new surface version is a new key).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import signal
+import socket
+import sys
+from typing import Callable, List, Optional
+
+__all__ = ["AsgiHttpServer", "StoreAppFactory", "run_server", "build_app"]
+
+#: Hard cap on header-section size; past this the connection is closed.
+MAX_HEADER_BYTES = 64 * 1024
+
+_RESPONSE_REASONS = {
+    200: b"OK", 201: b"Created", 400: b"Bad Request", 404: b"Not Found",
+    413: b"Payload Too Large", 500: b"Internal Server Error",
+    503: b"Service Unavailable",
+}
+
+
+class AsgiHttpServer:
+    """Serve one ASGI application on an asyncio event loop.
+
+    Parameters
+    ----------
+    app:
+        An ASGI 3 callable (e.g. :class:`~repro.service.app.YieldApp`).
+    host, port:
+        Bind address.  Port 0 picks a free port (see :attr:`port` after
+        :meth:`start`).
+    reuse_port:
+        Set ``SO_REUSEPORT`` so multiple worker processes can share the
+        address (Linux kernel load balancing).
+    """
+
+    def __init__(
+        self,
+        app,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+        reuse_port: bool = False,
+    ) -> None:
+        self.app = app
+        self.host = host
+        self.port = int(port)
+        self.reuse_port = bool(reuse_port)
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (non-blocking)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.host,
+            port=self.port,
+            reuse_port=self.reuse_port or None,
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until cancelled."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        """Stop accepting connections and close the server."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                keep_alive = await self._handle_one_request(reader, writer)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _handle_one_request(self, reader, writer) -> bool:
+        """Parse one request, run the app, write one response.
+
+        Returns whether the connection should stay open.
+        """
+        request_line = await reader.readline()
+        if not request_line or request_line in (b"\r\n", b"\n"):
+            return False
+        try:
+            method, target, version = request_line.split(None, 2)
+        except ValueError:
+            await self._write_simple(writer, 400, b"malformed request line")
+            return False
+        headers: List[tuple] = []
+        content_length = 0
+        connection_close = version.rstrip() == b"HTTP/1.0"
+        header_bytes = 0
+        while True:
+            line = await reader.readline()
+            header_bytes += len(line)
+            if header_bytes > MAX_HEADER_BYTES:
+                await self._write_simple(writer, 400, b"headers too large")
+                return False
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.partition(b":")
+            name = name.strip().lower()
+            value = value.strip()
+            headers.append((name, value))
+            if name == b"content-length":
+                try:
+                    content_length = int(value)
+                except ValueError:
+                    await self._write_simple(writer, 400, b"bad content-length")
+                    return False
+            elif name == b"connection" and value.lower() == b"close":
+                connection_close = True
+        body = await reader.readexactly(content_length) if content_length else b""
+
+        path, _, query = target.partition(b"?")
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0", "spec_version": "2.3"},
+            "http_version": "1.1",
+            "method": method.decode("ascii"),
+            "path": path.decode("utf-8", "replace"),
+            "raw_path": path,
+            "query_string": query,
+            "headers": headers,
+            "server": (self.host, self.port),
+            "client": writer.get_extra_info("peername"),
+        }
+
+        received = False
+
+        async def receive():
+            nonlocal received
+            if received:
+                return {"type": "http.disconnect"}
+            received = True
+            return {"type": "http.request", "body": body, "more_body": False}
+
+        started = {}
+        chunks: List[bytes] = []
+
+        async def send(message):
+            if message["type"] == "http.response.start":
+                started["status"] = message["status"]
+                started["headers"] = message.get("headers", [])
+            elif message["type"] == "http.response.body":
+                chunk = message.get("body", b"")
+                if chunk:
+                    chunks.append(chunk)
+
+        await self.app(scope, receive, send)
+        status = started.get("status", 500)
+        payload = b"".join(chunks)
+        reason = _RESPONSE_REASONS.get(status, b"")
+        head = [b"HTTP/1.1 %d %s\r\n" % (status, reason)]
+        has_length = False
+        for name, value in started.get("headers", []):
+            if name.lower() == b"content-length":
+                has_length = True
+            head.append(name + b": " + value + b"\r\n")
+        if not has_length:
+            head.append(b"content-length: %d\r\n" % len(payload))
+        head.append(
+            b"connection: close\r\n" if connection_close
+            else b"connection: keep-alive\r\n"
+        )
+        head.append(b"\r\n")
+        writer.write(b"".join(head) + payload)
+        await writer.drain()
+        return not connection_close
+
+    @staticmethod
+    async def _write_simple(writer, status: int, message: bytes) -> None:
+        reason = _RESPONSE_REASONS.get(status, b"")
+        writer.write(
+            b"HTTP/1.1 %d %s\r\ncontent-type: text/plain\r\n"
+            b"content-length: %d\r\nconnection: close\r\n\r\n%s"
+            % (status, reason, len(message), message)
+        )
+        await writer.drain()
+
+
+def build_app(
+    store: Optional[str] = None,
+    cache_capacity: int = 8,
+    deadline_s: Optional[float] = None,
+    refine_capacity: int = 64,
+    refine_workers: int = 1,
+):
+    """Construct a :class:`YieldApp` over a fresh :class:`YieldService`.
+
+    The standard app factory used by the CLI ``serve`` subcommand and
+    by each forked worker process (every worker owns an independent
+    service over the same immutable, content-addressed store).
+    """
+    from repro.serving.service import YieldService
+    from repro.service.app import YieldApp
+
+    service = YieldService(
+        store=store, cache_capacity=cache_capacity, deadline_s=deadline_s
+    )
+    return YieldApp(
+        service,
+        refine_capacity=refine_capacity,
+        refine_workers=refine_workers,
+    )
+
+
+class StoreAppFactory:
+    """A picklable app factory for spawn-based worker processes.
+
+    Captures the plain-data configuration of :func:`build_app` so it can
+    cross a ``multiprocessing`` spawn boundary; each worker calls it to
+    build its own independent service + app over the shared store.
+    """
+
+    def __init__(
+        self,
+        store: Optional[str] = None,
+        cache_capacity: int = 8,
+        deadline_s: Optional[float] = None,
+        refine_capacity: int = 64,
+        refine_workers: int = 1,
+    ) -> None:
+        self.store = store
+        self.cache_capacity = int(cache_capacity)
+        self.deadline_s = deadline_s
+        self.refine_capacity = int(refine_capacity)
+        self.refine_workers = int(refine_workers)
+
+    def __call__(self):
+        """Build the configured :class:`YieldApp`."""
+        return build_app(
+            store=self.store,
+            cache_capacity=self.cache_capacity,
+            deadline_s=self.deadline_s,
+            refine_capacity=self.refine_capacity,
+            refine_workers=self.refine_workers,
+        )
+
+
+def _serve_worker(app_factory: Callable[[], object], host: str, port: int,
+                  reuse_port: bool, announce: bool) -> None:
+    """One worker process: build the app, run the event loop forever."""
+    app = app_factory()
+    server = AsgiHttpServer(app, host=host, port=port, reuse_port=reuse_port)
+
+    async def _run() -> None:
+        await server.start()
+        if announce:
+            print(
+                f"serving on http://{server.host}:{server.port}",
+                file=sys.stderr,
+                flush=True,
+            )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except (KeyboardInterrupt, asyncio.CancelledError):  # pragma: no cover
+        pass
+
+
+def run_server(
+    app_factory: Callable[[], object],
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    workers: int = 1,
+) -> None:
+    """Run the HTTP service, optionally across several worker processes.
+
+    With ``workers == 1`` the server runs in this process (blocking
+    until interrupted).  With more, ``workers`` child processes each
+    bind the same address under ``SO_REUSEPORT`` and the kernel spreads
+    connections across them; the parent supervises and forwards
+    SIGINT/SIGTERM.  ``port`` must be non-zero for multi-worker runs
+    (every worker must bind the *same* port).
+    """
+    if workers <= 1:
+        _serve_worker(app_factory, host, port, reuse_port=False, announce=True)
+        return
+    if port == 0:
+        raise ValueError("multi-worker serving needs an explicit port")
+    if not hasattr(socket, "SO_REUSEPORT"):  # pragma: no cover - non-Linux
+        raise RuntimeError("SO_REUSEPORT is unavailable on this platform")
+    context = multiprocessing.get_context("spawn")
+    children = [
+        context.Process(
+            target=_serve_worker,
+            args=(app_factory, host, port, True, index == 0),
+            daemon=False,
+        )
+        for index in range(int(workers))
+    ]
+    for child in children:
+        child.start()
+
+    def _forward(signum, frame):  # pragma: no cover - signal path
+        for child in children:
+            if child.is_alive():
+                child.terminate()
+
+    previous = {
+        sig: signal.signal(sig, _forward)
+        for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+    try:
+        for child in children:
+            child.join()
+    finally:
+        for sig, handler in previous.items():  # pragma: no cover
+            signal.signal(sig, handler)
+        for child in children:
+            if child.is_alive():  # pragma: no cover
+                child.terminate()

@@ -1,0 +1,161 @@
+"""Request metrics for the network service tier.
+
+Small, dependency-free instrumentation: per-route request/error counters
+and fixed-bucket latency histograms, aggregated by a thread-safe
+registry the metrics endpoint snapshots.  The histogram buckets are
+log-spaced from 10 µs to 10 s, so one layout covers both the
+sub-millisecond interpolated path and multi-second cold loads; quantiles
+are estimated from the bucket counts (upper-edge convention, so a
+reported p99 never understates the true quantile by more than one
+bucket's width).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List, Optional
+
+__all__ = ["LatencyHistogram", "RouteMetrics", "MetricsRegistry"]
+
+#: Default histogram bucket upper edges in seconds: 10 µs → 10 s,
+#: four buckets per decade.
+_DEFAULT_EDGES = tuple(
+    10.0 ** (-5.0 + index / 4.0) for index in range(25)
+)
+
+
+class LatencyHistogram:
+    """A fixed-bucket latency histogram with quantile estimates.
+
+    Observations are counted into log-spaced buckets; memory is constant
+    no matter how many requests are recorded.  Not thread-safe on its
+    own — :class:`RouteMetrics` serialises access.
+    """
+
+    def __init__(self, edges_s: Optional[tuple] = None) -> None:
+        self.edges_s = tuple(edges_s) if edges_s is not None else _DEFAULT_EDGES
+        if any(b <= a for a, b in zip(self.edges_s, self.edges_s[1:])):
+            raise ValueError("histogram edges must be strictly increasing")
+        # One extra overflow bucket past the last edge.
+        self.counts = [0] * (len(self.edges_s) + 1)
+        self.total = 0
+        self.sum_s = 0.0
+        self.max_s = 0.0
+
+    def observe(self, latency_s: float) -> None:
+        """Record one latency observation (seconds)."""
+        value = float(latency_s)
+        index = self._bucket_index(value)
+        self.counts[index] += 1
+        self.total += 1
+        self.sum_s += value
+        if value > self.max_s:
+            self.max_s = value
+
+    def _bucket_index(self, value: float) -> int:
+        lo, hi = 0, len(self.edges_s)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.edges_s[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def quantile(self, q: float) -> float:
+        """Estimated latency at quantile ``q`` (0 < q <= 1), in seconds.
+
+        Returns the upper edge of the bucket containing the q-th
+        observation — a conservative (never-understating) estimate.
+        ``nan`` when nothing has been observed.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        if self.total == 0:
+            return float("nan")
+        rank = math.ceil(q * self.total)
+        seen = 0
+        for index, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank:
+                if index < len(self.edges_s):
+                    return self.edges_s[index]
+                return self.max_s
+        return self.max_s
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-friendly summary: count, mean, max, p50/p90/p99."""
+        mean = self.sum_s / self.total if self.total else float("nan")
+        return {
+            "count": self.total,
+            "mean_s": mean,
+            "max_s": self.max_s,
+            "p50_s": self.quantile(0.50),
+            "p90_s": self.quantile(0.90),
+            "p99_s": self.quantile(0.99),
+        }
+
+
+class RouteMetrics:
+    """Thread-safe counters and latency histogram for one route."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.errors = 0
+        self.status_counts: Dict[int, int] = {}
+        self.histogram = LatencyHistogram()
+
+    def record(self, status: int, latency_s: float) -> None:
+        """Record one completed request with its status and latency."""
+        with self._lock:
+            self.requests += 1
+            if int(status) >= 500:
+                self.errors += 1
+            self.status_counts[int(status)] = (
+                self.status_counts.get(int(status), 0) + 1
+            )
+            self.histogram.observe(latency_s)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-friendly summary of this route's traffic."""
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "errors": self.errors,
+                "status": {str(k): v for k, v in sorted(self.status_counts.items())},
+                "latency": self.histogram.snapshot(),
+            }
+
+
+class MetricsRegistry:
+    """Per-route metrics, created on first use, snapshot on demand."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._routes: Dict[str, RouteMetrics] = {}
+
+    def route(self, name: str) -> RouteMetrics:
+        """The metrics object for a route label (created if missing)."""
+        with self._lock:
+            metrics = self._routes.get(name)
+            if metrics is None:
+                metrics = RouteMetrics()
+                self._routes[name] = metrics
+            return metrics
+
+    def record(self, name: str, status: int, latency_s: float) -> None:
+        """Record one completed request under a route label."""
+        self.route(name).record(status, latency_s)
+
+    def routes(self) -> List[str]:
+        """Sorted route labels seen so far."""
+        with self._lock:
+            return sorted(self._routes)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-friendly summary of every route."""
+        with self._lock:
+            items = list(self._routes.items())
+        return {name: metrics.snapshot() for name, metrics in sorted(items)}

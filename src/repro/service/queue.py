@@ -1,0 +1,246 @@
+"""Bounded background queue for off-grid Monte Carlo refinement.
+
+Sampling off-grid points with the tilted estimator takes seconds — far
+too slow for the request path.  The HTTP tier therefore answers
+``fallback="mc"`` queries from the exact evaluator immediately and
+enqueues the off-grid points here; worker threads run
+:meth:`~repro.serving.service.YieldService.refine` in the background,
+warming the per-surface evaluator cache so a later identical query is
+answered from refined values without sampling.
+
+The queue is *bounded*: when it is full, new jobs are rejected (the
+response says so) instead of letting a refinement backlog grow without
+limit — the same discipline as the stale cache.  Jobs are deduplicated
+by a content key over (surface, points, sample count), so clients
+polling the same query do not enqueue the same work twice.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict, deque
+from typing import Callable, Dict, Optional, Sequence
+
+__all__ = ["RefinementJob", "RefinementQueue", "refinement_job_key"]
+
+
+def refinement_job_key(
+    surface_key: str,
+    width_nm: Sequence[float],
+    cnt_density_per_um: Sequence[float],
+    mc_samples: int,
+) -> str:
+    """Content key identifying one refinement work item.
+
+    Coordinates are rounded to 1e-6 before hashing so float formatting
+    differences on the wire (``178.0`` vs ``178.000000001``) do not
+    defeat deduplication.
+    """
+    digest = hashlib.sha256()
+    digest.update(surface_key.encode("utf-8"))
+    digest.update(str(int(mc_samples)).encode("utf-8"))
+    for w, d in zip(width_nm, cnt_density_per_um):
+        digest.update(f"{round(float(w), 6)!r}:{round(float(d), 6)!r};".encode())
+    return digest.hexdigest()[:16]
+
+
+class RefinementJob:
+    """One queued refinement: a surface key plus off-grid points."""
+
+    __slots__ = ("key", "surface_key", "width_nm", "cnt_density_per_um",
+                 "mc_samples")
+
+    def __init__(
+        self,
+        surface_key: str,
+        width_nm: Sequence[float],
+        cnt_density_per_um: Sequence[float],
+        mc_samples: int,
+    ) -> None:
+        self.surface_key = str(surface_key)
+        self.width_nm = tuple(float(w) for w in width_nm)
+        self.cnt_density_per_um = tuple(float(d) for d in cnt_density_per_um)
+        if len(self.width_nm) != len(self.cnt_density_per_um):
+            raise ValueError("width and density point lists must match")
+        if not self.width_nm:
+            raise ValueError("a refinement job needs at least one point")
+        self.mc_samples = int(mc_samples)
+        self.key = refinement_job_key(
+            self.surface_key, self.width_nm, self.cnt_density_per_um,
+            self.mc_samples,
+        )
+
+
+class RefinementQueue:
+    """Bounded, deduplicating work queue with daemon worker threads.
+
+    Parameters
+    ----------
+    refine:
+        Callable executing one job — typically a closure over
+        :meth:`YieldService.refine`.  Called as
+        ``refine(surface_key, width_nm, cnt_density_per_um, mc_samples)``.
+    capacity:
+        Maximum number of *pending* jobs; :meth:`submit` rejects beyond
+        this so the request path stays non-blocking and the backlog
+        bounded.
+    workers:
+        Background worker thread count (daemon threads — they never
+        block interpreter shutdown).
+    done_capacity:
+        How many completed job keys to remember for :meth:`is_done`
+        checks (LRU-bounded like every other registry in the tier).
+    """
+
+    def __init__(
+        self,
+        refine: Callable[[str, Sequence[float], Sequence[float], int], object],
+        capacity: int = 64,
+        workers: int = 1,
+        done_capacity: int = 1024,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self._refine = refine
+        self.capacity = int(capacity)
+        self.done_capacity = int(done_capacity)
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._pending: "deque[RefinementJob]" = deque()
+        self._pending_keys: Dict[str, RefinementJob] = {}
+        self._active_keys: Dict[str, RefinementJob] = {}
+        self._done: "OrderedDict[str, bool]" = OrderedDict()
+        self._closed = False
+        self.submitted = 0
+        self.rejected = 0
+        self.duplicates = 0
+        self.completed = 0
+        self.failed = 0
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"refine-worker-{index}", daemon=True
+            )
+            for index in range(int(workers))
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Producer side (request handlers)
+    # ------------------------------------------------------------------
+
+    def submit(self, job: RefinementJob) -> str:
+        """Try to enqueue a job; never blocks.
+
+        Returns one of ``"queued"`` (accepted), ``"duplicate"`` (the
+        same work is already pending, running, or done), or
+        ``"rejected"`` (queue full or shut down).
+        """
+        with self._lock:
+            if self._closed:
+                self.rejected += 1
+                return "rejected"
+            if (
+                job.key in self._pending_keys
+                or job.key in self._active_keys
+                or job.key in self._done
+            ):
+                self.duplicates += 1
+                return "duplicate"
+            if len(self._pending) >= self.capacity:
+                self.rejected += 1
+                return "rejected"
+            self._pending.append(job)
+            self._pending_keys[job.key] = job
+            self.submitted += 1
+            self._wakeup.notify()
+            return "queued"
+
+    def is_done(self, job_key: str) -> bool:
+        """Whether a job key completed successfully."""
+        with self._lock:
+            return bool(self._done.get(job_key, False))
+
+    def stats(self) -> Dict[str, object]:
+        """Snapshot of queue depth and lifetime counters."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "pending": len(self._pending),
+                "active": len(self._active_keys),
+                "submitted": self.submitted,
+                "rejected": self.rejected,
+                "duplicates": self.duplicates,
+                "completed": self.completed,
+                "failed": self.failed,
+                "workers": len(self._threads),
+            }
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+
+    def _next_job(self) -> Optional[RefinementJob]:
+        with self._lock:
+            while not self._pending and not self._closed:
+                self._wakeup.wait()
+            if self._closed and not self._pending:
+                return None
+            job = self._pending.popleft()
+            del self._pending_keys[job.key]
+            self._active_keys[job.key] = job
+            return job
+
+    def _worker(self) -> None:
+        while True:
+            job = self._next_job()
+            if job is None:
+                return
+            ok = True
+            try:
+                self._refine(
+                    job.surface_key, job.width_nm, job.cnt_density_per_um,
+                    job.mc_samples,
+                )
+            except Exception:  # noqa: BLE001 — background boundary
+                ok = False
+            with self._lock:
+                del self._active_keys[job.key]
+                if ok:
+                    self.completed += 1
+                    self._done[job.key] = True
+                    while len(self._done) > self.done_capacity:
+                        self._done.popitem(last=False)
+                else:
+                    self.failed += 1
+                self._wakeup.notify_all()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def drain(self, timeout_s: float = 10.0) -> bool:
+        """Block until pending and active jobs are finished (tests).
+
+        Returns ``False`` if the timeout elapsed with work still in
+        flight.
+        """
+        import time
+
+        deadline = time.monotonic() + float(timeout_s)
+        with self._lock:
+            while self._pending or self._active_keys:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0.0:
+                    return False
+                self._wakeup.wait(timeout=remaining)
+            return True
+
+    def close(self) -> None:
+        """Stop accepting work and let idle workers exit."""
+        with self._lock:
+            self._closed = True
+            self._wakeup.notify_all()

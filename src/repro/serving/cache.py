@@ -45,6 +45,7 @@ class LRUCache(Generic[T]):
         self._inflight: Dict[str, _Flight] = {}
         self.hits = 0
         self.misses = 0
+        self.coalesced = 0
         self.evictions = 0
 
     def __len__(self) -> int:
@@ -62,20 +63,29 @@ class LRUCache(Generic[T]):
         concurrent misses on the same key run the loader exactly once;
         if it raises, every waiter observes the same exception and the
         key stays uncached (the next get retries).
+
+        Miss accounting is **per load**: only the caller that actually
+        runs the loader (the single-flight leader, or a loader-less
+        miss) counts a miss.  Followers that wait on the leader's flight
+        and share its result count under ``coalesced`` instead, so
+        ``misses`` tracks real loader executions.
         """
         with self._lock:
             if key in self._entries:
                 self.hits += 1
                 self._entries.move_to_end(key)
                 return self._entries[key]
-            self.misses += 1
             if loader is None:
+                self.misses += 1
                 return None
             flight = self._inflight.get(key)
             leader = flight is None
             if leader:
+                self.misses += 1
                 flight = _Flight()
                 self._inflight[key] = flight
+            else:
+                self.coalesced += 1
         if not leader:
             flight.event.wait()
             if flight.error is not None:
@@ -106,14 +116,22 @@ class LRUCache(Generic[T]):
                 self.evictions += 1
 
     def stats(self) -> dict:
-        """Snapshot of capacity, occupancy, and hit/miss/eviction counts."""
+        """Snapshot of capacity, occupancy, and hit/miss/eviction counts.
+
+        ``misses`` counts loader executions (plus loader-less misses);
+        single-flight followers appear under ``coalesced``.  The hit
+        rate counts a coalesced get as served-from-memory, since no
+        additional load was paid for it.
+        """
         with self._lock:
-            total = self.hits + self.misses
+            served = self.hits + self.coalesced
+            total = served + self.misses
             return {
                 "capacity": self.capacity,
                 "size": len(self._entries),
                 "hits": self.hits,
                 "misses": self.misses,
+                "coalesced": self.coalesced,
                 "evictions": self.evictions,
-                "hit_rate": self.hits / total if total else float("nan"),
+                "hit_rate": served / total if total else float("nan"),
             }

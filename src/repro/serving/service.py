@@ -20,6 +20,9 @@ interval is its monotone image through Eq. 2.3 / 3.1.
 
 from __future__ import annotations
 
+import os
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple, Union
 
@@ -105,26 +108,44 @@ class YieldService:
     deadline_s:
         Default per-query wall-clock budget.  ``None`` (the default)
         means unbounded; :meth:`query` can override per call.
+    stale_capacity:
+        Maximum number of surfaces retained in the stale cache (the
+        last-resort rung of the degradation ladder).  Defaults to four
+        times ``cache_capacity``.  The stale cache is LRU-ordered, so a
+        long-lived server that churns through many surfaces keeps the
+        recently served ones available for degraded answers without
+        pinning every surface it ever loaded.
     """
 
     def __init__(
         self,
-        store: Optional[Union[SurfaceStore, str]] = None,
+        store: Optional[Union[SurfaceStore, str, "os.PathLike[str]"]] = None,
         cache_capacity: int = 8,
         n_sigma: float = 4.0,
         breaker: Optional[CircuitBreaker] = None,
         deadline_s: Optional[float] = None,
+        stale_capacity: Optional[int] = None,
     ) -> None:
-        if isinstance(store, str):
+        if isinstance(store, (str, os.PathLike)):
             store = SurfaceStore(store)
         self.store = store
         self.cache: LRUCache[YieldSurface] = LRUCache(capacity=cache_capacity)
         self.n_sigma = float(n_sigma)
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.deadline_s = deadline_s
+        if stale_capacity is None:
+            stale_capacity = 4 * int(cache_capacity)
+        if stale_capacity < 1:
+            raise ValueError("stale_capacity must be at least 1")
+        self.stale_capacity = int(stale_capacity)
+        # One lock covers every piece of service-level mutable state the
+        # LRU does not already guard: the pinned/stale registries, the
+        # evaluator cache, and the query counters.  The network tier
+        # serves many concurrent clients through one service instance.
+        self._lock = threading.Lock()
         self._evaluators: Dict[str, ExactEvaluator] = {}
         self._pinned: Dict[str, YieldSurface] = {}
-        self._stale: Dict[str, YieldSurface] = {}
+        self._stale: "OrderedDict[str, YieldSurface]" = OrderedDict()
         self.queries_served = 0
         self.degraded_queries = 0
 
@@ -148,7 +169,8 @@ class YieldService:
                 raise ValueError("cannot persist without a SurfaceStore")
             self.store.save(surface)
         else:
-            self._pinned[key] = surface
+            with self._lock:
+                self._pinned[key] = surface
         return key
 
     def surface(self, key_or_surface: Union[str, YieldSurface]) -> YieldSurface:
@@ -182,23 +204,40 @@ class YieldService:
         key = key_or_surface
         if key in self.cache:
             return self.cache.get(key), "none"
-        if key in self._pinned:
-            return self._pinned[key], "none"
+        with self._lock:
+            pinned = self._pinned.get(key)
+        if pinned is not None:
+            return pinned, "none"
         failure: Optional[Exception] = None
         if self.store is not None:
             if self.breaker.allow():
+                # The breaker may have granted a half-open probe; every
+                # path below must settle it exactly once.  Success is
+                # recorded only when the store actually performed a load
+                # — a prefix query that resolves to a surface already in
+                # the LRU says nothing about store health and must not
+                # close a breaker that should stay open.
+                loaded = False
+
+                def _load() -> YieldSurface:
+                    nonlocal loaded
+                    loaded = True
+                    return self.store.load(resolved)
+
                 try:
                     resolved = self.store.path_for(key).stem
-                    surface = self.cache.get(
-                        resolved, lambda: self.store.load(resolved)
-                    )
-                    self.breaker.record_success()
-                    self._stale[resolved] = surface
+                    surface = self.cache.get(resolved, _load)
+                    if loaded:
+                        self.breaker.record_success()
+                    else:
+                        self.breaker.release()
+                    self._remember_stale(resolved, surface)
                     return surface, "none"
                 except KeyError as exc:
                     # A missing key is not a store fault: don't trip the
                     # breaker, but a quarantined artifact's key goes
                     # missing too, so still consult the stale cache.
+                    self.breaker.release()
                     failure = exc
                 except (CorruptArtifactError, OSError, ValueError) as exc:
                     self.breaker.record_failure()
@@ -210,14 +249,34 @@ class YieldService:
             raise failure
         raise KeyError(f"surface {key!r} is neither cached nor in a store")
 
+    def _remember_stale(self, key: str, surface: YieldSurface) -> None:
+        """Retain a served surface for degraded answers, LRU-bounded.
+
+        The stale cache is the last rung of the degradation ladder; it
+        must not grow without bound in a long-lived server, so it keeps
+        at most ``stale_capacity`` surfaces in recency order.
+        """
+        with self._lock:
+            if key in self._stale:
+                self._stale.move_to_end(key)
+            self._stale[key] = surface
+            while len(self._stale) > self.stale_capacity:
+                self._stale.popitem(last=False)
+
     def _stale_for(self, key: str) -> Optional[YieldSurface]:
         """Find a stale copy by exact key or unambiguous prefix."""
-        if key in self._stale:
-            return self._stale[key]
-        matches = [k for k in self._stale if k.startswith(key)]
-        if len(matches) == 1:
-            return self._stale[matches[0]]
-        return None
+        with self._lock:
+            match: Optional[str] = None
+            if key in self._stale:
+                match = key
+            else:
+                matches = [k for k in self._stale if k.startswith(key)]
+                if len(matches) == 1:
+                    match = matches[0]
+            if match is None:
+                return None
+            self._stale.move_to_end(match)
+            return self._stale[match]
 
     # ------------------------------------------------------------------
     # Queries
@@ -330,9 +389,13 @@ class YieldService:
         yield_lower = yield_from_uniform_failure_probability_array(p_upper, counts)
         yield_upper = yield_from_uniform_failure_probability_array(p_lower, counts)
 
-        self.queries_served += int(widths.size)
-        if degradation:
-            self.degraded_queries += 1
+        with self._lock:
+            # Both counters are per-entry: a degraded batch degrades every
+            # answer in it, so the two stay directly comparable
+            # (degraded_queries / queries_served is a meaningful ratio).
+            self.queries_served += int(widths.size)
+            if degradation:
+                self.degraded_queries += int(widths.size)
         return QueryResult(
             scenario=surf.scenario,
             failure_probability=p,
@@ -345,6 +408,68 @@ class YieldService:
             degraded=bool(degradation),
             degradation=tuple(degradation) if degradation else ("none",),
         )
+
+    # ------------------------------------------------------------------
+    # Refinement and diagnostics
+    # ------------------------------------------------------------------
+
+    def refine(
+        self,
+        surface: Union[str, YieldSurface],
+        width_nm: np.ndarray,
+        cnt_density_per_um: np.ndarray,
+        mc_samples: int = 20_000,
+    ) -> int:
+        """Warm the Monte Carlo evaluator cache for off-grid points.
+
+        Runs the tilted MC estimator for the given (width, density)
+        points and stores the results in the per-surface evaluator's
+        coordinate-keyed cache, so later :meth:`query` calls with
+        ``fallback="mc"`` at the same points answer without sampling.
+        The network tier (:mod:`repro.service`) calls this from a
+        bounded background queue so request handling never blocks on
+        sampling.  Returns the number of points evaluated.
+        """
+        surf, _ = self.resolve(surface)
+        widths = np.atleast_1d(np.asarray(width_nm, dtype=float)).ravel()
+        densities = np.atleast_1d(
+            np.asarray(cnt_density_per_um, dtype=float)
+        ).ravel()
+        if densities.shape != widths.shape:
+            raise ValueError("width and density arrays must match in shape")
+        self._fallback_values(surf, widths, densities, "mc", int(mc_samples))
+        return int(widths.size)
+
+    def pinned_surfaces(self) -> Dict[str, YieldSurface]:
+        """Copy of the pinned registry (registered, not persisted).
+
+        These surfaces are addressable for the service's lifetime even
+        after LRU eviction; the network tier lists them next to the
+        store's artifacts.
+        """
+        with self._lock:
+            return dict(self._pinned)
+
+    def stats(self) -> Dict[str, object]:
+        """Snapshot of serving counters and ladder state for operators.
+
+        Combines the per-entry query counters with the LRU cache's
+        hit/miss statistics, the circuit breaker's state, and the sizes
+        of the pinned and stale registries — everything the network
+        tier's metrics endpoint reports about the in-process service.
+        """
+        with self._lock:
+            counters = {
+                "queries_served": self.queries_served,
+                "degraded_queries": self.degraded_queries,
+                "pinned_surfaces": len(self._pinned),
+                "stale_surfaces": len(self._stale),
+                "stale_capacity": self.stale_capacity,
+                "evaluators": len(self._evaluators),
+            }
+        counters["cache"] = self.cache.stats()
+        counters["breaker"] = self.breaker.stats()
+        return counters
 
     # ------------------------------------------------------------------
     # Internals
@@ -374,13 +499,14 @@ class YieldService:
         cache_key = (
             f"{surface.key}:{method}:{mc_samples if method == 'mc' else ''}"
         )
-        evaluator = self._evaluators.get(cache_key)
-        if evaluator is None:
-            evaluator = ExactEvaluator.from_surface(surface)
-            if method == "mc":
-                evaluator.method = "tilted"
-                evaluator.mc_samples = int(mc_samples)
-            self._evaluators[cache_key] = evaluator
+        with self._lock:
+            evaluator = self._evaluators.get(cache_key)
+            if evaluator is None:
+                evaluator = ExactEvaluator.from_surface(surface)
+                if method == "mc":
+                    evaluator.method = "tilted"
+                    evaluator.mc_samples = int(mc_samples)
+                self._evaluators[cache_key] = evaluator
         return evaluator
 
     def _fallback_values(

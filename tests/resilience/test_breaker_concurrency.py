@@ -1,0 +1,125 @@
+"""Concurrency regressions for the circuit breaker.
+
+Pre-PR-7 the breaker had no lock (racy failure counting under the
+multi-client service tier) and its half-open state admitted *every*
+concurrent caller as a probe.  These tests fail on that code.
+"""
+
+import threading
+import time
+
+from repro.resilience import CircuitBreaker
+
+
+def _open_half(breaker: CircuitBreaker) -> None:
+    """Drive a cooldown-free breaker into the half-open state."""
+    for _ in range(breaker.failure_threshold):
+        breaker.record_failure()
+    assert breaker.state == "half_open"
+
+
+class TestConcurrentCounting:
+    def test_no_lost_failure_updates(self):
+        breaker = CircuitBreaker(failure_threshold=10 ** 9, cooldown_s=60.0)
+        per_thread, n_threads = 2000, 8
+        barrier = threading.Barrier(n_threads)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(per_thread):
+                breaker.record_failure()
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert breaker.stats()["failures"] == per_thread * n_threads
+
+    def test_mixed_hammering_keeps_state_consistent(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_s=0.0)
+        stop = time.monotonic() + 0.3
+        errors = []
+
+        def worker(seed):
+            ops = 0
+            while time.monotonic() < stop:
+                try:
+                    if breaker.allow():
+                        if (ops + seed) % 3 == 0:
+                            breaker.record_failure()
+                        elif (ops + seed) % 3 == 1:
+                            breaker.record_success()
+                        else:
+                            breaker.release()
+                    assert breaker.state in ("closed", "open", "half_open")
+                except Exception as exc:  # noqa: BLE001 — collected below
+                    errors.append(exc)
+                    return
+                ops += 1
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+
+class TestHalfOpenSingleProbe:
+    def test_exactly_one_concurrent_probe(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=0.0)
+        _open_half(breaker)
+        n_threads = 16
+        barrier = threading.Barrier(n_threads)
+        admitted = []
+        lock = threading.Lock()
+
+        def probe():
+            barrier.wait()
+            if breaker.allow():
+                with lock:
+                    admitted.append(threading.get_ident())
+
+        threads = [threading.Thread(target=probe) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(admitted) == 1
+
+    def test_probe_blocks_until_settled(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=0.0)
+        _open_half(breaker)
+        assert breaker.allow()       # the probe
+        assert not breaker.allow()   # everyone else keeps degrading
+        assert not breaker.allow()
+
+    def test_successful_probe_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=0.0)
+        _open_half(breaker)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow() and breaker.allow()  # no probe gating
+
+    def test_failed_probe_reopens_for_full_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=0.05)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        time.sleep(0.06)
+        assert breaker.allow()       # half-open probe
+        breaker.record_failure()     # probe failed
+        assert breaker.state == "open"
+        assert not breaker.allow()   # a fresh cooldown must elapse first
+        time.sleep(0.06)
+        assert breaker.allow()
+
+    def test_release_reopens_the_probe_slot(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=0.0)
+        _open_half(breaker)
+        assert breaker.allow()
+        assert not breaker.allow()
+        breaker.release()            # outcome proved nothing (missing key)
+        assert breaker.state == "half_open"
+        assert breaker.allow()       # next caller may probe again

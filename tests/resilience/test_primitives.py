@@ -165,8 +165,9 @@ class TestCircuitBreaker:
     def test_stats_shape(self):
         stats = CircuitBreaker().stats()
         assert set(stats) == {
-            "failures", "open", "failure_threshold", "cooldown_s"
+            "failures", "open", "state", "failure_threshold", "cooldown_s"
         }
+        assert stats["state"] == "closed"
 
     def test_rejects_bad_threshold(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,133 @@
+"""Regressions for the PR-7 serving-ladder fixes.
+
+Pre-fix behaviours these tests fail against:
+
+* a *prefix* query that resolved to a surface already in the LRU called
+  ``breaker.record_success()`` without touching the store, silently
+  resetting a failure count earned by real store faults;
+* the stale-copy registry grew without bound — one entry per surface
+  ever served — leaking memory in a long-lived server;
+* missing keys tripped the breaker's probe accounting (a "no such key"
+  answer proves nothing about store health).
+"""
+
+import numpy as np
+import pytest
+
+from repro.resilience import CircuitBreaker
+from repro.serving.service import YieldService
+from repro.surface.builder import SurfaceBuilder, SweepSpec
+from repro.surface.grid import GridAxis
+from repro.surface.surface import SurfaceStore
+
+
+def _surface(w_low: float = 200.0):
+    spec = SweepSpec(
+        scenario="uncorrelated",
+        width_axis=GridAxis.from_range("width_nm", w_low, w_low + 200.0, 3),
+        density_axis=GridAxis.from_range("cnt_density_per_um", 0.15, 0.35, 3),
+        max_refinement_rounds=1,
+    )
+    return SurfaceBuilder(spec).build()
+
+
+class TestPrefixResolveBreakerIsolation:
+    def test_lru_hit_under_prefix_does_not_reset_failures(self, tmp_path):
+        surface = _surface()
+        SurfaceStore(tmp_path).save(surface)
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_s=3600.0)
+        service = YieldService(store=SurfaceStore(tmp_path), breaker=breaker)
+
+        # First resolve actually loads from the store — success is real.
+        service.resolve(surface.key)
+        assert breaker.stats()["failures"] == 0
+
+        # The store then faults twice (e.g. transient I/O elsewhere).
+        breaker.record_failure()
+        breaker.record_failure()
+
+        # A *prefix* query misses the LRU under the prefix, resolves the
+        # full key via the store index, and hits the LRU there — no load
+        # happened, so the earned failure count must survive.
+        resolved, degradation = service.resolve("uncorrelated")
+        assert resolved.key == surface.key
+        assert degradation == "none"
+        assert breaker.stats()["failures"] == 2
+
+    def test_actual_store_load_does_reset_failures(self, tmp_path):
+        surface = _surface()
+        SurfaceStore(tmp_path).save(surface)
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_s=3600.0)
+        service = YieldService(
+            store=SurfaceStore(tmp_path), cache_capacity=1, breaker=breaker
+        )
+        breaker.record_failure()
+        service.resolve(surface.key)  # cold cache: a real, verified load
+        assert breaker.stats()["failures"] == 0
+
+    def test_missing_key_releases_probe_without_recording(self, tmp_path):
+        surface = _surface()
+        SurfaceStore(tmp_path).save(surface)
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=3600.0)
+        service = YieldService(store=SurfaceStore(tmp_path), breaker=breaker)
+        breaker.record_failure()
+        with pytest.raises(KeyError):
+            service.resolve("no-such-surface")
+        stats = breaker.stats()
+        assert stats["failures"] == 1      # neither reset nor incremented
+        assert stats["state"] == "closed"  # and no probe left dangling
+
+
+class TestStaleCacheBound:
+    def test_stale_registry_is_bounded_under_churn(self, tmp_path):
+        store = SurfaceStore(tmp_path)
+        keys = []
+        for index in range(7):
+            surface = _surface(w_low=200.0 + 10.0 * index)
+            store.save(surface)
+            keys.append(surface.key)
+        assert len(set(keys)) == 7  # distinct content hashes
+
+        service = YieldService(
+            store=SurfaceStore(tmp_path), cache_capacity=1, stale_capacity=3
+        )
+        for key in keys:
+            service.resolve(key)
+        assert len(service._stale) <= 3
+        # Recency order: only the most recently served copies survive.
+        assert set(service._stale) == set(keys[-3:])
+        assert service.stats()["stale_surfaces"] == 3
+
+    def test_re_serving_refreshes_recency(self, tmp_path):
+        store = SurfaceStore(tmp_path)
+        keys = []
+        for index in range(4):
+            surface = _surface(w_low=300.0 + 10.0 * index)
+            store.save(surface)
+            keys.append(surface.key)
+        service = YieldService(
+            store=SurfaceStore(tmp_path), cache_capacity=1, stale_capacity=2
+        )
+        service.resolve(keys[0])
+        service.resolve(keys[1])
+        service.resolve(keys[0])  # refresh 0; 1 is now the LRU entry
+        service.resolve(keys[2])
+        assert set(service._stale) == {keys[0], keys[2]}
+
+    def test_stale_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            YieldService(stale_capacity=0)
+
+    def test_default_stale_capacity_scales_with_cache(self):
+        service = YieldService(cache_capacity=5)
+        assert service.stale_capacity == 20
+
+    def test_queries_served_counts_entries(self, tmp_path):
+        surface = _surface()
+        SurfaceStore(tmp_path).save(surface)
+        service = YieldService(store=SurfaceStore(tmp_path))
+        widths = np.array([250.0, 300.0, 350.0])
+        service.query(surface.key, widths, np.full(3, 0.25))
+        service.query(surface.key, widths[:1], np.array([0.25]))
+        assert service.queries_served == 4
+        assert service.degraded_queries == 0

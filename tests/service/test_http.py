@@ -1,0 +1,212 @@
+"""Tests of the bundled asyncio HTTP/1.1 server over real sockets.
+
+Boots :class:`~repro.service.http.AsgiHttpServer` on an ephemeral port
+in a background thread and speaks raw HTTP to it — keep-alive reuse,
+malformed requests, and a full query round-trip cross-checked against
+the in-process service.
+"""
+
+import asyncio
+import json
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serving.service import YieldService
+from repro.service.app import YieldApp
+from repro.service.http import AsgiHttpServer, StoreAppFactory, build_app
+from repro.surface.builder import SurfaceBuilder, SweepSpec
+from repro.surface.grid import GridAxis
+from repro.surface.surface import SurfaceStore
+
+
+@pytest.fixture(scope="module")
+def surface():
+    return SurfaceBuilder(SweepSpec(
+        scenario="uncorrelated",
+        width_axis=GridAxis.from_range("width_nm", 200.0, 400.0, 4),
+        density_axis=GridAxis.from_range("cnt_density_per_um", 0.15, 0.35, 4),
+        max_refinement_rounds=1,
+    )).build()
+
+
+class _ServerThread:
+    """Run an AsgiHttpServer on its own event loop in a thread."""
+
+    def __init__(self, app) -> None:
+        self.app = app
+        self.port = None
+        self._ready = threading.Event()
+        self._stop = None
+        self._loop = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=10.0):
+            raise RuntimeError("server thread failed to start")
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        server = AsgiHttpServer(self.app, host="127.0.0.1", port=0)
+        await server.start()
+        self.port = server.port
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await server.close()
+
+    def stop(self) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=10.0)
+
+
+@pytest.fixture()
+def server(surface, tmp_path):
+    SurfaceStore(tmp_path).save(surface)
+    service = YieldService(store=SurfaceStore(tmp_path))
+    app = YieldApp(service, refine_capacity=4, refine_workers=1)
+    handle = _ServerThread(app)
+    handle.service = service
+    yield handle
+    handle.stop()
+    app.refinement.close()
+
+
+def _recv_response(sock):
+    """Read one HTTP response (status, headers dict, body bytes)."""
+    buffer = b""
+    while b"\r\n\r\n" not in buffer:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("closed before headers")
+        buffer += chunk
+    head, _, rest = buffer.partition(b"\r\n\r\n")
+    lines = head.split(b"\r\n")
+    status = int(lines[0].split(b" ", 2)[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(b":")
+        headers[name.strip().lower().decode()] = value.strip().decode()
+    length = int(headers.get("content-length", "0"))
+    while len(rest) < length:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("closed mid-body")
+        rest += chunk
+    return status, headers, rest[:length]
+
+
+def _request(port, method, path, body=b"", extra=b"", sock=None):
+    """Send one request; returns (status, headers, body, socket)."""
+    if isinstance(body, dict):
+        body = json.dumps(body).encode()
+    if sock is None:
+        sock = socket.create_connection(("127.0.0.1", port), timeout=10.0)
+    sock.sendall(
+        b"%s %s HTTP/1.1\r\nhost: test\r\ncontent-type: application/json\r\n"
+        b"content-length: %d\r\n%s\r\n%s"
+        % (method.encode(), path.encode(), len(body), extra, body)
+    )
+    status, headers, payload = _recv_response(sock)
+    return status, headers, payload, sock
+
+
+class TestHttpRoundTrip:
+    def test_healthz_over_socket(self, server):
+        status, headers, body, sock = _request(server.port, "GET", "/healthz")
+        sock.close()
+        assert status == 200
+        assert headers["content-type"] == "application/json"
+        assert json.loads(body)["status"] == "ok"
+
+    def test_query_bounds_match_in_process(self, server, surface):
+        widths = np.array([250.0, 330.0])
+        densities = np.array([0.25, 0.30])
+        status, _, raw, sock = _request(
+            server.port, "POST", "/v1/query",
+            {"surface": surface.key, "width_nm": widths.tolist(),
+             "cnt_density_per_um": densities.tolist(), "device_count": 1e6},
+        )
+        sock.close()
+        assert status == 200
+        wire = json.loads(raw)
+        local = server.service.query(
+            surface.key, widths, cnt_density_per_um=densities,
+            device_count=1e6,
+        )
+        assert wire["failure_probability"] == local.failure_probability.tolist()
+        assert wire["failure_lower"] == local.failure_lower.tolist()
+        assert wire["failure_upper"] == local.failure_upper.tolist()
+        assert wire["chip_yield"] == local.chip_yield.tolist()
+
+    def test_keep_alive_serves_many_requests_per_connection(self, server):
+        sock = None
+        for _ in range(5):
+            status, headers, _, sock = _request(
+                server.port, "GET", "/healthz", sock=sock
+            )
+            assert status == 200
+            assert headers["connection"] == "keep-alive"
+        sock.close()
+
+    def test_connection_close_is_honoured(self, server):
+        status, headers, _, sock = _request(
+            server.port, "GET", "/healthz", extra=b"connection: close\r\n"
+        )
+        assert status == 200
+        assert headers["connection"] == "close"
+        assert sock.recv(1) == b""  # server closed its side
+        sock.close()
+
+    def test_malformed_request_line_is_400(self, server):
+        sock = socket.create_connection(("127.0.0.1", server.port), timeout=10.0)
+        sock.sendall(b"NONSENSE\r\n\r\n")
+        status, headers, _ = _recv_response(sock)
+        sock.close()
+        assert status == 400
+        assert headers["connection"] == "close"
+
+    def test_bad_content_length_is_400(self, server):
+        sock = socket.create_connection(("127.0.0.1", server.port), timeout=10.0)
+        sock.sendall(b"GET /healthz HTTP/1.1\r\ncontent-length: moo\r\n\r\n")
+        status, _, _ = _recv_response(sock)
+        sock.close()
+        assert status == 400
+
+    def test_http_10_closes_by_default(self, server):
+        sock = socket.create_connection(("127.0.0.1", server.port), timeout=10.0)
+        sock.sendall(b"GET /healthz HTTP/1.0\r\n\r\n")
+        status, headers, _ = _recv_response(sock)
+        sock.close()
+        assert status == 200
+        assert headers["connection"] == "close"
+
+
+class TestFactories:
+    def test_build_app_storeless(self):
+        app = build_app(store=None, cache_capacity=2)
+        try:
+            assert app.service.store is None
+        finally:
+            app.refinement.close()
+
+    def test_store_app_factory_is_picklable_and_builds(self, tmp_path, surface):
+        import pickle
+
+        SurfaceStore(tmp_path).save(surface)
+        factory = StoreAppFactory(store=str(tmp_path), cache_capacity=3)
+        clone = pickle.loads(pickle.dumps(factory))
+        app = clone()
+        try:
+            assert app.service.cache.capacity == 3
+            resolved, _ = app.service.resolve(surface.key)
+            assert resolved.key == surface.key
+        finally:
+            app.refinement.close()

@@ -1,0 +1,100 @@
+"""Tests for the request-metrics primitives (histogram, routes)."""
+
+import math
+import threading
+
+import pytest
+
+from repro.service.metrics import LatencyHistogram, MetricsRegistry, RouteMetrics
+
+
+class TestLatencyHistogram:
+    def test_empty_histogram_quantiles_are_nan(self):
+        histogram = LatencyHistogram()
+        assert math.isnan(histogram.quantile(0.5))
+        assert histogram.snapshot()["count"] == 0
+
+    def test_quantile_is_conservative_upper_edge(self):
+        histogram = LatencyHistogram(edges_s=(0.001, 0.01, 0.1))
+        for _ in range(99):
+            histogram.observe(0.0005)   # first bucket (edge 0.001)
+        histogram.observe(0.05)         # third bucket (edge 0.1)
+        assert histogram.quantile(0.5) == 0.001
+        assert histogram.quantile(0.99) == 0.001
+        assert histogram.quantile(1.0) == 0.1
+        # Upper-edge convention: the estimate never understates.
+        assert histogram.quantile(1.0) >= 0.05
+
+    def test_overflow_bucket_reports_max(self):
+        histogram = LatencyHistogram(edges_s=(0.001, 0.01))
+        histogram.observe(5.0)
+        assert histogram.quantile(1.0) == 5.0
+        assert histogram.max_s == 5.0
+
+    def test_mean_and_max_track_observations(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.010)
+        histogram.observe(0.030)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 2
+        assert snapshot["mean_s"] == pytest.approx(0.020)
+        assert snapshot["max_s"] == 0.030
+
+    def test_rejects_bad_edges_and_quantiles(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(edges_s=(0.01, 0.01))
+        histogram = LatencyHistogram()
+        with pytest.raises(ValueError):
+            histogram.quantile(0.0)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_default_edges_span_10us_to_10s(self):
+        histogram = LatencyHistogram()
+        assert histogram.edges_s[0] == pytest.approx(1e-5)
+        assert histogram.edges_s[-1] == pytest.approx(10.0)
+
+
+class TestRouteMetrics:
+    def test_5xx_counts_as_error(self):
+        metrics = RouteMetrics()
+        metrics.record(200, 0.001)
+        metrics.record(404, 0.001)   # client errors are not server errors
+        metrics.record(503, 0.001)
+        snapshot = metrics.snapshot()
+        assert snapshot["requests"] == 3
+        assert snapshot["errors"] == 1
+        assert snapshot["status"] == {"200": 1, "404": 1, "503": 1}
+
+    def test_concurrent_recording_loses_nothing(self):
+        metrics = RouteMetrics()
+        n_threads, per_thread = 8, 500
+        barrier = threading.Barrier(n_threads)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(per_thread):
+                metrics.record(200, 0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snapshot = metrics.snapshot()
+        assert snapshot["requests"] == n_threads * per_thread
+        assert snapshot["latency"]["count"] == n_threads * per_thread
+
+
+class TestMetricsRegistry:
+    def test_routes_created_on_first_use(self):
+        registry = MetricsRegistry()
+        registry.record("POST /v1/query", 200, 0.002)
+        registry.record("GET /healthz", 200, 0.0001)
+        assert registry.routes() == ["GET /healthz", "POST /v1/query"]
+        snapshot = registry.snapshot()
+        assert snapshot["POST /v1/query"]["requests"] == 1
+
+    def test_same_route_object_reused(self):
+        registry = MetricsRegistry()
+        assert registry.route("r") is registry.route("r")

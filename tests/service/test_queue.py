@@ -1,0 +1,120 @@
+"""Tests for the bounded background refinement queue."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service.queue import RefinementJob, RefinementQueue, refinement_job_key
+
+
+def _job(surface="device-abc", widths=(150.0,), densities=(250.0,), samples=100):
+    return RefinementJob(surface, widths, densities, samples)
+
+
+class TestJobKeys:
+    def test_key_is_stable_under_float_noise(self):
+        a = refinement_job_key("s", [178.0], [250.0], 100)
+        b = refinement_job_key("s", [178.0000000001], [250.0], 100)
+        assert a == b
+
+    def test_key_distinguishes_real_differences(self):
+        base = refinement_job_key("s", [178.0], [250.0], 100)
+        assert refinement_job_key("s", [179.0], [250.0], 100) != base
+        assert refinement_job_key("s", [178.0], [251.0], 100) != base
+        assert refinement_job_key("s", [178.0], [250.0], 200) != base
+        assert refinement_job_key("t", [178.0], [250.0], 100) != base
+
+    def test_job_validation(self):
+        with pytest.raises(ValueError, match="match"):
+            RefinementJob("s", [1.0, 2.0], [3.0], 100)
+        with pytest.raises(ValueError, match="at least one point"):
+            RefinementJob("s", [], [], 100)
+
+
+class TestQueueLifecycle:
+    def test_submit_runs_job_and_marks_done(self):
+        ran = []
+        queue = RefinementQueue(
+            lambda *args: ran.append(args), capacity=4, workers=1
+        )
+        try:
+            job = _job()
+            assert queue.submit(job) == "queued"
+            assert queue.drain(timeout_s=5.0)
+            assert queue.is_done(job.key)
+            assert ran == [("device-abc", (150.0,), (250.0,), 100)]
+            assert queue.stats()["completed"] == 1
+        finally:
+            queue.close()
+
+    def test_duplicates_are_collapsed(self):
+        release = threading.Event()
+        queue = RefinementQueue(
+            lambda *args: release.wait(timeout=5.0), capacity=4, workers=1
+        )
+        try:
+            assert queue.submit(_job()) == "queued"
+            assert queue.submit(_job()) == "duplicate"   # pending or active
+            release.set()
+            assert queue.drain(timeout_s=5.0)
+            assert queue.submit(_job()) == "duplicate"   # already done
+            assert queue.stats()["duplicates"] == 2
+        finally:
+            queue.close()
+
+    def test_full_queue_rejects_instead_of_blocking(self):
+        release = threading.Event()
+        queue = RefinementQueue(
+            lambda *args: release.wait(timeout=5.0), capacity=1, workers=1
+        )
+        try:
+            queue.submit(_job(widths=(1.0,)))  # taken by the worker
+            time.sleep(0.05)
+            assert queue.submit(_job(widths=(2.0,))) == "queued"
+            started = time.perf_counter()
+            assert queue.submit(_job(widths=(3.0,))) == "rejected"
+            assert time.perf_counter() - started < 0.5  # never blocked
+            assert queue.stats()["rejected"] == 1
+        finally:
+            release.set()
+            queue.close()
+
+    def test_failed_job_counts_and_is_not_done(self):
+        def explode(*args):
+            raise RuntimeError("sampler crashed")
+
+        queue = RefinementQueue(explode, capacity=4, workers=1)
+        try:
+            job = _job()
+            queue.submit(job)
+            assert queue.drain(timeout_s=5.0)
+            assert not queue.is_done(job.key)
+            assert queue.stats()["failed"] == 1
+        finally:
+            queue.close()
+
+    def test_closed_queue_rejects(self):
+        queue = RefinementQueue(lambda *args: None, capacity=4, workers=1)
+        queue.close()
+        assert queue.submit(_job()) == "rejected"
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            RefinementQueue(lambda *args: None, capacity=0)
+        with pytest.raises(ValueError):
+            RefinementQueue(lambda *args: None, workers=0)
+
+    def test_done_registry_is_bounded(self):
+        queue = RefinementQueue(
+            lambda *args: None, capacity=64, workers=1, done_capacity=3
+        )
+        try:
+            jobs = [_job(widths=(float(i),)) for i in range(1, 7)]
+            for job in jobs:
+                queue.submit(job)
+            assert queue.drain(timeout_s=5.0)
+            remembered = [job for job in jobs if queue.is_done(job.key)]
+            assert len(remembered) <= 3
+        finally:
+            queue.close()

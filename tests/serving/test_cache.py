@@ -145,3 +145,92 @@ class TestThreadSafety:
         for t in threads:
             t.join()
         assert len(cache) <= 8
+
+
+class TestSingleFlightAccounting:
+    """Pre-PR-7, every single-flight follower counted as a miss, so the
+    reported miss count could exceed the number of loads actually paid."""
+
+    def test_followers_count_coalesced_not_missed(self):
+        import threading
+
+        cache = LRUCache(capacity=2)
+        n_followers = 5
+        release = threading.Event()
+        entered = threading.Event()
+
+        def slow_loader():
+            entered.set()
+            release.wait(timeout=5.0)
+            return "value"
+
+        results = []
+        lock = threading.Lock()
+
+        def get():
+            value = cache.get("k", slow_loader)
+            with lock:
+                results.append(value)
+
+        leader = threading.Thread(target=get)
+        leader.start()
+        assert entered.wait(timeout=5.0)
+        followers = [threading.Thread(target=get) for _ in range(n_followers)]
+        for thread in followers:
+            thread.start()
+        # Followers are parked on the flight; only the leader loads.
+        release.set()
+        leader.join()
+        for thread in followers:
+            thread.join()
+
+        assert results == ["value"] * (n_followers + 1)
+        assert cache.misses == 1
+        assert cache.coalesced == n_followers
+        assert cache.hits == 0
+
+    def test_loader_exception_shared_and_key_stays_uncached(self):
+        import threading
+
+        cache = LRUCache(capacity=2)
+        release = threading.Event()
+        entered = threading.Event()
+
+        def failing_loader():
+            entered.set()
+            release.wait(timeout=5.0)
+            raise OSError("disk gone")
+
+        errors = []
+        lock = threading.Lock()
+
+        def get():
+            try:
+                cache.get("k", failing_loader)
+            except OSError as exc:
+                with lock:
+                    errors.append(exc)
+
+        leader = threading.Thread(target=get)
+        leader.start()
+        assert entered.wait(timeout=5.0)
+        follower = threading.Thread(target=get)
+        follower.start()
+        release.set()
+        leader.join()
+        follower.join()
+
+        assert len(errors) == 2
+        assert "k" not in cache
+        # The next get retries the loader (a fresh miss, not a hit).
+        assert cache.get("k", lambda: "ok") == "ok"
+        assert cache.misses == 2
+
+    def test_hit_rate_counts_coalesced_as_served(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.coalesced += 2  # as if two followers shared one load
+        stats = cache.stats()
+        assert stats["coalesced"] == 2
+        assert stats["hit_rate"] == (1 + 2) / (1 + 2 + 0)

@@ -432,3 +432,30 @@ class TestCheckpointedCommands:
         payload = json.loads(capsys.readouterr().out)
         assert payload["degraded"] is False
         assert payload["degradation"] == ["none"]
+
+
+class TestServeCommand:
+    """Validation of the `serve` subcommand (no server is booted here;
+    the full boot path is exercised by benchmarks/bench_service_http.py)."""
+
+    def test_missing_store_is_usage_error(self, capsys):
+        exit_code = main(["serve", "--store", "/no/such/dir"])
+        assert exit_code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_store_must_be_a_directory(self, tmp_path, capsys):
+        artifact = tmp_path / "file.npz"
+        artifact.write_bytes(b"x")
+        exit_code = main(["serve", "--store", str(artifact)])
+        assert exit_code == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_workers_must_be_positive(self, capsys):
+        exit_code = main(["serve", "--workers", "0"])
+        assert exit_code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_multi_worker_needs_explicit_port(self, capsys):
+        exit_code = main(["serve", "--workers", "2", "--port", "0"])
+        assert exit_code == 2
+        assert "explicit --port" in capsys.readouterr().err

@@ -20,6 +20,7 @@ AUDITED_PATHS = (
     REPO / "src" / "repro" / "backend",
     REPO / "src" / "repro" / "montecarlo" / "wafer_sim.py",
     REPO / "src" / "repro" / "resilience",
+    REPO / "src" / "repro" / "service",
 )
 
 
