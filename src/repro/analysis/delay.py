@@ -144,6 +144,57 @@ class GateDelayModel:
                 delays = delays / nominal
         return delays
 
+    def delays_from_counts(
+        self,
+        width_nm: float,
+        working_counts: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+        normalise: bool = True,
+    ) -> np.ndarray:
+        """Gate delays driven by externally sampled working-tube counts.
+
+        Companion of :meth:`sample_delays` for callers that already hold the
+        per-device counts — e.g. the chip Monte Carlo engine, whose counts
+        carry the row-sharing correlation of the paper.  The count sampling
+        step is skipped entirely; only the per-tube diameter draw remains
+        (one flat vectorised draw via
+        :meth:`~repro.device.current.CNTCurrentModel.on_currents_from_counts`),
+        and ``rng=None`` gives every tube the nominal diameter so the delays
+        become a deterministic function of the counts.
+
+        Parameters
+        ----------
+        width_nm:
+            Device width (sets the load capacitance).
+        working_counts:
+            Integer array (any shape) of working-tube counts per device.
+        rng:
+            Diameter sampling stream, or ``None`` for nominal diameters.
+        normalise:
+            Divide by :meth:`nominal_delay` (same convention as
+            :meth:`sample_delays`).
+
+        Returns
+        -------
+        numpy.ndarray
+            Delay array of the same shape; devices with zero working tubes
+            get ``inf``.
+        """
+        ensure_positive(width_nm, "width_nm")
+        counts = np.asarray(working_counts)
+        load = self.fanout * self.capacitance_model.device_capacitance_af(width_nm)
+        currents = self.current_model.on_currents_from_counts(
+            counts, rng, self.diameter_mean_nm, self.diameter_std_nm
+        )
+        delays = np.full(counts.shape, np.inf, dtype=float)
+        conducting = currents > 0.0
+        delays[conducting] = load / currents[conducting]
+        if normalise:
+            nominal = self.nominal_delay(width_nm)
+            if np.isfinite(nominal) and nominal > 0:
+                delays = delays / nominal
+        return delays
+
     def summarise(
         self, width_nm: float, n_samples: int, rng: np.random.Generator
     ) -> DelaySummary:

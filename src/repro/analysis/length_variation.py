@@ -63,9 +63,11 @@ class FixedLengthDistribution(CNTLengthDistribution):
 
     @property
     def mean_um(self) -> float:
+        """Mean segment length (µm) — the fixed length itself."""
         return self.length_um
 
     def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``size`` identical lengths (µm)."""
         return np.full(size, self.length_um, dtype=float)
 
 
@@ -80,9 +82,11 @@ class ExponentialLengthDistribution(CNTLengthDistribution):
 
     @property
     def mean_um(self) -> float:
+        """Mean segment length (µm) of the exponential distribution."""
         return self.mean_length_um
 
     def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``size`` exponentially distributed lengths (µm)."""
         return rng.exponential(scale=self.mean_length_um, size=size)
 
 
@@ -99,9 +103,11 @@ class LognormalLengthDistribution(CNTLengthDistribution):
 
     @property
     def mean_um(self) -> float:
+        """Mean segment length (µm) implied by the median and log-sigma."""
         return self.median_length_um * math.exp(0.5 * self.sigma_log ** 2)
 
     def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``size`` lognormally distributed lengths (µm)."""
         return rng.lognormal(
             mean=math.log(self.median_length_um), sigma=self.sigma_log, size=size
         )

@@ -23,6 +23,12 @@ without writing Python:
     Generate the synthetic OpenRISC-like netlist and write it as a
     structural Verilog-style file.
 
+``python -m repro.cli timing``
+    Timing-aware parametric yield: joint functional / critical-path Monte
+    Carlo over a design-derived timing graph (or one ingested with
+    ``--graph``), reporting functional, timing and combined yield at the
+    chosen clock period.
+
 ``python -m repro.cli rare-event``
     Importance-sampled device failure probability deep in the tail
     (default pF ≈ 1e-9) with the chip-yield consequence at the configured
@@ -726,6 +732,92 @@ def _cmd_netlist(args: argparse.Namespace) -> int:
     return _emit(args, payload, lines)
 
 
+def _cmd_timing(args: argparse.Namespace) -> int:
+    from repro.analysis.delay import GateDelayModel
+    from repro.cells.nangate45 import build_nangate45_library
+    from repro.core.count_model import PoissonCountModel
+    from repro.growth.pitch import pitch_distribution_from_cv
+    from repro.growth.types import CNTTypeModel
+    from repro.montecarlo.chip_sim import ChipMonteCarlo
+    from repro.netlist.openrisc import build_openrisc_like_design
+    from repro.netlist.placement import RowPlacement
+    from repro.timing import TimingMonteCarlo, load_timing_graph
+
+    if args.tclk_ps is not None and args.tclk_factor is not None:
+        raise CLIUsageError("--tclk-ps and --tclk-factor are mutually exclusive")
+    if args.workers < 1:
+        raise CLIUsageError("--workers must be at least 1")
+    if args.graph is not None:
+        if args.scale is not None or args.netlist_seed is not None:
+            raise CLIUsageError(
+                "--graph takes a ready-made timing graph; --scale and "
+                "--netlist-seed only apply to the derived netlist mode"
+            )
+        graph_path = Path(args.graph)
+        if not graph_path.is_file():
+            raise CLIUsageError(f"--graph {args.graph!r} is not a readable file")
+
+    type_model = CNTTypeModel()
+    if args.graph is not None:
+        graph = load_timing_graph(args.graph)
+        delay_model = GateDelayModel(
+            count_model=PoissonCountModel(args.mean_pitch_nm),
+            type_model=type_model,
+        )
+        engine = TimingMonteCarlo.from_graph(graph, delay_model)
+        mode = "ingested (independent per-node counts)"
+    else:
+        scale = 0.05 if args.scale is None else args.scale
+        netlist_seed = 2010 if args.netlist_seed is None else args.netlist_seed
+        library = build_nangate45_library()
+        design = build_openrisc_like_design(library, scale=scale, seed=netlist_seed)
+        placement = RowPlacement(design)
+        chip = ChipMonteCarlo(
+            placement,
+            pitch=pitch_distribution_from_cv(args.mean_pitch_nm, args.pitch_cv),
+            type_model=type_model,
+        )
+        engine = TimingMonteCarlo.from_chip(chip, seed=args.derive_seed)
+        graph = engine.graph
+        mode = "derived (correlated shared-track counts)"
+
+    if args.tclk_ps is not None:
+        t_clk = float(args.tclk_ps)
+    else:
+        factor = 1.2 if args.tclk_factor is None else args.tclk_factor
+        t_clk = engine.default_t_clk_ps(factor=factor)
+    result = engine.run(
+        args.trials,
+        np.random.default_rng(args.seed),
+        t_clk_ps=t_clk,
+        n_workers=args.workers,
+        oracle=args.oracle,
+    )
+    payload = {
+        "mode": mode,
+        "n_nodes": graph.n_nodes,
+        "n_arcs": graph.n_arcs,
+        "depth": graph.depth,
+        "n_trials": result.n_trials,
+        "t_clk_ps": result.t_clk_ps,
+        "nominal_critical_path_ps": result.nominal_critical_path_ps,
+        "functional_yield": result.functional_yield,
+        "timing_yield": result.timing_yield,
+        "combined_yield": result.combined_yield,
+    }
+    lines = [
+        f"timing graph          : {graph.n_nodes} nodes, {graph.n_arcs} arcs, "
+        f"depth {graph.depth} ({mode})",
+        f"trials                : {result.n_trials}",
+        f"nominal critical path : {result.nominal_critical_path_ps:.2f} ps",
+        f"clock period          : {result.t_clk_ps:.2f} ps",
+        f"functional yield      : {result.functional_yield:.4f}",
+        f"timing yield          : {result.timing_yield:.4f}",
+        f"combined yield        : {result.combined_yield:.4f}",
+    ]
+    return _emit(args, payload, lines)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.growth.pitch import pitch_distribution_from_cv
     from repro.reporting.tables import (
@@ -982,6 +1074,41 @@ def build_parser() -> argparse.ArgumentParser:
     netlist.add_argument("--seed", type=int, default=2010, help="generator seed")
     netlist.add_argument("--output", type=str, default=None,
                          help="output file (stdout when omitted)")
+
+    timing = add_subparser(
+        "timing", _cmd_timing,
+        "joint functional / critical-path (parametric) yield Monte Carlo",
+        common=False,
+    )
+    timing.add_argument("--graph", type=str, default=None,
+                        help="ingest a plain-text timing graph instead of "
+                             "deriving one from the synthetic netlist")
+    timing.add_argument("--scale", type=float, default=None,
+                        help="OpenRISC-like netlist scale factor for the "
+                             "derived mode (default 0.05)")
+    timing.add_argument("--netlist-seed", type=int, default=None,
+                        help="netlist generator seed for the derived mode "
+                             "(default 2010)")
+    timing.add_argument("--derive-seed", type=int, default=2010,
+                        help="fanin-sampling seed of the derived graph")
+    timing.add_argument("--mean-pitch-nm", type=float, default=8.0,
+                        help="mean inter-CNT pitch in nm (default 8)")
+    timing.add_argument("--pitch-cv", type=float, default=1.0,
+                        help="pitch coefficient of variation (default 1.0)")
+    timing.add_argument("--trials", type=int, default=256,
+                        help="whole-chip Monte Carlo trials (default 256)")
+    timing.add_argument("--seed", type=int, default=2010, help="RNG seed")
+    timing.add_argument("--workers", type=int, default=1,
+                        help="processes for trial chunks (results identical)")
+    timing.add_argument("--tclk-ps", type=float, default=None,
+                        help="clock period in ps (exclusive with "
+                             "--tclk-factor)")
+    timing.add_argument("--tclk-factor", type=float, default=None,
+                        help="clock period as a multiple of the nominal "
+                             "critical path (default 1.2)")
+    timing.add_argument("--oracle", action="store_true",
+                        help="use the per-trial scalar STA walk instead of "
+                             "the batched sweep (bitwise-identical, slower)")
 
     sweep = add_subparser(
         "sweep", _cmd_sweep,

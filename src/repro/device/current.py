@@ -21,7 +21,7 @@ the reproduced results.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Optional
 
 import numpy as np
 
@@ -142,6 +142,61 @@ class CNTCurrentModel:
         diameters = np.clip(diameters, 0.5, None)
         currents = [self.semiconducting_on_current_ua(float(d)) for d in diameters]
         return float(np.sum(currents))
+
+    def on_currents_from_counts(
+        self,
+        working_counts: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+        diameter_mean_nm: float = 1.5,
+        diameter_std_nm: float = 0.2,
+    ) -> np.ndarray:
+        """Device on-currents (µA) for an externally sampled count vector.
+
+        Vectorised batch companion of :meth:`sample_on_current_ua`: one flat
+        truncated-normal diameter draw covers every tube of every device, and
+        a ``repeat``/``bincount`` pass sums the per-tube currents back into
+        per-device totals — exact, and deterministic given the generator
+        state.  Devices with zero working tubes get a current of 0.
+
+        Parameters
+        ----------
+        working_counts:
+            Integer array (any shape) of working-tube counts per device.
+        rng:
+            Diameter sampling stream.  ``None`` skips sampling entirely and
+            gives every tube the nominal ``diameter_mean_nm`` (the
+            deterministic mean-diameter current).
+        diameter_mean_nm, diameter_std_nm:
+            Truncated-normal tube diameter statistics (clipped at 0.5 nm,
+            matching :meth:`sample_on_current_ua`).
+
+        Returns
+        -------
+        numpy.ndarray
+            Float array of device currents, same shape as ``working_counts``.
+        """
+        counts = np.asarray(working_counts)
+        if np.any(counts < 0):
+            raise ValueError("working_counts must be non-negative")
+        flat = counts.reshape(-1).astype(np.int64)
+        if rng is None:
+            per_device = flat * self.semiconducting_on_current_ua(
+                float(ensure_positive(diameter_mean_nm, "diameter_mean_nm"))
+            )
+            return per_device.astype(float).reshape(counts.shape)
+        total = int(flat.sum())
+        if total == 0:
+            return np.zeros(counts.shape, dtype=float)
+        diameters = rng.normal(diameter_mean_nm, diameter_std_nm, size=total)
+        diameters = np.clip(diameters, 0.5, None)
+        per_tube = (
+            self.nominal_on_current_ua
+            * (diameters / self.reference_diameter_nm) ** self.diameter_exponent
+            * self._overdrive_factor
+        )
+        device_index = np.repeat(np.arange(flat.size), flat)
+        sums = np.bincount(device_index, weights=per_tube, minlength=flat.size)
+        return sums.reshape(counts.shape)
 
 
 def device_on_current(

@@ -49,7 +49,7 @@ from repro.montecarlo.engine import (
     run_chunked,
     sample_track_batch,
 )
-from repro.netlist.placement import RowPlacement
+from repro.netlist.placement import PlacedInstance, RowPlacement
 from repro.resilience.guards import check_finite
 from repro.units import ensure_positive
 
@@ -180,20 +180,21 @@ def _width_class_matrix(
     return widths, class_matrix, class_matrix.sum(axis=0)
 
 
-def _chip_window_failures(
+def _chip_window_counts(
     geometry: _ChipGeometry, n_chunk: int, rng: np.random.Generator
 ) -> np.ndarray:
-    """Per-(trial, distinct window) failure indicators for one chunk.
+    """Per-(trial, distinct window) working-tube counts for one chunk.
 
     Every (trial, row) pair is one renewal trial; flat trial ``t * n_rows + r``
-    carries row ``r`` of chip trial ``t``.  Returns the boolean failing
-    matrix of shape ``(n_chunk, n_windows)`` (a window fails when it
-    captures zero working tubes).  The window-counting pass runs on the
+    carries row ``r`` of chip trial ``t``.  Returns the count matrix of
+    shape ``(n_chunk, n_windows)``: how many working tubes each distinct
+    device window captured.  The window-counting pass runs on the
     geometry's backend; this is the shared sampling kernel of
-    :func:`_simulate_chip_chunk` and the wafer tier's per-die chip runs
-    (:func:`repro.montecarlo.wafer_sim.run_chip_wafer`) — both consume
-    the generator identically, which is what keeps the two paths bitwise
-    comparable.
+    :func:`_simulate_chip_chunk`, the wafer tier's per-die chip runs
+    (:func:`repro.montecarlo.wafer_sim.run_chip_wafer`) and the timing
+    tier (:mod:`repro.timing.parametric`) — all consume the generator
+    identically, which is what keeps functional and parametric yield
+    answerable from the *same* per-trial tracks.
     """
     xp = geometry.backend if geometry.backend is not None else default_backend()
     n_rows = geometry.n_rows
@@ -210,7 +211,7 @@ def _chip_window_failures(
         np.repeat(np.arange(n_chunk) * n_rows, n_windows)
         + np.tile(geometry.window_row, n_chunk)
     )
-    counts = xp.to_numpy(count_in_windows_flat(
+    return xp.to_numpy(count_in_windows_flat(
         batch.positions,
         working,
         geometry.row_height_nm,
@@ -219,7 +220,17 @@ def _chip_window_failures(
         trial_index,
         backend=xp,
     )).reshape(n_chunk, n_windows)
-    return counts == 0
+
+
+def _chip_window_failures(
+    geometry: _ChipGeometry, n_chunk: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Boolean failing matrix ``(n_chunk, n_windows)`` — zero working tubes.
+
+    Thin view over :func:`_chip_window_counts`; retained as the kernel the
+    functional-yield consumers call.
+    """
+    return _chip_window_counts(geometry, n_chunk, rng) == 0
 
 
 def _simulate_chip_chunk(
@@ -446,6 +457,40 @@ class ChipMonteCarlo:
         saving its benchmark measures.
         """
         return self._geometry
+
+    def instance_windows(self) -> List[Tuple["PlacedInstance", List[int]]]:
+        """Per placed instance, the distinct-window index of each transistor.
+
+        Replays the exact clamping of :meth:`_collect_device_windows` and the
+        per-row insertion-ordered deduplication of :meth:`_build_geometry`,
+        so the returned indices address columns of the count matrices the
+        chunk kernels produce (:func:`_chip_window_counts`).  Instances are
+        returned in placement order; an instance without transistors (filler
+        cells) gets an empty index list.  This is the bridge the timing tier
+        uses to read each gate's captured-tube count out of the same sampled
+        tracks that decide functional yield.
+        """
+        result: List[Tuple[PlacedInstance, List[int]]] = []
+        next_global = 0
+        for row, windows in zip(self._rows, self._row_windows):
+            if not windows:
+                for placed in row.placed:
+                    result.append((placed, []))
+                continue
+            distinct: Dict[Tuple[float, float], int] = {}
+            for placed in row.placed:
+                indices: List[int] = []
+                for cell_region in placed.cell.active_regions(x_origin_nm=placed.x_nm):
+                    region = cell_region.region
+                    y_low = min(max(region.y_nm, 0.0), self.row_height_nm)
+                    y_high = min(max(region.y_end_nm, y_low), self.row_height_nm)
+                    key = (y_low, y_high)
+                    if key not in distinct:
+                        distinct[key] = next_global
+                        next_global += 1
+                    indices.append(distinct[key])
+                result.append((placed, indices))
+        return result
 
     def width_class_histogram(self) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
         """Distinct device-width classes of the placement and their counts.

@@ -1,0 +1,67 @@
+"""Timing-aware parametric yield: from per-trial tube counts to P(meet T_clk).
+
+The subsystem has four layers, bottom to top:
+
+:mod:`repro.timing.graph`
+    :class:`TimingGraph` — validated, levelized DAGs of delay-bearing
+    stages (registers split into clock-to-Q sources and D-capture sinks).
+:mod:`repro.timing.liberty`
+    Liberty-style NLDM lookup tables characterized from
+    :class:`~repro.analysis.delay.GateDelayModel`.
+:mod:`repro.timing.sta`
+    Batched levelized arrival propagation over all Monte Carlo trials at
+    once, with a bitwise-equal per-trial scalar oracle.
+:mod:`repro.timing.parametric`
+    :class:`TimingMonteCarlo` — functional, timing and combined yield from
+    the *same* per-trial sampled tracks as
+    :class:`~repro.montecarlo.chip_sim.ChipMonteCarlo`.
+
+Graphs come from :mod:`repro.timing.ingest`: either the plain-text format
+(``parse_timing_graph`` / ``load_timing_graph``) or derived directly from
+a placed design (``derive_timing_graph``) so no external files are needed.
+"""
+
+from repro.timing.graph import TimingGraph, TimingGraphError, TimingNode
+from repro.timing.ingest import (
+    DerivedTiming,
+    derive_timing_graph,
+    format_timing_graph,
+    load_timing_graph,
+    parse_timing_graph,
+)
+from repro.timing.liberty import (
+    NLDMTable,
+    characterize_cell,
+    characterize_graph,
+    nominal_node_delays,
+)
+from repro.timing.parametric import TimingMonteCarlo, TimingYieldResult
+from repro.timing.sta import (
+    critical_path_delays,
+    endpoint_slacks,
+    propagate_arrivals,
+    propagate_arrivals_scalar,
+    slack_histogram,
+)
+
+__all__ = [
+    "TimingGraph",
+    "TimingGraphError",
+    "TimingNode",
+    "DerivedTiming",
+    "derive_timing_graph",
+    "format_timing_graph",
+    "load_timing_graph",
+    "parse_timing_graph",
+    "NLDMTable",
+    "characterize_cell",
+    "characterize_graph",
+    "nominal_node_delays",
+    "TimingMonteCarlo",
+    "TimingYieldResult",
+    "critical_path_delays",
+    "endpoint_slacks",
+    "propagate_arrivals",
+    "propagate_arrivals_scalar",
+    "slack_histogram",
+]

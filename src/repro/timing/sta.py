@@ -1,0 +1,141 @@
+"""Static timing propagation: batched levelized sweep plus a scalar oracle.
+
+The batched pass answers every Monte Carlo trial of a chunk at once: per
+level it gathers the already-computed fanin arrivals for *all* trials
+(``arrival[:, edge_src]``), reduces each receiver's group with one
+``np.maximum.reduceat``, and adds the receivers' own delays.  The scalar
+oracle walks one trial at a time in plain Python over the same canonical
+fanin order.  Because floating-point ``max`` is exact (it selects one of
+its operands) and both paths add identical operands, the two produce
+**bitwise-equal** arrival matrices — the equivalence the timing tests and
+``benchmarks/bench_timing.py`` assert.
+
+Delay matrices may contain ``inf`` (a gate that captured zero working
+tubes never switches); ``inf`` propagates through max/add exactly, so an
+infinite critical path marks the trial as a parametric failure at any
+clock period.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.timing.graph import TimingGraph
+
+
+def _as_delay_matrix(delays: np.ndarray, n_nodes: int) -> np.ndarray:
+    """Validate/normalise a delay array to shape ``(n_trials, n_nodes)``."""
+    matrix = np.asarray(delays, dtype=float)
+    if matrix.ndim == 1:
+        matrix = matrix[None, :]
+    if matrix.ndim != 2 or matrix.shape[1] != n_nodes:
+        raise ValueError(
+            f"delays must have shape (n_trials, {n_nodes}); got {matrix.shape}"
+        )
+    if np.isnan(matrix).any():
+        raise ValueError("delays must not contain NaN (inf marks dead gates)")
+    return matrix
+
+
+def propagate_arrivals(graph: TimingGraph, delays: np.ndarray) -> np.ndarray:
+    """Arrival times for all trials in one levelized array sweep.
+
+    Parameters
+    ----------
+    graph:
+        The timing graph to propagate over.
+    delays:
+        Per-trial node delays, shape ``(n_trials, n_nodes)`` (a 1-D vector
+        is treated as one trial).  ``inf`` entries are legal.
+
+    Returns
+    -------
+    numpy.ndarray
+        Arrival matrix of the same shape: ``arrival[t, v] = delay[t, v] +
+        max(arrival[t, u] for u in fanins(v))`` with the max over an empty
+        fanin set taken as 0 (sources launch at their own delay).
+    """
+    matrix = _as_delay_matrix(delays, graph.n_nodes)
+    arrivals = np.empty_like(matrix)
+    roots = graph.levels[0]
+    arrivals[:, roots] = matrix[:, roots]
+    for level in graph.edge_plan():
+        gathered = arrivals[:, level.src]
+        fanin_max = np.maximum.reduceat(gathered, level.starts, axis=1)
+        arrivals[:, level.dst] = fanin_max + matrix[:, level.dst]
+    return arrivals
+
+
+def propagate_arrivals_scalar(
+    graph: TimingGraph, delays: np.ndarray
+) -> np.ndarray:
+    """Per-trial Python reference of :func:`propagate_arrivals`.
+
+    Walks every trial, level and fanin in scalar Python over the same
+    canonical fanin order as the batched plan; retained as the oracle the
+    statistical-equivalence tests and the benchmark compare against.
+    Bitwise-equal to the batched pass on the same delay matrix.
+    """
+    matrix = _as_delay_matrix(delays, graph.n_nodes)
+    arrivals = np.empty_like(matrix)
+    levels = graph.levels
+    for trial in range(matrix.shape[0]):
+        row = matrix[trial]
+        out = arrivals[trial]
+        for node in levels[0].tolist():
+            out[node] = row[node]
+        for level_nodes in levels[1:]:
+            for node in level_nodes.tolist():
+                best = -np.inf
+                for src in graph.fanin_indices(node):
+                    value = out[src]
+                    if value > best:
+                        best = value
+                out[node] = best + row[node]
+    return arrivals
+
+
+def critical_path_delays(
+    graph: TimingGraph, arrivals: np.ndarray
+) -> np.ndarray:
+    """Per-trial critical-path delay: the worst sink arrival.
+
+    Sinks are the graph's declared sinks plus any fanout-free node, so
+    every path endpoint is covered even in graphs without registers.
+    """
+    matrix = np.asarray(arrivals, dtype=float)
+    if matrix.ndim == 1:
+        matrix = matrix[None, :]
+    return matrix[:, graph.sink_indices].max(axis=1)
+
+
+def endpoint_slacks(
+    graph: TimingGraph, arrivals: np.ndarray, t_clk_ps: float
+) -> np.ndarray:
+    """Per-(trial, sink) slack ``t_clk − arrival`` (negative = violation)."""
+    matrix = np.asarray(arrivals, dtype=float)
+    if matrix.ndim == 1:
+        matrix = matrix[None, :]
+    return float(t_clk_ps) - matrix[:, graph.sink_indices]
+
+
+def slack_histogram(
+    slacks: np.ndarray,
+    n_bins: int = 20,
+    range_ps: Optional[tuple] = None,
+) -> tuple:
+    """Histogram of finite endpoint slacks, as ``(counts, bin_edges)``.
+
+    Infinite slacks (endpoints behind a dead gate) are excluded from the
+    binning; the caller accounts for them through the functional-failure
+    fraction.
+    """
+    flat = np.asarray(slacks, dtype=float).ravel()
+    finite = flat[np.isfinite(flat)]
+    if finite.size == 0:
+        edges = np.linspace(0.0, 1.0, n_bins + 1)
+        return np.zeros(n_bins, dtype=np.int64), edges
+    counts, edges = np.histogram(finite, bins=n_bins, range=range_ps)
+    return counts, edges

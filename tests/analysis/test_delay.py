@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.analysis.delay import GateDelayModel
 from repro.core.count_model import PoissonCountModel
@@ -27,6 +28,31 @@ class TestNominalDelay:
         d1 = model.nominal_delay(80.0)
         d2 = model.nominal_delay(320.0)
         assert d1 == pytest.approx(d2, rel=0.01)
+
+    def test_nominal_delay_ratios(self, model):
+        # Delay = load / current, load ∝ fanout, current ∝ mean working
+        # count: doubling fanout doubles the delay, halving the removal
+        # survival halves the current and doubles the delay again.
+        doubled_fanout = GateDelayModel(
+            count_model=model.count_model,
+            type_model=model.type_model,
+            fanout=2 * model.fanout,
+        )
+        assert doubled_fanout.nominal_delay(160.0) == pytest.approx(
+            2.0 * model.nominal_delay(160.0), rel=1e-12
+        )
+        half_survival = GateDelayModel(
+            count_model=model.count_model,
+            type_model=CNTTypeModel(1.0 / 3.0, 1.0, 0.5),
+            fanout=model.fanout,
+        )
+        ratio = (
+            model.type_model.per_cnt_success_probability
+            / half_survival.type_model.per_cnt_success_probability
+        )
+        assert half_survival.nominal_delay(160.0) == pytest.approx(
+            ratio * model.nominal_delay(160.0), rel=1e-12
+        )
 
 
 class TestSampledDelays:
@@ -68,3 +94,70 @@ class TestSampledDelays:
             model.sample_delays(0.0, 10, rng)
         with pytest.raises(ValueError):
             model.sample_delays(80.0, 0, rng)
+
+    def test_tail_quantiles_shrink_with_width(self, model, rng):
+        # σ(Ion)/µ(Ion) ∝ 1/√N: wider devices capture more tubes, so the
+        # normalised slow tail (p95, p99) tightens toward the mean.
+        summaries = model.spread_versus_width([40.0, 160.0, 640.0], 4_000, rng)
+        p95s = [s.p95_delay for s in summaries]
+        p99s = [s.p99_delay for s in summaries]
+        assert p95s[0] > p95s[1] > p95s[2]
+        assert p99s[0] > p99s[1] > p99s[2]
+
+
+class TestDelaysFromCounts:
+    def test_normalised_delay_is_mean_over_count(self, model):
+        # With nominal diameters, delay ∝ 1/count, so the normalised delay
+        # at an integer count k is exactly mean_working / k.
+        width = 160.0
+        mean_working = (
+            model.count_model.mean_count(width)
+            * model.type_model.per_cnt_success_probability
+        )
+        for k in (1, 4, 26, 40):
+            delays = model.delays_from_counts(width, np.array([k]))
+            assert delays[0] == pytest.approx(mean_working / k, rel=1e-12)
+
+    def test_zero_count_is_infinite(self, model):
+        delays = model.delays_from_counts(160.0, np.array([0, 3]))
+        assert np.isinf(delays[0])
+        assert np.isfinite(delays[1])
+
+    def test_preserves_shape(self, model):
+        counts = np.arange(1, 13).reshape(3, 4)
+        delays = model.delays_from_counts(160.0, counts)
+        assert delays.shape == counts.shape
+
+    def test_deterministic_without_rng(self, model):
+        counts = np.array([1, 2, 5, 9])
+        first = model.delays_from_counts(160.0, counts)
+        second = model.delays_from_counts(160.0, counts)
+        assert np.array_equal(first, second)
+
+    def test_sampling_path_unchanged(self, model):
+        # The self-sampling path must stay bitwise identical: the new
+        # external-count entry point shares no generator consumption with it.
+        a = model.sample_delays(160.0, 200, np.random.default_rng(99))
+        b = model.sample_delays(160.0, 200, np.random.default_rng(99))
+        assert np.array_equal(a, b)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        counts=st.lists(
+            st.integers(min_value=0, max_value=200), min_size=2, max_size=16
+        ),
+        width=st.floats(min_value=20.0, max_value=800.0, allow_nan=False),
+    )
+    def test_delay_non_increasing_in_working_count(self, counts, width):
+        # With nominal diameters (rng=None) every working tube carries the
+        # same current, so delay is exactly non-increasing in the count.
+        model = GateDelayModel(
+            count_model=PoissonCountModel(4.0),
+            type_model=CNTTypeModel(1.0 / 3.0, 1.0, 0.0),
+            diameter_std_nm=0.0,
+        )
+        ordered = np.sort(np.asarray(counts, dtype=np.int64))
+        delays = model.delays_from_counts(width, ordered, normalise=False)
+        # Pairwise (not np.diff): inf - inf would be NaN for repeated
+        # zero counts, but inf >= inf compares fine.
+        assert np.all(delays[:-1] >= delays[1:])

@@ -459,3 +459,91 @@ class TestServeCommand:
         exit_code = main(["serve", "--workers", "2", "--port", "0"])
         assert exit_code == 2
         assert "explicit --port" in capsys.readouterr().err
+
+
+class TestTimingCommand:
+    GRAPH_TEXT = (
+        "node ff0.Q DFF_X1 width=160 load=640 source\n"
+        "node u1 NAND2_X1 width=160 load=640\n"
+        "node ff1.D DFF_X1 width=160 load=0 sink\n"
+        "arc ff0.Q u1\n"
+        "arc u1 ff1.D\n"
+    )
+
+    def test_derived_mode(self, capsys):
+        exit_code = main([
+            "timing", "--scale", "0.02", "--trials", "32",
+        ])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "functional yield" in captured
+        assert "timing yield" in captured
+        assert "combined yield" in captured
+        assert "derived" in captured
+
+    def test_json_payload(self, capsys):
+        exit_code = main([
+            "timing", "--scale", "0.02", "--trials", "32", "--json",
+        ])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_trials"] == 32
+        assert 0.0 <= payload["combined_yield"] <= payload["functional_yield"]
+        assert payload["t_clk_ps"] > 0
+        assert payload["nominal_critical_path_ps"] > 0
+
+    def test_ingested_mode(self, tmp_path, capsys):
+        graph_file = tmp_path / "tiny.tg"
+        graph_file.write_text(self.GRAPH_TEXT, encoding="utf-8")
+        exit_code = main([
+            "timing", "--graph", str(graph_file), "--trials", "32", "--json",
+        ])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_nodes"] == 3
+        assert "ingested" in payload["mode"]
+
+    def test_oracle_matches_batched(self, tmp_path, capsys):
+        graph_file = tmp_path / "tiny.tg"
+        graph_file.write_text(self.GRAPH_TEXT, encoding="utf-8")
+        base_args = [
+            "timing", "--graph", str(graph_file), "--trials", "64", "--json",
+        ]
+        assert main(base_args) == 0
+        batched = json.loads(capsys.readouterr().out)
+        assert main(base_args + ["--oracle"]) == 0
+        oracle = json.loads(capsys.readouterr().out)
+        assert batched == oracle
+
+    def test_tclk_flags_are_exclusive(self, capsys):
+        exit_code = main([
+            "timing", "--tclk-ps", "100", "--tclk-factor", "2",
+        ])
+        assert exit_code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_graph_excludes_netlist_flags(self, tmp_path, capsys):
+        graph_file = tmp_path / "tiny.tg"
+        graph_file.write_text(self.GRAPH_TEXT, encoding="utf-8")
+        exit_code = main([
+            "timing", "--graph", str(graph_file), "--scale", "0.1",
+        ])
+        assert exit_code == 2
+        assert "derived netlist mode" in capsys.readouterr().err
+
+    def test_unreadable_graph_exits_two(self, capsys):
+        exit_code = main(["timing", "--graph", "/no/such/graph.tg"])
+        assert exit_code == 2
+        assert "not a readable file" in capsys.readouterr().err
+
+    def test_workers_must_be_positive(self, capsys):
+        exit_code = main(["timing", "--workers", "0"])
+        assert exit_code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_malformed_graph_exits_one(self, tmp_path, capsys):
+        graph_file = tmp_path / "bad.tg"
+        graph_file.write_text("node u1\n", encoding="utf-8")
+        exit_code = main(["timing", "--graph", str(graph_file)])
+        assert exit_code == 1
+        assert "error:" in capsys.readouterr().err

@@ -21,6 +21,8 @@ AUDITED_PATHS = (
     REPO / "src" / "repro" / "montecarlo" / "wafer_sim.py",
     REPO / "src" / "repro" / "resilience",
     REPO / "src" / "repro" / "service",
+    REPO / "src" / "repro" / "timing",
+    REPO / "src" / "repro" / "analysis",
 )
 
 

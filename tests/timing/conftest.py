@@ -1,0 +1,33 @@
+"""Shared fixtures for the timing-tier tests.
+
+The chip fixture sits at a deliberately friendly growth corner (8 nm mean
+pitch, 5 % removal loss) so functional, timing and combined yields are all
+strictly between 0 and 1 — degenerate corners would let bugs that swap or
+collapse the three yields pass unnoticed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.growth.pitch import pitch_distribution_from_cv
+from repro.growth.types import CNTTypeModel
+from repro.montecarlo.chip_sim import ChipMonteCarlo
+from repro.netlist.openrisc import build_openrisc_like_design
+from repro.netlist.placement import RowPlacement
+from repro.timing import derive_timing_graph
+
+
+@pytest.fixture(scope="session")
+def timing_chip(nangate45):
+    design = build_openrisc_like_design(nangate45, scale=0.02, seed=2010)
+    placement = RowPlacement(design, row_width_nm=40_000.0)
+    return ChipMonteCarlo(
+        placement,
+        pitch=pitch_distribution_from_cv(8.0, 1.0),
+        type_model=CNTTypeModel(0.30, 1.0, 0.05),
+    )
+
+
+@pytest.fixture(scope="session")
+def derived_timing(timing_chip):
+    return derive_timing_graph(timing_chip, seed=7)

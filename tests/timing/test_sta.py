@@ -1,0 +1,111 @@
+"""STA propagation: hand-checked arrivals, batched ≡ scalar bitwise, inf."""
+
+import numpy as np
+import pytest
+
+from repro.timing import (
+    TimingGraph,
+    TimingNode,
+    critical_path_delays,
+    endpoint_slacks,
+    propagate_arrivals,
+    propagate_arrivals_scalar,
+    slack_histogram,
+)
+
+
+def _node(name, **kwargs):
+    defaults = dict(cell_name="NAND2_X1", drive_width_nm=160.0, load_af=320.0)
+    defaults.update(kwargs)
+    return TimingNode(name=name, **defaults)
+
+
+@pytest.fixture()
+def diamond():
+    nodes = [_node("a"), _node("b"), _node("c"), _node("d")]
+    arcs = [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+    return TimingGraph(nodes, arcs)
+
+
+def test_hand_checked_arrivals(diamond):
+    # delay(a)=1, delay(b)=2, delay(c)=5, delay(d)=1:
+    # arrival(d) = 1 + max(1+2, 1+5) = 7
+    delays = np.array([[1.0, 2.0, 5.0, 1.0]])
+    arrivals = propagate_arrivals(diamond, delays)
+    a, b, c, d = (diamond.index_of(n) for n in "abcd")
+    assert arrivals[0, a] == 1.0
+    assert arrivals[0, b] == 3.0
+    assert arrivals[0, c] == 6.0
+    assert arrivals[0, d] == 7.0
+    assert critical_path_delays(diamond, arrivals)[0] == 7.0
+
+
+def test_batched_equals_scalar_bitwise(diamond, rng):
+    delays = rng.exponential(10.0, size=(256, diamond.n_nodes))
+    batched = propagate_arrivals(diamond, delays)
+    scalar = propagate_arrivals_scalar(diamond, delays)
+    assert np.array_equal(batched, scalar)
+    assert np.array_equal(
+        critical_path_delays(diamond, batched),
+        critical_path_delays(diamond, scalar),
+    )
+
+
+def test_batched_equals_scalar_on_random_dag(rng):
+    # A random 60-node DAG (arcs only point forward) exercises deep levels
+    # and mixed fanin counts.
+    n = 60
+    nodes = [_node(f"n{i}") for i in range(n)]
+    arcs = []
+    for dst in range(1, n):
+        for src in rng.choice(dst, size=min(dst, 3), replace=False):
+            arcs.append((f"n{int(src)}", f"n{dst}"))
+    graph = TimingGraph(nodes, arcs)
+    delays = rng.exponential(5.0, size=(64, n))
+    # Sprinkle dead gates: inf must propagate identically on both paths.
+    dead = rng.random(delays.shape) < 0.02
+    delays[dead] = np.inf
+    batched = propagate_arrivals(graph, delays)
+    scalar = propagate_arrivals_scalar(graph, delays)
+    assert np.array_equal(batched, scalar)
+
+
+def test_inf_delay_makes_critical_path_infinite(diamond):
+    delays = np.array([[1.0, np.inf, 5.0, 1.0]])
+    crit = critical_path_delays(diamond, propagate_arrivals(diamond, delays))
+    assert np.isinf(crit[0])
+
+
+def test_nan_rejected(diamond):
+    delays = np.array([[1.0, np.nan, 5.0, 1.0]])
+    with pytest.raises(ValueError, match="NaN"):
+        propagate_arrivals(diamond, delays)
+
+
+def test_shape_validation(diamond):
+    with pytest.raises(ValueError, match="shape"):
+        propagate_arrivals(diamond, np.zeros((4, diamond.n_nodes + 1)))
+
+
+def test_one_dimensional_delays_are_one_trial(diamond):
+    delays = np.array([1.0, 2.0, 5.0, 1.0])
+    arrivals = propagate_arrivals(diamond, delays)
+    assert arrivals.shape == (1, diamond.n_nodes)
+
+
+def test_endpoint_slacks_and_histogram(diamond):
+    delays = np.array([[1.0, 2.0, 5.0, 1.0], [1.0, np.inf, 1.0, 1.0]])
+    arrivals = propagate_arrivals(diamond, delays)
+    slacks = endpoint_slacks(diamond, arrivals, t_clk_ps=10.0)
+    assert slacks.shape == (2, diamond.sink_indices.size)
+    assert slacks[0, 0] == 3.0  # 10 - 7
+    assert np.isneginf(slacks[1, 0])
+    counts, edges = slack_histogram(slacks, n_bins=4)
+    assert counts.sum() == 1  # only the finite slack is binned
+    assert edges.size == 5
+
+
+def test_slack_histogram_all_infinite():
+    counts, edges = slack_histogram(np.array([np.inf, -np.inf]), n_bins=3)
+    assert counts.sum() == 0
+    assert counts.size == 3
