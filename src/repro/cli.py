@@ -6,6 +6,13 @@ without writing Python:
 ``python -m repro.cli wmin``
     The Sec. 2 / Sec. 3 Wmin analysis (baseline, relaxation, optimised).
 
+``python -m repro.cli co-opt``
+    Joint process/design co-optimization: a Pareto yield-vs-cost search
+    over CNT density, pitch family, correlation length, misalignment and
+    per-width-class selective upsizing, answered through the bounded
+    serving tier with dominance pruning, optionally validated end-to-end
+    by chip/timing Monte Carlo.
+
 ``python -m repro.cli table1``
     Row failure probabilities for the three growth/layout styles.
 
@@ -232,6 +239,80 @@ def _cmd_wmin(args: argparse.Namespace) -> int:
         "capacitance_penalty_optimized": report.optimized_upsizing.capacitance_penalty,
     }
     return _emit(args, payload, report.summary_lines())
+
+
+def _cmd_coopt(args: argparse.Namespace) -> int:
+    from repro.core.coopt import ParetoCoOptimizer, process_grid
+
+    if args.extra_levels < 0:
+        raise CLIUsageError("--extra-levels must be non-negative")
+    if args.max_combos < 1:
+        raise CLIUsageError("--max-combos must be at least 1")
+    if args.validate_trials < 0:
+        raise CLIUsageError("--validate-trials must be non-negative")
+    if args.validate_top < 1:
+        raise CLIUsageError("--validate-top must be at least 1")
+    if args.workers < 1:
+        raise CLIUsageError("--workers must be at least 1")
+    setup = _build_setup(args)
+    try:
+        densities = _parse_float_list(args.densities, "--densities")
+        pitch_cvs = (
+            _parse_float_list(args.pitch_cvs, "--pitch-cvs")
+            if args.pitch_cvs is not None else [setup.pitch_cv]
+        )
+        lengths = (
+            _parse_float_list(args.cnt_lengths_um, "--cnt-lengths-um")
+            if args.cnt_lengths_um is not None
+            else [setup.correlation.cnt_length_um]
+        )
+        angles = _parse_float_list(args.misalignment_deg, "--misalignment-deg")
+    except ValueError as exc:
+        raise CLIUsageError(str(exc)) from None
+
+    design = openrisc_width_histogram(setup.chip_transistor_count)
+    optimizer = ParetoCoOptimizer(
+        setup=setup,
+        widths_nm=design.widths_nm,
+        counts=design.counts,
+        process_points=process_grid(
+            densities_per_um=densities,
+            pitch_cvs=pitch_cvs,
+            corners=(setup.corner,),
+            cnt_lengths_um=lengths,
+            misalignments_deg=angles,
+        ),
+        extra_levels=args.extra_levels,
+        max_combos=args.max_combos,
+        seed=args.seed,
+    )
+    result = optimizer.run(
+        validate_trials=args.validate_trials,
+        validate_top=args.validate_top,
+        n_workers=args.workers,
+        t_clk_factor=args.tclk_factor,
+    )
+    payload = {
+        "yield_target": result.yield_target,
+        "meets_target": result.meets_target,
+        "beats_uniform": result.beats_uniform,
+        "uniform_wmin_nm": result.uniform_wmin_nm,
+        "uniform_penalty": result.uniform_penalty,
+        "uniform_baseline_wmin_nm": result.uniform_baseline_wmin_nm,
+        "uniform_baseline_penalty": result.uniform_baseline_penalty,
+        "candidates_evaluated": result.candidates_evaluated,
+        "candidates_pruned": result.candidates_pruned,
+        "candidates_escalated": result.candidates_escalated,
+        "candidates_feasible": result.candidates_feasible,
+        "process_point_count": result.process_point_count,
+        "evaluations_per_second": result.evaluations_per_second,
+        "surface_build_seconds": result.surface_build_seconds,
+        "inner_loop_seconds": result.inner_loop_seconds,
+        "front": [point.describe() for point in result.front],
+        "best": result.best.describe() if result.best else None,
+        "validations": [v.describe() for v in result.validations],
+    }
+    return _emit(args, payload, result.summary_lines())
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -993,6 +1074,43 @@ def build_parser() -> argparse.ArgumentParser:
         ("scaling", _cmd_scaling, "penalty versus technology node (Fig. 2.2b / 3.3)"),
     ):
         add_subparser(name, handler, description)
+
+    coopt = add_subparser(
+        "co-opt", _cmd_coopt,
+        "Pareto process/design co-optimization (yield target at minimum "
+        "capacitance penalty)",
+    )
+    coopt.add_argument("--densities", type=str, default="200,250,320",
+                       help="comma-separated CNT densities rho in /um to "
+                            "search (default 200,250,320)")
+    coopt.add_argument("--pitch-cvs", type=str, default=None,
+                       help="comma-separated pitch CVs to search "
+                            "(default: the --pitch-cv value)")
+    coopt.add_argument("--cnt-lengths-um", type=str, default=None,
+                       help="comma-separated CNT correlation lengths in um "
+                            "(default: the --cnt-length-um value)")
+    coopt.add_argument("--misalignment-deg", type=str, default="0",
+                       help="comma-separated misalignment specs in degrees "
+                            "(default 0)")
+    coopt.add_argument("--extra-levels", type=int, default=4,
+                       help="extra upsizing levels between the smallest "
+                            "class width and the baseline Wmin (default 4)")
+    coopt.add_argument("--max-combos", type=int, default=200_000,
+                       help="guard on per-process-point design combinations "
+                            "(default 200000)")
+    coopt.add_argument("--validate-trials", type=int, default=0,
+                       help="Monte Carlo trials per validated front member "
+                            "(0 disables end-to-end validation)")
+    coopt.add_argument("--validate-top", type=int, default=1,
+                       help="how many front members to validate (default 1)")
+    coopt.add_argument("--workers", type=int, default=1,
+                       help="worker processes for the validation Monte "
+                            "Carlo (the front itself is worker-invariant)")
+    coopt.add_argument("--tclk-factor", type=float, default=1.2,
+                       help="validation clock period as a multiple of the "
+                            "nominal critical path (default 1.2)")
+    coopt.add_argument("--seed", type=int, default=20100613,
+                       help="root seed for the spawn-keyed validation RNG")
 
     align = add_subparser(
         "align", _cmd_align, "apply the aligned-active restriction to a library"

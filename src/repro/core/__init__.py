@@ -20,6 +20,8 @@ This package implements the analytical machinery of the DAC 2010 paper:
 * :mod:`repro.core.calibration` — the calibrated default operating point.
 * :mod:`repro.core.optimizer` — the end-to-end processing/design
   co-optimization flow.
+* :mod:`repro.core.coopt` — the Pareto yield-vs-cost search over joint
+  processing and selective-upsizing knobs (bound-pruned, service-backed).
 """
 
 from repro.core.count_model import (
@@ -52,6 +54,15 @@ from repro.core.upsizing import UpsizingAnalysis, UpsizingResult, upsize_widths
 from repro.core.scaling import TechnologyScaler, ScalingStudy, ScalingPoint
 from repro.core.calibration import CalibratedSetup, default_setup
 from repro.core.optimizer import CoOptimizationFlow, CoOptimizationReport
+from repro.core.coopt import (
+    CandidatePoint,
+    CoOptResult,
+    CoOptValidation,
+    ParetoCoOptimizer,
+    ProcessPoint,
+    pareto_front,
+    process_grid,
+)
 
 __all__ = [
     "CountModel",
@@ -83,4 +94,11 @@ __all__ = [
     "default_setup",
     "CoOptimizationFlow",
     "CoOptimizationReport",
+    "CandidatePoint",
+    "CoOptResult",
+    "CoOptValidation",
+    "ParetoCoOptimizer",
+    "ProcessPoint",
+    "pareto_front",
+    "process_grid",
 ]

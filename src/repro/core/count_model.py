@@ -111,9 +111,11 @@ class PoissonCountModel(CountModel):
         return width_nm / self.mean_pitch_nm
 
     def mean_count(self, width_nm: float) -> float:
+        """Expected CNT count E[N(W)] = λ(W)."""
         return self.rate(width_nm)
 
     def pmf(self, width_nm: float, max_count: Optional[int] = None) -> np.ndarray:
+        """Poisson pmf of the CNT count at width ``width_nm``."""
         lam = self.rate(width_nm)
         if max_count is None:
             max_count = int(lam + 12.0 * math.sqrt(lam) + 30)
@@ -123,10 +125,11 @@ class PoissonCountModel(CountModel):
     def sample(
         self, width_nm: float, n_samples: int, rng: np.random.Generator
     ) -> np.ndarray:
+        """Draw ``n_samples`` Poisson counts at width ``width_nm``."""
         return rng.poisson(self.rate(width_nm), size=n_samples)
 
     def pgf(self, width_nm: float, z: float) -> float:
-        # Closed form: E[z^N] = exp(-λ (1 - z)).
+        """Probability generating function E[z^N] = exp(-λ(1 - z))."""
         if not 0.0 <= z <= 1.0:
             raise ValueError(f"z must lie in [0, 1], got {z}")
         lam = self.rate(width_nm)
@@ -165,11 +168,12 @@ class RenewalCountModel(CountModel):
         self._pmf_cache: Dict[float, np.ndarray] = {}
 
     def mean_count(self, width_nm: float) -> float:
+        """Renewal-theory first-order mean count E[N(W)] ≈ W / µS."""
         ensure_positive(width_nm, "width_nm")
-        # Renewal-theory first-order approximation: E[N(W)] ≈ W / µS.
         return width_nm / self.pitch.mean_nm
 
     def pmf(self, width_nm: float, max_count: Optional[int] = None) -> np.ndarray:
+        """Count pmf from the n-fold sum CDF of the pitch (cached per width)."""
         ensure_positive(width_nm, "width_nm")
         key = round(float(width_nm), 9)
         cached = self._pmf_cache.get(key)
@@ -220,6 +224,7 @@ class RenewalCountModel(CountModel):
     def sample(
         self, width_nm: float, n_samples: int, rng: np.random.Generator
     ) -> np.ndarray:
+        """Draw ``n_samples`` counts from the tabulated renewal pmf."""
         pmf = self.pmf(width_nm)
         return rng.choice(pmf.size, size=n_samples, p=pmf)
 
@@ -267,17 +272,20 @@ class EmpiricalCountModel(CountModel):
         return sorted(self._samples)
 
     def pmf(self, width_nm: float, max_count: Optional[int] = None) -> np.ndarray:
+        """Histogram pmf of the registered samples at ``width_nm``."""
         counts = self._get(width_nm)
         upper = int(counts.max()) if max_count is None else int(max_count)
         pmf = np.bincount(np.clip(counts, 0, upper), minlength=upper + 1).astype(float)
         return pmf / pmf.sum()
 
     def mean_count(self, width_nm: float) -> float:
+        """Sample mean of the registered counts at ``width_nm``."""
         return float(np.mean(self._get(width_nm)))
 
     def sample(
         self, width_nm: float, n_samples: int, rng: np.random.Generator
     ) -> np.ndarray:
+        """Bootstrap-resample ``n_samples`` counts for ``width_nm``."""
         counts = self._get(width_nm)
         return rng.choice(counts, size=n_samples, replace=True)
 

@@ -44,8 +44,13 @@ class CoOptimizationReport:
     relaxation_factor:
         Ratio of the two failure-probability budgets (≈350X in the paper).
     scenario_results:
-        Row/chip yield per layout scenario at the optimized operating point
-        (the three columns of Table 1).
+        Row/chip yield per layout scenario, all evaluated at the *baseline*
+        Wmin operating point — one shared device pF across the three
+        columns, which is the paper's Table 1 convention (and the one
+        :func:`repro.reporting.tables.table1_data` and
+        :func:`repro.montecarlo.experiments.compare_tail_scenarios` use):
+        the table isolates the layout/growth effect on pRF, so the device
+        operating point must not change between columns.
     baseline_upsizing, optimized_upsizing:
         Upsizing penalty of the design at the two Wmin values (45 nm node).
     baseline_scaling, optimized_scaling:
@@ -123,12 +128,16 @@ class CoOptimizationFlow:
         if widths_nm is None:
             raise ValueError("widths_nm is required (the design's width histogram)")
         self.widths_nm = np.asarray(widths_nm, dtype=float)
+        if self.widths_nm.size and np.any(self.widths_nm <= 0):
+            raise ValueError("all widths must be strictly positive")
         if counts is None:
             self.counts = np.ones_like(self.widths_nm)
         else:
             self.counts = np.asarray(counts, dtype=float)
             if self.counts.shape != self.widths_nm.shape:
                 raise ValueError("counts must match widths_nm in shape")
+            if self.counts.size and np.any(self.counts < 0):
+                raise ValueError("counts must be non-negative")
         if min_size_device_count is None:
             self.min_size_device_count = self.setup.min_size_device_count
         else:
@@ -202,7 +211,12 @@ class CoOptimizationFlow:
             baseline_wmin=baseline,
             optimized_wmin=optimized,
             relaxation_factor=factor,
-            scenario_results=self.scenario_results(optimized.wmin_nm),
+            # Table 1 convention: every scenario column shares the device
+            # operating point of the baseline (Sec. 2) Wmin, so the pRF
+            # ratios isolate the growth/layout effect.  Evaluating at the
+            # optimized Wmin would compare the uncorrelated column at a pF
+            # it never operates at (see reporting.tables.table1_data).
+            scenario_results=self.scenario_results(baseline.wmin_nm),
             baseline_upsizing=baseline_upsizing,
             optimized_upsizing=optimized_upsizing,
             baseline_scaling=baseline_scaling,

@@ -133,8 +133,6 @@ class UpsizingAnalysis:
         after = self.total_width_after_nm(threshold_nm)
         # Use the capacitance model so a non-zero fixed term, if configured,
         # is honoured; with the default model this reduces to width ratios.
-        weighted_before = np.repeat(self.widths_nm, 0)  # placeholder unused
-        del weighted_before
         cap_before = (
             before * self.capacitance_model.capacitance_per_width_af_per_nm
             + self.device_count * self.capacitance_model.fixed_capacitance_af

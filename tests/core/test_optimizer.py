@@ -84,3 +84,39 @@ class TestCoOptimizationFlow:
                 widths_nm=np.array([80.0, 160.0]),
                 counts=np.array([1.0]),
             )
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            CoOptimizationFlow(
+                setup=CalibratedSetup(),
+                widths_nm=np.array([80.0, 160.0]),
+                counts=np.array([1.0, -2.0]),
+            )
+
+    def test_nonpositive_widths_rejected(self):
+        with pytest.raises(ValueError, match="strictly positive"):
+            CoOptimizationFlow(
+                setup=CalibratedSetup(),
+                widths_nm=np.array([80.0, -160.0]),
+            )
+
+    def test_table1_scenarios_evaluated_at_baseline_wmin(self, flow):
+        # Table 1 convention: every scenario column shares the *baseline*
+        # (Sec. 2) Wmin operating point, so the pRF ratios isolate the
+        # growth/layout effect rather than mixing in a device pF change.
+        report = flow.run()
+        at_baseline = flow.scenario_results(report.baseline_wmin.wmin_nm)
+        at_optimized = flow.scenario_results(report.optimized_wmin.wmin_nm)
+        for scenario in LayoutScenario:
+            assert (
+                report.scenario_results[scenario].row_failure_probability
+                == at_baseline[scenario].row_failure_probability
+            )
+        # Guard against silently reverting to the optimized point: the
+        # baseline Wmin is wider, so its pRF sits orders of magnitude
+        # below the optimized operating point's.
+        uncorrelated = LayoutScenario.UNCORRELATED_GROWTH
+        assert (
+            10.0 * report.scenario_results[uncorrelated].row_failure_probability
+            < at_optimized[uncorrelated].row_failure_probability
+        )

@@ -74,3 +74,40 @@ class TestUpsizingAnalysis:
     def test_larger_wmin_costs_more(self, analysis):
         # The correlation benefit (smaller Wmin) must reduce the penalty.
         assert analysis.capacitance_penalty(103.0) < analysis.capacitance_penalty(155.0)
+
+
+class TestFixedCapacitanceBranch:
+    """Regression coverage for the ``fixed_capacitance_af != 0`` path."""
+
+    def test_fixed_term_dilutes_penalty(self):
+        from repro.device.capacitance import GateCapacitanceModel
+
+        widths = np.array([80.0, 160.0, 240.0, 320.0])
+        counts = np.array([13.0, 20.0, 30.0, 37.0])
+        plain = UpsizingAnalysis(widths, counts)
+        with_fixed = UpsizingAnalysis(
+            widths, counts,
+            capacitance_model=GateCapacitanceModel(fixed_capacitance_af=50.0),
+        )
+        threshold = 155.0
+        # The fixed (width-independent) term is unaffected by upsizing, so
+        # it dilutes the fractional penalty below the pure width ratio.
+        assert (
+            with_fixed.capacitance_penalty(threshold)
+            < plain.capacitance_penalty(threshold)
+        )
+        assert with_fixed.capacitance_penalty(threshold) > 0.0
+
+    def test_fixed_term_penalty_matches_hand_computation(self):
+        from repro.device.capacitance import GateCapacitanceModel
+
+        widths = np.array([100.0, 200.0])
+        counts = np.array([3.0, 1.0])
+        model = GateCapacitanceModel(
+            capacitance_per_width_af_per_nm=2.0, fixed_capacitance_af=40.0
+        )
+        analysis = UpsizingAnalysis(widths, counts, capacitance_model=model)
+        # Upsize to 150 nm: total width 500 -> 650; capacitance
+        # 2*500 + 4*40 = 1160 -> 2*650 + 4*40 = 1460.
+        expected = 1460.0 / 1160.0 - 1.0
+        assert analysis.capacitance_penalty(150.0) == pytest.approx(expected)

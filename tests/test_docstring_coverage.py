@@ -23,6 +23,7 @@ AUDITED_PATHS = (
     REPO / "src" / "repro" / "service",
     REPO / "src" / "repro" / "timing",
     REPO / "src" / "repro" / "analysis",
+    REPO / "src" / "repro" / "core",
 )
 
 

@@ -283,3 +283,56 @@ class TestAlignedActiveProperties:
         one = AlignedActiveTransform(103.0, aligned_region_groups=1).apply_to_cell(cell)
         two = AlignedActiveTransform(103.0, aligned_region_groups=2).apply_to_cell(cell)
         assert two.extra_columns <= one.extra_columns
+
+
+class TestUpsizingPenaltyProperties:
+    width_lists = st.lists(
+        st.floats(min_value=10.0, max_value=500.0, allow_nan=False),
+        min_size=1, max_size=8,
+    )
+    count_lists = st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        min_size=1, max_size=8,
+    )
+    thresholds = st.floats(min_value=1.0, max_value=600.0, allow_nan=False)
+
+    @DEFAULT_SETTINGS
+    @given(widths=width_lists, t_lo=thresholds, t_hi=thresholds)
+    def test_penalty_non_decreasing_in_threshold(self, widths, t_lo, t_hi):
+        analysis = UpsizingAnalysis(widths)
+        lo, hi = sorted((t_lo, t_hi))
+        assert (
+            analysis.capacitance_penalty(hi)
+            >= analysis.capacitance_penalty(lo) - 1e-12
+        )
+
+    @DEFAULT_SETTINGS
+    @given(
+        widths=width_lists,
+        thresholds=st.lists(thresholds, min_size=1, max_size=6),
+    )
+    def test_penalty_curve_matches_analyse_pointwise(self, widths, thresholds):
+        analysis = UpsizingAnalysis(widths)
+        curve = analysis.penalty_curve(thresholds)
+        for value, t in zip(curve, thresholds):
+            assert value == analysis.analyse(t).capacitance_penalty
+
+    @DEFAULT_SETTINGS
+    @given(
+        widths=width_lists,
+        wmin=st.floats(min_value=50.0, max_value=300.0, allow_nan=False),
+        node=st.floats(min_value=10.0, max_value=45.0, allow_nan=False),
+    )
+    def test_penalty_versus_node_wmin_does_not_scale(self, widths, wmin, node):
+        # Wmin is set by the CNT pitch and the pF budget — growth
+        # properties that do not scale with lithography — so every node
+        # of the study must carry the *same* threshold in nanometres,
+        # applied to the linearly scaled width population.
+        from repro.core.scaling import TechnologyScaler, penalty_versus_node
+
+        study = penalty_versus_node(widths, np.ones(len(widths)), wmin,
+                                    nodes_nm=[45.0, node])
+        assert all(point.wmin_nm == wmin for point in study.points)
+        scaled = TechnologyScaler().scale_widths(widths, node)
+        expected = UpsizingAnalysis(scaled).capacitance_penalty(wmin)
+        assert study.points[-1].penalty == pytest.approx(expected, rel=1e-12)
