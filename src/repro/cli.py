@@ -161,6 +161,40 @@ def _build_setup(args: argparse.Namespace) -> CalibratedSetup:
     )
 
 
+def _add_shorts_options(parser: argparse.ArgumentParser) -> None:
+    """Metallic-short knobs shared by the simulation and sweep commands."""
+    parser.add_argument("--metallic-frac", type=float, default=None,
+                        help="metallic CNT fraction p_m (default: the "
+                             "calibrated corner's value)")
+    parser.add_argument("--removal-eta", type=float, default=1.0,
+                        help="conditional metallic-removal probability eta; "
+                             "values below 1 leave surviving shorts with "
+                             "per-tube probability p_m*(1-eta) (default 1)")
+
+
+def _shorts_type_model(setup: CalibratedSetup, args: argparse.Namespace):
+    """The CNT type model with the CLI's shorts knobs applied.
+
+    Defaults reproduce the pre-shorts behaviour exactly: the corner's
+    metallic fraction with perfect removal (eta = 1, no surviving shorts).
+    """
+    metallic_frac = (
+        setup.corner.metallic_fraction
+        if args.metallic_frac is None else args.metallic_frac
+    )
+    if not 0.0 <= metallic_frac <= 1.0:
+        raise CLIUsageError("--metallic-frac must lie in [0, 1]")
+    if not 0.0 <= args.removal_eta <= 1.0:
+        raise CLIUsageError("--removal-eta must lie in [0, 1]")
+    from repro.growth.types import CNTTypeModel
+
+    return CNTTypeModel(
+        metallic_fraction=metallic_frac,
+        removal_prob_metallic=args.removal_eta,
+        removal_prob_semiconducting=setup.corner.removal_prob_semiconducting,
+    )
+
+
 def _add_common_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--yield-target", type=float, default=0.90,
                         help="desired chip yield (default 0.90)")
@@ -267,8 +301,23 @@ def _cmd_coopt(args: argparse.Namespace) -> int:
             else [setup.correlation.cnt_length_um]
         )
         angles = _parse_float_list(args.misalignment_deg, "--misalignment-deg")
+        etas = _parse_float_list(args.removal_eta, "--removal-eta")
     except ValueError as exc:
         raise CLIUsageError(str(exc)) from None
+    if any(not 0.0 <= eta <= 1.0 for eta in etas):
+        raise CLIUsageError("--removal-eta values must lie in [0, 1]")
+    corner = setup.corner
+    if args.metallic_frac is not None:
+        if not 0.0 <= args.metallic_frac <= 1.0:
+            raise CLIUsageError("--metallic-frac must lie in [0, 1]")
+        from repro.core.failure import ProcessingCorner
+
+        corner = ProcessingCorner(
+            name=f"pm={100.0 * args.metallic_frac:g}%, "
+                 f"pRs={100.0 * corner.removal_prob_semiconducting:g}%",
+            metallic_fraction=args.metallic_frac,
+            removal_prob_semiconducting=corner.removal_prob_semiconducting,
+        )
 
     design = openrisc_width_histogram(setup.chip_transistor_count)
     optimizer = ParetoCoOptimizer(
@@ -278,9 +327,10 @@ def _cmd_coopt(args: argparse.Namespace) -> int:
         process_points=process_grid(
             densities_per_um=densities,
             pitch_cvs=pitch_cvs,
-            corners=(setup.corner,),
+            corners=(corner,),
             cnt_lengths_um=lengths,
             misalignments_deg=angles,
+            removal_etas=etas,
         ),
         extra_levels=args.extra_levels,
         max_combos=args.max_combos,
@@ -618,7 +668,7 @@ def _cmd_wafer(args: argparse.Namespace) -> int:
         np.random.default_rng(args.seed), seed_key=(args.seed,)
     )
     pitch = pitch_distribution_from_cv(args.mean_pitch_nm, args.pitch_cv)
-    type_model = setup.corner.to_type_model()
+    type_model = _shorts_type_model(setup, args)
     misalignment = _build_misalignment_model(args, setup)
     backend = get_backend(args.backend, dtype=args.dtype) if (
         args.backend or args.dtype
@@ -648,6 +698,9 @@ def _cmd_wafer(args: argparse.Namespace) -> int:
         "widths_nm": list(result.widths_nm),
         "device_counts": list(result.device_counts),
         "correlation_length_mm": args.correlation_length_mm,
+        "metallic_fraction": type_model.metallic_fraction,
+        "removal_eta": type_model.removal_prob_metallic,
+        "short_probability": type_model.surviving_metallic_probability,
         "derate_misalignment": bool(args.derate_misalignment),
         "mean_chip_yield": result.mean_chip_yield,
         "good_die_fraction": result.good_die_fraction,
@@ -717,7 +770,7 @@ def _cmd_chip_wafer(args: argparse.Namespace) -> int:
     chip = ChipMonteCarlo(
         placement,
         pitch=pitch_distribution_from_cv(args.mean_pitch_nm, args.pitch_cv),
-        type_model=setup.corner.to_type_model(),
+        type_model=_shorts_type_model(setup, args),
     )
     misalignment = _build_misalignment_model(args, setup)
     checkpoint_kwargs = _checkpoint_kwargs(args)
@@ -917,30 +970,38 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     setup = _build_setup(args)
     scenarios = ALL_SCENARIOS if args.scenario == "all" else (args.scenario,)
     pitch = pitch_distribution_from_cv(args.mean_pitch_nm, args.pitch_cv)
+    type_model = _shorts_type_model(setup, args)
     store = SurfaceStore(args.out)
     checkpoint_kwargs = _checkpoint_kwargs(args)
 
     surfaces = []
     reports = []
     for scenario in scenarios:
-        spec = SweepSpec(
-            scenario=scenario,
-            width_axis=GridAxis.from_range(
-                "width_nm", args.w_min, args.w_max, args.w_points
-            ),
-            density_axis=GridAxis.from_range(
-                "cnt_density_per_um",
-                args.density_min, args.density_max, args.density_points,
-            ),
-            pitch=pitch,
-            per_cnt_failure=setup.corner.per_cnt_failure_probability,
-            correlation=setup.correlation,
-            method=args.method,
-            tolerance_log=args.tolerance,
-            max_refinement_rounds=args.max_refinement_rounds,
-            mc_samples=args.mc_samples,
-            seed=args.seed,
-        )
+        try:
+            spec = SweepSpec(
+                scenario=scenario,
+                width_axis=GridAxis.from_range(
+                    "width_nm", args.w_min, args.w_max, args.w_points
+                ),
+                density_axis=GridAxis.from_range(
+                    "cnt_density_per_um",
+                    args.density_min, args.density_max, args.density_points,
+                ),
+                pitch=pitch,
+                per_cnt_failure=type_model.per_cnt_failure_probability,
+                correlation=setup.correlation,
+                method=args.method,
+                tolerance_log=args.tolerance,
+                max_refinement_rounds=args.max_refinement_rounds,
+                mc_samples=args.mc_samples,
+                seed=args.seed,
+                metallic_fraction=type_model.metallic_fraction,
+                removal_eta=type_model.removal_prob_metallic,
+            )
+        except ValueError as exc:
+            # The tilted sampler has no joint opens+shorts path; surface
+            # the spec's rejection as the usage error it is.
+            raise CLIUsageError(str(exc)) from None
         report = SurfaceBuilder(spec, **checkpoint_kwargs).build_report()
         store.save(report.surface)
         surfaces.append(report.surface)
@@ -1092,6 +1153,13 @@ def build_parser() -> argparse.ArgumentParser:
     coopt.add_argument("--misalignment-deg", type=str, default="0",
                        help="comma-separated misalignment specs in degrees "
                             "(default 0)")
+    coopt.add_argument("--metallic-frac", type=float, default=None,
+                       help="metallic CNT fraction p_m of the searched "
+                            "corner (default: the calibrated corner's value)")
+    coopt.add_argument("--removal-eta", type=str, default="1",
+                       help="comma-separated metallic-removal efficiencies "
+                            "eta to search; values below 1 activate the "
+                            "short failure mode (default 1)")
     coopt.add_argument("--extra-levels", type=int, default=4,
                        help="extra upsizing levels between the smallest "
                             "class width and the baseline Wmin (default 4)")
@@ -1164,6 +1232,7 @@ def build_parser() -> argparse.ArgumentParser:
     wafer.add_argument("--per-die-loop", action="store_true",
                        help="use the reference die-by-die loop instead of "
                             "the stacked engine (cross-check/benchmark)")
+    _add_shorts_options(wafer)
     _add_checkpoint_options(wafer)
 
     chip_wafer = add_subparser(
@@ -1181,6 +1250,7 @@ def build_parser() -> argparse.ArgumentParser:
     chip_wafer.add_argument("--per-die-loop", action="store_true",
                             help="use the fresh-simulator-per-die reference "
                                  "instead of the shared-geometry pass")
+    _add_shorts_options(chip_wafer)
     _add_checkpoint_options(chip_wafer)
 
     netlist = add_subparser(
@@ -1260,6 +1330,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=20100613, help="sweep RNG seed")
     sweep.add_argument("--out", type=str, default="surfaces",
                        help="surface store directory (default ./surfaces)")
+    _add_shorts_options(sweep)
     _add_checkpoint_options(sweep)
 
     query = add_subparser(

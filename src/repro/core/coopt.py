@@ -7,8 +7,9 @@ co-optimization methodology of Hills et al., this module searches jointly
 over
 
 * **processing knobs** — CNT density ρ, inter-CNT pitch family (via its
-  CV), processing corner (pm, pRs), CNT correlation length LCNT and the
-  growth-direction misalignment spec, and
+  CV), processing corner (pm, pRs), metallic-removal efficiency eta (the
+  shorts knob of :mod:`repro.device.shorts`), CNT correlation length
+  LCNT and the growth-direction misalignment spec, and
 * **design knobs** — per-width-class upsizing thresholds, generalising the
   uniform ``U_Wt`` operator of :mod:`repro.core.upsizing` to ECO-style
   selective upsizing of only the worst-yield classes.
@@ -78,6 +79,12 @@ class ProcessPoint:
     misalignment_sigma_deg:
         Growth-direction misalignment spec; truncates the usable
         correlation length via the Sec. 3 band geometry.
+    metallic_removal_eta:
+        Conditional metallic-removal probability ``eta`` of the removal
+        step.  The paper's pRm = 1 assumption (the default) leaves no
+        surviving shorts; values below 1 activate the metallic-short
+        failure mode of :mod:`repro.device.shorts` with per-tube short
+        probability ``p_m · (1 - eta)``.
     """
 
     cnt_density_per_um: float = NOMINAL_DENSITY_PER_UM
@@ -85,6 +92,7 @@ class ProcessPoint:
     corner: ProcessingCorner = field(default_factory=lambda: FIG2_1_CORNERS[0])
     cnt_length_um: float = 200.0
     misalignment_sigma_deg: float = 0.0
+    metallic_removal_eta: float = 1.0
 
     def __post_init__(self) -> None:
         ensure_positive(self.cnt_density_per_um, "cnt_density_per_um")
@@ -93,11 +101,17 @@ class ProcessPoint:
         ensure_positive(self.cnt_length_um, "cnt_length_um")
         if self.misalignment_sigma_deg < 0:
             raise ValueError("misalignment_sigma_deg must be non-negative")
+        ensure_probability(self.metallic_removal_eta, "metallic_removal_eta")
 
     @property
     def mean_pitch_nm(self) -> float:
         """Mean inter-CNT pitch µS = 1000/ρ in nm."""
         return 1000.0 / self.cnt_density_per_um
+
+    @property
+    def short_probability(self) -> float:
+        """Per-tube surviving-short probability ``q = p_m · (1 - eta)``."""
+        return self.corner.metallic_fraction * (1.0 - self.metallic_removal_eta)
 
     def describe(self) -> Dict[str, object]:
         """JSON-serialisable summary of the knob values."""
@@ -107,6 +121,7 @@ class ProcessPoint:
             "corner": self.corner.name,
             "cnt_length_um": self.cnt_length_um,
             "misalignment_sigma_deg": self.misalignment_sigma_deg,
+            "metallic_removal_eta": self.metallic_removal_eta,
         }
 
 
@@ -116,12 +131,15 @@ def process_grid(
     corners: Sequence[ProcessingCorner] = (),
     cnt_lengths_um: Sequence[float] = (200.0,),
     misalignments_deg: Sequence[float] = (0.0,),
+    removal_etas: Sequence[float] = (1.0,),
 ) -> Tuple[ProcessPoint, ...]:
     """Cartesian grid of :class:`ProcessPoint` in deterministic order.
 
     The order is the :func:`itertools.product` order of the argument
     sequences, so two calls with identical arguments enumerate identical
     candidate indices — part of the bitwise-determinism contract.
+    ``removal_etas`` is the last (fastest-varying) factor, so existing
+    grids keep their enumeration order at the default ``(1.0,)``.
     """
     corner_list = tuple(corners) or (FIG2_1_CORNERS[0],)
     return tuple(
@@ -131,10 +149,11 @@ def process_grid(
             corner=corner,
             cnt_length_um=float(length),
             misalignment_sigma_deg=float(angle),
+            metallic_removal_eta=float(eta),
         )
-        for rho, cv, corner, length, angle in itertools.product(
+        for rho, cv, corner, length, angle, eta in itertools.product(
             densities_per_um, pitch_cvs, corner_list,
-            cnt_lengths_um, misalignments_deg,
+            cnt_lengths_um, misalignments_deg, removal_etas,
         )
     )
 
@@ -525,10 +544,11 @@ class ParetoCoOptimizer:
     # Surface tier
     # ------------------------------------------------------------------
 
-    def _surface_key(self, point: ProcessPoint) -> Tuple[float, float]:
+    def _surface_key(self, point: ProcessPoint) -> Tuple[float, float, float]:
         return (
             round(point.pitch_cv, 9),
             round(point.corner.per_cnt_failure_probability, 12),
+            round(point.short_probability, 12),
         )
 
     def _ensure_service(self) -> object:
@@ -578,6 +598,8 @@ class ParetoCoOptimizer:
             mc_samples=self.surface_mc_samples,
             max_refinement_rounds=2,
             seed=self.seed,
+            metallic_fraction=point.corner.metallic_fraction,
+            removal_eta=point.metallic_removal_eta,
         )
         surface = SurfaceBuilder(spec).build()
         self._ensure_service().register(surface)
@@ -669,6 +691,7 @@ class ParetoCoOptimizer:
                     )
                 ),
                 point.corner.per_cnt_failure_probability,
+                short_probability=point.short_probability,
             )
             exact_log_pf = model.log_failure_probabilities(distinct)
             with np.errstate(divide="ignore"):
@@ -889,7 +912,11 @@ class ParetoCoOptimizer:
             point.mean_pitch_nm, point.pitch_cv
         )
         chip = ChipMonteCarlo(
-            placement, pitch=pitch, type_model=point.corner.to_type_model()
+            placement,
+            pitch=pitch,
+            type_model=point.corner.to_type_model(
+                removal_prob_metallic=point.metallic_removal_eta
+            ),
         )
 
         chip_seq, timing_seq = np.random.SeedSequence(

@@ -397,22 +397,18 @@ class RowYieldModel:
         return uncorrelated / aligned
 
 
-def scenario_row_failure_probabilities(
+def _scenario_row_map(
     scenario: LayoutScenario,
-    device_failure_probabilities: np.ndarray,
-    parameters: Optional[CorrelationParameters] = None,
+    p: np.ndarray,
+    params: CorrelationParameters,
 ) -> np.ndarray:
-    """Vectorised pRF over an array of device pF values.
+    """Elementwise device-probability → row-probability map of one scenario.
 
-    The closed forms of :meth:`RowYieldModel.row_failure_probability`
-    evaluated elementwise in one pass — the yield-surface sweeps map whole
-    pF grids through the Table 1 scenarios with this hook instead of a
-    Python loop.  Matches the scalar path to floating-point accuracy.
+    The shared core of :func:`scenario_row_failure_probabilities`: the
+    same structural map applies to any per-device failure channel (joint,
+    opens-only, or the marginal short channel), because it encodes only
+    *which devices share tracks*, not why a device fails.
     """
-    params = parameters or CorrelationParameters()
-    p = np.asarray(device_failure_probabilities, dtype=float)
-    if p.size and (np.any(p < 0) | np.any(p > 1)):
-        raise ValueError("device failure probabilities must lie in [0, 1]")
     m_r = params.devices_per_row
 
     if scenario is LayoutScenario.DIRECTIONAL_ALIGNED:
@@ -445,11 +441,59 @@ def scenario_row_failure_probabilities(
     raise ValueError(f"unknown scenario {scenario!r}")
 
 
+def scenario_row_failure_probabilities(
+    scenario: LayoutScenario,
+    device_failure_probabilities: np.ndarray,
+    parameters: Optional[CorrelationParameters] = None,
+    device_short_probabilities: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Vectorised pRF over an array of device pF values.
+
+    The closed forms of :meth:`RowYieldModel.row_failure_probability`
+    evaluated elementwise in one pass — the yield-surface sweeps map whole
+    pF grids through the Table 1 scenarios with this hook instead of a
+    Python loop.  Matches the scalar path to floating-point accuracy.
+
+    Shorts composition
+    ------------------
+    There are two ways to carry the metallic-short failure mode of
+    :mod:`repro.device.shorts` through the row maps.  The *exact* route is
+    to pass the joint opens+shorts device probability as
+    ``device_failure_probabilities`` — the maps encode only which devices
+    share tracks, so they compose exactly with any per-device failure
+    channel.  Alternatively, ``device_short_probabilities`` accepts the
+    marginal short channel (``short_only_failure_probability``) separately
+    and composes the two row events as independent,
+    ``1 - (1 - pRF_open)(1 - pRF_short)`` — a slight *upper bound* on the
+    true row failure probability, because opens and shorts are
+    anticorrelated through the shared tube count.  Use it when the two
+    channels are estimated separately (e.g. from different sweeps).
+    """
+    params = parameters or CorrelationParameters()
+    p = np.asarray(device_failure_probabilities, dtype=float)
+    if p.size and (np.any(p < 0) | np.any(p > 1)):
+        raise ValueError("device failure probabilities must lie in [0, 1]")
+    base = _scenario_row_map(scenario, p, params)
+    if device_short_probabilities is None:
+        return base
+    s = np.asarray(device_short_probabilities, dtype=float)
+    if s.shape != p.shape:
+        raise ValueError(
+            "device_short_probabilities must match "
+            "device_failure_probabilities in shape"
+        )
+    if s.size and (np.any(s < 0) | np.any(s > 1)):
+        raise ValueError("device short probabilities must lie in [0, 1]")
+    row_short = _scenario_row_map(scenario, s, params)
+    return 1.0 - (1.0 - base) * (1.0 - row_short)
+
+
 def propagate_row_failure_se(
     scenario: LayoutScenario,
     device_failure_probabilities: np.ndarray,
     device_failure_se: np.ndarray,
     parameters: Optional[CorrelationParameters] = None,
+    device_short_probabilities: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Delta-method pRF standard errors from sampled device pF errors.
 
@@ -459,7 +503,9 @@ def propagate_row_failure_se(
     for every scenario model (offset-cluster and shared-fraction alike).
     This is how Monte Carlo-built yield surfaces carry the rare-event
     sampler's :class:`~repro.core.circuit_yield.YieldEstimate`-style
-    uncertainties through Eq. 3.1.
+    uncertainties through Eq. 3.1.  A separately-composed short channel
+    (``device_short_probabilities``) is held fixed while the open channel
+    is perturbed, matching the composition of the map itself.
     """
     params = parameters or CorrelationParameters()
     p = np.asarray(device_failure_probabilities, dtype=float)
@@ -471,8 +517,14 @@ def propagate_row_failure_se(
     step = np.maximum(1e-6 * p, 1e-300)
     lo = np.clip(p - step, 0.0, 1.0)
     hi = np.clip(p + step, 0.0, 1.0)
-    f_lo = scenario_row_failure_probabilities(scenario, lo, params)
-    f_hi = scenario_row_failure_probabilities(scenario, hi, params)
+    f_lo = scenario_row_failure_probabilities(
+        scenario, lo, params,
+        device_short_probabilities=device_short_probabilities,
+    )
+    f_hi = scenario_row_failure_probabilities(
+        scenario, hi, params,
+        device_short_probabilities=device_short_probabilities,
+    )
     span = hi - lo
     with np.errstate(divide="ignore", invalid="ignore"):
         slope = np.where(span > 0.0, (f_hi - f_lo) / span, 0.0)

@@ -50,11 +50,19 @@ class ProcessingCorner:
             self.metallic_fraction, self.removal_prob_semiconducting
         )
 
-    def to_type_model(self) -> CNTTypeModel:
-        """Materialise the corner as a full :class:`CNTTypeModel` (pRm = 1)."""
+    def to_type_model(self, removal_prob_metallic: float = 1.0) -> CNTTypeModel:
+        """Materialise the corner as a full :class:`CNTTypeModel`.
+
+        ``removal_prob_metallic`` (``eta``, the conditional removal
+        probability of a metallic tube) defaults to the paper's pRm = 1
+        assumption; values below 1 activate the metallic-short failure
+        mode of :mod:`repro.device.shorts` downstream.
+        """
         return CNTTypeModel(
             metallic_fraction=self.metallic_fraction,
-            removal_prob_metallic=1.0,
+            removal_prob_metallic=ensure_probability(
+                removal_prob_metallic, "removal_prob_metallic"
+            ),
             removal_prob_semiconducting=self.removal_prob_semiconducting,
         )
 
@@ -77,11 +85,42 @@ class CNFETFailureModel:
     per_cnt_failure:
         Per-tube failure probability pf (Eq. 2.1).  Either pass it directly
         or use :meth:`from_corner` / :meth:`from_type_model`.
+    short_probability:
+        Per-tube probability ``b = p_m · (1 - eta)`` of a *surviving*
+        metallic short (:mod:`repro.device.shorts`).  The default 0
+        keeps the opens-only Eq. 2.2 model bit for bit; any positive
+        value switches :meth:`failure_probability` to the joint
+        opens+shorts closed form.
+    min_working_tubes:
+        ``N_min`` — conducting semiconducting tubes required for the
+        device to function (the paper's model is ``N_min = 1``).
     """
 
-    def __init__(self, count_model: CountModel, per_cnt_failure: float) -> None:
+    def __init__(
+        self,
+        count_model: CountModel,
+        per_cnt_failure: float,
+        short_probability: float = 0.0,
+        min_working_tubes: int = 1,
+    ) -> None:
         self.count_model = count_model
         self.per_cnt_failure = ensure_probability(per_cnt_failure, "per_cnt_failure")
+        self.short_probability = ensure_probability(
+            short_probability, "short_probability"
+        )
+        if self.short_probability > self.per_cnt_failure:
+            raise ValueError(
+                "short_probability must not exceed per_cnt_failure "
+                "(a surviving short is a failed tube)"
+            )
+        if int(min_working_tubes) < 1:
+            raise ValueError("min_working_tubes must be a positive integer")
+        self.min_working_tubes = int(min_working_tubes)
+
+    @property
+    def _joint(self) -> bool:
+        """True when the joint opens+shorts model is active."""
+        return self.short_probability > 0.0 or self.min_working_tubes > 1
 
     # ------------------------------------------------------------------
     # Constructors
@@ -89,25 +128,60 @@ class CNFETFailureModel:
 
     @classmethod
     def from_corner(
-        cls, count_model: CountModel, corner: ProcessingCorner
+        cls,
+        count_model: CountModel,
+        corner: ProcessingCorner,
+        removal_eta: float = 1.0,
     ) -> "CNFETFailureModel":
-        """Build a failure model for one of the Fig. 2.1 processing corners."""
-        return cls(count_model, corner.per_cnt_failure_probability)
+        """Build a failure model for one of the Fig. 2.1 processing corners.
+
+        ``removal_eta`` is the conditional metallic-removal probability
+        ``eta``; values below 1 leave surviving shorts with per-tube
+        probability ``p_m · (1 - eta)`` and activate the joint model.
+        """
+        return cls.from_type_model(
+            count_model, corner.to_type_model(removal_prob_metallic=removal_eta)
+        )
 
     @classmethod
     def from_type_model(
         cls, count_model: CountModel, type_model: CNTTypeModel
     ) -> "CNFETFailureModel":
-        """Build a failure model from a full CNT type/removal model."""
-        return cls(count_model, type_model.per_cnt_failure_probability)
+        """Build a failure model from a full CNT type/removal model.
+
+        The type model's ``surviving_metallic_probability`` becomes the
+        short term — zero (hence the opens-only model, bit for bit) for
+        every pRm = 1 model, which is all of them before the shorts
+        extension.
+        """
+        return cls(
+            count_model,
+            type_model.per_cnt_failure_probability,
+            short_probability=type_model.surviving_metallic_probability,
+        )
 
     # ------------------------------------------------------------------
     # Forward problem: pF(W)
     # ------------------------------------------------------------------
 
     def failure_probability(self, width_nm: float) -> float:
-        """pF(W) — Eq. 2.2, evaluated via the count PGF."""
+        """pF(W) — Eq. 2.2, or the joint opens+shorts extension.
+
+        With ``short_probability = 0`` and ``min_working_tubes = 1`` this
+        is the count PGF at pf exactly as before; otherwise it is the
+        thinned joint closed form of :mod:`repro.device.shorts`.
+        """
         ensure_positive(width_nm, "width_nm")
+        if self._joint:
+            from repro.device.shorts import joint_failure_probability
+
+            return joint_failure_probability(
+                self.count_model,
+                width_nm,
+                self.per_cnt_failure,
+                self.short_probability,
+                min_working_tubes=self.min_working_tubes,
+            )
         if self.per_cnt_failure == 1.0:
             return 1.0
         if self.per_cnt_failure == 0.0:
@@ -132,6 +206,16 @@ class CNFETFailureModel:
         widths = np.asarray(list(widths_nm), dtype=float)
         if widths.size and np.any(widths <= 0):
             raise ValueError("widths_nm must be positive")
+        if self._joint:
+            from repro.device.shorts import log_joint_failure_probabilities
+
+            return log_joint_failure_probabilities(
+                self.count_model,
+                widths,
+                self.per_cnt_failure,
+                self.short_probability,
+                min_working_tubes=self.min_working_tubes,
+            )
         if isinstance(self.count_model, PoissonCountModel):
             lam = widths / self.count_model.mean_pitch_nm
             return -lam * (1.0 - self.per_cnt_failure)
@@ -144,7 +228,11 @@ class CNFETFailureModel:
     def log10_failure_probability(self, width_nm: float) -> float:
         """log10 pF(W); uses the Poisson closed form when available to avoid
         underflow at very large widths."""
-        if isinstance(self.count_model, PoissonCountModel) and self.per_cnt_failure < 1.0:
+        if (
+            isinstance(self.count_model, PoissonCountModel)
+            and self.per_cnt_failure < 1.0
+            and not self._joint
+        ):
             lam = self.count_model.rate(width_nm)
             return -lam * (1.0 - self.per_cnt_failure) / math.log(10.0)
         p = self.failure_probability(width_nm)
@@ -172,7 +260,19 @@ class CNFETFailureModel:
         pF(W) decreases monotonically with W (more tubes on average), so a
         bisection on W suffices.  ``w_high_nm`` is grown geometrically until
         it brackets the target if not supplied.
+
+        Raises
+        ------
+        ValueError
+            When the short failure mode is active: with surviving shorts
+            pF(W) is no longer monotone in W (wider devices capture more
+            shorting tubes), so no unique inverse exists.
         """
+        if self.short_probability > 0.0:
+            raise ValueError(
+                "width_for_failure_probability is undefined with an active "
+                "short failure mode: pF(W) is not monotone decreasing in W"
+            )
         target_pf = ensure_probability(target_pf, "target_pf")
         if target_pf == 0.0:
             raise ValueError("target_pf = 0 cannot be met at any finite width")

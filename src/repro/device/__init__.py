@@ -12,6 +12,9 @@ Models of a single carbon-nanotube FET as needed by the yield analysis:
   statistical-averaging (1/sqrt(N)) behaviour the paper builds on.
 * :mod:`repro.device.capacitance` — gate-capacitance model used by the
   upsizing-penalty metric (penalty ∝ total transistor width increase).
+* :mod:`repro.device.shorts` — the metallic-CNT short failure mode and
+  the joint opens+shorts closed form (thinning of the count renewal
+  process), the Eq. 2.2 extension for imperfect metallic removal.
 """
 
 from repro.device.active_region import ActiveRegion, Polarity
@@ -19,6 +22,14 @@ from repro.device.cnfet import CNFET, CNFETFailure
 from repro.device.current import CNTCurrentModel, device_on_current
 from repro.device.variation import DriveCurrentVariationModel, VariationSummary
 from repro.device.capacitance import GateCapacitanceModel
+from repro.device.shorts import (
+    ShortsModel,
+    joint_failure_probabilities,
+    joint_failure_probability,
+    log_joint_failure_probabilities,
+    short_only_failure_probability,
+    surviving_short_probability,
+)
 
 __all__ = [
     "ActiveRegion",
@@ -30,4 +41,10 @@ __all__ = [
     "DriveCurrentVariationModel",
     "VariationSummary",
     "GateCapacitanceModel",
+    "ShortsModel",
+    "surviving_short_probability",
+    "joint_failure_probability",
+    "joint_failure_probabilities",
+    "log_joint_failure_probabilities",
+    "short_only_failure_probability",
 ]

@@ -140,7 +140,11 @@ class _ChipGeometry:
     of the lookups.  ``window_lo/hi[w]`` bound distinct window ``w``,
     ``window_weight[w]`` is how many devices share it, ``window_row[w]``
     names its row, and ``row_starts`` delimits each row's contiguous slice
-    (for ``np.add.reduceat``).
+    (for ``np.add.reduceat``).  ``short_probability`` is the per-tube
+    surviving-short probability ``q`` of :mod:`repro.device.shorts` and
+    ``min_working_tubes`` the open threshold ``N_min``; at the defaults
+    (``q = 0``, ``N_min = 1``) every kernel reduces bitwise to the
+    pre-shorts opens-only behaviour.
     """
 
     pitch: PitchDistribution
@@ -153,6 +157,8 @@ class _ChipGeometry:
     window_row: np.ndarray
     row_starts: np.ndarray
     backend: Optional[ArrayBackend] = None
+    short_probability: float = 0.0
+    min_working_tubes: int = 1
 
 
 def _width_class_matrix(
@@ -180,21 +186,20 @@ def _width_class_matrix(
     return widths, class_matrix, class_matrix.sum(axis=0)
 
 
-def _chip_window_counts(
+def _chip_window_counts_joint(
     geometry: _ChipGeometry, n_chunk: int, rng: np.random.Generator
-) -> np.ndarray:
-    """Per-(trial, distinct window) working-tube counts for one chunk.
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Per-(trial, distinct window) working and short tube counts.
 
     Every (trial, row) pair is one renewal trial; flat trial ``t * n_rows + r``
-    carries row ``r`` of chip trial ``t``.  Returns the count matrix of
-    shape ``(n_chunk, n_windows)``: how many working tubes each distinct
-    device window captured.  The window-counting pass runs on the
-    geometry's backend; this is the shared sampling kernel of
-    :func:`_simulate_chip_chunk`, the wafer tier's per-die chip runs
-    (:func:`repro.montecarlo.wafer_sim.run_chip_wafer`) and the timing
-    tier (:mod:`repro.timing.parametric`) — all consume the generator
-    identically, which is what keeps functional and parametric yield
-    answerable from the *same* per-trial tracks.
+    carries row ``r`` of chip trial ``t``.  Returns ``(working, shorts)``
+    count matrices of shape ``(n_chunk, n_windows)``; ``shorts`` is ``None``
+    in the opens-only regime (``short_probability = 0``).  Both failure
+    modes are decided by *one* uniform per tube — the three per-tube states
+    partition ``[0, 1)`` as ``[0, q)`` short, ``[q, pf)`` dud and
+    ``[pf, 1)`` working — so the joint mode consumes exactly the RNG stream
+    of the opens-only mode and ``q = 0`` runs are bitwise unchanged, as are
+    the shared-kernel consumers (wafer tier, timing tier).
     """
     xp = geometry.backend if geometry.backend is not None else default_backend()
     n_rows = geometry.n_rows
@@ -202,35 +207,76 @@ def _chip_window_counts(
         geometry.pitch, geometry.row_height_nm, n_chunk * n_rows, rng,
         backend=xp,
     )
-    working = (
-        xp.uniform(rng, batch.positions.shape) >= geometry.per_cnt_failure
-    ) & batch.valid
+    u = xp.uniform(rng, batch.positions.shape)
+    working = (u >= geometry.per_cnt_failure) & batch.valid
 
     n_windows = geometry.window_lo.size
     trial_index = (
         np.repeat(np.arange(n_chunk) * n_rows, n_windows)
         + np.tile(geometry.window_row, n_chunk)
     )
-    return xp.to_numpy(count_in_windows_flat(
+    lo = np.tile(geometry.window_lo, n_chunk)
+    hi = np.tile(geometry.window_hi, n_chunk)
+    good = xp.to_numpy(count_in_windows_flat(
         batch.positions,
         working,
         geometry.row_height_nm,
-        np.tile(geometry.window_lo, n_chunk),
-        np.tile(geometry.window_hi, n_chunk),
+        lo,
+        hi,
         trial_index,
         backend=xp,
     )).reshape(n_chunk, n_windows)
+    if geometry.short_probability <= 0.0:
+        return good, None
+    shorting = (u < geometry.short_probability) & batch.valid
+    shorts = xp.to_numpy(count_in_windows_flat(
+        batch.positions,
+        shorting,
+        geometry.row_height_nm,
+        lo,
+        hi,
+        trial_index,
+        backend=xp,
+    )).reshape(n_chunk, n_windows)
+    return good, shorts
+
+
+def _chip_window_counts(
+    geometry: _ChipGeometry, n_chunk: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Per-(trial, distinct window) working-tube counts for one chunk.
+
+    The working-count view of :func:`_chip_window_counts_joint`.  This is
+    the shared sampling kernel of :func:`_simulate_chip_chunk`, the wafer
+    tier's per-die chip runs
+    (:func:`repro.montecarlo.wafer_sim.run_chip_wafer`) and the timing
+    tier (:mod:`repro.timing.parametric`) — all consume the generator
+    identically, which is what keeps functional and parametric yield
+    answerable from the *same* per-trial tracks.
+    """
+    return _chip_window_counts_joint(geometry, n_chunk, rng)[0]
 
 
 def _chip_window_failures(
     geometry: _ChipGeometry, n_chunk: int, rng: np.random.Generator
 ) -> np.ndarray:
-    """Boolean failing matrix ``(n_chunk, n_windows)`` — zero working tubes.
+    """Boolean failing matrix ``(n_chunk, n_windows)``.
 
-    Thin view over :func:`_chip_window_counts`; retained as the kernel the
-    functional-yield consumers call.
+    A window fails with fewer than ``min_working_tubes`` working tubes
+    (open) or at least one surviving short.  Thin view over
+    :func:`_chip_window_counts_joint`; retained as the kernel the
+    functional-yield consumers call.  The opens-only predicate is kept as
+    the literal ``== 0`` comparison so the default configuration stays
+    bitwise identical to the pre-shorts engine.
     """
-    return _chip_window_counts(geometry, n_chunk, rng) == 0
+    good, shorts = _chip_window_counts_joint(geometry, n_chunk, rng)
+    if geometry.min_working_tubes <= 1:
+        failing = good == 0
+    else:
+        failing = good < geometry.min_working_tubes
+    if shorts is not None:
+        failing = failing | (shorts > 0)
+    return failing
 
 
 def _simulate_chip_chunk(
@@ -336,6 +382,11 @@ class ChipMonteCarlo:
         ``None`` resolves the environment default at chunk-execution time
         (``REPRO_BACKEND`` / ``REPRO_DTYPE``); an explicit backend pins the
         run to it regardless of the environment.
+    min_working_tubes:
+        Open threshold ``N_min``: a device fails open with fewer working
+        tubes than this.  The short failure mode needs no extra knob here —
+        it activates whenever ``type_model.surviving_metallic_probability``
+        is positive (imperfect metallic removal).
     """
 
     def __init__(
@@ -346,11 +397,17 @@ class ChipMonteCarlo:
         row_height_nm: Optional[float] = None,
         small_width_threshold_nm: float = 160.0,
         backend: Optional[ArrayBackend] = None,
+        min_working_tubes: int = 1,
     ) -> None:
         self.placement = placement
         self.backend = backend
         self.pitch = pitch or pitch_distribution_from_cv(4.0, 1.0)
         self.type_model = type_model or CNTTypeModel()
+        if int(min_working_tubes) < 1 or min_working_tubes != int(min_working_tubes):
+            raise ValueError(
+                f"min_working_tubes must be a positive integer, got {min_working_tubes!r}"
+            )
+        self.min_working_tubes = int(min_working_tubes)
         self.small_width_threshold_nm = ensure_positive(
             small_width_threshold_nm, "small_width_threshold_nm"
         )
@@ -440,6 +497,8 @@ class ChipMonteCarlo:
             window_row=np.asarray(row_of_window, dtype=np.int64),
             row_starts=np.asarray(row_starts, dtype=np.int64),
             backend=self.backend,
+            short_probability=self.type_model.surviving_metallic_probability,
+            min_working_tubes=self.min_working_tubes,
         )
 
     @property
@@ -531,14 +590,18 @@ class ChipMonteCarlo:
     # Scalar reference implementation (pre-vectorisation oracle)
     # ------------------------------------------------------------------
 
-    def _sample_tracks(self, rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray]:
-        """Sample track y-positions and working flags for one row trial.
+    def _sample_tracks(
+        self, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sample track y-positions, working and shorting flags for one row.
 
         Deliberately does NOT use the batched engine: this is the
         independent implementation of the renewal convention (first track
         one uniformly-offset pitch below the origin, gaps accumulated until
         the span is cleared) that the equivalence tests check the engine
-        against.
+        against.  One uniform per track decides both failure modes (the
+        same three-interval partition the batched kernel uses), so the
+        joint oracle consumes exactly the opens-only RNG stream.
         """
         mean = self.pitch.mean_nm
         block = max(16, int(self.row_height_nm / mean * 1.5) + 8)
@@ -554,26 +617,42 @@ class ChipMonteCarlo:
                 if y >= 0.0:
                     positions.append(y)
         pos = np.asarray(positions, dtype=float)
-        working = rng.random(pos.size) >= self.type_model.per_cnt_failure_probability
-        return pos, working
+        u = rng.random(pos.size)
+        working = u >= self.type_model.per_cnt_failure_probability
+        shorting = u < self.type_model.surviving_metallic_probability
+        return pos, working, shorting
 
     def _row_failing_devices(
         self,
         windows: Sequence[_DeviceWindow],
         rng: np.random.Generator,
     ) -> int:
-        """Number of devices in one row with zero working tubes (one trial)."""
-        positions, working = self._sample_tracks(rng)
+        """Number of failing devices in one row for one trial.
+
+        A device fails open (fewer than ``min_working_tubes`` working
+        tubes) or short (at least one surviving metallic tube in its
+        window).
+        """
+        positions, working, shorting = self._sample_tracks(rng)
         if positions.size == 0:
             return len(windows)
         # Prefix sums of working tubes let each device query its y-window in
         # O(log n) instead of scanning every track.
         prefix = np.concatenate([[0], np.cumsum(working.astype(int))])
+        joint = self.type_model.surviving_metallic_probability > 0.0
+        short_prefix = (
+            np.concatenate([[0], np.cumsum(shorting.astype(int))]) if joint else None
+        )
+        n_min = self.min_working_tubes
         failing = 0
         for window in windows:
             lo = np.searchsorted(positions, window.y_low_nm, side="left")
             hi = np.searchsorted(positions, window.y_high_nm, side="right")
-            if prefix[hi] - prefix[lo] == 0:
+            good = prefix[hi] - prefix[lo]
+            fails = good == 0 if n_min <= 1 else good < n_min
+            if not fails and joint:
+                fails = short_prefix[hi] - short_prefix[lo] > 0
+            if fails:
                 failing += 1
         return failing
 
@@ -673,6 +752,16 @@ class ChipMonteCarlo:
                 f"unknown sampler {sampler!r}; expected 'naive' or 'tilted'"
             )
         if sampler == "tilted":
+            if (
+                self._geometry.short_probability > 0.0
+                or self._geometry.min_working_tubes > 1
+            ):
+                raise ValueError(
+                    "sampler='tilted' supports only the opens-only regime: "
+                    "its Rao-Blackwellised pf ** N values have no joint "
+                    "opens+shorts counterpart (use the naive sampler or the "
+                    "closed form of repro.device.shorts)"
+                )
             return self._run_tilted(n_trials, rng, n_workers, trial_chunk,
                                     tilt_factor, checkpoint_dir=checkpoint_dir,
                                     resume=resume, policy=policy, faults=faults)
@@ -729,6 +818,8 @@ class ChipMonteCarlo:
             int(n_trials),
             int(trial_chunk),
             float(geometry.per_cnt_failure),
+            float(geometry.short_probability),
+            int(geometry.min_working_tubes),
             float(geometry.row_height_nm),
             int(geometry.n_rows),
             geometry.window_lo,

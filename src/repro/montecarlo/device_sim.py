@@ -117,12 +117,22 @@ class DeviceMonteCarlo:
 
         Only practical when pF is not too small (wide confidence intervals
         otherwise); primarily used to cross-check the conditional estimator.
+        With surviving metallic tubes
+        (``type_model.surviving_metallic_probability > 0``) the per-count
+        thinning becomes two-stage — shorts first, then conducting tubes
+        among the non-shorts — and a device also fails with any short.
         """
         ensure_positive(width_nm, "width_nm")
         counts = self._sample_counts(width_nm, n_samples, rng)
         p_success = self.type_model.per_cnt_success_probability
-        working = rng.binomial(counts, p_success)
-        failures = (working == 0).astype(float)
+        q = self.type_model.surviving_metallic_probability
+        if q > 0.0:
+            shorts = rng.binomial(counts, q)
+            working = rng.binomial(counts - shorts, p_success / (1.0 - q))
+            failures = ((shorts > 0) | (working == 0)).astype(float)
+        else:
+            working = rng.binomial(counts, p_success)
+            failures = (working == 0).astype(float)
         estimate = float(np.mean(failures))
         stderr = float(np.std(failures, ddof=1) / np.sqrt(n_samples)) if n_samples > 1 else 0.0
         return DeviceMCResult(
@@ -141,12 +151,20 @@ class DeviceMonteCarlo:
 
         Conditioning on the count and integrating the per-tube outcomes
         analytically removes the inner binomial noise, so small failure
-        probabilities can be estimated with modest sample counts.
+        probabilities can be estimated with modest sample counts.  In the
+        joint opens+shorts regime the conditional value is the thinned
+        ``1 - (1 - q)**N + (pf - q)**N`` of :mod:`repro.device.shorts`;
+        at ``q = 0`` the opens-only ``pf ** N`` path is untouched.
         """
         ensure_positive(width_nm, "width_nm")
         counts = self._sample_counts(width_nm, n_samples, rng)
         pf = self.type_model.per_cnt_failure_probability
-        conditional = np.power(pf, counts.astype(float))
+        q = self.type_model.surviving_metallic_probability
+        n = counts.astype(float)
+        if q > 0.0:
+            conditional = 1.0 - np.power(1.0 - q, n) + np.power(pf - q, n)
+        else:
+            conditional = np.power(pf, n)
         estimate = float(np.mean(conditional))
         stderr = (
             float(np.std(conditional, ddof=1) / np.sqrt(n_samples))
@@ -184,6 +202,12 @@ class DeviceMonteCarlo:
             raise ValueError(
                 "estimate_tilted requires a pitch count source; "
                 "growth- and count-model sources have no gap law to tilt"
+            )
+        if self.type_model.surviving_metallic_probability > 0.0:
+            raise ValueError(
+                "estimate_tilted supports only the opens-only regime: the "
+                "pf ** N cancellation that stabilises the tilted weights "
+                "has no joint opens+shorts counterpart"
             )
         ensure_positive(width_nm, "width_nm")
         pf = self.type_model.per_cnt_failure_probability

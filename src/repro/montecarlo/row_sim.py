@@ -150,15 +150,30 @@ class RowMonteCarlo:
     # Per-scenario estimators (Rao-Blackwellised)
     # ------------------------------------------------------------------
 
+    def _device_conditional_failures(self, counts: np.ndarray) -> np.ndarray:
+        """Per-device failure probability conditioned on captured counts.
+
+        The opens-only ``pf ** N`` of the Rao-Blackwellised estimators, or
+        the joint thinned ``1 - (1 - q)**N + (pf - q)**N`` of
+        :mod:`repro.device.shorts` when the type model leaves surviving
+        metallic tubes; the ``q = 0`` branch is the untouched pre-shorts
+        expression (bitwise contract).
+        """
+        pf = self.type_model.per_cnt_failure_probability
+        q = self.type_model.surviving_metallic_probability
+        n = np.asarray(counts, dtype=float)
+        if q > 0.0:
+            return 1.0 - np.power(1.0 - q, n) + np.power(pf - q, n)
+        return np.power(pf, n)
+
     def _segment_failure_uncorrelated(
         self, config: RowScenarioConfig, rng: np.random.Generator
     ) -> float:
         """P{segment fails} conditioned on sampled per-device counts."""
-        pf = self.type_model.per_cnt_failure_probability
         survive = 1.0
         for _ in range(config.devices_per_segment):
             tracks = self._sample_track_positions(config.device_width_nm, rng)
-            p_dev_fail = pf ** tracks.size
+            p_dev_fail = float(self._device_conditional_failures(tracks.size))
             survive *= 1.0 - p_dev_fail
         return 1.0 - survive
 
@@ -166,11 +181,11 @@ class RowMonteCarlo:
         self, config: RowScenarioConfig, rng: np.random.Generator
     ) -> float:
         """Aligned devices all share the same tracks: one device's fate decides."""
-        pf = self.type_model.per_cnt_failure_probability
         tracks = self._sample_track_positions(config.device_width_nm, rng)
         # All devices see the same working/failed tubes, so the segment fails
-        # exactly when those shared tubes all fail.
-        return pf ** tracks.size
+        # exactly when those shared tubes all fail (open) or any surviving
+        # short sits among them.
+        return float(self._device_conditional_failures(tracks.size))
 
     def _segment_failure_non_aligned(
         self, config: RowScenarioConfig, rng: np.random.Generator
@@ -178,18 +193,25 @@ class RowMonteCarlo:
         """Devices at random y offsets cover overlapping subsets of the tracks.
 
         Tube outcomes are sampled once per track (they are shared), and each
-        device fails iff every track it covers failed; the segment fails when
-        any device fails.
+        device fails iff every track it covers failed or any covered track
+        is a surviving short; the segment fails when any device fails.  One
+        uniform per track decides both modes, so the joint sampler consumes
+        exactly the opens-only RNG stream.
         """
         span = config.cell_height_window_nm + config.device_width_nm
         tracks = self._sample_track_positions(span, rng)
         if tracks.size == 0:
             return 1.0
-        working = rng.random(tracks.size) >= self.type_model.per_cnt_failure_probability
+        u = rng.random(tracks.size)
+        working = u >= self.type_model.per_cnt_failure_probability
+        q = self.type_model.surviving_metallic_probability
+        shorting = u < q if q > 0.0 else None
         offsets = rng.random(config.devices_per_segment) * config.cell_height_window_nm
         for offset in offsets:
             in_window = (tracks >= offset) & (tracks <= offset + config.device_width_nm)
             if not np.any(working[in_window]):
+                return 1.0
+            if shorting is not None and np.any(shorting[in_window]):
                 return 1.0
         return 0.0
 
@@ -201,25 +223,23 @@ class RowMonteCarlo:
         self, config: RowScenarioConfig, n_samples: int, rng: np.random.Generator
     ) -> np.ndarray:
         """All samples at once: every device draws its own track set."""
-        pf = self.type_model.per_cnt_failure_probability
         counts = sample_track_counts(
             self.pitch,
             config.device_width_nm,
             n_samples * config.devices_per_segment,
             rng,
         ).reshape(n_samples, config.devices_per_segment)
-        p_dev_fail = np.power(pf, counts.astype(float))
+        p_dev_fail = self._device_conditional_failures(counts)
         return 1.0 - np.prod(1.0 - p_dev_fail, axis=1)
 
     def _segment_failures_aligned_batch(
         self, config: RowScenarioConfig, n_samples: int, rng: np.random.Generator
     ) -> np.ndarray:
         """All samples at once: one shared track set decides each segment."""
-        pf = self.type_model.per_cnt_failure_probability
         counts = sample_track_counts(
             self.pitch, config.device_width_nm, n_samples, rng
         )
-        return np.power(pf, counts.astype(float))
+        return self._device_conditional_failures(counts)
 
     def _segment_failures_non_aligned_batch(
         self, config: RowScenarioConfig, n_samples: int, rng: np.random.Generator
@@ -229,10 +249,12 @@ class RowMonteCarlo:
         Tube outcomes are sampled once per track (they are shared); the
         batched window counter then answers every (sample, device) window
         in one pass, and a segment fails when any of its devices captured
-        zero working tubes.  The sample axis is chunked so peak memory
+        zero working tubes (or, with surviving metallic tubes, captured at
+        least one short).  The sample axis is chunked so peak memory
         stays near the engine's element budget for any ``n_samples``.
         """
         pf = self.type_model.per_cnt_failure_probability
+        q = self.type_model.surviving_metallic_probability
         span = config.cell_height_window_nm + config.device_width_nm
         per_sample = max(1, estimate_gap_count(self.pitch, span))
         chunk = max(1, DEFAULT_BATCH_ELEMENTS // per_sample)
@@ -241,7 +263,8 @@ class RowMonteCarlo:
         while done < n_samples:
             n = min(chunk, n_samples - done)
             batch = sample_track_batch(self.pitch, span, n, rng)
-            working = (rng.random(batch.positions.shape) >= pf) & batch.valid
+            u = rng.random(batch.positions.shape)
+            working = (u >= pf) & batch.valid
             offsets = (
                 rng.random((n, config.devices_per_segment))
                 * config.cell_height_window_nm
@@ -249,7 +272,14 @@ class RowMonteCarlo:
             counts = count_in_windows(
                 batch, working, offsets, offsets + config.device_width_nm
             )
-            failures[done:done + n] = np.any(counts == 0, axis=1)
+            failing = np.any(counts == 0, axis=1)
+            if q > 0.0:
+                shorting = (u < q) & batch.valid
+                short_counts = count_in_windows(
+                    batch, shorting, offsets, offsets + config.device_width_nm
+                )
+                failing = failing | np.any(short_counts > 0, axis=1)
+            failures[done:done + n] = failing
             done += n
         return failures
 
@@ -412,6 +442,17 @@ class RowMonteCarlo:
             raise ValueError(
                 f"unknown sampler {sampler!r}; "
                 "expected 'naive', 'tilted' or 'splitting'"
+            )
+        if (
+            sampler in ("tilted", "splitting")
+            and self.type_model.surviving_metallic_probability > 0.0
+        ):
+            raise ValueError(
+                f"sampler={sampler!r} supports only the opens-only regime: "
+                "the rare-event machinery is built around the pf ** N "
+                "cancellation, which has no joint opens+shorts counterpart "
+                "(use the naive sampler or the closed form of "
+                "repro.device.shorts)"
             )
         if sampler == "tilted":
             return self._estimate_tilted(

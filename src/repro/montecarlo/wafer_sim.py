@@ -291,7 +291,12 @@ def _blocked_count_leq(g3, prefix, bounds, xp: ArrayBackend):
 
 @dataclass(frozen=True)
 class _WaferPayload:
-    """Picklable spec of a wafer run, shared by every die group."""
+    """Picklable spec of a wafer run, shared by every die group.
+
+    ``short_probability`` is the per-tube surviving-short probability
+    ``q`` of :mod:`repro.device.shorts`; at the default 0 every value
+    pass reduces bitwise to the opens-only ``pf ** N`` conditional.
+    """
 
     pitch: PitchDistribution
     per_cnt_failure: float
@@ -301,6 +306,7 @@ class _WaferPayload:
     seed_key: Tuple[int, ...]
     backend: Optional[ArrayBackend] = None
     misalignment: Optional[MisalignmentImpactModel] = None
+    short_probability: float = 0.0
 
 
 def _die_relaxations(
@@ -407,7 +413,17 @@ def _simulate_die_group(
             run = run[keep]
 
     counts = (n_hi - n_lo[None, :]).reshape(len(widths), n_dies, n_trials)
-    values = np.power(payload.per_cnt_failure, counts.astype(float))
+    n = counts.astype(float)
+    q = payload.short_probability
+    if q > 0.0:
+        # Joint opens+shorts conditional of repro.device.shorts:
+        # 1 - (1 - q)**N + (pf - q)**N given the sampled counts.
+        values = (
+            1.0 - np.power(1.0 - q, n)
+            + np.power(payload.per_cnt_failure - q, n)
+        )
+    else:
+        values = np.power(payload.per_cnt_failure, n)
     return _assemble_group(sites, values, payload)
 
 
@@ -683,6 +699,7 @@ def simulate_die(
         seed_key=tuple(int(part) for part in seed_key),
         backend=backend,
         misalignment=misalignment,
+        short_probability=type_model.surviving_metallic_probability,
     )
     return _simulate_die_group(payload, [site])[0]
 
@@ -779,6 +796,7 @@ def simulate_wafer(
         seed_key=tuple(int(part) for part in seed_key),
         backend=backend,
         misalignment=misalignment,
+        short_probability=type_model.surviving_metallic_probability,
     )
     sites = _canonical_sites(wafer)
     dice: List[DieYieldEstimate] = []
@@ -808,6 +826,7 @@ def simulate_wafer(
                     payload.seed_key,
                     repr(payload.backend),
                     repr(payload.misalignment),
+                    float(payload.short_probability),
                     int(group),
                     _site_signature(sites),
                 )
@@ -883,6 +902,7 @@ def per_die_loop(
         device_counts=counts,
         n_trials=int(n_trials),
         seed_key=tuple(int(part) for part in seed_key),
+        short_probability=type_model.surviving_metallic_probability,
     )
     dice: List[DieYieldEstimate] = []
     for site in _canonical_sites(wafer):
@@ -1287,6 +1307,8 @@ def run_chip_wafer(
                 repr(payload.misalignment),
                 repr(geometry.backend),
                 float(geometry.per_cnt_failure),
+                float(geometry.short_probability),
+                int(geometry.min_working_tubes),
                 geometry.window_lo,
                 geometry.window_hi,
                 geometry.window_weight,
@@ -1356,6 +1378,7 @@ def chip_per_die_loop(
             row_height_nm=chip.row_height_nm,
             small_width_threshold_nm=chip.small_width_threshold_nm,
             backend=chip.backend,
+            min_working_tubes=chip.min_working_tubes,
         )
         result = mc.run(n_trials, chip_die_stream(seed_key, site))
         dice.append(ChipDieYield(

@@ -14,6 +14,9 @@ for that loop, so this package precomputes the answer:
   interpolation error bound meets tolerance.
 * :mod:`repro.surface.surface` — the versioned, content-hashed, disk-
   persisted :class:`YieldSurface` artifact and its :class:`SurfaceStore`.
+* :mod:`repro.surface.eta_family` — a removal-efficiency (eta) axis over
+  2D surfaces for the metallic-short failure mode, served with the same
+  probed error-bound contract.
 
 The batched query layer on top lives in :mod:`repro.serving`.
 """
@@ -36,8 +39,11 @@ from repro.surface.builder import (
     pitch_descriptor,
     pitch_from_descriptor,
 )
+from repro.surface.eta_family import EtaQuery, EtaSurfaceFamily
 
 __all__ = [
+    "EtaQuery",
+    "EtaSurfaceFamily",
     "GridAxis",
     "bilinear_interpolate",
     "YieldSurface",

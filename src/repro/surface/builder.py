@@ -129,6 +129,12 @@ class SweepSpec:
     safety_factor: float = 2.0
     mc_samples: int = 20_000
     seed: int = 20100613
+    #: Metallic fraction p_m and removal efficiency eta of the short
+    #: failure mode (:mod:`repro.device.shorts`).  The defaults give a
+    #: per-tube surviving-short probability of 0 — the opens-only sweep
+    #: every pre-shorts surface was built with, bit for bit.
+    metallic_fraction: float = 0.0
+    removal_eta: float = 1.0
 
     def __post_init__(self) -> None:
         if self.scenario not in ALL_SCENARIOS:
@@ -136,8 +142,15 @@ class SweepSpec:
                 f"unknown scenario {self.scenario!r}; expected one of {ALL_SCENARIOS}"
             )
         ensure_probability(self.per_cnt_failure, "per_cnt_failure")
+        ensure_probability(self.metallic_fraction, "metallic_fraction")
+        ensure_probability(self.removal_eta, "removal_eta")
         if self.method not in ("auto", "closed_form", "tilted"):
             raise ValueError(f"unknown method {self.method!r}")
+        if self.short_probability > 0.0 and self.resolved_method == "tilted":
+            raise ValueError(
+                "method='tilted' supports only the opens-only regime; "
+                "joint opens+shorts sweeps must use the closed form"
+            )
         ensure_positive(self.tolerance_log, "tolerance_log")
         if self.max_refinement_rounds < 0:
             raise ValueError("max_refinement_rounds must be non-negative")
@@ -145,6 +158,11 @@ class SweepSpec:
             raise ValueError("safety_factor must be at least 1.0")
         if self.mc_samples <= 0:
             raise ValueError("mc_samples must be positive")
+
+    @property
+    def short_probability(self) -> float:
+        """Per-tube surviving-short probability ``q = p_m · (1 - eta)``."""
+        return self.metallic_fraction * (1.0 - self.removal_eta)
 
     @property
     def resolved_method(self) -> str:
@@ -174,11 +192,18 @@ class ExactEvaluator:
         method: str = "closed_form",
         mc_samples: int = 20_000,
         seed: int = 20100613,
+        short_probability: float = 0.0,
     ) -> None:
         if scenario not in ALL_SCENARIOS:
             raise ValueError(f"unknown scenario {scenario!r}")
         if method not in ("closed_form", "tilted"):
             raise ValueError(f"unknown resolved method {method!r}")
+        ensure_probability(short_probability, "short_probability")
+        if short_probability > 0.0 and method == "tilted":
+            raise ValueError(
+                "method='tilted' supports only the opens-only regime; "
+                "joint opens+shorts evaluation must use the closed form"
+            )
         self.scenario = scenario
         self.pitch = pitch
         self.per_cnt_failure = ensure_probability(per_cnt_failure, "per_cnt_failure")
@@ -186,6 +211,7 @@ class ExactEvaluator:
         self.method = method
         self.mc_samples = int(mc_samples)
         self.seed = int(seed)
+        self.short_probability = float(short_probability)
         self._cache: Dict[Tuple[float, float], Tuple[float, float]] = {}
         self.evaluation_count = 0
 
@@ -201,6 +227,7 @@ class ExactEvaluator:
             method=str(meta.get("method", "closed_form")),
             mc_samples=int(meta.get("mc_samples", 20_000)),
             seed=int(meta.get("seed", 20100613)),
+            short_probability=float(meta.get("short_probability", 0.0)),
         )
 
     # ------------------------------------------------------------------
@@ -215,7 +242,9 @@ class ExactEvaluator:
         pitch = self.pitch.with_mean(mean_pitch)
         if self.method == "closed_form":
             model = CNFETFailureModel(
-                count_model_from_pitch(pitch), self.per_cnt_failure
+                count_model_from_pitch(pitch),
+                self.per_cnt_failure,
+                short_probability=self.short_probability,
             )
             return model.log_failure_probabilities(widths_nm), np.zeros(widths_nm.size)
         from repro.montecarlo.rare_event import estimate_device_failure_grid
@@ -384,6 +413,7 @@ class SurfaceBuilder:
             float(spec.per_cnt_failure),
             dataclasses.asdict(spec.correlation),
             spec.resolved_method,
+            float(spec.short_probability),
             float(spec.tolerance_log),
             int(spec.max_refinement_rounds),
             float(spec.safety_factor),
@@ -435,6 +465,7 @@ class SurfaceBuilder:
             method=spec.resolved_method,
             mc_samples=spec.mc_samples,
             seed=spec.seed,
+            short_probability=spec.short_probability,
         )
         checkpoint = self._open_checkpoint()
         if checkpoint is not None:
@@ -470,6 +501,9 @@ class SurfaceBuilder:
             "method": evaluator.method,
             "mc_samples": int(spec.mc_samples),
             "seed": int(spec.seed),
+            "metallic_fraction": float(spec.metallic_fraction),
+            "removal_eta": float(spec.removal_eta),
+            "short_probability": float(spec.short_probability),
             "tolerance_log": float(spec.tolerance_log),
             "safety_factor": float(spec.safety_factor),
             "refinement_rounds": rounds,

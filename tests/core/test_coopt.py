@@ -1,5 +1,7 @@
 """Tests for the Pareto process/design co-optimization driver."""
 
+import dataclasses
+import inspect
 import json
 
 import numpy as np
@@ -59,13 +61,57 @@ class TestProcessPoint:
         grid = process_grid(
             densities_per_um=(200.0, 250.0), pitch_cvs=(1.0, 0.5)
         )
-        assert len(grid) == 4
+        assert len(grid) == 2 * 2
         assert grid == process_grid(
             densities_per_um=(200.0, 250.0), pitch_cvs=(1.0, 0.5)
         )
         assert grid[0].cnt_density_per_um == 200.0
         assert grid[0].pitch_cv == 1.0
         assert grid[1].pitch_cv == 0.5
+
+    def test_grid_axes_cover_every_process_knob(self):
+        # Arity gate: every ProcessPoint field must be a process_grid
+        # axis, so a new processing knob cannot land without joining the
+        # grid enumeration (and hence the determinism tests below).
+        point_fields = {f.name for f in dataclasses.fields(ProcessPoint)}
+        grid_axes = set(inspect.signature(process_grid).parameters)
+        assert len(grid_axes) == len(point_fields), (
+            f"process_grid axes {sorted(grid_axes)} out of step with "
+            f"ProcessPoint fields {sorted(point_fields)}"
+        )
+        # Full-arity grid: every axis given two values enumerates 2**k
+        # points, so a knob missing from the product would show up here.
+        grid = process_grid(
+            densities_per_um=(200.0, 250.0),
+            pitch_cvs=(1.0, 0.5),
+            corners=FIG2_1_CORNERS[:2],
+            cnt_lengths_um=(100.0, 200.0),
+            misalignments_deg=(0.0, 5.0),
+            removal_etas=(0.98, 1.0),
+        )
+        assert len(grid) == 2 ** len(point_fields)
+        assert len(set(grid)) == len(grid)
+
+    def test_removal_eta_varies_fastest(self):
+        # The eta axis was appended last so existing grids keep their
+        # enumeration order at the default (1.0,).
+        grid = process_grid(
+            densities_per_um=(200.0, 250.0), removal_etas=(0.95, 1.0)
+        )
+        assert [p.metallic_removal_eta for p in grid] == [0.95, 1.0, 0.95, 1.0]
+        assert [p.cnt_density_per_um for p in grid] == [
+            200.0, 200.0, 250.0, 250.0,
+        ]
+        opens_only = process_grid(densities_per_um=(200.0, 250.0))
+        assert grid[1::2] == opens_only
+
+    def test_short_probability_knob(self):
+        point = ProcessPoint(metallic_removal_eta=0.97)
+        expected = point.corner.metallic_fraction * (1.0 - 0.97)
+        assert point.short_probability == pytest.approx(expected, abs=1e-15)
+        assert ProcessPoint().short_probability == 0.0
+        with pytest.raises(ValueError):
+            ProcessPoint(metallic_removal_eta=1.5)
 
 
 class TestParetoFrontHelper:
@@ -187,6 +233,43 @@ class TestEscalation:
         assert [c.capacitance_penalty for c in wide.front] == [
             c.capacitance_penalty for c in tight.front
         ]
+
+
+class TestShortsDeterminism:
+    def test_shorts_active_front_is_bitwise_deterministic(self):
+        # The determinism contract must survive the (p_m, eta) knob:
+        # a shorts-active grid (distinct surface per eta) reruns to the
+        # identical front fingerprint.
+        points = process_grid(
+            densities_per_um=(250.0,), removal_etas=(0.995, 1.0)
+        )
+        first = make_optimizer(process_points=points).run()
+        again = make_optimizer(process_points=points).run()
+        assert front_fingerprint(again) == front_fingerprint(first)
+        etas = {
+            c.process.metallic_removal_eta for c in first.front
+        }
+        assert etas <= {0.995, 1.0}
+
+    def test_imperfect_removal_never_improves_yield(self):
+        # At identical thresholds, eta < 1 adds a failure channel, so
+        # the best feasible candidate cannot beat the opens-only one.
+        # (1e8 devices leave room for only a whisker of short risk; a
+        # larger eta deficit makes the 0.99 target unreachable outright.)
+        clean = make_optimizer(
+            process_points=process_grid(densities_per_um=(250.0,))
+        ).run()
+        shorted = make_optimizer(
+            process_points=process_grid(
+                densities_per_um=(250.0,), removal_etas=(1.0 - 1e-10,)
+            )
+        ).run()
+        assert clean.meets_target and shorted.meets_target
+        assert shorted.best.chip_yield < clean.best.chip_yield
+        assert (
+            shorted.best.capacitance_penalty
+            >= clean.best.capacitance_penalty - 1e-12
+        )
 
 
 class TestValidation:

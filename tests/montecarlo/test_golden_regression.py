@@ -81,6 +81,42 @@ class TestGoldenChipNaive:
         )
 
 
+class TestGoldenChipShorts:
+    def test_exact_failure_counts_with_shorts(self, golden, reference_backend):
+        # Imperfect metallic removal (eta = 0.95) activates the joint
+        # opens+shorts engine path; the frozen counts pin its RNG
+        # consumption (the shared single-uniform partition) and the
+        # short-count window reduction.
+        g = golden["chip_shorts"]
+        library = build_nangate45_library()
+        design = build_openrisc_like_design(library, scale=g["scale"], seed=2010)
+        placement = RowPlacement(design, row_width_nm=40_000.0)
+        simulator = ChipMonteCarlo(
+            placement,
+            pitch=ExponentialPitch(20.0),
+            type_model=CNTTypeModel(
+                g["metallic_fraction"],
+                g["removal_prob_metallic"],
+                g["removal_prob_semiconducting"],
+            ),
+            backend=reference_backend,
+        )
+        result = simulator.run(
+            g["n_trials"], np.random.default_rng(g["seed"])
+        )
+        assert result.device_count == g["device_count"]
+        assert result.small_device_count == g["small_device_count"]
+        assert result.mean_failing_devices == g["mean_failing_devices"]
+        assert result.mean_failing_rows == g["mean_failing_rows"]
+        assert result.chip_yield == g["chip_yield"]
+        assert result.std_failing_devices == pytest.approx(
+            g["std_failing_devices"], rel=REL
+        )
+        assert result.device_failure_rate == pytest.approx(
+            g["device_failure_rate"], rel=REL
+        )
+
+
 class TestGoldenChipTilted:
     def test_tilted_tail_estimate(self, golden, simulator):
         g = golden["chip_tilted"]

@@ -372,3 +372,69 @@ class TestVectorisedCoreHooks:
             rescaled = pitch.with_mean(7.0)
             assert rescaled.mean_nm == pytest.approx(7.0)
             assert rescaled.cv == pytest.approx(pitch.cv, rel=1e-9)
+
+
+class TestShortsSweep:
+    def test_short_probability_property(self):
+        spec = small_spec(metallic_fraction=1.0 / 3.0, removal_eta=0.9)
+        assert spec.short_probability == pytest.approx(
+            (1.0 / 3.0) * 0.1, abs=1e-15
+        )
+        assert small_spec().short_probability == 0.0
+
+    def test_tilted_method_rejects_shorts(self):
+        with pytest.raises(ValueError, match="opens-only"):
+            small_spec(
+                method="tilted", metallic_fraction=1.0 / 3.0, removal_eta=0.9
+            )
+
+    def test_shorts_nodes_match_joint_failure_model(self):
+        spec = small_spec(metallic_fraction=1.0 / 3.0, removal_eta=0.9)
+        surface = SurfaceBuilder(spec).build()
+        for j, density in enumerate(surface.cnt_density_per_um[::2]):
+            pitch = spec.pitch.with_mean(density_to_mean_pitch_nm(density))
+            model = CNFETFailureModel(
+                count_model_from_pitch(pitch),
+                spec.per_cnt_failure,
+                short_probability=spec.short_probability,
+            )
+            expected = model.log_failure_probabilities(surface.width_nm)
+            np.testing.assert_allclose(
+                surface.log_failure[:, 2 * j], expected, rtol=1e-9
+            )
+
+    def test_metadata_records_shorts_knobs(self):
+        spec = small_spec(metallic_fraction=1.0 / 3.0, removal_eta=0.9)
+        meta = SurfaceBuilder(spec).build().metadata
+        assert meta["metallic_fraction"] == pytest.approx(1.0 / 3.0)
+        assert meta["removal_eta"] == pytest.approx(0.9)
+        assert meta["short_probability"] == pytest.approx((1.0 / 3.0) * 0.1)
+        default_meta = SurfaceBuilder(small_spec()).build().metadata
+        assert default_meta["short_probability"] == 0.0
+
+    def test_from_surface_restores_short_probability(self):
+        spec = small_spec(metallic_fraction=1.0 / 3.0, removal_eta=0.9)
+        surface = SurfaceBuilder(spec).build()
+        evaluator = ExactEvaluator.from_surface(surface)
+        assert evaluator.short_probability == pytest.approx(
+            spec.short_probability, abs=1e-15
+        )
+        values, _ = evaluator.points(
+            surface.width_nm[:3], np.full(3, surface.cnt_density_per_um[0])
+        )
+        np.testing.assert_allclose(values, surface.log_failure[:3, 0], rtol=1e-9)
+
+    def test_eta_changes_surface_content(self):
+        # Pin the base grid: the joint sweep would otherwise refine (log
+        # pF is no longer bilinear once the short term bends it) and the
+        # two surfaces could not be compared node for node.
+        clean = SurfaceBuilder(small_spec(
+            metallic_fraction=1.0 / 3.0, removal_eta=1.0,
+            max_refinement_rounds=0,
+        )).build()
+        shorted = SurfaceBuilder(small_spec(
+            metallic_fraction=1.0 / 3.0, removal_eta=0.9,
+            max_refinement_rounds=0,
+        )).build()
+        assert clean.content_hash != shorted.content_hash
+        assert np.all(shorted.log_failure >= clean.log_failure - 1e-12)

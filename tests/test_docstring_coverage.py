@@ -24,6 +24,7 @@ AUDITED_PATHS = (
     REPO / "src" / "repro" / "timing",
     REPO / "src" / "repro" / "analysis",
     REPO / "src" / "repro" / "core",
+    REPO / "src" / "repro" / "device",
 )
 
 

@@ -74,11 +74,21 @@ class TestCountModelProperties:
         assert model.mean_count(2 * width) == pytest.approx(2 * model.mean_count(width))
 
 
+# Every test that holds in both regimes runs at q_frac = 0 (opens-only)
+# AND q_frac > 0 (joint opens+shorts, short_probability = q_frac * pf) —
+# the parametrization is the arity gate that keeps a new failure-model
+# knob from silently skipping the property suite.
+SHORT_FRACTIONS = (0.0, 0.5)
+
+
 class TestFailureModelProperties:
+    @pytest.mark.parametrize("q_frac", SHORT_FRACTIONS)
     @DEFAULT_SETTINGS
     @given(pf=st.floats(min_value=0.01, max_value=0.99), width=widths)
-    def test_failure_probability_is_probability(self, pf, width):
-        model = CNFETFailureModel(PoissonCountModel(4.0), pf)
+    def test_failure_probability_is_probability(self, q_frac, pf, width):
+        model = CNFETFailureModel(
+            PoissonCountModel(4.0), pf, short_probability=q_frac * pf
+        )
         value = model.failure_probability(width)
         assert 0.0 <= value <= 1.0
 
@@ -88,20 +98,47 @@ class TestFailureModelProperties:
         w1=widths, w2=widths,
     )
     def test_monotone_decreasing_in_width(self, pf, w1, w2):
+        # Opens-only by construction: with shorts active pF(W) is NOT
+        # monotone in W (wider devices catch more surviving metallic
+        # tubes) — that regime is pinned by the inversion-raise test.
         model = CNFETFailureModel(PoissonCountModel(4.0), pf)
         low, high = min(w1, w2), max(w1, w2)
         assert model.failure_probability(high) <= model.failure_probability(low) + 1e-12
 
+    @pytest.mark.parametrize("q_frac", SHORT_FRACTIONS)
     @DEFAULT_SETTINGS
     @given(
         pf1=st.floats(min_value=0.01, max_value=0.5),
         pf2=st.floats(min_value=0.5, max_value=0.99),
         width=widths,
     )
-    def test_monotone_in_per_cnt_failure(self, pf1, pf2, width):
+    def test_monotone_in_per_cnt_failure(self, q_frac, pf1, pf2, width):
         counts = PoissonCountModel(4.0)
-        a = CNFETFailureModel(counts, pf1).failure_probability(width)
-        b = CNFETFailureModel(counts, pf2).failure_probability(width)
+        b = q_frac * pf1  # shared short term, valid for both pf values
+        a = CNFETFailureModel(
+            counts, pf1, short_probability=b
+        ).failure_probability(width)
+        c = CNFETFailureModel(
+            counts, pf2, short_probability=b
+        ).failure_probability(width)
+        assert a <= c + 1e-12
+
+    @DEFAULT_SETTINGS
+    @given(
+        pf=st.floats(min_value=0.05, max_value=0.95),
+        b1=st.floats(min_value=0.0, max_value=0.5),
+        b2=st.floats(min_value=0.0, max_value=0.5),
+        width=widths,
+    )
+    def test_monotone_in_short_probability(self, pf, b1, b2, width):
+        counts = PoissonCountModel(4.0)
+        low, high = sorted((b1 * pf, b2 * pf))
+        a = CNFETFailureModel(
+            counts, pf, short_probability=low
+        ).failure_probability(width)
+        b = CNFETFailureModel(
+            counts, pf, short_probability=high
+        ).failure_probability(width)
         assert a <= b + 1e-12
 
     @DEFAULT_SETTINGS
@@ -113,6 +150,20 @@ class TestFailureModelProperties:
         model = CNFETFailureModel(PoissonCountModel(4.0), pf)
         width = model.width_for_failure_probability(target, tolerance_nm=0.005)
         assert model.failure_probability(width) <= target * (1.0 + 1e-6)
+
+    @DEFAULT_SETTINGS
+    @given(
+        pf=st.floats(min_value=0.1, max_value=0.9),
+        q_frac=st.floats(min_value=0.01, max_value=0.99),
+    )
+    def test_width_inversion_rejects_shorts(self, pf, q_frac):
+        # With a short term, pF(W) is no longer monotone decreasing in W,
+        # so the bisection contract is void and must refuse loudly.
+        model = CNFETFailureModel(
+            PoissonCountModel(4.0), pf, short_probability=q_frac * pf
+        )
+        with pytest.raises(ValueError, match="monotone"):
+            model.width_for_failure_probability(0.01)
 
 
 class TestYieldProperties:
